@@ -1,0 +1,64 @@
+//! Criterion bench for the DNN substrate: FLOAT32 inference vs. INT4
+//! inference through the exact and in-SRAM product tables.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use optima_bench::calibrated_models;
+use optima_dnn::layers::{Conv2d, Dense, Flatten, MaxPool2d, Relu};
+use optima_dnn::multiplier::{ExactInt4Products, InMemoryProducts};
+use optima_dnn::network::Network;
+use optima_dnn::quantized::QuantizedNetwork;
+use optima_dnn::tensor::Tensor;
+use optima_imc::multiplier::{InSramMultiplier, MultiplierConfig, MultiplierTable};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn small_cnn() -> Network {
+    let mut rng = ChaCha8Rng::seed_from_u64(17);
+    Network::new(vec![
+        Box::new(Conv2d::new(3, 8, 3, &mut rng)),
+        Box::new(Relu::new()),
+        Box::new(MaxPool2d::new()),
+        Box::new(Flatten::new()),
+        Box::new(Dense::new(8 * 8 * 8, 10, &mut rng)),
+    ])
+}
+
+fn bench_dnn_mac(c: &mut Criterion) {
+    let (_technology, models) = calibrated_models(true);
+    let mut float_network = small_cnn();
+    let exact_quantized =
+        QuantizedNetwork::from_network(&small_cnn(), Arc::new(ExactInt4Products)).unwrap();
+    let fom_multiplier =
+        InSramMultiplier::new(models, MultiplierConfig::paper_fom_corner()).unwrap();
+    let fom_table =
+        MultiplierTable::from_multiplier(&fom_multiplier, fom_multiplier.nominal_operating_point())
+            .unwrap();
+    let fom_quantized = QuantizedNetwork::from_network(
+        &small_cnn(),
+        Arc::new(InMemoryProducts::new(fom_table, "fom")),
+    )
+    .unwrap();
+    let image = Tensor::from_vec(
+        &[3, 16, 16],
+        (0..3 * 16 * 16).map(|i| (i % 11) as f32 / 11.0).collect(),
+    )
+    .unwrap();
+
+    let mut group = c.benchmark_group("dnn_inference");
+    group.sample_size(20);
+    group.bench_function("float32_forward", |b| {
+        b.iter(|| float_network.forward(black_box(&image)).unwrap())
+    });
+    group.bench_function("int4_exact_forward", |b| {
+        b.iter(|| exact_quantized.forward(black_box(&image)).unwrap())
+    });
+    group.bench_function("int4_in_memory_fom_forward", |b| {
+        b.iter(|| fom_quantized.forward(black_box(&image)).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_dnn_mac);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Criterion bench for the design-space exploration: one multiplier
+//! evaluation over the full 16×16 input space and one small-grid exploration.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use optima_bench::calibrated_models;
+use optima_imc::dse::{DesignPoint, DesignSpace, DesignSpaceExplorer};
+use optima_imc::metrics::evaluate_multiplier;
+use optima_imc::multiplier::{InSramMultiplier, MultiplierConfig};
+use optima_math::units::{Seconds, Volts};
+use std::hint::black_box;
+
+fn bench_dse(c: &mut Criterion) {
+    let (_technology, models) = calibrated_models(true);
+    let multiplier = InSramMultiplier::new(models.clone(), MultiplierConfig::paper_fom_corner())
+        .expect("corner configuration is valid");
+    let explorer = DesignSpaceExplorer::new(models).with_threads(2);
+
+    let mut group = c.benchmark_group("dse");
+    group.sample_size(20);
+    group.bench_function("single_multiplication", |b| {
+        b.iter(|| multiplier.multiply(black_box(11), black_box(13)).unwrap())
+    });
+    group.bench_function("full_input_space_metrics", |b| {
+        b.iter(|| evaluate_multiplier(black_box(&multiplier)).unwrap())
+    });
+    group.bench_function("evaluate_design_point", |b| {
+        b.iter(|| {
+            explorer
+                .evaluate_point(black_box(DesignPoint {
+                    tau0: Seconds(0.16e-9),
+                    vdac_zero: Volts(0.3),
+                    vdac_full_scale: Volts(1.0),
+                }))
+                .unwrap()
+        })
+    });
+    group.bench_function("explore_small_space", |b| {
+        b.iter(|| explorer.explore(black_box(&DesignSpace::small())).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_dse);
+criterion_main!(benches);

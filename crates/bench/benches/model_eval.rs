@@ -1,0 +1,47 @@
+//! Criterion bench for the OPTIMA model primitives: one bit-line voltage
+//! evaluation, one mismatch σ lookup and one full calibration on the fast grid.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use optima_bench::calibrated_models;
+use optima_circuit::technology::Technology;
+use optima_core::calibration::{CalibrationConfig, Calibrator};
+use optima_math::units::{Celsius, Seconds, Volts};
+use std::hint::black_box;
+
+fn bench_model_eval(c: &mut Criterion) {
+    let (_technology, models) = calibrated_models(true);
+
+    let mut group = c.benchmark_group("model_eval");
+    group.sample_size(30);
+    group.bench_function("bitline_voltage", |b| {
+        b.iter(|| {
+            models.bitline_voltage_unchecked(
+                black_box(Seconds(1.2e-9)),
+                Volts(0.8),
+                Volts(1.0),
+                Celsius(25.0),
+            )
+        })
+    });
+    group.bench_function("mismatch_sigma", |b| {
+        b.iter(|| models.mismatch_sigma(black_box(Seconds(1.2e-9)), Volts(0.8)))
+    });
+    group.bench_function("write_plus_discharge_energy", |b| {
+        b.iter(|| models.operation_energy(black_box(Volts(0.25)), Volts(1.0), Celsius(25.0)))
+    });
+    group.finish();
+
+    let mut calibration_group = c.benchmark_group("calibration");
+    calibration_group.sample_size(10);
+    calibration_group.bench_function("fast_grid_full_calibration", |b| {
+        b.iter(|| {
+            Calibrator::new(Technology::tsmc65_like(), CalibrationConfig::fast())
+                .run()
+                .unwrap()
+        })
+    });
+    calibration_group.finish();
+}
+
+criterion_group!(benches, bench_model_eval);
+criterion_main!(benches);

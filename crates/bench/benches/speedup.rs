@@ -1,0 +1,50 @@
+//! Criterion bench for the paper's Section V speed-up claim: evaluating one
+//! discharge with the golden-reference circuit simulator vs. with the fitted
+//! OPTIMA models.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use optima_bench::calibrated_models;
+use optima_circuit::montecarlo::MismatchSample;
+use optima_circuit::pvt::PvtConditions;
+use optima_circuit::transient::{DischargeStimulus, TransientSimulator};
+use optima_math::units::{Celsius, Seconds, Volts};
+use std::hint::black_box;
+
+fn bench_speedup(c: &mut Criterion) {
+    let (technology, models) = calibrated_models(true);
+    let simulator = TransientSimulator::new(technology.clone());
+    let pvt = PvtConditions::nominal(&technology);
+    let stimulus = DischargeStimulus {
+        word_line_voltage: Volts(0.85),
+        duration: Seconds(2e-9),
+        time_steps: 400,
+        ..DischargeStimulus::default()
+    };
+
+    let mut group = c.benchmark_group("speedup");
+    group.sample_size(20);
+    group.bench_function("circuit_transient_discharge", |b| {
+        b.iter(|| {
+            simulator
+                .discharge_delta(black_box(&stimulus), &pvt, &MismatchSample::none())
+                .unwrap()
+        })
+    });
+    group.bench_function("optima_model_discharge", |b| {
+        b.iter(|| {
+            models
+                .discharge(
+                    black_box(Seconds(2e-9)),
+                    Volts(0.85),
+                    true,
+                    Volts(1.0),
+                    Celsius(25.0),
+                )
+                .unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_speedup);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Section V speed-up claim — OPTIMA models vs. circuit simulation.
+//!
+//! The paper reports a ~101× speed-up for iterating over the input space and
+//! design corners and 28.1× for mismatch Monte Carlo sampling compared to
+//! Cadence Virtuoso.  Here the comparison is against our own ODE-based golden
+//! reference, so the absolute factor differs, but the same mechanism (cheap
+//! polynomial evaluation replacing transient integration) is measured.
+
+use optima_bench::{calibrated_models, print_header, print_row, quick_mode};
+use optima_core::evaluation::ModelEvaluator;
+
+fn main() {
+    let fast = quick_mode();
+    let (technology, models) = calibrated_models(fast);
+    let evaluator = ModelEvaluator::new(technology, models)
+        .with_reference_time_steps(if fast { 150 } else { 400 });
+
+    let (wordlines, times, mc) = if fast { (8, 8, 50) } else { (16, 16, 300) };
+    let sweep = evaluator
+        .measure_speedup(wordlines, times)
+        .expect("speed-up measurement succeeds");
+    let monte_carlo = evaluator
+        .measure_monte_carlo_speedup(mc)
+        .expect("monte carlo speed-up measurement succeeds");
+
+    println!("# Section V — simulation speed-up of OPTIMA vs. circuit simulation\n");
+    print_header(&["Workload", "Circuit sim [s]", "OPTIMA [s]", "Speed-up", "Paper"]);
+    print_row(&[
+        format!("input-space sweep ({} points)", sweep.evaluations),
+        format!("{:.4}", sweep.circuit_seconds),
+        format!("{:.6}", sweep.model_seconds),
+        format!("{:.0}x", sweep.speedup()),
+        "~101x".into(),
+    ]);
+    print_row(&[
+        format!("mismatch Monte Carlo ({} samples)", monte_carlo.evaluations),
+        format!("{:.4}", monte_carlo.circuit_seconds),
+        format!("{:.6}", monte_carlo.model_seconds),
+        format!("{:.0}x", monte_carlo.speedup()),
+        "28.1x".into(),
+    ]);
+}

@@ -1,0 +1,91 @@
+//! Shared plumbing for the experiment harnesses and Criterion benches.
+//!
+//! Every figure and table of the paper has a dedicated binary in `src/bin/`
+//! (see DESIGN.md for the per-experiment index); this library provides the
+//! pieces they share: model calibration, the three Table I corner
+//! configurations, and small table-printing helpers.
+
+use optima_circuit::technology::Technology;
+use optima_core::calibration::{CalibrationConfig, CalibrationOutcome, Calibrator};
+use optima_core::model::suite::ModelSuite;
+use optima_imc::multiplier::MultiplierConfig;
+
+/// Calibrates the OPTIMA models against the golden-reference simulator.
+///
+/// With `fast = true` a coarser sweep is used (for tests and smoke runs);
+/// otherwise the default calibration grids are used.
+///
+/// # Panics
+///
+/// Panics if calibration fails, which would indicate a bug in the fitting
+/// pipeline rather than a recoverable user error.
+pub fn calibrate(fast: bool) -> (Technology, CalibrationOutcome) {
+    let technology = Technology::tsmc65_like();
+    let config = if fast {
+        CalibrationConfig::fast()
+    } else {
+        CalibrationConfig::default()
+    };
+    let outcome = Calibrator::new(technology.clone(), config)
+        .run()
+        .expect("model calibration must succeed");
+    (technology, outcome)
+}
+
+/// Convenience wrapper returning only the fitted models.
+pub fn calibrated_models(fast: bool) -> (Technology, ModelSuite) {
+    let (technology, outcome) = calibrate(fast);
+    (technology, outcome.into_models())
+}
+
+/// Returns `true` when the harness was asked for a quick run
+/// (environment variable `OPTIMA_QUICK=1`), used to keep CI times short.
+pub fn quick_mode() -> bool {
+    std::env::var("OPTIMA_QUICK").map(|v| v == "1").unwrap_or(false)
+}
+
+/// The three named corners of Table I with their paper configurations.
+pub fn paper_corners() -> Vec<(&'static str, MultiplierConfig)> {
+    vec![
+        ("fom", MultiplierConfig::paper_fom_corner()),
+        ("power", MultiplierConfig::paper_power_corner()),
+        ("variation", MultiplierConfig::paper_variation_corner()),
+    ]
+}
+
+/// Prints a Markdown-style table row.
+pub fn print_row(cells: &[String]) {
+    println!("| {} |", cells.join(" | "));
+}
+
+/// Prints a Markdown-style table header with a separator line.
+pub fn print_header(cells: &[&str]) {
+    print_row(&cells.iter().map(|c| c.to_string()).collect::<Vec<_>>());
+    println!("|{}|", cells.iter().map(|_| "---").collect::<Vec<_>>().join("|"));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fast_calibration_produces_usable_models() {
+        let (technology, models) = calibrated_models(true);
+        assert_eq!(models.vdd_nominal(), technology.vdd_nominal);
+    }
+
+    #[test]
+    fn paper_corners_are_the_three_from_table_one() {
+        let corners = paper_corners();
+        assert_eq!(corners.len(), 3);
+        assert_eq!(corners[0].0, "fom");
+        assert_eq!(corners[1].0, "power");
+        assert_eq!(corners[2].0, "variation");
+    }
+
+    #[test]
+    fn quick_mode_reads_the_environment() {
+        // Not set in the test environment unless exported by the caller.
+        let _ = quick_mode();
+    }
+}

@@ -1,0 +1,91 @@
+//! Error type for the circuit-level simulator.
+
+use optima_math::MathError;
+use std::fmt;
+
+/// Error returned by circuit-level simulation routines.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CircuitError {
+    /// A voltage, time or other physical quantity was outside its valid range.
+    InvalidOperatingPoint {
+        /// Human-readable description of the violated constraint.
+        context: String,
+    },
+    /// An SRAM array was addressed outside its dimensions.
+    AddressOutOfRange {
+        /// The requested index.
+        index: usize,
+        /// The number of valid entries.
+        size: usize,
+    },
+    /// The underlying numeric routine failed.
+    Numeric(MathError),
+    /// A converter (DAC/ADC) was configured inconsistently.
+    InvalidConverterConfig {
+        /// Human-readable description of the inconsistency.
+        context: String,
+    },
+}
+
+impl fmt::Display for CircuitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CircuitError::InvalidOperatingPoint { context } => {
+                write!(f, "invalid operating point: {context}")
+            }
+            CircuitError::AddressOutOfRange { index, size } => {
+                write!(f, "address {index} out of range for size {size}")
+            }
+            CircuitError::Numeric(err) => write!(f, "numeric error: {err}"),
+            CircuitError::InvalidConverterConfig { context } => {
+                write!(f, "invalid converter configuration: {context}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CircuitError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CircuitError::Numeric(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<MathError> for CircuitError {
+    fn from(err: MathError) -> Self {
+        CircuitError::Numeric(err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let err = CircuitError::AddressOutOfRange { index: 7, size: 4 };
+        assert_eq!(err.to_string(), "address 7 out of range for size 4");
+        let err = CircuitError::from(MathError::SingularMatrix);
+        assert!(err.to_string().contains("singular"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CircuitError>();
+    }
+
+    #[test]
+    fn source_points_to_math_error() {
+        use std::error::Error;
+        let err = CircuitError::from(MathError::SingularMatrix);
+        assert!(err.source().is_some());
+        let err = CircuitError::InvalidOperatingPoint {
+            context: "x".into(),
+        };
+        assert!(err.source().is_none());
+    }
+}

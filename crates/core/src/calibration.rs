@@ -1,0 +1,796 @@
+//! Calibration of the OPTIMA models against golden-reference circuit simulation.
+//!
+//! This reproduces the workflow of Section IV of the paper:
+//!
+//! 1. **Execute thorough multi-corner circuit simulations** — transient
+//!    discharge sweeps over word-line voltage, supply voltage, temperature
+//!    and transistor mismatch using [`optima_circuit::transient`].
+//! 2. **Develop behavioural models** — least-squares fits of the polynomial
+//!    models of Eqs. 3–8 to that data ([`optima_math::lsq`]).
+//! 3. **Incorporate the models into a discrete-time simulation framework** —
+//!    the fitted [`ModelSuite`] feeds [`crate::simulator`] and the multiplier
+//!    case study in `optima-imc`.
+
+use crate::error::ModelError;
+use crate::model::discharge::DischargeModel;
+use crate::model::energy::{DischargeEnergyModel, WriteEnergyModel};
+use crate::model::mismatch::MismatchSigmaModel;
+use crate::model::suite::ModelSuite;
+use crate::model::supply::SupplyModel;
+use crate::model::temperature::TemperatureModel;
+use optima_circuit::energy as circuit_energy;
+use optima_circuit::montecarlo::{MismatchModel, MismatchSample};
+use optima_circuit::pvt::{linspace, PvtConditions};
+use optima_circuit::technology::Technology;
+use optima_circuit::transient::{DischargeStimulus, TransientSimulator};
+use optima_math::lsq::{polynomial_fit, SeparableFit};
+use optima_math::stats;
+use optima_math::units::{Celsius, Seconds, Volts};
+use serde::{Deserialize, Serialize};
+
+/// Polynomial degrees of the fitted models (the paper's choices by default).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ModelDegrees {
+    /// Degree of `p(V_od)` in Eq. 3 (paper: 4).
+    pub overdrive: usize,
+    /// Degree of `p(t)` in Eq. 3 (paper: 2).
+    pub time: usize,
+    /// Degree of `p(ΔV_DD)` in Eq. 4 (paper: 2).
+    pub supply: usize,
+    /// Degree of `p(V_WL)` in Eq. 5 (paper: 3).
+    pub temperature: usize,
+    /// Degree of `p(t)` in Eq. 6 (paper: 3).
+    pub mismatch_time: usize,
+    /// Degree of `p(V_WL)` in Eq. 6 (paper: 3).
+    pub mismatch_wordline: usize,
+    /// Degree of `p(V_DD)` in Eq. 7 (paper: 2).
+    pub write_vdd: usize,
+    /// Degree of `p(T)` in Eq. 7 (paper: 1).
+    pub write_temperature: usize,
+    /// Degree of `p(V_DD)` in Eq. 8 (paper: 1).
+    pub discharge_energy_vdd: usize,
+    /// Degree of `p(ΔV_BL)` in Eq. 8 (paper: 3).
+    pub discharge_energy_delta: usize,
+    /// Degree of `p(T)` in Eq. 8 (paper: 1).
+    pub discharge_energy_temperature: usize,
+}
+
+impl Default for ModelDegrees {
+    fn default() -> Self {
+        ModelDegrees {
+            overdrive: 4,
+            time: 2,
+            supply: 2,
+            temperature: 3,
+            mismatch_time: 3,
+            mismatch_wordline: 3,
+            write_vdd: 2,
+            write_temperature: 1,
+            discharge_energy_vdd: 1,
+            discharge_energy_delta: 3,
+            discharge_energy_temperature: 1,
+        }
+    }
+}
+
+/// Configuration of the calibration sweep grids.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CalibrationConfig {
+    /// Word-line voltages of the basic discharge sweep (volts).
+    pub wordline_voltages: Vec<f64>,
+    /// Number of time samples extracted from every simulated waveform.
+    pub time_samples: usize,
+    /// Duration of every discharge transient.
+    pub max_time: Seconds,
+    /// Supply voltages of the Eq. 4 sweep (volts).
+    pub supply_voltages: Vec<f64>,
+    /// Temperatures of the Eq. 5 sweep (°C).
+    pub temperatures: Vec<f64>,
+    /// Word-line voltages used for the supply/temperature/mismatch sweeps
+    /// (a subset keeps the calibration fast).
+    pub secondary_wordline_voltages: Vec<f64>,
+    /// Number of Monte Carlo samples per grid point for the Eq. 6 fit.
+    pub mismatch_samples: usize,
+    /// Number of time grid points for the Eq. 6 fit.
+    pub mismatch_time_points: usize,
+    /// RNG seed for the mismatch sampling.
+    pub seed: u64,
+    /// Number of cells attached to the simulated bit-line.
+    pub cells_on_bitline: usize,
+    /// Integration steps of the golden-reference transient solver.
+    pub reference_time_steps: usize,
+    /// Polynomial degrees of all models.
+    pub degrees: ModelDegrees,
+}
+
+impl Default for CalibrationConfig {
+    fn default() -> Self {
+        CalibrationConfig {
+            wordline_voltages: linspace(0.35, 1.0, 14),
+            time_samples: 32,
+            max_time: Seconds(2e-9),
+            supply_voltages: linspace(0.9, 1.1, 5),
+            temperatures: vec![-40.0, 0.0, 25.0, 75.0, 125.0],
+            secondary_wordline_voltages: linspace(0.45, 1.0, 6),
+            mismatch_samples: 150,
+            mismatch_time_points: 8,
+            seed: 0x517e_ca11,
+            cells_on_bitline: 16,
+            reference_time_steps: 400,
+            degrees: ModelDegrees::default(),
+        }
+    }
+}
+
+impl CalibrationConfig {
+    /// A reduced configuration for unit tests and quick experiments
+    /// (coarser grids, fewer Monte Carlo samples).
+    pub fn fast() -> Self {
+        CalibrationConfig {
+            // Keep the same lower word-line bound as the default grid so that
+            // models calibrated with the fast grid still cover the paper's
+            // V_DAC,0 = 0.3 V design corners.
+            wordline_voltages: linspace(0.3, 1.0, 8),
+            time_samples: 16,
+            supply_voltages: linspace(0.9, 1.1, 3),
+            temperatures: vec![0.0, 25.0, 75.0],
+            secondary_wordline_voltages: linspace(0.5, 1.0, 4),
+            mismatch_samples: 40,
+            mismatch_time_points: 5,
+            reference_time_steps: 200,
+            ..CalibrationConfig::default()
+        }
+    }
+}
+
+/// Training-residual summary of one calibration run.
+///
+/// The held-out evaluation equivalent of the paper's Fig. 6 numbers is
+/// produced by [`crate::evaluation::ModelEvaluator::rms_errors`]; the values
+/// here are the residuals on the *training* grid and serve as a quick sanity
+/// check that each fit converged.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct CalibrationReport {
+    /// RMS residual of the basic discharge fit (millivolts).
+    pub basic_discharge_rms_mv: f64,
+    /// RMS residual of the supply-corrected model (millivolts).
+    pub supply_rms_mv: f64,
+    /// RMS residual of the temperature-corrected model (millivolts).
+    pub temperature_rms_mv: f64,
+    /// RMS residual of the mismatch σ fit (millivolts).
+    pub mismatch_sigma_rms_mv: f64,
+    /// RMS residual of the write-energy fit (femtojoules).
+    pub write_energy_rms_fj: f64,
+    /// RMS residual of the discharge-energy fit (femtojoules).
+    pub discharge_energy_rms_fj: f64,
+    /// Number of transient circuit simulations executed during calibration.
+    pub circuit_simulations: usize,
+    /// Number of scalar training samples used across all fits.
+    pub training_samples: usize,
+}
+
+/// Result of a calibration run: the fitted models plus the training report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CalibrationOutcome {
+    models: ModelSuite,
+    report: CalibrationReport,
+}
+
+impl CalibrationOutcome {
+    /// The fitted model suite.
+    pub fn models(&self) -> &ModelSuite {
+        &self.models
+    }
+
+    /// Consumes the outcome and returns the fitted model suite.
+    pub fn into_models(self) -> ModelSuite {
+        self.models
+    }
+
+    /// The training-residual report.
+    pub fn report(&self) -> &CalibrationReport {
+        &self.report
+    }
+}
+
+/// Runs circuit-simulation sweeps and fits the OPTIMA models.
+#[derive(Debug, Clone)]
+pub struct Calibrator {
+    technology: Technology,
+    config: CalibrationConfig,
+}
+
+impl Calibrator {
+    /// Creates a calibrator for the given technology and sweep configuration.
+    pub fn new(technology: Technology, config: CalibrationConfig) -> Self {
+        Calibrator { technology, config }
+    }
+
+    /// The sweep configuration.
+    pub fn config(&self) -> &CalibrationConfig {
+        &self.config
+    }
+
+    /// The technology being calibrated.
+    pub fn technology(&self) -> &Technology {
+        &self.technology
+    }
+
+    /// Runs the full calibration: circuit sweeps, least-squares fits,
+    /// residual reporting.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::CalibrationFailed`] when a fit cannot be
+    /// performed (degenerate grids) and propagates circuit/numeric errors.
+    pub fn run(&self) -> Result<CalibrationOutcome, ModelError> {
+        let simulator = TransientSimulator::new(self.technology.clone());
+        let nominal = PvtConditions::nominal(&self.technology);
+        let mut report = CalibrationReport::default();
+
+        let discharge = self.fit_discharge(&simulator, &nominal, &mut report)?;
+        let supply = self.fit_supply(&simulator, &nominal, &discharge, &mut report)?;
+        let temperature =
+            self.fit_temperature(&simulator, &nominal, &discharge, &supply, &mut report)?;
+        let mismatch = self.fit_mismatch(&simulator, &nominal, &mut report)?;
+        let write_energy = self.fit_write_energy(&mut report)?;
+        let discharge_energy = self.fit_discharge_energy(&simulator, &nominal, &mut report)?;
+
+        let models = ModelSuite::new(
+            discharge,
+            supply,
+            temperature,
+            mismatch,
+            write_energy,
+            discharge_energy,
+        );
+        Ok(CalibrationOutcome { models, report })
+    }
+
+    /// Time grid (seconds) at which every waveform is sampled, excluding `t = 0`.
+    fn time_grid(&self) -> Vec<f64> {
+        let n = self.config.time_samples.max(2);
+        (1..=n)
+            .map(|i| self.config.max_time.0 * i as f64 / n as f64)
+            .collect()
+    }
+
+    fn stimulus(&self, v_wl: f64) -> DischargeStimulus {
+        DischargeStimulus {
+            word_line_voltage: Volts(v_wl),
+            stored_bit: true,
+            duration: self.config.max_time,
+            cells_on_bitline: self.config.cells_on_bitline,
+            time_steps: self.config.reference_time_steps,
+        }
+    }
+
+    /// Eq. 3: separable fit of `V_BL − V_DD` over `(V_od, t)`.
+    fn fit_discharge(
+        &self,
+        simulator: &TransientSimulator,
+        nominal: &PvtConditions,
+        report: &mut CalibrationReport,
+    ) -> Result<DischargeModel, ModelError> {
+        let vth = self.technology.nmos_vth.0;
+        let times = self.time_grid();
+        let mut overdrives = Vec::new();
+        let mut time_ns = Vec::new();
+        let mut drops = Vec::new();
+
+        for &v_wl in &self.config.wordline_voltages {
+            let waveform = simulator.discharge_waveform(
+                &self.stimulus(v_wl),
+                nominal,
+                &MismatchSample::none(),
+            )?;
+            report.circuit_simulations += 1;
+            for &t in &times {
+                let v = waveform.sample_at(Seconds(t))?.0;
+                overdrives.push(v_wl - vth);
+                time_ns.push(t * 1e9);
+                drops.push(v - nominal.vdd.0);
+            }
+        }
+        report.training_samples += drops.len();
+
+        let fit = SeparableFit::fit(
+            &overdrives,
+            &time_ns,
+            &drops,
+            self.config.degrees.overdrive,
+            self.config.degrees.time,
+            10,
+        )
+        .map_err(|err| ModelError::CalibrationFailed {
+            model: "discharge (Eq. 3)".to_string(),
+            reason: err.to_string(),
+        })?;
+        report.basic_discharge_rms_mv = fit.residual_rms() * 1e3;
+
+        let vwl_lo = self
+            .config
+            .wordline_voltages
+            .iter()
+            .cloned()
+            .fold(f64::INFINITY, f64::min);
+        let vwl_hi = self
+            .config
+            .wordline_voltages
+            .iter()
+            .cloned()
+            .fold(f64::NEG_INFINITY, f64::max);
+        Ok(DischargeModel::new(
+            nominal.vdd,
+            Volts(vth),
+            fit.factor_x().clone(),
+            fit.factor_y().clone(),
+            (0.0, self.config.max_time.0 * 1e9),
+            (vwl_lo, vwl_hi),
+        ))
+    }
+
+    /// Eq. 4: fit the multiplicative `p2(ΔV_DD)` correction.
+    fn fit_supply(
+        &self,
+        simulator: &TransientSimulator,
+        nominal: &PvtConditions,
+        discharge: &DischargeModel,
+        report: &mut CalibrationReport,
+    ) -> Result<SupplyModel, ModelError> {
+        let times = self.time_grid();
+        let mut delta_vdds = Vec::new();
+        let mut ratios = Vec::new();
+        let mut reference = Vec::new();
+        let mut predicted_base = Vec::new();
+
+        for &vdd in &self.config.supply_voltages {
+            let pvt = nominal.with_vdd(Volts(vdd));
+            for &v_wl in &self.config.secondary_wordline_voltages {
+                let waveform =
+                    simulator.discharge_waveform(&self.stimulus(v_wl), &pvt, &MismatchSample::none())?;
+                report.circuit_simulations += 1;
+                for &t in &times {
+                    let v_circuit = waveform.sample_at(Seconds(t))?.0;
+                    let v_base = discharge.bitline_voltage_unchecked(Seconds(t), Volts(v_wl));
+                    if v_base > 0.05 {
+                        delta_vdds.push(vdd - nominal.vdd.0);
+                        ratios.push(v_circuit / v_base);
+                        reference.push(v_circuit);
+                        predicted_base.push(v_base);
+                    }
+                }
+            }
+        }
+        report.training_samples += ratios.len();
+
+        let correction = polynomial_fit(&delta_vdds, &ratios, self.config.degrees.supply).map_err(
+            |err| ModelError::CalibrationFailed {
+                model: "supply (Eq. 4)".to_string(),
+                reason: err.to_string(),
+            },
+        )?;
+
+        // Training residual of the corrected model, in mV.
+        let residuals: Vec<f64> = reference
+            .iter()
+            .zip(predicted_base.iter())
+            .zip(delta_vdds.iter())
+            .map(|((v_ref, v_base), dv)| v_ref - v_base * correction.eval(*dv))
+            .collect();
+        report.supply_rms_mv = stats::rms(&residuals) * 1e3;
+
+        let lo = self
+            .config
+            .supply_voltages
+            .iter()
+            .cloned()
+            .fold(f64::INFINITY, f64::min);
+        let hi = self
+            .config
+            .supply_voltages
+            .iter()
+            .cloned()
+            .fold(f64::NEG_INFINITY, f64::max);
+        Ok(SupplyModel::new(nominal.vdd, correction, (lo, hi)))
+    }
+
+    /// Eq. 5: fit the additive temperature sensitivity `p3(V_WL)`.
+    fn fit_temperature(
+        &self,
+        simulator: &TransientSimulator,
+        nominal: &PvtConditions,
+        discharge: &DischargeModel,
+        supply: &SupplyModel,
+        report: &mut CalibrationReport,
+    ) -> Result<TemperatureModel, ModelError> {
+        let times = self.time_grid();
+        let t_nominal = self.technology.temperature_nominal.0;
+        let mut wordlines = Vec::new();
+        let mut scaled_residuals = Vec::new();
+        let mut full_reference = Vec::new();
+        let mut full_predicted_base = Vec::new();
+        let mut full_scale = Vec::new();
+
+        for &temp in &self.config.temperatures {
+            let delta_t = temp - t_nominal;
+            let pvt = nominal.with_temperature(Celsius(temp));
+            for &v_wl in &self.config.secondary_wordline_voltages {
+                let waveform =
+                    simulator.discharge_waveform(&self.stimulus(v_wl), &pvt, &MismatchSample::none())?;
+                report.circuit_simulations += 1;
+                for &t in &times {
+                    let v_circuit = waveform.sample_at(Seconds(t))?.0;
+                    let base = discharge.bitline_voltage_unchecked(Seconds(t), Volts(v_wl));
+                    let v_model = supply.apply(base, nominal.vdd);
+                    let t_ns = t * 1e9;
+                    full_reference.push(v_circuit);
+                    full_predicted_base.push(v_model);
+                    full_scale.push(t_ns * delta_t);
+                    // Only use samples with a meaningful scale factor for the fit.
+                    if delta_t.abs() > 1.0 && t_ns > 0.2 {
+                        wordlines.push(v_wl);
+                        scaled_residuals.push((v_circuit - v_model) / (t_ns * delta_t));
+                    }
+                }
+            }
+        }
+        report.training_samples += wordlines.len();
+
+        let sensitivity = polynomial_fit(
+            &wordlines,
+            &scaled_residuals,
+            self.config.degrees.temperature,
+        )
+        .map_err(|err| ModelError::CalibrationFailed {
+            model: "temperature (Eq. 5)".to_string(),
+            reason: err.to_string(),
+        })?;
+
+        let residuals: Vec<f64> = full_reference
+            .iter()
+            .zip(full_predicted_base.iter())
+            .zip(full_scale.iter())
+            .zip(
+                self.config
+                    .temperatures
+                    .iter()
+                    .flat_map(|_| {
+                        self.config
+                            .secondary_wordline_voltages
+                            .iter()
+                            .flat_map(|&v| std::iter::repeat(v).take(times.len()))
+                    })
+                    .collect::<Vec<_>>(),
+            )
+            .map(|(((v_ref, v_model), scale), v_wl)| {
+                v_ref - (v_model + scale * sensitivity.eval(v_wl))
+            })
+            .collect();
+        report.temperature_rms_mv = stats::rms(&residuals) * 1e3;
+
+        let lo = self
+            .config
+            .temperatures
+            .iter()
+            .cloned()
+            .fold(f64::INFINITY, f64::min);
+        let hi = self
+            .config
+            .temperatures
+            .iter()
+            .cloned()
+            .fold(f64::NEG_INFINITY, f64::max);
+        Ok(TemperatureModel::new(
+            Celsius(t_nominal),
+            sensitivity,
+            (lo, hi),
+        ))
+    }
+
+    /// Eq. 6: Monte Carlo sweep and separable fit of the σ surface.
+    fn fit_mismatch(
+        &self,
+        simulator: &TransientSimulator,
+        nominal: &PvtConditions,
+        report: &mut CalibrationReport,
+    ) -> Result<MismatchSigmaModel, ModelError> {
+        let mismatch_model = MismatchModel::from_technology(&self.technology);
+        let n_time = self.config.mismatch_time_points.max(2);
+        let times: Vec<f64> = (1..=n_time)
+            .map(|i| self.config.max_time.0 * i as f64 / n_time as f64)
+            .collect();
+
+        let mut grid_time_ns = Vec::new();
+        let mut grid_wordline = Vec::new();
+        let mut grid_sigma = Vec::new();
+
+        for (wl_index, &v_wl) in self.config.secondary_wordline_voltages.iter().enumerate() {
+            let samples = mismatch_model.sample_n(
+                self.config.mismatch_samples,
+                self.config.seed.wrapping_add(wl_index as u64),
+            );
+            // One waveform per mismatch sample; collect voltages at each grid time.
+            let mut per_time: Vec<Vec<f64>> = vec![Vec::new(); times.len()];
+            for sample in &samples {
+                let waveform =
+                    simulator.discharge_waveform(&self.stimulus(v_wl), nominal, sample)?;
+                report.circuit_simulations += 1;
+                for (i, &t) in times.iter().enumerate() {
+                    per_time[i].push(waveform.sample_at(Seconds(t))?.0);
+                }
+            }
+            for (i, &t) in times.iter().enumerate() {
+                grid_time_ns.push(t * 1e9);
+                grid_wordline.push(v_wl);
+                grid_sigma.push(stats::std_dev(&per_time[i]));
+            }
+        }
+        report.training_samples += grid_sigma.len();
+
+        let fit = SeparableFit::fit(
+            &grid_time_ns,
+            &grid_wordline,
+            &grid_sigma,
+            self.config.degrees.mismatch_time,
+            self.config.degrees.mismatch_wordline,
+            10,
+        )
+        .map_err(|err| ModelError::CalibrationFailed {
+            model: "mismatch (Eq. 6)".to_string(),
+            reason: err.to_string(),
+        })?;
+        report.mismatch_sigma_rms_mv = fit.residual_rms() * 1e3;
+
+        Ok(MismatchSigmaModel::new(
+            fit.factor_x().clone(),
+            fit.factor_y().clone(),
+        ))
+    }
+
+    /// Eq. 7: separable fit of the write energy over `(V_DD, T)`.
+    fn fit_write_energy(
+        &self,
+        report: &mut CalibrationReport,
+    ) -> Result<WriteEnergyModel, ModelError> {
+        let nominal = PvtConditions::nominal(&self.technology);
+        let mut vdds = Vec::new();
+        let mut temps = Vec::new();
+        let mut energies_fj = Vec::new();
+        for &vdd in &self.config.supply_voltages {
+            for &temp in &self.config.temperatures {
+                let pvt = nominal.with_vdd(Volts(vdd)).with_temperature(Celsius(temp));
+                let e = circuit_energy::write_energy(&self.technology, &pvt);
+                vdds.push(vdd);
+                temps.push(temp);
+                energies_fj.push(e.to_femtojoules().0);
+            }
+        }
+        report.training_samples += energies_fj.len();
+
+        let fit = SeparableFit::fit(
+            &vdds,
+            &temps,
+            &energies_fj,
+            self.config.degrees.write_vdd,
+            self.config.degrees.write_temperature,
+            10,
+        )
+        .map_err(|err| ModelError::CalibrationFailed {
+            model: "write energy (Eq. 7)".to_string(),
+            reason: err.to_string(),
+        })?;
+        report.write_energy_rms_fj = fit.residual_rms();
+
+        Ok(WriteEnergyModel::new(
+            fit.factor_x().clone(),
+            fit.factor_y().clone(),
+        ))
+    }
+
+    /// Eq. 8: fit of the discharge energy as `p1(V_DD) · p3(ΔV_BL) · p1(T)`.
+    fn fit_discharge_energy(
+        &self,
+        simulator: &TransientSimulator,
+        nominal: &PvtConditions,
+        report: &mut CalibrationReport,
+    ) -> Result<DischargeEnergyModel, ModelError> {
+        // Stage 1: nominal temperature, sweep (V_DD, V_WL) → fit p1(VDD)·p3(ΔV).
+        let mut delta_vs = Vec::new();
+        let mut vdds = Vec::new();
+        let mut energies_fj = Vec::new();
+        for &vdd in &self.config.supply_voltages {
+            let pvt = nominal.with_vdd(Volts(vdd));
+            for &v_wl in &self.config.secondary_wordline_voltages {
+                let delta = simulator.discharge_delta(&self.stimulus(v_wl), &pvt, &MismatchSample::none())?;
+                report.circuit_simulations += 1;
+                let e = circuit_energy::discharge_energy(
+                    &self.technology,
+                    &pvt,
+                    self.config.cells_on_bitline,
+                    delta,
+                );
+                delta_vs.push(delta.0);
+                vdds.push(vdd);
+                energies_fj.push(e.to_femtojoules().0);
+            }
+        }
+        let stage1 = SeparableFit::fit(
+            &delta_vs,
+            &vdds,
+            &energies_fj,
+            self.config.degrees.discharge_energy_delta,
+            self.config.degrees.discharge_energy_vdd,
+            10,
+        )
+        .map_err(|err| ModelError::CalibrationFailed {
+            model: "discharge energy (Eq. 8, stage 1)".to_string(),
+            reason: err.to_string(),
+        })?;
+
+        // Stage 2: temperature factor from the nominal-supply temperature sweep.
+        let mut temps = Vec::new();
+        let mut ratios = Vec::new();
+        let mut stage2_reference = Vec::new();
+        let mut stage2_base = Vec::new();
+        for &temp in &self.config.temperatures {
+            let pvt = nominal.with_temperature(Celsius(temp));
+            for &v_wl in &self.config.secondary_wordline_voltages {
+                let delta = simulator.discharge_delta(&self.stimulus(v_wl), &pvt, &MismatchSample::none())?;
+                report.circuit_simulations += 1;
+                let e = circuit_energy::discharge_energy(
+                    &self.technology,
+                    &pvt,
+                    self.config.cells_on_bitline,
+                    delta,
+                )
+                .to_femtojoules()
+                .0;
+                let base = stage1.eval(delta.0, nominal.vdd.0);
+                if base > 1e-6 {
+                    temps.push(temp);
+                    ratios.push(e / base);
+                    stage2_reference.push(e);
+                    stage2_base.push(base);
+                }
+            }
+        }
+        report.training_samples += energies_fj.len() + ratios.len();
+
+        let temperature_factor = polynomial_fit(
+            &temps,
+            &ratios,
+            self.config.degrees.discharge_energy_temperature,
+        )
+        .map_err(|err| ModelError::CalibrationFailed {
+            model: "discharge energy (Eq. 8, stage 2)".to_string(),
+            reason: err.to_string(),
+        })?;
+
+        let residuals: Vec<f64> = stage2_reference
+            .iter()
+            .zip(stage2_base.iter())
+            .zip(temps.iter())
+            .map(|((e, base), t)| e - base * temperature_factor.eval(*t))
+            .collect();
+        report.discharge_energy_rms_fj = stats::rms(&residuals);
+
+        Ok(DischargeEnergyModel::new(
+            stage1.factor_y().clone(),
+            stage1.factor_x().clone(),
+            temperature_factor,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn calibrated() -> CalibrationOutcome {
+        let tech = Technology::tsmc65_like();
+        Calibrator::new(tech, CalibrationConfig::fast())
+            .run()
+            .expect("calibration succeeds")
+    }
+
+    #[test]
+    fn calibration_produces_small_training_residuals() {
+        let outcome = calibrated();
+        let report = outcome.report();
+        // The paper reports sub-millivolt RMS errors; our golden reference is
+        // different, so we only require "clearly below an ADC LSB" (a few mV).
+        assert!(
+            report.basic_discharge_rms_mv < 10.0,
+            "basic discharge rms {} mV too large",
+            report.basic_discharge_rms_mv
+        );
+        assert!(report.supply_rms_mv < 40.0);
+        assert!(report.temperature_rms_mv < 25.0);
+        assert!(report.mismatch_sigma_rms_mv < 5.0);
+        assert!(report.write_energy_rms_fj < 1.0);
+        assert!(report.discharge_energy_rms_fj < 2.0);
+        assert!(report.circuit_simulations > 50);
+        assert!(report.training_samples > 200);
+    }
+
+    #[test]
+    fn calibrated_discharge_tracks_circuit_simulation() {
+        let tech = Technology::tsmc65_like();
+        let outcome = calibrated();
+        let models = outcome.models();
+        let simulator = TransientSimulator::new(tech.clone());
+        let nominal = PvtConditions::nominal(&tech);
+
+        for &v_wl in &[0.55, 0.7, 0.85, 1.0] {
+            for &t in &[0.4e-9, 1.0e-9, 1.6e-9] {
+                let stim = DischargeStimulus {
+                    word_line_voltage: Volts(v_wl),
+                    duration: Seconds(2e-9),
+                    cells_on_bitline: 16,
+                    time_steps: 400,
+                    stored_bit: true,
+                };
+                let waveform = simulator
+                    .discharge_waveform(&stim, &nominal, &MismatchSample::none())
+                    .unwrap();
+                let reference = waveform.sample_at(Seconds(t)).unwrap().0;
+                let predicted = models
+                    .bitline_voltage(Seconds(t), Volts(v_wl), Volts(1.0), Celsius(25.0))
+                    .unwrap()
+                    .0;
+                assert!(
+                    (reference - predicted).abs() < 0.02,
+                    "model deviates by {} V at v_wl={v_wl}, t={t}",
+                    (reference - predicted).abs()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn calibrated_mismatch_sigma_grows_with_wordline_voltage() {
+        let outcome = calibrated();
+        let models = outcome.models();
+        let low = models.mismatch_sigma(Seconds(1.5e-9), Volts(0.6)).0;
+        let high = models.mismatch_sigma(Seconds(1.5e-9), Volts(1.0)).0;
+        assert!(
+            high > low,
+            "Fig. 5d behaviour missing: sigma(1.0 V) = {high} <= sigma(0.6 V) = {low}"
+        );
+    }
+
+    #[test]
+    fn calibrated_energy_models_are_physical() {
+        let outcome = calibrated();
+        let models = outcome.models();
+        let write_nominal = models.write_energy(Volts(1.0), Celsius(25.0)).0;
+        let write_high = models.write_energy(Volts(1.1), Celsius(25.0)).0;
+        assert!(write_nominal > 0.0);
+        assert!(write_high > write_nominal);
+        let e_small = models
+            .discharge_energy(Volts(0.05), Volts(1.0), Celsius(25.0))
+            .0;
+        let e_large = models
+            .discharge_energy(Volts(0.35), Volts(1.0), Celsius(25.0))
+            .0;
+        assert!(e_large > e_small);
+    }
+
+    #[test]
+    fn fast_config_is_smaller_than_default() {
+        let fast = CalibrationConfig::fast();
+        let default = CalibrationConfig::default();
+        assert!(fast.wordline_voltages.len() < default.wordline_voltages.len());
+        assert!(fast.mismatch_samples < default.mismatch_samples);
+        assert_eq!(default.degrees, ModelDegrees::default());
+    }
+
+    #[test]
+    fn outcome_accessors() {
+        let outcome = calibrated();
+        assert_eq!(outcome.models().vdd_nominal(), Volts(1.0));
+        let models = outcome.clone().into_models();
+        assert_eq!(&models, outcome.models());
+    }
+}

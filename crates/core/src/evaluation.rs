@@ -1,0 +1,438 @@
+//! Model evaluation: held-out RMS errors (Fig. 6) and speed-up measurement.
+//!
+//! The paper validates OPTIMA in two ways:
+//!
+//! * **Accuracy** — RMS error of each model against circuit simulation on a
+//!   grid that was *not* used for fitting (Section IV-C reports 0.76 mV,
+//!   0.88 mV, 0.76 mV, 0.59 mV, 0.15 fJ and 0.74 fJ for the six models).
+//! * **Speed** — wall-clock speed-up of evaluating the fitted models instead
+//!   of running the circuit simulator (Section V reports ~101× for iterating
+//!   over the input space and 28.1× for mismatch Monte Carlo).
+
+use crate::error::ModelError;
+use crate::model::suite::ModelSuite;
+use optima_circuit::energy as circuit_energy;
+use optima_circuit::montecarlo::{MismatchModel, MismatchSample};
+use optima_circuit::pvt::{linspace, PvtConditions};
+use optima_circuit::technology::Technology;
+use optima_circuit::transient::{DischargeStimulus, TransientSimulator};
+use optima_math::stats;
+use optima_math::units::{Celsius, Seconds, Volts};
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// Held-out RMS errors of the six OPTIMA models (the Fig. 6 numbers).
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct RmsErrorReport {
+    /// Basic discharge model (Eq. 3), millivolts.
+    pub basic_discharge_mv: f64,
+    /// Supply-corrected model (Eq. 4), millivolts.
+    pub supply_mv: f64,
+    /// Temperature-corrected model (Eq. 5), millivolts.
+    pub temperature_mv: f64,
+    /// Mismatch σ model (Eq. 6), millivolts.
+    pub mismatch_sigma_mv: f64,
+    /// Write-energy model (Eq. 7), femtojoules.
+    pub write_energy_fj: f64,
+    /// Discharge-energy model (Eq. 8), femtojoules.
+    pub discharge_energy_fj: f64,
+}
+
+impl RmsErrorReport {
+    /// The largest voltage-model error of the report (mV), the headline
+    /// number quoted in the paper's abstract (0.88 mV there).
+    pub fn worst_voltage_error_mv(&self) -> f64 {
+        self.basic_discharge_mv
+            .max(self.supply_mv)
+            .max(self.temperature_mv)
+            .max(self.mismatch_sigma_mv)
+    }
+}
+
+/// Result of a speed-up measurement.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct SpeedupReport {
+    /// Wall-clock seconds spent in the golden-reference circuit simulator.
+    pub circuit_seconds: f64,
+    /// Wall-clock seconds spent evaluating the OPTIMA models.
+    pub model_seconds: f64,
+    /// Number of operating points evaluated by both paths.
+    pub evaluations: usize,
+}
+
+impl SpeedupReport {
+    /// Speed-up factor (circuit time / model time).
+    pub fn speedup(&self) -> f64 {
+        if self.model_seconds <= 0.0 {
+            return f64::INFINITY;
+        }
+        self.circuit_seconds / self.model_seconds
+    }
+}
+
+/// Evaluates a fitted [`ModelSuite`] against the golden-reference simulator.
+#[derive(Debug, Clone)]
+pub struct ModelEvaluator {
+    technology: Technology,
+    models: ModelSuite,
+    cells_on_bitline: usize,
+    reference_time_steps: usize,
+}
+
+impl ModelEvaluator {
+    /// Creates an evaluator for the given technology and fitted models.
+    pub fn new(technology: Technology, models: ModelSuite) -> Self {
+        ModelEvaluator {
+            technology,
+            models,
+            cells_on_bitline: 16,
+            reference_time_steps: 400,
+        }
+    }
+
+    /// The fitted models being evaluated.
+    pub fn models(&self) -> &ModelSuite {
+        &self.models
+    }
+
+    /// Overrides the reference-simulation fidelity (builder style), used by
+    /// tests to keep runtimes short.
+    pub fn with_reference_time_steps(mut self, steps: usize) -> Self {
+        self.reference_time_steps = steps.max(10);
+        self
+    }
+
+    fn stimulus(&self, v_wl: f64, duration: Seconds) -> DischargeStimulus {
+        DischargeStimulus {
+            word_line_voltage: Volts(v_wl),
+            stored_bit: true,
+            duration,
+            cells_on_bitline: self.cells_on_bitline,
+            time_steps: self.reference_time_steps,
+        }
+    }
+
+    /// Computes held-out RMS errors on grids offset from the typical
+    /// calibration grids (the Fig. 6 evaluation).
+    ///
+    /// `grid_points` controls the density of the held-out grid; 6–10 is
+    /// enough for a stable estimate.
+    ///
+    /// # Errors
+    ///
+    /// Propagates circuit-simulation and interpolation errors.
+    pub fn rms_errors(&self, grid_points: usize, mc_samples: usize) -> Result<RmsErrorReport, ModelError> {
+        let grid_points = grid_points.max(3);
+        let simulator = TransientSimulator::new(self.technology.clone());
+        let nominal = PvtConditions::nominal(&self.technology);
+        let duration = Seconds(2e-9);
+        // Held-out grid: offset from the default calibration grid.
+        let wordlines = linspace(0.47 + 0.013, 0.97, grid_points);
+        let times: Vec<f64> = linspace(0.25e-9, 1.95e-9, grid_points);
+
+        // Eq. 3 (nominal conditions).
+        let mut residuals_basic = Vec::new();
+        for &v_wl in &wordlines {
+            let waveform =
+                simulator.discharge_waveform(&self.stimulus(v_wl, duration), &nominal, &MismatchSample::none())?;
+            for &t in &times {
+                let reference = waveform.sample_at(Seconds(t))?.0;
+                let predicted = self
+                    .models
+                    .discharge_model()
+                    .bitline_voltage_unchecked(Seconds(t), Volts(v_wl));
+                residuals_basic.push(reference - predicted);
+            }
+        }
+
+        // Eq. 4 (supply sweep).
+        let mut residuals_supply = Vec::new();
+        for &vdd in &linspace(0.92, 1.08, 3) {
+            let pvt = nominal.with_vdd(Volts(vdd));
+            for &v_wl in &wordlines {
+                let waveform = simulator.discharge_waveform(
+                    &self.stimulus(v_wl, duration),
+                    &pvt,
+                    &MismatchSample::none(),
+                )?;
+                for &t in &times {
+                    let reference = waveform.sample_at(Seconds(t))?.0;
+                    let predicted = self.models.bitline_voltage_unchecked(
+                        Seconds(t),
+                        Volts(v_wl),
+                        Volts(vdd),
+                        Celsius(self.technology.temperature_nominal.0),
+                    );
+                    residuals_supply.push(reference - predicted);
+                }
+            }
+        }
+
+        // Eq. 5 (temperature sweep).
+        let mut residuals_temperature = Vec::new();
+        for &temp in &[-20.0, 50.0, 100.0] {
+            let pvt = nominal.with_temperature(Celsius(temp));
+            for &v_wl in &wordlines {
+                let waveform = simulator.discharge_waveform(
+                    &self.stimulus(v_wl, duration),
+                    &pvt,
+                    &MismatchSample::none(),
+                )?;
+                for &t in &times {
+                    let reference = waveform.sample_at(Seconds(t))?.0;
+                    let predicted = self.models.bitline_voltage_unchecked(
+                        Seconds(t),
+                        Volts(v_wl),
+                        nominal.vdd,
+                        Celsius(temp),
+                    );
+                    residuals_temperature.push(reference - predicted);
+                }
+            }
+        }
+
+        // Eq. 6 (mismatch σ).
+        let mismatch_model = MismatchModel::from_technology(&self.technology);
+        let mut residuals_sigma = Vec::new();
+        let mc = mc_samples.max(10);
+        for &v_wl in &wordlines {
+            let samples = mismatch_model.sample_n(mc, 0xe7a1);
+            let mut per_time: Vec<Vec<f64>> = vec![Vec::new(); times.len()];
+            for sample in &samples {
+                let waveform =
+                    simulator.discharge_waveform(&self.stimulus(v_wl, duration), &nominal, sample)?;
+                for (i, &t) in times.iter().enumerate() {
+                    per_time[i].push(waveform.sample_at(Seconds(t))?.0);
+                }
+            }
+            for (i, &t) in times.iter().enumerate() {
+                let reference_sigma = stats::std_dev(&per_time[i]);
+                let predicted_sigma = self.models.mismatch_sigma(Seconds(t), Volts(v_wl)).0;
+                residuals_sigma.push(reference_sigma - predicted_sigma);
+            }
+        }
+
+        // Eq. 7 (write energy).
+        let mut residuals_write = Vec::new();
+        for &vdd in &linspace(0.92, 1.08, 4) {
+            for &temp in &[-20.0, 10.0, 60.0, 110.0] {
+                let pvt = nominal.with_vdd(Volts(vdd)).with_temperature(Celsius(temp));
+                let reference = circuit_energy::write_energy(&self.technology, &pvt)
+                    .to_femtojoules()
+                    .0;
+                let predicted = self.models.write_energy(Volts(vdd), Celsius(temp)).0;
+                residuals_write.push(reference - predicted);
+            }
+        }
+
+        // Eq. 8 (discharge energy).
+        let mut residuals_discharge_energy = Vec::new();
+        for &vdd in &linspace(0.92, 1.08, 3) {
+            let pvt = nominal.with_vdd(Volts(vdd));
+            for &v_wl in &wordlines {
+                let delta = simulator.discharge_delta(
+                    &self.stimulus(v_wl, duration),
+                    &pvt,
+                    &MismatchSample::none(),
+                )?;
+                let reference = circuit_energy::discharge_energy(
+                    &self.technology,
+                    &pvt,
+                    self.cells_on_bitline,
+                    delta,
+                )
+                .to_femtojoules()
+                .0;
+                let predicted = self
+                    .models
+                    .discharge_energy(delta, Volts(vdd), Celsius(self.technology.temperature_nominal.0))
+                    .0;
+                residuals_discharge_energy.push(reference - predicted);
+            }
+        }
+
+        Ok(RmsErrorReport {
+            basic_discharge_mv: stats::rms(&residuals_basic) * 1e3,
+            supply_mv: stats::rms(&residuals_supply) * 1e3,
+            temperature_mv: stats::rms(&residuals_temperature) * 1e3,
+            mismatch_sigma_mv: stats::rms(&residuals_sigma) * 1e3,
+            write_energy_fj: stats::rms(&residuals_write),
+            discharge_energy_fj: stats::rms(&residuals_discharge_energy),
+        })
+    }
+
+    /// Measures the wall-clock speed-up of the fitted models over circuit
+    /// simulation when iterating over an input space of `wordline_points`
+    /// word-line voltages × `time_points` sampling instants.
+    ///
+    /// # Errors
+    ///
+    /// Propagates circuit-simulation errors.
+    pub fn measure_speedup(
+        &self,
+        wordline_points: usize,
+        time_points: usize,
+    ) -> Result<SpeedupReport, ModelError> {
+        let simulator = TransientSimulator::new(self.technology.clone());
+        let nominal = PvtConditions::nominal(&self.technology);
+        let duration = Seconds(2e-9);
+        let wordlines = linspace(0.5, 1.0, wordline_points.max(2));
+        let times = linspace(0.2e-9, 1.9e-9, time_points.max(2));
+
+        // Circuit path: one transient per word-line voltage, sampled at each time.
+        let circuit_start = Instant::now();
+        let mut circuit_checksum = 0.0;
+        for &v_wl in &wordlines {
+            let waveform = simulator.discharge_waveform(
+                &self.stimulus(v_wl, duration),
+                &nominal,
+                &MismatchSample::none(),
+            )?;
+            for &t in &times {
+                circuit_checksum += waveform.sample_at(Seconds(t))?.0;
+            }
+        }
+        let circuit_seconds = circuit_start.elapsed().as_secs_f64();
+
+        // Model path: direct polynomial evaluation.
+        let model_start = Instant::now();
+        let mut model_checksum = 0.0;
+        for &v_wl in &wordlines {
+            for &t in &times {
+                model_checksum += self.models.bitline_voltage_unchecked(
+                    Seconds(t),
+                    Volts(v_wl),
+                    nominal.vdd,
+                    Celsius(self.technology.temperature_nominal.0),
+                );
+            }
+        }
+        let model_seconds = model_start.elapsed().as_secs_f64();
+
+        // The checksums keep the optimiser from eliminating either loop and
+        // double as a sanity check that both paths computed similar values.
+        debug_assert!((circuit_checksum - model_checksum).abs() / circuit_checksum < 0.1);
+
+        Ok(SpeedupReport {
+            circuit_seconds,
+            model_seconds,
+            evaluations: wordlines.len() * times.len(),
+        })
+    }
+
+    /// Measures the speed-up for mismatch Monte Carlo analysis: `mc_samples`
+    /// mismatch instances of the same operating point, evaluated by circuit
+    /// simulation vs. by sampling the Eq. 6 σ model.
+    ///
+    /// # Errors
+    ///
+    /// Propagates circuit-simulation errors.
+    pub fn measure_monte_carlo_speedup(
+        &self,
+        mc_samples: usize,
+    ) -> Result<SpeedupReport, ModelError> {
+        use rand::SeedableRng;
+        let simulator = TransientSimulator::new(self.technology.clone());
+        let nominal = PvtConditions::nominal(&self.technology);
+        let duration = Seconds(2e-9);
+        let v_wl = 0.8;
+        let t_sample = Seconds(1.0e-9);
+        let mismatch_model = MismatchModel::from_technology(&self.technology);
+        let samples = mismatch_model.sample_n(mc_samples.max(10), 0x5eed);
+
+        let circuit_start = Instant::now();
+        let mut circuit_values = Vec::with_capacity(samples.len());
+        for sample in &samples {
+            let waveform =
+                simulator.discharge_waveform(&self.stimulus(v_wl, duration), &nominal, sample)?;
+            circuit_values.push(waveform.sample_at(t_sample)?.0);
+        }
+        let circuit_seconds = circuit_start.elapsed().as_secs_f64();
+
+        let model_start = Instant::now();
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(0x5eed);
+        let mut model_values = Vec::with_capacity(samples.len());
+        for _ in 0..samples.len() {
+            let nominal_v = self.models.bitline_voltage_unchecked(
+                t_sample,
+                Volts(v_wl),
+                nominal.vdd,
+                Celsius(self.technology.temperature_nominal.0),
+            );
+            let deviation = self
+                .models
+                .mismatch_model()
+                .sample_deviation(&mut rng, t_sample, Volts(v_wl));
+            model_values.push(nominal_v + deviation.0);
+        }
+        let model_seconds = model_start.elapsed().as_secs_f64();
+
+        debug_assert!(
+            (stats::mean(&circuit_values) - stats::mean(&model_values)).abs() < 0.05,
+            "monte carlo means diverge"
+        );
+
+        Ok(SpeedupReport {
+            circuit_seconds,
+            model_seconds,
+            evaluations: samples.len(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::calibration::{CalibrationConfig, Calibrator};
+
+    fn evaluator() -> ModelEvaluator {
+        let tech = Technology::tsmc65_like();
+        let models = Calibrator::new(tech.clone(), CalibrationConfig::fast())
+            .run()
+            .expect("calibration succeeds")
+            .into_models();
+        ModelEvaluator::new(tech, models).with_reference_time_steps(200)
+    }
+
+    #[test]
+    fn rms_errors_are_below_an_adc_lsb() {
+        let report = evaluator().rms_errors(4, 20).unwrap();
+        // For an 8-bit ADC over ~0.5 V the LSB is ~2 mV; for the 4-bit result
+        // range it is tens of mV.  The models must be well below that.
+        assert!(report.basic_discharge_mv < 10.0, "{report:?}");
+        assert!(report.supply_mv < 40.0, "{report:?}");
+        assert!(report.temperature_mv < 25.0, "{report:?}");
+        assert!(report.mismatch_sigma_mv < 5.0, "{report:?}");
+        assert!(report.write_energy_fj < 1.0, "{report:?}");
+        assert!(report.discharge_energy_fj < 2.0, "{report:?}");
+        assert!(report.worst_voltage_error_mv() >= report.basic_discharge_mv);
+    }
+
+    #[test]
+    fn model_evaluation_is_much_faster_than_circuit_simulation() {
+        let report = evaluator().measure_speedup(6, 6).unwrap();
+        assert_eq!(report.evaluations, 36);
+        assert!(
+            report.speedup() > 10.0,
+            "expected a large speed-up, got {}",
+            report.speedup()
+        );
+    }
+
+    #[test]
+    fn monte_carlo_speedup_is_positive() {
+        let report = evaluator().measure_monte_carlo_speedup(30).unwrap();
+        assert!(report.speedup() > 5.0, "got {}", report.speedup());
+        assert_eq!(report.evaluations, 30);
+    }
+
+    #[test]
+    fn speedup_report_handles_zero_model_time() {
+        let report = SpeedupReport {
+            circuit_seconds: 1.0,
+            model_seconds: 0.0,
+            evaluations: 1,
+        };
+        assert!(report.speedup().is_infinite());
+    }
+}

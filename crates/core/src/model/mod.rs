@@ -1,0 +1,30 @@
+//! The OPTIMA behavioural models (paper Section IV).
+//!
+//! Every model is a low-degree polynomial (or a product of polynomials) whose
+//! coefficients are determined by least-squares fitting against
+//! golden-reference circuit simulation (see [`crate::calibration`]):
+//!
+//! | Paper equation | Model | Module |
+//! |---|---|---|
+//! | Eq. 3 | `V_BL(t, V_WL) = V_DD + p4(V_od) · p2(t)` | [`discharge`] |
+//! | Eq. 4 | `V_BL(t, V_WL, V_DD) = V_BL(t, V_WL) · p2(ΔV_DD)` | [`supply`] |
+//! | Eq. 5 | `+ t · (T − T_nom) · p3(V_WL)` | [`temperature`] |
+//! | Eq. 6 | `σ(t, V_WL) = p3(t) · p3(V_WL)` | [`mismatch`] |
+//! | Eq. 7 | `E_wr(V_DD, T) = p2(V_DD) · p1(T)` | [`energy`] |
+//! | Eq. 8 | `E_dc = p1(V_DD) · p3(ΔV_BL) · p1(T)` | [`energy`] |
+//!
+//! [`suite::ModelSuite`] combines all of them into the single object the rest
+//! of the workspace consumes.
+
+pub mod discharge;
+pub mod energy;
+pub mod mismatch;
+pub mod suite;
+pub mod supply;
+pub mod temperature;
+
+/// Converts a time in seconds to the nanosecond scale used inside all fitted
+/// polynomials (better numerical conditioning of the fits).
+pub(crate) fn to_nanoseconds(seconds: f64) -> f64 {
+    seconds * 1e9
+}

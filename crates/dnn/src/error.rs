@@ -1,0 +1,71 @@
+//! Error type of the DNN substrate.
+
+use std::fmt;
+
+/// Error returned by tensor operations, network construction and inference.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum DnnError {
+    /// A tensor had an unexpected shape.
+    ShapeMismatch {
+        /// Shape that was expected.
+        expected: Vec<usize>,
+        /// Shape that was found.
+        found: Vec<usize>,
+    },
+    /// A layer or network was configured inconsistently.
+    InvalidConfiguration {
+        /// Human-readable description of the inconsistency.
+        context: String,
+    },
+    /// A dataset or label index was out of range.
+    InvalidLabel {
+        /// The offending label.
+        label: usize,
+        /// Number of classes.
+        classes: usize,
+    },
+}
+
+impl fmt::Display for DnnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DnnError::ShapeMismatch { expected, found } => {
+                write!(f, "shape mismatch: expected {expected:?}, found {found:?}")
+            }
+            DnnError::InvalidConfiguration { context } => {
+                write!(f, "invalid configuration: {context}")
+            }
+            DnnError::InvalidLabel { label, classes } => {
+                write!(f, "label {label} out of range for {classes} classes")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DnnError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let err = DnnError::ShapeMismatch {
+            expected: vec![3, 32, 32],
+            found: vec![1, 28, 28],
+        };
+        assert!(err.to_string().contains("32"));
+        let err = DnnError::InvalidLabel {
+            label: 12,
+            classes: 10,
+        };
+        assert!(err.to_string().contains("12"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<DnnError>();
+    }
+}

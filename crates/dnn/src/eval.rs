@@ -1,0 +1,150 @@
+//! Accuracy evaluation: top-1 / top-5 classification accuracy.
+//!
+//! Both the FLOAT32 [`Network`] and the INT4 [`QuantizedNetwork`] implement
+//! [`InferenceModel`], so the same evaluation loop produces every column of
+//! the paper's Tables II and III.
+
+use crate::data::Dataset;
+use crate::error::DnnError;
+use crate::network::Network;
+use crate::quantized::QuantizedNetwork;
+use crate::tensor::Tensor;
+use serde::{Deserialize, Serialize};
+
+/// Anything that can classify one image.
+pub trait InferenceModel {
+    /// Produces class logits for one image.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape errors.
+    fn predict(&mut self, image: &Tensor) -> Result<Tensor, DnnError>;
+}
+
+impl InferenceModel for Network {
+    fn predict(&mut self, image: &Tensor) -> Result<Tensor, DnnError> {
+        self.forward(image)
+    }
+}
+
+impl InferenceModel for QuantizedNetwork {
+    fn predict(&mut self, image: &Tensor) -> Result<Tensor, DnnError> {
+        self.forward(image)
+    }
+}
+
+/// Result of evaluating a model on a dataset's test split.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct EvaluationReport {
+    /// Fraction of samples whose top prediction is the true class.
+    pub top1: f64,
+    /// Fraction of samples whose true class is among the five highest logits.
+    pub top5: f64,
+    /// Number of evaluated samples.
+    pub samples: usize,
+}
+
+impl EvaluationReport {
+    /// Top-1 accuracy in percent.
+    pub fn top1_percent(&self) -> f64 {
+        self.top1 * 100.0
+    }
+
+    /// Top-5 accuracy in percent.
+    pub fn top5_percent(&self) -> f64 {
+        self.top5 * 100.0
+    }
+}
+
+/// Evaluates a model on the test split of `dataset`.
+///
+/// # Errors
+///
+/// Propagates inference errors.
+pub fn evaluate(
+    model: &mut dyn InferenceModel,
+    dataset: &Dataset,
+) -> Result<EvaluationReport, DnnError> {
+    let mut top1_hits = 0usize;
+    let mut top5_hits = 0usize;
+    let mut samples = 0usize;
+    for (image, &label) in dataset.test_iter() {
+        let logits = model.predict(image)?;
+        if logits.argmax() == Some(label) {
+            top1_hits += 1;
+        }
+        if logits.top_k(5).contains(&label) {
+            top5_hits += 1;
+        }
+        samples += 1;
+    }
+    let denominator = samples.max(1) as f64;
+    Ok(EvaluationReport {
+        top1: top1_hits as f64 / denominator,
+        top5: top5_hits as f64 / denominator,
+        samples,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::SyntheticImageConfig;
+    use crate::layers::{Dense, Flatten, Relu};
+    use crate::multiplier::ExactInt4Products;
+    use crate::training::{Trainer, TrainingConfig};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use std::sync::Arc;
+
+    fn trained_setup() -> (Network, Dataset) {
+        let dataset = Dataset::synthetic(SyntheticImageConfig::tiny());
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let mut network = Network::new(vec![
+            Box::new(Flatten::new()),
+            Box::new(Dense::new(64, 32, &mut rng)),
+            Box::new(Relu::new()),
+            Box::new(Dense::new(32, 3, &mut rng)),
+        ]);
+        Trainer::new(TrainingConfig {
+            epochs: 12,
+            learning_rate: 0.05,
+            learning_rate_decay: 0.95,
+        })
+        .train(&mut network, &dataset)
+        .unwrap();
+        (network, dataset)
+    }
+
+    #[test]
+    fn trained_network_beats_chance_and_top5_dominates_top1() {
+        let (mut network, dataset) = trained_setup();
+        let report = evaluate(&mut network, &dataset).unwrap();
+        assert_eq!(report.samples, dataset.test_len());
+        assert!(report.top1 > 0.5, "top-1 {} too low", report.top1);
+        assert!(report.top5 >= report.top1);
+        assert!((report.top1_percent() - report.top1 * 100.0).abs() < 1e-9);
+        assert!((report.top5_percent() - report.top5 * 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quantized_network_evaluates_through_the_same_interface() {
+        let (network, dataset) = trained_setup();
+        let mut quantized =
+            QuantizedNetwork::from_network(&network, Arc::new(ExactInt4Products)).unwrap();
+        let report = evaluate(&mut quantized, &dataset).unwrap();
+        assert!(report.top1 > 0.4, "quantized top-1 {} too low", report.top1);
+    }
+
+    #[test]
+    fn empty_test_split_yields_zero_accuracies() {
+        let dataset = Dataset::synthetic(SyntheticImageConfig {
+            test_per_class: 0,
+            ..SyntheticImageConfig::tiny()
+        });
+        let (mut network, _) = trained_setup();
+        let report = evaluate(&mut network, &dataset).unwrap();
+        assert_eq!(report.samples, 0);
+        assert_eq!(report.top1, 0.0);
+    }
+}

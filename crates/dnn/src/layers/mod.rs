@@ -1,0 +1,198 @@
+//! Neural-network layers with forward and backward passes.
+//!
+//! All layers implement the [`Layer`] trait.  Layers cache whatever they need
+//! from the forward pass so that a subsequent [`Layer::backward`] call can
+//! produce the input gradient and accumulate parameter gradients; a plain
+//! inference pass simply never calls `backward`.
+
+pub mod conv;
+pub mod dense;
+pub mod pool;
+pub mod residual;
+
+pub use conv::Conv2d;
+pub use dense::Dense;
+pub use pool::{GlobalAvgPool, MaxPool2d};
+pub use residual::ResidualBlock;
+
+use crate::error::DnnError;
+use crate::tensor::Tensor;
+use std::any::Any;
+
+/// A neural-network layer.
+///
+/// The `forward`/`backward` pair follows the usual reverse-mode convention:
+/// `backward` receives `∂L/∂output` and returns `∂L/∂input`, accumulating
+/// `∂L/∂parameters` internally until [`Layer::apply_gradients`] is called.
+pub trait Layer: std::fmt::Debug + Send {
+    /// Short human-readable layer name.
+    fn name(&self) -> &'static str;
+
+    /// Computes the layer output and caches what `backward` will need.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DnnError::ShapeMismatch`] for inputs of the wrong shape.
+    fn forward(&mut self, input: &Tensor) -> Result<Tensor, DnnError>;
+
+    /// Propagates the output gradient back to the input, accumulating
+    /// parameter gradients.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DnnError::InvalidConfiguration`] when called before `forward`.
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor, DnnError>;
+
+    /// Applies the accumulated gradients with a plain SGD step and clears them.
+    fn apply_gradients(&mut self, _learning_rate: f32) {}
+
+    /// Clears any accumulated gradients without applying them.
+    fn zero_gradients(&mut self) {}
+
+    /// Number of trainable parameters.
+    fn parameter_count(&self) -> usize {
+        0
+    }
+
+    /// Output shape for a given input shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DnnError::ShapeMismatch`] for unsupported input shapes.
+    fn output_shape(&self, input_shape: &[usize]) -> Result<Vec<usize>, DnnError>;
+
+    /// Number of scalar multiplications one forward pass performs for the
+    /// given input shape (used for the multiplication counts of Table II).
+    fn multiplications(&self, _input_shape: &[usize]) -> u64 {
+        0
+    }
+
+    /// Dynamic-cast support used by the INT4 quantizer.
+    fn as_any(&self) -> &dyn Any;
+}
+
+/// Rectified linear unit activation.
+#[derive(Debug, Clone, Default)]
+pub struct Relu {
+    mask: Vec<bool>,
+}
+
+impl Relu {
+    /// Creates a ReLU layer.
+    pub fn new() -> Self {
+        Relu::default()
+    }
+}
+
+impl Layer for Relu {
+    fn name(&self) -> &'static str {
+        "relu"
+    }
+
+    fn forward(&mut self, input: &Tensor) -> Result<Tensor, DnnError> {
+        self.mask = input.data().iter().map(|&v| v > 0.0).collect();
+        Ok(input.map(|v| v.max(0.0)))
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor, DnnError> {
+        if self.mask.len() != grad_output.len() {
+            return Err(DnnError::InvalidConfiguration {
+                context: "relu backward called before forward".to_string(),
+            });
+        }
+        let data = grad_output
+            .data()
+            .iter()
+            .zip(self.mask.iter())
+            .map(|(&g, &m)| if m { g } else { 0.0 })
+            .collect();
+        Tensor::from_vec(grad_output.shape(), data)
+    }
+
+    fn output_shape(&self, input_shape: &[usize]) -> Result<Vec<usize>, DnnError> {
+        Ok(input_shape.to_vec())
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}
+
+/// Flattens any tensor into a 1-D vector.
+#[derive(Debug, Clone, Default)]
+pub struct Flatten {
+    input_shape: Vec<usize>,
+}
+
+impl Flatten {
+    /// Creates a flatten layer.
+    pub fn new() -> Self {
+        Flatten::default()
+    }
+}
+
+impl Layer for Flatten {
+    fn name(&self) -> &'static str {
+        "flatten"
+    }
+
+    fn forward(&mut self, input: &Tensor) -> Result<Tensor, DnnError> {
+        self.input_shape = input.shape().to_vec();
+        input.reshaped(&[input.len()])
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor, DnnError> {
+        if self.input_shape.is_empty() {
+            return Err(DnnError::InvalidConfiguration {
+                context: "flatten backward called before forward".to_string(),
+            });
+        }
+        grad_output.reshaped(&self.input_shape)
+    }
+
+    fn output_shape(&self, input_shape: &[usize]) -> Result<Vec<usize>, DnnError> {
+        Ok(vec![input_shape.iter().product()])
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relu_forward_and_backward() {
+        let mut relu = Relu::new();
+        let input = Tensor::from_slice(&[-1.0, 2.0, -3.0, 4.0]);
+        let output = relu.forward(&input).unwrap();
+        assert_eq!(output.data(), &[0.0, 2.0, 0.0, 4.0]);
+        let grad = relu
+            .backward(&Tensor::from_slice(&[1.0, 1.0, 1.0, 1.0]))
+            .unwrap();
+        assert_eq!(grad.data(), &[0.0, 1.0, 0.0, 1.0]);
+        assert_eq!(relu.output_shape(&[4]).unwrap(), vec![4]);
+        assert_eq!(relu.parameter_count(), 0);
+    }
+
+    #[test]
+    fn relu_backward_without_forward_is_an_error() {
+        let mut relu = Relu::new();
+        assert!(relu.backward(&Tensor::from_slice(&[1.0])).is_err());
+    }
+
+    #[test]
+    fn flatten_round_trip() {
+        let mut flatten = Flatten::new();
+        let input = Tensor::zeros(&[2, 3, 3]);
+        let output = flatten.forward(&input).unwrap();
+        assert_eq!(output.shape(), &[18]);
+        let grad = flatten.backward(&Tensor::zeros(&[18])).unwrap();
+        assert_eq!(grad.shape(), &[2, 3, 3]);
+        assert_eq!(flatten.output_shape(&[2, 3, 3]).unwrap(), vec![18]);
+        let mut fresh = Flatten::new();
+        assert!(fresh.backward(&Tensor::zeros(&[18])).is_err());
+    }
+}

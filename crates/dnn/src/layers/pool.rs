@@ -1,0 +1,222 @@
+//! Pooling layers: 2×2 max pooling and global average pooling.
+
+use crate::error::DnnError;
+use crate::layers::Layer;
+use crate::tensor::Tensor;
+use std::any::Any;
+
+/// 2×2 max pooling with stride 2 over `[C, H, W]` tensors.
+///
+/// Odd trailing rows/columns are dropped (floor division), matching the
+/// behaviour of typical CNN frameworks with default settings.
+#[derive(Debug, Clone, Default)]
+pub struct MaxPool2d {
+    input_shape: Vec<usize>,
+    argmax: Vec<usize>,
+}
+
+impl MaxPool2d {
+    /// Creates a 2×2 max-pooling layer.
+    pub fn new() -> Self {
+        MaxPool2d::default()
+    }
+}
+
+impl Layer for MaxPool2d {
+    fn name(&self) -> &'static str {
+        "maxpool2d"
+    }
+
+    fn forward(&mut self, input: &Tensor) -> Result<Tensor, DnnError> {
+        let shape = input.shape();
+        if shape.len() != 3 || shape[1] < 2 || shape[2] < 2 {
+            return Err(DnnError::ShapeMismatch {
+                expected: vec![0, 2, 2],
+                found: shape.to_vec(),
+            });
+        }
+        let (channels, height, width) = (shape[0], shape[1], shape[2]);
+        let (out_h, out_w) = (height / 2, width / 2);
+        let mut output = Tensor::zeros(&[channels, out_h, out_w]);
+        self.argmax = vec![0; channels * out_h * out_w];
+        for c in 0..channels {
+            for y in 0..out_h {
+                for x in 0..out_w {
+                    let mut best = f32::NEG_INFINITY;
+                    let mut best_index = 0;
+                    for dy in 0..2 {
+                        for dx in 0..2 {
+                            let (iy, ix) = (2 * y + dy, 2 * x + dx);
+                            let value = input.at3(c, iy, ix);
+                            if value > best {
+                                best = value;
+                                best_index = (c * height + iy) * width + ix;
+                            }
+                        }
+                    }
+                    *output.at3_mut(c, y, x) = best;
+                    self.argmax[(c * out_h + y) * out_w + x] = best_index;
+                }
+            }
+        }
+        self.input_shape = shape.to_vec();
+        Ok(output)
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor, DnnError> {
+        if self.input_shape.is_empty() {
+            return Err(DnnError::InvalidConfiguration {
+                context: "maxpool backward called before forward".to_string(),
+            });
+        }
+        let mut grad_input = Tensor::zeros(&self.input_shape);
+        for (flat, &source) in self.argmax.iter().enumerate() {
+            grad_input.data_mut()[source] += grad_output.data()[flat];
+        }
+        Ok(grad_input)
+    }
+
+    fn output_shape(&self, input_shape: &[usize]) -> Result<Vec<usize>, DnnError> {
+        if input_shape.len() != 3 {
+            return Err(DnnError::ShapeMismatch {
+                expected: vec![0, 2, 2],
+                found: input_shape.to_vec(),
+            });
+        }
+        Ok(vec![input_shape[0], input_shape[1] / 2, input_shape[2] / 2])
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}
+
+/// Global average pooling: `[C, H, W]` → `[C]`.
+#[derive(Debug, Clone, Default)]
+pub struct GlobalAvgPool {
+    input_shape: Vec<usize>,
+}
+
+impl GlobalAvgPool {
+    /// Creates a global average pooling layer.
+    pub fn new() -> Self {
+        GlobalAvgPool::default()
+    }
+}
+
+impl Layer for GlobalAvgPool {
+    fn name(&self) -> &'static str {
+        "global_avg_pool"
+    }
+
+    fn forward(&mut self, input: &Tensor) -> Result<Tensor, DnnError> {
+        let shape = input.shape();
+        if shape.len() != 3 {
+            return Err(DnnError::ShapeMismatch {
+                expected: vec![0, 0, 0],
+                found: shape.to_vec(),
+            });
+        }
+        let (channels, height, width) = (shape[0], shape[1], shape[2]);
+        let spatial = (height * width) as f32;
+        let mut out = vec![0.0f32; channels];
+        for (c, out_value) in out.iter_mut().enumerate() {
+            let mut acc = 0.0;
+            for y in 0..height {
+                for x in 0..width {
+                    acc += input.at3(c, y, x);
+                }
+            }
+            *out_value = acc / spatial;
+        }
+        self.input_shape = shape.to_vec();
+        Tensor::from_vec(&[channels], out)
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor, DnnError> {
+        if self.input_shape.is_empty() {
+            return Err(DnnError::InvalidConfiguration {
+                context: "global average pool backward called before forward".to_string(),
+            });
+        }
+        let (channels, height, width) = (
+            self.input_shape[0],
+            self.input_shape[1],
+            self.input_shape[2],
+        );
+        let spatial = (height * width) as f32;
+        let mut grad_input = Tensor::zeros(&self.input_shape);
+        for c in 0..channels {
+            let g = grad_output.data()[c] / spatial;
+            for y in 0..height {
+                for x in 0..width {
+                    *grad_input.at3_mut(c, y, x) = g;
+                }
+            }
+        }
+        Ok(grad_input)
+    }
+
+    fn output_shape(&self, input_shape: &[usize]) -> Result<Vec<usize>, DnnError> {
+        if input_shape.len() != 3 {
+            return Err(DnnError::ShapeMismatch {
+                expected: vec![0, 0, 0],
+                found: input_shape.to_vec(),
+            });
+        }
+        Ok(vec![input_shape[0]])
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maxpool_selects_maxima_and_routes_gradients() {
+        let mut pool = MaxPool2d::new();
+        let input = Tensor::from_vec(
+            &[1, 2, 4],
+            vec![1.0, 5.0, 2.0, 0.0, 3.0, 4.0, 8.0, 1.0],
+        )
+        .unwrap();
+        let output = pool.forward(&input).unwrap();
+        assert_eq!(output.shape(), &[1, 1, 2]);
+        assert_eq!(output.data(), &[5.0, 8.0]);
+        let grad = pool
+            .backward(&Tensor::from_vec(&[1, 1, 2], vec![1.0, 2.0]).unwrap())
+            .unwrap();
+        assert_eq!(grad.data(), &[0.0, 1.0, 0.0, 0.0, 0.0, 0.0, 2.0, 0.0]);
+    }
+
+    #[test]
+    fn maxpool_validates_shapes() {
+        let mut pool = MaxPool2d::new();
+        assert!(pool.forward(&Tensor::zeros(&[4])).is_err());
+        assert!(pool.forward(&Tensor::zeros(&[1, 1, 1])).is_err());
+        assert_eq!(pool.output_shape(&[3, 8, 8]).unwrap(), vec![3, 4, 4]);
+        assert!(pool.output_shape(&[8]).is_err());
+        let mut fresh = MaxPool2d::new();
+        assert!(fresh.backward(&Tensor::zeros(&[1, 1, 1])).is_err());
+    }
+
+    #[test]
+    fn global_avg_pool_averages_and_spreads_gradient() {
+        let mut pool = GlobalAvgPool::new();
+        let input = Tensor::from_vec(&[2, 1, 2], vec![1.0, 3.0, 5.0, 7.0]).unwrap();
+        let output = pool.forward(&input).unwrap();
+        assert_eq!(output.data(), &[2.0, 6.0]);
+        let grad = pool
+            .backward(&Tensor::from_slice(&[1.0, 2.0]))
+            .unwrap();
+        assert_eq!(grad.data(), &[0.5, 0.5, 1.0, 1.0]);
+        assert_eq!(pool.output_shape(&[2, 1, 2]).unwrap(), vec![2]);
+        let mut fresh = GlobalAvgPool::new();
+        assert!(fresh.backward(&Tensor::from_slice(&[1.0])).is_err());
+        assert!(fresh.forward(&Tensor::zeros(&[4])).is_err());
+    }
+}

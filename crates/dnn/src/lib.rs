@@ -1,0 +1,62 @@
+//! Quantized deep-neural-network substrate for the OPTIMA application analysis.
+//!
+//! Section VI of the paper evaluates the selected in-SRAM multiplier
+//! configurations inside INT4-quantized DNNs (VGG16/19, ResNet50/101 on
+//! ImageNet and CIFAR-10).  Pre-trained Keras models and the full datasets
+//! are not reproducible inside this workspace, so this crate builds the
+//! complete pipeline from scratch at a reduced scale (see DESIGN.md):
+//!
+//! * [`tensor`] — a small NCHW tensor type,
+//! * [`layers`] — convolution, dense, pooling, activation and residual layers
+//!   with forward and backward passes,
+//! * [`network`] — sequential networks, training state and SGD,
+//! * [`training`] — cross-entropy loss and a simple trainer,
+//! * [`data`] — procedurally generated image-classification datasets
+//!   (a many-class "synthetic ImageNet" and a 10-class "synthetic CIFAR"),
+//! * [`models`] — scaled-down VGG-style and ResNet-style architectures,
+//! * [`quantization`] — INT4 post-training quantization,
+//! * [`multiplier`] — pluggable 4-bit product providers: exact INT4 or the
+//!   in-SRAM multiplier tables produced by `optima-imc`,
+//! * [`quantized`] — the quantized inference engine that consumes them,
+//! * [`eval`] — top-1/top-5 accuracy and multiplication counting,
+//! * [`transfer`] — transfer learning (classifier-head replacement) used for
+//!   the CIFAR-10 experiment.
+//!
+//! The headline comparison of the paper — FLOAT32 vs. INT4 vs. the *fom*,
+//! *power* and *variation* in-memory multiplier corners — is reproduced by
+//! the `table2_imagenet` and `table3_cifar` harnesses in `optima-bench`.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod data;
+pub mod error;
+pub mod eval;
+pub mod layers;
+pub mod models;
+pub mod multiplier;
+pub mod network;
+pub mod quantization;
+pub mod quantized;
+pub mod tensor;
+pub mod training;
+pub mod transfer;
+
+pub use error::DnnError;
+pub use tensor::Tensor;
+
+/// Convenient re-exports of the types most users need.
+pub mod prelude {
+    pub use crate::data::{Dataset, SyntheticImageConfig};
+    pub use crate::error::DnnError;
+    pub use crate::eval::{evaluate, EvaluationReport};
+    pub use crate::layers::Layer;
+    pub use crate::models::{resnet_style, vgg_style, ModelKind};
+    pub use crate::multiplier::{CountingProducts, ExactInt4Products, InMemoryProducts, ProductTable};
+    pub use crate::network::Network;
+    pub use crate::quantization::QuantizationParams;
+    pub use crate::quantized::QuantizedNetwork;
+    pub use crate::tensor::Tensor;
+    pub use crate::training::{Trainer, TrainingConfig};
+    pub use crate::transfer::transfer_to_new_head;
+}

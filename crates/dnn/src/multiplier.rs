@@ -1,0 +1,159 @@
+//! Pluggable 4-bit product providers.
+//!
+//! The quantized inference engine performs every 4-bit × 4-bit magnitude
+//! product through the [`ProductTable`] trait.  Three implementations exist:
+//!
+//! * [`ExactInt4Products`] — the error-free INT4 baseline of Tables II/III,
+//! * [`InMemoryProducts`] — the in-SRAM multiplier of a selected OPTIMA
+//!   design corner (via [`optima_imc::multiplier::MultiplierTable`]),
+//! * [`CountingProducts`] — a decorator that counts multiplications, used for
+//!   the "Number of Multiplications" column of Table II.
+
+use optima_imc::multiplier::MultiplierTable;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Provider of 4-bit × 4-bit magnitude products.
+pub trait ProductTable: Send + Sync {
+    /// Product of two 4-bit magnitudes (`a, b ∈ 0..=15`).
+    fn product(&self, a: u8, b: u8) -> u16;
+
+    /// Short human-readable name (used in experiment tables).
+    fn name(&self) -> String;
+}
+
+impl fmt::Debug for dyn ProductTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ProductTable({})", self.name())
+    }
+}
+
+/// Error-free INT4 multiplication.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ExactInt4Products;
+
+impl ProductTable for ExactInt4Products {
+    fn product(&self, a: u8, b: u8) -> u16 {
+        debug_assert!(a <= 15 && b <= 15);
+        a as u16 * b as u16
+    }
+
+    fn name(&self) -> String {
+        "exact-int4".to_string()
+    }
+}
+
+/// Products looked up from a pre-computed in-SRAM multiplier table.
+#[derive(Debug, Clone)]
+pub struct InMemoryProducts {
+    table: MultiplierTable,
+    label: String,
+}
+
+impl InMemoryProducts {
+    /// Wraps a multiplier table under a descriptive label (e.g. `"fom"`).
+    pub fn new(table: MultiplierTable, label: impl Into<String>) -> Self {
+        InMemoryProducts {
+            table,
+            label: label.into(),
+        }
+    }
+
+    /// The wrapped table.
+    pub fn table(&self) -> &MultiplierTable {
+        &self.table
+    }
+}
+
+impl ProductTable for InMemoryProducts {
+    fn product(&self, a: u8, b: u8) -> u16 {
+        self.table.lookup(a as u16, b as u16)
+    }
+
+    fn name(&self) -> String {
+        format!("in-memory ({})", self.label)
+    }
+}
+
+/// Decorator that counts how many products were requested.
+#[derive(Debug, Clone)]
+pub struct CountingProducts {
+    inner: Arc<dyn ProductTable>,
+    counter: Arc<AtomicU64>,
+}
+
+impl CountingProducts {
+    /// Wraps another product table.
+    pub fn new(inner: Arc<dyn ProductTable>) -> Self {
+        CountingProducts {
+            inner,
+            counter: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// Number of products requested so far.
+    pub fn count(&self) -> u64 {
+        self.counter.load(Ordering::Relaxed)
+    }
+
+    /// Resets the counter to zero.
+    pub fn reset(&self) {
+        self.counter.store(0, Ordering::Relaxed);
+    }
+}
+
+impl ProductTable for CountingProducts {
+    fn product(&self, a: u8, b: u8) -> u16 {
+        self.counter.fetch_add(1, Ordering::Relaxed);
+        self.inner.product(a, b)
+    }
+
+    fn name(&self) -> String {
+        self.inner.name()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_products_match_integer_multiplication() {
+        let table = ExactInt4Products;
+        for a in 0..=15u8 {
+            for b in 0..=15u8 {
+                assert_eq!(table.product(a, b), a as u16 * b as u16);
+            }
+        }
+        assert_eq!(table.name(), "exact-int4");
+    }
+
+    #[test]
+    fn in_memory_products_follow_the_wrapped_table() {
+        let table = InMemoryProducts::new(MultiplierTable::exact(), "test");
+        assert_eq!(table.product(7, 8), 56);
+        assert_eq!(table.name(), "in-memory (test)");
+        assert_eq!(table.table().lookup(3, 3), 9);
+    }
+
+    #[test]
+    fn counting_products_count_and_reset() {
+        let counting = CountingProducts::new(Arc::new(ExactInt4Products));
+        assert_eq!(counting.count(), 0);
+        let _ = counting.product(3, 4);
+        let _ = counting.product(5, 6);
+        assert_eq!(counting.count(), 2);
+        assert_eq!(counting.name(), "exact-int4");
+        counting.reset();
+        assert_eq!(counting.count(), 0);
+    }
+
+    #[test]
+    fn counting_products_share_their_counter_across_clones() {
+        let counting = CountingProducts::new(Arc::new(ExactInt4Products));
+        let clone = counting.clone();
+        let _ = clone.product(1, 1);
+        assert_eq!(counting.count(), 1);
+    }
+}

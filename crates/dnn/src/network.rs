@@ -1,0 +1,187 @@
+//! Sequential networks of layers.
+
+use crate::error::DnnError;
+use crate::layers::Layer;
+use crate::tensor::Tensor;
+
+/// A sequential feed-forward network.
+///
+/// # Example
+///
+/// ```rust
+/// use optima_dnn::layers::{Dense, Relu};
+/// use optima_dnn::network::Network;
+/// use optima_dnn::Tensor;
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(0);
+/// let mut net = Network::new(vec![
+///     Box::new(Dense::new(4, 8, &mut rng)),
+///     Box::new(Relu::new()),
+///     Box::new(Dense::new(8, 2, &mut rng)),
+/// ]);
+/// let logits = net.forward(&Tensor::from_slice(&[0.1, 0.2, 0.3, 0.4])).unwrap();
+/// assert_eq!(logits.len(), 2);
+/// ```
+#[derive(Debug)]
+pub struct Network {
+    layers: Vec<Box<dyn Layer>>,
+}
+
+impl Network {
+    /// Creates a network from an ordered list of layers.
+    pub fn new(layers: Vec<Box<dyn Layer>>) -> Self {
+        Network { layers }
+    }
+
+    /// The layers of the network.
+    pub fn layers(&self) -> &[Box<dyn Layer>] {
+        &self.layers
+    }
+
+    /// Mutable access to the layers (used by transfer learning to swap the head).
+    pub fn layers_mut(&mut self) -> &mut Vec<Box<dyn Layer>> {
+        &mut self.layers
+    }
+
+    /// Number of layers.
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Returns `true` for an empty network.
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+
+    /// Runs a forward pass through every layer.
+    ///
+    /// # Errors
+    ///
+    /// Propagates layer shape errors.
+    pub fn forward(&mut self, input: &Tensor) -> Result<Tensor, DnnError> {
+        let mut current = input.clone();
+        for layer in &mut self.layers {
+            current = layer.forward(&current)?;
+        }
+        Ok(current)
+    }
+
+    /// Runs a backward pass (after a forward pass) and accumulates gradients.
+    ///
+    /// # Errors
+    ///
+    /// Propagates layer errors (e.g. backward before forward).
+    pub fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor, DnnError> {
+        let mut grad = grad_output.clone();
+        for layer in self.layers.iter_mut().rev() {
+            grad = layer.backward(&grad)?;
+        }
+        Ok(grad)
+    }
+
+    /// Applies accumulated gradients to every layer.
+    pub fn apply_gradients(&mut self, learning_rate: f32) {
+        for layer in &mut self.layers {
+            layer.apply_gradients(learning_rate);
+        }
+    }
+
+    /// Clears accumulated gradients in every layer.
+    pub fn zero_gradients(&mut self) {
+        for layer in &mut self.layers {
+            layer.zero_gradients();
+        }
+    }
+
+    /// Total number of trainable parameters.
+    pub fn parameter_count(&self) -> usize {
+        self.layers.iter().map(|l| l.parameter_count()).sum()
+    }
+
+    /// Total number of scalar multiplications of one forward pass for an
+    /// input of the given shape (the multiplication counts of Table II).
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape-propagation errors.
+    pub fn multiplications(&self, input_shape: &[usize]) -> Result<u64, DnnError> {
+        let mut shape = input_shape.to_vec();
+        let mut total = 0u64;
+        for layer in &self.layers {
+            total += layer.multiplications(&shape);
+            shape = layer.output_shape(&shape)?;
+        }
+        Ok(total)
+    }
+
+    /// Output shape of the network for the given input shape.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape-propagation errors.
+    pub fn output_shape(&self, input_shape: &[usize]) -> Result<Vec<usize>, DnnError> {
+        let mut shape = input_shape.to_vec();
+        for layer in &self.layers {
+            shape = layer.output_shape(&shape)?;
+        }
+        Ok(shape)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::{Conv2d, Dense, Flatten, MaxPool2d, Relu};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn tiny_cnn() -> Network {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        Network::new(vec![
+            Box::new(Conv2d::new(1, 2, 3, &mut rng)),
+            Box::new(Relu::new()),
+            Box::new(MaxPool2d::new()),
+            Box::new(Flatten::new()),
+            Box::new(Dense::new(2 * 2 * 2, 3, &mut rng)),
+        ])
+    }
+
+    #[test]
+    fn forward_produces_the_expected_output_shape() {
+        let mut net = tiny_cnn();
+        assert_eq!(net.len(), 5);
+        assert!(!net.is_empty());
+        assert_eq!(net.output_shape(&[1, 4, 4]).unwrap(), vec![3]);
+        let out = net.forward(&Tensor::zeros(&[1, 4, 4])).unwrap();
+        assert_eq!(out.shape(), &[3]);
+    }
+
+    #[test]
+    fn multiplication_count_matches_layer_sums() {
+        let net = tiny_cnn();
+        // conv: 4*4*2*1*9 = 288, dense: 8*3 = 24
+        assert_eq!(net.multiplications(&[1, 4, 4]).unwrap(), 288 + 24);
+        assert!(net.parameter_count() > 0);
+    }
+
+    #[test]
+    fn backward_and_gradient_application_run_end_to_end() {
+        let mut net = tiny_cnn();
+        let input = Tensor::from_vec(&[1, 4, 4], (0..16).map(|i| i as f32 * 0.05).collect())
+            .unwrap();
+        let out = net.forward(&input).unwrap();
+        let grad = Tensor::from_vec(out.shape(), vec![1.0; out.len()]).unwrap();
+        let grad_input = net.backward(&grad).unwrap();
+        assert_eq!(grad_input.shape(), input.shape());
+        net.apply_gradients(0.01);
+        net.zero_gradients();
+    }
+
+    #[test]
+    fn shape_errors_propagate() {
+        let mut net = tiny_cnn();
+        assert!(net.forward(&Tensor::zeros(&[2, 4, 4])).is_err());
+        assert!(net.multiplications(&[2, 4, 4]).is_err());
+    }
+}

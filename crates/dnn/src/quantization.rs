@@ -1,0 +1,131 @@
+//! INT4 post-training quantization.
+//!
+//! The paper quantizes pre-trained FLOAT32 networks to an INT4 representation
+//! following the TensorFlow-Lite scheme with INT8 replaced by INT4.  This
+//! module implements the corresponding per-tensor affine quantizers:
+//! symmetric signed quantization for weights (range −7…7) and unsigned
+//! quantization for (non-negative, post-ReLU) activations (range 0…15).
+
+use serde::{Deserialize, Serialize};
+
+/// Largest magnitude of a symmetric signed 4-bit value.
+pub const INT4_SIGNED_MAX: i8 = 7;
+
+/// Largest unsigned 4-bit value.
+pub const INT4_UNSIGNED_MAX: u8 = 15;
+
+/// Per-tensor quantization parameters (scale only; zero point is always 0).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct QuantizationParams {
+    /// Real value represented by one integer step.
+    pub scale: f32,
+}
+
+impl QuantizationParams {
+    /// Parameters for symmetric signed quantization of `data` to 4 bits.
+    pub fn symmetric_for(data: &[f32]) -> Self {
+        let max_abs = data.iter().fold(0.0f32, |acc, v| acc.max(v.abs()));
+        QuantizationParams {
+            scale: if max_abs > 0.0 {
+                max_abs / INT4_SIGNED_MAX as f32
+            } else {
+                1.0
+            },
+        }
+    }
+
+    /// Parameters for unsigned quantization of non-negative `data` to 4 bits.
+    pub fn unsigned_for(data: &[f32]) -> Self {
+        let max = data.iter().fold(0.0f32, |acc, v| acc.max(*v));
+        QuantizationParams {
+            scale: if max > 0.0 {
+                max / INT4_UNSIGNED_MAX as f32
+            } else {
+                1.0
+            },
+        }
+    }
+
+    /// Quantizes one value to a signed 4-bit integer.
+    pub fn quantize_signed(&self, value: f32) -> i8 {
+        (value / self.scale)
+            .round()
+            .clamp(-(INT4_SIGNED_MAX as f32), INT4_SIGNED_MAX as f32) as i8
+    }
+
+    /// Quantizes one (non-negative) value to an unsigned 4-bit integer.
+    pub fn quantize_unsigned(&self, value: f32) -> u8 {
+        (value.max(0.0) / self.scale)
+            .round()
+            .clamp(0.0, INT4_UNSIGNED_MAX as f32) as u8
+    }
+
+    /// Reconstructs the real value of a signed quantized integer.
+    pub fn dequantize(&self, value: i32) -> f32 {
+        value as f32 * self.scale
+    }
+}
+
+/// Quantizes a weight slice symmetrically to INT4, returning the integers and
+/// the shared parameters.
+pub fn quantize_weights(weights: &[f32]) -> (Vec<i8>, QuantizationParams) {
+    let params = QuantizationParams::symmetric_for(weights);
+    let quantized = weights.iter().map(|&w| params.quantize_signed(w)).collect();
+    (quantized, params)
+}
+
+/// Quantizes an activation slice (clamped at zero) to unsigned INT4.
+pub fn quantize_activations(activations: &[f32]) -> (Vec<u8>, QuantizationParams) {
+    let params = QuantizationParams::unsigned_for(activations);
+    let quantized = activations
+        .iter()
+        .map(|&a| params.quantize_unsigned(a))
+        .collect();
+    (quantized, params)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn symmetric_quantization_round_trips_within_half_step() {
+        let weights = [-0.9, -0.3, 0.0, 0.45, 0.9];
+        let (quantized, params) = quantize_weights(&weights);
+        assert_eq!(quantized.len(), weights.len());
+        assert!(quantized.iter().all(|&q| (-7..=7).contains(&q)));
+        for (&w, &q) in weights.iter().zip(quantized.iter()) {
+            let reconstructed = params.dequantize(q as i32);
+            assert!((reconstructed - w).abs() <= params.scale * 0.5 + 1e-6);
+        }
+        // The extreme value maps to the extreme code.
+        assert_eq!(quantized[0], -7);
+        assert_eq!(quantized[4], 7);
+    }
+
+    #[test]
+    fn unsigned_quantization_clamps_negatives() {
+        let activations = [-0.2, 0.0, 0.5, 1.0];
+        let (quantized, params) = quantize_activations(&activations);
+        assert_eq!(quantized[0], 0);
+        assert_eq!(quantized[3], 15);
+        assert!((params.dequantize(quantized[2] as i32) - 0.5).abs() < params.scale);
+    }
+
+    #[test]
+    fn all_zero_input_uses_unit_scale() {
+        let (quantized, params) = quantize_weights(&[0.0, 0.0]);
+        assert_eq!(quantized, vec![0, 0]);
+        assert_eq!(params.scale, 1.0);
+        let (quantized, params) = quantize_activations(&[0.0]);
+        assert_eq!(quantized, vec![0]);
+        assert_eq!(params.scale, 1.0);
+    }
+
+    #[test]
+    fn quantization_error_shrinks_for_narrow_ranges() {
+        let wide = QuantizationParams::symmetric_for(&[-2.0, 2.0]);
+        let narrow = QuantizationParams::symmetric_for(&[-0.1, 0.1]);
+        assert!(narrow.scale < wide.scale);
+    }
+}

@@ -1,0 +1,351 @@
+//! INT4-quantized inference with pluggable product tables.
+//!
+//! [`QuantizedNetwork::from_network`] converts a trained FLOAT32 [`Network`]
+//! into an INT4 network (post-training quantization of all convolution and
+//! dense weights) whose every 4-bit magnitude product is routed through a
+//! [`ProductTable`] — either the exact INT4 baseline or one of the in-SRAM
+//! multiplier corners.  This is the inference path used for the paper's
+//! Tables II and III.
+
+use crate::error::DnnError;
+use crate::layers::{Conv2d, Dense, Flatten, GlobalAvgPool, Layer, MaxPool2d, Relu, ResidualBlock};
+use crate::multiplier::ProductTable;
+use crate::network::Network;
+use crate::quantization::{quantize_activations, quantize_weights, QuantizationParams};
+use crate::tensor::Tensor;
+use std::sync::Arc;
+
+/// Quantized convolution parameters.
+#[derive(Debug, Clone)]
+struct QConv {
+    in_channels: usize,
+    out_channels: usize,
+    kernel: usize,
+    /// Signed INT4 weights in `[out_c, in_c, k, k]` order.
+    weights: Vec<i8>,
+    weight_params: QuantizationParams,
+    bias: Vec<f32>,
+}
+
+/// Quantized dense parameters.
+#[derive(Debug, Clone)]
+struct QDense {
+    inputs: usize,
+    outputs: usize,
+    weights: Vec<i8>,
+    weight_params: QuantizationParams,
+    bias: Vec<f32>,
+}
+
+/// One layer of the quantized network.
+#[derive(Debug, Clone)]
+enum QLayer {
+    Conv(QConv),
+    Dense(QDense),
+    Residual { conv1: QConv, conv2: QConv },
+    Relu,
+    MaxPool,
+    GlobalAvgPool,
+    Flatten,
+}
+
+/// An INT4-quantized network executing all products through a [`ProductTable`].
+#[derive(Debug)]
+pub struct QuantizedNetwork {
+    layers: Vec<QLayer>,
+    products: Arc<dyn ProductTable>,
+}
+
+impl QuantizedNetwork {
+    /// Quantizes a trained FLOAT32 network.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DnnError::InvalidConfiguration`] when the network contains a
+    /// layer type the quantizer does not support.
+    pub fn from_network(
+        network: &Network,
+        products: Arc<dyn ProductTable>,
+    ) -> Result<Self, DnnError> {
+        let mut layers = Vec::with_capacity(network.len());
+        for layer in network.layers() {
+            layers.push(Self::convert_layer(layer.as_ref())?);
+        }
+        Ok(QuantizedNetwork { layers, products })
+    }
+
+    fn convert_layer(layer: &dyn Layer) -> Result<QLayer, DnnError> {
+        let any = layer.as_any();
+        if let Some(conv) = any.downcast_ref::<Conv2d>() {
+            return Ok(QLayer::Conv(Self::convert_conv(conv)));
+        }
+        if let Some(dense) = any.downcast_ref::<Dense>() {
+            let (weights, weight_params) = quantize_weights(dense.weights());
+            return Ok(QLayer::Dense(QDense {
+                inputs: dense.inputs(),
+                outputs: dense.outputs(),
+                weights,
+                weight_params,
+                bias: dense.bias().to_vec(),
+            }));
+        }
+        if let Some(block) = any.downcast_ref::<ResidualBlock>() {
+            let (conv1, conv2) = block.convolutions();
+            return Ok(QLayer::Residual {
+                conv1: Self::convert_conv(conv1),
+                conv2: Self::convert_conv(conv2),
+            });
+        }
+        if any.downcast_ref::<Relu>().is_some() {
+            return Ok(QLayer::Relu);
+        }
+        if any.downcast_ref::<MaxPool2d>().is_some() {
+            return Ok(QLayer::MaxPool);
+        }
+        if any.downcast_ref::<GlobalAvgPool>().is_some() {
+            return Ok(QLayer::GlobalAvgPool);
+        }
+        if any.downcast_ref::<Flatten>().is_some() {
+            return Ok(QLayer::Flatten);
+        }
+        Err(DnnError::InvalidConfiguration {
+            context: format!("layer '{}' cannot be quantized", layer.name()),
+        })
+    }
+
+    fn convert_conv(conv: &Conv2d) -> QConv {
+        let (weights, weight_params) = quantize_weights(conv.weights());
+        QConv {
+            in_channels: conv.in_channels(),
+            out_channels: conv.out_channels(),
+            kernel: conv.kernel(),
+            weights,
+            weight_params,
+            bias: conv.bias().to_vec(),
+        }
+    }
+
+    /// The product table in use.
+    pub fn products(&self) -> &Arc<dyn ProductTable> {
+        &self.products
+    }
+
+    /// Number of layers.
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Returns `true` for an empty network.
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+
+    /// Runs quantized inference on one input image.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape errors.
+    pub fn forward(&self, input: &Tensor) -> Result<Tensor, DnnError> {
+        let mut current = input.clone();
+        for layer in &self.layers {
+            current = self.forward_layer(layer, &current)?;
+        }
+        Ok(current)
+    }
+
+    fn forward_layer(&self, layer: &QLayer, input: &Tensor) -> Result<Tensor, DnnError> {
+        match layer {
+            QLayer::Conv(conv) => self.forward_conv(conv, input),
+            QLayer::Dense(dense) => self.forward_dense(dense, input),
+            QLayer::Residual { conv1, conv2 } => {
+                let branch = self.forward_conv(conv1, input)?;
+                let branch = branch.map(|v| v.max(0.0));
+                let branch = self.forward_conv(conv2, &branch)?;
+                let sum = branch.add(input)?;
+                Ok(sum.map(|v| v.max(0.0)))
+            }
+            QLayer::Relu => Ok(input.map(|v| v.max(0.0))),
+            QLayer::MaxPool => {
+                let mut pool = MaxPool2d::new();
+                pool.forward(input)
+            }
+            QLayer::GlobalAvgPool => {
+                let mut pool = GlobalAvgPool::new();
+                pool.forward(input)
+            }
+            QLayer::Flatten => input.reshaped(&[input.len()]),
+        }
+    }
+
+    fn forward_conv(&self, conv: &QConv, input: &Tensor) -> Result<Tensor, DnnError> {
+        let shape = input.shape();
+        if shape.len() != 3 || shape[0] != conv.in_channels {
+            return Err(DnnError::ShapeMismatch {
+                expected: vec![conv.in_channels, 0, 0],
+                found: shape.to_vec(),
+            });
+        }
+        let (height, width) = (shape[1], shape[2]);
+        let (activations, activation_params) = quantize_activations(input.data());
+        let pad = conv.kernel / 2;
+        let k = conv.kernel;
+        let scale = conv.weight_params.scale * activation_params.scale;
+        let mut output = Tensor::zeros(&[conv.out_channels, height, width]);
+
+        for oc in 0..conv.out_channels {
+            for y in 0..height {
+                for x in 0..width {
+                    let mut accumulator: i64 = 0;
+                    for ic in 0..conv.in_channels {
+                        for ky in 0..k {
+                            for kx in 0..k {
+                                let iy = y as isize + ky as isize - pad as isize;
+                                let ix = x as isize + kx as isize - pad as isize;
+                                if iy < 0 || ix < 0 || iy >= height as isize || ix >= width as isize
+                                {
+                                    continue;
+                                }
+                                let weight =
+                                    conv.weights[((oc * conv.in_channels + ic) * k + ky) * k + kx];
+                                if weight == 0 {
+                                    continue;
+                                }
+                                let activation = activations
+                                    [(ic * height + iy as usize) * width + ix as usize];
+                                if activation == 0 {
+                                    continue;
+                                }
+                                let magnitude =
+                                    self.products.product(activation, weight.unsigned_abs());
+                                accumulator += weight.signum() as i64 * magnitude as i64;
+                            }
+                        }
+                    }
+                    *output.at3_mut(oc, y, x) = accumulator as f32 * scale + conv.bias[oc];
+                }
+            }
+        }
+        Ok(output)
+    }
+
+    fn forward_dense(&self, dense: &QDense, input: &Tensor) -> Result<Tensor, DnnError> {
+        if input.len() != dense.inputs {
+            return Err(DnnError::ShapeMismatch {
+                expected: vec![dense.inputs],
+                found: input.shape().to_vec(),
+            });
+        }
+        let (activations, activation_params) = quantize_activations(input.data());
+        let scale = dense.weight_params.scale * activation_params.scale;
+        let mut output = vec![0.0f32; dense.outputs];
+        for (o, out_value) in output.iter_mut().enumerate() {
+            let row = &dense.weights[o * dense.inputs..(o + 1) * dense.inputs];
+            let mut accumulator: i64 = 0;
+            for (weight, &activation) in row.iter().zip(activations.iter()) {
+                if *weight == 0 || activation == 0 {
+                    continue;
+                }
+                let magnitude = self.products.product(activation, weight.unsigned_abs());
+                accumulator += weight.signum() as i64 * magnitude as i64;
+            }
+            *out_value = accumulator as f32 * scale + dense.bias[o];
+        }
+        Tensor::from_vec(&[dense.outputs], output)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::{Dataset, SyntheticImageConfig};
+    use crate::layers::{Conv2d, Dense, Flatten, MaxPool2d, Relu};
+    use crate::multiplier::{CountingProducts, ExactInt4Products, InMemoryProducts};
+    use crate::training::{Trainer, TrainingConfig};
+    use optima_imc::multiplier::MultiplierTable;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn small_cnn(classes: usize) -> Network {
+        let mut rng = ChaCha8Rng::seed_from_u64(21);
+        Network::new(vec![
+            Box::new(Conv2d::new(1, 4, 3, &mut rng)),
+            Box::new(Relu::new()),
+            Box::new(MaxPool2d::new()),
+            Box::new(Flatten::new()),
+            Box::new(Dense::new(4 * 4 * 4, classes, &mut rng)),
+        ])
+    }
+
+    #[test]
+    fn quantized_network_mirrors_float_network_closely() {
+        let dataset = Dataset::synthetic(SyntheticImageConfig::tiny());
+        let mut network = small_cnn(3);
+        Trainer::new(TrainingConfig {
+            epochs: 8,
+            learning_rate: 0.05,
+            learning_rate_decay: 0.95,
+        })
+        .train(&mut network, &dataset)
+        .unwrap();
+
+        let quantized =
+            QuantizedNetwork::from_network(&network, Arc::new(ExactInt4Products)).unwrap();
+        assert_eq!(quantized.len(), network.len());
+        assert!(!quantized.is_empty());
+
+        // On most samples the INT4 prediction should match the FLOAT32 one.
+        let mut agreement = 0usize;
+        let mut total = 0usize;
+        for (image, _) in dataset.test_iter() {
+            let float_prediction = network.forward(image).unwrap().argmax();
+            let int4_prediction = quantized.forward(image).unwrap().argmax();
+            if float_prediction == int4_prediction {
+                agreement += 1;
+            }
+            total += 1;
+        }
+        assert!(
+            agreement * 10 >= total * 7,
+            "only {agreement}/{total} predictions agree after quantization"
+        );
+    }
+
+    #[test]
+    fn exact_table_and_exact_products_give_identical_results() {
+        let network = small_cnn(3);
+        let via_products =
+            QuantizedNetwork::from_network(&network, Arc::new(ExactInt4Products)).unwrap();
+        let via_table = QuantizedNetwork::from_network(
+            &network,
+            Arc::new(InMemoryProducts::new(MultiplierTable::exact(), "exact")),
+        )
+        .unwrap();
+        let image = Tensor::from_vec(&[1, 8, 8], (0..64).map(|i| (i % 7) as f32 / 7.0).collect())
+            .unwrap();
+        assert_eq!(
+            via_products.forward(&image).unwrap(),
+            via_table.forward(&image).unwrap()
+        );
+    }
+
+    #[test]
+    fn counting_products_count_the_nonzero_macs() {
+        let network = small_cnn(3);
+        let counting = Arc::new(CountingProducts::new(Arc::new(ExactInt4Products)));
+        let quantized = QuantizedNetwork::from_network(&network, counting.clone()).unwrap();
+        let image = Tensor::from_vec(&[1, 8, 8], vec![0.5; 64]).unwrap();
+        let _ = quantized.forward(&image).unwrap();
+        let upper_bound = network.multiplications(&[1, 8, 8]).unwrap();
+        assert!(counting.count() > 0);
+        assert!(counting.count() <= upper_bound, "skipping zeros can only reduce the count");
+        assert_eq!(quantized.products().name(), "exact-int4");
+    }
+
+    #[test]
+    fn shape_errors_are_reported() {
+        let network = small_cnn(3);
+        let quantized =
+            QuantizedNetwork::from_network(&network, Arc::new(ExactInt4Products)).unwrap();
+        assert!(quantized.forward(&Tensor::zeros(&[2, 8, 8])).is_err());
+    }
+}

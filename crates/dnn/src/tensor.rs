@@ -1,0 +1,243 @@
+//! A small dense tensor type (channel-major, `f32`).
+//!
+//! The networks in this crate operate on single images in `[C, H, W]` layout
+//! and on flat vectors `[N]`; a full batch dimension is not needed for the
+//! accuracy experiments and keeping the type small keeps the layer code
+//! readable.
+
+use crate::error::DnnError;
+use serde::{Deserialize, Serialize};
+
+/// A dense `f32` tensor with an explicit shape.
+///
+/// # Example
+///
+/// ```rust
+/// use optima_dnn::Tensor;
+///
+/// let t = Tensor::zeros(&[2, 3]);
+/// assert_eq!(t.len(), 6);
+/// assert_eq!(t.shape(), &[2, 3]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Tensor {
+    shape: Vec<usize>,
+    data: Vec<f32>,
+}
+
+impl Tensor {
+    /// Creates a zero-filled tensor of the given shape.
+    pub fn zeros(shape: &[usize]) -> Self {
+        Tensor {
+            shape: shape.to_vec(),
+            data: vec![0.0; shape.iter().product()],
+        }
+    }
+
+    /// Creates a tensor from raw data.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DnnError::ShapeMismatch`] when the data length does not
+    /// match the shape's element count.
+    pub fn from_vec(shape: &[usize], data: Vec<f32>) -> Result<Self, DnnError> {
+        let expected: usize = shape.iter().product();
+        if data.len() != expected {
+            return Err(DnnError::ShapeMismatch {
+                expected: shape.to_vec(),
+                found: vec![data.len()],
+            });
+        }
+        Ok(Tensor {
+            shape: shape.to_vec(),
+            data,
+        })
+    }
+
+    /// Creates a 1-D tensor from a slice.
+    pub fn from_slice(data: &[f32]) -> Self {
+        Tensor {
+            shape: vec![data.len()],
+            data: data.to_vec(),
+        }
+    }
+
+    /// The tensor shape.
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Returns `true` when the tensor holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Immutable access to the flat data.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable access to the flat data.
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Reinterprets the tensor with a new shape of equal element count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DnnError::ShapeMismatch`] when the element counts differ.
+    pub fn reshaped(&self, shape: &[usize]) -> Result<Tensor, DnnError> {
+        let expected: usize = shape.iter().product();
+        if expected != self.data.len() {
+            return Err(DnnError::ShapeMismatch {
+                expected: shape.to_vec(),
+                found: self.shape.clone(),
+            });
+        }
+        Ok(Tensor {
+            shape: shape.to_vec(),
+            data: self.data.clone(),
+        })
+    }
+
+    /// Value at `[c, y, x]` of a 3-D tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not 3-D or the indices are out of range.
+    pub fn at3(&self, c: usize, y: usize, x: usize) -> f32 {
+        assert_eq!(self.shape.len(), 3, "at3 requires a 3-D tensor");
+        let (_, h, w) = (self.shape[0], self.shape[1], self.shape[2]);
+        self.data[(c * h + y) * w + x]
+    }
+
+    /// Mutable value at `[c, y, x]` of a 3-D tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not 3-D or the indices are out of range.
+    pub fn at3_mut(&mut self, c: usize, y: usize, x: usize) -> &mut f32 {
+        assert_eq!(self.shape.len(), 3, "at3_mut requires a 3-D tensor");
+        let (_, h, w) = (self.shape[0], self.shape[1], self.shape[2]);
+        &mut self.data[(c * h + y) * w + x]
+    }
+
+    /// Largest absolute value (0 for empty tensors).
+    pub fn max_abs(&self) -> f32 {
+        self.data.iter().fold(0.0f32, |acc, v| acc.max(v.abs()))
+    }
+
+    /// Index of the largest element (argmax); `None` for empty tensors.
+    pub fn argmax(&self) -> Option<usize> {
+        if self.data.is_empty() {
+            return None;
+        }
+        let mut best = 0;
+        for (i, &v) in self.data.iter().enumerate() {
+            if v > self.data[best] {
+                best = i;
+            }
+        }
+        Some(best)
+    }
+
+    /// Indices of the `k` largest elements, in descending order of value.
+    pub fn top_k(&self, k: usize) -> Vec<usize> {
+        let mut indices: Vec<usize> = (0..self.data.len()).collect();
+        indices.sort_by(|&a, &b| {
+            self.data[b]
+                .partial_cmp(&self.data[a])
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        indices.truncate(k);
+        indices
+    }
+
+    /// Elementwise sum with another tensor of identical shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DnnError::ShapeMismatch`] when shapes differ.
+    pub fn add(&self, other: &Tensor) -> Result<Tensor, DnnError> {
+        if self.shape != other.shape {
+            return Err(DnnError::ShapeMismatch {
+                expected: self.shape.clone(),
+                found: other.shape.clone(),
+            });
+        }
+        let data = self
+            .data
+            .iter()
+            .zip(other.data.iter())
+            .map(|(a, b)| a + b)
+            .collect();
+        Ok(Tensor {
+            shape: self.shape.clone(),
+            data,
+        })
+    }
+
+    /// Applies a function to every element, returning a new tensor.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
+        Tensor {
+            shape: self.shape.clone(),
+            data: self.data.iter().map(|&v| f(v)).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_accessors() {
+        let t = Tensor::from_vec(&[2, 2], vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        assert_eq!(t.len(), 4);
+        assert!(!t.is_empty());
+        assert_eq!(t.shape(), &[2, 2]);
+        assert_eq!(t.data()[3], 4.0);
+        assert!(Tensor::from_vec(&[3], vec![1.0]).is_err());
+    }
+
+    #[test]
+    fn three_d_indexing_is_row_major_within_channel() {
+        let mut t = Tensor::zeros(&[2, 2, 3]);
+        *t.at3_mut(1, 1, 2) = 7.0;
+        assert_eq!(t.at3(1, 1, 2), 7.0);
+        assert_eq!(t.data()[2 * 2 * 3 - 1], 7.0);
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let t = Tensor::from_slice(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let r = t.reshaped(&[2, 3]).unwrap();
+        assert_eq!(r.shape(), &[2, 3]);
+        assert_eq!(r.data(), t.data());
+        assert!(t.reshaped(&[4, 2]).is_err());
+    }
+
+    #[test]
+    fn argmax_and_top_k() {
+        let t = Tensor::from_slice(&[0.1, 0.9, 0.3, 0.8]);
+        assert_eq!(t.argmax(), Some(1));
+        assert_eq!(t.top_k(2), vec![1, 3]);
+        assert_eq!(Tensor::from_slice(&[]).argmax(), None);
+    }
+
+    #[test]
+    fn add_and_map() {
+        let a = Tensor::from_slice(&[1.0, 2.0]);
+        let b = Tensor::from_slice(&[3.0, 4.0]);
+        assert_eq!(a.add(&b).unwrap().data(), &[4.0, 6.0]);
+        assert!(a.add(&Tensor::zeros(&[3])).is_err());
+        assert_eq!(a.map(|v| v * 2.0).data(), &[2.0, 4.0]);
+        assert_eq!(b.max_abs(), 4.0);
+    }
+}

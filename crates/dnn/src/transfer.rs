@@ -1,0 +1,115 @@
+//! Transfer learning: classifier-head replacement.
+//!
+//! For the CIFAR-10 experiment the paper replaces the last layer of the
+//! ImageNet-trained networks with a fully connected layer of 10 neurons and
+//! retrains it with transfer learning.  [`transfer_to_new_head`] performs the
+//! head swap; the retraining itself uses
+//! [`crate::training::Trainer::train_head_only`].
+
+use crate::error::DnnError;
+use crate::layers::Dense;
+use crate::network::Network;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Replaces the final dense layer of `network` with a freshly initialised
+/// dense layer of `new_classes` outputs (same number of inputs).
+///
+/// # Errors
+///
+/// Returns [`DnnError::InvalidConfiguration`] when the network is empty or
+/// its last layer is not a dense layer.
+pub fn transfer_to_new_head(
+    network: &mut Network,
+    new_classes: usize,
+    seed: u64,
+) -> Result<(), DnnError> {
+    let last_index = network
+        .len()
+        .checked_sub(1)
+        .ok_or_else(|| DnnError::InvalidConfiguration {
+            context: "cannot replace the head of an empty network".to_string(),
+        })?;
+    let inputs = {
+        let last = &network.layers()[last_index];
+        let dense = last
+            .as_any()
+            .downcast_ref::<Dense>()
+            .ok_or_else(|| DnnError::InvalidConfiguration {
+                context: format!(
+                    "last layer is '{}', expected a dense classifier head",
+                    last.name()
+                ),
+            })?;
+        dense.inputs()
+    };
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    network.layers_mut()[last_index] = Box::new(Dense::new(inputs, new_classes, &mut rng));
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::{Dataset, SyntheticImageConfig};
+    use crate::layers::{Flatten, Relu};
+    use crate::training::{Trainer, TrainingConfig};
+
+    fn backbone(classes: usize) -> Network {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        Network::new(vec![
+            Box::new(Flatten::new()),
+            Box::new(Dense::new(64, 24, &mut rng)),
+            Box::new(Relu::new()),
+            Box::new(Dense::new(24, classes, &mut rng)),
+        ])
+    }
+
+    #[test]
+    fn head_replacement_changes_the_output_size() {
+        let mut network = backbone(16);
+        assert_eq!(network.output_shape(&[1, 8, 8]).unwrap(), vec![16]);
+        transfer_to_new_head(&mut network, 10, 99).unwrap();
+        assert_eq!(network.output_shape(&[1, 8, 8]).unwrap(), vec![10]);
+    }
+
+    #[test]
+    fn head_replacement_requires_a_dense_head() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let mut network = Network::new(vec![
+            Box::new(Dense::new(8, 4, &mut rng)),
+            Box::new(Relu::new()),
+        ]);
+        assert!(transfer_to_new_head(&mut network, 10, 1).is_err());
+        let mut empty = Network::new(vec![]);
+        assert!(transfer_to_new_head(&mut empty, 10, 1).is_err());
+    }
+
+    #[test]
+    fn transfer_learning_reaches_useful_accuracy_on_the_new_task() {
+        // Pre-train on a 4-class task, then transfer to a 3-class task.
+        let pretrain = Dataset::synthetic(SyntheticImageConfig {
+            classes: 4,
+            ..SyntheticImageConfig::tiny()
+        });
+        let target = Dataset::synthetic(SyntheticImageConfig {
+            classes: 3,
+            seed: 77,
+            ..SyntheticImageConfig::tiny()
+        });
+        let mut network = backbone(4);
+        let trainer = Trainer::new(TrainingConfig {
+            epochs: 10,
+            learning_rate: 0.05,
+            learning_rate_decay: 0.95,
+        });
+        trainer.train(&mut network, &pretrain).unwrap();
+        transfer_to_new_head(&mut network, 3, 5).unwrap();
+        let history = trainer.train_head_only(&mut network, &target).unwrap();
+        assert!(
+            *history.epoch_accuracies.last().unwrap() > 0.6,
+            "transfer accuracy too low: {:?}",
+            history.epoch_accuracies.last()
+        );
+    }
+}

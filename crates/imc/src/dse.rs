@@ -1,0 +1,290 @@
+//! Design-space exploration of the 4-bit in-SRAM multiplier (paper Fig. 7).
+//!
+//! The design space is spanned by three circuit parameters:
+//!
+//! * `τ0` — discharge time of the least-significant bit-line,
+//! * `V_DAC,0` — DAC output voltage for input code 0,
+//! * `V_DAC,FS` — DAC full-scale output voltage.
+//!
+//! The paper selects 48 design corners and simulates them with OPTIMA; this
+//! module reproduces that sweep (and supports arbitrary grids).  Exploration
+//! is embarrassingly parallel across corners, so the explorer fans the work
+//! out over scoped threads (crossbeam).
+
+use crate::error::ImcError;
+use crate::metrics::{evaluate_multiplier, MultiplierMetrics};
+use crate::multiplier::{InSramMultiplier, MultiplierConfig};
+use optima_core::model::suite::ModelSuite;
+use optima_math::units::{Seconds, Volts};
+use serde::{Deserialize, Serialize};
+
+/// One corner of the design space.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DesignPoint {
+    /// Discharge time of the least-significant bit-line.
+    pub tau0: Seconds,
+    /// DAC zero-code output voltage.
+    pub vdac_zero: Volts,
+    /// DAC full-scale output voltage.
+    pub vdac_full_scale: Volts,
+}
+
+impl DesignPoint {
+    /// Converts the point into a multiplier configuration (linear DAC).
+    pub fn to_config(self) -> MultiplierConfig {
+        MultiplierConfig::new(self.tau0, self.vdac_zero, self.vdac_full_scale)
+    }
+}
+
+/// One evaluated corner: the point plus its metrics.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DesignPointResult {
+    /// The evaluated design point.
+    pub point: DesignPoint,
+    /// Its input-space metrics.
+    pub metrics: MultiplierMetrics,
+}
+
+/// A rectangular design-space grid.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DesignSpace {
+    /// τ0 grid values (seconds).
+    pub tau0_values: Vec<f64>,
+    /// V_DAC,0 grid values (volts).
+    pub vdac_zero_values: Vec<f64>,
+    /// V_DAC,FS grid values (volts).
+    pub vdac_full_scale_values: Vec<f64>,
+}
+
+impl DesignSpace {
+    /// The paper's 48-corner grid: τ0 ∈ {0.16, 0.20, 0.24} ns,
+    /// V_DAC,0 ∈ {0.3, 0.4, 0.5} V, V_DAC,FS ∈ {0.7, 0.8, 0.9, 1.0} V
+    /// (3 × 4 × 4 = 48 corners, counting V_DAC,0 < V_DAC,FS combinations of
+    /// the extended zero grid {0.3, 0.4, 0.5, 0.6} used in Fig. 7 left).
+    pub fn paper_sweep() -> Self {
+        DesignSpace {
+            tau0_values: vec![0.16e-9, 0.20e-9, 0.24e-9],
+            vdac_zero_values: vec![0.3, 0.4, 0.5, 0.6],
+            vdac_full_scale_values: vec![0.7, 0.8, 0.9, 1.0],
+        }
+    }
+
+    /// A minimal grid for tests and examples (8 corners).
+    pub fn small() -> Self {
+        DesignSpace {
+            tau0_values: vec![0.16e-9, 0.24e-9],
+            vdac_zero_values: vec![0.3, 0.45],
+            vdac_full_scale_values: vec![0.8, 1.0],
+        }
+    }
+
+    /// All corners with `V_DAC,0 < V_DAC,FS` (invalid combinations are skipped).
+    pub fn corners(&self) -> Vec<DesignPoint> {
+        let mut corners = Vec::new();
+        for &tau0 in &self.tau0_values {
+            for &zero in &self.vdac_zero_values {
+                for &full_scale in &self.vdac_full_scale_values {
+                    if zero < full_scale {
+                        corners.push(DesignPoint {
+                            tau0: Seconds(tau0),
+                            vdac_zero: Volts(zero),
+                            vdac_full_scale: Volts(full_scale),
+                        });
+                    }
+                }
+            }
+        }
+        corners
+    }
+
+    /// Number of valid corners.
+    pub fn len(&self) -> usize {
+        self.corners().len()
+    }
+
+    /// Returns `true` when the grid produces no valid corners.
+    pub fn is_empty(&self) -> bool {
+        self.corners().is_empty()
+    }
+}
+
+/// Runs the design-space exploration with the OPTIMA models.
+#[derive(Debug, Clone)]
+pub struct DesignSpaceExplorer {
+    models: ModelSuite,
+    threads: usize,
+}
+
+impl DesignSpaceExplorer {
+    /// Creates an explorer using the given fitted models.
+    pub fn new(models: ModelSuite) -> Self {
+        DesignSpaceExplorer { models, threads: 4 }
+    }
+
+    /// Sets the number of worker threads (builder style, clamped to ≥ 1).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Evaluates a single design point.
+    ///
+    /// # Errors
+    ///
+    /// Propagates multiplier construction and evaluation errors.
+    pub fn evaluate_point(&self, point: DesignPoint) -> Result<DesignPointResult, ImcError> {
+        let multiplier = InSramMultiplier::new(self.models.clone(), point.to_config())?;
+        let metrics = evaluate_multiplier(&multiplier)?;
+        Ok(DesignPointResult { point, metrics })
+    }
+
+    /// Explores every corner of the design space, in parallel.
+    ///
+    /// Corners whose configuration is invalid (e.g. pathological grids) are
+    /// skipped; the method fails only if *no* corner could be evaluated.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ImcError::EmptyDesignSpace`] if the grid has no valid corner
+    /// or every corner failed to evaluate.
+    pub fn explore(&self, space: &DesignSpace) -> Result<Vec<DesignPointResult>, ImcError> {
+        let corners = space.corners();
+        if corners.is_empty() {
+            return Err(ImcError::EmptyDesignSpace);
+        }
+
+        let chunk_size = corners.len().div_ceil(self.threads);
+        let mut results: Vec<DesignPointResult> = Vec::with_capacity(corners.len());
+
+        crossbeam::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for chunk in corners.chunks(chunk_size.max(1)) {
+                let explorer = self;
+                handles.push(scope.spawn(move |_| {
+                    chunk
+                        .iter()
+                        .filter_map(|&point| explorer.evaluate_point(point).ok())
+                        .collect::<Vec<_>>()
+                }));
+            }
+            for handle in handles {
+                if let Ok(chunk_results) = handle.join() {
+                    results.extend(chunk_results);
+                }
+            }
+        })
+        .expect("design-space worker threads must not panic");
+
+        if results.is_empty() {
+            return Err(ImcError::EmptyDesignSpace);
+        }
+        // Keep a deterministic ordering regardless of thread interleaving.
+        results.sort_by(|a, b| {
+            (a.point.tau0.0, a.point.vdac_zero.0, a.point.vdac_full_scale.0)
+                .partial_cmp(&(b.point.tau0.0, b.point.vdac_zero.0, b.point.vdac_full_scale.0))
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        Ok(results)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testsupport::linear_suite;
+
+    #[test]
+    fn paper_sweep_has_48_corners() {
+        // 3 τ0 × (4 V_DAC,0 × 4 V_DAC,FS, all valid because 0.6 < 0.7) = 48.
+        assert_eq!(DesignSpace::paper_sweep().len(), 48);
+        assert!(!DesignSpace::paper_sweep().is_empty());
+    }
+
+    #[test]
+    fn invalid_corner_combinations_are_skipped() {
+        let space = DesignSpace {
+            tau0_values: vec![0.2e-9],
+            vdac_zero_values: vec![0.5, 0.9],
+            vdac_full_scale_values: vec![0.7, 1.0],
+        };
+        // (0.5, 0.7), (0.5, 1.0), (0.9, 1.0) are valid; (0.9, 0.7) is not.
+        assert_eq!(space.len(), 3);
+    }
+
+    #[test]
+    fn exploration_returns_metrics_for_every_valid_corner() {
+        let explorer = DesignSpaceExplorer::new(linear_suite()).with_threads(2);
+        let space = DesignSpace::small();
+        let results = explorer.explore(&space).unwrap();
+        assert_eq!(results.len(), space.len());
+        for result in &results {
+            assert!(result.metrics.energy_per_multiply.0 > 0.0);
+            assert!(result.metrics.epsilon_mul.is_finite());
+        }
+    }
+
+    #[test]
+    fn exploration_results_are_sorted_and_deterministic() {
+        let explorer = DesignSpaceExplorer::new(linear_suite());
+        let space = DesignSpace::small();
+        let a = explorer.explore(&space).unwrap();
+        let b = explorer.with_threads(1).explore(&space).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn higher_full_scale_voltage_costs_more_energy() {
+        // Fig. 7: a higher V_DAC,FS results in an increase in energy consumption.
+        let explorer = DesignSpaceExplorer::new(linear_suite());
+        let low = explorer
+            .evaluate_point(DesignPoint {
+                tau0: Seconds(0.16e-9),
+                vdac_zero: Volts(0.45),
+                vdac_full_scale: Volts(0.7),
+            })
+            .unwrap();
+        let high = explorer
+            .evaluate_point(DesignPoint {
+                tau0: Seconds(0.16e-9),
+                vdac_zero: Volts(0.45),
+                vdac_full_scale: Volts(1.0),
+            })
+            .unwrap();
+        assert!(high.metrics.energy_per_multiply.0 > low.metrics.energy_per_multiply.0);
+    }
+
+    #[test]
+    fn longer_tau0_costs_more_energy() {
+        // Fig. 7: increasing τ0 also leads to higher energy consumption.
+        let explorer = DesignSpaceExplorer::new(linear_suite());
+        let short = explorer
+            .evaluate_point(DesignPoint {
+                tau0: Seconds(0.16e-9),
+                vdac_zero: Volts(0.45),
+                vdac_full_scale: Volts(1.0),
+            })
+            .unwrap();
+        let long = explorer
+            .evaluate_point(DesignPoint {
+                tau0: Seconds(0.24e-9),
+                vdac_zero: Volts(0.45),
+                vdac_full_scale: Volts(1.0),
+            })
+            .unwrap();
+        assert!(long.metrics.energy_per_multiply.0 > short.metrics.energy_per_multiply.0);
+    }
+
+    #[test]
+    fn empty_design_space_is_an_error() {
+        let explorer = DesignSpaceExplorer::new(linear_suite());
+        let space = DesignSpace {
+            tau0_values: vec![0.2e-9],
+            vdac_zero_values: vec![0.9],
+            vdac_full_scale_values: vec![0.7],
+        };
+        assert!(matches!(
+            explorer.explore(&space),
+            Err(ImcError::EmptyDesignSpace)
+        ));
+    }
+}

@@ -1,0 +1,100 @@
+//! Error type of the in-SRAM multiplier case study.
+
+use optima_circuit::CircuitError;
+use optima_core::ModelError;
+use std::fmt;
+
+/// Error returned by the multiplier, design-space exploration and PVT analysis.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ImcError {
+    /// A multiplier operand exceeded the 4-bit range.
+    OperandOutOfRange {
+        /// The offending operand value.
+        value: u16,
+        /// The largest representable operand.
+        max: u16,
+    },
+    /// The multiplier configuration is inconsistent (e.g. `V_DAC,0 ≥ V_DAC,FS`).
+    InvalidConfiguration {
+        /// Human-readable description of the inconsistency.
+        context: String,
+    },
+    /// The design space contains no corners.
+    EmptyDesignSpace,
+    /// Error bubbled up from the OPTIMA models.
+    Model(ModelError),
+    /// Error bubbled up from the circuit-level converters.
+    Circuit(CircuitError),
+}
+
+impl fmt::Display for ImcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ImcError::OperandOutOfRange { value, max } => {
+                write!(f, "operand {value} exceeds the maximum {max}")
+            }
+            ImcError::InvalidConfiguration { context } => {
+                write!(f, "invalid multiplier configuration: {context}")
+            }
+            ImcError::EmptyDesignSpace => write!(f, "design space contains no corners"),
+            ImcError::Model(err) => write!(f, "model error: {err}"),
+            ImcError::Circuit(err) => write!(f, "circuit error: {err}"),
+        }
+    }
+}
+
+impl std::error::Error for ImcError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ImcError::Model(err) => Some(err),
+            ImcError::Circuit(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<ModelError> for ImcError {
+    fn from(err: ModelError) -> Self {
+        ImcError::Model(err)
+    }
+}
+
+impl From<CircuitError> for ImcError {
+    fn from(err: CircuitError) -> Self {
+        ImcError::Circuit(err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let err = ImcError::OperandOutOfRange { value: 16, max: 15 };
+        assert!(err.to_string().contains("16"));
+        assert!(ImcError::EmptyDesignSpace.to_string().contains("no corners"));
+    }
+
+    #[test]
+    fn conversions_preserve_sources() {
+        use std::error::Error;
+        let err: ImcError = ModelError::NotCalibrated {
+            model: "discharge".to_string(),
+        }
+        .into();
+        assert!(err.source().is_some());
+        let err: ImcError = CircuitError::InvalidConverterConfig {
+            context: "x".to_string(),
+        }
+        .into();
+        assert!(matches!(err, ImcError::Circuit(_)));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ImcError>();
+    }
+}

@@ -1,0 +1,155 @@
+//! Exhaustive input-space evaluation of a multiplier design point.
+//!
+//! The design-space exploration of Fig. 7 characterises every corner by the
+//! average multiplication error after quantisation (`ϵ_mul`, in product LSBs)
+//! and the average energy per operation (`E_mul`); the corner selection of
+//! Table I additionally needs the analog standard deviation at the maximum
+//! discharge.
+
+use crate::error::ImcError;
+use crate::multiplier::{InSramMultiplier, OperatingPoint, OPERAND_MAX};
+use optima_math::stats;
+use optima_math::units::{FemtoJoules, Volts};
+use serde::{Deserialize, Serialize};
+
+/// Aggregate metrics of one multiplier design point over the full 16×16
+/// input space.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MultiplierMetrics {
+    /// Average absolute error after quantisation, in product LSBs (`ϵ_mul`).
+    pub epsilon_mul: f64,
+    /// Root-mean-square error in product LSBs.
+    pub rms_error_lsb: f64,
+    /// Worst-case absolute error in product LSBs.
+    pub max_error_lsb: f64,
+    /// Average multiplication energy per operation (`E_mul`), excluding writes.
+    pub energy_per_multiply: FemtoJoules,
+    /// Average total (write + multiply) energy per operation.
+    pub energy_per_operation: FemtoJoules,
+    /// Analog mismatch standard deviation at the maximum discharge (a = d = 15).
+    pub sigma_at_max_discharge: Volts,
+    /// Worst-case analog mismatch standard deviation over the input space.
+    pub worst_case_sigma: Volts,
+}
+
+impl MultiplierMetrics {
+    /// Figure of merit of the paper's Eq. 9: `FOM = 1 / (ϵ_mul · E_mul)`.
+    pub fn figure_of_merit(&self) -> f64 {
+        let denominator = self.epsilon_mul.max(1e-9) * self.energy_per_multiply.0.max(1e-9);
+        1.0 / denominator
+    }
+}
+
+/// Evaluates a multiplier over the full input space at the given operating point.
+///
+/// # Errors
+///
+/// Propagates multiplier evaluation errors.
+pub fn evaluate_multiplier_at(
+    multiplier: &InSramMultiplier,
+    at: OperatingPoint,
+) -> Result<MultiplierMetrics, ImcError> {
+    let mut abs_errors = Vec::with_capacity(256);
+    let mut signed_errors = Vec::with_capacity(256);
+    let mut multiply_energies = Vec::with_capacity(256);
+    let mut total_energies = Vec::with_capacity(256);
+    let mut worst_sigma: f64 = 0.0;
+
+    for a in 0..=OPERAND_MAX {
+        for d in 0..=OPERAND_MAX {
+            let outcome = multiplier.multiply_at(a, d, at)?;
+            signed_errors.push(outcome.error_lsb());
+            abs_errors.push(outcome.error_lsb().abs());
+            multiply_energies.push(outcome.multiply_energy.0);
+            total_energies.push(outcome.total_energy().0);
+            worst_sigma = worst_sigma.max(multiplier.analog_sigma(a, d)?.0);
+        }
+    }
+
+    Ok(MultiplierMetrics {
+        epsilon_mul: stats::mean(&abs_errors),
+        rms_error_lsb: stats::rms(&signed_errors),
+        max_error_lsb: abs_errors.iter().cloned().fold(0.0, f64::max),
+        energy_per_multiply: FemtoJoules(stats::mean(&multiply_energies)),
+        energy_per_operation: FemtoJoules(stats::mean(&total_energies)),
+        sigma_at_max_discharge: multiplier.analog_sigma(OPERAND_MAX, OPERAND_MAX)?,
+        worst_case_sigma: Volts(worst_sigma),
+    })
+}
+
+/// Evaluates a multiplier over the full input space at its nominal operating point.
+///
+/// # Errors
+///
+/// Propagates multiplier evaluation errors.
+pub fn evaluate_multiplier(multiplier: &InSramMultiplier) -> Result<MultiplierMetrics, ImcError> {
+    evaluate_multiplier_at(multiplier, multiplier.nominal_operating_point())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::multiplier::{MultiplierConfig, OPERAND_BITS};
+    use optima_math::units::{Seconds, Volts};
+
+    fn near_ideal() -> InSramMultiplier {
+        InSramMultiplier::new(
+            crate::testsupport::linear_suite(),
+            MultiplierConfig::new(Seconds(0.16e-9), Volts(0.45), Volts(1.0)),
+        )
+        .unwrap()
+    }
+
+    fn nonlinear() -> InSramMultiplier {
+        // Zero code well below the threshold voltage: small DAC codes produce
+        // almost no discharge, which is the paper's "variation corner" failure
+        // mode for small operands.
+        InSramMultiplier::new(
+            crate::testsupport::linear_suite(),
+            MultiplierConfig::new(Seconds(0.16e-9), Volts(0.1), Volts(1.0)),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn near_ideal_configuration_has_sub_lsb_error() {
+        let metrics = evaluate_multiplier(&near_ideal()).unwrap();
+        assert!(metrics.epsilon_mul < 1.0, "epsilon = {}", metrics.epsilon_mul);
+        assert!(metrics.rms_error_lsb < 1.5);
+        assert!(metrics.max_error_lsb <= 3.0);
+        assert!(metrics.energy_per_multiply.0 > 0.0);
+        assert!(metrics.energy_per_operation.0 > metrics.energy_per_multiply.0);
+    }
+
+    #[test]
+    fn misaligned_dac_zero_increases_error() {
+        let good = evaluate_multiplier(&near_ideal()).unwrap();
+        let bad = evaluate_multiplier(&nonlinear()).unwrap();
+        assert!(
+            bad.epsilon_mul > good.epsilon_mul,
+            "bad {} <= good {}",
+            bad.epsilon_mul,
+            good.epsilon_mul
+        );
+    }
+
+    #[test]
+    fn sigma_metrics_are_consistent() {
+        let metrics = evaluate_multiplier(&near_ideal()).unwrap();
+        assert!(metrics.worst_case_sigma.0 >= metrics.sigma_at_max_discharge.0 - 1e-12);
+        assert!(metrics.sigma_at_max_discharge.0 > 0.0);
+    }
+
+    #[test]
+    fn figure_of_merit_prefers_accurate_and_efficient_corners() {
+        let good = evaluate_multiplier(&near_ideal()).unwrap();
+        let bad = evaluate_multiplier(&nonlinear()).unwrap();
+        assert!(good.figure_of_merit() > bad.figure_of_merit());
+    }
+
+    #[test]
+    fn operand_bits_constant_is_four() {
+        assert_eq!(OPERAND_BITS, 4);
+        assert_eq!(OPERAND_MAX, 15);
+    }
+}

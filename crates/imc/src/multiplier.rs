@@ -1,0 +1,653 @@
+//! The behavioural 4-bit discharge-based in-SRAM multiplier.
+//!
+//! The circuit (paper Section V, based on ref. [8]) multiplies a 4-bit
+//! operand `a` applied through a word-line DAC with a 4-bit operand `d`
+//! stored in an SRAM row.  Each stored bit `d_i` gates the discharge of its
+//! own bit-line-bar; bit weighting is achieved by letting column `i`
+//! discharge for `2^i · τ0`.  The discharges are then combined by charge
+//! sharing and digitised by an ADC.
+
+use crate::error::ImcError;
+use optima_circuit::adc::Adc;
+use optima_circuit::dac::{Dac, DacTransfer};
+use optima_core::model::suite::ModelSuite;
+use optima_math::units::{Celsius, FemtoJoules, Seconds, Volts};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Number of operand bits of the multiplier (fixed to 4 as in the paper).
+pub const OPERAND_BITS: u8 = 4;
+
+/// Largest operand value (`2^4 − 1`).
+pub const OPERAND_MAX: u16 = (1 << OPERAND_BITS) - 1;
+
+/// Largest exact product (`15 × 15`).
+pub const PRODUCT_MAX: u16 = OPERAND_MAX * OPERAND_MAX;
+
+/// Static configuration of one multiplier design point.
+///
+/// The three fields are exactly the design-space parameters explored in the
+/// paper's Fig. 7 / Table I.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MultiplierConfig {
+    /// Discharge time of the least-significant bit-line (`τ0`).
+    pub tau0: Seconds,
+    /// DAC output voltage for input code 0 (`V_DAC,0`).
+    pub vdac_zero: Volts,
+    /// DAC full-scale output voltage (`V_DAC,FS`).
+    pub vdac_full_scale: Volts,
+    /// DAC transfer curve (linear in the paper; square-root pre-distortion
+    /// available for the ablation study).
+    pub dac_transfer: DacTransfer,
+}
+
+impl MultiplierConfig {
+    /// Creates a configuration from the three design-space parameters with a
+    /// linear DAC.
+    pub fn new(tau0: Seconds, vdac_zero: Volts, vdac_full_scale: Volts) -> Self {
+        MultiplierConfig {
+            tau0,
+            vdac_zero,
+            vdac_full_scale,
+            dac_transfer: DacTransfer::Linear,
+        }
+    }
+
+    /// The paper's *fom* corner (Table I): τ0 = 0.16 ns, V_DAC,0 = 0.3 V,
+    /// V_DAC,FS = 1.0 V.
+    pub fn paper_fom_corner() -> Self {
+        MultiplierConfig::new(Seconds(0.16e-9), Volts(0.3), Volts(1.0))
+    }
+
+    /// The paper's *power* corner (Table I): τ0 = 0.16 ns, V_DAC,0 = 0.3 V,
+    /// V_DAC,FS = 0.7 V.
+    pub fn paper_power_corner() -> Self {
+        MultiplierConfig::new(Seconds(0.16e-9), Volts(0.3), Volts(0.7))
+    }
+
+    /// The paper's *variation* corner (Table I): τ0 = 0.24 ns, V_DAC,0 = 0.4 V,
+    /// V_DAC,FS = 1.0 V.
+    pub fn paper_variation_corner() -> Self {
+        MultiplierConfig::new(Seconds(0.24e-9), Volts(0.4), Volts(1.0))
+    }
+
+    /// Switches the DAC transfer curve (builder style).
+    pub fn with_dac_transfer(mut self, transfer: DacTransfer) -> Self {
+        self.dac_transfer = transfer;
+        self
+    }
+
+    /// Longest single-column discharge time (`8 · τ0`, the MSB column).
+    pub fn longest_discharge(&self) -> Seconds {
+        Seconds(self.tau0.0 * (1 << (OPERAND_BITS - 1)) as f64)
+    }
+}
+
+/// Result of one in-SRAM multiplication.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MultiplyOutcome {
+    /// Digitised product (in product LSBs, ideally `a · d`).
+    pub result: u16,
+    /// Exact product `a · d`.
+    pub expected: u16,
+    /// Combined analog discharge presented to the ADC.
+    pub combined_discharge: Volts,
+    /// Energy of the multiplication (discharges + converter overhead),
+    /// excluding the operand write.
+    pub multiply_energy: FemtoJoules,
+    /// Energy of writing the stored operand (four cell writes).
+    pub write_energy: FemtoJoules,
+}
+
+impl MultiplyOutcome {
+    /// Signed error in product LSBs (`result − expected`).
+    pub fn error_lsb(&self) -> f64 {
+        self.result as f64 - self.expected as f64
+    }
+
+    /// Total energy of write + multiplication.
+    pub fn total_energy(&self) -> FemtoJoules {
+        FemtoJoules(self.multiply_energy.0 + self.write_energy.0)
+    }
+}
+
+/// Operating conditions of a multiplication.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OperatingPoint {
+    /// Supply voltage.
+    pub vdd: Volts,
+    /// Junction temperature.
+    pub temperature: Celsius,
+}
+
+/// The behavioural in-SRAM multiplier.
+#[derive(Debug, Clone)]
+pub struct InSramMultiplier {
+    models: ModelSuite,
+    config: MultiplierConfig,
+    dac: Dac,
+    adc: Adc,
+    /// Volts of combined discharge per product LSB, determined by a one-time
+    /// least-squares calibration over the full input space.
+    volts_per_lsb: f64,
+    /// Fixed converter overhead charged per multiplication.
+    converter_overhead: FemtoJoules,
+    nominal: OperatingPoint,
+}
+
+impl InSramMultiplier {
+    /// Builds a multiplier for the given fitted models and design point.
+    ///
+    /// Construction performs a one-time transfer-curve calibration (the
+    /// mapping from combined discharge to product LSBs) at nominal
+    /// conditions, mirroring how the readout reference of the real circuit
+    /// would be trimmed.
+    ///
+    /// # Errors
+    ///
+    /// * [`ImcError::InvalidConfiguration`] if the DAC voltages are
+    ///   inconsistent or `τ0` is non-positive.
+    /// * Propagates model-evaluation errors if the configuration drives the
+    ///   models outside their calibrated domain.
+    pub fn new(models: ModelSuite, config: MultiplierConfig) -> Result<Self, ImcError> {
+        if config.tau0.0 <= 0.0 || !config.tau0.0.is_finite() {
+            return Err(ImcError::InvalidConfiguration {
+                context: format!("tau0 must be positive, got {}", config.tau0.0),
+            });
+        }
+        let dac = Dac::new(OPERAND_BITS, config.vdac_zero, config.vdac_full_scale)
+            .map_err(|err| ImcError::InvalidConfiguration {
+                context: err.to_string(),
+            })?
+            .with_transfer(config.dac_transfer);
+        // The ADC digitises the combined discharge; its range is set after the
+        // transfer calibration so that one code equals one product LSB.
+        let adc = Adc::new(8, Volts(1.0)).map_err(|err| ImcError::InvalidConfiguration {
+            context: err.to_string(),
+        })?;
+        let nominal = OperatingPoint {
+            vdd: models.vdd_nominal(),
+            temperature: models.temperature_nominal(),
+        };
+
+        let mut multiplier = InSramMultiplier {
+            models,
+            config,
+            dac,
+            adc,
+            volts_per_lsb: 1.0,
+            converter_overhead: FemtoJoules(2.0),
+            nominal,
+        };
+        multiplier.calibrate_transfer()?;
+        Ok(multiplier)
+    }
+
+    /// The design-point configuration.
+    pub fn config(&self) -> &MultiplierConfig {
+        &self.config
+    }
+
+    /// The fitted models driving the multiplier.
+    pub fn models(&self) -> &ModelSuite {
+        &self.models
+    }
+
+    /// Volts of combined discharge corresponding to one product LSB.
+    pub fn volts_per_lsb(&self) -> Volts {
+        Volts(self.volts_per_lsb)
+    }
+
+    /// Nominal operating point used for calibration.
+    pub fn nominal_operating_point(&self) -> OperatingPoint {
+        self.nominal
+    }
+
+    /// Least-squares calibration of the discharge-to-LSB transfer factor over
+    /// the full 16×16 input space at nominal conditions.
+    fn calibrate_transfer(&mut self) -> Result<(), ImcError> {
+        let mut numerator = 0.0;
+        let mut denominator = 0.0;
+        for a in 0..=OPERAND_MAX {
+            for d in 0..=OPERAND_MAX {
+                let discharge = self.combined_discharge::<rand_chacha::ChaCha8Rng>(
+                    a,
+                    d,
+                    self.nominal,
+                    None,
+                )?;
+                let expected = (a * d) as f64;
+                numerator += discharge * expected;
+                denominator += expected * expected;
+            }
+        }
+        if denominator <= 0.0 || numerator <= 0.0 {
+            return Err(ImcError::InvalidConfiguration {
+                context: "transfer calibration produced no usable discharge".to_string(),
+            });
+        }
+        self.volts_per_lsb = numerator / denominator;
+        Ok(())
+    }
+
+    /// Combined (charge-shared) discharge for operands `a` (DAC input) and
+    /// `d` (stored word), optionally with mismatch sampling.
+    fn combined_discharge<R: Rng + ?Sized>(
+        &self,
+        a: u16,
+        d: u16,
+        at: OperatingPoint,
+        mut rng: Option<&mut R>,
+    ) -> Result<f64, ImcError> {
+        let word_line = self
+            .dac
+            .output_with_supply(a, at.vdd, self.models.vdd_nominal())?;
+        let mut total = 0.0;
+        for bit in 0..OPERAND_BITS {
+            let stored = (d >> bit) & 1 == 1;
+            if !stored {
+                continue;
+            }
+            let duration = Seconds(self.config.tau0.0 * (1u32 << bit) as f64);
+            let delta = match rng.as_mut() {
+                Some(rng) => self.models.discharge_with_mismatch(
+                    &mut **rng,
+                    duration,
+                    word_line,
+                    true,
+                    at.vdd,
+                    at.temperature,
+                )?,
+                None => {
+                    self.models
+                        .discharge(duration, word_line, true, at.vdd, at.temperature)?
+                }
+            };
+            total += delta.0;
+        }
+        // Charge sharing across the four sampling capacitors averages the
+        // individual discharges.
+        Ok(total / OPERAND_BITS as f64)
+    }
+
+    /// Analog standard deviation of the combined discharge for `(a, d)` due
+    /// to transistor mismatch (root-sum-square of the per-column σ).
+    ///
+    /// # Errors
+    ///
+    /// Propagates converter errors for out-of-range operands.
+    pub fn analog_sigma(&self, a: u16, d: u16) -> Result<Volts, ImcError> {
+        self.check_operands(a, d)?;
+        let word_line = self.dac.output(a)?;
+        let mut variance = 0.0;
+        for bit in 0..OPERAND_BITS {
+            if (d >> bit) & 1 == 0 {
+                continue;
+            }
+            let duration = Seconds(self.config.tau0.0 * (1u32 << bit) as f64);
+            let sigma = self.models.mismatch_sigma(duration, word_line).0;
+            variance += sigma * sigma;
+        }
+        Ok(Volts(variance.sqrt() / OPERAND_BITS as f64))
+    }
+
+    fn check_operands(&self, a: u16, d: u16) -> Result<(), ImcError> {
+        if a > OPERAND_MAX {
+            return Err(ImcError::OperandOutOfRange {
+                value: a,
+                max: OPERAND_MAX,
+            });
+        }
+        if d > OPERAND_MAX {
+            return Err(ImcError::OperandOutOfRange {
+                value: d,
+                max: OPERAND_MAX,
+            });
+        }
+        Ok(())
+    }
+
+    /// Performs one multiplication at nominal conditions.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ImcError::OperandOutOfRange`] for operands above 15 and
+    /// propagates model errors.
+    pub fn multiply(&self, a: u16, d: u16) -> Result<MultiplyOutcome, ImcError> {
+        self.multiply_at(a, d, self.nominal)
+    }
+
+    /// Performs one multiplication at an explicit operating point.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`InSramMultiplier::multiply`].
+    pub fn multiply_at(
+        &self,
+        a: u16,
+        d: u16,
+        at: OperatingPoint,
+    ) -> Result<MultiplyOutcome, ImcError> {
+        self.check_operands(a, d)?;
+        let discharge = self.combined_discharge::<rand_chacha::ChaCha8Rng>(a, d, at, None)?;
+        Ok(self.digitise(a, d, discharge, at))
+    }
+
+    /// Performs one multiplication with per-column mismatch sampling (one
+    /// Monte Carlo instance).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`InSramMultiplier::multiply`].
+    pub fn multiply_with_mismatch<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        a: u16,
+        d: u16,
+        at: OperatingPoint,
+    ) -> Result<MultiplyOutcome, ImcError> {
+        self.check_operands(a, d)?;
+        let discharge = self.combined_discharge(a, d, at, Some(rng))?;
+        Ok(self.digitise(a, d, discharge, at))
+    }
+
+    fn digitise(&self, a: u16, d: u16, discharge: f64, at: OperatingPoint) -> MultiplyOutcome {
+        // Round-to-nearest quantisation in product-LSB units, clamped to the
+        // ADC code range (8 bits, enough for the 0..=225 product range).
+        let raw = (discharge / self.volts_per_lsb).round();
+        let result = raw.clamp(0.0, self.adc.max_code() as f64) as u16;
+
+        // Energy: per-column discharge energies + converter overhead.
+        let word_line = self
+            .dac
+            .output_with_supply(a, at.vdd, self.models.vdd_nominal())
+            .unwrap_or(Volts(self.config.vdac_zero.0));
+        let mut multiply_energy = self.converter_overhead.0;
+        for bit in 0..OPERAND_BITS {
+            if (d >> bit) & 1 == 0 {
+                continue;
+            }
+            let duration = Seconds(self.config.tau0.0 * (1u32 << bit) as f64);
+            let delta = self
+                .models
+                .discharge(duration, word_line, true, at.vdd, at.temperature)
+                .map(|v| v.0)
+                .unwrap_or(0.0);
+            multiply_energy += self
+                .models
+                .discharge_energy(Volts(delta), at.vdd, at.temperature)
+                .0;
+        }
+        let write_energy =
+            FemtoJoules(self.models.write_energy(at.vdd, at.temperature).0 * OPERAND_BITS as f64);
+
+        MultiplyOutcome {
+            result,
+            expected: a * d,
+            combined_discharge: Volts(discharge),
+            multiply_energy: FemtoJoules(multiply_energy),
+            write_energy,
+        }
+    }
+}
+
+/// A pre-computed 16×16 result table of a multiplier configuration.
+///
+/// The DNN experiments perform millions of multiplications; looking the
+/// results up in a table is the standard way to make that tractable and is
+/// behaviourally identical because the multiplier is deterministic at a fixed
+/// operating point.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MultiplierTable {
+    results: Vec<u16>,
+    average_multiply_energy: FemtoJoules,
+    average_total_energy: FemtoJoules,
+}
+
+impl MultiplierTable {
+    /// Builds the table by evaluating every operand pair at the given
+    /// operating point.
+    ///
+    /// # Errors
+    ///
+    /// Propagates multiplier errors.
+    pub fn from_multiplier(
+        multiplier: &InSramMultiplier,
+        at: OperatingPoint,
+    ) -> Result<Self, ImcError> {
+        let mut results = Vec::with_capacity(256);
+        let mut energy_sum = 0.0;
+        let mut total_sum = 0.0;
+        for a in 0..=OPERAND_MAX {
+            for d in 0..=OPERAND_MAX {
+                let outcome = multiplier.multiply_at(a, d, at)?;
+                results.push(outcome.result);
+                energy_sum += outcome.multiply_energy.0;
+                total_sum += outcome.total_energy().0;
+            }
+        }
+        Ok(MultiplierTable {
+            results,
+            average_multiply_energy: FemtoJoules(energy_sum / 256.0),
+            average_total_energy: FemtoJoules(total_sum / 256.0),
+        })
+    }
+
+    /// An ideal (error-free) table, used as the exact-INT4 baseline.
+    pub fn exact() -> Self {
+        let mut results = Vec::with_capacity(256);
+        for a in 0..=OPERAND_MAX {
+            for d in 0..=OPERAND_MAX {
+                results.push(a * d);
+            }
+        }
+        MultiplierTable {
+            results,
+            average_multiply_energy: FemtoJoules(0.0),
+            average_total_energy: FemtoJoules(0.0),
+        }
+    }
+
+    /// Looks up the multiplier output for `(a, d)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either operand exceeds 15.
+    pub fn lookup(&self, a: u16, d: u16) -> u16 {
+        assert!(a <= OPERAND_MAX && d <= OPERAND_MAX, "operands must be 4-bit");
+        self.results[(a * (OPERAND_MAX + 1) + d) as usize]
+    }
+
+    /// Average multiplication energy over the input space.
+    pub fn average_multiply_energy(&self) -> FemtoJoules {
+        self.average_multiply_energy
+    }
+
+    /// Average write + multiplication energy over the input space.
+    pub fn average_total_energy(&self) -> FemtoJoules {
+        self.average_total_energy
+    }
+
+    /// Mean absolute error of the table against exact multiplication (LSBs).
+    pub fn mean_absolute_error(&self) -> f64 {
+        let mut total = 0.0;
+        for a in 0..=OPERAND_MAX {
+            for d in 0..=OPERAND_MAX {
+                total += (self.lookup(a, d) as f64 - (a * d) as f64).abs();
+            }
+        }
+        total / 256.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testsupport::linear_suite;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn ideal_config() -> MultiplierConfig {
+        // Zero code at the threshold voltage makes the overdrive proportional
+        // to the DAC code, so products are exact up to quantisation.
+        MultiplierConfig::new(Seconds(0.16e-9), Volts(0.45), Volts(1.0))
+    }
+
+    #[test]
+    fn near_ideal_multiplier_reproduces_products() {
+        let multiplier = InSramMultiplier::new(linear_suite(), ideal_config()).unwrap();
+        for (a, d) in [(0, 0), (1, 1), (3, 5), (7, 9), (15, 15), (15, 1), (2, 8)] {
+            let outcome = multiplier.multiply(a, d).unwrap();
+            assert_eq!(outcome.expected, a * d);
+            assert!(
+                outcome.error_lsb().abs() <= 1.0,
+                "{a} x {d}: got {} expected {}",
+                outcome.result,
+                outcome.expected
+            );
+        }
+    }
+
+    #[test]
+    fn zero_operands_produce_zero() {
+        let multiplier = InSramMultiplier::new(linear_suite(), ideal_config()).unwrap();
+        assert_eq!(multiplier.multiply(0, 9).unwrap().result, 0);
+        assert_eq!(multiplier.multiply(9, 0).unwrap().result, 0);
+    }
+
+    #[test]
+    fn operands_above_fifteen_are_rejected() {
+        let multiplier = InSramMultiplier::new(linear_suite(), ideal_config()).unwrap();
+        assert!(matches!(
+            multiplier.multiply(16, 3),
+            Err(ImcError::OperandOutOfRange { .. })
+        ));
+        assert!(matches!(
+            multiplier.multiply(3, 99),
+            Err(ImcError::OperandOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn invalid_configurations_are_rejected() {
+        assert!(InSramMultiplier::new(
+            linear_suite(),
+            MultiplierConfig::new(Seconds(0.0), Volts(0.3), Volts(1.0))
+        )
+        .is_err());
+        assert!(InSramMultiplier::new(
+            linear_suite(),
+            MultiplierConfig::new(Seconds(0.16e-9), Volts(1.0), Volts(0.7))
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn energy_grows_with_stored_operand_weight() {
+        let multiplier = InSramMultiplier::new(linear_suite(), ideal_config()).unwrap();
+        let light = multiplier.multiply(15, 1).unwrap().multiply_energy.0;
+        let heavy = multiplier.multiply(15, 15).unwrap().multiply_energy.0;
+        assert!(heavy > light);
+        let outcome = multiplier.multiply(15, 15).unwrap();
+        assert!(outcome.write_energy.0 > 0.0);
+        assert!(outcome.total_energy().0 > outcome.multiply_energy.0);
+    }
+
+    #[test]
+    fn paper_corner_constructors_match_table_one() {
+        let fom = MultiplierConfig::paper_fom_corner();
+        assert!((fom.tau0.0 - 0.16e-9).abs() < 1e-15);
+        assert_eq!(fom.vdac_zero, Volts(0.3));
+        assert_eq!(fom.vdac_full_scale, Volts(1.0));
+        let power = MultiplierConfig::paper_power_corner();
+        assert_eq!(power.vdac_full_scale, Volts(0.7));
+        let variation = MultiplierConfig::paper_variation_corner();
+        assert!((variation.tau0.0 - 0.24e-9).abs() < 1e-15);
+        assert_eq!(variation.vdac_zero, Volts(0.4));
+        assert!((fom.longest_discharge().0 - 1.28e-9).abs() < 1e-15);
+    }
+
+    #[test]
+    fn mismatch_sampling_perturbs_results_reproducibly() {
+        let multiplier = InSramMultiplier::new(linear_suite(), ideal_config()).unwrap();
+        let at = multiplier.nominal_operating_point();
+        let mut rng_a = ChaCha8Rng::seed_from_u64(3);
+        let mut rng_b = ChaCha8Rng::seed_from_u64(3);
+        let a = multiplier
+            .multiply_with_mismatch(&mut rng_a, 12, 13, at)
+            .unwrap();
+        let b = multiplier
+            .multiply_with_mismatch(&mut rng_b, 12, 13, at)
+            .unwrap();
+        assert_eq!(a.combined_discharge, b.combined_discharge);
+        // Across many samples the result must deviate from nominal sometimes.
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let nominal = multiplier.multiply(12, 13).unwrap().combined_discharge.0;
+        let any_different = (0..64).any(|_| {
+            let sampled = multiplier
+                .multiply_with_mismatch(&mut rng, 12, 13, at)
+                .unwrap()
+                .combined_discharge
+                .0;
+            (sampled - nominal).abs() > 1e-6
+        });
+        assert!(any_different);
+    }
+
+    #[test]
+    fn analog_sigma_grows_with_operands() {
+        let multiplier = InSramMultiplier::new(linear_suite(), ideal_config()).unwrap();
+        let small = multiplier.analog_sigma(3, 1).unwrap().0;
+        let large = multiplier.analog_sigma(15, 15).unwrap().0;
+        assert!(large > small);
+        assert_eq!(multiplier.analog_sigma(5, 0).unwrap().0, 0.0);
+        assert!(multiplier.analog_sigma(16, 0).is_err());
+    }
+
+    #[test]
+    fn table_matches_direct_multiplication() {
+        let multiplier = InSramMultiplier::new(linear_suite(), ideal_config()).unwrap();
+        let at = multiplier.nominal_operating_point();
+        let table = MultiplierTable::from_multiplier(&multiplier, at).unwrap();
+        for (a, d) in [(0, 0), (3, 4), (15, 15), (9, 2)] {
+            assert_eq!(table.lookup(a, d), multiplier.multiply(a, d).unwrap().result);
+        }
+        assert!(table.average_multiply_energy().0 > 0.0);
+        assert!(table.average_total_energy().0 > table.average_multiply_energy().0);
+        assert!(table.mean_absolute_error() < 1.0);
+    }
+
+    #[test]
+    fn exact_table_has_zero_error() {
+        let table = MultiplierTable::exact();
+        assert_eq!(table.lookup(7, 8), 56);
+        assert_eq!(table.mean_absolute_error(), 0.0);
+        assert_eq!(table.average_multiply_energy().0, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "4-bit")]
+    fn table_lookup_panics_on_out_of_range_operand() {
+        let table = MultiplierTable::exact();
+        let _ = table.lookup(16, 0);
+    }
+
+    #[test]
+    fn supply_shift_changes_the_result() {
+        let multiplier = InSramMultiplier::new(linear_suite(), ideal_config()).unwrap();
+        let nominal = multiplier.multiply(10, 10).unwrap();
+        let low_supply = multiplier
+            .multiply_at(
+                10,
+                10,
+                OperatingPoint {
+                    vdd: Volts(0.9),
+                    temperature: Celsius(25.0),
+                },
+            )
+            .unwrap();
+        // With the identity supply model the only effect is the DAC reference,
+        // which lowers the word-line voltage and therefore the result.
+        assert!(low_supply.result <= nominal.result);
+    }
+}

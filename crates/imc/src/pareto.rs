@@ -1,0 +1,106 @@
+//! Pareto-front extraction over the (energy, error) plane.
+//!
+//! The paper argues that the design trade-offs "have to be investigated
+//! thoroughly with design-space exploration to find (Pareto-)optimal
+//! configurations"; this module provides that extraction for the explored
+//! corners.
+
+use crate::dse::DesignPointResult;
+
+/// Returns the subset of `results` that is Pareto-optimal when *minimising*
+/// both energy per multiplication and ϵ_mul.
+///
+/// A corner is kept if no other corner is at least as good in both metrics
+/// and strictly better in one.  The returned front is sorted by increasing
+/// energy.
+pub fn pareto_front(results: &[DesignPointResult]) -> Vec<DesignPointResult> {
+    let mut front: Vec<DesignPointResult> = results
+        .iter()
+        .filter(|candidate| {
+            !results.iter().any(|other| {
+                let better_or_equal_energy = other.metrics.energy_per_multiply.0
+                    <= candidate.metrics.energy_per_multiply.0;
+                let better_or_equal_error =
+                    other.metrics.epsilon_mul <= candidate.metrics.epsilon_mul;
+                let strictly_better = other.metrics.energy_per_multiply.0
+                    < candidate.metrics.energy_per_multiply.0
+                    || other.metrics.epsilon_mul < candidate.metrics.epsilon_mul;
+                better_or_equal_energy && better_or_equal_error && strictly_better
+            })
+        })
+        .copied()
+        .collect();
+    front.sort_by(|a, b| {
+        a.metrics
+            .energy_per_multiply
+            .0
+            .partial_cmp(&b.metrics.energy_per_multiply.0)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    front
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dse::DesignPoint;
+    use crate::metrics::MultiplierMetrics;
+    use optima_math::units::{FemtoJoules, Seconds, Volts};
+
+    fn result(energy: f64, epsilon: f64) -> DesignPointResult {
+        DesignPointResult {
+            point: DesignPoint {
+                tau0: Seconds(0.16e-9),
+                vdac_zero: Volts(0.3),
+                vdac_full_scale: Volts(1.0),
+            },
+            metrics: MultiplierMetrics {
+                epsilon_mul: epsilon,
+                rms_error_lsb: epsilon,
+                max_error_lsb: epsilon,
+                energy_per_multiply: FemtoJoules(energy),
+                energy_per_operation: FemtoJoules(energy),
+                sigma_at_max_discharge: Volts(0.005),
+                worst_case_sigma: Volts(0.006),
+            },
+        }
+    }
+
+    #[test]
+    fn dominated_points_are_removed() {
+        let results = vec![
+            result(30.0, 10.0),
+            result(40.0, 5.0),
+            result(50.0, 2.0),
+            result(45.0, 12.0), // dominated by (40, 5) and (30, 10)
+            result(60.0, 2.5),  // dominated by (50, 2)
+        ];
+        let front = pareto_front(&results);
+        assert_eq!(front.len(), 3);
+        assert!((front[0].metrics.energy_per_multiply.0 - 30.0).abs() < 1e-12);
+        assert!((front[2].metrics.energy_per_multiply.0 - 50.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn front_is_sorted_by_energy_and_monotone_in_error() {
+        let results = vec![result(50.0, 2.0), result(30.0, 10.0), result(40.0, 5.0)];
+        let front = pareto_front(&results);
+        for pair in front.windows(2) {
+            assert!(pair[0].metrics.energy_per_multiply.0 <= pair[1].metrics.energy_per_multiply.0);
+            assert!(pair[0].metrics.epsilon_mul >= pair[1].metrics.epsilon_mul);
+        }
+    }
+
+    #[test]
+    fn single_and_empty_inputs() {
+        assert!(pareto_front(&[]).is_empty());
+        let single = vec![result(10.0, 1.0)];
+        assert_eq!(pareto_front(&single).len(), 1);
+    }
+
+    #[test]
+    fn duplicate_points_all_survive() {
+        let results = vec![result(10.0, 1.0), result(10.0, 1.0)];
+        assert_eq!(pareto_front(&results).len(), 2);
+    }
+}

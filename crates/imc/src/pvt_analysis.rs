@@ -1,0 +1,295 @@
+//! PVT and mismatch analysis of selected multiplier corners (paper Fig. 8).
+//!
+//! For each selected corner the paper reports:
+//!
+//! * the average multiplication result deviation and the analog standard
+//!   deviation as a function of the expected result (Fig. 8 left), and
+//! * the influence of supply-voltage and temperature variations on the error
+//!   level (Fig. 8 right).
+
+use crate::error::ImcError;
+use crate::multiplier::{InSramMultiplier, OperatingPoint, OPERAND_MAX, PRODUCT_MAX};
+use optima_circuit::pvt::linspace;
+use optima_math::stats;
+use optima_math::units::{Celsius, Volts};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the PVT analysis sweeps.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PvtAnalysisConfig {
+    /// Supply voltages of the voltage sweep (volts).
+    pub supply_voltages: Vec<f64>,
+    /// Temperatures of the temperature sweep (°C).
+    pub temperatures: Vec<f64>,
+    /// Number of mismatch Monte Carlo samples per operand pair.
+    pub mismatch_samples: usize,
+    /// RNG seed of the Monte Carlo sampling.
+    pub seed: u64,
+}
+
+impl Default for PvtAnalysisConfig {
+    fn default() -> Self {
+        PvtAnalysisConfig {
+            supply_voltages: linspace(0.9, 1.1, 5),
+            temperatures: linspace(0.0, 60.0, 4),
+            mismatch_samples: 50,
+            seed: 0xf18_8,
+        }
+    }
+}
+
+impl PvtAnalysisConfig {
+    /// A reduced configuration for tests.
+    pub fn fast() -> Self {
+        PvtAnalysisConfig {
+            supply_voltages: vec![0.95, 1.0, 1.05],
+            temperatures: vec![0.0, 25.0, 60.0],
+            mismatch_samples: 12,
+            ..PvtAnalysisConfig::default()
+        }
+    }
+}
+
+/// Error statistics binned by the expected multiplication result (Fig. 8 left).
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct ResultProfile {
+    /// Expected results (0..=225) that occur in the 16×16 input space, ascending.
+    pub expected_results: Vec<u16>,
+    /// Average signed error (result − expected) per expected result, in LSBs.
+    pub average_error_lsb: Vec<f64>,
+    /// Average analog mismatch standard deviation per expected result, in volts.
+    pub analog_sigma: Vec<f64>,
+}
+
+/// Average error as a function of one varied operating-condition axis (Fig. 8 right).
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct ConditionSweep {
+    /// The swept condition values (volts or °C).
+    pub condition_values: Vec<f64>,
+    /// Average absolute error over the input space at each condition, in LSBs.
+    pub average_error_lsb: Vec<f64>,
+}
+
+/// Full Fig. 8 analysis result for one corner.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct PvtAnalysis {
+    /// Error/σ versus expected result at nominal conditions.
+    pub result_profile: ResultProfile,
+    /// Error versus supply voltage.
+    pub supply_sweep: ConditionSweep,
+    /// Error versus temperature.
+    pub temperature_sweep: ConditionSweep,
+    /// Worst-case analog standard deviation observed (volts).
+    pub worst_case_sigma: f64,
+    /// Average error over the whole input space at nominal conditions (LSBs).
+    pub nominal_epsilon_mul: f64,
+}
+
+impl PvtAnalysis {
+    /// Runs the full analysis for one multiplier corner.
+    ///
+    /// # Errors
+    ///
+    /// Propagates multiplier evaluation errors.
+    pub fn run(
+        multiplier: &InSramMultiplier,
+        config: &PvtAnalysisConfig,
+    ) -> Result<Self, ImcError> {
+        let nominal = multiplier.nominal_operating_point();
+
+        // ---- Fig. 8 left: error and sigma binned by expected result ----
+        let mut per_expected_error: Vec<Vec<f64>> = vec![Vec::new(); PRODUCT_MAX as usize + 1];
+        let mut per_expected_sigma: Vec<Vec<f64>> = vec![Vec::new(); PRODUCT_MAX as usize + 1];
+        let mut abs_errors = Vec::with_capacity(256);
+        let mut worst_sigma: f64 = 0.0;
+
+        for a in 0..=OPERAND_MAX {
+            for d in 0..=OPERAND_MAX {
+                let outcome = multiplier.multiply_at(a, d, nominal)?;
+                let sigma = multiplier.analog_sigma(a, d)?.0;
+                per_expected_error[outcome.expected as usize].push(outcome.error_lsb());
+                per_expected_sigma[outcome.expected as usize].push(sigma);
+                abs_errors.push(outcome.error_lsb().abs());
+                worst_sigma = worst_sigma.max(sigma);
+            }
+        }
+
+        let mut result_profile = ResultProfile::default();
+        for expected in 0..=PRODUCT_MAX as usize {
+            if per_expected_error[expected].is_empty() {
+                continue;
+            }
+            result_profile.expected_results.push(expected as u16);
+            result_profile
+                .average_error_lsb
+                .push(stats::mean(&per_expected_error[expected]));
+            result_profile
+                .analog_sigma
+                .push(stats::mean(&per_expected_sigma[expected]));
+        }
+
+        // ---- Fig. 8 right: error vs supply voltage and temperature ----
+        let supply_sweep = ConditionSweep {
+            condition_values: config.supply_voltages.clone(),
+            average_error_lsb: config
+                .supply_voltages
+                .iter()
+                .map(|&vdd| {
+                    average_error_at(
+                        multiplier,
+                        OperatingPoint {
+                            vdd: Volts(vdd),
+                            temperature: nominal.temperature,
+                        },
+                    )
+                })
+                .collect::<Result<Vec<_>, _>>()?,
+        };
+        let temperature_sweep = ConditionSweep {
+            condition_values: config.temperatures.clone(),
+            average_error_lsb: config
+                .temperatures
+                .iter()
+                .map(|&temp| {
+                    average_error_at(
+                        multiplier,
+                        OperatingPoint {
+                            vdd: nominal.vdd,
+                            temperature: Celsius(temp),
+                        },
+                    )
+                })
+                .collect::<Result<Vec<_>, _>>()?,
+        };
+
+        Ok(PvtAnalysis {
+            result_profile,
+            supply_sweep,
+            temperature_sweep,
+            worst_case_sigma: worst_sigma,
+            nominal_epsilon_mul: stats::mean(&abs_errors),
+        })
+    }
+}
+
+/// Average absolute error over the full input space at one operating point.
+fn average_error_at(
+    multiplier: &InSramMultiplier,
+    at: OperatingPoint,
+) -> Result<f64, ImcError> {
+    let mut errors = Vec::with_capacity(256);
+    for a in 0..=OPERAND_MAX {
+        for d in 0..=OPERAND_MAX {
+            errors.push(multiplier.multiply_at(a, d, at)?.error_lsb().abs());
+        }
+    }
+    Ok(stats::mean(&errors))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::multiplier::MultiplierConfig;
+    use crate::testsupport::{linear_suite, pvt_sensitive_suite};
+    use optima_math::units::Seconds;
+
+    fn analysis(suite_sensitive: bool) -> PvtAnalysis {
+        let suite = if suite_sensitive {
+            pvt_sensitive_suite()
+        } else {
+            linear_suite()
+        };
+        let multiplier = InSramMultiplier::new(
+            suite,
+            MultiplierConfig::new(Seconds(0.16e-9), Volts(0.45), Volts(1.0)),
+        )
+        .unwrap();
+        PvtAnalysis::run(&multiplier, &PvtAnalysisConfig::fast()).unwrap()
+    }
+
+    #[test]
+    fn result_profile_covers_the_product_range() {
+        let analysis = analysis(false);
+        let profile = &analysis.result_profile;
+        assert_eq!(profile.expected_results[0], 0);
+        assert_eq!(*profile.expected_results.last().unwrap(), PRODUCT_MAX);
+        assert_eq!(profile.expected_results.len(), profile.average_error_lsb.len());
+        assert_eq!(profile.expected_results.len(), profile.analog_sigma.len());
+        // Expected results of a 4x4-bit multiplier: not every integer occurs
+        // (e.g. 211 is prime and > 15), so the list is shorter than 226.
+        assert!(profile.expected_results.len() < PRODUCT_MAX as usize + 1);
+    }
+
+    #[test]
+    fn analog_sigma_grows_with_expected_result() {
+        let analysis = analysis(false);
+        let profile = &analysis.result_profile;
+        let first_nonzero = profile
+            .analog_sigma
+            .iter()
+            .position(|&s| s > 0.0)
+            .unwrap();
+        assert!(profile.analog_sigma.last().unwrap() > &profile.analog_sigma[first_nonzero]);
+    }
+
+    #[test]
+    fn off_nominal_supply_increases_error_for_sensitive_models() {
+        let analysis = analysis(true);
+        let sweep = &analysis.supply_sweep;
+        let nominal_index = sweep
+            .condition_values
+            .iter()
+            .position(|&v| (v - 1.0).abs() < 1e-9)
+            .unwrap();
+        let nominal_error = sweep.average_error_lsb[nominal_index];
+        let worst = sweep
+            .average_error_lsb
+            .iter()
+            .cloned()
+            .fold(0.0_f64, f64::max);
+        assert!(worst >= nominal_error);
+        assert!(worst > nominal_error + 0.5, "supply sweep should visibly degrade the error");
+    }
+
+    #[test]
+    fn temperature_sweep_is_present_and_mild() {
+        let analysis = analysis(true);
+        assert_eq!(
+            analysis.temperature_sweep.condition_values.len(),
+            analysis.temperature_sweep.average_error_lsb.len()
+        );
+        // Temperature influence exists but stays well below the supply influence.
+        let temp_spread = analysis
+            .temperature_sweep
+            .average_error_lsb
+            .iter()
+            .cloned()
+            .fold(0.0_f64, f64::max)
+            - analysis
+                .temperature_sweep
+                .average_error_lsb
+                .iter()
+                .cloned()
+                .fold(f64::INFINITY, f64::min);
+        let supply_spread = analysis
+            .supply_sweep
+            .average_error_lsb
+            .iter()
+            .cloned()
+            .fold(0.0_f64, f64::max)
+            - analysis
+                .supply_sweep
+                .average_error_lsb
+                .iter()
+                .cloned()
+                .fold(f64::INFINITY, f64::min);
+        assert!(temp_spread <= supply_spread);
+    }
+
+    #[test]
+    fn nominal_epsilon_and_worst_sigma_are_populated() {
+        let analysis = analysis(false);
+        assert!(analysis.nominal_epsilon_mul < 1.0);
+        assert!(analysis.worst_case_sigma > 0.0);
+    }
+}

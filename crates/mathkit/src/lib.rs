@@ -1,0 +1,56 @@
+//! Numeric foundations for the OPTIMA reproduction.
+//!
+//! The OPTIMA modeling framework ([`optima-core`]) fits low-degree polynomial
+//! models to circuit-simulation data and evaluates them inside a fast
+//! discrete-time simulator.  This crate provides all numeric machinery those
+//! steps need, implemented from scratch so the workspace stays within the
+//! small set of approved dependencies:
+//!
+//! * [`polynomial`] — dense univariate polynomials with Horner evaluation,
+//!   arithmetic, differentiation and integration.
+//! * [`linalg`] — small dense matrices/vectors, LU and Householder-QR
+//!   factorisations, linear solvers.
+//! * [`lsq`] — linear least-squares fitting, univariate polynomial fits and
+//!   separable two-variable (tensor-product) polynomial surface fits, exactly
+//!   the shapes required by the paper's Eqs. 3–8.
+//! * [`stats`] — descriptive statistics, RMS/RMSE, histograms, correlation.
+//! * [`distributions`] — Gaussian sampling helpers used for transistor
+//!   mismatch Monte Carlo.
+//! * [`interp`] — linear and bilinear interpolation over waveforms/grids.
+//! * [`ode`] — fixed-step RK4 and adaptive RK45 integrators used by the
+//!   golden-reference circuit simulator.
+//! * [`units`] — `Volts`, `Seconds`, `Celsius`, … newtypes that keep the
+//!   analog quantities in the rest of the workspace type-safe.
+//!
+//! # Example
+//!
+//! Fit a quadratic to noisy samples and evaluate it:
+//!
+//! ```rust
+//! # fn main() -> Result<(), optima_math::MathError> {
+//! use optima_math::lsq::polynomial_fit;
+//!
+//! let xs: Vec<f64> = (0..20).map(|i| i as f64 * 0.1).collect();
+//! let ys: Vec<f64> = xs.iter().map(|x| 1.0 + 2.0 * x - 0.5 * x * x).collect();
+//! let poly = polynomial_fit(&xs, &ys, 2)?;
+//! assert!((poly.eval(1.0) - 2.5).abs() < 1e-9);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod distributions;
+pub mod error;
+pub mod interp;
+pub mod linalg;
+pub mod lsq;
+pub mod ode;
+pub mod polynomial;
+pub mod stats;
+pub mod units;
+
+pub use error::MathError;
+pub use linalg::{Matrix, Vector};
+pub use polynomial::Polynomial;

@@ -1,0 +1,363 @@
+//! Dense univariate polynomials.
+//!
+//! The OPTIMA discharge and energy models (paper Eqs. 3–8) are built from
+//! low-degree polynomials `p_n(X)`; this module provides the polynomial type
+//! those models store and evaluate.
+
+use crate::error::MathError;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, Mul, Neg, Sub};
+
+/// A dense univariate polynomial with `f64` coefficients.
+///
+/// Coefficients are stored in ascending-power order:
+/// `coeffs[k]` multiplies `x^k`.
+///
+/// # Example
+///
+/// ```rust
+/// use optima_math::Polynomial;
+///
+/// // 1 + 2x + 3x^2
+/// let p = Polynomial::new(vec![1.0, 2.0, 3.0]);
+/// assert_eq!(p.eval(2.0), 17.0);
+/// assert_eq!(p.degree(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Polynomial {
+    coeffs: Vec<f64>,
+}
+
+impl Polynomial {
+    /// Creates a polynomial from coefficients in ascending-power order.
+    ///
+    /// An empty coefficient list produces the zero polynomial.
+    pub fn new(coeffs: Vec<f64>) -> Self {
+        let mut poly = Polynomial { coeffs };
+        poly.trim();
+        poly
+    }
+
+    /// The zero polynomial.
+    pub fn zero() -> Self {
+        Polynomial { coeffs: vec![0.0] }
+    }
+
+    /// The constant polynomial `c`.
+    pub fn constant(c: f64) -> Self {
+        Polynomial { coeffs: vec![c] }
+    }
+
+    /// The identity polynomial `x`.
+    pub fn identity() -> Self {
+        Polynomial {
+            coeffs: vec![0.0, 1.0],
+        }
+    }
+
+    /// Builds the monomial `c * x^power`.
+    pub fn monomial(c: f64, power: usize) -> Self {
+        let mut coeffs = vec![0.0; power + 1];
+        coeffs[power] = c;
+        Polynomial::new(coeffs)
+    }
+
+    /// Returns the coefficients in ascending-power order.
+    pub fn coeffs(&self) -> &[f64] {
+        &self.coeffs
+    }
+
+    /// Degree of the polynomial (the zero polynomial has degree 0).
+    pub fn degree(&self) -> usize {
+        self.coeffs.len().saturating_sub(1)
+    }
+
+    /// Returns `true` if every coefficient is exactly zero.
+    pub fn is_zero(&self) -> bool {
+        self.coeffs.iter().all(|&c| c == 0.0)
+    }
+
+    /// Evaluates the polynomial at `x` using Horner's scheme.
+    pub fn eval(&self, x: f64) -> f64 {
+        self.coeffs
+            .iter()
+            .rev()
+            .fold(0.0, |acc, &c| acc.mul_add(x, c))
+    }
+
+    /// Evaluates the polynomial at every point of `xs`.
+    pub fn eval_many(&self, xs: &[f64]) -> Vec<f64> {
+        xs.iter().map(|&x| self.eval(x)).collect()
+    }
+
+    /// Returns the first derivative as a new polynomial.
+    pub fn derivative(&self) -> Polynomial {
+        if self.coeffs.len() <= 1 {
+            return Polynomial::zero();
+        }
+        let coeffs = self
+            .coeffs
+            .iter()
+            .enumerate()
+            .skip(1)
+            .map(|(k, &c)| c * k as f64)
+            .collect();
+        Polynomial::new(coeffs)
+    }
+
+    /// Returns the antiderivative with integration constant zero.
+    pub fn antiderivative(&self) -> Polynomial {
+        let mut coeffs = Vec::with_capacity(self.coeffs.len() + 1);
+        coeffs.push(0.0);
+        for (k, &c) in self.coeffs.iter().enumerate() {
+            coeffs.push(c / (k as f64 + 1.0));
+        }
+        Polynomial::new(coeffs)
+    }
+
+    /// Definite integral over `[a, b]`.
+    pub fn integrate(&self, a: f64, b: f64) -> f64 {
+        let anti = self.antiderivative();
+        anti.eval(b) - anti.eval(a)
+    }
+
+    /// Scales every coefficient by `factor`.
+    pub fn scale(&self, factor: f64) -> Polynomial {
+        Polynomial::new(self.coeffs.iter().map(|&c| c * factor).collect())
+    }
+
+    /// Composes `self` with a linear change of variable, returning `p(a*x + b)`.
+    pub fn compose_linear(&self, a: f64, b: f64) -> Polynomial {
+        // Horner over polynomials: result = c_n; result = result*(a x + b) + c_{n-1}; ...
+        let inner = Polynomial::new(vec![b, a]);
+        let mut result = Polynomial::zero();
+        for &c in self.coeffs.iter().rev() {
+            result = &(&result * &inner) + &Polynomial::constant(c);
+        }
+        result
+    }
+
+    /// Finds a root of the polynomial in `[lo, hi]` by bisection, if the sign changes.
+    ///
+    /// Used e.g. to invert monotone discharge curves (find the time at which a
+    /// bit-line crosses a threshold voltage).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MathError::InvalidArgument`] when `lo >= hi` or the
+    /// polynomial has the same sign at both interval ends.
+    pub fn find_root(&self, lo: f64, hi: f64, tolerance: f64) -> Result<f64, MathError> {
+        if !(lo < hi) {
+            return Err(MathError::InvalidArgument {
+                context: format!("invalid bracket [{lo}, {hi}]"),
+            });
+        }
+        let mut a = lo;
+        let mut b = hi;
+        let mut fa = self.eval(a);
+        let fb = self.eval(b);
+        if fa == 0.0 {
+            return Ok(a);
+        }
+        if fb == 0.0 {
+            return Ok(b);
+        }
+        if fa.signum() == fb.signum() {
+            return Err(MathError::InvalidArgument {
+                context: "polynomial does not change sign over the bracket".to_string(),
+            });
+        }
+        for _ in 0..200 {
+            let mid = 0.5 * (a + b);
+            let fm = self.eval(mid);
+            if fm.abs() < tolerance || (b - a) < tolerance {
+                return Ok(mid);
+            }
+            if fa.signum() == fm.signum() {
+                a = mid;
+                fa = fm;
+            } else {
+                b = mid;
+            }
+        }
+        Ok(0.5 * (a + b))
+    }
+
+    fn trim(&mut self) {
+        while self.coeffs.len() > 1 && self.coeffs.last() == Some(&0.0) {
+            self.coeffs.pop();
+        }
+        if self.coeffs.is_empty() {
+            self.coeffs.push(0.0);
+        }
+    }
+}
+
+impl Default for Polynomial {
+    fn default() -> Self {
+        Polynomial::zero()
+    }
+}
+
+impl fmt::Display for Polynomial {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for (k, &c) in self.coeffs.iter().enumerate() {
+            if c == 0.0 && self.coeffs.len() > 1 {
+                continue;
+            }
+            if !first {
+                write!(f, " + ")?;
+            }
+            match k {
+                0 => write!(f, "{c}")?,
+                1 => write!(f, "{c}*x")?,
+                _ => write!(f, "{c}*x^{k}")?,
+            }
+            first = false;
+        }
+        if first {
+            write!(f, "0")?;
+        }
+        Ok(())
+    }
+}
+
+impl Add for &Polynomial {
+    type Output = Polynomial;
+
+    fn add(self, rhs: &Polynomial) -> Polynomial {
+        let n = self.coeffs.len().max(rhs.coeffs.len());
+        let mut coeffs = vec![0.0; n];
+        for (k, slot) in coeffs.iter_mut().enumerate() {
+            *slot = self.coeffs.get(k).copied().unwrap_or(0.0)
+                + rhs.coeffs.get(k).copied().unwrap_or(0.0);
+        }
+        Polynomial::new(coeffs)
+    }
+}
+
+impl Sub for &Polynomial {
+    type Output = Polynomial;
+
+    fn sub(self, rhs: &Polynomial) -> Polynomial {
+        self + &(-rhs.clone())
+    }
+}
+
+impl Neg for Polynomial {
+    type Output = Polynomial;
+
+    fn neg(self) -> Polynomial {
+        Polynomial::new(self.coeffs.into_iter().map(|c| -c).collect())
+    }
+}
+
+impl Mul for &Polynomial {
+    type Output = Polynomial;
+
+    fn mul(self, rhs: &Polynomial) -> Polynomial {
+        if self.is_zero() || rhs.is_zero() {
+            return Polynomial::zero();
+        }
+        let mut coeffs = vec![0.0; self.coeffs.len() + rhs.coeffs.len() - 1];
+        for (i, &a) in self.coeffs.iter().enumerate() {
+            for (j, &b) in rhs.coeffs.iter().enumerate() {
+                coeffs[i + j] += a * b;
+            }
+        }
+        Polynomial::new(coeffs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn horner_matches_naive_evaluation() {
+        let p = Polynomial::new(vec![1.0, -2.0, 0.5, 3.0]);
+        for x in [-2.0, -0.5, 0.0, 0.3, 1.7] {
+            let naive = 1.0 - 2.0 * x + 0.5 * x * x + 3.0 * x * x * x;
+            assert!((p.eval(x) - naive).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn trailing_zero_coefficients_are_trimmed() {
+        let p = Polynomial::new(vec![1.0, 2.0, 0.0, 0.0]);
+        assert_eq!(p.degree(), 1);
+        assert_eq!(p.coeffs(), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn derivative_and_antiderivative_are_inverse() {
+        let p = Polynomial::new(vec![4.0, 3.0, 2.0, 1.0]);
+        let back = p.antiderivative().derivative();
+        assert_eq!(back, p);
+    }
+
+    #[test]
+    fn definite_integral_of_quadratic() {
+        // integral of x^2 over [0, 3] = 9
+        let p = Polynomial::monomial(1.0, 2);
+        assert!((p.integrate(0.0, 3.0) - 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn addition_and_multiplication() {
+        let a = Polynomial::new(vec![1.0, 1.0]); // 1 + x
+        let b = Polynomial::new(vec![-1.0, 1.0]); // -1 + x
+        let sum = &a + &b;
+        assert_eq!(sum.coeffs(), &[0.0, 2.0]);
+        let prod = &a * &b; // x^2 - 1
+        assert_eq!(prod.coeffs(), &[-1.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn compose_linear_shifts_argument() {
+        // p(x) = x^2, p(2x + 1) = 4x^2 + 4x + 1
+        let p = Polynomial::monomial(1.0, 2);
+        let q = p.compose_linear(2.0, 1.0);
+        assert_eq!(q.coeffs(), &[1.0, 4.0, 4.0]);
+    }
+
+    #[test]
+    fn root_finding_by_bisection() {
+        // x^2 - 2 has a root at sqrt(2)
+        let p = Polynomial::new(vec![-2.0, 0.0, 1.0]);
+        let root = p.find_root(0.0, 2.0, 1e-10).expect("root exists");
+        assert!((root - std::f64::consts::SQRT_2).abs() < 1e-8);
+    }
+
+    #[test]
+    fn root_finding_rejects_bad_bracket() {
+        let p = Polynomial::new(vec![1.0, 0.0, 1.0]); // x^2 + 1 > 0
+        assert!(p.find_root(-1.0, 1.0, 1e-10).is_err());
+        assert!(p.find_root(1.0, 1.0, 1e-10).is_err());
+    }
+
+    #[test]
+    fn display_formats_nonzero_terms() {
+        let p = Polynomial::new(vec![1.0, 0.0, 2.0]);
+        assert_eq!(p.to_string(), "1 + 2*x^2");
+        assert_eq!(Polynomial::zero().to_string(), "0");
+    }
+
+    #[test]
+    fn zero_polynomial_properties() {
+        let z = Polynomial::zero();
+        assert!(z.is_zero());
+        assert_eq!(z.degree(), 0);
+        assert_eq!(z.eval(123.0), 0.0);
+        assert_eq!(z.derivative(), Polynomial::zero());
+    }
+
+    #[test]
+    fn eval_many_matches_eval() {
+        let p = Polynomial::new(vec![0.5, 1.5]);
+        let xs = [0.0, 1.0, 2.0];
+        assert_eq!(p.eval_many(&xs), vec![0.5, 2.0, 3.5]);
+    }
+}

@@ -1,0 +1,55 @@
+//! Design-space exploration example: sweep the paper's 48 corners, select
+//! the fom / power / variation corners and print the Pareto front.
+//!
+//! ```bash
+//! cargo run --release --example design_space_exploration
+//! ```
+
+use optima_suite::optima_circuit::prelude::*;
+use optima_suite::optima_core::calibration::{CalibrationConfig, Calibrator};
+use optima_suite::optima_imc::dse::{DesignSpace, DesignSpaceExplorer};
+use optima_suite::optima_imc::fom::select_corners;
+use optima_suite::optima_imc::pareto::pareto_front;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let technology = Technology::tsmc65_like();
+    let models = Calibrator::new(technology, CalibrationConfig::fast())
+        .run()?
+        .into_models();
+
+    let space = DesignSpace::paper_sweep();
+    println!("Exploring {} design corners ...", space.len());
+    let explorer = DesignSpaceExplorer::new(models).with_threads(4);
+    let results = explorer.explore(&space)?;
+
+    let selected = select_corners(&results)?;
+    println!("\nSelected corners (paper Table I analogue):");
+    for (name, corner) in [
+        ("fom", &selected.fom),
+        ("power", &selected.power),
+        ("variation", &selected.variation),
+    ] {
+        println!(
+            "  {name:<9}: tau0 = {:.2} ns, V_DAC,0 = {:.1} V, V_DAC,FS = {:.1} V, eps = {:.2} LSB, E = {:.1} fJ",
+            corner.point.tau0.0 * 1e9,
+            corner.point.vdac_zero.0,
+            corner.point.vdac_full_scale.0,
+            corner.metrics.epsilon_mul,
+            corner.metrics.energy_per_multiply.0,
+        );
+    }
+
+    let front = pareto_front(&results);
+    println!("\nPareto-optimal corners (energy vs. error): {}", front.len());
+    for corner in front {
+        println!(
+            "  E = {:6.1} fJ, eps = {:5.2} LSB  (tau0 {:.2} ns, V0 {:.1} V, VFS {:.1} V)",
+            corner.metrics.energy_per_multiply.0,
+            corner.metrics.epsilon_mul,
+            corner.point.tau0.0 * 1e9,
+            corner.point.vdac_zero.0,
+            corner.point.vdac_full_scale.0,
+        );
+    }
+    Ok(())
+}

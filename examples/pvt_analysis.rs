@@ -1,0 +1,59 @@
+//! PVT analysis example: how supply voltage, temperature and mismatch affect
+//! the selected multiplier corners (paper Fig. 8).
+//!
+//! ```bash
+//! cargo run --release --example pvt_analysis
+//! ```
+
+use optima_suite::optima_circuit::prelude::*;
+use optima_suite::optima_core::calibration::{CalibrationConfig, Calibrator};
+use optima_suite::optima_imc::multiplier::{InSramMultiplier, MultiplierConfig};
+use optima_suite::optima_imc::pvt_analysis::{PvtAnalysis, PvtAnalysisConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let technology = Technology::tsmc65_like();
+    let models = Calibrator::new(technology, CalibrationConfig::fast())
+        .run()?
+        .into_models();
+
+    let corners = [
+        ("fom", MultiplierConfig::paper_fom_corner()),
+        ("power", MultiplierConfig::paper_power_corner()),
+        ("variation", MultiplierConfig::paper_variation_corner()),
+    ];
+    let config = PvtAnalysisConfig::fast();
+
+    for (name, corner) in corners {
+        let multiplier = InSramMultiplier::new(models.clone(), corner)?;
+        let analysis = PvtAnalysis::run(&multiplier, &config)?;
+        println!("Corner `{name}`");
+        println!(
+            "  nominal average error : {:.2} LSB",
+            analysis.nominal_epsilon_mul
+        );
+        println!(
+            "  worst-case analog sigma: {:.2} mV",
+            analysis.worst_case_sigma * 1e3
+        );
+        println!("  error vs. supply voltage:");
+        for (vdd, error) in analysis
+            .supply_sweep
+            .condition_values
+            .iter()
+            .zip(analysis.supply_sweep.average_error_lsb.iter())
+        {
+            println!("    VDD = {vdd:.2} V -> {error:.2} LSB");
+        }
+        println!("  error vs. temperature:");
+        for (temp, error) in analysis
+            .temperature_sweep
+            .condition_values
+            .iter()
+            .zip(analysis.temperature_sweep.average_error_lsb.iter())
+        {
+            println!("    T = {temp:>5.1} degC -> {error:.2} LSB");
+        }
+        println!();
+    }
+    Ok(())
+}

@@ -1,0 +1,100 @@
+//! Integration test: the full calibration → model → evaluation pipeline
+//! spanning `optima-circuit`, `optima-math` and `optima-core`.
+
+use optima_suite::optima_circuit::montecarlo::MismatchSample;
+use optima_suite::optima_circuit::prelude::*;
+use optima_suite::optima_circuit::pvt::linspace;
+use optima_suite::optima_core::calibration::{CalibrationConfig, Calibrator};
+use optima_suite::optima_core::evaluation::ModelEvaluator;
+use optima_suite::optima_core::simulator::{Event, EventKind, EventSimulator};
+
+#[test]
+fn calibrated_models_reproduce_the_golden_reference_across_the_grid() {
+    let technology = Technology::tsmc65_like();
+    let outcome = Calibrator::new(technology.clone(), CalibrationConfig::fast())
+        .run()
+        .expect("calibration succeeds");
+    let models = outcome.models().clone();
+    let simulator = TransientSimulator::new(technology.clone());
+    let nominal = PvtConditions::nominal(&technology);
+
+    // The fitted model must stay within a few millivolt of the circuit
+    // simulator over an entire held-out grid (not just single points).
+    let mut worst = 0.0f64;
+    for &v_wl in &linspace(0.5, 0.98, 7) {
+        let stimulus = DischargeStimulus {
+            word_line_voltage: Volts(v_wl),
+            duration: Seconds(2e-9),
+            time_steps: 300,
+            ..DischargeStimulus::default()
+        };
+        let waveform = simulator
+            .discharge_waveform(&stimulus, &nominal, &MismatchSample::none())
+            .unwrap();
+        for &t in &linspace(0.3e-9, 1.9e-9, 6) {
+            let reference = waveform.sample_at(Seconds(t)).unwrap().0;
+            let predicted = models
+                .bitline_voltage(Seconds(t), Volts(v_wl), Volts(1.0), Celsius(25.0))
+                .unwrap()
+                .0;
+            worst = worst.max((reference - predicted).abs());
+        }
+    }
+    assert!(worst < 0.025, "worst model deviation {worst} V is too large");
+}
+
+#[test]
+fn speedup_over_circuit_simulation_is_substantial() {
+    let technology = Technology::tsmc65_like();
+    let models = Calibrator::new(technology.clone(), CalibrationConfig::fast())
+        .run()
+        .expect("calibration succeeds")
+        .into_models();
+    let evaluator =
+        ModelEvaluator::new(technology, models).with_reference_time_steps(200);
+    let report = evaluator.measure_speedup(6, 6).expect("measurement succeeds");
+    assert!(
+        report.speedup() > 10.0,
+        "expected at least an order of magnitude, got {}",
+        report.speedup()
+    );
+}
+
+#[test]
+fn event_simulator_reproduces_bit_weighted_discharges_with_calibrated_models() {
+    let technology = Technology::tsmc65_like();
+    let models = Calibrator::new(technology, CalibrationConfig::fast())
+        .run()
+        .expect("calibration succeeds")
+        .into_models();
+
+    // Two columns storing '1'; the second is sampled twice as late, so it
+    // must show roughly twice the discharge (bit weighting in time).
+    let mut simulator = EventSimulator::new(models, 2);
+    let tau0 = 0.4e-9;
+    let trace = simulator
+        .run(&[
+            Event::new(Seconds(0.0), EventKind::Write { column: 0, bit: true }),
+            Event::new(Seconds(0.0), EventKind::Write { column: 1, bit: true }),
+            Event::new(Seconds(0.01e-9), EventKind::Precharge { column: 0 }),
+            Event::new(Seconds(0.01e-9), EventKind::Precharge { column: 1 }),
+            Event::new(
+                Seconds(0.02e-9),
+                EventKind::DriveWordLine { voltage: Volts(0.9) },
+            ),
+            Event::new(Seconds(0.02e-9 + tau0), EventKind::SampleBitline { column: 0 }),
+            Event::new(
+                Seconds(0.02e-9 + 2.0 * tau0),
+                EventKind::SampleBitline { column: 1 },
+            ),
+            Event::new(Seconds(0.02e-9 + 2.0 * tau0), EventKind::ReleaseWordLine),
+        ])
+        .expect("schedule is valid");
+    assert_eq!(trace.samples.len(), 2);
+    let ratio = trace.samples[1].discharge.0 / trace.samples[0].discharge.0;
+    assert!(
+        (ratio - 2.0).abs() < 0.35,
+        "bit weighting ratio {ratio} deviates too far from 2"
+    );
+    assert!(trace.total_energy().0 > 0.0);
+}

@@ -1,0 +1,123 @@
+//! Property-based tests on cross-crate invariants (proptest).
+
+use optima_suite::optima_circuit::montecarlo::MismatchSample;
+use optima_suite::optima_circuit::prelude::*;
+use optima_suite::optima_core::model::discharge::DischargeModel;
+use optima_suite::optima_core::model::energy::{DischargeEnergyModel, WriteEnergyModel};
+use optima_suite::optima_core::model::mismatch::MismatchSigmaModel;
+use optima_suite::optima_core::model::suite::ModelSuite;
+use optima_suite::optima_core::model::supply::SupplyModel;
+use optima_suite::optima_core::model::temperature::TemperatureModel;
+use optima_suite::optima_imc::multiplier::{InSramMultiplier, MultiplierConfig};
+use optima_suite::optima_math::lsq::polynomial_fit;
+use optima_suite::optima_math::units::{Celsius, Seconds, Volts};
+use optima_suite::optima_math::Polynomial;
+use proptest::prelude::*;
+
+/// A simple linear model suite used by the multiplier properties.
+fn linear_suite() -> ModelSuite {
+    ModelSuite::new(
+        DischargeModel::new(
+            Volts(1.0),
+            Volts(0.45),
+            Polynomial::new(vec![0.0, -0.25]),
+            Polynomial::new(vec![0.0, 1.0]),
+            (0.0, 3.0),
+            (0.0, 1.1),
+        ),
+        SupplyModel::identity(Volts(1.0)),
+        TemperatureModel::identity(Celsius(25.0)),
+        MismatchSigmaModel::new(
+            Polynomial::new(vec![0.0, 1e-3]),
+            Polynomial::new(vec![0.0, 1.0]),
+        ),
+        WriteEnergyModel::new(Polynomial::new(vec![11.0]), Polynomial::new(vec![1.0])),
+        DischargeEnergyModel::new(
+            Polynomial::new(vec![1.0]),
+            Polynomial::new(vec![0.0, 45.0]),
+            Polynomial::new(vec![1.0]),
+        ),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Polynomial fitting through exact polynomial data recovers the values.
+    #[test]
+    fn polynomial_fit_interpolates_exact_data(
+        c0 in -2.0f64..2.0,
+        c1 in -2.0f64..2.0,
+        c2 in -2.0f64..2.0,
+        probe in -1.0f64..1.0,
+    ) {
+        let truth = Polynomial::new(vec![c0, c1, c2]);
+        let xs: Vec<f64> = (0..12).map(|i| -1.0 + i as f64 * 0.2).collect();
+        let ys = truth.eval_many(&xs);
+        let fitted = polynomial_fit(&xs, &ys, 2).unwrap();
+        prop_assert!((fitted.eval(probe) - truth.eval(probe)).abs() < 1e-6);
+    }
+
+    /// The golden-reference discharge is monotone: longer times and higher
+    /// word-line voltages never reduce the discharge.
+    #[test]
+    fn circuit_discharge_is_monotone(
+        v_wl in 0.5f64..1.0,
+        duration_ns in 0.3f64..1.5,
+    ) {
+        let tech = Technology::tsmc65_like();
+        let sim = TransientSimulator::new(tech.clone());
+        let pvt = PvtConditions::nominal(&tech);
+        let stimulus = |v: f64, t: f64| DischargeStimulus {
+            word_line_voltage: Volts(v),
+            duration: Seconds(t * 1e-9),
+            time_steps: 120,
+            ..DischargeStimulus::default()
+        };
+        let base = sim
+            .discharge_delta(&stimulus(v_wl, duration_ns), &pvt, &MismatchSample::none())
+            .unwrap()
+            .0;
+        let longer = sim
+            .discharge_delta(&stimulus(v_wl, duration_ns + 0.4), &pvt, &MismatchSample::none())
+            .unwrap()
+            .0;
+        let stronger = sim
+            .discharge_delta(&stimulus((v_wl + 0.1).min(1.0), duration_ns), &pvt, &MismatchSample::none())
+            .unwrap()
+            .0;
+        prop_assert!(longer >= base - 1e-12);
+        prop_assert!(stronger >= base - 1e-12);
+    }
+
+    /// In-SRAM multiplication by zero is always exactly zero, and results are
+    /// monotone in the stored operand for a fixed DAC input.
+    #[test]
+    fn multiplier_zero_and_monotonicity(a in 0u16..=15, d in 1u16..=15) {
+        let multiplier = InSramMultiplier::new(
+            linear_suite(),
+            MultiplierConfig::new(Seconds(0.16e-9), Volts(0.45), Volts(1.0)),
+        )
+        .unwrap();
+        prop_assert_eq!(multiplier.multiply(a, 0).unwrap().result, 0);
+        prop_assert_eq!(multiplier.multiply(0, d).unwrap().result, 0);
+        let smaller = multiplier.multiply(a, d - 1).unwrap().result;
+        let larger = multiplier.multiply(a, d).unwrap().result;
+        prop_assert!(larger >= smaller);
+    }
+
+    /// The multiplier's energy accounting is always positive and grows with
+    /// the number of active stored bits.
+    #[test]
+    fn multiplier_energy_is_positive_and_monotone_in_weight(a in 1u16..=15) {
+        let multiplier = InSramMultiplier::new(
+            linear_suite(),
+            MultiplierConfig::new(Seconds(0.16e-9), Volts(0.45), Volts(1.0)),
+        )
+        .unwrap();
+        let light = multiplier.multiply(a, 0b0001).unwrap().multiply_energy.0;
+        let heavy = multiplier.multiply(a, 0b1111).unwrap().multiply_energy.0;
+        prop_assert!(light > 0.0);
+        prop_assert!(heavy >= light);
+    }
+}
