@@ -17,7 +17,12 @@ fn main() {
     };
 
     println!("# Ablation — Eq. 3 polynomial degrees vs. training RMS error\n");
-    print_header(&["deg(V_od)", "deg(t)", "basic discharge RMS [mV]", "coefficients"]);
+    print_header(&[
+        "deg(V_od)",
+        "deg(t)",
+        "basic discharge RMS [mV]",
+        "coefficients",
+    ]);
     for overdrive_degree in 1..=5 {
         for time_degree in 1..=3 {
             let config = CalibrationConfig {

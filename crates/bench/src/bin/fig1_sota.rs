@@ -8,7 +8,13 @@ use optima_imc::sota::published_design_points;
 
 fn main() {
     println!("# Fig. 1 — state-of-the-art in-SRAM multiplication design space\n");
-    print_header(&["Reference", "Energy [pJ]", "Bit width", "Clock [MHz]", "Description"]);
+    print_header(&[
+        "Reference",
+        "Energy [pJ]",
+        "Bit width",
+        "Clock [MHz]",
+        "Description",
+    ]);
     for point in published_design_points() {
         print_row(&[
             point.reference.to_string(),

@@ -41,7 +41,15 @@ fn main() {
     print_header(&["t [ns]", "VDD=0.9 V", "VDD=1.0 V", "VDD=1.1 V"]);
     let supply_waveforms: Vec<Waveform> = [0.9, 1.0, 1.1]
         .iter()
-        .map(|&vdd| waveform_at(&sim, v_wl, &nominal.with_vdd(Volts(vdd)), &MismatchSample::none(), steps))
+        .map(|&vdd| {
+            waveform_at(
+                &sim,
+                v_wl,
+                &nominal.with_vdd(Volts(vdd)),
+                &MismatchSample::none(),
+                steps,
+            )
+        })
         .collect();
     for &t in &sample_times {
         let mut row = vec![format!("{:.1}", t * 1e9)];
@@ -100,7 +108,13 @@ fn main() {
     }
 
     println!("\n# Fig. 5d — transistor mismatch ({mc_samples} samples)\n");
-    print_header(&["V_WL [V]", "mean V_BL(2 ns) [V]", "sigma [mV]", "min [V]", "max [V]"]);
+    print_header(&[
+        "V_WL [V]",
+        "mean V_BL(2 ns) [V]",
+        "sigma [mV]",
+        "min [V]",
+        "max [V]",
+    ]);
     let mismatch_model = MismatchModel::from_technology(&tech);
     for &v_wl in &[0.6, 0.8, 1.0] {
         let samples = mismatch_model.sample_n(mc_samples, 51);

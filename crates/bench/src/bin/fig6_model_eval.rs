@@ -23,12 +23,30 @@ fn main() {
 
     println!("## Training residuals\n");
     print_header(&["Model", "Training RMS"]);
-    print_row(&["basic discharge (Eq. 3)".into(), format!("{:.3} mV", report.basic_discharge_rms_mv)]);
-    print_row(&["supply (Eq. 4)".into(), format!("{:.3} mV", report.supply_rms_mv)]);
-    print_row(&["temperature (Eq. 5)".into(), format!("{:.3} mV", report.temperature_rms_mv)]);
-    print_row(&["mismatch sigma (Eq. 6)".into(), format!("{:.3} mV", report.mismatch_sigma_rms_mv)]);
-    print_row(&["write energy (Eq. 7)".into(), format!("{:.3} fJ", report.write_energy_rms_fj)]);
-    print_row(&["discharge energy (Eq. 8)".into(), format!("{:.3} fJ", report.discharge_energy_rms_fj)]);
+    print_row(&[
+        "basic discharge (Eq. 3)".into(),
+        format!("{:.3} mV", report.basic_discharge_rms_mv),
+    ]);
+    print_row(&[
+        "supply (Eq. 4)".into(),
+        format!("{:.3} mV", report.supply_rms_mv),
+    ]);
+    print_row(&[
+        "temperature (Eq. 5)".into(),
+        format!("{:.3} mV", report.temperature_rms_mv),
+    ]);
+    print_row(&[
+        "mismatch sigma (Eq. 6)".into(),
+        format!("{:.3} mV", report.mismatch_sigma_rms_mv),
+    ]);
+    print_row(&[
+        "write energy (Eq. 7)".into(),
+        format!("{:.3} fJ", report.write_energy_rms_fj),
+    ]);
+    print_row(&[
+        "discharge energy (Eq. 8)".into(),
+        format!("{:.3} fJ", report.discharge_energy_rms_fj),
+    ]);
 
     let evaluator = ModelEvaluator::new(technology, outcome.into_models())
         .with_reference_time_steps(if fast { 150 } else { 400 });
@@ -40,12 +58,36 @@ fn main() {
 
     println!("\n## Held-out RMS errors (Fig. 6 equivalent)\n");
     print_header(&["Model", "Held-out RMS", "Paper (TSMC 65 nm)"]);
-    print_row(&["basic discharge (Eq. 3)".into(), format!("{:.3} mV", held_out.basic_discharge_mv), "0.76 mV".into()]);
-    print_row(&["supply (Eq. 4)".into(), format!("{:.3} mV", held_out.supply_mv), "0.88 mV".into()]);
-    print_row(&["temperature (Eq. 5)".into(), format!("{:.3} mV", held_out.temperature_mv), "0.76 mV".into()]);
-    print_row(&["mismatch sigma (Eq. 6)".into(), format!("{:.3} mV", held_out.mismatch_sigma_mv), "0.59 mV".into()]);
-    print_row(&["write energy (Eq. 7)".into(), format!("{:.3} fJ", held_out.write_energy_fj), "0.15 fJ".into()]);
-    print_row(&["discharge energy (Eq. 8)".into(), format!("{:.3} fJ", held_out.discharge_energy_fj), "0.74 fJ".into()]);
+    print_row(&[
+        "basic discharge (Eq. 3)".into(),
+        format!("{:.3} mV", held_out.basic_discharge_mv),
+        "0.76 mV".into(),
+    ]);
+    print_row(&[
+        "supply (Eq. 4)".into(),
+        format!("{:.3} mV", held_out.supply_mv),
+        "0.88 mV".into(),
+    ]);
+    print_row(&[
+        "temperature (Eq. 5)".into(),
+        format!("{:.3} mV", held_out.temperature_mv),
+        "0.76 mV".into(),
+    ]);
+    print_row(&[
+        "mismatch sigma (Eq. 6)".into(),
+        format!("{:.3} mV", held_out.mismatch_sigma_mv),
+        "0.59 mV".into(),
+    ]);
+    print_row(&[
+        "write energy (Eq. 7)".into(),
+        format!("{:.3} fJ", held_out.write_energy_fj),
+        "0.15 fJ".into(),
+    ]);
+    print_row(&[
+        "discharge energy (Eq. 8)".into(),
+        format!("{:.3} fJ", held_out.discharge_energy_fj),
+        "0.74 fJ".into(),
+    ]);
     println!(
         "\nWorst voltage-model RMS error: {:.3} mV (paper headline: 0.88 mV).",
         held_out.worst_voltage_error_mv()

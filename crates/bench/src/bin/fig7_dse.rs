@@ -12,11 +12,19 @@ fn main() {
     let (_technology, models) = calibrated_models(quick_mode());
     let explorer = DesignSpaceExplorer::new(models).with_threads(4);
     let space = DesignSpace::paper_sweep();
-    println!("# Fig. 7 — design-space exploration ({} corners)\n", space.len());
+    println!(
+        "# Fig. 7 — design-space exploration ({} corners)\n",
+        space.len()
+    );
     let results = explorer.explore(&space).expect("exploration succeeds");
 
     println!("## Left panel: sweep of V_DAC,FS for each V_DAC,0 (tau0 = 0.16 ns)\n");
-    print_header(&["V_DAC,0 [V]", "V_DAC,FS [V]", "avg error [LSB]", "avg energy/op [fJ]"]);
+    print_header(&[
+        "V_DAC,0 [V]",
+        "V_DAC,FS [V]",
+        "avg error [LSB]",
+        "avg energy/op [fJ]",
+    ]);
     for result in &results {
         if (result.point.tau0.0 - 0.16e-9).abs() < 1e-15 {
             print_row(&[
@@ -29,7 +37,12 @@ fn main() {
     }
 
     println!("\n## Right panel: sweep of tau0 for each V_DAC,FS (V_DAC,0 = 0.4 V)\n");
-    print_header(&["tau0 [ns]", "V_DAC,FS [V]", "avg error [LSB]", "avg energy/op [fJ]"]);
+    print_header(&[
+        "tau0 [ns]",
+        "V_DAC,FS [V]",
+        "avg error [LSB]",
+        "avg energy/op [fJ]",
+    ]);
     for result in &results {
         if (result.point.vdac_zero.0 - 0.4).abs() < 1e-12 {
             print_row(&[

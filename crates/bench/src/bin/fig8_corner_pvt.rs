@@ -46,9 +46,15 @@ fn main() {
             if indices.is_empty() {
                 continue;
             }
-            let avg_error = indices.iter().map(|&i| profile.average_error_lsb[i]).sum::<f64>()
+            let avg_error = indices
+                .iter()
+                .map(|&i| profile.average_error_lsb[i])
+                .sum::<f64>()
                 / indices.len() as f64;
-            let avg_sigma = indices.iter().map(|&i| profile.analog_sigma[i]).sum::<f64>()
+            let avg_sigma = indices
+                .iter()
+                .map(|&i| profile.analog_sigma[i])
+                .sum::<f64>()
                 / indices.len() as f64;
             print_row(&[
                 format!("{range_start}..{range_end}"),

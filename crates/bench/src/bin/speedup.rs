@@ -12,8 +12,11 @@ use optima_core::evaluation::ModelEvaluator;
 fn main() {
     let fast = quick_mode();
     let (technology, models) = calibrated_models(fast);
-    let evaluator = ModelEvaluator::new(technology, models)
-        .with_reference_time_steps(if fast { 150 } else { 400 });
+    let evaluator = ModelEvaluator::new(technology, models).with_reference_time_steps(if fast {
+        150
+    } else {
+        400
+    });
 
     let (wordlines, times, mc) = if fast { (8, 8, 50) } else { (16, 16, 300) };
     let sweep = evaluator
@@ -24,7 +27,13 @@ fn main() {
         .expect("monte carlo speed-up measurement succeeds");
 
     println!("# Section V — simulation speed-up of OPTIMA vs. circuit simulation\n");
-    print_header(&["Workload", "Circuit sim [s]", "OPTIMA [s]", "Speed-up", "Paper"]);
+    print_header(&[
+        "Workload",
+        "Circuit sim [s]",
+        "OPTIMA [s]",
+        "Speed-up",
+        "Paper",
+    ]);
     print_row(&[
         format!("input-space sweep ({} points)", sweep.evaluations),
         format!("{:.4}", sweep.circuit_seconds),

@@ -46,14 +46,52 @@ fn main() {
     }
 
     println!("\nPaper values for reference:");
-    print_header(&["Corner", "tau0 [ns]", "V_DAC,0 [V]", "V_DAC,FS [V]", "eps_mul", "E_mul"]);
-    print_row(&["fom".into(), "0.16".into(), "0.3".into(), "1.0".into(), "4.78".into(), "44 fJ".into()]);
-    print_row(&["power".into(), "0.16".into(), "0.3".into(), "0.7".into(), "15".into(), "37 fJ".into()]);
-    print_row(&["variation".into(), "0.24".into(), "0.4".into(), "1.0".into(), "9.6".into(), "69.8 fJ".into()]);
+    print_header(&[
+        "Corner",
+        "tau0 [ns]",
+        "V_DAC,0 [V]",
+        "V_DAC,FS [V]",
+        "eps_mul",
+        "E_mul",
+    ]);
+    print_row(&[
+        "fom".into(),
+        "0.16".into(),
+        "0.3".into(),
+        "1.0".into(),
+        "4.78".into(),
+        "44 fJ".into(),
+    ]);
+    print_row(&[
+        "power".into(),
+        "0.16".into(),
+        "0.3".into(),
+        "0.7".into(),
+        "15".into(),
+        "37 fJ".into(),
+    ]);
+    print_row(&[
+        "variation".into(),
+        "0.24".into(),
+        "0.4".into(),
+        "1.0".into(),
+        "9.6".into(),
+        "69.8 fJ".into(),
+    ]);
 
     let front = pareto_front(&results);
-    println!("\nPareto-optimal corners over (energy, error): {} of {}", front.len(), results.len());
-    print_header(&["tau0 [ns]", "V_DAC,0 [V]", "V_DAC,FS [V]", "eps_mul [LSB]", "E_mul [fJ]"]);
+    println!(
+        "\nPareto-optimal corners over (energy, error): {} of {}",
+        front.len(),
+        results.len()
+    );
+    print_header(&[
+        "tau0 [ns]",
+        "V_DAC,0 [V]",
+        "V_DAC,FS [V]",
+        "eps_mul [LSB]",
+        "E_mul [fJ]",
+    ]);
     for corner in &front {
         print_row(&[
             format!("{:.2}", corner.point.tau0.0 * 1e9),

@@ -28,9 +28,13 @@ fn main() {
     for (name, config) in paper_corners() {
         let multiplier =
             InSramMultiplier::new(models.clone(), config).expect("corner configuration is valid");
-        let table = MultiplierTable::from_multiplier(&multiplier, multiplier.nominal_operating_point())
-            .expect("table construction succeeds");
-        product_tables.push((name.to_string(), Arc::new(InMemoryProducts::new(table, name))));
+        let table =
+            MultiplierTable::from_multiplier(&multiplier, multiplier.nominal_operating_point())
+                .expect("table construction succeeds");
+        product_tables.push((
+            name.to_string(),
+            Arc::new(InMemoryProducts::new(table, name)),
+        ));
     }
 
     // Synthetic stand-in for ImageNet.
@@ -105,5 +109,7 @@ fn main() {
     }
 
     println!("\nPaper (full-scale ImageNet) for comparison: FLOAT32 top-1 70.3-76.4 %,");
-    println!("INT4 69.3-75.1 %, fom within 0.2 % of INT4, power 59.8-64.5 %, variation 36.7-48.5 %.");
+    println!(
+        "INT4 69.3-75.1 %, fom within 0.2 % of INT4, power 59.8-64.5 %, variation 36.7-48.5 %."
+    );
 }

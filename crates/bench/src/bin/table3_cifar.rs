@@ -26,9 +26,13 @@ fn main() {
     for (name, config) in paper_corners() {
         let multiplier =
             InSramMultiplier::new(models.clone(), config).expect("corner configuration is valid");
-        let table = MultiplierTable::from_multiplier(&multiplier, multiplier.nominal_operating_point())
-            .expect("table construction succeeds");
-        product_tables.push((name.to_string(), Arc::new(InMemoryProducts::new(table, name))));
+        let table =
+            MultiplierTable::from_multiplier(&multiplier, multiplier.nominal_operating_point())
+                .expect("table construction succeeds");
+        product_tables.push((
+            name.to_string(),
+            Arc::new(InMemoryProducts::new(table, name)),
+        ));
     }
 
     // Pre-training dataset (ImageNet stand-in) and transfer target (CIFAR stand-in).
@@ -102,6 +106,8 @@ fn main() {
         print_row(&cells);
     }
 
-    println!("\nPaper (full-scale CIFAR-10) for comparison: FLOAT32 92.2-93.4 %, INT4 92.0-93.1 %,");
+    println!(
+        "\nPaper (full-scale CIFAR-10) for comparison: FLOAT32 92.2-93.4 %, INT4 92.0-93.1 %,"
+    );
     println!("fom within 0.1 % of INT4, power 87.4-90.8 %, variation 66.9-73.8 %.");
 }

@@ -41,7 +41,9 @@ pub fn calibrated_models(fast: bool) -> (Technology, ModelSuite) {
 /// Returns `true` when the harness was asked for a quick run
 /// (environment variable `OPTIMA_QUICK=1`), used to keep CI times short.
 pub fn quick_mode() -> bool {
-    std::env::var("OPTIMA_QUICK").map(|v| v == "1").unwrap_or(false)
+    std::env::var("OPTIMA_QUICK")
+        .map(|v| v == "1")
+        .unwrap_or(false)
 }
 
 /// The three named corners of Table I with their paper configurations.
@@ -61,7 +63,10 @@ pub fn print_row(cells: &[String]) {
 /// Prints a Markdown-style table header with a separator line.
 pub fn print_header(cells: &[&str]) {
     print_row(&cells.iter().map(|c| c.to_string()).collect::<Vec<_>>());
-    println!("|{}|", cells.iter().map(|_| "---").collect::<Vec<_>>().join("|"));
+    println!(
+        "|{}|",
+        cells.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+    );
 }
 
 #[cfg(test)]

@@ -125,7 +125,8 @@ impl Adc {
         vdd_nominal: Volts,
     ) -> Result<u32, CircuitError> {
         let relative_error = (vdd.0 - vdd_nominal.0) / vdd_nominal.0;
-        let effective_full_scale = self.full_scale.0 * (1.0 + self.supply_sensitivity * relative_error);
+        let effective_full_scale =
+            self.full_scale.0 * (1.0 + self.supply_sensitivity * relative_error);
         if !discharge.0.is_finite() {
             return Err(CircuitError::InvalidOperatingPoint {
                 context: "adc input voltage must be finite".to_string(),
@@ -203,6 +204,8 @@ mod tests {
     #[test]
     #[should_panic(expected = "within [0, 1]")]
     fn invalid_supply_sensitivity_panics() {
-        let _ = Adc::new(8, Volts(0.5)).unwrap().with_supply_sensitivity(2.0);
+        let _ = Adc::new(8, Volts(0.5))
+            .unwrap()
+            .with_supply_sensitivity(2.0);
     }
 }

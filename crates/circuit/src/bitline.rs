@@ -36,7 +36,10 @@ impl BitLine {
     pub fn new(capacitance: Farads, vdd: Volts) -> Result<Self, CircuitError> {
         if capacitance.0 <= 0.0 || !capacitance.0.is_finite() {
             return Err(CircuitError::InvalidOperatingPoint {
-                context: format!("bit-line capacitance must be positive, got {}", capacitance.0),
+                context: format!(
+                    "bit-line capacitance must be positive, got {}",
+                    capacitance.0
+                ),
             });
         }
         Ok(BitLine {

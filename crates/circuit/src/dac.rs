@@ -55,7 +55,11 @@ impl Dac {
     ///
     /// Returns [`CircuitError::InvalidConverterConfig`] when `bits` is zero or
     /// above 8, or when the zero-code voltage is not below the full-scale voltage.
-    pub fn new(bits: u8, zero_voltage: Volts, full_scale_voltage: Volts) -> Result<Self, CircuitError> {
+    pub fn new(
+        bits: u8,
+        zero_voltage: Volts,
+        full_scale_voltage: Volts,
+    ) -> Result<Self, CircuitError> {
         if bits == 0 || bits > 8 {
             return Err(CircuitError::InvalidConverterConfig {
                 context: format!("dac resolution {bits} bits outside supported range 1..=8"),

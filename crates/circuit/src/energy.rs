@@ -119,7 +119,10 @@ mod tests {
         let (tech, pvt) = setup();
         let e = write_energy(&tech, &pvt);
         let fj = e.to_femtojoules().0;
-        assert!(fj > 1.0 && fj < 200.0, "write energy {fj} fJ is implausible");
+        assert!(
+            fj > 1.0 && fj < 200.0,
+            "write energy {fj} fJ is implausible"
+        );
     }
 
     #[test]

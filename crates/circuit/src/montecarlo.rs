@@ -10,8 +10,8 @@ use crate::technology::Technology;
 use optima_math::distributions::Gaussian;
 use optima_math::units::Volts;
 use rand::Rng;
-use rand_chacha::ChaCha8Rng;
 use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
 
 /// One sampled mismatch realisation applied to a device.
@@ -129,8 +129,7 @@ mod tests {
         assert!((stats::mean(&vths)).abs() < 1e-3);
         assert!((stats::std_dev(&vths) - model.vth_sigma().0).abs() < 0.1 * model.vth_sigma().0);
         assert!(
-            (stats::std_dev(&betas) - model.beta_sigma_rel()).abs()
-                < 0.1 * model.beta_sigma_rel()
+            (stats::std_dev(&betas) - model.beta_sigma_rel()).abs() < 0.1 * model.beta_sigma_rel()
         );
     }
 

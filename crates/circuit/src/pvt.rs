@@ -125,8 +125,9 @@ impl PvtSweep {
 
     /// The Cartesian product of the three axes.
     pub fn points(&self) -> Vec<PvtConditions> {
-        let mut out =
-            Vec::with_capacity(self.vdd_values.len() * self.temperature_values.len() * self.corners.len());
+        let mut out = Vec::with_capacity(
+            self.vdd_values.len() * self.temperature_values.len() * self.corners.len(),
+        );
         for &corner in &self.corners {
             for &vdd in &self.vdd_values {
                 for &temp in &self.temperature_values {

@@ -40,7 +40,10 @@ impl SenseAmplifier {
     /// Panics if `sensitivity` is not positive.
     pub fn new(offset: Volts, sensitivity: Volts) -> Self {
         assert!(sensitivity.0 > 0.0, "sensitivity must be positive");
-        SenseAmplifier { offset, sensitivity }
+        SenseAmplifier {
+            offset,
+            sensitivity,
+        }
     }
 
     /// Resolves the differential input `V_BL − V_BLB`.

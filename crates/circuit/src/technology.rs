@@ -16,11 +16,12 @@ use std::fmt;
 /// device types in opposite directions.  For the bit-line discharge only the
 /// NMOS pull-down path matters, so `FastSlow` behaves close to `FastFast` and
 /// `SlowFast` close to `SlowSlow`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
 pub enum ProcessCorner {
     /// Fast NMOS, fast PMOS.
     FastFast,
     /// Typical NMOS, typical PMOS (nominal).
+    #[default]
     TypicalTypical,
     /// Slow NMOS, slow PMOS.
     SlowSlow,
@@ -69,12 +70,6 @@ impl fmt::Display for ProcessCorner {
             ProcessCorner::SlowFast => "SF",
         };
         write!(f, "{text}")
-    }
-}
-
-impl Default for ProcessCorner {
-    fn default() -> Self {
-        ProcessCorner::TypicalTypical
     }
 }
 

@@ -114,7 +114,7 @@ impl TransientSimulator {
 
         let times = solution.times();
         let values = solution.component(0);
-        Ok(Waveform::from_samples(times, values)?)
+        Waveform::from_samples(times, values)
     }
 
     /// Convenience wrapper returning only the discharge `ΔV_BL` observed at
@@ -146,11 +146,7 @@ impl TransientSimulator {
         mismatch: &MismatchSample,
     ) -> Result<EnergyReport, CircuitError> {
         let waveform = self.discharge_waveform(stimulus, pvt, mismatch)?;
-        let mut bitline = BitLine::for_column(
-            &self.technology,
-            stimulus.cells_on_bitline,
-            pvt.vdd,
-        );
+        let mut bitline = BitLine::for_column(&self.technology, stimulus.cells_on_bitline, pvt.vdd);
         bitline.set_voltage(Volts(waveform.final_value()));
         let precharge = bitline.precharge(pvt.vdd);
         Ok(EnergyReport::for_operation(
@@ -168,7 +164,10 @@ impl TransientSimulator {
     ) -> Result<(), CircuitError> {
         if stimulus.duration.0 <= 0.0 || !stimulus.duration.0.is_finite() {
             return Err(CircuitError::InvalidOperatingPoint {
-                context: format!("discharge duration must be positive, got {}", stimulus.duration.0),
+                context: format!(
+                    "discharge duration must be positive, got {}",
+                    stimulus.duration.0
+                ),
             });
         }
         if stimulus.time_steps == 0 {
@@ -184,10 +183,7 @@ impl TransientSimulator {
         let v_wl = stimulus.word_line_voltage.0;
         if v_wl < 0.0 || v_wl > 1.5 * pvt.vdd.0 {
             return Err(CircuitError::InvalidOperatingPoint {
-                context: format!(
-                    "word-line voltage {v_wl} outside [0, {}]",
-                    1.5 * pvt.vdd.0
-                ),
+                context: format!("word-line voltage {v_wl} outside [0, {}]", 1.5 * pvt.vdd.0),
             });
         }
         if pvt.vdd.0 <= 0.0 {
@@ -362,7 +358,11 @@ mod tests {
             .discharge_waveform(&stim, &pvt, &MismatchSample::none())
             .unwrap();
         let hot = sim
-            .discharge_waveform(&stim, &pvt.with_temperature(Celsius(125.0)), &MismatchSample::none())
+            .discharge_waveform(
+                &stim,
+                &pvt.with_temperature(Celsius(125.0)),
+                &MismatchSample::none(),
+            )
             .unwrap();
         let high_vdd = sim
             .discharge_waveform(&stim, &pvt.with_vdd(Volts(1.1)), &MismatchSample::none())
@@ -375,7 +375,10 @@ mod tests {
             temp_shift < nominal.swing() * 0.25,
             "temperature effect too large: {temp_shift}"
         );
-        assert!(vdd_shift > temp_shift, "VDD must matter more than temperature");
+        assert!(
+            vdd_shift > temp_shift,
+            "VDD must matter more than temperature"
+        );
     }
 
     #[test]

@@ -347,8 +347,11 @@ impl Calibrator {
         for &vdd in &self.config.supply_voltages {
             let pvt = nominal.with_vdd(Volts(vdd));
             for &v_wl in &self.config.secondary_wordline_voltages {
-                let waveform =
-                    simulator.discharge_waveform(&self.stimulus(v_wl), &pvt, &MismatchSample::none())?;
+                let waveform = simulator.discharge_waveform(
+                    &self.stimulus(v_wl),
+                    &pvt,
+                    &MismatchSample::none(),
+                )?;
                 report.circuit_simulations += 1;
                 for &t in &times {
                     let v_circuit = waveform.sample_at(Seconds(t))?.0;
@@ -364,12 +367,13 @@ impl Calibrator {
         }
         report.training_samples += ratios.len();
 
-        let correction = polynomial_fit(&delta_vdds, &ratios, self.config.degrees.supply).map_err(
-            |err| ModelError::CalibrationFailed {
-                model: "supply (Eq. 4)".to_string(),
-                reason: err.to_string(),
-            },
-        )?;
+        let correction =
+            polynomial_fit(&delta_vdds, &ratios, self.config.degrees.supply).map_err(|err| {
+                ModelError::CalibrationFailed {
+                    model: "supply (Eq. 4)".to_string(),
+                    reason: err.to_string(),
+                }
+            })?;
 
         // Training residual of the corrected model, in mV.
         let residuals: Vec<f64> = reference
@@ -416,8 +420,11 @@ impl Calibrator {
             let delta_t = temp - t_nominal;
             let pvt = nominal.with_temperature(Celsius(temp));
             for &v_wl in &self.config.secondary_wordline_voltages {
-                let waveform =
-                    simulator.discharge_waveform(&self.stimulus(v_wl), &pvt, &MismatchSample::none())?;
+                let waveform = simulator.discharge_waveform(
+                    &self.stimulus(v_wl),
+                    &pvt,
+                    &MismatchSample::none(),
+                )?;
                 report.circuit_simulations += 1;
                 for &t in &times {
                     let v_circuit = waveform.sample_at(Seconds(t))?.0;
@@ -459,7 +466,7 @@ impl Calibrator {
                         self.config
                             .secondary_wordline_voltages
                             .iter()
-                            .flat_map(|&v| std::iter::repeat(v).take(times.len()))
+                            .flat_map(|&v| std::iter::repeat_n(v, times.len()))
                     })
                     .collect::<Vec<_>>(),
             )
@@ -602,7 +609,11 @@ impl Calibrator {
         for &vdd in &self.config.supply_voltages {
             let pvt = nominal.with_vdd(Volts(vdd));
             for &v_wl in &self.config.secondary_wordline_voltages {
-                let delta = simulator.discharge_delta(&self.stimulus(v_wl), &pvt, &MismatchSample::none())?;
+                let delta = simulator.discharge_delta(
+                    &self.stimulus(v_wl),
+                    &pvt,
+                    &MismatchSample::none(),
+                )?;
                 report.circuit_simulations += 1;
                 let e = circuit_energy::discharge_energy(
                     &self.technology,
@@ -636,7 +647,11 @@ impl Calibrator {
         for &temp in &self.config.temperatures {
             let pvt = nominal.with_temperature(Celsius(temp));
             for &v_wl in &self.config.secondary_wordline_voltages {
-                let delta = simulator.discharge_delta(&self.stimulus(v_wl), &pvt, &MismatchSample::none())?;
+                let delta = simulator.discharge_delta(
+                    &self.stimulus(v_wl),
+                    &pvt,
+                    &MismatchSample::none(),
+                )?;
                 report.circuit_simulations += 1;
                 let e = circuit_energy::discharge_energy(
                     &self.technology,

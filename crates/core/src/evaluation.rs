@@ -121,7 +121,11 @@ impl ModelEvaluator {
     /// # Errors
     ///
     /// Propagates circuit-simulation and interpolation errors.
-    pub fn rms_errors(&self, grid_points: usize, mc_samples: usize) -> Result<RmsErrorReport, ModelError> {
+    pub fn rms_errors(
+        &self,
+        grid_points: usize,
+        mc_samples: usize,
+    ) -> Result<RmsErrorReport, ModelError> {
         let grid_points = grid_points.max(3);
         let simulator = TransientSimulator::new(self.technology.clone());
         let nominal = PvtConditions::nominal(&self.technology);
@@ -133,8 +137,11 @@ impl ModelEvaluator {
         // Eq. 3 (nominal conditions).
         let mut residuals_basic = Vec::new();
         for &v_wl in &wordlines {
-            let waveform =
-                simulator.discharge_waveform(&self.stimulus(v_wl, duration), &nominal, &MismatchSample::none())?;
+            let waveform = simulator.discharge_waveform(
+                &self.stimulus(v_wl, duration),
+                &nominal,
+                &MismatchSample::none(),
+            )?;
             for &t in &times {
                 let reference = waveform.sample_at(Seconds(t))?.0;
                 let predicted = self
@@ -199,8 +206,11 @@ impl ModelEvaluator {
             let samples = mismatch_model.sample_n(mc, 0xe7a1);
             let mut per_time: Vec<Vec<f64>> = vec![Vec::new(); times.len()];
             for sample in &samples {
-                let waveform =
-                    simulator.discharge_waveform(&self.stimulus(v_wl, duration), &nominal, sample)?;
+                let waveform = simulator.discharge_waveform(
+                    &self.stimulus(v_wl, duration),
+                    &nominal,
+                    sample,
+                )?;
                 for (i, &t) in times.iter().enumerate() {
                     per_time[i].push(waveform.sample_at(Seconds(t))?.0);
                 }
@@ -245,7 +255,11 @@ impl ModelEvaluator {
                 .0;
                 let predicted = self
                     .models
-                    .discharge_energy(delta, Volts(vdd), Celsius(self.technology.temperature_nominal.0))
+                    .discharge_energy(
+                        delta,
+                        Volts(vdd),
+                        Celsius(self.technology.temperature_nominal.0),
+                    )
                     .0;
                 residuals_discharge_energy.push(reference - predicted);
             }
@@ -359,10 +373,10 @@ impl ModelEvaluator {
                 nominal.vdd,
                 Celsius(self.technology.temperature_nominal.0),
             );
-            let deviation = self
-                .models
-                .mismatch_model()
-                .sample_deviation(&mut rng, t_sample, Volts(v_wl));
+            let deviation =
+                self.models
+                    .mismatch_model()
+                    .sample_deviation(&mut rng, t_sample, Volts(v_wl));
             model_values.push(nominal_v + deviation.0);
         }
         let model_seconds = model_start.elapsed().as_secs_f64();

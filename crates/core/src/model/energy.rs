@@ -149,10 +149,7 @@ mod tests {
 
     #[test]
     fn write_energy_is_clamped_at_zero() {
-        let model = WriteEnergyModel::new(
-            Polynomial::new(vec![-5.0]),
-            Polynomial::new(vec![1.0]),
-        );
+        let model = WriteEnergyModel::new(Polynomial::new(vec![-5.0]), Polynomial::new(vec![1.0]));
         assert_eq!(model.energy(Volts(1.0), Celsius(25.0)).0, 0.0);
     }
 

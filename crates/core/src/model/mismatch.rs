@@ -116,10 +116,8 @@ mod tests {
 
     #[test]
     fn sigma_is_never_negative() {
-        let model = MismatchSigmaModel::new(
-            Polynomial::new(vec![-1.0]),
-            Polynomial::new(vec![1.0]),
-        );
+        let model =
+            MismatchSigmaModel::new(Polynomial::new(vec![-1.0]), Polynomial::new(vec![1.0]));
         assert_eq!(model.sigma(Seconds(1e-9), Volts(0.8)).0, 0.0);
     }
 

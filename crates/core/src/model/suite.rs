@@ -369,7 +369,13 @@ mod tests {
         assert_eq!(suite.discharge_model().threshold(), Volts(0.45));
         assert_eq!(suite.supply_model().vdd_nominal(), Volts(1.0));
         assert!(suite.mismatch_model().sigma(Seconds(1e-9), Volts(1.0)).0 > 0.0);
-        assert!(suite.write_energy_model().energy(Volts(1.0), Celsius(25.0)).0 > 0.0);
+        assert!(
+            suite
+                .write_energy_model()
+                .energy(Volts(1.0), Celsius(25.0))
+                .0
+                > 0.0
+        );
         assert!(
             suite
                 .discharge_energy_model()

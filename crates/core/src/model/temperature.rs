@@ -105,7 +105,10 @@ mod tests {
             (-40.0, 125.0),
         );
         assert_eq!(model.term(Seconds(1e-9), Volts(0.8), Celsius(25.0)).0, 0.0);
-        assert_eq!(model.apply(0.7, Seconds(1e-9), Volts(0.8), Celsius(25.0)), 0.7);
+        assert_eq!(
+            model.apply(0.7, Seconds(1e-9), Volts(0.8), Celsius(25.0)),
+            0.7
+        );
     }
 
     #[test]
@@ -139,6 +142,9 @@ mod tests {
     fn apply_clamps_at_zero() {
         let model =
             TemperatureModel::new(Celsius(25.0), Polynomial::new(vec![-1.0]), (-40.0, 125.0));
-        assert_eq!(model.apply(0.1, Seconds(2e-9), Volts(0.8), Celsius(125.0)), 0.0);
+        assert_eq!(
+            model.apply(0.1, Seconds(2e-9), Volts(0.8), Celsius(125.0)),
+            0.0
+        );
     }
 }

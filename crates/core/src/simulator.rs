@@ -95,10 +95,7 @@ impl SimulationTrace {
 
     /// The samples of one column, in time order.
     pub fn samples_for_column(&self, column: usize) -> Vec<&BitlineSample> {
-        self.samples
-            .iter()
-            .filter(|s| s.column == column)
-            .collect()
+        self.samples.iter().filter(|s| s.column == column).collect()
     }
 }
 
@@ -318,7 +315,14 @@ impl EventSimulator {
         match &mut self.mismatch_rng {
             Some(rng) => Ok(self
                 .models
-                .discharge_with_mismatch(rng, elapsed, voltage, stored_bit, self.vdd, self.temperature)?
+                .discharge_with_mismatch(
+                    rng,
+                    elapsed,
+                    voltage,
+                    stored_bit,
+                    self.vdd,
+                    self.temperature,
+                )?
                 .0),
             None => Ok(self
                 .models
@@ -329,7 +333,10 @@ impl EventSimulator {
 
     fn column(&self, column: usize) -> Result<&ColumnState, ModelError> {
         self.columns.get(column).ok_or(ModelError::InvalidSchedule {
-            context: format!("column {column} out of range ({} columns)", self.columns.len()),
+            context: format!(
+                "column {column} out of range ({} columns)",
+                self.columns.len()
+            ),
         })
     }
 
@@ -440,13 +447,27 @@ mod tests {
         // Two columns storing '1', sampled at different times ⇒ bit weighting.
         let mut sim = EventSimulator::new(toy_suite(), 2);
         let events = vec![
-            Event::new(Seconds(0.0), EventKind::Write { column: 0, bit: true }),
-            Event::new(Seconds(0.0), EventKind::Write { column: 1, bit: true }),
+            Event::new(
+                Seconds(0.0),
+                EventKind::Write {
+                    column: 0,
+                    bit: true,
+                },
+            ),
+            Event::new(
+                Seconds(0.0),
+                EventKind::Write {
+                    column: 1,
+                    bit: true,
+                },
+            ),
             Event::new(Seconds(0.05e-9), EventKind::Precharge { column: 0 }),
             Event::new(Seconds(0.05e-9), EventKind::Precharge { column: 1 }),
             Event::new(
                 Seconds(0.1e-9),
-                EventKind::DriveWordLine { voltage: Volts(0.95) },
+                EventKind::DriveWordLine {
+                    voltage: Volts(0.95),
+                },
             ),
             Event::new(Seconds(0.6e-9), EventKind::SampleBitline { column: 0 }),
             Event::new(Seconds(1.1e-9), EventKind::SampleBitline { column: 1 }),
@@ -484,8 +505,18 @@ mod tests {
         let mut sim = EventSimulator::new(toy_suite(), 1);
         assert!(sim
             .run(&[
-                Event::new(Seconds(0.0), EventKind::DriveWordLine { voltage: Volts(0.8) }),
-                Event::new(Seconds(1e-10), EventKind::DriveWordLine { voltage: Volts(0.9) }),
+                Event::new(
+                    Seconds(0.0),
+                    EventKind::DriveWordLine {
+                        voltage: Volts(0.8)
+                    }
+                ),
+                Event::new(
+                    Seconds(1e-10),
+                    EventKind::DriveWordLine {
+                        voltage: Volts(0.9)
+                    }
+                ),
             ])
             .is_err());
 
@@ -506,7 +537,10 @@ mod tests {
         let b = sim_b.run(&schedule).unwrap().samples[0].discharge.0;
         let c = sim_c.run(&schedule).unwrap().samples[0].discharge.0;
         assert_eq!(a, b, "equal seeds must reproduce");
-        assert!((a - c).abs() > 0.0, "mismatch must perturb the nominal value");
+        assert!(
+            (a - c).abs() > 0.0,
+            "mismatch must perturb the nominal value"
+        );
     }
 
     #[test]

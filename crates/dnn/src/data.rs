@@ -130,8 +130,8 @@ impl Dataset {
         let mut tensor = Tensor::zeros(shape);
         for c in 0..channels {
             // Sum of a few random sinusoids gives a smooth, class-specific texture.
-            let fx = rng.gen_range(0.5..2.5);
-            let fy = rng.gen_range(0.5..2.5);
+            let fx: f32 = rng.gen_range(0.5..2.5);
+            let fy: f32 = rng.gen_range(0.5..2.5);
             let phase_x: f32 = rng.gen_range(0.0..std::f32::consts::TAU);
             let phase_y: f32 = rng.gen_range(0.0..std::f32::consts::TAU);
             for y in 0..height {
@@ -140,7 +140,8 @@ impl Dataset {
                         + 0.25
                             * ((x as f32 / width as f32 * std::f32::consts::TAU * fx + phase_x)
                                 .sin()
-                                + (y as f32 / height as f32 * std::f32::consts::TAU * fy + phase_y)
+                                + (y as f32 / height as f32 * std::f32::consts::TAU * fy
+                                    + phase_y)
                                     .cos());
                     *tensor.at3_mut(c, y, x) = value.clamp(0.0, 1.0);
                 }

@@ -197,11 +197,9 @@ impl Layer for Conv2d {
                                     continue;
                                 }
                                 let (iy, ix) = (iy as usize, ix as usize);
-                                let weight_index =
-                                    ((oc * self.in_channels + ic) * k + ky) * k + kx;
+                                let weight_index = ((oc * self.in_channels + ic) * k + ky) * k + kx;
                                 self.grad_weights[weight_index] += go * input.at3(ic, iy, ix);
-                                *grad_input.at3_mut(ic, iy, ix) +=
-                                    go * self.weights[weight_index];
+                                *grad_input.at3_mut(ic, iy, ix) += go * self.weights[weight_index];
                             }
                         }
                     }
@@ -332,7 +330,8 @@ mod tests {
         // Learn to double the input with a 1x1-channel conv.
         let mut rng = ChaCha8Rng::seed_from_u64(4);
         let mut conv = Conv2d::new(1, 1, 3, &mut rng);
-        let input = Tensor::from_vec(&[1, 3, 3], (1..=9).map(|v| v as f32 * 0.1).collect()).unwrap();
+        let input =
+            Tensor::from_vec(&[1, 3, 3], (1..=9).map(|v| v as f32 * 0.1).collect()).unwrap();
         let target: Vec<f32> = input.data().iter().map(|v| v * 2.0).collect();
         let mut last = f32::INFINITY;
         for _ in 0..100 {

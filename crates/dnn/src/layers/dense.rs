@@ -134,8 +134,7 @@ impl Layer for Dense {
         let x = input.data();
         let g = grad_output.data();
         let mut grad_input = vec![0.0f32; self.inputs];
-        for o in 0..self.outputs {
-            let go = g[o];
+        for (o, &go) in g.iter().enumerate() {
             self.grad_bias[o] += go;
             let row = &self.weights[o * self.inputs..(o + 1) * self.inputs];
             let grad_row = &mut self.grad_weights[o * self.inputs..(o + 1) * self.inputs];
@@ -203,7 +202,9 @@ mod tests {
     #[test]
     fn forward_computes_affine_map() {
         let mut layer = tiny_dense();
-        let out = layer.forward(&Tensor::from_slice(&[1.0, 2.0, 3.0])).unwrap();
+        let out = layer
+            .forward(&Tensor::from_slice(&[1.0, 2.0, 3.0]))
+            .unwrap();
         assert!((out.data()[0] - (1.0 - 3.0 + 0.1)).abs() < 1e-6);
         assert!((out.data()[1] - (0.5 + 1.0 + 1.5 - 0.1)).abs() < 1e-6);
     }
@@ -257,9 +258,7 @@ mod tests {
             let out = layer.forward(&input).unwrap();
             let error = out.data()[0] - target;
             let loss = error * error;
-            layer
-                .backward(&Tensor::from_slice(&[2.0 * error]))
-                .unwrap();
+            layer.backward(&Tensor::from_slice(&[2.0 * error])).unwrap();
             layer.apply_gradients(0.1);
             assert!(loss <= last_loss + 1e-4);
             last_loss = loss;

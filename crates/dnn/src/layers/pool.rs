@@ -179,11 +179,8 @@ mod tests {
     #[test]
     fn maxpool_selects_maxima_and_routes_gradients() {
         let mut pool = MaxPool2d::new();
-        let input = Tensor::from_vec(
-            &[1, 2, 4],
-            vec![1.0, 5.0, 2.0, 0.0, 3.0, 4.0, 8.0, 1.0],
-        )
-        .unwrap();
+        let input =
+            Tensor::from_vec(&[1, 2, 4], vec![1.0, 5.0, 2.0, 0.0, 3.0, 4.0, 8.0, 1.0]).unwrap();
         let output = pool.forward(&input).unwrap();
         assert_eq!(output.shape(), &[1, 1, 2]);
         assert_eq!(output.data(), &[5.0, 8.0]);
@@ -210,9 +207,7 @@ mod tests {
         let input = Tensor::from_vec(&[2, 1, 2], vec![1.0, 3.0, 5.0, 7.0]).unwrap();
         let output = pool.forward(&input).unwrap();
         assert_eq!(output.data(), &[2.0, 6.0]);
-        let grad = pool
-            .backward(&Tensor::from_slice(&[1.0, 2.0]))
-            .unwrap();
+        let grad = pool.backward(&Tensor::from_slice(&[1.0, 2.0])).unwrap();
         assert_eq!(grad.data(), &[0.5, 0.5, 1.0, 1.0]);
         assert_eq!(pool.output_shape(&[2, 1, 2]).unwrap(), vec![2]);
         let mut fresh = GlobalAvgPool::new();

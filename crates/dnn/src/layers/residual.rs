@@ -112,8 +112,8 @@ mod tests {
         block.conv2.set_weights(&zero_weights).unwrap();
         block.conv1.set_bias(&[0.0, 0.0]).unwrap();
         block.conv2.set_bias(&[0.0, 0.0]).unwrap();
-        let input = Tensor::from_vec(&[2, 2, 2], vec![1.0, -2.0, 3.0, -4.0, 5.0, -6.0, 7.0, 8.0])
-            .unwrap();
+        let input =
+            Tensor::from_vec(&[2, 2, 2], vec![1.0, -2.0, 3.0, -4.0, 5.0, -6.0, 7.0, 8.0]).unwrap();
         let output = block.forward(&input).unwrap();
         assert_eq!(output.shape(), input.shape());
         assert_eq!(output.data()[0], 1.0);
@@ -124,8 +124,8 @@ mod tests {
     fn numerical_gradient_check_through_the_block() {
         let mut rng = ChaCha8Rng::seed_from_u64(5);
         let mut block = ResidualBlock::new(1, 3, &mut rng);
-        let input = Tensor::from_vec(&[1, 3, 3], (0..9).map(|i| 0.1 * i as f32 + 0.05).collect())
-            .unwrap();
+        let input =
+            Tensor::from_vec(&[1, 3, 3], (0..9).map(|i| 0.1 * i as f32 + 0.05).collect()).unwrap();
         let output = block.forward(&input).unwrap();
         let base_loss: f32 = output.data().iter().sum();
         let ones = Tensor::from_vec(output.shape(), vec![1.0; output.len()]).unwrap();
@@ -153,10 +153,7 @@ mod tests {
         let block = ResidualBlock::new(4, 3, &mut rng);
         assert_eq!(block.output_shape(&[4, 8, 8]).unwrap(), vec![4, 8, 8]);
         assert!(block.output_shape(&[3, 8, 8]).is_err());
-        assert_eq!(
-            block.multiplications(&[4, 8, 8]),
-            2 * 8 * 8 * 4 * 4 * 9
-        );
+        assert_eq!(block.multiplications(&[4, 8, 8]), 2 * 8 * 8 * 4 * 4 * 9);
         assert_eq!(block.parameter_count(), 2 * (4 * 4 * 9 + 4));
         let (c1, c2) = block.convolutions();
         assert_eq!(c1.out_channels(), 4);

@@ -52,7 +52,9 @@ pub mod prelude {
     pub use crate::eval::{evaluate, EvaluationReport};
     pub use crate::layers::Layer;
     pub use crate::models::{resnet_style, vgg_style, ModelKind};
-    pub use crate::multiplier::{CountingProducts, ExactInt4Products, InMemoryProducts, ProductTable};
+    pub use crate::multiplier::{
+        CountingProducts, ExactInt4Products, InMemoryProducts, ProductTable,
+    };
     pub use crate::network::Network;
     pub use crate::quantization::QuantizationParams;
     pub use crate::quantized::QuantizedNetwork;

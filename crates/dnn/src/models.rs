@@ -87,12 +87,7 @@ pub fn vgg_style(
 /// Builds a ResNet-style network for `[channels, size, size]` inputs.
 ///
 /// `blocks` is 2 for the ResNet50 analogue and 4 for the ResNet101 analogue.
-pub fn resnet_style(
-    input_channels: usize,
-    blocks: usize,
-    classes: usize,
-    seed: u64,
-) -> Network {
+pub fn resnet_style(input_channels: usize, blocks: usize, classes: usize, seed: u64) -> Network {
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     let stem_width = 12usize;
     let mut layers: Vec<Box<dyn Layer>> = vec![
@@ -169,7 +164,10 @@ mod tests {
             })
             .collect();
         assert!(counts[1] > counts[0], "VGG19-style must exceed VGG16-style");
-        assert!(counts[3] > counts[2], "ResNet101-style must exceed ResNet50-style");
+        assert!(
+            counts[3] > counts[2],
+            "ResNet101-style must exceed ResNet50-style"
+        );
     }
 
     #[test]

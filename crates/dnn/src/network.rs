@@ -168,8 +168,8 @@ mod tests {
     #[test]
     fn backward_and_gradient_application_run_end_to_end() {
         let mut net = tiny_cnn();
-        let input = Tensor::from_vec(&[1, 4, 4], (0..16).map(|i| i as f32 * 0.05).collect())
-            .unwrap();
+        let input =
+            Tensor::from_vec(&[1, 4, 4], (0..16).map(|i| i as f32 * 0.05).collect()).unwrap();
         let out = net.forward(&input).unwrap();
         let grad = Tensor::from_vec(out.shape(), vec![1.0; out.len()]).unwrap();
         let grad_input = net.backward(&grad).unwrap();

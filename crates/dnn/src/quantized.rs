@@ -210,8 +210,8 @@ impl QuantizedNetwork {
                                 if weight == 0 {
                                     continue;
                                 }
-                                let activation = activations
-                                    [(ic * height + iy as usize) * width + ix as usize];
+                                let activation =
+                                    activations[(ic * height + iy as usize) * width + ix as usize];
                                 if activation == 0 {
                                     continue;
                                 }
@@ -320,8 +320,8 @@ mod tests {
             Arc::new(InMemoryProducts::new(MultiplierTable::exact(), "exact")),
         )
         .unwrap();
-        let image = Tensor::from_vec(&[1, 8, 8], (0..64).map(|i| (i % 7) as f32 / 7.0).collect())
-            .unwrap();
+        let image =
+            Tensor::from_vec(&[1, 8, 8], (0..64).map(|i| (i % 7) as f32 / 7.0).collect()).unwrap();
         assert_eq!(
             via_products.forward(&image).unwrap(),
             via_table.forward(&image).unwrap()
@@ -337,7 +337,10 @@ mod tests {
         let _ = quantized.forward(&image).unwrap();
         let upper_bound = network.multiplications(&[1, 8, 8]).unwrap();
         assert!(counting.count() > 0);
-        assert!(counting.count() <= upper_bound, "skipping zeros can only reduce the count");
+        assert!(
+            counting.count() <= upper_bound,
+            "skipping zeros can only reduce the count"
+        );
         assert_eq!(quantized.products().name(), "exact-int4");
     }
 

@@ -4,14 +4,34 @@ use crate::data::Dataset;
 use crate::error::DnnError;
 use crate::network::Network;
 use crate::tensor::Tensor;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
+
+/// Deterministic per-epoch visit order of the training split.
+///
+/// The synthetic datasets store their samples grouped by class; per-sample
+/// SGD over that order leaves the network biased towards the last class of
+/// every epoch, so training must shuffle. A fixed seed mixed with the epoch
+/// keeps runs reproducible.
+fn epoch_order(samples: usize, epoch: usize) -> Vec<usize> {
+    let mut rng = ChaCha8Rng::seed_from_u64(0x5EED_0000 ^ epoch as u64);
+    let mut order: Vec<usize> = (0..samples).collect();
+    for i in (1..order.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        order.swap(i, j);
+    }
+    order
+}
 
 /// Numerically stable softmax.
 pub fn softmax(logits: &[f32]) -> Vec<f32> {
     let max = logits.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
     let exps: Vec<f32> = logits.iter().map(|&l| (l - max).exp()).collect();
     let sum: f32 = exps.iter().sum();
-    exps.iter().map(|&e| e / sum.max(f32::MIN_POSITIVE)).collect()
+    exps.iter()
+        .map(|&e| e / sum.max(f32::MIN_POSITIVE))
+        .collect()
 }
 
 /// Cross-entropy loss of `logits` against a class label, together with the
@@ -96,31 +116,14 @@ impl Trainer {
     /// # Errors
     ///
     /// Propagates forward/backward shape errors and invalid labels.
-    pub fn train(&self, network: &mut Network, dataset: &Dataset) -> Result<TrainingHistory, DnnError> {
-        let mut history = TrainingHistory::default();
-        let mut learning_rate = self.config.learning_rate;
-        for _ in 0..self.config.epochs {
-            let mut losses = Vec::with_capacity(dataset.train_len());
-            let mut correct = 0usize;
-            for (image, label) in dataset.train_iter() {
-                let logits = network.forward(image)?;
-                if logits.argmax() == Some(*label) {
-                    correct += 1;
-                }
-                let (loss, grad) = cross_entropy_with_gradient(&logits, *label)?;
-                losses.push(loss);
-                network.backward(&grad)?;
-                network.apply_gradients(learning_rate);
-            }
-            history
-                .epoch_losses
-                .push(losses.iter().sum::<f32>() / losses.len().max(1) as f32);
-            history
-                .epoch_accuracies
-                .push(correct as f64 / dataset.train_len().max(1) as f64);
-            learning_rate *= self.config.learning_rate_decay;
-        }
-        Ok(history)
+    pub fn train(
+        &self,
+        network: &mut Network,
+        dataset: &Dataset,
+    ) -> Result<TrainingHistory, DnnError> {
+        self.run_epochs(network, dataset, |network, learning_rate| {
+            network.apply_gradients(learning_rate)
+        })
     }
 
     /// Trains only the final layer of `network` (transfer-learning head
@@ -135,12 +138,35 @@ impl Trainer {
         network: &mut Network,
         dataset: &Dataset,
     ) -> Result<TrainingHistory, DnnError> {
+        self.run_epochs(network, dataset, |network, learning_rate| {
+            // Only the head learns; everything else keeps its weights.
+            let last = network.len() - 1;
+            for (index, layer) in network.layers_mut().iter_mut().enumerate() {
+                if index == last {
+                    layer.apply_gradients(learning_rate);
+                } else {
+                    layer.zero_gradients();
+                }
+            }
+        })
+    }
+
+    /// The shared SGD epoch loop; `apply` consumes the accumulated gradients
+    /// after each sample's backward pass.
+    fn run_epochs(
+        &self,
+        network: &mut Network,
+        dataset: &Dataset,
+        mut apply: impl FnMut(&mut Network, f32),
+    ) -> Result<TrainingHistory, DnnError> {
         let mut history = TrainingHistory::default();
         let mut learning_rate = self.config.learning_rate;
-        for _ in 0..self.config.epochs {
+        let samples: Vec<(&Tensor, &usize)> = dataset.train_iter().collect();
+        for epoch in 0..self.config.epochs {
             let mut losses = Vec::with_capacity(dataset.train_len());
             let mut correct = 0usize;
-            for (image, label) in dataset.train_iter() {
+            for &index in &epoch_order(samples.len(), epoch) {
+                let (image, label) = samples[index];
                 let logits = network.forward(image)?;
                 if logits.argmax() == Some(*label) {
                     correct += 1;
@@ -148,15 +174,7 @@ impl Trainer {
                 let (loss, grad) = cross_entropy_with_gradient(&logits, *label)?;
                 losses.push(loss);
                 network.backward(&grad)?;
-                // Only the head learns; everything else keeps its weights.
-                let last = network.len() - 1;
-                for (index, layer) in network.layers_mut().iter_mut().enumerate() {
-                    if index == last {
-                        layer.apply_gradients(learning_rate);
-                    } else {
-                        layer.zero_gradients();
-                    }
-                }
+                apply(network, learning_rate);
             }
             history
                 .epoch_losses

@@ -24,23 +24,23 @@ pub fn transfer_to_new_head(
     new_classes: usize,
     seed: u64,
 ) -> Result<(), DnnError> {
-    let last_index = network
-        .len()
-        .checked_sub(1)
-        .ok_or_else(|| DnnError::InvalidConfiguration {
-            context: "cannot replace the head of an empty network".to_string(),
-        })?;
+    let last_index =
+        network
+            .len()
+            .checked_sub(1)
+            .ok_or_else(|| DnnError::InvalidConfiguration {
+                context: "cannot replace the head of an empty network".to_string(),
+            })?;
     let inputs = {
         let last = &network.layers()[last_index];
-        let dense = last
-            .as_any()
-            .downcast_ref::<Dense>()
-            .ok_or_else(|| DnnError::InvalidConfiguration {
+        let dense = last.as_any().downcast_ref::<Dense>().ok_or_else(|| {
+            DnnError::InvalidConfiguration {
                 context: format!(
                     "last layer is '{}', expected a dense classifier head",
                     last.name()
                 ),
-            })?;
+            }
+        })?;
         dense.inputs()
     };
     let mut rng = ChaCha8Rng::seed_from_u64(seed);

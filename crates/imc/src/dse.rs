@@ -9,7 +9,7 @@
 //! The paper selects 48 design corners and simulates them with OPTIMA; this
 //! module reproduces that sweep (and supports arbitrary grids).  Exploration
 //! is embarrassingly parallel across corners, so the explorer fans the work
-//! out over scoped threads (crossbeam).
+//! out over `std::thread::scope` worker threads.
 
 use crate::error::ImcError;
 use crate::metrics::{evaluate_multiplier, MultiplierMetrics};
@@ -156,11 +156,11 @@ impl DesignSpaceExplorer {
         let chunk_size = corners.len().div_ceil(self.threads);
         let mut results: Vec<DesignPointResult> = Vec::with_capacity(corners.len());
 
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             let mut handles = Vec::new();
             for chunk in corners.chunks(chunk_size.max(1)) {
                 let explorer = self;
-                handles.push(scope.spawn(move |_| {
+                handles.push(scope.spawn(move || {
                     chunk
                         .iter()
                         .filter_map(|&point| explorer.evaluate_point(point).ok())
@@ -168,20 +168,30 @@ impl DesignSpaceExplorer {
                 }));
             }
             for handle in handles {
-                if let Ok(chunk_results) = handle.join() {
-                    results.extend(chunk_results);
-                }
+                // Joined panics are consumed by `join`, so they must be
+                // re-raised here or corners would silently vanish.
+                let chunk_results = handle
+                    .join()
+                    .expect("design-space worker threads must not panic");
+                results.extend(chunk_results);
             }
-        })
-        .expect("design-space worker threads must not panic");
+        });
 
         if results.is_empty() {
             return Err(ImcError::EmptyDesignSpace);
         }
         // Keep a deterministic ordering regardless of thread interleaving.
         results.sort_by(|a, b| {
-            (a.point.tau0.0, a.point.vdac_zero.0, a.point.vdac_full_scale.0)
-                .partial_cmp(&(b.point.tau0.0, b.point.vdac_zero.0, b.point.vdac_full_scale.0))
+            (
+                a.point.tau0.0,
+                a.point.vdac_zero.0,
+                a.point.vdac_full_scale.0,
+            )
+                .partial_cmp(&(
+                    b.point.tau0.0,
+                    b.point.vdac_zero.0,
+                    b.point.vdac_full_scale.0,
+                ))
                 .unwrap_or(std::cmp::Ordering::Equal)
         });
         Ok(results)

@@ -74,7 +74,9 @@ mod tests {
     fn display_messages_are_informative() {
         let err = ImcError::OperandOutOfRange { value: 16, max: 15 };
         assert!(err.to_string().contains("16"));
-        assert!(ImcError::EmptyDesignSpace.to_string().contains("no corners"));
+        assert!(ImcError::EmptyDesignSpace
+            .to_string()
+            .contains("no corners"));
     }
 
     #[test]

@@ -116,12 +116,7 @@ mod tests {
     use crate::testsupport::linear_suite;
     use optima_math::units::{FemtoJoules, Seconds, Volts};
 
-    fn synthetic_result(
-        epsilon: f64,
-        energy: f64,
-        sigma_max: f64,
-        tau0: f64,
-    ) -> DesignPointResult {
+    fn synthetic_result(epsilon: f64, energy: f64, sigma_max: f64, tau0: f64) -> DesignPointResult {
         DesignPointResult {
             point: DesignPoint {
                 tau0: Seconds(tau0),

@@ -114,7 +114,11 @@ mod tests {
     #[test]
     fn near_ideal_configuration_has_sub_lsb_error() {
         let metrics = evaluate_multiplier(&near_ideal()).unwrap();
-        assert!(metrics.epsilon_mul < 1.0, "epsilon = {}", metrics.epsilon_mul);
+        assert!(
+            metrics.epsilon_mul < 1.0,
+            "epsilon = {}",
+            metrics.epsilon_mul
+        );
         assert!(metrics.rms_error_lsb < 1.5);
         assert!(metrics.max_error_lsb <= 3.0);
         assert!(metrics.energy_per_multiply.0 > 0.0);

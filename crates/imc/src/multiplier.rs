@@ -210,12 +210,8 @@ impl InSramMultiplier {
         let mut denominator = 0.0;
         for a in 0..=OPERAND_MAX {
             for d in 0..=OPERAND_MAX {
-                let discharge = self.combined_discharge::<rand_chacha::ChaCha8Rng>(
-                    a,
-                    d,
-                    self.nominal,
-                    None,
-                )?;
+                let discharge =
+                    self.combined_discharge::<rand_chacha::ChaCha8Rng>(a, d, self.nominal, None)?;
                 let expected = (a * d) as f64;
                 numerator += discharge * expected;
                 denominator += expected * expected;
@@ -258,10 +254,9 @@ impl InSramMultiplier {
                     at.vdd,
                     at.temperature,
                 )?,
-                None => {
-                    self.models
-                        .discharge(duration, word_line, true, at.vdd, at.temperature)?
-                }
+                None => self
+                    .models
+                    .discharge(duration, word_line, true, at.vdd, at.temperature)?,
             };
             total += delta.0;
         }
@@ -454,7 +449,10 @@ impl MultiplierTable {
     ///
     /// Panics if either operand exceeds 15.
     pub fn lookup(&self, a: u16, d: u16) -> u16 {
-        assert!(a <= OPERAND_MAX && d <= OPERAND_MAX, "operands must be 4-bit");
+        assert!(
+            a <= OPERAND_MAX && d <= OPERAND_MAX,
+            "operands must be 4-bit"
+        );
         self.results[(a * (OPERAND_MAX + 1) + d) as usize]
     }
 
@@ -610,7 +608,10 @@ mod tests {
         let at = multiplier.nominal_operating_point();
         let table = MultiplierTable::from_multiplier(&multiplier, at).unwrap();
         for (a, d) in [(0, 0), (3, 4), (15, 15), (9, 2)] {
-            assert_eq!(table.lookup(a, d), multiplier.multiply(a, d).unwrap().result);
+            assert_eq!(
+                table.lookup(a, d),
+                multiplier.multiply(a, d).unwrap().result
+            );
         }
         assert!(table.average_multiply_energy().0 > 0.0);
         assert!(table.average_total_energy().0 > table.average_multiply_energy().0);

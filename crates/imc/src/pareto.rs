@@ -18,8 +18,8 @@ pub fn pareto_front(results: &[DesignPointResult]) -> Vec<DesignPointResult> {
         .iter()
         .filter(|candidate| {
             !results.iter().any(|other| {
-                let better_or_equal_energy = other.metrics.energy_per_multiply.0
-                    <= candidate.metrics.energy_per_multiply.0;
+                let better_or_equal_energy =
+                    other.metrics.energy_per_multiply.0 <= candidate.metrics.energy_per_multiply.0;
                 let better_or_equal_error =
                     other.metrics.epsilon_mul <= candidate.metrics.epsilon_mul;
                 let strictly_better = other.metrics.energy_per_multiply.0

@@ -33,7 +33,7 @@ impl Default for PvtAnalysisConfig {
             supply_voltages: linspace(0.9, 1.1, 5),
             temperatures: linspace(0.0, 60.0, 4),
             mismatch_samples: 50,
-            seed: 0xf18_8,
+            seed: 0xf188,
         }
     }
 }
@@ -173,10 +173,7 @@ impl PvtAnalysis {
 }
 
 /// Average absolute error over the full input space at one operating point.
-fn average_error_at(
-    multiplier: &InSramMultiplier,
-    at: OperatingPoint,
-) -> Result<f64, ImcError> {
+fn average_error_at(multiplier: &InSramMultiplier, at: OperatingPoint) -> Result<f64, ImcError> {
     let mut errors = Vec::with_capacity(256);
     for a in 0..=OPERAND_MAX {
         for d in 0..=OPERAND_MAX {
@@ -213,7 +210,10 @@ mod tests {
         let profile = &analysis.result_profile;
         assert_eq!(profile.expected_results[0], 0);
         assert_eq!(*profile.expected_results.last().unwrap(), PRODUCT_MAX);
-        assert_eq!(profile.expected_results.len(), profile.average_error_lsb.len());
+        assert_eq!(
+            profile.expected_results.len(),
+            profile.average_error_lsb.len()
+        );
         assert_eq!(profile.expected_results.len(), profile.analog_sigma.len());
         // Expected results of a 4x4-bit multiplier: not every integer occurs
         // (e.g. 211 is prime and > 15), so the list is shorter than 226.
@@ -224,11 +224,7 @@ mod tests {
     fn analog_sigma_grows_with_expected_result() {
         let analysis = analysis(false);
         let profile = &analysis.result_profile;
-        let first_nonzero = profile
-            .analog_sigma
-            .iter()
-            .position(|&s| s > 0.0)
-            .unwrap();
+        let first_nonzero = profile.analog_sigma.iter().position(|&s| s > 0.0).unwrap();
         assert!(profile.analog_sigma.last().unwrap() > &profile.analog_sigma[first_nonzero]);
     }
 
@@ -248,7 +244,10 @@ mod tests {
             .cloned()
             .fold(0.0_f64, f64::max);
         assert!(worst >= nominal_error);
-        assert!(worst > nominal_error + 0.5, "supply sweep should visibly degrade the error");
+        assert!(
+            worst > nominal_error + 0.5,
+            "supply sweep should visibly degrade the error"
+        );
     }
 
     #[test]

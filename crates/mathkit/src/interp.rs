@@ -107,7 +107,10 @@ pub fn bilinear(
     let v10 = values[i + 1][j];
     let v01 = values[i][j + 1];
     let v11 = values[i + 1][j + 1];
-    Ok(v00 * (1.0 - tx) * (1.0 - ty) + v10 * tx * (1.0 - ty) + v01 * (1.0 - tx) * ty + v11 * tx * ty)
+    Ok(v00 * (1.0 - tx) * (1.0 - ty)
+        + v10 * tx * (1.0 - ty)
+        + v01 * (1.0 - tx) * ty
+        + v11 * tx * ty)
 }
 
 /// Index `i` such that `xs[i] <= x <= xs[i+1]`, clamped to valid intervals.
@@ -174,6 +177,13 @@ mod tests {
         let ys = [0.0, 1.0];
         assert!(bilinear(&xs, &ys, &[vec![0.0, 1.0]], 0.5, 0.5).is_err());
         assert!(bilinear(&[0.0], &ys, &[vec![0.0, 1.0]], 0.5, 0.5).is_err());
-        assert!(bilinear(&[1.0, 0.0], &ys, &[vec![0.0, 1.0], vec![0.0, 1.0]], 0.5, 0.5).is_err());
+        assert!(bilinear(
+            &[1.0, 0.0],
+            &ys,
+            &[vec![0.0, 1.0], vec![0.0, 1.0]],
+            0.5,
+            0.5
+        )
+        .is_err());
     }
 }

@@ -159,8 +159,8 @@ impl Matrix {
             });
         }
         let mut out = vec![0.0; self.rows];
-        for i in 0..self.rows {
-            out[i] = self
+        for (i, out_value) in out.iter_mut().enumerate() {
+            *out_value = self
                 .row(i)
                 .iter()
                 .zip(v.iter())
@@ -180,7 +180,10 @@ impl Matrix {
     pub fn solve(&self, b: &[f64]) -> Result<Vector, MathError> {
         if self.rows != self.cols {
             return Err(MathError::ShapeMismatch {
-                context: format!("solve requires a square matrix, got {}x{}", self.rows, self.cols),
+                context: format!(
+                    "solve requires a square matrix, got {}x{}",
+                    self.rows, self.cols
+                ),
             });
         }
         if b.len() != self.rows {

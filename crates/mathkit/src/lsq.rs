@@ -265,11 +265,13 @@ impl SeparableFit {
             performed += 1;
         }
         // Normalise: push the scale into factor_x.
-        let scale = factor_y
-            .coeffs()
-            .iter()
-            .cloned()
-            .fold(0.0_f64, |acc, c| if c.abs() > acc.abs() { c } else { acc });
+        let scale = factor_y.coeffs().iter().cloned().fold(0.0_f64, |acc, c| {
+            if c.abs() > acc.abs() {
+                c
+            } else {
+                acc
+            }
+        });
         if scale.abs() > 1e-300 {
             factor_y = factor_y.scale(1.0 / scale);
             factor_x = factor_x.scale(scale);
@@ -376,7 +378,11 @@ pub fn fit_quality(reference: &[f64], predicted: &[f64]) -> Result<FitQuality, M
     let mean_ref = stats::mean(reference);
     let ss_tot: f64 = reference.iter().map(|r| (r - mean_ref).powi(2)).sum();
     let ss_res: f64 = residuals.iter().map(|r| r * r).sum();
-    let r_squared = if ss_tot > 0.0 { 1.0 - ss_res / ss_tot } else { 1.0 };
+    let r_squared = if ss_tot > 0.0 {
+        1.0 - ss_res / ss_tot
+    } else {
+        1.0
+    };
     Ok(FitQuality {
         rmse,
         max_abs_error,

@@ -212,7 +212,14 @@ where
             -11.0 / 40.0,
         ],
     ];
-    const C4: [f64; 6] = [25.0 / 216.0, 0.0, 1408.0 / 2565.0, 2197.0 / 4104.0, -0.2, 0.0];
+    const C4: [f64; 6] = [
+        25.0 / 216.0,
+        0.0,
+        1408.0 / 2565.0,
+        2197.0 / 4104.0,
+        -0.2,
+        0.0,
+    ];
     const C5: [f64; 6] = [
         16.0 / 135.0,
         0.0,

@@ -148,7 +148,8 @@ impl Polynomial {
     /// Returns [`MathError::InvalidArgument`] when `lo >= hi` or the
     /// polynomial has the same sign at both interval ends.
     pub fn find_root(&self, lo: f64, hi: f64, tolerance: f64) -> Result<f64, MathError> {
-        if !(lo < hi) {
+        // `partial_cmp` keeps the NaN-rejecting behaviour of `!(lo < hi)`.
+        if lo.partial_cmp(&hi) != Some(std::cmp::Ordering::Less) {
             return Err(MathError::InvalidArgument {
                 context: format!("invalid bracket [{lo}, {hi}]"),
             });

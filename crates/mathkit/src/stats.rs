@@ -377,7 +377,7 @@ mod tests {
         assert!((correlation(&xs, &ys) - 1.0).abs() < 1e-12);
         let ys_neg: Vec<f64> = xs.iter().map(|x| -x).collect();
         assert!((correlation(&xs, &ys_neg) + 1.0).abs() < 1e-12);
-        assert_eq!(correlation(&xs, &vec![1.0; 20]), 0.0);
+        assert_eq!(correlation(&xs, &[1.0; 20]), 0.0);
     }
 
     #[test]

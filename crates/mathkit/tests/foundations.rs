@@ -1,0 +1,237 @@
+//! Targeted coverage for the numeric foundations the calibration pipeline
+//! rests on: `polynomial`, `lsq::polynomial_fit`, `interp` and `stats`.
+//!
+//! These exercise the modules through the same shapes the OPTIMA calibration
+//! uses them in — polynomial fits over voltage/time grids, interpolation of
+//! sampled waveforms, RMS-style error metrics — but in isolation, so a
+//! regression here points at the foundation rather than the pipeline.
+
+use optima_math::interp;
+use optima_math::lsq::{fit_quality, polynomial_fit, weighted_polynomial_fit};
+use optima_math::stats;
+use optima_math::Polynomial;
+
+// ---------------------------------------------------------------------------
+// polynomial
+
+#[test]
+fn horner_evaluation_matches_naive_power_expansion() {
+    let poly = Polynomial::new(vec![1.5, -2.0, 0.75, 0.1]);
+    for i in 0..50 {
+        let x = -2.0 + i as f64 * 0.08;
+        let naive: f64 = poly
+            .coeffs()
+            .iter()
+            .enumerate()
+            .map(|(k, c)| c * x.powi(k as i32))
+            .sum();
+        assert!((poly.eval(x) - naive).abs() < 1e-12);
+    }
+}
+
+#[test]
+fn derivative_and_antiderivative_are_inverse_up_to_constant() {
+    let poly = Polynomial::new(vec![3.0, -1.0, 2.0, 0.5]);
+    let roundtrip = poly.derivative().antiderivative();
+    // The constant term is lost by differentiation; all other coefficients
+    // must survive the round trip.
+    assert!((roundtrip.coeffs()[0]).abs() < 1e-12);
+    for (a, b) in roundtrip
+        .coeffs()
+        .iter()
+        .skip(1)
+        .zip(poly.coeffs().iter().skip(1))
+    {
+        assert!((a - b).abs() < 1e-12);
+    }
+}
+
+#[test]
+fn definite_integral_matches_analytic_value() {
+    // ∫₀² (1 + 2x + 3x²) dx = 2 + 4 + 8 = 14.
+    let poly = Polynomial::new(vec![1.0, 2.0, 3.0]);
+    assert!((poly.integrate(0.0, 2.0) - 14.0).abs() < 1e-12);
+    // Swapped bounds flip the sign.
+    assert!((poly.integrate(2.0, 0.0) + 14.0).abs() < 1e-12);
+}
+
+#[test]
+fn compose_linear_shifts_and_scales_the_argument() {
+    let poly = Polynomial::new(vec![0.0, 0.0, 1.0]); // x²
+    let composed = poly.compose_linear(2.0, -1.0); // (2x - 1)²
+    for i in 0..20 {
+        let x = -1.0 + i as f64 * 0.1;
+        assert!((composed.eval(x) - (2.0 * x - 1.0).powi(2)).abs() < 1e-10);
+    }
+}
+
+#[test]
+fn find_root_locates_discharge_style_crossing() {
+    // Shape of a discharge-time lookup: monotone decreasing on the bracket.
+    let poly = Polynomial::new(vec![1.0, -0.5]); // 1 - 0.5 x, root at x = 2
+    let root = poly.find_root(0.0, 4.0, 1e-12).unwrap();
+    assert!((root - 2.0).abs() < 1e-9);
+    // Same-sign brackets and inverted/NaN brackets are rejected.
+    assert!(poly.find_root(3.0, 4.0, 1e-12).is_err());
+    assert!(poly.find_root(4.0, 0.0, 1e-12).is_err());
+    assert!(poly.find_root(f64::NAN, 1.0, 1e-12).is_err());
+}
+
+// ---------------------------------------------------------------------------
+// lsq::polynomial_fit
+
+#[test]
+fn quadratic_fit_recovers_exact_coefficients() {
+    let truth = Polynomial::new(vec![0.3, -1.2, 0.8]);
+    let xs: Vec<f64> = (0..25).map(|i| i as f64 * 0.05).collect();
+    let ys = truth.eval_many(&xs);
+    let fitted = polynomial_fit(&xs, &ys, 2).unwrap();
+    for (a, b) in fitted.coeffs().iter().zip(truth.coeffs()) {
+        assert!((a - b).abs() < 1e-9, "fitted {a} vs truth {b}");
+    }
+}
+
+#[test]
+fn noisy_overdetermined_fit_stays_close_to_truth() {
+    // Pseudo-noise from a fixed irrational stride keeps the test hermetic.
+    let truth = Polynomial::new(vec![1.0, 2.0, -0.5]);
+    let xs: Vec<f64> = (0..200).map(|i| i as f64 * 0.01).collect();
+    let ys: Vec<f64> = xs
+        .iter()
+        .enumerate()
+        .map(|(i, &x)| truth.eval(x) + 1e-3 * ((i as f64 * 0.754_877).sin()))
+        .collect();
+    let fitted = polynomial_fit(&xs, &ys, 2).unwrap();
+    for i in 0..20 {
+        let x = i as f64 * 0.1;
+        assert!((fitted.eval(x) - truth.eval(x)).abs() < 5e-3);
+    }
+}
+
+#[test]
+fn fit_rejects_degenerate_inputs() {
+    // Fewer samples than coefficients cannot determine the polynomial.
+    assert!(polynomial_fit(&[0.0, 1.0], &[1.0, 2.0], 3).is_err());
+    // Mismatched lengths are an error, not a panic.
+    assert!(polynomial_fit(&[0.0, 1.0, 2.0], &[1.0, 2.0], 1).is_err());
+}
+
+#[test]
+fn weighted_fit_follows_the_heavily_weighted_samples() {
+    // Two clusters of contradictory samples; the weights pick the winner.
+    let xs = [0.0, 1.0, 2.0, 0.0, 1.0, 2.0];
+    let ys = [0.0, 1.0, 2.0, 1.0, 2.0, 3.0]; // y = x   vs   y = x + 1
+    let weights = [100.0, 100.0, 100.0, 0.01, 0.01, 0.01];
+    let fitted = weighted_polynomial_fit(&xs, &ys, &weights, 1).unwrap();
+    assert!((fitted.eval(1.5) - 1.5).abs() < 0.05, "should track y = x");
+}
+
+#[test]
+fn fit_quality_reports_perfect_fit_as_zero_error() {
+    let reference = [1.0, 2.0, 3.0, 4.0];
+    let quality = fit_quality(&reference, &reference).unwrap();
+    assert!(quality.rmse.abs() < 1e-12);
+    assert!(fit_quality(&reference, &reference[..2]).is_err());
+}
+
+// ---------------------------------------------------------------------------
+// interp
+
+#[test]
+fn linear_interpolation_is_exact_on_linear_data() {
+    let xs: Vec<f64> = (0..10).map(|i| i as f64).collect();
+    let ys: Vec<f64> = xs.iter().map(|x| 3.0 * x - 1.0).collect();
+    for i in 0..89 {
+        let x = i as f64 * 0.1;
+        let y = interp::linear(&xs, &ys, x).unwrap();
+        assert!((y - (3.0 * x - 1.0)).abs() < 1e-12);
+    }
+}
+
+#[test]
+fn linear_interpolation_hits_knots_exactly() {
+    let xs = [0.0, 0.4, 1.0, 2.5];
+    let ys = [1.0, -2.0, 0.5, 4.0];
+    for (x, y) in xs.iter().zip(ys.iter()) {
+        assert!((interp::linear(&xs, &ys, *x).unwrap() - y).abs() < 1e-12);
+    }
+}
+
+#[test]
+fn bilinear_interpolation_is_exact_on_bilinear_surfaces() {
+    // f(x, y) = 2 + x + 3y + 0.5·x·y is reproduced exactly by bilinear
+    // interpolation on any rectangular grid.
+    let xs: Vec<f64> = vec![0.0, 1.0, 2.0];
+    let ys: Vec<f64> = vec![0.0, 0.5, 1.0, 2.0];
+    let f = |x: f64, y: f64| 2.0 + x + 3.0 * y + 0.5 * x * y;
+    let values: Vec<Vec<f64>> = xs
+        .iter()
+        .map(|&x| ys.iter().map(|&y| f(x, y)).collect())
+        .collect();
+    for i in 0..20 {
+        for j in 0..20 {
+            let x = i as f64 * 0.1;
+            let y = j as f64 * 0.1;
+            let z = interp::bilinear(&xs, &ys, &values, x, y).unwrap();
+            assert!((z - f(x, y)).abs() < 1e-10, "at ({x}, {y})");
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// stats
+
+#[test]
+fn moments_match_hand_computed_values() {
+    let data = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+    assert!((stats::mean(&data) - 5.0).abs() < 1e-12);
+    assert!((stats::variance(&data) - 4.0).abs() < 1e-12);
+    assert!((stats::std_dev(&data) - 2.0).abs() < 1e-12);
+    // Sample (n-1) variance of the same data: 32 / 7.
+    assert!((stats::sample_variance(&data) - 32.0 / 7.0).abs() < 1e-12);
+}
+
+#[test]
+fn rms_and_rmse_agree_on_shifted_data() {
+    let reference = [1.0, 2.0, 3.0];
+    let predicted = [1.5, 2.5, 3.5];
+    // Constant 0.5 offset -> RMSE exactly 0.5.
+    assert!((stats::rmse(&reference, &predicted) - 0.5).abs() < 1e-12);
+    assert!((stats::mae(&reference, &predicted) - 0.5).abs() < 1e-12);
+    // RMS of the residual vector equals the RMSE.
+    let residuals: Vec<f64> = reference
+        .iter()
+        .zip(predicted.iter())
+        .map(|(a, b)| a - b)
+        .collect();
+    assert!((stats::rms(&residuals) - stats::rmse(&reference, &predicted)).abs() < 1e-12);
+}
+
+#[test]
+fn percentiles_and_median_are_order_statistics() {
+    let data = [9.0, 1.0, 8.0, 2.0, 7.0, 3.0, 6.0, 4.0, 5.0];
+    assert!((stats::median(&data) - 5.0).abs() < 1e-12);
+    assert!((stats::percentile(&data, 0.0) - 1.0).abs() < 1e-12);
+    assert!((stats::percentile(&data, 100.0) - 9.0).abs() < 1e-12);
+    assert!(stats::min(&data) <= stats::median(&data));
+    assert!(stats::median(&data) <= stats::max(&data));
+}
+
+#[test]
+fn correlation_detects_perfect_linear_relationships() {
+    let xs: Vec<f64> = (0..30).map(|i| i as f64).collect();
+    let pos: Vec<f64> = xs.iter().map(|x| 2.0 * x + 1.0).collect();
+    let neg: Vec<f64> = xs.iter().map(|x| -0.5 * x + 3.0).collect();
+    assert!((stats::correlation(&xs, &pos) - 1.0).abs() < 1e-12);
+    assert!((stats::correlation(&xs, &neg) + 1.0).abs() < 1e-12);
+}
+
+#[test]
+fn histogram_bins_partition_the_range() {
+    let mut histogram = stats::Histogram::new(0.0, 1.0, 4);
+    histogram.extend([0.1, 0.3, 0.6, 0.9, -0.5, 1.5]);
+    assert_eq!(histogram.counts().iter().sum::<u64>(), 4);
+    assert_eq!(histogram.underflow(), 1);
+    assert_eq!(histogram.overflow(), 1);
+    assert_eq!(histogram.total_count(), 6);
+}

@@ -40,7 +40,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     let front = pareto_front(&results);
-    println!("\nPareto-optimal corners (energy vs. error): {}", front.len());
+    println!(
+        "\nPareto-optimal corners (energy vs. error): {}",
+        front.len()
+    );
     for corner in front {
         println!(
             "  E = {:6.1} fJ, eps = {:5.2} LSB  (tau0 {:.2} ns, V0 {:.1} V, VFS {:.1} V)",

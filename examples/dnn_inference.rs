@@ -43,7 +43,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ..SyntheticImageConfig::cifar_like()
     });
     let shape = dataset.image_shape().to_vec();
-    let mut network = build_model(ModelKind::Vgg16Style, shape[0], shape[1], dataset.classes(), 1);
+    let mut network = build_model(
+        ModelKind::Vgg16Style,
+        shape[0],
+        shape[1],
+        dataset.classes(),
+        1,
+    );
     println!(
         "Training a {} ({} parameters) on {} samples ...",
         ModelKind::Vgg16Style,

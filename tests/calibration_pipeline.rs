@@ -40,7 +40,10 @@ fn calibrated_models_reproduce_the_golden_reference_across_the_grid() {
             worst = worst.max((reference - predicted).abs());
         }
     }
-    assert!(worst < 0.025, "worst model deviation {worst} V is too large");
+    assert!(
+        worst < 0.025,
+        "worst model deviation {worst} V is too large"
+    );
 }
 
 #[test]
@@ -50,9 +53,10 @@ fn speedup_over_circuit_simulation_is_substantial() {
         .run()
         .expect("calibration succeeds")
         .into_models();
-    let evaluator =
-        ModelEvaluator::new(technology, models).with_reference_time_steps(200);
-    let report = evaluator.measure_speedup(6, 6).expect("measurement succeeds");
+    let evaluator = ModelEvaluator::new(technology, models).with_reference_time_steps(200);
+    let report = evaluator
+        .measure_speedup(6, 6)
+        .expect("measurement succeeds");
     assert!(
         report.speedup() > 10.0,
         "expected at least an order of magnitude, got {}",
@@ -74,15 +78,32 @@ fn event_simulator_reproduces_bit_weighted_discharges_with_calibrated_models() {
     let tau0 = 0.4e-9;
     let trace = simulator
         .run(&[
-            Event::new(Seconds(0.0), EventKind::Write { column: 0, bit: true }),
-            Event::new(Seconds(0.0), EventKind::Write { column: 1, bit: true }),
+            Event::new(
+                Seconds(0.0),
+                EventKind::Write {
+                    column: 0,
+                    bit: true,
+                },
+            ),
+            Event::new(
+                Seconds(0.0),
+                EventKind::Write {
+                    column: 1,
+                    bit: true,
+                },
+            ),
             Event::new(Seconds(0.01e-9), EventKind::Precharge { column: 0 }),
             Event::new(Seconds(0.01e-9), EventKind::Precharge { column: 1 }),
             Event::new(
                 Seconds(0.02e-9),
-                EventKind::DriveWordLine { voltage: Volts(0.9) },
+                EventKind::DriveWordLine {
+                    voltage: Volts(0.9),
+                },
             ),
-            Event::new(Seconds(0.02e-9 + tau0), EventKind::SampleBitline { column: 0 }),
+            Event::new(
+                Seconds(0.02e-9 + tau0),
+                EventKind::SampleBitline { column: 0 },
+            ),
             Event::new(
                 Seconds(0.02e-9 + 2.0 * tau0),
                 EventKind::SampleBitline { column: 1 },

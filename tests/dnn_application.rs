@@ -51,7 +51,13 @@ fn accuracy_ordering_matches_the_paper_float_int4_fom_beat_variation() {
         seed: 33,
     });
     let shape = dataset.image_shape().to_vec();
-    let mut network = build_model(ModelKind::Vgg16Style, shape[0], shape[1], dataset.classes(), 9);
+    let mut network = build_model(
+        ModelKind::Vgg16Style,
+        shape[0],
+        shape[1],
+        dataset.classes(),
+        9,
+    );
     Trainer::new(TrainingConfig {
         epochs: 14,
         learning_rate: 0.05,
@@ -64,11 +70,9 @@ fn accuracy_ordering_matches_the_paper_float_int4_fom_beat_variation() {
     let float_top1 = evaluate(&mut network, &dataset).unwrap().top1;
     let mut int4 = QuantizedNetwork::from_network(&network, Arc::new(ExactInt4Products)).unwrap();
     let int4_top1 = evaluate(&mut int4, &dataset).unwrap().top1;
-    let mut fom = QuantizedNetwork::from_network(
-        &network,
-        Arc::new(InMemoryProducts::new(fom_table, "fom")),
-    )
-    .unwrap();
+    let mut fom =
+        QuantizedNetwork::from_network(&network, Arc::new(InMemoryProducts::new(fom_table, "fom")))
+            .unwrap();
     let fom_top1 = evaluate(&mut fom, &dataset).unwrap().top1;
     let mut degraded = QuantizedNetwork::from_network(
         &network,
@@ -82,8 +86,14 @@ fn accuracy_ordering_matches_the_paper_float_int4_fom_beat_variation() {
     assert!(float_top1 > 0.4, "float top-1 {float_top1} too low");
     // INT4 and fom stay close to FLOAT32 (within 25 percentage points on this
     // tiny task), and the variation corner must not outperform fom.
-    assert!(int4_top1 > float_top1 - 0.25, "int4 {int4_top1} vs float {float_top1}");
-    assert!(fom_top1 > float_top1 - 0.3, "fom {fom_top1} vs float {float_top1}");
+    assert!(
+        int4_top1 > float_top1 - 0.25,
+        "int4 {int4_top1} vs float {float_top1}"
+    );
+    assert!(
+        fom_top1 > float_top1 - 0.3,
+        "fom {fom_top1} vs float {float_top1}"
+    );
     assert!(
         variation_top1 <= fom_top1 + 0.1,
         "the degraded corner ({variation_top1}) should not beat fom ({fom_top1})"
@@ -111,8 +121,13 @@ fn transfer_learning_pipeline_produces_a_working_ten_class_classifier() {
         seed: 44,
     });
     let shape = pretrain.image_shape().to_vec();
-    let mut network =
-        build_model(ModelKind::Vgg16Style, shape[0], shape[1], pretrain.classes(), 5);
+    let mut network = build_model(
+        ModelKind::Vgg16Style,
+        shape[0],
+        shape[1],
+        pretrain.classes(),
+        5,
+    );
     let trainer = Trainer::new(TrainingConfig {
         epochs: 8,
         learning_rate: 0.03,

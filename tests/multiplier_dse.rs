@@ -80,11 +80,10 @@ fn exploration_and_corner_selection_follow_the_paper_trends() {
     // The Pareto front is non-empty and contains the power corner.
     let front = pareto_front(&results);
     assert!(!front.is_empty());
-    assert!(front
-        .iter()
-        .any(|r| (r.metrics.energy_per_multiply.0 - selected.power.metrics.energy_per_multiply.0)
-            .abs()
-            < 1e-9));
+    assert!(front.iter().any(|r| (r.metrics.energy_per_multiply.0
+        - selected.power.metrics.energy_per_multiply.0)
+        .abs()
+        < 1e-9));
 }
 
 #[test]
@@ -92,8 +91,8 @@ fn pvt_analysis_reports_bounded_voltage_and_temperature_sensitivity() {
     let models = calibrated_models();
     let multiplier = InSramMultiplier::new(models, MultiplierConfig::paper_fom_corner())
         .expect("corner configuration is valid");
-    let analysis = PvtAnalysis::run(&multiplier, &PvtAnalysisConfig::fast())
-        .expect("analysis succeeds");
+    let analysis =
+        PvtAnalysis::run(&multiplier, &PvtAnalysisConfig::fast()).expect("analysis succeeds");
 
     // Both operating-condition sweeps must be populated and their influence on
     // the error must stay bounded (a few LSB over the swept windows); the
@@ -107,7 +106,10 @@ fn pvt_analysis_reports_bounded_voltage_and_temperature_sensitivity() {
     let temperature_spread = spread(&analysis.temperature_sweep.average_error_lsb);
     assert!(supply_spread.is_finite() && supply_spread >= 0.0);
     assert!(temperature_spread.is_finite() && temperature_spread >= 0.0);
-    assert!(supply_spread < 20.0, "supply influence {supply_spread} LSB is implausible");
+    assert!(
+        supply_spread < 20.0,
+        "supply influence {supply_spread} LSB is implausible"
+    );
     assert!(
         temperature_spread < 20.0,
         "temperature influence {temperature_spread} LSB is implausible"

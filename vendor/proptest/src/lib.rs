@@ -1,0 +1,292 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Supports the subset the workspace's `tests/properties.rs` uses: the
+//! [`proptest!`] macro with an optional `#![proptest_config(..)]` inner
+//! attribute, `x in <range>` strategies over float/integer ranges, and the
+//! `prop_assert!`/`prop_assert_eq!` assertion macros.
+//!
+//! Unlike the real crate, the runner is **fully deterministic**: each
+//! property's RNG is seeded from an FNV-1a hash of its test-function name,
+//! so repeated CI runs explore identical cases and no
+//! `proptest-regressions/` persistence is needed. On failure the panic
+//! message reports the property name and case index so the exact inputs can
+//! be replayed locally. `PROPTEST_CASES` (an integer environment variable)
+//! caps the per-property case count to keep `cargo test -q` fast.
+
+#![warn(missing_docs)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// Per-property configuration. Only `cases` is honoured.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of cases to run for each property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// A source of random test inputs. Implemented for float and integer ranges.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, runner: &mut TestRunner) -> Self::Value;
+}
+
+macro_rules! impl_float_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, runner: &mut TestRunner) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                let unit = runner.unit_f64();
+                let value = self.start + ((self.end - self.start) as f64 * unit) as $t;
+                // Rounding in the product/cast can land exactly on the
+                // excluded upper bound; nudge back inside the range.
+                if value >= self.end {
+                    self.end.next_down().max(self.start)
+                } else {
+                    value
+                }
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, runner: &mut TestRunner) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty strategy range");
+                let unit = runner.unit_f64_inclusive();
+                lo + ((hi - lo) as f64 * unit) as $t
+            }
+        }
+    )*};
+}
+
+impl_float_strategy!(f32, f64);
+
+macro_rules! impl_int_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, runner: &mut TestRunner) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let offset = (u128::from(runner.next_u64()) * span) >> 64;
+                (self.start as i128 + offset as i128) as $t
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, runner: &mut TestRunner) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty strategy range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let offset = (u128::from(runner.next_u64()) * span) >> 64;
+                (lo as i128 + offset as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Drives the cases of one property: case counting plus a deterministic
+/// SplitMix64 stream seeded from the property name.
+#[derive(Debug)]
+pub struct TestRunner {
+    state: u64,
+    cases: u32,
+    current_case: u32,
+}
+
+impl TestRunner {
+    /// Creates a runner for the property named `name`.
+    pub fn new(config: &ProptestConfig, name: &str) -> Self {
+        // FNV-1a over the property name gives a stable per-property seed.
+        let mut seed: u64 = 0xcbf2_9ce4_8422_2325;
+        for byte in name.bytes() {
+            seed ^= u64::from(byte);
+            seed = seed.wrapping_mul(0x1000_0000_01b3);
+        }
+        let cases = match std::env::var("PROPTEST_CASES") {
+            Ok(v) => match v.parse::<u32>() {
+                Ok(n) => config.cases.min(n.max(1)),
+                Err(_) => config.cases,
+            },
+            Err(_) => config.cases,
+        };
+        TestRunner {
+            state: seed,
+            cases,
+            current_case: 0,
+        }
+    }
+
+    /// The number of cases this runner will execute.
+    pub fn cases(&self) -> u32 {
+        self.cases
+    }
+
+    /// The index of the case currently being generated/executed.
+    pub fn current_case(&self) -> u32 {
+        self.current_case
+    }
+
+    /// Advances to the next case.
+    pub fn advance_case(&mut self) {
+        self.current_case += 1;
+    }
+
+    /// Next raw SplitMix64 output.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    fn unit_f64_inclusive(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / ((1u64 << 53) - 1) as f64
+    }
+}
+
+/// Defines property tests. Mirrors the real macro's surface syntax:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(48))]
+///
+///     #[test]
+///     fn my_property(x in 0.0f64..1.0, n in 0u16..=15) { ... }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_body! { $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_body! { $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_body {
+    ($cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident ( $($arg:ident in $strat:expr),* $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let mut runner = $crate::TestRunner::new(&config, stringify!($name));
+            while runner.current_case() < runner.cases() {
+                $(let $arg = $crate::Strategy::generate(&($strat), &mut runner);)*
+                let case = runner.current_case();
+                let run = ::std::panic::AssertUnwindSafe(|| { $body });
+                if let Err(payload) = ::std::panic::catch_unwind(run) {
+                    eprintln!(
+                        "proptest stub: property `{}` failed at case {}/{} with inputs: {}",
+                        stringify!($name),
+                        case,
+                        runner.cases(),
+                        [$(format!(concat!(stringify!($arg), " = {:?}"), $arg)),*].join(", "),
+                    );
+                    ::std::panic::resume_unwind(payload);
+                }
+                runner.advance_case();
+            }
+        }
+    )*};
+}
+
+/// Asserts a condition inside a property, like `assert!`.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+/// Asserts equality inside a property, like `assert_eq!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => { assert_eq!($left, $right) };
+    ($left:expr, $right:expr, $($fmt:tt)*) => { assert_eq!($left, $right, $($fmt)*) };
+}
+
+/// Asserts inequality inside a property, like `assert_ne!`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => { assert_ne!($left, $right) };
+    ($left:expr, $right:expr, $($fmt:tt)*) => { assert_ne!($left, $right, $($fmt)*) };
+}
+
+/// The glob-importable prelude, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, proptest, ProptestConfig, Strategy,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// Generated floats respect their strategy range.
+        #[test]
+        fn floats_in_range(x in -2.0f64..3.0, y in 0.25f32..0.75) {
+            prop_assert!((-2.0..3.0).contains(&x));
+            prop_assert!((0.25..0.75).contains(&y));
+        }
+
+        /// Generated integers respect inclusive bounds.
+        #[test]
+        fn ints_in_range(n in 0u16..=15, m in 1u16..=15) {
+            prop_assert!(n <= 15);
+            prop_assert!((1..=15).contains(&m));
+            prop_assert_ne!(m, 0);
+        }
+    }
+
+    #[test]
+    fn runner_is_deterministic_per_name() {
+        let config = super::ProptestConfig::with_cases(4);
+        let mut a = super::TestRunner::new(&config, "prop");
+        let mut b = super::TestRunner::new(&config, "prop");
+        let mut c = super::TestRunner::new(&config, "other");
+        let xs: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        let zs: Vec<u64> = (0..8).map(|_| c.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+}

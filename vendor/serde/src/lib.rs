@@ -1,0 +1,18 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace only *derives* `Serialize`/`Deserialize` to keep its public
+//! data types serialization-ready; nothing actually serializes at runtime
+//! (there is no `serde_json`/`bincode` in the dependency set). This stub
+//! provides the two marker traits and re-exports the no-op derive macros so
+//! `use serde::{Deserialize, Serialize};` + `#[derive(...)]` compile
+//! unchanged. Swapping in the real crates later requires no source edits.
+
+#![warn(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}

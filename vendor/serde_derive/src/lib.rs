@@ -1,0 +1,17 @@
+//! No-op `#[derive(Serialize, Deserialize)]` macros for the offline serde
+//! stub. They accept the `#[serde(...)]` helper attribute and expand to
+//! nothing — the workspace never serializes at runtime.
+
+use proc_macro::TokenStream;
+
+/// Accepts and discards a `Serialize` derive.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts and discards a `Deserialize` derive.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
