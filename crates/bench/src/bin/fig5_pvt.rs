@@ -2,10 +2,16 @@
 //!
 //! (a) supply voltage, (b) temperature, (c) process corners,
 //! (d) transistor mismatch (Monte Carlo).
+//!
+//! All four sweeps run on the error-strict parallel engine of
+//! [`optima_core::sweep`]; a failing condition aborts the run naming the
+//! condition instead of silently thinning the tables.
 
 use optima_bench::{print_header, print_row, quick_mode};
 use optima_circuit::montecarlo::MismatchModel;
 use optima_circuit::prelude::*;
+use optima_circuit::CircuitError;
+use optima_core::sweep::{default_threads, par_map_sweep};
 use optima_math::stats;
 
 fn waveform_at(
@@ -14,7 +20,7 @@ fn waveform_at(
     pvt: &PvtConditions,
     mismatch: &MismatchSample,
     steps: usize,
-) -> Waveform {
+) -> Result<Waveform, CircuitError> {
     sim.discharge_waveform(
         &DischargeStimulus {
             word_line_voltage: Volts(v_wl),
@@ -25,7 +31,6 @@ fn waveform_at(
         pvt,
         mismatch,
     )
-    .expect("transient simulation succeeds")
 }
 
 fn main() {
@@ -36,21 +41,24 @@ fn main() {
     let mc_samples = if quick_mode() { 100 } else { 1000 };
     let v_wl = 0.85;
     let sample_times = [0.5e-9, 1.0e-9, 1.5e-9, 2.0e-9];
+    println!(
+        "(sweep engine: {} worker threads, results deterministic at any count)\n",
+        default_threads()
+    );
 
     println!("# Fig. 5a — supply voltage (V_BL [V] at V_WL = {v_wl} V)\n");
     print_header(&["t [ns]", "VDD=0.9 V", "VDD=1.0 V", "VDD=1.1 V"]);
-    let supply_waveforms: Vec<Waveform> = [0.9, 1.0, 1.1]
-        .iter()
-        .map(|&vdd| {
-            waveform_at(
-                &sim,
-                v_wl,
-                &nominal.with_vdd(Volts(vdd)),
-                &MismatchSample::none(),
-                steps,
-            )
-        })
-        .collect();
+    let supply_points = [0.9, 1.0, 1.1];
+    let supply_waveforms = par_map_sweep(&supply_points, 0, |_, &vdd| {
+        waveform_at(
+            &sim,
+            v_wl,
+            &nominal.with_vdd(Volts(vdd)),
+            &MismatchSample::none(),
+            steps,
+        )
+    })
+    .expect("supply sweep succeeds");
     for &t in &sample_times {
         let mut row = vec![format!("{:.1}", t * 1e9)];
         for waveform in &supply_waveforms {
@@ -61,18 +69,17 @@ fn main() {
 
     println!("\n# Fig. 5b — temperature\n");
     print_header(&["t [ns]", "-40 degC", "25 degC", "125 degC"]);
-    let temp_waveforms: Vec<Waveform> = [-40.0, 25.0, 125.0]
-        .iter()
-        .map(|&temp| {
-            waveform_at(
-                &sim,
-                v_wl,
-                &nominal.with_temperature(Celsius(temp)),
-                &MismatchSample::none(),
-                steps,
-            )
-        })
-        .collect();
+    let temp_points = [-40.0, 25.0, 125.0];
+    let temp_waveforms = par_map_sweep(&temp_points, 0, |_, &temp| {
+        waveform_at(
+            &sim,
+            v_wl,
+            &nominal.with_temperature(Celsius(temp)),
+            &MismatchSample::none(),
+            steps,
+        )
+    })
+    .expect("temperature sweep succeeds");
     for &t in &sample_times {
         let mut row = vec![format!("{:.1}", t * 1e9)];
         for waveform in &temp_waveforms {
@@ -83,13 +90,12 @@ fn main() {
 
     println!("\n# Fig. 5c — process corners\n");
     print_header(&["t [ns]", "fast (FF)", "nominal (TT)", "slow (SS)"]);
-    let corner_waveforms: Vec<Waveform> = [
+    let corner_points = [
         ProcessCorner::FastFast,
         ProcessCorner::TypicalTypical,
         ProcessCorner::SlowSlow,
-    ]
-    .iter()
-    .map(|&corner| {
+    ];
+    let corner_waveforms = par_map_sweep(&corner_points, 0, |_, &corner| {
         waveform_at(
             &sim,
             v_wl,
@@ -98,7 +104,7 @@ fn main() {
             steps,
         )
     })
-    .collect();
+    .expect("process-corner sweep succeeds");
     for &t in &sample_times {
         let mut row = vec![format!("{:.1}", t * 1e9)];
         for waveform in &corner_waveforms {
@@ -118,10 +124,12 @@ fn main() {
     let mismatch_model = MismatchModel::from_technology(&tech);
     for &v_wl in &[0.6, 0.8, 1.0] {
         let samples = mismatch_model.sample_n(mc_samples, 51);
-        let voltages: Vec<f64> = samples
-            .iter()
-            .map(|sample| waveform_at(&sim, v_wl, &nominal, sample, steps).final_value())
-            .collect();
+        // One transient per mismatch instance, reassembled in sample order,
+        // so the statistics are bit-identical at any thread count.
+        let voltages: Vec<f64> = par_map_sweep(&samples, 0, |_, sample| {
+            waveform_at(&sim, v_wl, &nominal, sample, steps).map(|w| w.final_value())
+        })
+        .expect("mismatch Monte-Carlo sweep succeeds");
         print_row(&[
             format!("{v_wl:.1}"),
             format!("{:.4}", stats::mean(&voltages)),

@@ -6,17 +6,27 @@
 //! as a function of τ0 for several V_DAC,FS values (right, V_DAC,0 = 0.4 V).
 
 use optima_bench::{calibrated_models, print_header, print_row, quick_mode};
+use optima_core::sweep::default_threads;
 use optima_imc::dse::{DesignSpace, DesignSpaceExplorer};
 
 fn main() {
     let (_technology, models) = calibrated_models(quick_mode());
-    let explorer = DesignSpaceExplorer::new(models).with_threads(4);
+    // Thread count 0 = automatic; the sweep is error-strict (a failing
+    // corner aborts the run naming the corner — corners are never silently
+    // dropped) and bit-identical at any thread count.
+    let explorer = DesignSpaceExplorer::new(models).with_threads(0);
     let space = DesignSpace::paper_sweep();
     println!(
-        "# Fig. 7 — design-space exploration ({} corners)\n",
-        space.len()
+        "# Fig. 7 — design-space exploration ({} corners, {} worker threads)\n",
+        space.len(),
+        default_threads()
     );
     let results = explorer.explore(&space).expect("exploration succeeds");
+    assert_eq!(
+        results.len(),
+        space.len(),
+        "error-strict sweep must cover every corner"
+    );
 
     println!("## Left panel: sweep of V_DAC,FS for each V_DAC,0 (tau0 = 0.16 ns)\n");
     print_header(&[

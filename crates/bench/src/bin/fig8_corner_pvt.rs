@@ -84,6 +84,18 @@ fn main() {
         {
             print_row(&[format!("{temp:.0}"), format!("{error:.2}")]);
         }
+
+        let mc = &analysis.mismatch_monte_carlo;
+        println!(
+            "\n### Mismatch Monte Carlo ({} instances)\n",
+            mc.per_sample_error_lsb.len()
+        );
+        print_header(&["mean error [LSB]", "sigma [LSB]", "worst [LSB]"]);
+        print_row(&[
+            format!("{:.3}", mc.mean_error_lsb),
+            format!("{:.3}", mc.std_error_lsb),
+            format!("{:.3}", mc.worst_error_lsb),
+        ]);
         println!();
     }
     println!("Expected shape (paper): the power corner struggles everywhere, the variation");

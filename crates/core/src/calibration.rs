@@ -18,6 +18,7 @@ use crate::model::mismatch::MismatchSigmaModel;
 use crate::model::suite::ModelSuite;
 use crate::model::supply::SupplyModel;
 use crate::model::temperature::TemperatureModel;
+use crate::sweep::par_map_sweep;
 use optima_circuit::energy as circuit_energy;
 use optima_circuit::montecarlo::{MismatchModel, MismatchSample};
 use optima_circuit::pvt::{linspace, PvtConditions};
@@ -101,6 +102,10 @@ pub struct CalibrationConfig {
     pub reference_time_steps: usize,
     /// Polynomial degrees of all models.
     pub degrees: ModelDegrees,
+    /// Worker threads of the calibration sweeps (`0` = automatic, see
+    /// [`optima_core::sweep::default_threads`](crate::sweep::default_threads)).
+    /// The fitted models are bit-identical for any thread count.
+    pub threads: usize,
 }
 
 impl Default for CalibrationConfig {
@@ -118,6 +123,7 @@ impl Default for CalibrationConfig {
             cells_on_bitline: 16,
             reference_time_steps: 400,
             degrees: ModelDegrees::default(),
+            threads: 0,
         }
     }
 }
@@ -274,23 +280,43 @@ impl Calibrator {
     ) -> Result<DischargeModel, ModelError> {
         let vth = self.technology.nmos_vth.0;
         let times = self.time_grid();
+
+        // One transient simulation per word-line voltage, swept in parallel;
+        // rows are reassembled in grid order so the fit input (and thus the
+        // fitted model) is bit-identical at any thread count.
+        let rows = par_map_sweep(
+            &self.config.wordline_voltages,
+            self.config.threads,
+            |_, &v_wl| {
+                let waveform = simulator.discharge_waveform(
+                    &self.stimulus(v_wl),
+                    nominal,
+                    &MismatchSample::none(),
+                )?;
+                let mut row = Vec::with_capacity(times.len());
+                for &t in &times {
+                    let v = waveform.sample_at(Seconds(t))?.0;
+                    row.push((v_wl - vth, t * 1e9, v - nominal.vdd.0));
+                }
+                Ok::<_, ModelError>(row)
+            },
+        )
+        .map_err(|err| {
+            let item = format!(
+                "discharge sweep V_WL = {} V",
+                self.config.wordline_voltages[err.index]
+            );
+            ModelError::from_sweep(err, item)
+        })?;
+        report.circuit_simulations += self.config.wordline_voltages.len();
+
         let mut overdrives = Vec::new();
         let mut time_ns = Vec::new();
         let mut drops = Vec::new();
-
-        for &v_wl in &self.config.wordline_voltages {
-            let waveform = simulator.discharge_waveform(
-                &self.stimulus(v_wl),
-                nominal,
-                &MismatchSample::none(),
-            )?;
-            report.circuit_simulations += 1;
-            for &t in &times {
-                let v = waveform.sample_at(Seconds(t))?.0;
-                overdrives.push(v_wl - vth);
-                time_ns.push(t * 1e9);
-                drops.push(v - nominal.vdd.0);
-            }
+        for (overdrive, t, drop) in rows.into_iter().flatten() {
+            overdrives.push(overdrive);
+            time_ns.push(t);
+            drops.push(drop);
         }
         report.training_samples += drops.len();
 
@@ -339,31 +365,50 @@ impl Calibrator {
         report: &mut CalibrationReport,
     ) -> Result<SupplyModel, ModelError> {
         let times = self.time_grid();
+        let grid: Vec<(f64, f64)> = self
+            .config
+            .supply_voltages
+            .iter()
+            .flat_map(|&vdd| {
+                self.config
+                    .secondary_wordline_voltages
+                    .iter()
+                    .map(move |&v_wl| (vdd, v_wl))
+            })
+            .collect();
+
+        let rows = par_map_sweep(&grid, self.config.threads, |_, &(vdd, v_wl)| {
+            let pvt = nominal.with_vdd(Volts(vdd));
+            let waveform = simulator.discharge_waveform(
+                &self.stimulus(v_wl),
+                &pvt,
+                &MismatchSample::none(),
+            )?;
+            let mut row = Vec::with_capacity(times.len());
+            for &t in &times {
+                let v_circuit = waveform.sample_at(Seconds(t))?.0;
+                let v_base = discharge.bitline_voltage_unchecked(Seconds(t), Volts(v_wl));
+                if v_base > 0.05 {
+                    row.push((vdd - nominal.vdd.0, v_circuit / v_base, v_circuit, v_base));
+                }
+            }
+            Ok::<_, ModelError>(row)
+        })
+        .map_err(|err| {
+            let (vdd, v_wl) = grid[err.index];
+            ModelError::from_sweep(err, format!("supply sweep V_DD = {vdd} V, V_WL = {v_wl} V"))
+        })?;
+        report.circuit_simulations += grid.len();
+
         let mut delta_vdds = Vec::new();
         let mut ratios = Vec::new();
         let mut reference = Vec::new();
         let mut predicted_base = Vec::new();
-
-        for &vdd in &self.config.supply_voltages {
-            let pvt = nominal.with_vdd(Volts(vdd));
-            for &v_wl in &self.config.secondary_wordline_voltages {
-                let waveform = simulator.discharge_waveform(
-                    &self.stimulus(v_wl),
-                    &pvt,
-                    &MismatchSample::none(),
-                )?;
-                report.circuit_simulations += 1;
-                for &t in &times {
-                    let v_circuit = waveform.sample_at(Seconds(t))?.0;
-                    let v_base = discharge.bitline_voltage_unchecked(Seconds(t), Volts(v_wl));
-                    if v_base > 0.05 {
-                        delta_vdds.push(vdd - nominal.vdd.0);
-                        ratios.push(v_circuit / v_base);
-                        reference.push(v_circuit);
-                        predicted_base.push(v_base);
-                    }
-                }
-            }
+        for (delta_vdd, ratio, v_circuit, v_base) in rows.into_iter().flatten() {
+            delta_vdds.push(delta_vdd);
+            ratios.push(ratio);
+            reference.push(v_circuit);
+            predicted_base.push(v_base);
         }
         report.training_samples += ratios.len();
 
@@ -410,36 +455,53 @@ impl Calibrator {
     ) -> Result<TemperatureModel, ModelError> {
         let times = self.time_grid();
         let t_nominal = self.technology.temperature_nominal.0;
-        let mut wordlines = Vec::new();
-        let mut scaled_residuals = Vec::new();
-        let mut full_reference = Vec::new();
-        let mut full_predicted_base = Vec::new();
-        let mut full_scale = Vec::new();
+        let grid: Vec<(f64, f64)> = self
+            .config
+            .temperatures
+            .iter()
+            .flat_map(|&temp| {
+                self.config
+                    .secondary_wordline_voltages
+                    .iter()
+                    .map(move |&v_wl| (temp, v_wl))
+            })
+            .collect();
 
-        for &temp in &self.config.temperatures {
+        // Per sample: (v_circuit, v_model, t_ns, ΔT, v_wl).
+        let rows = par_map_sweep(&grid, self.config.threads, |_, &(temp, v_wl)| {
             let delta_t = temp - t_nominal;
             let pvt = nominal.with_temperature(Celsius(temp));
-            for &v_wl in &self.config.secondary_wordline_voltages {
-                let waveform = simulator.discharge_waveform(
-                    &self.stimulus(v_wl),
-                    &pvt,
-                    &MismatchSample::none(),
-                )?;
-                report.circuit_simulations += 1;
-                for &t in &times {
-                    let v_circuit = waveform.sample_at(Seconds(t))?.0;
-                    let base = discharge.bitline_voltage_unchecked(Seconds(t), Volts(v_wl));
-                    let v_model = supply.apply(base, nominal.vdd);
-                    let t_ns = t * 1e9;
-                    full_reference.push(v_circuit);
-                    full_predicted_base.push(v_model);
-                    full_scale.push(t_ns * delta_t);
-                    // Only use samples with a meaningful scale factor for the fit.
-                    if delta_t.abs() > 1.0 && t_ns > 0.2 {
-                        wordlines.push(v_wl);
-                        scaled_residuals.push((v_circuit - v_model) / (t_ns * delta_t));
-                    }
-                }
+            let waveform = simulator.discharge_waveform(
+                &self.stimulus(v_wl),
+                &pvt,
+                &MismatchSample::none(),
+            )?;
+            let mut row = Vec::with_capacity(times.len());
+            for &t in &times {
+                let v_circuit = waveform.sample_at(Seconds(t))?.0;
+                let base = discharge.bitline_voltage_unchecked(Seconds(t), Volts(v_wl));
+                let v_model = supply.apply(base, nominal.vdd);
+                row.push((v_circuit, v_model, t * 1e9, delta_t, v_wl));
+            }
+            Ok::<_, ModelError>(row)
+        })
+        .map_err(|err| {
+            let (temp, v_wl) = grid[err.index];
+            ModelError::from_sweep(
+                err,
+                format!("temperature sweep T = {temp} degC, V_WL = {v_wl} V"),
+            )
+        })?;
+        report.circuit_simulations += grid.len();
+
+        let samples: Vec<(f64, f64, f64, f64, f64)> = rows.into_iter().flatten().collect();
+        let mut wordlines = Vec::new();
+        let mut scaled_residuals = Vec::new();
+        for &(v_circuit, v_model, t_ns, delta_t, v_wl) in &samples {
+            // Only use samples with a meaningful scale factor for the fit.
+            if delta_t.abs() > 1.0 && t_ns > 0.2 {
+                wordlines.push(v_wl);
+                scaled_residuals.push((v_circuit - v_model) / (t_ns * delta_t));
             }
         }
         report.training_samples += wordlines.len();
@@ -454,24 +516,10 @@ impl Calibrator {
             reason: err.to_string(),
         })?;
 
-        let residuals: Vec<f64> = full_reference
+        let residuals: Vec<f64> = samples
             .iter()
-            .zip(full_predicted_base.iter())
-            .zip(full_scale.iter())
-            .zip(
-                self.config
-                    .temperatures
-                    .iter()
-                    .flat_map(|_| {
-                        self.config
-                            .secondary_wordline_voltages
-                            .iter()
-                            .flat_map(|&v| std::iter::repeat_n(v, times.len()))
-                    })
-                    .collect::<Vec<_>>(),
-            )
-            .map(|(((v_ref, v_model), scale), v_wl)| {
-                v_ref - (v_model + scale * sensitivity.eval(v_wl))
+            .map(|&(v_ref, v_model, t_ns, delta_t, v_wl)| {
+                v_ref - (v_model + t_ns * delta_t * sensitivity.eval(v_wl))
             })
             .collect();
         report.temperature_rms_mv = stats::rms(&residuals) * 1e3;
@@ -508,30 +556,52 @@ impl Calibrator {
             .map(|i| self.config.max_time.0 * i as f64 / n_time as f64)
             .collect();
 
+        // Each word-line grid point draws its own seeded Monte-Carlo stream
+        // (seed + wl_index, as the serial code always did), so the sampled
+        // waveforms — and therefore the fitted σ surface — do not depend on
+        // how grid points are distributed over worker threads.
+        let rows = par_map_sweep(
+            &self.config.secondary_wordline_voltages,
+            self.config.threads,
+            |wl_index, &v_wl| {
+                let samples = mismatch_model.sample_n(
+                    self.config.mismatch_samples,
+                    self.config.seed.wrapping_add(wl_index as u64),
+                );
+                // One waveform per mismatch sample; collect voltages at each grid time.
+                let mut per_time: Vec<Vec<f64>> = vec![Vec::new(); times.len()];
+                for sample in &samples {
+                    let waveform =
+                        simulator.discharge_waveform(&self.stimulus(v_wl), nominal, sample)?;
+                    for (i, &t) in times.iter().enumerate() {
+                        per_time[i].push(waveform.sample_at(Seconds(t))?.0);
+                    }
+                }
+                let row: Vec<(f64, f64, f64)> = times
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &t)| (t * 1e9, v_wl, stats::std_dev(&per_time[i])))
+                    .collect();
+                Ok::<_, ModelError>(row)
+            },
+        )
+        .map_err(|err| {
+            let item = format!(
+                "mismatch Monte-Carlo sweep V_WL = {} V",
+                self.config.secondary_wordline_voltages[err.index]
+            );
+            ModelError::from_sweep(err, item)
+        })?;
+        report.circuit_simulations +=
+            self.config.secondary_wordline_voltages.len() * self.config.mismatch_samples;
+
         let mut grid_time_ns = Vec::new();
         let mut grid_wordline = Vec::new();
         let mut grid_sigma = Vec::new();
-
-        for (wl_index, &v_wl) in self.config.secondary_wordline_voltages.iter().enumerate() {
-            let samples = mismatch_model.sample_n(
-                self.config.mismatch_samples,
-                self.config.seed.wrapping_add(wl_index as u64),
-            );
-            // One waveform per mismatch sample; collect voltages at each grid time.
-            let mut per_time: Vec<Vec<f64>> = vec![Vec::new(); times.len()];
-            for sample in &samples {
-                let waveform =
-                    simulator.discharge_waveform(&self.stimulus(v_wl), nominal, sample)?;
-                report.circuit_simulations += 1;
-                for (i, &t) in times.iter().enumerate() {
-                    per_time[i].push(waveform.sample_at(Seconds(t))?.0);
-                }
-            }
-            for (i, &t) in times.iter().enumerate() {
-                grid_time_ns.push(t * 1e9);
-                grid_wordline.push(v_wl);
-                grid_sigma.push(stats::std_dev(&per_time[i]));
-            }
+        for (t_ns, v_wl, sigma) in rows.into_iter().flatten() {
+            grid_time_ns.push(t_ns);
+            grid_wordline.push(v_wl);
+            grid_sigma.push(sigma);
         }
         report.training_samples += grid_sigma.len();
 
@@ -561,18 +631,32 @@ impl Calibrator {
         report: &mut CalibrationReport,
     ) -> Result<WriteEnergyModel, ModelError> {
         let nominal = PvtConditions::nominal(&self.technology);
-        let mut vdds = Vec::new();
-        let mut temps = Vec::new();
-        let mut energies_fj = Vec::new();
-        for &vdd in &self.config.supply_voltages {
-            for &temp in &self.config.temperatures {
-                let pvt = nominal.with_vdd(Volts(vdd)).with_temperature(Celsius(temp));
-                let e = circuit_energy::write_energy(&self.technology, &pvt);
-                vdds.push(vdd);
-                temps.push(temp);
-                energies_fj.push(e.to_femtojoules().0);
-            }
-        }
+        let grid: Vec<(f64, f64)> = self
+            .config
+            .supply_voltages
+            .iter()
+            .flat_map(|&vdd| {
+                self.config
+                    .temperatures
+                    .iter()
+                    .map(move |&temp| (vdd, temp))
+            })
+            .collect();
+        let energies = par_map_sweep(&grid, self.config.threads, |_, &(vdd, temp)| {
+            let pvt = nominal.with_vdd(Volts(vdd)).with_temperature(Celsius(temp));
+            let e = circuit_energy::write_energy(&self.technology, &pvt);
+            Ok::<_, ModelError>(e.to_femtojoules().0)
+        })
+        .map_err(|err| {
+            let (vdd, temp) = grid[err.index];
+            ModelError::from_sweep(
+                err,
+                format!("write-energy sweep V_DD = {vdd} V, T = {temp} degC"),
+            )
+        })?;
+
+        let (vdds, temps): (Vec<f64>, Vec<f64>) = grid.iter().copied().unzip();
+        let energies_fj = energies;
         report.training_samples += energies_fj.len();
 
         let fit = SeparableFit::fit(
@@ -603,28 +687,45 @@ impl Calibrator {
         report: &mut CalibrationReport,
     ) -> Result<DischargeEnergyModel, ModelError> {
         // Stage 1: nominal temperature, sweep (V_DD, V_WL) → fit p1(VDD)·p3(ΔV).
+        let stage1_grid: Vec<(f64, f64)> = self
+            .config
+            .supply_voltages
+            .iter()
+            .flat_map(|&vdd| {
+                self.config
+                    .secondary_wordline_voltages
+                    .iter()
+                    .map(move |&v_wl| (vdd, v_wl))
+            })
+            .collect();
+        let stage1_rows = par_map_sweep(&stage1_grid, self.config.threads, |_, &(vdd, v_wl)| {
+            let pvt = nominal.with_vdd(Volts(vdd));
+            let delta =
+                simulator.discharge_delta(&self.stimulus(v_wl), &pvt, &MismatchSample::none())?;
+            let e = circuit_energy::discharge_energy(
+                &self.technology,
+                &pvt,
+                self.config.cells_on_bitline,
+                delta,
+            );
+            Ok::<_, ModelError>((delta.0, vdd, e.to_femtojoules().0))
+        })
+        .map_err(|err| {
+            let (vdd, v_wl) = stage1_grid[err.index];
+            ModelError::from_sweep(
+                err,
+                format!("discharge-energy sweep V_DD = {vdd} V, V_WL = {v_wl} V"),
+            )
+        })?;
+        report.circuit_simulations += stage1_grid.len();
+
         let mut delta_vs = Vec::new();
         let mut vdds = Vec::new();
         let mut energies_fj = Vec::new();
-        for &vdd in &self.config.supply_voltages {
-            let pvt = nominal.with_vdd(Volts(vdd));
-            for &v_wl in &self.config.secondary_wordline_voltages {
-                let delta = simulator.discharge_delta(
-                    &self.stimulus(v_wl),
-                    &pvt,
-                    &MismatchSample::none(),
-                )?;
-                report.circuit_simulations += 1;
-                let e = circuit_energy::discharge_energy(
-                    &self.technology,
-                    &pvt,
-                    self.config.cells_on_bitline,
-                    delta,
-                );
-                delta_vs.push(delta.0);
-                vdds.push(vdd);
-                energies_fj.push(e.to_femtojoules().0);
-            }
+        for (delta, vdd, e_fj) in stage1_rows {
+            delta_vs.push(delta);
+            vdds.push(vdd);
+            energies_fj.push(e_fj);
         }
         let stage1 = SeparableFit::fit(
             &delta_vs,
@@ -640,34 +741,51 @@ impl Calibrator {
         })?;
 
         // Stage 2: temperature factor from the nominal-supply temperature sweep.
+        let stage2_grid: Vec<(f64, f64)> = self
+            .config
+            .temperatures
+            .iter()
+            .flat_map(|&temp| {
+                self.config
+                    .secondary_wordline_voltages
+                    .iter()
+                    .map(move |&v_wl| (temp, v_wl))
+            })
+            .collect();
+        let stage2_rows = par_map_sweep(&stage2_grid, self.config.threads, |_, &(temp, v_wl)| {
+            let pvt = nominal.with_temperature(Celsius(temp));
+            let delta =
+                simulator.discharge_delta(&self.stimulus(v_wl), &pvt, &MismatchSample::none())?;
+            let e = circuit_energy::discharge_energy(
+                &self.technology,
+                &pvt,
+                self.config.cells_on_bitline,
+                delta,
+            )
+            .to_femtojoules()
+            .0;
+            Ok::<_, ModelError>((temp, delta.0, e))
+        })
+        .map_err(|err| {
+            let (temp, v_wl) = stage2_grid[err.index];
+            ModelError::from_sweep(
+                err,
+                format!("discharge-energy sweep T = {temp} degC, V_WL = {v_wl} V"),
+            )
+        })?;
+        report.circuit_simulations += stage2_grid.len();
+
         let mut temps = Vec::new();
         let mut ratios = Vec::new();
         let mut stage2_reference = Vec::new();
         let mut stage2_base = Vec::new();
-        for &temp in &self.config.temperatures {
-            let pvt = nominal.with_temperature(Celsius(temp));
-            for &v_wl in &self.config.secondary_wordline_voltages {
-                let delta = simulator.discharge_delta(
-                    &self.stimulus(v_wl),
-                    &pvt,
-                    &MismatchSample::none(),
-                )?;
-                report.circuit_simulations += 1;
-                let e = circuit_energy::discharge_energy(
-                    &self.technology,
-                    &pvt,
-                    self.config.cells_on_bitline,
-                    delta,
-                )
-                .to_femtojoules()
-                .0;
-                let base = stage1.eval(delta.0, nominal.vdd.0);
-                if base > 1e-6 {
-                    temps.push(temp);
-                    ratios.push(e / base);
-                    stage2_reference.push(e);
-                    stage2_base.push(base);
-                }
+        for (temp, delta, e) in stage2_rows {
+            let base = stage1.eval(delta, nominal.vdd.0);
+            if base > 1e-6 {
+                temps.push(temp);
+                ratios.push(e / base);
+                stage2_reference.push(e);
+                stage2_base.push(base);
             }
         }
         report.training_samples += energies_fj.len() + ratios.len();
@@ -790,6 +908,34 @@ mod tests {
             .discharge_energy(Volts(0.35), Volts(1.0), Celsius(25.0))
             .0;
         assert!(e_large > e_small);
+    }
+
+    #[test]
+    fn calibration_is_bit_identical_at_any_thread_count() {
+        // The fitted models are built from sweep data reassembled in grid
+        // order (with per-grid-point Monte-Carlo streams), so the fits must
+        // not depend on how the sweeps are distributed over threads.
+        let tech = Technology::tsmc65_like();
+        let serial = Calibrator::new(
+            tech.clone(),
+            CalibrationConfig {
+                threads: 1,
+                ..CalibrationConfig::fast()
+            },
+        )
+        .run()
+        .unwrap();
+        let parallel = Calibrator::new(
+            tech,
+            CalibrationConfig {
+                threads: 8,
+                ..CalibrationConfig::fast()
+            },
+        )
+        .run()
+        .unwrap();
+        assert_eq!(serial.models(), parallel.models());
+        assert_eq!(serial.report(), parallel.report());
     }
 
     #[test]

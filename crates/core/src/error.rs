@@ -36,6 +36,17 @@ pub enum ModelError {
         /// Human-readable description.
         context: String,
     },
+    /// One item of a parallel sweep failed (calibration grid point, held-out
+    /// evaluation point, Monte-Carlo sample, …).  The sweep is error-strict:
+    /// no partial result is returned and the lowest failing index is named.
+    SweepFailed {
+        /// Zero-based index of the failing item in the swept grid.
+        index: usize,
+        /// Human-readable description of the failing item.
+        item: String,
+        /// The underlying error.
+        source: Box<ModelError>,
+    },
     /// Error bubbled up from the golden-reference circuit simulator.
     Circuit(CircuitError),
     /// Error bubbled up from the numeric routines.
@@ -63,6 +74,13 @@ impl fmt::Display for ModelError {
             ModelError::InvalidSchedule { context } => {
                 write!(f, "invalid event schedule: {context}")
             }
+            ModelError::SweepFailed {
+                index,
+                item,
+                source,
+            } => {
+                write!(f, "sweep item {index} ({item}) failed: {source}")
+            }
             ModelError::Circuit(err) => write!(f, "circuit simulation error: {err}"),
             ModelError::Numeric(err) => write!(f, "numeric error: {err}"),
         }
@@ -74,7 +92,20 @@ impl std::error::Error for ModelError {
         match self {
             ModelError::Circuit(err) => Some(err),
             ModelError::Numeric(err) => Some(err),
+            ModelError::SweepFailed { source, .. } => Some(source.as_ref()),
             _ => None,
+        }
+    }
+}
+
+impl ModelError {
+    /// Wraps a [`crate::sweep::SweepError`] with a human-readable description
+    /// of the failing sweep item.
+    pub fn from_sweep(err: crate::sweep::SweepError<ModelError>, item: impl Into<String>) -> Self {
+        ModelError::SweepFailed {
+            index: err.index,
+            item: item.into(),
+            source: Box::new(err.source),
         }
     }
 }

@@ -11,6 +11,7 @@
 
 use crate::error::ModelError;
 use crate::model::suite::ModelSuite;
+use crate::sweep::{par_map_sweep, stream_seed};
 use optima_circuit::energy as circuit_energy;
 use optima_circuit::montecarlo::{MismatchModel, MismatchSample};
 use optima_circuit::pvt::{linspace, PvtConditions};
@@ -77,6 +78,7 @@ pub struct ModelEvaluator {
     models: ModelSuite,
     cells_on_bitline: usize,
     reference_time_steps: usize,
+    threads: usize,
 }
 
 impl ModelEvaluator {
@@ -87,6 +89,7 @@ impl ModelEvaluator {
             models,
             cells_on_bitline: 16,
             reference_time_steps: 400,
+            threads: 0,
         }
     }
 
@@ -99,6 +102,14 @@ impl ModelEvaluator {
     /// tests to keep runtimes short.
     pub fn with_reference_time_steps(mut self, steps: usize) -> Self {
         self.reference_time_steps = steps.max(10);
+        self
+    }
+
+    /// Sets the sweep worker-thread count (builder style, `0` = automatic).
+    /// All reported numbers except wall-clock timings are bit-identical for
+    /// any thread count.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
         self
     }
 
@@ -134,34 +145,49 @@ impl ModelEvaluator {
         let wordlines = linspace(0.47 + 0.013, 0.97, grid_points);
         let times: Vec<f64> = linspace(0.25e-9, 1.95e-9, grid_points);
 
-        // Eq. 3 (nominal conditions).
-        let mut residuals_basic = Vec::new();
-        for &v_wl in &wordlines {
+        // Eq. 3 (nominal conditions).  Each held-out grid is evaluated with
+        // the error-strict parallel sweep engine: one item per reference
+        // transient, residual rows reassembled in grid order so the reported
+        // RMS numbers are bit-identical at any thread count.
+        let residuals_basic: Vec<f64> = par_map_sweep(&wordlines, self.threads, |_, &v_wl| {
             let waveform = simulator.discharge_waveform(
                 &self.stimulus(v_wl, duration),
                 &nominal,
                 &MismatchSample::none(),
             )?;
+            let mut row = Vec::with_capacity(times.len());
             for &t in &times {
                 let reference = waveform.sample_at(Seconds(t))?.0;
                 let predicted = self
                     .models
                     .discharge_model()
                     .bitline_voltage_unchecked(Seconds(t), Volts(v_wl));
-                residuals_basic.push(reference - predicted);
+                row.push(reference - predicted);
             }
-        }
+            Ok::<_, ModelError>(row)
+        })
+        .map_err(|err| {
+            let item = format!("held-out discharge grid V_WL = {} V", wordlines[err.index]);
+            ModelError::from_sweep(err, item)
+        })?
+        .into_iter()
+        .flatten()
+        .collect();
 
         // Eq. 4 (supply sweep).
-        let mut residuals_supply = Vec::new();
-        for &vdd in &linspace(0.92, 1.08, 3) {
-            let pvt = nominal.with_vdd(Volts(vdd));
-            for &v_wl in &wordlines {
+        let supply_grid: Vec<(f64, f64)> = linspace(0.92, 1.08, 3)
+            .iter()
+            .flat_map(|&vdd| wordlines.iter().map(move |&v_wl| (vdd, v_wl)))
+            .collect();
+        let residuals_supply: Vec<f64> =
+            par_map_sweep(&supply_grid, self.threads, |_, &(vdd, v_wl)| {
+                let pvt = nominal.with_vdd(Volts(vdd));
                 let waveform = simulator.discharge_waveform(
                     &self.stimulus(v_wl, duration),
                     &pvt,
                     &MismatchSample::none(),
                 )?;
+                let mut row = Vec::with_capacity(times.len());
                 for &t in &times {
                     let reference = waveform.sample_at(Seconds(t))?.0;
                     let predicted = self.models.bitline_voltage_unchecked(
@@ -170,21 +196,35 @@ impl ModelEvaluator {
                         Volts(vdd),
                         Celsius(self.technology.temperature_nominal.0),
                     );
-                    residuals_supply.push(reference - predicted);
+                    row.push(reference - predicted);
                 }
-            }
-        }
+                Ok::<_, ModelError>(row)
+            })
+            .map_err(|err| {
+                let (vdd, v_wl) = supply_grid[err.index];
+                ModelError::from_sweep(
+                    err,
+                    format!("held-out supply grid V_DD = {vdd} V, V_WL = {v_wl} V"),
+                )
+            })?
+            .into_iter()
+            .flatten()
+            .collect();
 
         // Eq. 5 (temperature sweep).
-        let mut residuals_temperature = Vec::new();
-        for &temp in &[-20.0, 50.0, 100.0] {
-            let pvt = nominal.with_temperature(Celsius(temp));
-            for &v_wl in &wordlines {
+        let temperature_grid: Vec<(f64, f64)> = [-20.0, 50.0, 100.0]
+            .iter()
+            .flat_map(|&temp| wordlines.iter().map(move |&v_wl| (temp, v_wl)))
+            .collect();
+        let residuals_temperature: Vec<f64> =
+            par_map_sweep(&temperature_grid, self.threads, |_, &(temp, v_wl)| {
+                let pvt = nominal.with_temperature(Celsius(temp));
                 let waveform = simulator.discharge_waveform(
                     &self.stimulus(v_wl, duration),
                     &pvt,
                     &MismatchSample::none(),
                 )?;
+                let mut row = Vec::with_capacity(times.len());
                 for &t in &times {
                     let reference = waveform.sample_at(Seconds(t))?.0;
                     let predicted = self.models.bitline_voltage_unchecked(
@@ -193,19 +233,31 @@ impl ModelEvaluator {
                         nominal.vdd,
                         Celsius(temp),
                     );
-                    residuals_temperature.push(reference - predicted);
+                    row.push(reference - predicted);
                 }
-            }
-        }
+                Ok::<_, ModelError>(row)
+            })
+            .map_err(|err| {
+                let (temp, v_wl) = temperature_grid[err.index];
+                ModelError::from_sweep(
+                    err,
+                    format!("held-out temperature grid T = {temp} degC, V_WL = {v_wl} V"),
+                )
+            })?
+            .into_iter()
+            .flatten()
+            .collect();
 
-        // Eq. 6 (mismatch σ).
+        // Eq. 6 (mismatch σ).  Every word-line grid point shares the same
+        // fixed-seed sample set (as the serial code did), drawn once up
+        // front, so the Monte-Carlo reference is independent of the thread
+        // count by construction.
         let mismatch_model = MismatchModel::from_technology(&self.technology);
-        let mut residuals_sigma = Vec::new();
         let mc = mc_samples.max(10);
-        for &v_wl in &wordlines {
-            let samples = mismatch_model.sample_n(mc, 0xe7a1);
+        let mismatch_samples = mismatch_model.sample_n(mc, 0xe7a1);
+        let residuals_sigma: Vec<f64> = par_map_sweep(&wordlines, self.threads, |_, &v_wl| {
             let mut per_time: Vec<Vec<f64>> = vec![Vec::new(); times.len()];
-            for sample in &samples {
+            for sample in &mismatch_samples {
                 let waveform = simulator.discharge_waveform(
                     &self.stimulus(v_wl, duration),
                     &nominal,
@@ -215,31 +267,59 @@ impl ModelEvaluator {
                     per_time[i].push(waveform.sample_at(Seconds(t))?.0);
                 }
             }
-            for (i, &t) in times.iter().enumerate() {
-                let reference_sigma = stats::std_dev(&per_time[i]);
-                let predicted_sigma = self.models.mismatch_sigma(Seconds(t), Volts(v_wl)).0;
-                residuals_sigma.push(reference_sigma - predicted_sigma);
-            }
-        }
+            let row: Vec<f64> = times
+                .iter()
+                .enumerate()
+                .map(|(i, &t)| {
+                    let reference_sigma = stats::std_dev(&per_time[i]);
+                    let predicted_sigma = self.models.mismatch_sigma(Seconds(t), Volts(v_wl)).0;
+                    reference_sigma - predicted_sigma
+                })
+                .collect();
+            Ok::<_, ModelError>(row)
+        })
+        .map_err(|err| {
+            let item = format!("held-out mismatch grid V_WL = {} V", wordlines[err.index]);
+            ModelError::from_sweep(err, item)
+        })?
+        .into_iter()
+        .flatten()
+        .collect();
 
         // Eq. 7 (write energy).
-        let mut residuals_write = Vec::new();
-        for &vdd in &linspace(0.92, 1.08, 4) {
-            for &temp in &[-20.0, 10.0, 60.0, 110.0] {
+        let write_grid: Vec<(f64, f64)> = linspace(0.92, 1.08, 4)
+            .iter()
+            .flat_map(|&vdd| {
+                [-20.0, 10.0, 60.0, 110.0]
+                    .iter()
+                    .map(move |&temp| (vdd, temp))
+            })
+            .collect();
+        let residuals_write: Vec<f64> =
+            par_map_sweep(&write_grid, self.threads, |_, &(vdd, temp)| {
                 let pvt = nominal.with_vdd(Volts(vdd)).with_temperature(Celsius(temp));
                 let reference = circuit_energy::write_energy(&self.technology, &pvt)
                     .to_femtojoules()
                     .0;
                 let predicted = self.models.write_energy(Volts(vdd), Celsius(temp)).0;
-                residuals_write.push(reference - predicted);
-            }
-        }
+                Ok::<_, ModelError>(reference - predicted)
+            })
+            .map_err(|err| {
+                let (vdd, temp) = write_grid[err.index];
+                ModelError::from_sweep(
+                    err,
+                    format!("held-out write-energy grid V_DD = {vdd} V, T = {temp} degC"),
+                )
+            })?;
 
         // Eq. 8 (discharge energy).
-        let mut residuals_discharge_energy = Vec::new();
-        for &vdd in &linspace(0.92, 1.08, 3) {
-            let pvt = nominal.with_vdd(Volts(vdd));
-            for &v_wl in &wordlines {
+        let discharge_grid: Vec<(f64, f64)> = linspace(0.92, 1.08, 3)
+            .iter()
+            .flat_map(|&vdd| wordlines.iter().map(move |&v_wl| (vdd, v_wl)))
+            .collect();
+        let residuals_discharge_energy: Vec<f64> =
+            par_map_sweep(&discharge_grid, self.threads, |_, &(vdd, v_wl)| {
+                let pvt = nominal.with_vdd(Volts(vdd));
                 let delta = simulator.discharge_delta(
                     &self.stimulus(v_wl, duration),
                     &pvt,
@@ -261,9 +341,15 @@ impl ModelEvaluator {
                         Celsius(self.technology.temperature_nominal.0),
                     )
                     .0;
-                residuals_discharge_energy.push(reference - predicted);
-            }
-        }
+                Ok::<_, ModelError>(reference - predicted)
+            })
+            .map_err(|err| {
+                let (vdd, v_wl) = discharge_grid[err.index];
+                ModelError::from_sweep(
+                    err,
+                    format!("held-out discharge-energy grid V_DD = {vdd} V, V_WL = {v_wl} V"),
+                )
+            })?;
 
         Ok(RmsErrorReport {
             basic_discharge_mv: stats::rms(&residuals_basic) * 1e3,
@@ -293,22 +379,33 @@ impl ModelEvaluator {
         let wordlines = linspace(0.5, 1.0, wordline_points.max(2));
         let times = linspace(0.2e-9, 1.9e-9, time_points.max(2));
 
-        // Circuit path: one transient per word-line voltage, sampled at each time.
+        // Circuit path: one transient per word-line voltage, sampled at each
+        // time, fanned out over the sweep engine (the realistic wall-clock
+        // cost of the golden reference on this machine).
         let circuit_start = Instant::now();
-        let mut circuit_checksum = 0.0;
-        for &v_wl in &wordlines {
+        let circuit_rows = par_map_sweep(&wordlines, self.threads, |_, &v_wl| {
             let waveform = simulator.discharge_waveform(
                 &self.stimulus(v_wl, duration),
                 &nominal,
                 &MismatchSample::none(),
             )?;
+            let mut row = Vec::with_capacity(times.len());
             for &t in &times {
-                circuit_checksum += waveform.sample_at(Seconds(t))?.0;
+                row.push(waveform.sample_at(Seconds(t))?.0);
             }
-        }
+            Ok::<_, ModelError>(row)
+        })
+        .map_err(|err| {
+            let item = format!("speed-up circuit sweep V_WL = {} V", wordlines[err.index]);
+            ModelError::from_sweep(err, item)
+        })?;
         let circuit_seconds = circuit_start.elapsed().as_secs_f64();
+        let circuit_checksum: f64 = circuit_rows.into_iter().flatten().sum();
 
-        // Model path: direct polynomial evaluation.
+        // Model path: direct polynomial evaluation.  Deliberately serial — a
+        // single evaluation costs nanoseconds, so worker-thread spawn
+        // overhead would dominate and the measurement would reflect the
+        // harness instead of the model.
         let model_start = Instant::now();
         let mut model_checksum = 0.0;
         for &v_wl in &wordlines {
@@ -354,19 +451,31 @@ impl ModelEvaluator {
         let mismatch_model = MismatchModel::from_technology(&self.technology);
         let samples = mismatch_model.sample_n(mc_samples.max(10), 0x5eed);
 
+        // Circuit path: one transient per mismatch instance, fanned out over
+        // the sweep engine with index-ordered reassembly.
         let circuit_start = Instant::now();
-        let mut circuit_values = Vec::with_capacity(samples.len());
-        for sample in &samples {
+        let circuit_values = par_map_sweep(&samples, self.threads, |_, sample| {
             let waveform =
                 simulator.discharge_waveform(&self.stimulus(v_wl, duration), &nominal, sample)?;
-            circuit_values.push(waveform.sample_at(t_sample)?.0);
-        }
+            Ok::<_, ModelError>(waveform.sample_at(t_sample)?.0)
+        })
+        .map_err(|err| {
+            let item = format!("Monte-Carlo circuit sweep sample {}", err.index);
+            ModelError::from_sweep(err, item)
+        })?;
         let circuit_seconds = circuit_start.elapsed().as_secs_f64();
 
+        // Model path: σ-model sampling, one split-seed RNG stream per sample
+        // so the drawn sequence is independent of iteration strategy.  Kept
+        // serial because a sample costs nanoseconds (see measure_speedup);
+        // the streams are seeded outside the timed window so RNG setup does
+        // not inflate the measured model time.
+        let mut rngs: Vec<rand_chacha::ChaCha8Rng> = (0..samples.len())
+            .map(|index| rand_chacha::ChaCha8Rng::seed_from_u64(stream_seed(0x5eed, index as u64)))
+            .collect();
         let model_start = Instant::now();
-        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(0x5eed);
         let mut model_values = Vec::with_capacity(samples.len());
-        for _ in 0..samples.len() {
+        for rng in &mut rngs {
             let nominal_v = self.models.bitline_voltage_unchecked(
                 t_sample,
                 Volts(v_wl),
@@ -376,7 +485,7 @@ impl ModelEvaluator {
             let deviation =
                 self.models
                     .mismatch_model()
-                    .sample_deviation(&mut rng, t_sample, Volts(v_wl));
+                    .sample_deviation(rng, t_sample, Volts(v_wl));
             model_values.push(nominal_v + deviation.0);
         }
         let model_seconds = model_start.elapsed().as_secs_f64();
@@ -438,6 +547,14 @@ mod tests {
         let report = evaluator().measure_monte_carlo_speedup(30).unwrap();
         assert!(report.speedup() > 5.0, "got {}", report.speedup());
         assert_eq!(report.evaluations, 30);
+    }
+
+    #[test]
+    fn rms_errors_are_bit_identical_at_any_thread_count() {
+        let evaluator = evaluator();
+        let serial = evaluator.clone().with_threads(1).rms_errors(4, 20).unwrap();
+        let parallel = evaluator.with_threads(8).rms_errors(4, 20).unwrap();
+        assert_eq!(serial, parallel);
     }
 
     #[test]

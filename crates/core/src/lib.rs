@@ -45,6 +45,7 @@ pub mod error;
 pub mod evaluation;
 pub mod model;
 pub mod simulator;
+pub mod sweep;
 
 pub use error::ModelError;
 pub use model::suite::ModelSuite;
@@ -59,5 +60,6 @@ pub mod prelude {
     pub use crate::model::mismatch::MismatchSigmaModel;
     pub use crate::model::suite::ModelSuite;
     pub use crate::simulator::{Event, EventKind, EventSimulator, SimulationTrace};
+    pub use crate::sweep::{par_map, par_map_sweep, stream_seed, SweepError};
     pub use optima_math::units::{Celsius, FemtoJoules, Joules, Seconds, Volts};
 }

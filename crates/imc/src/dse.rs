@@ -9,12 +9,16 @@
 //! The paper selects 48 design corners and simulates them with OPTIMA; this
 //! module reproduces that sweep (and supports arbitrary grids).  Exploration
 //! is embarrassingly parallel across corners, so the explorer fans the work
-//! out over `std::thread::scope` worker threads.
+//! out over the error-strict sweep engine of [`optima_core::sweep`]: a
+//! failing corner aborts the exploration with [`ImcError::CornerFailed`]
+//! naming that corner (corners are never silently dropped), and results come
+//! back in corner order — bit-identical for any thread count.
 
 use crate::error::ImcError;
 use crate::metrics::{evaluate_multiplier, MultiplierMetrics};
 use crate::multiplier::{InSramMultiplier, MultiplierConfig};
 use optima_core::model::suite::ModelSuite;
+use optima_core::sweep::par_map_sweep;
 use optima_math::units::{Seconds, Volts};
 use serde::{Deserialize, Serialize};
 
@@ -78,33 +82,42 @@ impl DesignSpace {
         }
     }
 
-    /// All corners with `V_DAC,0 < V_DAC,FS` (invalid combinations are skipped).
-    pub fn corners(&self) -> Vec<DesignPoint> {
-        let mut corners = Vec::new();
-        for &tau0 in &self.tau0_values {
-            for &zero in &self.vdac_zero_values {
-                for &full_scale in &self.vdac_full_scale_values {
-                    if zero < full_scale {
-                        corners.push(DesignPoint {
-                            tau0: Seconds(tau0),
-                            vdac_zero: Volts(zero),
-                            vdac_full_scale: Volts(full_scale),
-                        });
-                    }
-                }
-            }
-        }
-        corners
+    /// All corners with `V_DAC,0 < V_DAC,FS` (invalid combinations are
+    /// skipped), iterated in grid order: `τ0` outermost, then `V_DAC,0`,
+    /// then `V_DAC,FS`.
+    pub fn corners(&self) -> impl Iterator<Item = DesignPoint> + '_ {
+        self.tau0_values.iter().flat_map(move |&tau0| {
+            self.vdac_zero_values.iter().flat_map(move |&zero| {
+                self.vdac_full_scale_values
+                    .iter()
+                    .filter(move |&&full_scale| zero < full_scale)
+                    .map(move |&full_scale| DesignPoint {
+                        tau0: Seconds(tau0),
+                        vdac_zero: Volts(zero),
+                        vdac_full_scale: Volts(full_scale),
+                    })
+            })
+        })
     }
 
-    /// Number of valid corners.
+    /// Number of valid corners, computed without materialising them.
     pub fn len(&self) -> usize {
-        self.corners().len()
+        let valid_dac_pairs: usize = self
+            .vdac_zero_values
+            .iter()
+            .map(|&zero| {
+                self.vdac_full_scale_values
+                    .iter()
+                    .filter(|&&full_scale| zero < full_scale)
+                    .count()
+            })
+            .sum();
+        self.tau0_values.len() * valid_dac_pairs
     }
 
     /// Returns `true` when the grid produces no valid corners.
     pub fn is_empty(&self) -> bool {
-        self.corners().is_empty()
+        self.len() == 0
     }
 }
 
@@ -116,14 +129,16 @@ pub struct DesignSpaceExplorer {
 }
 
 impl DesignSpaceExplorer {
-    /// Creates an explorer using the given fitted models.
+    /// Creates an explorer using the given fitted models and the automatic
+    /// thread count (see [`optima_core::sweep::default_threads`]).
     pub fn new(models: ModelSuite) -> Self {
-        DesignSpaceExplorer { models, threads: 4 }
+        DesignSpaceExplorer { models, threads: 0 }
     }
 
-    /// Sets the number of worker threads (builder style, clamped to ≥ 1).
+    /// Sets the number of worker threads (builder style, `0` = automatic).
+    /// The exploration result is bit-identical for any thread count.
     pub fn with_threads(mut self, threads: usize) -> Self {
-        self.threads = threads.max(1);
+        self.threads = threads;
         self
     }
 
@@ -140,61 +155,38 @@ impl DesignSpaceExplorer {
 
     /// Explores every corner of the design space, in parallel.
     ///
-    /// Corners whose configuration is invalid (e.g. pathological grids) are
-    /// skipped; the method fails only if *no* corner could be evaluated.
+    /// The sweep is **error-strict**: if any corner fails to evaluate, the
+    /// exploration fails with [`ImcError::CornerFailed`] naming the first
+    /// (lowest-index) failing corner — corners are never silently dropped,
+    /// so the result always covers the complete design space.  Results come
+    /// back in [`DesignSpace::corners`] order via index-ordered reassembly
+    /// and are bit-identical for any thread count.
     ///
     /// # Errors
     ///
-    /// Returns [`ImcError::EmptyDesignSpace`] if the grid has no valid corner
-    /// or every corner failed to evaluate.
+    /// * [`ImcError::EmptyDesignSpace`] if the grid has no valid corner.
+    /// * [`ImcError::CornerFailed`] if a corner fails to evaluate.
     pub fn explore(&self, space: &DesignSpace) -> Result<Vec<DesignPointResult>, ImcError> {
-        let corners = space.corners();
+        let corners: Vec<DesignPoint> = space.corners().collect();
         if corners.is_empty() {
             return Err(ImcError::EmptyDesignSpace);
         }
 
-        let chunk_size = corners.len().div_ceil(self.threads);
-        let mut results: Vec<DesignPointResult> = Vec::with_capacity(corners.len());
-
-        std::thread::scope(|scope| {
-            let mut handles = Vec::new();
-            for chunk in corners.chunks(chunk_size.max(1)) {
-                let explorer = self;
-                handles.push(scope.spawn(move || {
-                    chunk
-                        .iter()
-                        .filter_map(|&point| explorer.evaluate_point(point).ok())
-                        .collect::<Vec<_>>()
-                }));
-            }
-            for handle in handles {
-                // Joined panics are consumed by `join`, so they must be
-                // re-raised here or corners would silently vanish.
-                let chunk_results = handle
-                    .join()
-                    .expect("design-space worker threads must not panic");
-                results.extend(chunk_results);
-            }
-        });
-
-        if results.is_empty() {
-            return Err(ImcError::EmptyDesignSpace);
-        }
-        // Keep a deterministic ordering regardless of thread interleaving.
-        results.sort_by(|a, b| {
-            (
-                a.point.tau0.0,
-                a.point.vdac_zero.0,
-                a.point.vdac_full_scale.0,
+        par_map_sweep(&corners, self.threads, |_, &point| {
+            self.evaluate_point(point)
+        })
+        .map_err(|err| {
+            let point = corners[err.index];
+            ImcError::from_sweep(
+                err,
+                format!(
+                    "tau0 = {} ns, V_DAC,0 = {} V, V_DAC,FS = {} V",
+                    point.tau0.0 * 1e9,
+                    point.vdac_zero.0,
+                    point.vdac_full_scale.0
+                ),
             )
-                .partial_cmp(&(
-                    b.point.tau0.0,
-                    b.point.vdac_zero.0,
-                    b.point.vdac_full_scale.0,
-                ))
-                .unwrap_or(std::cmp::Ordering::Equal)
-        });
-        Ok(results)
+        })
     }
 }
 
@@ -234,12 +226,67 @@ mod tests {
     }
 
     #[test]
-    fn exploration_results_are_sorted_and_deterministic() {
-        let explorer = DesignSpaceExplorer::new(linear_suite());
+    fn exploration_results_are_bit_identical_at_any_thread_count() {
         let space = DesignSpace::small();
-        let a = explorer.explore(&space).unwrap();
-        let b = explorer.with_threads(1).explore(&space).unwrap();
-        assert_eq!(a, b);
+        let serial = DesignSpaceExplorer::new(linear_suite())
+            .with_threads(1)
+            .explore(&space)
+            .unwrap();
+        for threads in [2, 3, 8] {
+            let parallel = DesignSpaceExplorer::new(linear_suite())
+                .with_threads(threads)
+                .explore(&space)
+                .unwrap();
+            assert_eq!(serial, parallel, "threads = {threads}");
+        }
+        // Results follow the corners() grid order.
+        let order: Vec<DesignPoint> = space.corners().collect();
+        let got: Vec<DesignPoint> = serial.iter().map(|r| r.point).collect();
+        assert_eq!(order, got);
+    }
+
+    #[test]
+    fn corners_iterator_matches_len() {
+        for space in [
+            DesignSpace::paper_sweep(),
+            DesignSpace::small(),
+            DesignSpace {
+                tau0_values: vec![0.2e-9],
+                vdac_zero_values: vec![0.5, 0.9],
+                vdac_full_scale_values: vec![0.7, 1.0],
+            },
+        ] {
+            assert_eq!(space.corners().count(), space.len());
+        }
+    }
+
+    #[test]
+    fn failing_corner_is_reported_not_dropped() {
+        // τ0 = 0.5 ns makes the MSB column discharge for 4 ns, beyond the
+        // 3 ns calibrated time range of the test suite — that corner cannot
+        // be evaluated.  The old explorer silently dropped such corners and
+        // returned a subset; the sweep must instead fail naming the corner.
+        let space = DesignSpace {
+            tau0_values: vec![0.16e-9, 0.5e-9],
+            vdac_zero_values: vec![0.45],
+            vdac_full_scale_values: vec![1.0],
+        };
+        let first_bad_index = 1; // corners are ordered by tau0, then DAC values
+        for threads in [1, 8] {
+            let explorer = DesignSpaceExplorer::new(linear_suite()).with_threads(threads);
+            match explorer.explore(&space) {
+                Err(ImcError::CornerFailed {
+                    index,
+                    corner,
+                    source,
+                }) => {
+                    assert_eq!(index, first_bad_index, "threads = {threads}");
+                    assert!(corner.contains("0.5"), "corner description: {corner}");
+                    assert!(matches!(*source, ImcError::Model(_)));
+                }
+                other => panic!("expected CornerFailed, got {other:?}"),
+            }
+        }
     }
 
     #[test]

@@ -22,6 +22,17 @@ pub enum ImcError {
     },
     /// The design space contains no corners.
     EmptyDesignSpace,
+    /// One corner of an error-strict parallel sweep failed (design-space
+    /// exploration, PVT sweep or Monte-Carlo sweep).  No partial result is
+    /// returned and the lowest failing corner is named.
+    CornerFailed {
+        /// Zero-based index of the failing corner in the swept grid.
+        index: usize,
+        /// Human-readable description of the failing corner.
+        corner: String,
+        /// The underlying error.
+        source: Box<ImcError>,
+    },
     /// Error bubbled up from the OPTIMA models.
     Model(ModelError),
     /// Error bubbled up from the circuit-level converters.
@@ -38,6 +49,13 @@ impl fmt::Display for ImcError {
                 write!(f, "invalid multiplier configuration: {context}")
             }
             ImcError::EmptyDesignSpace => write!(f, "design space contains no corners"),
+            ImcError::CornerFailed {
+                index,
+                corner,
+                source,
+            } => {
+                write!(f, "sweep corner {index} ({corner}) failed: {source}")
+            }
             ImcError::Model(err) => write!(f, "model error: {err}"),
             ImcError::Circuit(err) => write!(f, "circuit error: {err}"),
         }
@@ -49,7 +67,23 @@ impl std::error::Error for ImcError {
         match self {
             ImcError::Model(err) => Some(err),
             ImcError::Circuit(err) => Some(err),
+            ImcError::CornerFailed { source, .. } => Some(source.as_ref()),
             _ => None,
+        }
+    }
+}
+
+impl ImcError {
+    /// Wraps an [`optima_core::sweep::SweepError`] with a human-readable
+    /// description of the failing corner.
+    pub fn from_sweep(
+        err: optima_core::sweep::SweepError<ImcError>,
+        corner: impl Into<String>,
+    ) -> Self {
+        ImcError::CornerFailed {
+            index: err.index,
+            corner: corner.into(),
+            source: Box::new(err.source),
         }
     }
 }

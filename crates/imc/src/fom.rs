@@ -66,13 +66,14 @@ pub fn select_corners(results: &[DesignPointResult]) -> Result<SelectedCorners, 
         return Err(ImcError::EmptyDesignSpace);
     }
 
+    // `total_cmp` keeps the selection deterministic even if a metric is NaN
+    // (partial_cmp's Equal fallback made the winner depend on input order).
     let fom = results
         .iter()
         .max_by(|a, b| {
             a.metrics
                 .figure_of_merit()
-                .partial_cmp(&b.metrics.figure_of_merit())
-                .unwrap_or(std::cmp::Ordering::Equal)
+                .total_cmp(&b.metrics.figure_of_merit())
         })
         .copied()
         .expect("non-empty results");
@@ -83,8 +84,7 @@ pub fn select_corners(results: &[DesignPointResult]) -> Result<SelectedCorners, 
             a.metrics
                 .energy_per_multiply
                 .0
-                .partial_cmp(&b.metrics.energy_per_multiply.0)
-                .unwrap_or(std::cmp::Ordering::Equal)
+                .total_cmp(&b.metrics.energy_per_multiply.0)
         })
         .copied()
         .expect("non-empty results");
@@ -95,8 +95,7 @@ pub fn select_corners(results: &[DesignPointResult]) -> Result<SelectedCorners, 
             a.metrics
                 .sigma_at_max_discharge
                 .0
-                .partial_cmp(&b.metrics.sigma_at_max_discharge.0)
-                .unwrap_or(std::cmp::Ordering::Equal)
+                .total_cmp(&b.metrics.sigma_at_max_discharge.0)
         })
         .copied()
         .expect("non-empty results");

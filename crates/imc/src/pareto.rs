@@ -11,32 +11,73 @@ use crate::dse::DesignPointResult;
 /// both energy per multiplication and ϵ_mul.
 ///
 /// A corner is kept if no other corner is at least as good in both metrics
-/// and strictly better in one.  The returned front is sorted by increasing
-/// energy.
+/// and strictly better in one; exact metric duplicates therefore all
+/// survive.  The returned front is sorted by increasing energy.
+///
+/// The extraction is a sort-then-scan in `O(n log n)`: after sorting by
+/// (energy, ϵ_mul) with [`f64::total_cmp`] — so NaN metrics sort
+/// deterministically last instead of scrambling the order — every dominator
+/// of a point precedes it, and a single pass tracking the lowest ϵ_mul of
+/// the cheaper energy groups decides survival.  Points with a NaN metric can
+/// neither dominate nor be dominated (IEEE comparisons are false), so they
+/// always survive and are appended after the finite front.
 pub fn pareto_front(results: &[DesignPointResult]) -> Vec<DesignPointResult> {
-    let mut front: Vec<DesignPointResult> = results
-        .iter()
-        .filter(|candidate| {
-            !results.iter().any(|other| {
-                let better_or_equal_energy =
-                    other.metrics.energy_per_multiply.0 <= candidate.metrics.energy_per_multiply.0;
-                let better_or_equal_error =
-                    other.metrics.epsilon_mul <= candidate.metrics.epsilon_mul;
-                let strictly_better = other.metrics.energy_per_multiply.0
-                    < candidate.metrics.energy_per_multiply.0
-                    || other.metrics.epsilon_mul < candidate.metrics.epsilon_mul;
-                better_or_equal_energy && better_or_equal_error && strictly_better
-            })
-        })
-        .copied()
-        .collect();
-    front.sort_by(|a, b| {
-        a.metrics
-            .energy_per_multiply
-            .0
-            .partial_cmp(&b.metrics.energy_per_multiply.0)
-            .unwrap_or(std::cmp::Ordering::Equal)
+    // `+ 0.0` maps -0.0 to +0.0 (and leaves every other value, including
+    // NaN, unchanged), so the total_cmp sort order agrees with the IEEE `==`
+    // used for group detection: a -0.0/+0.0 energy pair is one group and
+    // stays sorted by ϵ_mul within it.
+    let metric_key = |r: &DesignPointResult| {
+        (
+            r.metrics.energy_per_multiply.0 + 0.0,
+            r.metrics.epsilon_mul + 0.0,
+        )
+    };
+    let (mut finite, mut with_nan): (Vec<DesignPointResult>, Vec<DesignPointResult>) =
+        results.iter().partition(|r| {
+            let (energy, epsilon) = metric_key(r);
+            !energy.is_nan() && !epsilon.is_nan()
+        });
+    finite.sort_by(|a, b| {
+        let (ea, xa) = metric_key(a);
+        let (eb, xb) = metric_key(b);
+        ea.total_cmp(&eb).then(xa.total_cmp(&xb))
     });
+
+    let mut front = Vec::new();
+    // Lowest ϵ_mul among all strictly-cheaper energy groups: a point with an
+    // equal-or-higher ϵ_mul than that is dominated.
+    let mut best_prior_epsilon = f64::INFINITY;
+    let mut index = 0;
+    while index < finite.len() {
+        let energy = finite[index].metrics.energy_per_multiply.0;
+        // Within an equal-energy group only the lowest-ϵ_mul points survive
+        // (an equal-energy, lower-ϵ_mul point strictly dominates); exact
+        // duplicates of that minimum all survive.
+        let group_epsilon = finite[index].metrics.epsilon_mul;
+        let mut end = index;
+        while end < finite.len() && finite[end].metrics.energy_per_multiply.0 == energy {
+            end += 1;
+        }
+        // The first group has no cheaper competitor, so it survives even
+        // with an infinite ϵ_mul.
+        if group_epsilon < best_prior_epsilon || front.is_empty() {
+            front.extend(
+                finite[index..end]
+                    .iter()
+                    .take_while(|r| r.metrics.epsilon_mul == group_epsilon)
+                    .copied(),
+            );
+            best_prior_epsilon = group_epsilon;
+        }
+        index = end;
+    }
+
+    with_nan.sort_by(|a, b| {
+        let (ea, xa) = metric_key(a);
+        let (eb, xb) = metric_key(b);
+        ea.total_cmp(&eb).then(xa.total_cmp(&xb))
+    });
+    front.append(&mut with_nan);
     front
 }
 
@@ -102,5 +143,104 @@ mod tests {
     fn duplicate_points_all_survive() {
         let results = vec![result(10.0, 1.0), result(10.0, 1.0)];
         assert_eq!(pareto_front(&results).len(), 2);
+    }
+
+    #[test]
+    fn equal_energy_groups_keep_only_their_best_error() {
+        let results = vec![
+            result(10.0, 2.0),
+            result(10.0, 1.0), // dominates (10, 2) via equal energy, lower error
+            result(10.0, 1.0), // duplicate of the group minimum — survives
+            result(20.0, 1.0), // dominated by (10, 1): cheaper, equal error
+        ];
+        let front = pareto_front(&results);
+        assert_eq!(front.len(), 2);
+        for point in &front {
+            assert!((point.metrics.energy_per_multiply.0 - 10.0).abs() < 1e-12);
+            assert!((point.metrics.epsilon_mul - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn nan_metrics_do_not_scramble_the_front() {
+        // NaN points can neither dominate nor be dominated: the finite front
+        // must be exactly what it would be without them, with the NaN points
+        // appended deterministically at the end.
+        let results = vec![
+            result(30.0, f64::NAN),
+            result(50.0, 2.0),
+            result(30.0, 10.0),
+            result(f64::NAN, 1.0),
+            result(40.0, 5.0),
+            result(45.0, 12.0), // dominated by (30, 10) and (40, 5)
+        ];
+        let front = pareto_front(&results);
+        assert_eq!(front.len(), 5);
+        let finite: Vec<f64> = front
+            .iter()
+            .filter(|r| {
+                !r.metrics.epsilon_mul.is_nan() && !r.metrics.energy_per_multiply.0.is_nan()
+            })
+            .map(|r| r.metrics.energy_per_multiply.0)
+            .collect();
+        assert_eq!(finite, vec![30.0, 40.0, 50.0]);
+        assert!(front[3].metrics.epsilon_mul.is_nan());
+        assert!(front[4].metrics.energy_per_multiply.0.is_nan());
+    }
+
+    #[test]
+    fn negative_zero_energy_joins_the_positive_zero_group() {
+        // IEEE == treats -0.0 and +0.0 as equal energy, so they form one
+        // group and only the lower-ϵ_mul point survives.
+        let results = vec![result(-0.0, 5.0), result(0.0, 1.0)];
+        let front = pareto_front(&results);
+        assert_eq!(front.len(), 1);
+        assert!((front[0].metrics.epsilon_mul - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn infinite_error_survives_only_in_the_cheapest_group() {
+        let results = vec![
+            result(20.0, f64::INFINITY), // dominated by the cheaper infinite point
+            result(10.0, f64::INFINITY),
+        ];
+        let front = pareto_front(&results);
+        assert_eq!(front.len(), 1);
+        assert!((front[0].metrics.energy_per_multiply.0 - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn large_front_matches_quadratic_reference() {
+        // Deterministic pseudo-random inputs; compare the O(n log n) scan
+        // against the textbook all-pairs dominance definition.
+        let mut state = 0x2545_f491_4f6c_dd1d_u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        let results: Vec<DesignPointResult> = (0..300)
+            .map(|_| result((next() * 50.0).round(), (next() * 20.0).round()))
+            .collect();
+        let front = pareto_front(&results);
+        let reference: Vec<&DesignPointResult> = results
+            .iter()
+            .filter(|candidate| {
+                !results.iter().any(|other| {
+                    let boe = other.metrics.energy_per_multiply.0
+                        <= candidate.metrics.energy_per_multiply.0;
+                    let bee = other.metrics.epsilon_mul <= candidate.metrics.epsilon_mul;
+                    let strict = other.metrics.energy_per_multiply.0
+                        < candidate.metrics.energy_per_multiply.0
+                        || other.metrics.epsilon_mul < candidate.metrics.epsilon_mul;
+                    boe && bee && strict
+                })
+            })
+            .collect();
+        assert_eq!(front.len(), reference.len());
+        for point in &reference {
+            assert!(front.contains(point));
+        }
     }
 }

@@ -3,15 +3,26 @@
 //! For each selected corner the paper reports:
 //!
 //! * the average multiplication result deviation and the analog standard
-//!   deviation as a function of the expected result (Fig. 8 left), and
+//!   deviation as a function of the expected result (Fig. 8 left),
 //! * the influence of supply-voltage and temperature variations on the error
-//!   level (Fig. 8 right).
+//!   level (Fig. 8 right), and
+//! * the mismatch Monte-Carlo error distribution (the 28.1×-accelerated
+//!   sweep of Section V).
+//!
+//! All three sweeps run on the error-strict parallel engine of
+//! [`optima_core::sweep`]: a failing condition aborts the analysis with
+//! [`ImcError::CornerFailed`] naming it, and every reported number —
+//! including the Monte-Carlo statistics, which draw one split-seed RNG
+//! stream per sample — is bit-identical for any thread count.
 
 use crate::error::ImcError;
 use crate::multiplier::{InSramMultiplier, OperatingPoint, OPERAND_MAX, PRODUCT_MAX};
 use optima_circuit::pvt::linspace;
+use optima_core::sweep::{par_map_sweep, stream_seed};
 use optima_math::stats;
 use optima_math::units::{Celsius, Volts};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
 
 /// Configuration of the PVT analysis sweeps.
@@ -21,10 +32,16 @@ pub struct PvtAnalysisConfig {
     pub supply_voltages: Vec<f64>,
     /// Temperatures of the temperature sweep (°C).
     pub temperatures: Vec<f64>,
-    /// Number of mismatch Monte Carlo samples per operand pair.
+    /// Number of mismatch Monte Carlo instances (each covers the full 16×16
+    /// input space).
     pub mismatch_samples: usize,
-    /// RNG seed of the Monte Carlo sampling.
+    /// Base RNG seed of the Monte Carlo sampling; every sample derives its
+    /// own independent stream from it (see
+    /// [`optima_core::sweep::stream_seed`]).
     pub seed: u64,
+    /// Worker threads of the sweeps (`0` = automatic, see
+    /// [`optima_core::sweep::default_threads`]).
+    pub threads: usize,
 }
 
 impl Default for PvtAnalysisConfig {
@@ -34,6 +51,7 @@ impl Default for PvtAnalysisConfig {
             temperatures: linspace(0.0, 60.0, 4),
             mismatch_samples: 50,
             seed: 0xf188,
+            threads: 0,
         }
     }
 }
@@ -70,6 +88,20 @@ pub struct ConditionSweep {
     pub average_error_lsb: Vec<f64>,
 }
 
+/// Mismatch Monte-Carlo error statistics over the full input space.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct MismatchMonteCarlo {
+    /// Average absolute error of each Monte-Carlo instance, in LSBs, in
+    /// sample order (sample `i` uses the RNG stream derived for index `i`).
+    pub per_sample_error_lsb: Vec<f64>,
+    /// Mean of the per-sample average errors, in LSBs.
+    pub mean_error_lsb: f64,
+    /// Standard deviation of the per-sample average errors, in LSBs.
+    pub std_error_lsb: f64,
+    /// Worst per-sample average error, in LSBs.
+    pub worst_error_lsb: f64,
+}
+
 /// Full Fig. 8 analysis result for one corner.
 #[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
 pub struct PvtAnalysis {
@@ -79,6 +111,8 @@ pub struct PvtAnalysis {
     pub supply_sweep: ConditionSweep,
     /// Error versus temperature.
     pub temperature_sweep: ConditionSweep,
+    /// Mismatch Monte-Carlo error statistics at nominal conditions.
+    pub mismatch_monte_carlo: MismatchMonteCarlo,
     /// Worst-case analog standard deviation observed (volts).
     pub worst_case_sigma: f64,
     /// Average error over the whole input space at nominal conditions (LSBs).
@@ -90,7 +124,8 @@ impl PvtAnalysis {
     ///
     /// # Errors
     ///
-    /// Propagates multiplier evaluation errors.
+    /// Returns [`ImcError::CornerFailed`] naming the first failing sweep
+    /// condition; no partial analysis is ever returned.
     pub fn run(
         multiplier: &InSramMultiplier,
         config: &PvtAnalysisConfig,
@@ -98,20 +133,33 @@ impl PvtAnalysis {
         let nominal = multiplier.nominal_operating_point();
 
         // ---- Fig. 8 left: error and sigma binned by expected result ----
+        // One sweep item per DAC operand row; rows reassemble in operand
+        // order, so binning sees samples in the same (a, d) order as a
+        // serial double loop.
+        let a_values: Vec<u16> = (0..=OPERAND_MAX).collect();
+        let rows = par_map_sweep(&a_values, config.threads, |_, &a| {
+            let mut row = Vec::with_capacity(OPERAND_MAX as usize + 1);
+            for d in 0..=OPERAND_MAX {
+                let outcome = multiplier.multiply_at(a, d, nominal)?;
+                let sigma = multiplier.analog_sigma(a, d)?.0;
+                row.push((outcome.expected, outcome.error_lsb(), sigma));
+            }
+            Ok::<_, ImcError>(row)
+        })
+        .map_err(|err| {
+            let a = a_values[err.index];
+            ImcError::from_sweep(err, format!("input-space row a = {a}"))
+        })?;
+
         let mut per_expected_error: Vec<Vec<f64>> = vec![Vec::new(); PRODUCT_MAX as usize + 1];
         let mut per_expected_sigma: Vec<Vec<f64>> = vec![Vec::new(); PRODUCT_MAX as usize + 1];
         let mut abs_errors = Vec::with_capacity(256);
         let mut worst_sigma: f64 = 0.0;
-
-        for a in 0..=OPERAND_MAX {
-            for d in 0..=OPERAND_MAX {
-                let outcome = multiplier.multiply_at(a, d, nominal)?;
-                let sigma = multiplier.analog_sigma(a, d)?.0;
-                per_expected_error[outcome.expected as usize].push(outcome.error_lsb());
-                per_expected_sigma[outcome.expected as usize].push(sigma);
-                abs_errors.push(outcome.error_lsb().abs());
-                worst_sigma = worst_sigma.max(sigma);
-            }
+        for (expected, error_lsb, sigma) in rows.into_iter().flatten() {
+            per_expected_error[expected as usize].push(error_lsb);
+            per_expected_sigma[expected as usize].push(sigma);
+            abs_errors.push(error_lsb.abs());
+            worst_sigma = worst_sigma.max(sigma);
         }
 
         let mut result_profile = ResultProfile::default();
@@ -129,43 +177,71 @@ impl PvtAnalysis {
         }
 
         // ---- Fig. 8 right: error vs supply voltage and temperature ----
+        let supply_errors = par_map_sweep(&config.supply_voltages, config.threads, |_, &vdd| {
+            average_error_at(
+                multiplier,
+                OperatingPoint {
+                    vdd: Volts(vdd),
+                    temperature: nominal.temperature,
+                },
+            )
+        })
+        .map_err(|err| {
+            let vdd = config.supply_voltages[err.index];
+            ImcError::from_sweep(err, format!("supply sweep V_DD = {vdd} V"))
+        })?;
         let supply_sweep = ConditionSweep {
             condition_values: config.supply_voltages.clone(),
-            average_error_lsb: config
-                .supply_voltages
-                .iter()
-                .map(|&vdd| {
-                    average_error_at(
-                        multiplier,
-                        OperatingPoint {
-                            vdd: Volts(vdd),
-                            temperature: nominal.temperature,
-                        },
-                    )
-                })
-                .collect::<Result<Vec<_>, _>>()?,
+            average_error_lsb: supply_errors,
         };
+
+        let temperature_errors = par_map_sweep(&config.temperatures, config.threads, |_, &temp| {
+            average_error_at(
+                multiplier,
+                OperatingPoint {
+                    vdd: nominal.vdd,
+                    temperature: Celsius(temp),
+                },
+            )
+        })
+        .map_err(|err| {
+            let temp = config.temperatures[err.index];
+            ImcError::from_sweep(err, format!("temperature sweep T = {temp} degC"))
+        })?;
         let temperature_sweep = ConditionSweep {
             condition_values: config.temperatures.clone(),
-            average_error_lsb: config
-                .temperatures
-                .iter()
-                .map(|&temp| {
-                    average_error_at(
-                        multiplier,
-                        OperatingPoint {
-                            vdd: nominal.vdd,
-                            temperature: Celsius(temp),
-                        },
-                    )
-                })
-                .collect::<Result<Vec<_>, _>>()?,
+            average_error_lsb: temperature_errors,
+        };
+
+        // ---- Mismatch Monte Carlo: one split-seed RNG stream per sample ----
+        let sample_indices: Vec<u64> = (0..config.mismatch_samples as u64).collect();
+        let per_sample_error_lsb = par_map_sweep(&sample_indices, config.threads, |_, &sample| {
+            let mut rng = ChaCha8Rng::seed_from_u64(stream_seed(config.seed, sample));
+            let mut errors = Vec::with_capacity(256);
+            for a in 0..=OPERAND_MAX {
+                for d in 0..=OPERAND_MAX {
+                    let outcome = multiplier.multiply_with_mismatch(&mut rng, a, d, nominal)?;
+                    errors.push(outcome.error_lsb().abs());
+                }
+            }
+            Ok::<_, ImcError>(stats::mean(&errors))
+        })
+        .map_err(|err| {
+            let sample = sample_indices[err.index];
+            ImcError::from_sweep(err, format!("mismatch Monte-Carlo sample {sample}"))
+        })?;
+        let mismatch_monte_carlo = MismatchMonteCarlo {
+            mean_error_lsb: stats::mean(&per_sample_error_lsb),
+            std_error_lsb: stats::std_dev(&per_sample_error_lsb),
+            worst_error_lsb: per_sample_error_lsb.iter().cloned().fold(0.0, f64::max),
+            per_sample_error_lsb,
         };
 
         Ok(PvtAnalysis {
             result_profile,
             supply_sweep,
             temperature_sweep,
+            mismatch_monte_carlo,
             worst_case_sigma: worst_sigma,
             nominal_epsilon_mul: stats::mean(&abs_errors),
         })
@@ -190,18 +266,21 @@ mod tests {
     use crate::testsupport::{linear_suite, pvt_sensitive_suite};
     use optima_math::units::Seconds;
 
-    fn analysis(suite_sensitive: bool) -> PvtAnalysis {
+    fn multiplier(suite_sensitive: bool) -> InSramMultiplier {
         let suite = if suite_sensitive {
             pvt_sensitive_suite()
         } else {
             linear_suite()
         };
-        let multiplier = InSramMultiplier::new(
+        InSramMultiplier::new(
             suite,
             MultiplierConfig::new(Seconds(0.16e-9), Volts(0.45), Volts(1.0)),
         )
-        .unwrap();
-        PvtAnalysis::run(&multiplier, &PvtAnalysisConfig::fast()).unwrap()
+        .unwrap()
+    }
+
+    fn analysis(suite_sensitive: bool) -> PvtAnalysis {
+        PvtAnalysis::run(&multiplier(suite_sensitive), &PvtAnalysisConfig::fast()).unwrap()
     }
 
     #[test]
@@ -290,5 +369,45 @@ mod tests {
         let analysis = analysis(false);
         assert!(analysis.nominal_epsilon_mul < 1.0);
         assert!(analysis.worst_case_sigma > 0.0);
+    }
+
+    #[test]
+    fn monte_carlo_statistics_are_populated() {
+        let analysis = analysis(false);
+        let mc = &analysis.mismatch_monte_carlo;
+        assert_eq!(
+            mc.per_sample_error_lsb.len(),
+            PvtAnalysisConfig::fast().mismatch_samples
+        );
+        assert!(mc.mean_error_lsb.is_finite());
+        assert!(mc.worst_error_lsb >= mc.mean_error_lsb);
+        assert!(mc.std_error_lsb >= 0.0);
+    }
+
+    #[test]
+    fn analysis_is_bit_identical_at_any_thread_count() {
+        // The full analysis — including the Monte-Carlo sweep, whose samples
+        // draw independent split-seed RNG streams — must not depend on how
+        // work is distributed over threads.
+        let multiplier = multiplier(true);
+        let serial = PvtAnalysis::run(
+            &multiplier,
+            &PvtAnalysisConfig {
+                threads: 1,
+                ..PvtAnalysisConfig::fast()
+            },
+        )
+        .unwrap();
+        for threads in [2, 8] {
+            let parallel = PvtAnalysis::run(
+                &multiplier,
+                &PvtAnalysisConfig {
+                    threads,
+                    ..PvtAnalysisConfig::fast()
+                },
+            )
+            .unwrap();
+            assert_eq!(serial, parallel, "threads = {threads}");
+        }
     }
 }
