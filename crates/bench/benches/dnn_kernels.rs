@@ -1,0 +1,125 @@
+//! Criterion benches for the DNN kernel rewrite: naive scalar loops vs. the
+//! im2col + blocked-GEMM hot path, and per-product dynamic dispatch vs. the
+//! flattened 256-entry product LUT.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use optima_bench::{quick_mode, DynDispatchProducts};
+use optima_dnn::layers::{Conv2d, Dense, Flatten, Layer, MaxPool2d, Relu};
+use optima_dnn::multiplier::ExactInt4Products;
+use optima_dnn::network::Network;
+use optima_dnn::quantized::QuantizedNetwork;
+use optima_dnn::reference;
+use optima_dnn::tensor::Tensor;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::hint::black_box;
+use std::sync::Arc;
+
+/// Timed iterations per benchmark; `OPTIMA_QUICK=1` (CI) uses fewer.
+fn samples() -> usize {
+    if quick_mode() {
+        5
+    } else {
+        20
+    }
+}
+
+fn conv_image(channels: usize, size: usize, seed: u64) -> Tensor {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    Tensor::from_vec(
+        &[channels, size, size],
+        (0..channels * size * size)
+            .map(|_| rng.gen::<f32>())
+            .collect(),
+    )
+    .unwrap()
+}
+
+fn bench_conv_forward(c: &mut Criterion) {
+    let mut rng = ChaCha8Rng::seed_from_u64(7);
+    let conv = Conv2d::new(8, 16, 3, &mut rng);
+    let image = conv_image(8, 16, 1);
+
+    let mut group = c.benchmark_group("conv2d_forward_8to16_16x16_k3");
+    group.sample_size(samples());
+    group.bench_function("naive_scalar", |b| {
+        b.iter(|| {
+            reference::conv2d_forward(
+                black_box(image.data()),
+                8,
+                16,
+                16,
+                conv.weights(),
+                conv.bias(),
+                16,
+                3,
+            )
+        })
+    });
+    group.bench_function("im2col_gemm", |b| {
+        b.iter(|| conv.infer(black_box(&image)).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_dense_forward(c: &mut Criterion) {
+    let mut rng = ChaCha8Rng::seed_from_u64(8);
+    let dense = Dense::new(1024, 256, &mut rng);
+    let input = conv_image(1, 32, 2).reshaped(&[1024]).unwrap();
+
+    let mut group = c.benchmark_group("dense_forward_1024to256");
+    group.sample_size(samples());
+    group.bench_function("naive_scalar", |b| {
+        b.iter(|| {
+            reference::dense_forward(
+                black_box(input.data()),
+                dense.weights(),
+                dense.bias(),
+                1024,
+                256,
+            )
+        })
+    });
+    group.bench_function("gemv", |b| {
+        b.iter(|| dense.infer(black_box(&input)).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_quantized_conv(c: &mut Criterion) {
+    let mut rng = ChaCha8Rng::seed_from_u64(17);
+    let network = Network::new(vec![
+        Box::new(Conv2d::new(3, 8, 3, &mut rng)),
+        Box::new(Relu::new()),
+        Box::new(MaxPool2d::new()),
+        Box::new(Flatten::new()),
+        Box::new(Dense::new(8 * 8 * 8, 10, &mut rng)),
+    ]);
+    let lut = QuantizedNetwork::from_network(&network, Arc::new(ExactInt4Products)).unwrap();
+    let dyn_dispatch = QuantizedNetwork::from_network(
+        &network,
+        Arc::new(DynDispatchProducts(Arc::new(ExactInt4Products))),
+    )
+    .unwrap();
+    assert!(lut.uses_snapshot());
+    assert!(!dyn_dispatch.uses_snapshot());
+    let image = conv_image(3, 16, 3);
+
+    let mut group = c.benchmark_group("quantized_forward_3to8_16x16");
+    group.sample_size(samples());
+    group.bench_function("dyn_dispatch", |b| {
+        b.iter(|| dyn_dispatch.forward(black_box(&image)).unwrap())
+    });
+    group.bench_function("flat_lut", |b| {
+        b.iter(|| lut.forward(black_box(&image)).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_conv_forward,
+    bench_dense_forward,
+    bench_quantized_conv
+);
+criterion_main!(benches);

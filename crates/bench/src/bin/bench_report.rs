@@ -1,0 +1,310 @@
+//! Machine-readable DNN perf report: writes `BENCH_dnn.json`.
+//!
+//! Measures the "before" (naive scalar kernels, per-product dynamic
+//! dispatch, serial evaluation) and "after" (im2col + blocked GEMM,
+//! flattened product LUT, parallel batched evaluation) sides of the DNN
+//! inference hot path on identical workloads, and emits the wall-clock
+//! numbers plus speedups as JSON so the repository's perf trajectory is
+//! machine-checkable from this PR onward.
+//!
+//! The report also verifies — and fails the process on violation — that the
+//! LUT fast path produces **bit-identical** logits to the dynamic-dispatch
+//! reference on every evaluated image, so a perf regression hunt can never
+//! silently trade correctness for speed.
+//!
+//! ```bash
+//! OPTIMA_QUICK=1 cargo run --release --bin bench_report   # CI quick mode
+//! cargo run --release --bin bench_report                  # full workload
+//! ```
+
+use optima_bench::{naive_network_forward, quick_mode, DynDispatchProducts};
+use optima_dnn::data::{Dataset, SyntheticImageConfig};
+use optima_dnn::eval::evaluate_batched;
+use optima_dnn::layers::{Conv2d, Dense, Flatten, Layer, MaxPool2d, Relu};
+use optima_dnn::multiplier::ExactInt4Products;
+use optima_dnn::network::Network;
+use optima_dnn::quantized::QuantizedNetwork;
+use optima_dnn::reference;
+use optima_dnn::Tensor;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// One before/after workload measurement.
+struct Workload {
+    name: &'static str,
+    baseline: &'static str,
+    optimized: &'static str,
+    baseline_seconds: f64,
+    optimized_seconds: f64,
+    iterations: usize,
+}
+
+impl Workload {
+    fn speedup(&self) -> f64 {
+        self.baseline_seconds / self.optimized_seconds.max(1e-12)
+    }
+
+    fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "    {{\n",
+                "      \"name\": \"{}\",\n",
+                "      \"baseline\": \"{}\",\n",
+                "      \"optimized\": \"{}\",\n",
+                "      \"iterations\": {},\n",
+                "      \"baseline_seconds\": {:.6},\n",
+                "      \"optimized_seconds\": {:.6},\n",
+                "      \"baseline_throughput_per_second\": {:.2},\n",
+                "      \"optimized_throughput_per_second\": {:.2},\n",
+                "      \"speedup\": {:.2}\n",
+                "    }}"
+            ),
+            self.name,
+            self.baseline,
+            self.optimized,
+            self.iterations,
+            self.baseline_seconds,
+            self.optimized_seconds,
+            self.iterations as f64 / self.baseline_seconds.max(1e-12),
+            self.iterations as f64 / self.optimized_seconds.max(1e-12),
+            self.speedup(),
+        )
+    }
+}
+
+/// Times `iterations` runs of `f` after one warm-up run.
+fn time_iterations(iterations: usize, mut f: impl FnMut()) -> f64 {
+    f();
+    let start = Instant::now();
+    for _ in 0..iterations {
+        f();
+    }
+    start.elapsed().as_secs_f64()
+}
+
+fn random_image(channels: usize, size: usize, seed: u64) -> Tensor {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    Tensor::from_vec(
+        &[channels, size, size],
+        (0..channels * size * size)
+            .map(|_| rng.gen::<f32>())
+            .collect(),
+    )
+    .expect("image shape matches its data")
+}
+
+fn eval_network(channels: usize, size: usize, classes: usize) -> Network {
+    let mut rng = ChaCha8Rng::seed_from_u64(11);
+    Network::new(vec![
+        Box::new(Conv2d::new(channels, 8, 3, &mut rng)),
+        Box::new(Relu::new()),
+        Box::new(MaxPool2d::new()),
+        Box::new(Conv2d::new(8, 16, 3, &mut rng)),
+        Box::new(Relu::new()),
+        Box::new(MaxPool2d::new()),
+        Box::new(Flatten::new()),
+        Box::new(Dense::new(16 * (size / 4) * (size / 4), classes, &mut rng)),
+    ])
+}
+
+fn main() {
+    let quick = quick_mode();
+    let iterations = if quick { 30 } else { 200 };
+    let mut workloads = Vec::new();
+
+    // 1. Convolution forward: naive six-deep loop vs. im2col + GEMM.
+    {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let conv = Conv2d::new(8, 16, 3, &mut rng);
+        let image = random_image(8, 16, 1);
+        let baseline_seconds = time_iterations(iterations, || {
+            black_box(reference::conv2d_forward(
+                image.data(),
+                8,
+                16,
+                16,
+                conv.weights(),
+                conv.bias(),
+                16,
+                3,
+            ));
+        });
+        let optimized_seconds = time_iterations(iterations, || {
+            black_box(conv.infer(&image).expect("conv shapes fit"));
+        });
+        workloads.push(Workload {
+            name: "conv2d_forward_8to16_16x16_k3",
+            baseline: "naive-scalar",
+            optimized: "im2col-gemm",
+            baseline_seconds,
+            optimized_seconds,
+            iterations,
+        });
+    }
+
+    // 2. Dense forward: scalar dot loop vs. unrolled GEMV.
+    {
+        let mut rng = ChaCha8Rng::seed_from_u64(8);
+        let dense = Dense::new(1024, 256, &mut rng);
+        let input = random_image(1, 32, 2)
+            .reshaped(&[1024])
+            .expect("1024 elements");
+        let baseline_seconds = time_iterations(iterations, || {
+            black_box(reference::dense_forward(
+                input.data(),
+                dense.weights(),
+                dense.bias(),
+                1024,
+                256,
+            ));
+        });
+        let optimized_seconds = time_iterations(iterations, || {
+            black_box(dense.infer(&input).expect("dense shapes fit"));
+        });
+        workloads.push(Workload {
+            name: "dense_forward_1024to256",
+            baseline: "naive-scalar",
+            optimized: "gemv",
+            baseline_seconds,
+            optimized_seconds,
+            iterations,
+        });
+    }
+
+    // 3. Quantized forward: per-product dynamic dispatch vs. flat 256-entry
+    //    LUT — with a bit-identity check on every iteration's input.
+    {
+        let network = eval_network(3, 16, 10);
+        let lut = QuantizedNetwork::from_network(&network, Arc::new(ExactInt4Products))
+            .expect("quantization succeeds");
+        let dyn_dispatch = QuantizedNetwork::from_network(
+            &network,
+            Arc::new(DynDispatchProducts(Arc::new(ExactInt4Products))),
+        )
+        .expect("quantization succeeds");
+        assert!(lut.uses_snapshot() && !dyn_dispatch.uses_snapshot());
+        let image = random_image(3, 16, 3);
+        let reference_logits = dyn_dispatch.forward(&image).expect("shapes fit");
+        let lut_logits = lut.forward(&image).expect("shapes fit");
+        assert_eq!(
+            reference_logits, lut_logits,
+            "quantized LUT output must be bit-identical to the reference"
+        );
+        let baseline_seconds = time_iterations(iterations, || {
+            black_box(dyn_dispatch.forward(&image).expect("shapes fit"));
+        });
+        let optimized_seconds = time_iterations(iterations, || {
+            black_box(lut.forward(&image).expect("shapes fit"));
+        });
+        workloads.push(Workload {
+            name: "quantized_forward_3ch_16x16_int4",
+            baseline: "dyn-dispatch",
+            optimized: "flat-lut",
+            baseline_seconds,
+            optimized_seconds,
+            iterations,
+        });
+    }
+
+    // 4. End-to-end dataset evaluation (the table2/table3 inner loop):
+    //    naive serial kernels vs. im2col/LUT kernels + parallel fan-out.
+    {
+        let config = SyntheticImageConfig {
+            classes: 8,
+            train_per_class: 0,
+            test_per_class: if quick { 8 } else { 25 },
+            ..SyntheticImageConfig::imagenet_like()
+        };
+        let dataset = Dataset::synthetic(config);
+        let shape = dataset.image_shape().to_vec();
+        let network = eval_network(shape[0], shape[1], dataset.classes());
+        let passes = if quick { 2 } else { 5 };
+
+        let baseline_seconds = time_iterations(passes, || {
+            for (image, &label) in dataset.test_iter() {
+                let logits = naive_network_forward(&network, image);
+                black_box(logits.argmax() == Some(label));
+            }
+        });
+        let optimized_seconds = time_iterations(passes, || {
+            black_box(evaluate_batched(&network, &dataset, 0).expect("evaluation succeeds"));
+        });
+        workloads.push(Workload {
+            name: "float_dataset_eval_16x16",
+            baseline: "naive-serial",
+            optimized: "im2col-gemm-parallel",
+            baseline_seconds,
+            optimized_seconds,
+            iterations: passes * dataset.test_len(),
+        });
+
+        // The same dataset through the quantized engine, checking that the
+        // fast path stays bit-identical to the reference on every image.
+        let lut = QuantizedNetwork::from_network(&network, Arc::new(ExactInt4Products))
+            .expect("quantization succeeds");
+        let dyn_dispatch = QuantizedNetwork::from_network(
+            &network,
+            Arc::new(DynDispatchProducts(Arc::new(ExactInt4Products))),
+        )
+        .expect("quantization succeeds");
+        for (image, _) in dataset.test_iter() {
+            assert_eq!(
+                dyn_dispatch.forward(image).expect("shapes fit"),
+                lut.forward(image).expect("shapes fit"),
+                "quantized LUT output must be bit-identical to the reference"
+            );
+        }
+        let baseline_seconds = time_iterations(passes, || {
+            for (image, &label) in dataset.test_iter() {
+                let logits = dyn_dispatch.forward(image).expect("shapes fit");
+                black_box(logits.argmax() == Some(label));
+            }
+        });
+        let optimized_seconds = time_iterations(passes, || {
+            black_box(evaluate_batched(&lut, &dataset, 0).expect("evaluation succeeds"));
+        });
+        workloads.push(Workload {
+            name: "quantized_dataset_eval_16x16_int4",
+            baseline: "dyn-dispatch-serial",
+            optimized: "flat-lut-parallel",
+            baseline_seconds,
+            optimized_seconds,
+            iterations: passes * dataset.test_len(),
+        });
+    }
+
+    let body = workloads
+        .iter()
+        .map(Workload::to_json)
+        .collect::<Vec<_>>()
+        .join(",\n");
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"report\": \"dnn-inference-hot-path\",\n",
+            "  \"generated_by\": \"bench_report\",\n",
+            "  \"quick_mode\": {},\n",
+            "  \"quantized_equivalence\": \"bit-identical\",\n",
+            "  \"workloads\": [\n{}\n  ]\n",
+            "}}\n"
+        ),
+        quick, body
+    );
+    std::fs::write("BENCH_dnn.json", &json).expect("BENCH_dnn.json is writable");
+
+    println!("# DNN kernel perf report (written to BENCH_dnn.json)\n");
+    for workload in &workloads {
+        println!(
+            "{:<36} {:>10.3} ms -> {:>10.3} ms   {:>6.1}x  ({} vs {})",
+            workload.name,
+            workload.baseline_seconds * 1e3,
+            workload.optimized_seconds * 1e3,
+            workload.speedup(),
+            workload.baseline,
+            workload.optimized,
+        );
+    }
+}

@@ -7,6 +7,7 @@
 use optima_bench::{print_header, print_row, quick_mode};
 use optima_circuit::prelude::*;
 use optima_circuit::pvt::linspace;
+use optima_core::sweep::par_map_sweep;
 
 fn main() {
     let tech = Technology::tsmc65_like();
@@ -20,22 +21,21 @@ fn main() {
     let mut header = vec!["t [ns]".to_string()];
     header.extend(wordlines.iter().map(|v| format!("V_WL={v:.2} V")));
     print_header(&header.iter().map(|s| s.as_str()).collect::<Vec<_>>());
-    let waveforms: Vec<Waveform> = wordlines
-        .iter()
-        .map(|&v_wl| {
-            sim.discharge_waveform(
-                &DischargeStimulus {
-                    word_line_voltage: Volts(v_wl),
-                    duration: Seconds(2e-9),
-                    time_steps: steps,
-                    ..DischargeStimulus::default()
-                },
-                &pvt,
-                &MismatchSample::none(),
-            )
-            .expect("transient simulation succeeds")
-        })
-        .collect();
+    // One transient simulation per word-line voltage, fanned out over the
+    // error-strict sweep engine (0 = auto threads, deterministic order).
+    let waveforms: Vec<Waveform> = par_map_sweep(&wordlines, 0, |_, &v_wl| {
+        sim.discharge_waveform(
+            &DischargeStimulus {
+                word_line_voltage: Volts(v_wl),
+                duration: Seconds(2e-9),
+                time_steps: steps,
+                ..DischargeStimulus::default()
+            },
+            &pvt,
+            &MismatchSample::none(),
+        )
+    })
+    .expect("transient simulations succeed");
     for &t in &times {
         let mut row = vec![format!("{:.2}", t * 1e9)];
         for waveform in &waveforms {
@@ -46,20 +46,22 @@ fn main() {
 
     println!("\n# Fig. 4b — word-line voltage dependency at t = τ0 = 0.5 ns\n");
     print_header(&["V_WL [V]", "V_BL(τ0) [V]", "ΔV_BL [mV]"]);
-    for &v_wl in linspace(0.4, 1.0, 13).iter() {
-        let waveform = sim
-            .discharge_waveform(
-                &DischargeStimulus {
-                    word_line_voltage: Volts(v_wl),
-                    duration: Seconds(0.6e-9),
-                    time_steps: steps,
-                    ..DischargeStimulus::default()
-                },
-                &pvt,
-                &MismatchSample::none(),
-            )
-            .expect("transient simulation succeeds");
-        let v = waveform.sample_at(Seconds(0.5e-9)).unwrap().0;
+    let grid = linspace(0.4, 1.0, 13);
+    let sampled: Vec<f64> = par_map_sweep(&grid, 0, |_, &v_wl| {
+        sim.discharge_waveform(
+            &DischargeStimulus {
+                word_line_voltage: Volts(v_wl),
+                duration: Seconds(0.6e-9),
+                time_steps: steps,
+                ..DischargeStimulus::default()
+            },
+            &pvt,
+            &MismatchSample::none(),
+        )
+        .map(|waveform| waveform.sample_at(Seconds(0.5e-9)).unwrap().0)
+    })
+    .expect("transient simulations succeed");
+    for (&v_wl, &v) in grid.iter().zip(sampled.iter()) {
         print_row(&[
             format!("{v_wl:.2}"),
             format!("{v:.4}"),

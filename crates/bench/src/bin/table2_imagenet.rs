@@ -10,7 +10,7 @@
 
 use optima_bench::{calibrated_models, paper_corners, print_header, print_row, quick_mode};
 use optima_dnn::data::{Dataset, SyntheticImageConfig};
-use optima_dnn::eval::evaluate;
+use optima_dnn::eval::evaluate_batched;
 use optima_dnn::models::{build_model, ModelKind};
 use optima_dnn::multiplier::{ExactInt4Products, InMemoryProducts, ProductTable};
 use optima_dnn::quantized::QuantizedNetwork;
@@ -85,7 +85,8 @@ fn main() {
             * dataset.test_len() as f64
             / 1.0e6;
 
-        let float_report = evaluate(&mut network, &dataset).expect("evaluation succeeds");
+        // Per-image parallel fan-out over the sweep engine (0 = auto threads).
+        let float_report = evaluate_batched(&network, &dataset, 0).expect("evaluation succeeds");
         let mut cells = vec![
             kind.to_string(),
             format!("{multiplications:.2}"),
@@ -96,9 +97,9 @@ fn main() {
             ),
         ];
         for (_, products) in &product_tables {
-            let mut quantized = QuantizedNetwork::from_network(&network, products.clone())
+            let quantized = QuantizedNetwork::from_network(&network, products.clone())
                 .expect("quantization succeeds");
-            let report = evaluate(&mut quantized, &dataset).expect("evaluation succeeds");
+            let report = evaluate_batched(&quantized, &dataset, 0).expect("evaluation succeeds");
             cells.push(format!(
                 "{:.1} / {:.1}",
                 report.top1_percent(),

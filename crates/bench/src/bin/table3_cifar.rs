@@ -8,7 +8,7 @@
 
 use optima_bench::{calibrated_models, paper_corners, print_header, print_row, quick_mode};
 use optima_dnn::data::{Dataset, SyntheticImageConfig};
-use optima_dnn::eval::evaluate;
+use optima_dnn::eval::evaluate_batched;
 use optima_dnn::models::{build_model, ModelKind};
 use optima_dnn::multiplier::{ExactInt4Products, InMemoryProducts, ProductTable};
 use optima_dnn::quantized::QuantizedNetwork;
@@ -92,15 +92,16 @@ fn main() {
             .train_head_only(&mut network, &target)
             .expect("head retraining succeeds");
 
-        let float_report = evaluate(&mut network, &target).expect("evaluation succeeds");
+        // Per-image parallel fan-out over the sweep engine (0 = auto threads).
+        let float_report = evaluate_batched(&network, &target, 0).expect("evaluation succeeds");
         let mut cells = vec![
             kind.to_string(),
             format!("{:.1}", float_report.top1_percent()),
         ];
         for (_, products) in &product_tables {
-            let mut quantized = QuantizedNetwork::from_network(&network, products.clone())
+            let quantized = QuantizedNetwork::from_network(&network, products.clone())
                 .expect("quantization succeeds");
-            let report = evaluate(&mut quantized, &target).expect("evaluation succeeds");
+            let report = evaluate_batched(&quantized, &target, 0).expect("evaluation succeeds");
             cells.push(format!("{:.1}", report.top1_percent()));
         }
         print_row(&cells);

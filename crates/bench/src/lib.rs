@@ -8,7 +8,12 @@
 use optima_circuit::technology::Technology;
 use optima_core::calibration::{CalibrationConfig, CalibrationOutcome, Calibrator};
 use optima_core::model::suite::ModelSuite;
+use optima_dnn::layers::{Conv2d, Dense, ResidualBlock};
+use optima_dnn::multiplier::ProductTable;
+use optima_dnn::network::Network;
+use optima_dnn::{reference, Tensor};
 use optima_imc::multiplier::MultiplierConfig;
+use std::sync::Arc;
 
 /// Calibrates the OPTIMA models against the golden-reference simulator.
 ///
@@ -53,6 +58,94 @@ pub fn paper_corners() -> Vec<(&'static str, MultiplierConfig)> {
         ("power", MultiplierConfig::paper_power_corner()),
         ("variation", MultiplierConfig::paper_variation_corner()),
     ]
+}
+
+/// Forwarding [`ProductTable`] wrapper that opts out of LUT snapshotting.
+///
+/// Routing a pure table through this wrapper forces
+/// [`optima_dnn::quantized::QuantizedNetwork`] onto its per-product
+/// dynamic-dispatch reference path, which is the "before" side of the
+/// LUT-vs-dyn benchmarks and the ground truth of the bit-identity checks in
+/// `bench_report`.
+#[derive(Debug, Clone)]
+pub struct DynDispatchProducts(pub Arc<dyn ProductTable>);
+
+impl ProductTable for DynDispatchProducts {
+    fn product(&self, a: u8, b: u8) -> u16 {
+        self.0.product(a, b)
+    }
+
+    fn name(&self) -> String {
+        format!("dyn({})", self.0.name())
+    }
+
+    fn supports_snapshot(&self) -> bool {
+        false
+    }
+}
+
+fn naive_conv_forward(conv: &Conv2d, input: &Tensor) -> Tensor {
+    let (height, width) = (input.shape()[1], input.shape()[2]);
+    Tensor::from_vec(
+        &[conv.out_channels(), height, width],
+        reference::conv2d_forward(
+            input.data(),
+            conv.in_channels(),
+            height,
+            width,
+            conv.weights(),
+            conv.bias(),
+            conv.out_channels(),
+            conv.kernel(),
+        ),
+    )
+    .expect("reference conv output has the declared shape")
+}
+
+/// Forward pass of `network` through the naive scalar reference kernels of
+/// [`optima_dnn::reference`] — the "before" side of the end-to-end inference
+/// benchmarks.  Convolutions and dense layers run the original six-deep /
+/// dot-product loops; layers that were never lowered onto GEMM (pooling,
+/// activation, flatten) use their normal inference path.
+///
+/// # Panics
+///
+/// Panics on shape errors — benchmark inputs are constructed to fit.
+pub fn naive_network_forward(network: &Network, input: &Tensor) -> Tensor {
+    let mut current = input.clone();
+    for layer in network.layers() {
+        let any = layer.as_any();
+        current = if let Some(conv) = any.downcast_ref::<Conv2d>() {
+            naive_conv_forward(conv, &current)
+        } else if let Some(dense) = any.downcast_ref::<Dense>() {
+            Tensor::from_vec(
+                &[dense.outputs()],
+                reference::dense_forward(
+                    current.data(),
+                    dense.weights(),
+                    dense.bias(),
+                    dense.inputs(),
+                    dense.outputs(),
+                ),
+            )
+            .expect("reference dense output has the declared shape")
+        } else if let Some(block) = any.downcast_ref::<ResidualBlock>() {
+            let (conv1, conv2) = block.convolutions();
+            let mut branch = naive_conv_forward(conv1, &current);
+            branch.map_inplace(|v| v.max(0.0));
+            let mut branch = naive_conv_forward(conv2, &branch);
+            branch
+                .add_assign(&current)
+                .expect("residual branch keeps the input shape");
+            branch.map_inplace(|v| v.max(0.0));
+            branch
+        } else {
+            layer
+                .infer(&current)
+                .expect("benchmark inputs fit the network")
+        };
+    }
+    current
 }
 
 /// Prints a Markdown-style table row.

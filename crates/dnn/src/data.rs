@@ -128,6 +128,7 @@ impl Dataset {
     fn prototype(shape: &[usize], rng: &mut ChaCha8Rng) -> Tensor {
         let (channels, height, width) = (shape[0], shape[1], shape[2]);
         let mut tensor = Tensor::zeros(shape);
+        let pixels = tensor.data_mut();
         for c in 0..channels {
             // Sum of a few random sinusoids gives a smooth, class-specific texture.
             let fx: f32 = rng.gen_range(0.5..2.5);
@@ -135,7 +136,8 @@ impl Dataset {
             let phase_x: f32 = rng.gen_range(0.0..std::f32::consts::TAU);
             let phase_y: f32 = rng.gen_range(0.0..std::f32::consts::TAU);
             for y in 0..height {
-                for x in 0..width {
+                let row = &mut pixels[(c * height + y) * width..(c * height + y + 1) * width];
+                for (x, pixel) in row.iter_mut().enumerate() {
                     let value = 0.5
                         + 0.25
                             * ((x as f32 / width as f32 * std::f32::consts::TAU * fx + phase_x)
@@ -143,7 +145,7 @@ impl Dataset {
                                 + (y as f32 / height as f32 * std::f32::consts::TAU * fy
                                     + phase_y)
                                     .cos());
-                    *tensor.at3_mut(c, y, x) = value.clamp(0.0, 1.0);
+                    *pixel = value.clamp(0.0, 1.0);
                 }
             }
         }

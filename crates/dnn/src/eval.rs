@@ -3,12 +3,21 @@
 //! Both the FLOAT32 [`Network`] and the INT4 [`QuantizedNetwork`] implement
 //! [`InferenceModel`], so the same evaluation loop produces every column of
 //! the paper's Tables II and III.
+//!
+//! Dataset evaluation is embarrassingly parallel over images, so
+//! [`evaluate_batched`] fans the test split out over
+//! [`optima_core::sweep::par_map_sweep`] — the workspace's error-strict,
+//! deterministic parallel sweep engine — with one prediction per sweep item.
+//! Models implement the shared-reference [`BatchInferenceModel`] trait
+//! (immutable `predict`, `Sync`), which is what lets every worker thread
+//! read the same network without cloning it.
 
 use crate::data::Dataset;
 use crate::error::DnnError;
 use crate::network::Network;
 use crate::quantized::QuantizedNetwork;
 use crate::tensor::Tensor;
+use optima_core::sweep::par_map_sweep;
 use serde::{Deserialize, Serialize};
 
 /// Anything that can classify one image.
@@ -29,6 +38,29 @@ impl InferenceModel for Network {
 
 impl InferenceModel for QuantizedNetwork {
     fn predict(&mut self, image: &Tensor) -> Result<Tensor, DnnError> {
+        self.forward(image)
+    }
+}
+
+/// Anything that can classify one image through a shared reference, making
+/// it usable from several evaluation threads at once.
+pub trait BatchInferenceModel: Sync {
+    /// Produces class logits for one image without mutating the model.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape errors.
+    fn predict(&self, image: &Tensor) -> Result<Tensor, DnnError>;
+}
+
+impl BatchInferenceModel for Network {
+    fn predict(&self, image: &Tensor) -> Result<Tensor, DnnError> {
+        self.infer(image)
+    }
+}
+
+impl BatchInferenceModel for QuantizedNetwork {
+    fn predict(&self, image: &Tensor) -> Result<Tensor, DnnError> {
         self.forward(image)
     }
 }
@@ -56,7 +88,32 @@ impl EvaluationReport {
     }
 }
 
-/// Evaluates a model on the test split of `dataset`.
+/// Per-sample hit flags, reduced into an [`EvaluationReport`].
+fn score(logits: &Tensor, label: usize) -> (bool, bool) {
+    (
+        logits.argmax() == Some(label),
+        logits.top_k(5).contains(&label),
+    )
+}
+
+fn reduce(hits: impl IntoIterator<Item = (bool, bool)>) -> EvaluationReport {
+    let mut top1_hits = 0usize;
+    let mut top5_hits = 0usize;
+    let mut samples = 0usize;
+    for (top1, top5) in hits {
+        top1_hits += usize::from(top1);
+        top5_hits += usize::from(top5);
+        samples += 1;
+    }
+    let denominator = samples.max(1) as f64;
+    EvaluationReport {
+        top1: top1_hits as f64 / denominator,
+        top5: top5_hits as f64 / denominator,
+        samples,
+    }
+}
+
+/// Evaluates a model on the test split of `dataset`, one image at a time.
 ///
 /// # Errors
 ///
@@ -65,25 +122,39 @@ pub fn evaluate(
     model: &mut dyn InferenceModel,
     dataset: &Dataset,
 ) -> Result<EvaluationReport, DnnError> {
-    let mut top1_hits = 0usize;
-    let mut top5_hits = 0usize;
-    let mut samples = 0usize;
+    let mut hits = Vec::with_capacity(dataset.test_len());
     for (image, &label) in dataset.test_iter() {
-        let logits = model.predict(image)?;
-        if logits.argmax() == Some(label) {
-            top1_hits += 1;
-        }
-        if logits.top_k(5).contains(&label) {
-            top5_hits += 1;
-        }
-        samples += 1;
+        hits.push(score(&model.predict(image)?, label));
     }
-    let denominator = samples.max(1) as f64;
-    Ok(EvaluationReport {
-        top1: top1_hits as f64 / denominator,
-        top5: top5_hits as f64 / denominator,
-        samples,
+    Ok(reduce(hits))
+}
+
+/// Evaluates a model on the test split of `dataset` with a per-image
+/// parallel fan-out over [`optima_core::sweep::par_map_sweep`].
+///
+/// `threads = 0` selects the automatic thread count (the
+/// `OPTIMA_SWEEP_THREADS` environment variable, then the machine's
+/// available parallelism).  The sweep engine reassembles per-image results
+/// in dataset order and fails on the lowest failing image index, so the
+/// report is identical to [`evaluate`]'s at any thread count.
+///
+/// # Errors
+///
+/// Propagates the first (lowest-index) inference error.
+pub fn evaluate_batched(
+    model: &(impl BatchInferenceModel + ?Sized),
+    dataset: &Dataset,
+    threads: usize,
+) -> Result<EvaluationReport, DnnError> {
+    let samples: Vec<(&Tensor, usize)> = dataset
+        .test_iter()
+        .map(|(image, &label)| (image, label))
+        .collect();
+    let hits = par_map_sweep(&samples, threads, |_, &(image, label)| {
+        Ok::<_, DnnError>(score(&model.predict(image)?, label))
     })
+    .map_err(|failure| failure.source)?;
+    Ok(reduce(hits))
 }
 
 #[cfg(test)]
@@ -125,6 +196,36 @@ mod tests {
         assert!(report.top5 >= report.top1);
         assert!((report.top1_percent() - report.top1 * 100.0).abs() < 1e-9);
         assert!((report.top5_percent() - report.top5 * 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn batched_evaluation_matches_the_serial_loop_at_any_thread_count() {
+        let (mut network, dataset) = trained_setup();
+        let serial = evaluate(&mut network, &dataset).unwrap();
+        for threads in [1, 2, 3, 8] {
+            let batched = evaluate_batched(&network, &dataset, threads).unwrap();
+            assert_eq!(batched, serial, "threads = {threads}");
+        }
+        let quantized =
+            QuantizedNetwork::from_network(&network, Arc::new(ExactInt4Products)).unwrap();
+        let mut reference =
+            QuantizedNetwork::from_network(&network, Arc::new(ExactInt4Products)).unwrap();
+        assert_eq!(
+            evaluate_batched(&quantized, &dataset, 4).unwrap(),
+            evaluate(&mut reference, &dataset).unwrap()
+        );
+    }
+
+    #[test]
+    fn batched_evaluation_reports_inference_errors() {
+        let dataset = Dataset::synthetic(SyntheticImageConfig::tiny());
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        // Wrong input width: every image fails with a shape mismatch.
+        let network = Network::new(vec![
+            Box::new(Flatten::new()),
+            Box::new(Dense::new(63, 3, &mut rng)),
+        ]);
+        assert!(evaluate_batched(&network, &dataset, 2).is_err());
     }
 
     #[test]

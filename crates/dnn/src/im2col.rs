@@ -1,0 +1,207 @@
+//! im2col / col2im lowering for "same"-padded, stride-1 convolutions.
+//!
+//! [`im2col`] unrolls a `[C, H, W]` input into a patch matrix of shape
+//! `[C·K·K, H·W]` (row `(c·K + ky)·K + kx`, column `y·W + x`), so that a
+//! convolution becomes one dense GEMM `output = weights · cols` over
+//! contiguous memory — the classic lowering that replaces the six-deep
+//! scalar loop of a naive convolution.  Out-of-image taps are materialised
+//! as the caller-supplied `zero` value, which keeps the GEMM branch-free;
+//! the function is generic over the element type so the FLOAT32 (`f32`) and
+//! INT4 (`u8`) inference paths share one implementation.
+//!
+//! [`col2im_add`] is the transpose scatter used by the convolution backward
+//! pass: it accumulates a patch-matrix gradient back into image layout.
+//!
+//! Both functions copy whole `W`-row segments at a time (two slice bounds
+//! per row, not one per element).
+
+/// Unrolls `input` (`[channels, height, width]`, flat) into `cols`
+/// (`[channels·kernel², height·width]`, flat), padding with `zero`.
+///
+/// `cols` is cleared and resized; its previous contents are discarded but
+/// its allocation is reused, so a caller that keeps the buffer around pays
+/// no per-call allocation.
+///
+/// # Panics
+///
+/// Panics when `input` is shorter than `channels·height·width`.
+pub fn im2col<T: Copy>(
+    input: &[T],
+    zero: T,
+    channels: usize,
+    height: usize,
+    width: usize,
+    kernel: usize,
+    cols: &mut Vec<T>,
+) {
+    let pad = kernel / 2;
+    let hw = height * width;
+    assert!(input.len() >= channels * hw, "input buffer too short");
+    cols.clear();
+    cols.resize(channels * kernel * kernel * hw, zero);
+    for ic in 0..channels {
+        let channel = &input[ic * hw..(ic + 1) * hw];
+        for ky in 0..kernel {
+            for kx in 0..kernel {
+                let row_base = ((ic * kernel + ky) * kernel + kx) * hw;
+                // Valid output columns x satisfy 0 <= x + kx - pad < width.
+                let x_lo = (pad as isize - kx as isize).max(0) as usize;
+                let x_hi =
+                    (width as isize + pad as isize - kx as isize).clamp(0, width as isize) as usize;
+                if x_lo >= x_hi {
+                    continue;
+                }
+                let src_x = x_lo + kx - pad;
+                for y in 0..height {
+                    let iy = y as isize + ky as isize - pad as isize;
+                    if iy < 0 || iy >= height as isize {
+                        continue; // stays `zero`
+                    }
+                    let src = iy as usize * width + src_x;
+                    let dst = row_base + y * width + x_lo;
+                    cols[dst..dst + (x_hi - x_lo)]
+                        .copy_from_slice(&channel[src..src + (x_hi - x_lo)]);
+                }
+            }
+        }
+    }
+}
+
+/// Accumulates a patch-matrix gradient (`[channels·kernel², height·width]`)
+/// back into image layout (`[channels, height, width]`): the adjoint of
+/// [`im2col`].  Out-of-image taps are dropped, matching the zero padding.
+///
+/// # Panics
+///
+/// Panics when the buffers are shorter than their implied sizes.
+pub fn col2im_add(
+    cols: &[f32],
+    channels: usize,
+    height: usize,
+    width: usize,
+    kernel: usize,
+    image: &mut [f32],
+) {
+    let pad = kernel / 2;
+    let hw = height * width;
+    assert!(
+        cols.len() >= channels * kernel * kernel * hw,
+        "cols too short"
+    );
+    assert!(image.len() >= channels * hw, "image buffer too short");
+    for ic in 0..channels {
+        let channel = &mut image[ic * hw..(ic + 1) * hw];
+        for ky in 0..kernel {
+            for kx in 0..kernel {
+                let row_base = ((ic * kernel + ky) * kernel + kx) * hw;
+                let x_lo = (pad as isize - kx as isize).max(0) as usize;
+                let x_hi =
+                    (width as isize + pad as isize - kx as isize).clamp(0, width as isize) as usize;
+                if x_lo >= x_hi {
+                    continue;
+                }
+                let src_x = x_lo + kx - pad;
+                for y in 0..height {
+                    let iy = y as isize + ky as isize - pad as isize;
+                    if iy < 0 || iy >= height as isize {
+                        continue;
+                    }
+                    let dst = iy as usize * width + src_x;
+                    let src = row_base + y * width + x_lo;
+                    for (image_value, col_value) in channel[dst..dst + (x_hi - x_lo)]
+                        .iter_mut()
+                        .zip(&cols[src..src + (x_hi - x_lo)])
+                    {
+                        *image_value += col_value;
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Scalar reference: cols[(c,ky,kx),(y,x)] = input[c, y+ky-pad, x+kx-pad].
+    fn im2col_reference(
+        input: &[f32],
+        channels: usize,
+        height: usize,
+        width: usize,
+        kernel: usize,
+    ) -> Vec<f32> {
+        let pad = kernel as isize / 2;
+        let mut cols = vec![0.0; channels * kernel * kernel * height * width];
+        for ic in 0..channels {
+            for ky in 0..kernel {
+                for kx in 0..kernel {
+                    for y in 0..height {
+                        for x in 0..width {
+                            let iy = y as isize + ky as isize - pad;
+                            let ix = x as isize + kx as isize - pad;
+                            if iy < 0 || ix < 0 || iy >= height as isize || ix >= width as isize {
+                                continue;
+                            }
+                            cols[(((ic * kernel + ky) * kernel + kx) * height + y) * width + x] =
+                                input[(ic * height + iy as usize) * width + ix as usize];
+                        }
+                    }
+                }
+            }
+        }
+        cols
+    }
+
+    #[test]
+    fn im2col_matches_the_scalar_reference() {
+        for &(channels, height, width, kernel) in &[
+            (1, 1, 1, 1),
+            (1, 4, 4, 3),
+            (2, 5, 3, 3),
+            (3, 3, 3, 5),
+            (2, 2, 7, 3),
+        ] {
+            let input: Vec<f32> = (0..channels * height * width)
+                .map(|i| i as f32 + 1.0)
+                .collect();
+            let mut cols = Vec::new();
+            im2col(&input, 0.0, channels, height, width, kernel, &mut cols);
+            assert_eq!(
+                cols,
+                im2col_reference(&input, channels, height, width, kernel),
+                "c={channels} h={height} w={width} k={kernel}"
+            );
+        }
+    }
+
+    #[test]
+    fn col2im_is_the_adjoint_of_im2col() {
+        // <im2col(x), g> == <x, col2im(g)> for any x, g.
+        let (channels, height, width, kernel) = (2, 4, 3, 3);
+        let x: Vec<f32> = (0..channels * height * width)
+            .map(|i| (i as f32 * 0.37).sin())
+            .collect();
+        let g: Vec<f32> = (0..channels * kernel * kernel * height * width)
+            .map(|i| (i as f32 * 0.11).cos())
+            .collect();
+        let mut cols = Vec::new();
+        im2col(&x, 0.0, channels, height, width, kernel, &mut cols);
+        let lhs: f64 = cols.iter().zip(&g).map(|(a, b)| (a * b) as f64).sum();
+        let mut back = vec![0.0f32; channels * height * width];
+        col2im_add(&g, channels, height, width, kernel, &mut back);
+        let rhs: f64 = x.iter().zip(&back).map(|(a, b)| (a * b) as f64).sum();
+        assert!((lhs - rhs).abs() < 1e-3, "{lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn buffer_allocation_is_reused_across_calls() {
+        let input = vec![1.0f32; 9];
+        let mut cols = Vec::new();
+        im2col(&input, 0.0, 1, 3, 3, 3, &mut cols);
+        let capacity = cols.capacity();
+        im2col(&input, 0.0, 1, 3, 3, 3, &mut cols);
+        assert_eq!(cols.capacity(), capacity);
+    }
+}

@@ -1,8 +1,15 @@
 //! Fully connected (dense) layer.
+//!
+//! Forward and backward run on the [`optima_math::gemm`] kernels: the
+//! forward pass is one [`gemv`], the weight gradient one rank-1 [`ger`]
+//! update and the input gradient one [`gemv_t`] — all over contiguous
+//! slices with no per-element bounds checks.  The layer copies the forward
+//! input into a reusable flat buffer instead of cloning the tensor.
 
 use crate::error::DnnError;
 use crate::layers::Layer;
 use crate::tensor::Tensor;
+use optima_math::gemm::{gemv, gemv_t, ger};
 use rand::Rng;
 use std::any::Any;
 
@@ -16,7 +23,9 @@ pub struct Dense {
     bias: Vec<f32>,
     grad_weights: Vec<f32>,
     grad_bias: Vec<f32>,
-    cached_input: Option<Tensor>,
+    /// Flat copy of the last forward input (allocation reused across calls).
+    cached_input: Vec<f32>,
+    forward_ran: bool,
 }
 
 impl Dense {
@@ -33,7 +42,8 @@ impl Dense {
             bias: vec![0.0; outputs],
             grad_weights: vec![0.0; inputs * outputs],
             grad_bias: vec![0.0; outputs],
-            cached_input: None,
+            cached_input: Vec::new(),
+            forward_ran: false,
         }
     }
 
@@ -98,51 +108,57 @@ impl Layer for Dense {
     }
 
     fn forward(&mut self, input: &Tensor) -> Result<Tensor, DnnError> {
+        let output = self.infer(input)?;
+        self.cached_input.clear();
+        self.cached_input.extend_from_slice(input.data());
+        self.forward_ran = true;
+        Ok(output)
+    }
+
+    fn infer(&self, input: &Tensor) -> Result<Tensor, DnnError> {
         if input.len() != self.inputs {
             return Err(DnnError::ShapeMismatch {
                 expected: vec![self.inputs],
                 found: input.shape().to_vec(),
             });
         }
-        let x = input.data();
-        let mut out = vec![0.0f32; self.outputs];
-        for (o, out_value) in out.iter_mut().enumerate() {
-            let row = &self.weights[o * self.inputs..(o + 1) * self.inputs];
-            let mut acc = self.bias[o];
-            for (w, &xi) in row.iter().zip(x.iter()) {
-                acc += w * xi;
-            }
-            *out_value = acc;
-        }
-        self.cached_input = Some(input.clone());
+        let mut out = self.bias.clone();
+        gemv(
+            self.outputs,
+            self.inputs,
+            &self.weights,
+            input.data(),
+            &mut out,
+        );
         Tensor::from_vec(&[self.outputs], out)
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor, DnnError> {
-        let input = self
-            .cached_input
-            .as_ref()
-            .ok_or_else(|| DnnError::InvalidConfiguration {
+        if !self.forward_ran {
+            return Err(DnnError::InvalidConfiguration {
                 context: "dense backward called before forward".to_string(),
-            })?;
+            });
+        }
         if grad_output.len() != self.outputs {
             return Err(DnnError::ShapeMismatch {
                 expected: vec![self.outputs],
                 found: grad_output.shape().to_vec(),
             });
         }
-        let x = input.data();
         let g = grad_output.data();
-        let mut grad_input = vec![0.0f32; self.inputs];
-        for (o, &go) in g.iter().enumerate() {
-            self.grad_bias[o] += go;
-            let row = &self.weights[o * self.inputs..(o + 1) * self.inputs];
-            let grad_row = &mut self.grad_weights[o * self.inputs..(o + 1) * self.inputs];
-            for i in 0..self.inputs {
-                grad_row[i] += go * x[i];
-                grad_input[i] += go * row[i];
-            }
+        for (grad_bias, &go) in self.grad_bias.iter_mut().zip(g.iter()) {
+            *grad_bias += go;
         }
+        // ∂L/∂W += g·xᵀ, ∂L/∂x = Wᵀ·g.
+        ger(
+            self.outputs,
+            self.inputs,
+            g,
+            &self.cached_input,
+            &mut self.grad_weights,
+        );
+        let mut grad_input = vec![0.0f32; self.inputs];
+        gemv_t(self.outputs, self.inputs, &self.weights, g, &mut grad_input);
         Tensor::from_vec(&[self.inputs], grad_input)
     }
 
@@ -197,6 +213,30 @@ mod tests {
         layer.weights = vec![1.0, 0.0, -1.0, 0.5, 0.5, 0.5];
         layer.bias = vec![0.1, -0.1];
         layer
+    }
+
+    #[test]
+    fn forward_matches_the_naive_reference_over_random_sizes() {
+        let mut rng = ChaCha8Rng::seed_from_u64(42);
+        for &(inputs, outputs) in &[(1usize, 1usize), (3, 7), (16, 5), (65, 33), (128, 10)] {
+            let mut layer = Dense::new(inputs, outputs, &mut rng);
+            layer
+                .bias
+                .iter_mut()
+                .for_each(|b| *b = rng.gen::<f32>() - 0.5);
+            let x: Vec<f32> = (0..inputs).map(|_| rng.gen::<f32>() * 2.0 - 1.0).collect();
+            let input = Tensor::from_slice(&x);
+            let fast = layer.forward(&input).unwrap();
+            let naive =
+                crate::reference::dense_forward(&x, &layer.weights, &layer.bias, inputs, outputs);
+            for (i, (&a, &b)) in fast.data().iter().zip(naive.iter()).enumerate() {
+                assert!(
+                    (a - b).abs() <= 1e-4,
+                    "{inputs}->{outputs} element {i}: {a} vs {b}"
+                );
+            }
+            assert_eq!(layer.infer(&input).unwrap(), fast);
+        }
     }
 
     #[test]

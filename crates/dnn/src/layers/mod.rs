@@ -24,7 +24,16 @@ use std::any::Any;
 /// The `forward`/`backward` pair follows the usual reverse-mode convention:
 /// `backward` receives `∂L/∂output` and returns `∂L/∂input`, accumulating
 /// `∂L/∂parameters` internally until [`Layer::apply_gradients`] is called.
-pub trait Layer: std::fmt::Debug + Send {
+///
+/// [`Network`](crate::network::Network) threads tensors through the layer
+/// stack *by value* via [`Layer::forward_owned`]/[`Layer::backward_owned`],
+/// so shape-preserving layers (ReLU, flatten) can work in place instead of
+/// allocating; the borrowing `forward`/`backward` remain the methods a layer
+/// must implement.  [`Layer::infer`] is the immutable inference path used by
+/// the parallel dataset evaluator: it computes the same output as `forward`
+/// without touching any cached state, which is what makes a `Network`
+/// shareable across evaluation threads.
+pub trait Layer: std::fmt::Debug + Send + Sync {
     /// Short human-readable layer name.
     fn name(&self) -> &'static str;
 
@@ -35,6 +44,23 @@ pub trait Layer: std::fmt::Debug + Send {
     /// Returns [`DnnError::ShapeMismatch`] for inputs of the wrong shape.
     fn forward(&mut self, input: &Tensor) -> Result<Tensor, DnnError>;
 
+    /// Like [`Layer::forward`], but consumes the input tensor so in-place
+    /// layers can reuse its buffer.  The default delegates to `forward`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DnnError::ShapeMismatch`] for inputs of the wrong shape.
+    fn forward_owned(&mut self, input: Tensor) -> Result<Tensor, DnnError> {
+        self.forward(&input)
+    }
+
+    /// Computes the layer output without mutating any cached state.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DnnError::ShapeMismatch`] for inputs of the wrong shape.
+    fn infer(&self, input: &Tensor) -> Result<Tensor, DnnError>;
+
     /// Propagates the output gradient back to the input, accumulating
     /// parameter gradients.
     ///
@@ -42,6 +68,17 @@ pub trait Layer: std::fmt::Debug + Send {
     ///
     /// Returns [`DnnError::InvalidConfiguration`] when called before `forward`.
     fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor, DnnError>;
+
+    /// Like [`Layer::backward`], but consumes the gradient tensor so
+    /// in-place layers can reuse its buffer.  The default delegates to
+    /// `backward`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DnnError::InvalidConfiguration`] when called before `forward`.
+    fn backward_owned(&mut self, grad_output: Tensor) -> Result<Tensor, DnnError> {
+        self.backward(&grad_output)
+    }
 
     /// Applies the accumulated gradients with a plain SGD step and clears them.
     fn apply_gradients(&mut self, _learning_rate: f32) {}
@@ -90,7 +127,19 @@ impl Layer for Relu {
     }
 
     fn forward(&mut self, input: &Tensor) -> Result<Tensor, DnnError> {
-        self.mask = input.data().iter().map(|&v| v > 0.0).collect();
+        self.mask.clear();
+        self.mask.extend(input.data().iter().map(|&v| v > 0.0));
+        Ok(input.map(|v| v.max(0.0)))
+    }
+
+    fn forward_owned(&mut self, mut input: Tensor) -> Result<Tensor, DnnError> {
+        self.mask.clear();
+        self.mask.extend(input.data().iter().map(|&v| v > 0.0));
+        input.map_inplace(|v| v.max(0.0));
+        Ok(input)
+    }
+
+    fn infer(&self, input: &Tensor) -> Result<Tensor, DnnError> {
         Ok(input.map(|v| v.max(0.0)))
     }
 
@@ -107,6 +156,20 @@ impl Layer for Relu {
             .map(|(&g, &m)| if m { g } else { 0.0 })
             .collect();
         Tensor::from_vec(grad_output.shape(), data)
+    }
+
+    fn backward_owned(&mut self, mut grad_output: Tensor) -> Result<Tensor, DnnError> {
+        if self.mask.len() != grad_output.len() {
+            return Err(DnnError::InvalidConfiguration {
+                context: "relu backward called before forward".to_string(),
+            });
+        }
+        for (g, &m) in grad_output.data_mut().iter_mut().zip(self.mask.iter()) {
+            if !m {
+                *g = 0.0;
+            }
+        }
+        Ok(grad_output)
     }
 
     fn output_shape(&self, input_shape: &[usize]) -> Result<Vec<usize>, DnnError> {
@@ -141,6 +204,17 @@ impl Layer for Flatten {
         input.reshaped(&[input.len()])
     }
 
+    fn forward_owned(&mut self, mut input: Tensor) -> Result<Tensor, DnnError> {
+        self.input_shape.clear();
+        self.input_shape.extend_from_slice(input.shape());
+        input.reshape_in_place(&[input.len()])?;
+        Ok(input)
+    }
+
+    fn infer(&self, input: &Tensor) -> Result<Tensor, DnnError> {
+        input.reshaped(&[input.len()])
+    }
+
     fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor, DnnError> {
         if self.input_shape.is_empty() {
             return Err(DnnError::InvalidConfiguration {
@@ -148,6 +222,16 @@ impl Layer for Flatten {
             });
         }
         grad_output.reshaped(&self.input_shape)
+    }
+
+    fn backward_owned(&mut self, mut grad_output: Tensor) -> Result<Tensor, DnnError> {
+        if self.input_shape.is_empty() {
+            return Err(DnnError::InvalidConfiguration {
+                context: "flatten backward called before forward".to_string(),
+            });
+        }
+        grad_output.reshape_in_place(&self.input_shape)?;
+        Ok(grad_output)
     }
 
     fn output_shape(&self, input_shape: &[usize]) -> Result<Vec<usize>, DnnError> {

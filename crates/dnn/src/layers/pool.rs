@@ -22,45 +22,64 @@ impl MaxPool2d {
     }
 }
 
+/// One shared window scan for `forward` and `infer`: validates the shape
+/// once, then indexes the flat slice directly (no per-element `at3` shape
+/// asserts), reporting each window's maximum and its flat input index to
+/// `record` so `forward` and `infer` cannot drift apart — not even in their
+/// NaN tie-breaking.
+fn max_pool_scan(input: &Tensor, mut record: impl FnMut(usize, f32)) -> Result<Tensor, DnnError> {
+    let shape = input.shape();
+    if shape.len() != 3 || shape[1] < 2 || shape[2] < 2 {
+        return Err(DnnError::ShapeMismatch {
+            expected: vec![0, 2, 2],
+            found: shape.to_vec(),
+        });
+    }
+    let (channels, height, width) = (shape[0], shape[1], shape[2]);
+    let (out_h, out_w) = (height / 2, width / 2);
+    let data = input.data();
+    let mut output = vec![0.0f32; channels * out_h * out_w];
+    for c in 0..channels {
+        for y in 0..out_h {
+            let top = (c * height + 2 * y) * width;
+            let bottom = top + width;
+            let out_row = (c * out_h + y) * out_w;
+            for x in 0..out_w {
+                let candidates = [
+                    (top + 2 * x, data[top + 2 * x]),
+                    (top + 2 * x + 1, data[top + 2 * x + 1]),
+                    (bottom + 2 * x, data[bottom + 2 * x]),
+                    (bottom + 2 * x + 1, data[bottom + 2 * x + 1]),
+                ];
+                let mut best = (0usize, f32::NEG_INFINITY);
+                for &(index, value) in &candidates {
+                    if value > best.1 {
+                        best = (index, value);
+                    }
+                }
+                output[out_row + x] = best.1;
+                record(best.0, best.1);
+            }
+        }
+    }
+    Tensor::from_vec(&[channels, out_h, out_w], output)
+}
+
 impl Layer for MaxPool2d {
     fn name(&self) -> &'static str {
         "maxpool2d"
     }
 
     fn forward(&mut self, input: &Tensor) -> Result<Tensor, DnnError> {
-        let shape = input.shape();
-        if shape.len() != 3 || shape[1] < 2 || shape[2] < 2 {
-            return Err(DnnError::ShapeMismatch {
-                expected: vec![0, 2, 2],
-                found: shape.to_vec(),
-            });
-        }
-        let (channels, height, width) = (shape[0], shape[1], shape[2]);
-        let (out_h, out_w) = (height / 2, width / 2);
-        let mut output = Tensor::zeros(&[channels, out_h, out_w]);
-        self.argmax = vec![0; channels * out_h * out_w];
-        for c in 0..channels {
-            for y in 0..out_h {
-                for x in 0..out_w {
-                    let mut best = f32::NEG_INFINITY;
-                    let mut best_index = 0;
-                    for dy in 0..2 {
-                        for dx in 0..2 {
-                            let (iy, ix) = (2 * y + dy, 2 * x + dx);
-                            let value = input.at3(c, iy, ix);
-                            if value > best {
-                                best = value;
-                                best_index = (c * height + iy) * width + ix;
-                            }
-                        }
-                    }
-                    *output.at3_mut(c, y, x) = best;
-                    self.argmax[(c * out_h + y) * out_w + x] = best_index;
-                }
-            }
-        }
-        self.input_shape = shape.to_vec();
+        self.argmax.clear();
+        let argmax = &mut self.argmax;
+        let output = max_pool_scan(input, |index, _| argmax.push(index))?;
+        self.input_shape = input.shape().to_vec();
         Ok(output)
+    }
+
+    fn infer(&self, input: &Tensor) -> Result<Tensor, DnnError> {
+        max_pool_scan(input, |_, _| {})
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor, DnnError> {
@@ -110,6 +129,13 @@ impl Layer for GlobalAvgPool {
     }
 
     fn forward(&mut self, input: &Tensor) -> Result<Tensor, DnnError> {
+        let output = self.infer(input)?;
+        self.input_shape = input.shape().to_vec();
+        Ok(output)
+    }
+
+    fn infer(&self, input: &Tensor) -> Result<Tensor, DnnError> {
+        // Validate the shape once, then average contiguous channel slices.
         let shape = input.shape();
         if shape.len() != 3 {
             return Err(DnnError::ShapeMismatch {
@@ -118,18 +144,12 @@ impl Layer for GlobalAvgPool {
             });
         }
         let (channels, height, width) = (shape[0], shape[1], shape[2]);
-        let spatial = (height * width) as f32;
-        let mut out = vec![0.0f32; channels];
-        for (c, out_value) in out.iter_mut().enumerate() {
-            let mut acc = 0.0;
-            for y in 0..height {
-                for x in 0..width {
-                    acc += input.at3(c, y, x);
-                }
-            }
-            *out_value = acc / spatial;
-        }
-        self.input_shape = shape.to_vec();
+        let spatial = height * width;
+        let out = input
+            .data()
+            .chunks_exact(spatial.max(1))
+            .map(|channel| channel.iter().sum::<f32>() / spatial as f32)
+            .collect::<Vec<f32>>();
         Tensor::from_vec(&[channels], out)
     }
 
@@ -139,20 +159,21 @@ impl Layer for GlobalAvgPool {
                 context: "global average pool backward called before forward".to_string(),
             });
         }
-        let (channels, height, width) = (
-            self.input_shape[0],
-            self.input_shape[1],
-            self.input_shape[2],
-        );
-        let spatial = (height * width) as f32;
+        if grad_output.len() != self.input_shape[0] {
+            return Err(DnnError::ShapeMismatch {
+                expected: vec![self.input_shape[0]],
+                found: grad_output.shape().to_vec(),
+            });
+        }
+        let (height, width) = (self.input_shape[1], self.input_shape[2]);
+        let spatial = height * width;
         let mut grad_input = Tensor::zeros(&self.input_shape);
-        for c in 0..channels {
-            let g = grad_output.data()[c] / spatial;
-            for y in 0..height {
-                for x in 0..width {
-                    *grad_input.at3_mut(c, y, x) = g;
-                }
-            }
+        for (channel, &g) in grad_input
+            .data_mut()
+            .chunks_exact_mut(spatial.max(1))
+            .zip(grad_output.data().iter())
+        {
+            channel.fill(g / spatial as f32);
         }
         Ok(grad_input)
     }

@@ -18,7 +18,7 @@ pub struct ResidualBlock {
     relu1: Relu,
     conv2: Conv2d,
     relu_out: Relu,
-    cached_input: Option<Tensor>,
+    forward_ran: bool,
 }
 
 impl ResidualBlock {
@@ -29,7 +29,7 @@ impl ResidualBlock {
             relu1: Relu::new(),
             conv2: Conv2d::new(channels, channels, kernel, rng),
             relu_out: Relu::new(),
-            cached_input: None,
+            forward_ran: false,
         }
     }
 
@@ -45,16 +45,27 @@ impl Layer for ResidualBlock {
     }
 
     fn forward(&mut self, input: &Tensor) -> Result<Tensor, DnnError> {
+        // The branch tensors are threaded through by value (in-place ReLU,
+        // accumulating skip add); the input is never cloned.
         let branch = self.conv1.forward(input)?;
-        let branch = self.relu1.forward(&branch)?;
-        let branch = self.conv2.forward(&branch)?;
-        let sum = branch.add(input)?;
-        self.cached_input = Some(input.clone());
-        self.relu_out.forward(&sum)
+        let branch = self.relu1.forward_owned(branch)?;
+        let mut branch = self.conv2.forward(&branch)?;
+        branch.add_assign(input)?;
+        self.forward_ran = true;
+        self.relu_out.forward_owned(branch)
+    }
+
+    fn infer(&self, input: &Tensor) -> Result<Tensor, DnnError> {
+        let mut branch = self.conv1.infer(input)?;
+        branch.map_inplace(|v| v.max(0.0));
+        let mut branch = self.conv2.infer(&branch)?;
+        branch.add_assign(input)?;
+        branch.map_inplace(|v| v.max(0.0));
+        Ok(branch)
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor, DnnError> {
-        if self.cached_input.is_none() {
+        if !self.forward_ran {
             return Err(DnnError::InvalidConfiguration {
                 context: "residual backward called before forward".to_string(),
             });
@@ -62,9 +73,10 @@ impl Layer for ResidualBlock {
         let grad_sum = self.relu_out.backward(grad_output)?;
         // The sum node fans the gradient out to the branch and the skip path.
         let grad_branch = self.conv2.backward(&grad_sum)?;
-        let grad_branch = self.relu1.backward(&grad_branch)?;
-        let grad_branch = self.conv1.backward(&grad_branch)?;
-        grad_branch.add(&grad_sum)
+        let grad_branch = self.relu1.backward_owned(grad_branch)?;
+        let mut grad_input = self.conv1.backward(&grad_branch)?;
+        grad_input.add_assign(&grad_sum)?;
+        Ok(grad_input)
     }
 
     fn apply_gradients(&mut self, learning_rate: f32) {

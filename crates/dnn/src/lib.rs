@@ -7,8 +7,12 @@
 //! complete pipeline from scratch at a reduced scale (see DESIGN.md):
 //!
 //! * [`tensor`] — a small NCHW tensor type,
+//! * [`im2col`] — the patch-matrix lowering that turns convolutions into
+//!   dense GEMMs over [`optima_math::gemm`],
 //! * [`layers`] — convolution, dense, pooling, activation and residual layers
 //!   with forward and backward passes,
+//! * [`reference`] — the naive scalar kernels kept as equivalence-test and
+//!   benchmark baselines,
 //! * [`network`] — sequential networks, training state and SGD,
 //! * [`training`] — cross-entropy loss and a simple trainer,
 //! * [`data`] — procedurally generated image-classification datasets
@@ -18,7 +22,8 @@
 //! * [`multiplier`] — pluggable 4-bit product providers: exact INT4 or the
 //!   in-SRAM multiplier tables produced by `optima-imc`,
 //! * [`quantized`] — the quantized inference engine that consumes them,
-//! * [`eval`] — top-1/top-5 accuracy and multiplication counting,
+//! * [`eval`] — top-1/top-5 accuracy, serial and parallel (per-image
+//!   fan-out over `optima_core::sweep`) dataset evaluation,
 //! * [`transfer`] — transfer learning (classifier-head replacement) used for
 //!   the CIFAR-10 experiment.
 //!
@@ -32,12 +37,14 @@
 pub mod data;
 pub mod error;
 pub mod eval;
+pub mod im2col;
 pub mod layers;
 pub mod models;
 pub mod multiplier;
 pub mod network;
 pub mod quantization;
 pub mod quantized;
+pub mod reference;
 pub mod tensor;
 pub mod training;
 pub mod transfer;
@@ -49,7 +56,9 @@ pub use tensor::Tensor;
 pub mod prelude {
     pub use crate::data::{Dataset, SyntheticImageConfig};
     pub use crate::error::DnnError;
-    pub use crate::eval::{evaluate, EvaluationReport};
+    pub use crate::eval::{
+        evaluate, evaluate_batched, BatchInferenceModel, EvaluationReport, InferenceModel,
+    };
     pub use crate::layers::Layer;
     pub use crate::models::{resnet_style, vgg_style, ModelKind};
     pub use crate::multiplier::{

@@ -21,6 +21,18 @@ pub trait ProductTable: Send + Sync {
 
     /// Short human-readable name (used in experiment tables).
     fn name(&self) -> String;
+
+    /// Whether [`ProductTable::product`] is a pure function of its operands,
+    /// allowing the quantized inference engine to snapshot all 256 products
+    /// into a flat lookup table once and never call `product` again.
+    ///
+    /// Defaults to `true`.  Stateful decorators whose `product` has side
+    /// effects — e.g. [`CountingProducts`] — return `false`, which routes
+    /// inference through the per-product dynamic-dispatch reference path so
+    /// every multiplication is still observed.
+    fn supports_snapshot(&self) -> bool {
+        true
+    }
 }
 
 impl fmt::Debug for dyn ProductTable {
@@ -111,6 +123,11 @@ impl ProductTable for CountingProducts {
 
     fn name(&self) -> String {
         self.inner.name()
+    }
+
+    fn supports_snapshot(&self) -> bool {
+        // Snapshotting would bypass the counter: force per-product dispatch.
+        false
     }
 }
 

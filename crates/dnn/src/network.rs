@@ -56,26 +56,65 @@ impl Network {
 
     /// Runs a forward pass through every layer.
     ///
+    /// The first layer borrows `input`; after that the activation tensor is
+    /// threaded through the stack *by value*, so shape-preserving layers
+    /// (ReLU, flatten) run in place and no layer ever clones a tensor.  The
+    /// zero-clone property is pinned by a regression test against
+    /// [`crate::tensor::clone_count`].
+    ///
     /// # Errors
     ///
     /// Propagates layer shape errors.
     pub fn forward(&mut self, input: &Tensor) -> Result<Tensor, DnnError> {
-        let mut current = input.clone();
-        for layer in &mut self.layers {
-            current = layer.forward(&current)?;
+        let mut layers = self.layers.iter_mut();
+        let mut current = match layers.next() {
+            Some(first) => first.forward(input)?,
+            None => return Ok(input.clone()),
+        };
+        for layer in layers {
+            current = layer.forward_owned(current)?;
+        }
+        Ok(current)
+    }
+
+    /// Runs an inference-only forward pass without mutating any layer state.
+    ///
+    /// Unlike [`Network::forward`] this takes `&self`, which is what allows
+    /// one network to be shared across the threads of the batched dataset
+    /// evaluator ([`crate::eval::evaluate_batched`]).  No backward pass is
+    /// possible afterwards because nothing is cached.
+    ///
+    /// # Errors
+    ///
+    /// Propagates layer shape errors.
+    pub fn infer(&self, input: &Tensor) -> Result<Tensor, DnnError> {
+        let mut layers = self.layers.iter();
+        let mut current = match layers.next() {
+            Some(first) => first.infer(input)?,
+            None => return Ok(input.clone()),
+        };
+        for layer in layers {
+            current = layer.infer(&current)?;
         }
         Ok(current)
     }
 
     /// Runs a backward pass (after a forward pass) and accumulates gradients.
     ///
+    /// Like [`Network::forward`], the gradient tensor is threaded through by
+    /// value so in-place layers avoid allocating.
+    ///
     /// # Errors
     ///
     /// Propagates layer errors (e.g. backward before forward).
     pub fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor, DnnError> {
-        let mut grad = grad_output.clone();
-        for layer in self.layers.iter_mut().rev() {
-            grad = layer.backward(&grad)?;
+        let mut layers = self.layers.iter_mut().rev();
+        let mut grad = match layers.next() {
+            Some(last) => last.backward(grad_output)?,
+            None => return Ok(grad_output.clone()),
+        };
+        for layer in layers {
+            grad = layer.backward_owned(grad)?;
         }
         Ok(grad)
     }
@@ -183,5 +222,55 @@ mod tests {
         let mut net = tiny_cnn();
         assert!(net.forward(&Tensor::zeros(&[2, 4, 4])).is_err());
         assert!(net.multiplications(&[2, 4, 4]).is_err());
+    }
+
+    #[test]
+    fn infer_matches_forward_and_leaves_no_backward_state() {
+        let mut net = tiny_cnn();
+        let input =
+            Tensor::from_vec(&[1, 4, 4], (0..16).map(|i| i as f32 * 0.07).collect()).unwrap();
+        let inferred = net.infer(&input).unwrap();
+        let forwarded = net.forward(&input).unwrap();
+        assert_eq!(inferred, forwarded);
+        // infer must not enable a backward pass on a fresh network.
+        let mut fresh = tiny_cnn();
+        let _ = fresh.infer(&input).unwrap();
+        assert!(fresh.backward(&Tensor::zeros(&[3])).is_err());
+    }
+
+    #[test]
+    fn forward_and_backward_perform_zero_tensor_clones() {
+        use crate::layers::{GlobalAvgPool, ResidualBlock};
+        use crate::tensor::clone_count;
+        let mut rng = ChaCha8Rng::seed_from_u64(13);
+        // One of every layer kind, so the audit covers the whole zoo.
+        let mut net = Network::new(vec![
+            Box::new(Conv2d::new(1, 4, 3, &mut rng)),
+            Box::new(Relu::new()),
+            Box::new(MaxPool2d::new()),
+            Box::new(ResidualBlock::new(4, 3, &mut rng)),
+            Box::new(GlobalAvgPool::new()),
+            Box::new(Flatten::new()),
+            Box::new(Dense::new(4, 3, &mut rng)),
+        ]);
+        let input = Tensor::from_vec(
+            &[1, 8, 8],
+            (0..64).map(|i| (i as f32 * 0.11).sin()).collect(),
+        )
+        .unwrap();
+        // Warm up scratch buffers, then measure a full training step.
+        let out = net.forward(&input).unwrap();
+        let grad = Tensor::from_vec(out.shape(), vec![1.0; out.len()]).unwrap();
+        net.backward(&grad).unwrap();
+
+        let before = clone_count();
+        let out = net.forward(&input).unwrap();
+        let grad = Tensor::from_vec(out.shape(), vec![1.0; out.len()]).unwrap();
+        net.backward(&grad).unwrap();
+        assert_eq!(
+            clone_count(),
+            before,
+            "forward/backward must perform zero intermediate Tensor clones"
+        );
     }
 }

@@ -6,14 +6,55 @@
 //! [`ProductTable`] — either the exact INT4 baseline or one of the in-SRAM
 //! multiplier corners.  This is the inference path used for the paper's
 //! Tables II and III.
+//!
+//! # Execution strategy
+//!
+//! When the product table is pure ([`ProductTable::supports_snapshot`]),
+//! construction snapshots all 256 signed products into a flat lookup table
+//! once, and inference accumulates integer products over contiguous im2col
+//! patches — one array index per product instead of one virtual call, with
+//! convolutions lowered through the same [`crate::im2col`] unrolling as the
+//! FLOAT32 path.  Stateful tables (e.g.
+//! [`crate::multiplier::CountingProducts`]) opt out of the snapshot and run
+//! the original per-product dynamic-dispatch loop instead.  Both paths
+//! accumulate in the integer domain, so their outputs are **bit-identical**
+//! — pinned by the equivalence tests.
 
 use crate::error::DnnError;
+use crate::im2col::im2col;
 use crate::layers::{Conv2d, Dense, Flatten, GlobalAvgPool, Layer, MaxPool2d, Relu, ResidualBlock};
 use crate::multiplier::ProductTable;
 use crate::network::Network;
 use crate::quantization::{quantize_activations, quantize_weights, QuantizationParams};
 use crate::tensor::Tensor;
 use std::sync::Arc;
+
+/// Entries of the flattened signed-product table: 16 weight codes × 16
+/// activation codes.
+const LUT_SIZE: usize = 256;
+
+/// Signed products of one weight code against all 16 activation magnitudes,
+/// flattened per weight so the inner inference loop reads a contiguous
+/// 16-entry sub-table.
+///
+/// Index layout: `lut[code * 16 + activation]` with `code = weight + 8`
+/// (weights span −7…7).  Entries where either operand is zero are zero,
+/// matching the reference path's skip-zero semantics even for non-ideal
+/// tables whose hardware would produce a nonzero "product" with zero.
+fn snapshot_products(products: &dyn ProductTable) -> Box<[i32; LUT_SIZE]> {
+    let mut lut = Box::new([0i32; LUT_SIZE]);
+    for weight in -7i8..=7 {
+        let code = (weight + 8) as usize;
+        if weight == 0 {
+            continue;
+        }
+        for activation in 1u8..=15 {
+            let magnitude = products.product(activation, weight.unsigned_abs());
+            lut[code * 16 + activation as usize] = weight.signum() as i32 * magnitude as i32;
+        }
+    }
+    lut
+}
 
 /// Quantized convolution parameters.
 #[derive(Debug, Clone)]
@@ -23,6 +64,8 @@ struct QConv {
     kernel: usize,
     /// Signed INT4 weights in `[out_c, in_c, k, k]` order.
     weights: Vec<i8>,
+    /// The same weights as LUT codes (`weight + 8`), precomputed once.
+    codes: Vec<u8>,
     weight_params: QuantizationParams,
     bias: Vec<f32>,
 }
@@ -33,8 +76,14 @@ struct QDense {
     inputs: usize,
     outputs: usize,
     weights: Vec<i8>,
+    /// The same weights as LUT codes (`weight + 8`), precomputed once.
+    codes: Vec<u8>,
     weight_params: QuantizationParams,
     bias: Vec<f32>,
+}
+
+fn weight_codes(weights: &[i8]) -> Vec<u8> {
+    weights.iter().map(|&w| (w + 8) as u8).collect()
 }
 
 /// One layer of the quantized network.
@@ -54,6 +103,9 @@ enum QLayer {
 pub struct QuantizedNetwork {
     layers: Vec<QLayer>,
     products: Arc<dyn ProductTable>,
+    /// Flat signed-product table; `None` when the product table is stateful
+    /// and must be consulted per product (see [`ProductTable::supports_snapshot`]).
+    lut: Option<Box<[i32; LUT_SIZE]>>,
 }
 
 impl QuantizedNetwork {
@@ -71,7 +123,14 @@ impl QuantizedNetwork {
         for layer in network.layers() {
             layers.push(Self::convert_layer(layer.as_ref())?);
         }
-        Ok(QuantizedNetwork { layers, products })
+        let lut = products
+            .supports_snapshot()
+            .then(|| snapshot_products(products.as_ref()));
+        Ok(QuantizedNetwork {
+            layers,
+            products,
+            lut,
+        })
     }
 
     fn convert_layer(layer: &dyn Layer) -> Result<QLayer, DnnError> {
@@ -81,10 +140,12 @@ impl QuantizedNetwork {
         }
         if let Some(dense) = any.downcast_ref::<Dense>() {
             let (weights, weight_params) = quantize_weights(dense.weights());
+            let codes = weight_codes(&weights);
             return Ok(QLayer::Dense(QDense {
                 inputs: dense.inputs(),
                 outputs: dense.outputs(),
                 weights,
+                codes,
                 weight_params,
                 bias: dense.bias().to_vec(),
             }));
@@ -115,11 +176,13 @@ impl QuantizedNetwork {
 
     fn convert_conv(conv: &Conv2d) -> QConv {
         let (weights, weight_params) = quantize_weights(conv.weights());
+        let codes = weight_codes(&weights);
         QConv {
             in_channels: conv.in_channels(),
             out_channels: conv.out_channels(),
             kernel: conv.kernel(),
             weights,
+            codes,
             weight_params,
             bias: conv.bias().to_vec(),
         }
@@ -128,6 +191,12 @@ impl QuantizedNetwork {
     /// The product table in use.
     pub fn products(&self) -> &Arc<dyn ProductTable> {
         &self.products
+    }
+
+    /// Whether inference runs on the flattened 256-entry product LUT
+    /// (`true`) or on the per-product dynamic-dispatch reference path.
+    pub fn uses_snapshot(&self) -> bool {
+        self.lut.is_some()
     }
 
     /// Number of layers.
@@ -146,8 +215,12 @@ impl QuantizedNetwork {
     ///
     /// Propagates shape errors.
     pub fn forward(&self, input: &Tensor) -> Result<Tensor, DnnError> {
-        let mut current = input.clone();
-        for layer in &self.layers {
+        let mut layers = self.layers.iter();
+        let mut current = match layers.next() {
+            Some(first) => self.forward_layer(first, input)?,
+            None => return Ok(input.clone()),
+        };
+        for layer in layers {
             current = self.forward_layer(layer, &current)?;
         }
         Ok(current)
@@ -158,26 +231,21 @@ impl QuantizedNetwork {
             QLayer::Conv(conv) => self.forward_conv(conv, input),
             QLayer::Dense(dense) => self.forward_dense(dense, input),
             QLayer::Residual { conv1, conv2 } => {
-                let branch = self.forward_conv(conv1, input)?;
-                let branch = branch.map(|v| v.max(0.0));
-                let branch = self.forward_conv(conv2, &branch)?;
-                let sum = branch.add(input)?;
-                Ok(sum.map(|v| v.max(0.0)))
+                let mut branch = self.forward_conv(conv1, input)?;
+                branch.map_inplace(|v| v.max(0.0));
+                let mut branch = self.forward_conv(conv2, &branch)?;
+                branch.add_assign(input)?;
+                branch.map_inplace(|v| v.max(0.0));
+                Ok(branch)
             }
             QLayer::Relu => Ok(input.map(|v| v.max(0.0))),
-            QLayer::MaxPool => {
-                let mut pool = MaxPool2d::new();
-                pool.forward(input)
-            }
-            QLayer::GlobalAvgPool => {
-                let mut pool = GlobalAvgPool::new();
-                pool.forward(input)
-            }
+            QLayer::MaxPool => MaxPool2d::new().infer(input),
+            QLayer::GlobalAvgPool => GlobalAvgPool::new().infer(input),
             QLayer::Flatten => input.reshaped(&[input.len()]),
         }
     }
 
-    fn forward_conv(&self, conv: &QConv, input: &Tensor) -> Result<Tensor, DnnError> {
+    fn check_conv_input(conv: &QConv, input: &Tensor) -> Result<(usize, usize), DnnError> {
         let shape = input.shape();
         if shape.len() != 3 || shape[0] != conv.in_channels {
             return Err(DnnError::ShapeMismatch {
@@ -185,12 +253,116 @@ impl QuantizedNetwork {
                 found: shape.to_vec(),
             });
         }
-        let (height, width) = (shape[1], shape[2]);
+        Ok((shape[1], shape[2]))
+    }
+
+    fn forward_conv(&self, conv: &QConv, input: &Tensor) -> Result<Tensor, DnnError> {
+        match &self.lut {
+            Some(lut) => Self::forward_conv_lut(conv, input, lut),
+            None => self.forward_conv_reference(conv, input),
+        }
+    }
+
+    fn forward_dense(&self, dense: &QDense, input: &Tensor) -> Result<Tensor, DnnError> {
+        match &self.lut {
+            Some(lut) => Self::forward_dense_lut(dense, input, lut),
+            None => self.forward_dense_reference(dense, input),
+        }
+    }
+
+    /// LUT fast path: integer accumulation over contiguous im2col patches.
+    ///
+    /// The quantized activations are unrolled into a `[in_c·k², h·w]` patch
+    /// matrix; for every output channel the inner loop streams one patch row
+    /// and one output row while indexing the weight's contiguous 16-entry
+    /// LUT sub-table — no branches, no virtual calls.  Integer addition is
+    /// associative, so the result is bit-identical to the reference path.
+    fn forward_conv_lut(
+        conv: &QConv,
+        input: &Tensor,
+        lut: &[i32; LUT_SIZE],
+    ) -> Result<Tensor, DnnError> {
+        let (height, width) = Self::check_conv_input(conv, input)?;
+        let (activations, activation_params) = quantize_activations(input.data());
+        let scale = conv.weight_params.scale * activation_params.scale;
+        let hw = height * width;
+        let patch = conv.in_channels * conv.kernel * conv.kernel;
+
+        let mut cols: Vec<u8> = Vec::new();
+        im2col(
+            &activations,
+            0u8,
+            conv.in_channels,
+            height,
+            width,
+            conv.kernel,
+            &mut cols,
+        );
+
+        let mut output = vec![0.0f32; conv.out_channels * hw];
+        let mut accumulator = vec![0i64; hw];
+        for oc in 0..conv.out_channels {
+            accumulator.iter_mut().for_each(|acc| *acc = 0);
+            let codes = &conv.codes[oc * patch..(oc + 1) * patch];
+            for (row, &code) in codes.iter().enumerate() {
+                if code == 8 {
+                    continue; // zero weight: contributes nothing
+                }
+                let sub = &lut[code as usize * 16..code as usize * 16 + 16];
+                let col_row = &cols[row * hw..(row + 1) * hw];
+                for (acc, &activation) in accumulator.iter_mut().zip(col_row.iter()) {
+                    *acc += sub[activation as usize] as i64;
+                }
+            }
+            let bias = conv.bias[oc];
+            for (out, &acc) in output[oc * hw..(oc + 1) * hw]
+                .iter_mut()
+                .zip(accumulator.iter())
+            {
+                *out = acc as f32 * scale + bias;
+            }
+        }
+        Tensor::from_vec(&[conv.out_channels, height, width], output)
+    }
+
+    /// LUT fast path for dense layers: one contiguous weight-code row per
+    /// output against the quantized input vector.
+    fn forward_dense_lut(
+        dense: &QDense,
+        input: &Tensor,
+        lut: &[i32; LUT_SIZE],
+    ) -> Result<Tensor, DnnError> {
+        if input.len() != dense.inputs {
+            return Err(DnnError::ShapeMismatch {
+                expected: vec![dense.inputs],
+                found: input.shape().to_vec(),
+            });
+        }
+        let (activations, activation_params) = quantize_activations(input.data());
+        let scale = dense.weight_params.scale * activation_params.scale;
+        let mut output = vec![0.0f32; dense.outputs];
+        for (o, out_value) in output.iter_mut().enumerate() {
+            let codes = &dense.codes[o * dense.inputs..(o + 1) * dense.inputs];
+            let mut accumulator: i64 = 0;
+            for (&code, &activation) in codes.iter().zip(activations.iter()) {
+                accumulator += lut[code as usize * 16 + activation as usize] as i64;
+            }
+            *out_value = accumulator as f32 * scale + dense.bias[o];
+        }
+        Tensor::from_vec(&[dense.outputs], output)
+    }
+
+    /// Reference path: one [`ProductTable::product`] virtual call per
+    /// nonzero product pair.  Used when the table is stateful (e.g. counting
+    /// multiplications) and by the equivalence tests as ground truth.
+    fn forward_conv_reference(&self, conv: &QConv, input: &Tensor) -> Result<Tensor, DnnError> {
+        let (height, width) = Self::check_conv_input(conv, input)?;
         let (activations, activation_params) = quantize_activations(input.data());
         let pad = conv.kernel / 2;
         let k = conv.kernel;
         let scale = conv.weight_params.scale * activation_params.scale;
         let mut output = Tensor::zeros(&[conv.out_channels, height, width]);
+        let out = output.data_mut();
 
         for oc in 0..conv.out_channels {
             for y in 0..height {
@@ -221,14 +393,15 @@ impl QuantizedNetwork {
                             }
                         }
                     }
-                    *output.at3_mut(oc, y, x) = accumulator as f32 * scale + conv.bias[oc];
+                    out[(oc * height + y) * width + x] = accumulator as f32 * scale + conv.bias[oc];
                 }
             }
         }
         Ok(output)
     }
 
-    fn forward_dense(&self, dense: &QDense, input: &Tensor) -> Result<Tensor, DnnError> {
+    /// Reference dense path (see [`Self::forward_conv_reference`]).
+    fn forward_dense_reference(&self, dense: &QDense, input: &Tensor) -> Result<Tensor, DnnError> {
         if input.len() != dense.inputs {
             return Err(DnnError::ShapeMismatch {
                 expected: vec![dense.inputs],
@@ -262,7 +435,7 @@ mod tests {
     use crate::multiplier::{CountingProducts, ExactInt4Products, InMemoryProducts};
     use crate::training::{Trainer, TrainingConfig};
     use optima_imc::multiplier::MultiplierTable;
-    use rand::SeedableRng;
+    use rand::{Rng, SeedableRng};
     use rand_chacha::ChaCha8Rng;
 
     fn small_cnn(classes: usize) -> Network {
@@ -292,6 +465,7 @@ mod tests {
             QuantizedNetwork::from_network(&network, Arc::new(ExactInt4Products)).unwrap();
         assert_eq!(quantized.len(), network.len());
         assert!(!quantized.is_empty());
+        assert!(quantized.uses_snapshot());
 
         // On most samples the INT4 prediction should match the FLOAT32 one.
         let mut agreement = 0usize;
@@ -308,6 +482,37 @@ mod tests {
             agreement * 10 >= total * 7,
             "only {agreement}/{total} predictions agree after quantization"
         );
+    }
+
+    #[test]
+    fn lut_path_is_bit_identical_to_the_dyn_dispatch_reference() {
+        // Wrapping in CountingProducts disables the snapshot, so the same
+        // table runs once through the LUT and once through the per-product
+        // virtual-call loop; integer accumulation makes them bit-identical.
+        let network = small_cnn(3);
+        let table = MultiplierTable::exact();
+        let fast = QuantizedNetwork::from_network(
+            &network,
+            Arc::new(InMemoryProducts::new(table.clone(), "exact")),
+        )
+        .unwrap();
+        let reference = QuantizedNetwork::from_network(
+            &network,
+            Arc::new(CountingProducts::new(Arc::new(InMemoryProducts::new(
+                table, "exact",
+            )))),
+        )
+        .unwrap();
+        assert!(fast.uses_snapshot());
+        assert!(!reference.uses_snapshot());
+        for seed in 0..5u64 {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            let image =
+                Tensor::from_vec(&[1, 8, 8], (0..64).map(|_| rng.gen::<f32>()).collect()).unwrap();
+            let fast_out = fast.forward(&image).unwrap();
+            let reference_out = reference.forward(&image).unwrap();
+            assert_eq!(fast_out, reference_out, "seed {seed}");
+        }
     }
 
     #[test]
@@ -333,6 +538,10 @@ mod tests {
         let network = small_cnn(3);
         let counting = Arc::new(CountingProducts::new(Arc::new(ExactInt4Products)));
         let quantized = QuantizedNetwork::from_network(&network, counting.clone()).unwrap();
+        assert!(
+            !quantized.uses_snapshot(),
+            "a counting table must not be snapshotted away"
+        );
         let image = Tensor::from_vec(&[1, 8, 8], vec![0.5; 64]).unwrap();
         let _ = quantized.forward(&image).unwrap();
         let upper_bound = network.multiplications(&[1, 8, 8]).unwrap();

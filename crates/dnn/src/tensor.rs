@@ -7,6 +7,24 @@
 
 use crate::error::DnnError;
 use serde::{Deserialize, Serialize};
+use std::cell::Cell;
+
+thread_local! {
+    /// Per-thread count of [`Tensor::clone`] calls (see [`clone_count`]).
+    static CLONE_COUNT: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Number of `Tensor::clone` calls performed by the *current thread* so far.
+///
+/// Instrumentation hook for the zero-copy regression tests: the inference
+/// and training hot paths are required to perform **no** intermediate tensor
+/// clones, and the tests pin that down by comparing this counter before and
+/// after a forward/backward pass.  The counter is thread-local so parallel
+/// test threads cannot perturb each other's measurement; the increment is a
+/// plain cell bump — nothing next to the buffer copy the clone itself does.
+pub fn clone_count() -> u64 {
+    CLONE_COUNT.with(Cell::get)
+}
 
 /// A dense `f32` tensor with an explicit shape.
 ///
@@ -19,10 +37,20 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(t.len(), 6);
 /// assert_eq!(t.shape(), &[2, 3]);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, PartialEq, Serialize, Deserialize)]
 pub struct Tensor {
     shape: Vec<usize>,
     data: Vec<f32>,
+}
+
+impl Clone for Tensor {
+    fn clone(&self) -> Self {
+        CLONE_COUNT.with(|count| count.set(count.get() + 1));
+        Tensor {
+            shape: self.shape.clone(),
+            data: self.data.clone(),
+        }
+    }
 }
 
 impl Tensor {
@@ -106,6 +134,25 @@ impl Tensor {
         })
     }
 
+    /// Reinterprets the tensor in place with a new shape of equal element
+    /// count (no data movement).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DnnError::ShapeMismatch`] when the element counts differ.
+    pub fn reshape_in_place(&mut self, shape: &[usize]) -> Result<(), DnnError> {
+        let expected: usize = shape.iter().product();
+        if expected != self.data.len() {
+            return Err(DnnError::ShapeMismatch {
+                expected: shape.to_vec(),
+                found: self.shape.clone(),
+            });
+        }
+        self.shape.clear();
+        self.shape.extend_from_slice(shape);
+        Ok(())
+    }
+
     /// Value at `[c, y, x]` of a 3-D tensor.
     ///
     /// # Panics
@@ -148,14 +195,24 @@ impl Tensor {
     }
 
     /// Indices of the `k` largest elements, in descending order of value.
+    ///
+    /// Runs in `O(n + k log k)` via a selection partition instead of a full
+    /// sort, and orders by [`f32::total_cmp`] (ties broken by ascending
+    /// index), so the result is deterministic even in the presence of NaNs
+    /// — consistent with the workspace-wide `total_cmp` ordering policy.
     pub fn top_k(&self, k: usize) -> Vec<usize> {
         let mut indices: Vec<usize> = (0..self.data.len()).collect();
-        indices.sort_by(|&a, &b| {
-            self.data[b]
-                .partial_cmp(&self.data[a])
-                .unwrap_or(std::cmp::Ordering::Equal)
-        });
-        indices.truncate(k);
+        let k = k.min(indices.len());
+        if k == 0 {
+            return Vec::new();
+        }
+        let descending =
+            |&a: &usize, &b: &usize| self.data[b].total_cmp(&self.data[a]).then(a.cmp(&b));
+        if k < indices.len() {
+            indices.select_nth_unstable_by(k - 1, descending);
+            indices.truncate(k);
+        }
+        indices.sort_unstable_by(descending);
         indices
     }
 
@@ -189,6 +246,31 @@ impl Tensor {
             shape: self.shape.clone(),
             data: self.data.iter().map(|&v| f(v)).collect(),
         }
+    }
+
+    /// Applies a function to every element in place (no allocation).
+    pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32) {
+        for value in &mut self.data {
+            *value = f(*value);
+        }
+    }
+
+    /// Elementwise in-place sum with another tensor of identical shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DnnError::ShapeMismatch`] when shapes differ.
+    pub fn add_assign(&mut self, other: &Tensor) -> Result<(), DnnError> {
+        if self.shape != other.shape {
+            return Err(DnnError::ShapeMismatch {
+                expected: self.shape.clone(),
+                found: other.shape.clone(),
+            });
+        }
+        for (a, b) in self.data.iter_mut().zip(other.data.iter()) {
+            *a += b;
+        }
+        Ok(())
     }
 }
 
@@ -239,5 +321,45 @@ mod tests {
         assert!(a.add(&Tensor::zeros(&[3])).is_err());
         assert_eq!(a.map(|v| v * 2.0).data(), &[2.0, 4.0]);
         assert_eq!(b.max_abs(), 4.0);
+    }
+
+    #[test]
+    fn in_place_operations_match_their_allocating_twins() {
+        let mut a = Tensor::from_slice(&[1.0, -2.0, 3.0]);
+        let b = Tensor::from_slice(&[0.5, 0.5, 0.5]);
+        a.add_assign(&b).unwrap();
+        assert_eq!(a.data(), &[1.5, -1.5, 3.5]);
+        assert!(a.add_assign(&Tensor::zeros(&[2])).is_err());
+        a.map_inplace(|v| v.max(0.0));
+        assert_eq!(a.data(), &[1.5, 0.0, 3.5]);
+        a.reshape_in_place(&[3, 1]).unwrap();
+        assert_eq!(a.shape(), &[3, 1]);
+        assert!(a.reshape_in_place(&[4]).is_err());
+    }
+
+    #[test]
+    fn top_k_matches_a_full_sort_and_handles_edge_cases() {
+        let t = Tensor::from_slice(&[0.3, 0.9, 0.1, 0.9, -0.5, 0.7]);
+        // Descending by value, ties broken by ascending index.
+        assert_eq!(t.top_k(4), vec![1, 3, 5, 0]);
+        assert_eq!(t.top_k(0), Vec::<usize>::new());
+        assert_eq!(t.top_k(100), vec![1, 3, 5, 0, 2, 4]);
+    }
+
+    #[test]
+    fn top_k_is_deterministic_under_nan() {
+        // total_cmp sorts NaN above all finite values, so a NaN logit is
+        // selected deterministically rather than shuffling the order.
+        let t = Tensor::from_slice(&[0.2, f32::NAN, 0.8, 0.5]);
+        assert_eq!(t.top_k(2), vec![1, 2]);
+        assert_eq!(t.top_k(2), t.top_k(2));
+    }
+
+    #[test]
+    fn clone_count_increments_per_clone() {
+        let t = Tensor::zeros(&[4]);
+        let before = clone_count();
+        let _copy = t.clone();
+        assert_eq!(clone_count(), before + 1);
     }
 }

@@ -1,0 +1,362 @@
+//! Cache-blocked `f32` matrix kernels for the DNN inference hot path.
+//!
+//! The `optima_dnn` crate lowers its convolution (via im2col) and dense
+//! layers onto the small set of BLAS-like primitives in this module:
+//!
+//! * [`gemm`] — `C += A·B`   (the workhorse behind im2col convolution),
+//! * [`gemm_nt`] — `C += A·Bᵀ` (weight gradients),
+//! * [`gemm_tn`] — `C += Aᵀ·B` (input gradients),
+//! * [`gemv`] / [`gemv_t`] — matrix-vector products (dense layers),
+//! * [`ger`] — rank-1 update `A += x·yᵀ` (dense weight gradients).
+//!
+//! All matrices are dense, row-major `f32` slices.  The kernels are written
+//! so that every inner loop runs over *contiguous* sub-slices with the
+//! bounds checks hoisted out (one slice split per row, not one per element),
+//! which lets the compiler keep the loops branch-free and auto-vectorized.
+//! [`gemm`] and [`gemm_tn`] additionally block over the reduction dimension
+//! so that the active panel of `B` stays cache-resident; [`gemm_nt`]
+//! computes dot products of contiguous rows with a four-way unrolled
+//! accumulator.
+//!
+//! The kernels accumulate into `C`/`y` (callers zero- or bias-initialise the
+//! output first), which is exactly the shape the layer code needs and avoids
+//! a separate clearing pass.
+//!
+//! # Example
+//!
+//! ```rust
+//! use optima_math::gemm::gemm;
+//!
+//! // [1 2] [5 6]   [19 22]
+//! // [3 4]·[7 8] = [43 50]
+//! let a = [1.0, 2.0, 3.0, 4.0];
+//! let b = [5.0, 6.0, 7.0, 8.0];
+//! let mut c = [0.0f32; 4];
+//! gemm(2, 2, 2, &a, &b, &mut c);
+//! assert_eq!(c, [19.0, 22.0, 43.0, 50.0]);
+//! ```
+
+/// Rows of `A` processed per outer block; keeps the written `C` panel small.
+const BLOCK_M: usize = 64;
+/// Reduction-depth slice per block; keeps the active `B` panel in L1/L2.
+const BLOCK_K: usize = 256;
+
+#[inline]
+fn check_dims(what: &str, rows: usize, cols: usize, len: usize) {
+    assert_eq!(
+        len,
+        rows * cols,
+        "{what} buffer holds {len} elements, expected {rows}x{cols}"
+    );
+}
+
+/// `y += alpha * x` over equal-length slices (the vectorized inner loop of
+/// the `NN`/`TN` kernels).
+#[inline]
+fn axpy(alpha: f32, x: &[f32], y: &mut [f32]) {
+    for (yi, xi) in y.iter_mut().zip(x.iter()) {
+        *yi += alpha * xi;
+    }
+}
+
+/// Dot product with four independent accumulators (the inner loop of the
+/// `NT` kernel); the unroll breaks the serial dependency chain so the
+/// compiler can keep several FMAs in flight.
+#[inline]
+fn dot(x: &[f32], y: &[f32]) -> f32 {
+    let n = x.len().min(y.len());
+    let (x, y) = (&x[..n], &y[..n]);
+    let mut acc = [0.0f32; 4];
+    let mut chunks_x = x.chunks_exact(4);
+    let mut chunks_y = y.chunks_exact(4);
+    for (cx, cy) in chunks_x.by_ref().zip(chunks_y.by_ref()) {
+        acc[0] += cx[0] * cy[0];
+        acc[1] += cx[1] * cy[1];
+        acc[2] += cx[2] * cy[2];
+        acc[3] += cx[3] * cy[3];
+    }
+    let mut tail = 0.0f32;
+    for (xi, yi) in chunks_x.remainder().iter().zip(chunks_y.remainder()) {
+        tail += xi * yi;
+    }
+    (acc[0] + acc[1]) + (acc[2] + acc[3]) + tail
+}
+
+/// `C += A·B` for row-major `A [m×k]`, `B [k×n]`, `C [m×n]`.
+///
+/// Blocked over `m` and `k`; the inner loop is an [`axpy`] over contiguous
+/// rows of `B` and `C`, so no per-element bounds checks survive.
+///
+/// # Panics
+///
+/// Panics when a slice length does not match its `rows × cols` dimensions.
+pub fn gemm(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    check_dims("A", m, k, a.len());
+    check_dims("B", k, n, b.len());
+    check_dims("C", m, n, c.len());
+    if m == 0 || k == 0 || n == 0 {
+        return;
+    }
+    for i0 in (0..m).step_by(BLOCK_M) {
+        let i1 = (i0 + BLOCK_M).min(m);
+        for k0 in (0..k).step_by(BLOCK_K) {
+            let k1 = (k0 + BLOCK_K).min(k);
+            for i in i0..i1 {
+                let a_row = &a[i * k..i * k + k];
+                let c_row = &mut c[i * n..(i + 1) * n];
+                for kk in k0..k1 {
+                    axpy(a_row[kk], &b[kk * n..kk * n + n], c_row);
+                }
+            }
+        }
+    }
+}
+
+/// `C += A·Bᵀ` for row-major `A [m×k]`, `B [n×k]`, `C [m×n]`.
+///
+/// Both operands are traversed along their contiguous rows; each output
+/// element is one unrolled [`dot`] product.
+///
+/// # Panics
+///
+/// Panics when a slice length does not match its `rows × cols` dimensions.
+pub fn gemm_nt(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    check_dims("A", m, k, a.len());
+    check_dims("B", n, k, b.len());
+    check_dims("C", m, n, c.len());
+    if m == 0 || k == 0 || n == 0 {
+        return;
+    }
+    for i in 0..m {
+        let a_row = &a[i * k..i * k + k];
+        let c_row = &mut c[i * n..(i + 1) * n];
+        for (j, c_ij) in c_row.iter_mut().enumerate() {
+            *c_ij += dot(a_row, &b[j * k..j * k + k]);
+        }
+    }
+}
+
+/// `C += Aᵀ·B` for row-major `A [k×m]`, `B [k×n]`, `C [m×n]`.
+///
+/// Iterates the reduction dimension outermost so `A` and `B` are both read
+/// along contiguous rows; the inner loop is an [`axpy`] into rows of `C`.
+///
+/// # Panics
+///
+/// Panics when a slice length does not match its `rows × cols` dimensions.
+pub fn gemm_tn(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    check_dims("A", k, m, a.len());
+    check_dims("B", k, n, b.len());
+    check_dims("C", m, n, c.len());
+    if m == 0 || k == 0 || n == 0 {
+        return;
+    }
+    for i0 in (0..m).step_by(BLOCK_M) {
+        let i1 = (i0 + BLOCK_M).min(m);
+        for kk in 0..k {
+            let a_row = &a[kk * m..kk * m + m];
+            let b_row = &b[kk * n..kk * n + n];
+            for i in i0..i1 {
+                axpy(a_row[i], b_row, &mut c[i * n..(i + 1) * n]);
+            }
+        }
+    }
+}
+
+/// `y += A·x` for row-major `A [m×k]`, `x [k]`, `y [m]`.
+///
+/// One unrolled [`dot`] product per output element.
+///
+/// # Panics
+///
+/// Panics when the slice lengths do not match the dimensions.
+pub fn gemv(m: usize, k: usize, a: &[f32], x: &[f32], y: &mut [f32]) {
+    check_dims("A", m, k, a.len());
+    assert_eq!(x.len(), k, "x length {} != {k}", x.len());
+    assert_eq!(y.len(), m, "y length {} != {m}", y.len());
+    for (i, y_i) in y.iter_mut().enumerate() {
+        *y_i += dot(&a[i * k..i * k + k], x);
+    }
+}
+
+/// `y += Aᵀ·x` for row-major `A [m×k]`, `x [m]`, `y [k]`.
+///
+/// Traverses `A` along its contiguous rows, accumulating [`axpy`] updates.
+///
+/// # Panics
+///
+/// Panics when the slice lengths do not match the dimensions.
+pub fn gemv_t(m: usize, k: usize, a: &[f32], x: &[f32], y: &mut [f32]) {
+    check_dims("A", m, k, a.len());
+    assert_eq!(x.len(), m, "x length {} != {m}", x.len());
+    assert_eq!(y.len(), k, "y length {} != {k}", y.len());
+    for (i, &x_i) in x.iter().enumerate() {
+        axpy(x_i, &a[i * k..i * k + k], y);
+    }
+}
+
+/// Rank-1 update `A += x·yᵀ` for row-major `A [m×n]`, `x [m]`, `y [n]`.
+///
+/// # Panics
+///
+/// Panics when the slice lengths do not match the dimensions.
+pub fn ger(m: usize, n: usize, x: &[f32], y: &[f32], a: &mut [f32]) {
+    check_dims("A", m, n, a.len());
+    assert_eq!(x.len(), m, "x length {} != {m}", x.len());
+    assert_eq!(y.len(), n, "y length {} != {n}", y.len());
+    for (i, &x_i) in x.iter().enumerate() {
+        axpy(x_i, y, &mut a[i * n..(i + 1) * n]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_gemm(m: usize, k: usize, n: usize, a: &[f32], b: &[f32]) -> Vec<f32> {
+        let mut c = vec![0.0f32; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0.0f64;
+                for kk in 0..k {
+                    acc += a[i * k + kk] as f64 * b[kk * n + j] as f64;
+                }
+                c[i * n + j] = acc as f32;
+            }
+        }
+        c
+    }
+
+    /// Deterministic pseudo-random fill (SplitMix64-based, no rand dep).
+    fn fill(seed: u64, len: usize) -> Vec<f32> {
+        let mut state = seed;
+        (0..len)
+            .map(|_| {
+                state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = state;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^= z >> 31;
+                (z as f32 / u64::MAX as f32) * 2.0 - 1.0
+            })
+            .collect()
+    }
+
+    fn assert_close(actual: &[f32], expected: &[f32], tolerance: f32) {
+        assert_eq!(actual.len(), expected.len());
+        for (i, (&a, &e)) in actual.iter().zip(expected.iter()).enumerate() {
+            assert!(
+                (a - e).abs() <= tolerance * e.abs().max(1.0),
+                "element {i}: {a} vs {e}"
+            );
+        }
+    }
+
+    #[test]
+    fn gemm_matches_naive_over_random_shapes() {
+        for (case, &(m, k, n)) in [
+            (1, 1, 1),
+            (2, 3, 4),
+            (5, 1, 7),
+            (17, 33, 9),
+            (64, 65, 66),
+            (70, 300, 31),
+        ]
+        .iter()
+        .enumerate()
+        {
+            let a = fill(case as u64 + 1, m * k);
+            let b = fill(case as u64 + 100, k * n);
+            let mut c = vec![0.0f32; m * n];
+            gemm(m, k, n, &a, &b, &mut c);
+            assert_close(&c, &naive_gemm(m, k, n, &a, &b), 1e-4);
+        }
+    }
+
+    #[test]
+    fn gemm_accumulates_into_c() {
+        let a = [1.0, 0.0, 0.0, 1.0];
+        let b = [2.0, 3.0, 4.0, 5.0];
+        let mut c = [10.0, 10.0, 10.0, 10.0];
+        gemm(2, 2, 2, &a, &b, &mut c);
+        assert_eq!(c, [12.0, 13.0, 14.0, 15.0]);
+    }
+
+    #[test]
+    fn transposed_variants_match_explicit_transposes() {
+        let (m, k, n) = (13, 29, 11);
+        let a = fill(7, m * k);
+        let b = fill(8, k * n);
+        let expected = naive_gemm(m, k, n, &a, &b);
+
+        // A·Bᵀ with B stored transposed [n×k].
+        let mut b_t = vec![0.0f32; n * k];
+        for kk in 0..k {
+            for j in 0..n {
+                b_t[j * k + kk] = b[kk * n + j];
+            }
+        }
+        let mut c = vec![0.0f32; m * n];
+        gemm_nt(m, k, n, &a, &b_t, &mut c);
+        assert_close(&c, &expected, 1e-4);
+
+        // Aᵀ·B with A stored transposed [k×m].
+        let mut a_t = vec![0.0f32; k * m];
+        for i in 0..m {
+            for kk in 0..k {
+                a_t[kk * m + i] = a[i * k + kk];
+            }
+        }
+        let mut c = vec![0.0f32; m * n];
+        gemm_tn(m, k, n, &a_t, &b, &mut c);
+        assert_close(&c, &expected, 1e-4);
+    }
+
+    #[test]
+    fn gemv_variants_match_gemm_with_one_column() {
+        let (m, k) = (23, 57);
+        let a = fill(3, m * k);
+        let x = fill(4, k);
+        let expected = naive_gemm(m, k, 1, &a, &x);
+        let mut y = vec![0.0f32; m];
+        gemv(m, k, &a, &x, &mut y);
+        assert_close(&y, &expected, 1e-4);
+
+        let x_m = fill(5, m);
+        let mut a_t = vec![0.0f32; k * m];
+        for i in 0..m {
+            for kk in 0..k {
+                a_t[kk * m + i] = a[i * k + kk];
+            }
+        }
+        let expected_t = naive_gemm(k, m, 1, &a_t, &x_m);
+        let mut y_t = vec![0.0f32; k];
+        gemv_t(m, k, &a, &x_m, &mut y_t);
+        assert_close(&y_t, &expected_t, 1e-4);
+    }
+
+    #[test]
+    fn ger_is_an_outer_product_update() {
+        let x = [1.0, 2.0];
+        let y = [3.0, 4.0, 5.0];
+        let mut a = vec![1.0f32; 6];
+        ger(2, 3, &x, &y, &mut a);
+        assert_eq!(a, vec![4.0, 5.0, 6.0, 7.0, 9.0, 11.0]);
+    }
+
+    #[test]
+    fn empty_dimensions_are_no_ops() {
+        let mut c: Vec<f32> = Vec::new();
+        gemm(0, 5, 0, &[], &fill(1, 0), &mut c);
+        let mut c = vec![3.0f32; 4];
+        gemm(2, 0, 2, &[], &[], &mut c);
+        assert_eq!(c, vec![3.0; 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "expected")]
+    fn dimension_mismatch_panics() {
+        let mut c = vec![0.0f32; 4];
+        gemm(2, 2, 2, &[1.0, 2.0, 3.0], &[0.0; 4], &mut c);
+    }
+}

@@ -8,6 +8,8 @@
 //!
 //! * [`polynomial`] — dense univariate polynomials with Horner evaluation,
 //!   arithmetic, differentiation and integration.
+//! * [`gemm`] — cache-blocked `f32` GEMM/GEMV kernels backing the DNN
+//!   inference hot path in `optima_dnn`.
 //! * [`linalg`] — small dense matrices/vectors, LU and Householder-QR
 //!   factorisations, linear solvers.
 //! * [`lsq`] — linear least-squares fitting, univariate polynomial fits and
@@ -43,6 +45,7 @@
 
 pub mod distributions;
 pub mod error;
+pub mod gemm;
 pub mod interp;
 pub mod linalg;
 pub mod lsq;

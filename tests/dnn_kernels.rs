@@ -1,0 +1,193 @@
+//! Equivalence suite for the DNN inference hot path: the im2col + GEMM and
+//! flat-LUT kernels must reproduce the naive scalar reference kernels —
+//! within 1e-4 for FLOAT32, bit-identically for the integer-accumulating
+//! quantized path — over randomly drawn channel/kernel/size combinations.
+
+use optima_suite::optima_dnn::eval::{evaluate, evaluate_batched};
+use optima_suite::optima_dnn::layers::{Conv2d, Dense, Flatten, Layer, MaxPool2d, Relu};
+use optima_suite::optima_dnn::multiplier::{CountingProducts, ExactInt4Products, ProductTable};
+use optima_suite::optima_dnn::network::Network;
+use optima_suite::optima_dnn::prelude::{Dataset, SyntheticImageConfig};
+use optima_suite::optima_dnn::quantized::QuantizedNetwork;
+use optima_suite::optima_dnn::reference;
+use optima_suite::optima_dnn::Tensor;
+use optima_suite::optima_math::gemm::gemm;
+use proptest::prelude::*;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::sync::Arc;
+
+fn random_tensor(shape: &[usize], rng: &mut ChaCha8Rng) -> Tensor {
+    Tensor::from_vec(
+        shape,
+        (0..shape.iter().product::<usize>())
+            .map(|_| rng.gen::<f32>() * 2.0 - 1.0)
+            .collect(),
+    )
+    .unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Conv2d's im2col + GEMM forward matches the naive six-deep loop
+    /// within 1e-4 over random channel/kernel/size combinations.
+    #[test]
+    fn conv_forward_matches_the_naive_reference(
+        in_channels in 1usize..4,
+        out_channels in 1usize..5,
+        kernel_index in 0usize..3,
+        height in 1usize..10,
+        width in 1usize..10,
+        seed in 0u64..1_000,
+    ) {
+        let kernel = [1usize, 3, 5][kernel_index];
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let conv = Conv2d::new(in_channels, out_channels, kernel, &mut rng);
+        let input = random_tensor(&[in_channels, height, width], &mut rng);
+        let fast = conv.infer(&input).unwrap();
+        let naive = reference::conv2d_forward(
+            input.data(),
+            in_channels,
+            height,
+            width,
+            conv.weights(),
+            conv.bias(),
+            out_channels,
+            kernel,
+        );
+        for (index, (&a, &b)) in fast.data().iter().zip(naive.iter()).enumerate() {
+            prop_assert!(
+                (a - b).abs() <= 1e-4,
+                "element {index}: optimized {a} vs reference {b}"
+            );
+        }
+    }
+
+    /// Dense's GEMV forward matches the naive dot-product loop within 1e-4.
+    #[test]
+    fn dense_forward_matches_the_naive_reference(
+        inputs in 1usize..200,
+        outputs in 1usize..40,
+        seed in 0u64..1_000,
+    ) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let dense = Dense::new(inputs, outputs, &mut rng);
+        let input = random_tensor(&[inputs], &mut rng);
+        let fast = dense.infer(&input).unwrap();
+        let naive = reference::dense_forward(
+            input.data(),
+            dense.weights(),
+            dense.bias(),
+            inputs,
+            outputs,
+        );
+        for (index, (&a, &b)) in fast.data().iter().zip(naive.iter()).enumerate() {
+            prop_assert!(
+                (a - b).abs() <= 1e-4,
+                "element {index}: optimized {a} vs reference {b}"
+            );
+        }
+    }
+
+    /// The blocked GEMM matches a naive triple loop within 1e-4.
+    #[test]
+    fn gemm_matches_a_naive_triple_loop(
+        m in 1usize..40,
+        k in 1usize..60,
+        n in 1usize..40,
+        seed in 0u64..1_000,
+    ) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let a: Vec<f32> = (0..m * k).map(|_| rng.gen::<f32>() - 0.5).collect();
+        let b: Vec<f32> = (0..k * n).map(|_| rng.gen::<f32>() - 0.5).collect();
+        let mut c = vec![0.0f32; m * n];
+        gemm(m, k, n, &a, &b, &mut c);
+        for i in 0..m {
+            for j in 0..n {
+                let expected: f32 = (0..k).map(|kk| a[i * k + kk] * b[kk * n + j]).sum();
+                prop_assert!(
+                    (c[i * n + j] - expected).abs() <= 1e-4,
+                    "C[{i},{j}]: {} vs {expected}",
+                    c[i * n + j]
+                );
+            }
+        }
+    }
+
+    /// The quantized LUT path is bit-identical to the per-product
+    /// dynamic-dispatch reference on whole-network forwards.
+    #[test]
+    fn quantized_lut_is_bit_identical_to_dyn_dispatch(
+        image_seed in 0u64..1_000,
+    ) {
+        let mut rng = ChaCha8Rng::seed_from_u64(21);
+        let network = Network::new(vec![
+            Box::new(Conv2d::new(1, 4, 3, &mut rng)),
+            Box::new(Relu::new()),
+            Box::new(MaxPool2d::new()),
+            Box::new(Flatten::new()),
+            Box::new(Dense::new(4 * 4 * 4, 3, &mut rng)),
+        ]);
+        let lut = QuantizedNetwork::from_network(&network, Arc::new(ExactInt4Products)).unwrap();
+        // CountingProducts declines the snapshot, forcing per-product calls.
+        let reference = QuantizedNetwork::from_network(
+            &network,
+            Arc::new(CountingProducts::new(Arc::new(ExactInt4Products))),
+        )
+        .unwrap();
+        prop_assert!(lut.uses_snapshot());
+        prop_assert!(!reference.uses_snapshot());
+        let mut rng = ChaCha8Rng::seed_from_u64(image_seed);
+        let image = Tensor::from_vec(
+            &[1, 8, 8],
+            (0..64).map(|_| rng.gen::<f32>()).collect(),
+        )
+        .unwrap();
+        prop_assert_eq!(lut.forward(&image).unwrap(), reference.forward(&image).unwrap());
+    }
+}
+
+#[test]
+fn snapshot_covers_every_product_pair() {
+    // A table that records which (a, |w|) pairs were probed during the
+    // snapshot: all 15 × 7 nonzero combinations must be covered.
+    #[derive(Debug)]
+    struct Probing(std::sync::Mutex<std::collections::HashSet<(u8, u8)>>);
+    impl ProductTable for Probing {
+        fn product(&self, a: u8, b: u8) -> u16 {
+            self.0.lock().unwrap().insert((a, b));
+            a as u16 * b as u16
+        }
+        fn name(&self) -> String {
+            "probing".to_string()
+        }
+    }
+    let mut rng = ChaCha8Rng::seed_from_u64(1);
+    let network = Network::new(vec![Box::new(Dense::new(4, 2, &mut rng)) as Box<dyn Layer>]);
+    let probing = Arc::new(Probing(std::sync::Mutex::new(Default::default())));
+    let _ = QuantizedNetwork::from_network(&network, probing.clone()).unwrap();
+    let seen = probing.0.lock().unwrap();
+    assert_eq!(seen.len(), 15 * 7, "snapshot must probe all nonzero pairs");
+    assert!(!seen.iter().any(|&(a, b)| a == 0 || b == 0));
+}
+
+#[test]
+fn batched_evaluation_is_deterministic_across_thread_counts() {
+    let dataset = Dataset::synthetic(SyntheticImageConfig::tiny());
+    let mut rng = ChaCha8Rng::seed_from_u64(5);
+    let mut network = Network::new(vec![
+        Box::new(Conv2d::new(1, 2, 3, &mut rng)) as Box<dyn Layer>,
+        Box::new(Relu::new()),
+        Box::new(Flatten::new()),
+        Box::new(Dense::new(2 * 8 * 8, 3, &mut rng)),
+    ]);
+    let serial = evaluate(&mut network, &dataset).unwrap();
+    for threads in [1, 2, 5, 16] {
+        assert_eq!(
+            evaluate_batched(&network, &dataset, threads).unwrap(),
+            serial,
+            "threads = {threads}"
+        );
+    }
+}
