@@ -1,0 +1,116 @@
+//! Criterion benches for the batched analog evaluation layer: multiplier
+//! table construction and PVT corner sweeps, scalar per-pair path vs. the
+//! batched analog-grid path (which is bit-identical by construction — see
+//! the property tests in `tests/properties.rs`).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use optima_bench::quick_mode;
+use optima_core::model::discharge::DischargeModel;
+use optima_core::model::energy::{DischargeEnergyModel, WriteEnergyModel};
+use optima_core::model::mismatch::MismatchSigmaModel;
+use optima_core::model::suite::ModelSuite;
+use optima_core::model::supply::SupplyModel;
+use optima_core::model::temperature::TemperatureModel;
+use optima_imc::metrics::{evaluate_multiplier_at, evaluate_multiplier_at_scalar};
+use optima_imc::multiplier::{InSramMultiplier, MultiplierConfig, MultiplierTable, OperatingPoint};
+use optima_math::units::{Celsius, Seconds, Volts};
+use optima_math::Polynomial;
+use std::hint::black_box;
+
+/// Timed iterations per benchmark; `OPTIMA_QUICK=1` (CI) uses fewer.
+fn samples() -> usize {
+    if quick_mode() {
+        5
+    } else {
+        20
+    }
+}
+
+/// A PVT-sensitive analytic suite (no calibration needed, so the bench
+/// isolates the evaluation path itself).
+fn suite() -> ModelSuite {
+    ModelSuite::new(
+        DischargeModel::new(
+            Volts(1.0),
+            Volts(0.45),
+            Polynomial::new(vec![0.0, -0.25, 0.02, -0.003]),
+            Polynomial::new(vec![0.0, 1.0, -0.05]),
+            (0.0, 3.0),
+            (0.0, 1.1),
+        ),
+        SupplyModel::new(Volts(1.0), Polynomial::new(vec![1.0, 0.6]), (0.9, 1.1)),
+        TemperatureModel::new(Celsius(25.0), Polynomial::new(vec![1e-4]), (-40.0, 125.0)),
+        MismatchSigmaModel::new(
+            Polynomial::new(vec![0.0, 1.5e-3]),
+            Polynomial::new(vec![0.0, 1.0]),
+        ),
+        WriteEnergyModel::new(
+            Polynomial::new(vec![0.0, 0.0, 11.0]),
+            Polynomial::new(vec![1.0, 4e-4]),
+        ),
+        DischargeEnergyModel::new(
+            Polynomial::new(vec![0.0, 1.0]),
+            Polynomial::new(vec![0.0, 45.0]),
+            Polynomial::new(vec![1.0, 3e-4]),
+        ),
+    )
+}
+
+fn multiplier() -> InSramMultiplier {
+    InSramMultiplier::new(
+        suite(),
+        MultiplierConfig::new(Seconds(0.16e-9), Volts(0.45), Volts(1.0)),
+    )
+    .expect("configuration is valid")
+}
+
+fn bench_table_build(c: &mut Criterion) {
+    let multiplier = multiplier();
+    let at = multiplier.nominal_operating_point();
+
+    let mut group = c.benchmark_group("multiplier_table_build");
+    group.sample_size(samples());
+    group.bench_function("scalar_per_pair", |b| {
+        b.iter(|| MultiplierTable::from_multiplier_scalar(black_box(&multiplier), at).unwrap())
+    });
+    group.bench_function("batched_analog_grid", |b| {
+        b.iter(|| MultiplierTable::from_multiplier(black_box(&multiplier), at).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_corner_sweep(c: &mut Criterion) {
+    let multiplier = multiplier();
+    // A small PVT corner sweep: 3 supplies × 3 temperatures, full 16×16
+    // input space per corner (the Fig. 8 inner loop shape).
+    let corners: Vec<OperatingPoint> = [0.95, 1.0, 1.05]
+        .iter()
+        .flat_map(|&vdd| {
+            [0.0, 25.0, 60.0].iter().map(move |&t| OperatingPoint {
+                vdd: Volts(vdd),
+                temperature: Celsius(t),
+            })
+        })
+        .collect();
+
+    let mut group = c.benchmark_group("pvt_corner_sweep_9_corners");
+    group.sample_size(samples());
+    group.bench_function("scalar_per_pair", |b| {
+        b.iter(|| {
+            for &at in &corners {
+                black_box(evaluate_multiplier_at_scalar(&multiplier, at).unwrap());
+            }
+        })
+    });
+    group.bench_function("batched_analog_grid", |b| {
+        b.iter(|| {
+            for &at in &corners {
+                black_box(evaluate_multiplier_at(&multiplier, at).unwrap());
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_table_build, bench_corner_sweep);
+criterion_main!(benches);

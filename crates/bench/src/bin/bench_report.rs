@@ -1,23 +1,28 @@
-//! Machine-readable DNN perf report: writes `BENCH_dnn.json`.
+//! Machine-readable perf reports: writes `BENCH_dnn.json` and
+//! `BENCH_analog.json`.
 //!
 //! Measures the "before" (naive scalar kernels, per-product dynamic
-//! dispatch, serial evaluation) and "after" (im2col + blocked GEMM,
-//! flattened product LUT, parallel batched evaluation) sides of the DNN
-//! inference hot path on identical workloads, and emits the wall-clock
-//! numbers plus speedups as JSON so the repository's perf trajectory is
-//! machine-checkable from this PR onward.
+//! dispatch, serial evaluation, per-pair analog evaluation) and "after"
+//! (im2col + blocked GEMM, flattened product LUT, parallel batched
+//! evaluation, batched analog grids) sides of the hot paths on identical
+//! workloads, and emits the wall-clock numbers plus speedups as JSON so the
+//! repository's perf trajectory is machine-checkable from this PR onward.
 //!
-//! The report also verifies — and fails the process on violation — that the
-//! LUT fast path produces **bit-identical** logits to the dynamic-dispatch
-//! reference on every evaluated image, so a perf regression hunt can never
-//! silently trade correctness for speed.
+//! Both reports also verify — and fail the process on violation — that each
+//! fast path produces **bit-identical** results to its reference path
+//! (quantized LUT logits vs. dynamic dispatch, batched multiplier tables
+//! and corner metrics vs. the scalar loops), so a perf regression hunt can
+//! never silently trade correctness for speed.
 //!
 //! ```bash
 //! OPTIMA_QUICK=1 cargo run --release --bin bench_report   # CI quick mode
 //! cargo run --release --bin bench_report                  # full workload
 //! ```
 
-use optima_bench::{naive_network_forward, quick_mode, DynDispatchProducts};
+use optima_bench::{calibrated_models, naive_network_forward, quick_mode, DynDispatchProducts};
+use optima_circuit::technology::Technology;
+use optima_core::calibration::{CalibrationConfig, Calibrator};
+use optima_core::snapshot;
 use optima_dnn::data::{Dataset, SyntheticImageConfig};
 use optima_dnn::eval::evaluate_batched;
 use optima_dnn::layers::{Conv2d, Dense, Flatten, Layer, MaxPool2d, Relu};
@@ -26,6 +31,9 @@ use optima_dnn::network::Network;
 use optima_dnn::quantized::QuantizedNetwork;
 use optima_dnn::reference;
 use optima_dnn::Tensor;
+use optima_imc::metrics::{evaluate_multiplier_at, evaluate_multiplier_at_scalar};
+use optima_imc::multiplier::{InSramMultiplier, MultiplierConfig, MultiplierTable};
+use optima_math::units::{Celsius, Volts};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use std::hint::black_box;
@@ -276,6 +284,151 @@ fn main() {
         });
     }
 
+    write_report(
+        "BENCH_dnn.json",
+        "dnn-inference-hot-path",
+        "quantized_equivalence",
+        quick,
+        &workloads,
+    );
+    print_report(
+        "DNN kernel perf report (written to BENCH_dnn.json)",
+        &workloads,
+    );
+
+    let analog = analog_workloads(quick);
+    write_report(
+        "BENCH_analog.json",
+        "analog-mac-hot-path",
+        "analog_equivalence",
+        quick,
+        &analog,
+    );
+    print_report(
+        "Analog MAC perf report (written to BENCH_analog.json)",
+        &analog,
+    );
+}
+
+/// The analog hot-path workloads: multiplier-table construction and a PVT
+/// corner sweep, scalar per-pair path vs. batched analog grids — each gated
+/// by a bit-identity check — plus calibration snapshot load vs. a full
+/// recalibration.
+fn analog_workloads(quick: bool) -> Vec<Workload> {
+    let iterations = if quick { 10 } else { 50 };
+    let mut workloads = Vec::new();
+
+    let (_, models) = calibrated_models(true);
+    let multiplier = InSramMultiplier::new(models, MultiplierConfig::paper_fom_corner())
+        .expect("paper corner is valid");
+    let at = multiplier.nominal_operating_point();
+
+    // 1. 16×16 multiplier-table construction.
+    {
+        let scalar = MultiplierTable::from_multiplier_scalar(&multiplier, at)
+            .expect("scalar table build succeeds");
+        let batched = MultiplierTable::from_multiplier(&multiplier, at)
+            .expect("batched table build succeeds");
+        assert_eq!(
+            scalar, batched,
+            "batched multiplier table must be bit-identical to the scalar path"
+        );
+        let baseline_seconds = time_iterations(iterations, || {
+            black_box(MultiplierTable::from_multiplier_scalar(&multiplier, at).unwrap());
+        });
+        let optimized_seconds = time_iterations(iterations, || {
+            black_box(MultiplierTable::from_multiplier(&multiplier, at).unwrap());
+        });
+        workloads.push(Workload {
+            name: "multiplier_table_build_16x16",
+            baseline: "scalar-per-pair",
+            optimized: "batched-analog-grid",
+            baseline_seconds,
+            optimized_seconds,
+            iterations,
+        });
+    }
+
+    // 2. PVT corner sweep: 9 corners × full input space (the Fig. 8 inner
+    //    loop shape).
+    {
+        let corners: Vec<_> = [0.95, 1.0, 1.05]
+            .iter()
+            .flat_map(|&vdd| {
+                [0.0, 25.0, 60.0]
+                    .iter()
+                    .map(move |&t| optima_imc::multiplier::OperatingPoint {
+                        vdd: Volts(vdd),
+                        temperature: Celsius(t),
+                    })
+            })
+            .collect();
+        for &corner in &corners {
+            assert_eq!(
+                evaluate_multiplier_at_scalar(&multiplier, corner).unwrap(),
+                evaluate_multiplier_at(&multiplier, corner).unwrap(),
+                "batched corner metrics must be bit-identical to the scalar path"
+            );
+        }
+        let passes = if quick { 3 } else { 10 };
+        let baseline_seconds = time_iterations(passes, || {
+            for &corner in &corners {
+                black_box(evaluate_multiplier_at_scalar(&multiplier, corner).unwrap());
+            }
+        });
+        let optimized_seconds = time_iterations(passes, || {
+            for &corner in &corners {
+                black_box(evaluate_multiplier_at(&multiplier, corner).unwrap());
+            }
+        });
+        workloads.push(Workload {
+            name: "pvt_corner_sweep_9_corners",
+            baseline: "scalar-per-pair",
+            optimized: "batched-analog-grid",
+            baseline_seconds,
+            optimized_seconds,
+            iterations: passes * corners.len(),
+        });
+    }
+
+    // 3. Experiment start-up: full fast-grid recalibration vs. loading the
+    //    persistent snapshot (what every experiment binary now does).
+    {
+        let technology = Technology::tsmc65_like();
+        let config = CalibrationConfig::fast();
+        let dir = std::env::temp_dir().join(format!("optima-bench-report-{}", std::process::id()));
+        let path = dir.join("calibration-fast.v1.snap");
+        let calibrate_start = Instant::now();
+        let outcome = Calibrator::new(technology.clone(), config.clone())
+            .run()
+            .expect("calibration succeeds");
+        let baseline_seconds = calibrate_start.elapsed().as_secs_f64();
+        snapshot::save(&path, &outcome, &technology, &config).expect("snapshot save succeeds");
+        let load_start = Instant::now();
+        let loaded = snapshot::load(&path, &technology, &config).expect("snapshot load succeeds");
+        let optimized_seconds = load_start.elapsed().as_secs_f64();
+        assert_eq!(outcome, loaded, "snapshot load must be bit-exact");
+        std::fs::remove_dir_all(&dir).ok();
+        workloads.push(Workload {
+            name: "experiment_startup_fast_calibration",
+            baseline: "recalibrate",
+            optimized: "snapshot-load",
+            baseline_seconds,
+            optimized_seconds,
+            iterations: 1,
+        });
+    }
+
+    workloads
+}
+
+fn write_report(
+    path: &str,
+    report_name: &str,
+    equivalence_key: &str,
+    quick: bool,
+    workloads: &[Workload],
+) {
     let body = workloads
         .iter()
         .map(Workload::to_json)
@@ -284,19 +437,21 @@ fn main() {
     let json = format!(
         concat!(
             "{{\n",
-            "  \"report\": \"dnn-inference-hot-path\",\n",
+            "  \"report\": \"{}\",\n",
             "  \"generated_by\": \"bench_report\",\n",
             "  \"quick_mode\": {},\n",
-            "  \"quantized_equivalence\": \"bit-identical\",\n",
+            "  \"{}\": \"bit-identical\",\n",
             "  \"workloads\": [\n{}\n  ]\n",
             "}}\n"
         ),
-        quick, body
+        report_name, quick, equivalence_key, body
     );
-    std::fs::write("BENCH_dnn.json", &json).expect("BENCH_dnn.json is writable");
+    std::fs::write(path, &json).unwrap_or_else(|err| panic!("{path} is writable: {err}"));
+}
 
-    println!("# DNN kernel perf report (written to BENCH_dnn.json)\n");
-    for workload in &workloads {
+fn print_report(title: &str, workloads: &[Workload]) {
+    println!("# {title}\n");
+    for workload in workloads {
         println!(
             "{:<36} {:>10.3} ms -> {:>10.3} ms   {:>6.1}x  ({} vs {})",
             workload.name,
@@ -307,4 +462,5 @@ fn main() {
             workload.optimized,
         );
     }
+    println!();
 }

@@ -56,7 +56,11 @@ fn main() {
         .rms_errors(grid, mc)
         .expect("held-out evaluation succeeds");
 
-    println!("\n## Held-out RMS errors (Fig. 6 equivalent)\n");
+    println!(
+        "\n## Held-out RMS errors (Fig. 6 equivalent; '{}' vs '{}' through one DischargeBackend interface)\n",
+        evaluator.reference_backend().backend_name(),
+        evaluator.fitted_backend().backend_name()
+    );
     print_header(&["Model", "Held-out RMS", "Paper (TSMC 65 nm)"]);
     print_row(&[
         "basic discharge (Eq. 3)".into(),

@@ -12,10 +12,13 @@ use optima_core::sweep::default_threads;
 
 fn main() {
     let fast = quick_mode();
+    // Starts from the persistent calibration snapshot when one exists — the
+    // expensive circuit sweeps only run on a cold cache.
     let (technology, models) = calibrated_models(fast);
     // The circuit-reference side of both measurements fans out over the
     // sweep engine (thread count 0 = automatic), so the reported factor is
-    // the wall-clock advantage over the *parallel* golden reference.
+    // the wall-clock advantage over the *parallel* golden reference.  Both
+    // sides answer the identical DischargeBackend waveform queries.
     let evaluator = ModelEvaluator::new(technology, models)
         .with_threads(0)
         .with_reference_time_steps(if fast { 150 } else { 400 });
@@ -30,7 +33,10 @@ fn main() {
 
     println!("# Section V — simulation speed-up of OPTIMA vs. circuit simulation");
     println!(
-        "(circuit reference parallelised over {} sweep-engine threads)\n",
+        "(backends '{}' vs '{}', one DischargeBackend interface; \
+         circuit reference parallelised over {} sweep-engine threads)\n",
+        evaluator.reference_backend().backend_name(),
+        evaluator.fitted_backend().backend_name(),
         default_threads()
     );
     print_header(&[

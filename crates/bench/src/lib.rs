@@ -8,17 +8,65 @@
 use optima_circuit::technology::Technology;
 use optima_core::calibration::{CalibrationConfig, CalibrationOutcome, Calibrator};
 use optima_core::model::suite::ModelSuite;
+use optima_core::snapshot;
 use optima_dnn::layers::{Conv2d, Dense, ResidualBlock};
 use optima_dnn::multiplier::ProductTable;
 use optima_dnn::network::Network;
 use optima_dnn::{reference, Tensor};
 use optima_imc::multiplier::MultiplierConfig;
+use std::path::PathBuf;
 use std::sync::Arc;
 
-/// Calibrates the OPTIMA models against the golden-reference simulator.
+/// Environment variable controlling the calibration-snapshot cache:
+/// unset → cache under `target/optima/`, `0`/`off` → disabled,
+/// anything else → cache directory.
+pub const CALIBRATION_CACHE_ENV_VAR: &str = "OPTIMA_CALIBRATION_CACHE";
+
+/// Directory of the calibration-snapshot cache, or `None` when disabled via
+/// [`CALIBRATION_CACHE_ENV_VAR`].
+///
+/// The default lives under the workspace `target/` directory (resolved
+/// relative to this crate's manifest, so binaries and tests agree on the
+/// location regardless of their working directory) and is therefore swept
+/// away by `cargo clean` like every other build artifact.
+pub fn calibration_cache_dir() -> Option<PathBuf> {
+    match std::env::var(CALIBRATION_CACHE_ENV_VAR) {
+        // An empty value is treated like an unset variable, not as a cache
+        // directory — `OPTIMA_CALIBRATION_CACHE= cmd` must never litter the
+        // working directory with snapshots.
+        Err(_) => Some(PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../target/optima")),
+        Ok(value) if value.trim().is_empty() => {
+            Some(PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../target/optima"))
+        }
+        Ok(value) if value == "0" || value.eq_ignore_ascii_case("off") => None,
+        Ok(value) => Some(PathBuf::from(value)),
+    }
+}
+
+/// Path of the calibration snapshot for the fast or full grid, when caching
+/// is enabled.
+pub fn calibration_snapshot_path(fast: bool) -> Option<PathBuf> {
+    let name = if fast {
+        "calibration-fast.v1.snap"
+    } else {
+        "calibration-full.v1.snap"
+    };
+    calibration_cache_dir().map(|dir| dir.join(name))
+}
+
+/// Calibrates the OPTIMA models against the golden-reference simulator,
+/// starting from a persistent calibration snapshot when one is available.
 ///
 /// With `fast = true` a coarser sweep is used (for tests and smoke runs);
-/// otherwise the default calibration grids are used.
+/// otherwise the default calibration grids are used.  The first call saves a
+/// versioned snapshot under `target/optima/` (see
+/// [`calibration_snapshot_path`]); subsequent calls — including every
+/// experiment binary — load it in milliseconds instead of re-running the
+/// circuit sweeps.  The snapshot is invalidated automatically when the
+/// schema version, the technology parameters or the calibration grids
+/// change (fingerprint checks in [`optima_core::snapshot`]), and any
+/// load failure silently falls back to recalibration, so the cache can
+/// never change results: loads are bit-exact.
 ///
 /// # Panics
 ///
@@ -31,9 +79,20 @@ pub fn calibrate(fast: bool) -> (Technology, CalibrationOutcome) {
     } else {
         CalibrationConfig::default()
     };
-    let outcome = Calibrator::new(technology.clone(), config)
+    let path = calibration_snapshot_path(fast);
+    if let Some(path) = &path {
+        if let Ok(outcome) = snapshot::load(path, &technology, &config) {
+            return (technology, outcome);
+        }
+    }
+    let outcome = Calibrator::new(technology.clone(), config.clone())
         .run()
         .expect("model calibration must succeed");
+    if let Some(path) = &path {
+        if let Err(err) = snapshot::save(path, &outcome, &technology, &config) {
+            eprintln!("warning: could not save calibration snapshot: {err}");
+        }
+    }
     (technology, outcome)
 }
 
@@ -170,6 +229,33 @@ mod tests {
     fn fast_calibration_produces_usable_models() {
         let (technology, models) = calibrated_models(true);
         assert_eq!(models.vdd_nominal(), technology.vdd_nominal);
+    }
+
+    #[test]
+    fn calibration_snapshot_cache_round_trips_bit_exactly() {
+        // First call may calibrate and save; the second must load the
+        // snapshot and produce the identical outcome.
+        let (_, first) = calibrate(true);
+        let path = calibration_snapshot_path(true).expect("cache enabled by default");
+        assert!(path.exists(), "snapshot missing at {}", path.display());
+        let (_, second) = calibrate(true);
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    fn cache_knob_parses_the_environment_contract() {
+        // Can't mutate the process environment safely under the parallel
+        // test runner; assert the default resolution instead.
+        let dir = calibration_cache_dir().expect("default cache is enabled");
+        assert!(dir.ends_with("target/optima"));
+        assert!(calibration_snapshot_path(true)
+            .unwrap()
+            .to_string_lossy()
+            .contains("calibration-fast"));
+        assert!(calibration_snapshot_path(false)
+            .unwrap()
+            .to_string_lossy()
+            .contains("calibration-full"));
     }
 
     #[test]

@@ -11,6 +11,7 @@
 //!    the fitted [`ModelSuite`] feeds [`crate::simulator`] and the multiplier
 //!    case study in `optima-imc`.
 
+use crate::backend::DischargeBackend;
 use crate::error::ModelError;
 use crate::model::discharge::DischargeModel;
 use crate::model::energy::{DischargeEnergyModel, WriteEnergyModel};
@@ -19,8 +20,7 @@ use crate::model::suite::ModelSuite;
 use crate::model::supply::SupplyModel;
 use crate::model::temperature::TemperatureModel;
 use crate::sweep::par_map_sweep;
-use optima_circuit::energy as circuit_energy;
-use optima_circuit::montecarlo::{MismatchModel, MismatchSample};
+use optima_circuit::montecarlo::MismatchModel;
 use optima_circuit::pvt::{linspace, PvtConditions};
 use optima_circuit::technology::Technology;
 use optima_circuit::transient::{DischargeStimulus, TransientSimulator};
@@ -183,6 +183,12 @@ pub struct CalibrationOutcome {
 }
 
 impl CalibrationOutcome {
+    /// Reassembles an outcome from its parts (used by snapshot loading and
+    /// by tests that construct hand-made outcomes).
+    pub fn from_parts(models: ModelSuite, report: CalibrationReport) -> Self {
+        CalibrationOutcome { models, report }
+    }
+
     /// The fitted model suite.
     pub fn models(&self) -> &ModelSuite {
         &self.models
@@ -225,6 +231,15 @@ impl Calibrator {
     /// Runs the full calibration: circuit sweeps, least-squares fits,
     /// residual reporting.
     ///
+    /// All deterministic reference data (waveform samples, deltas, energies)
+    /// is acquired through the [`DischargeBackend`] interface of the golden
+    /// simulator — the same interface the fitted models implement — so the
+    /// residuals measured here and the held-out errors of
+    /// [`crate::evaluation::ModelEvaluator`] are defined against one
+    /// contract.  Only the Eq. 6 mismatch Monte Carlo bypasses the trait
+    /// (per-instance [`optima_circuit::montecarlo::MismatchSample`]s have no
+    /// fitted-side equivalent).
+    ///
     /// # Errors
     ///
     /// Returns [`ModelError::CalibrationFailed`] when a fit cannot be
@@ -239,7 +254,7 @@ impl Calibrator {
         let temperature =
             self.fit_temperature(&simulator, &nominal, &discharge, &supply, &mut report)?;
         let mismatch = self.fit_mismatch(&simulator, &nominal, &mut report)?;
-        let write_energy = self.fit_write_energy(&mut report)?;
+        let write_energy = self.fit_write_energy(&simulator, &nominal, &mut report)?;
         let discharge_energy = self.fit_discharge_energy(&simulator, &nominal, &mut report)?;
 
         let models = ModelSuite::new(
@@ -261,6 +276,12 @@ impl Calibrator {
             .collect()
     }
 
+    /// The [`time_grid`](Calibrator::time_grid) as typed seconds, the form
+    /// the [`DischargeBackend`] interface consumes.
+    fn time_grid_seconds(&self) -> Vec<Seconds> {
+        self.time_grid().into_iter().map(Seconds).collect()
+    }
+
     fn stimulus(&self, v_wl: f64) -> DischargeStimulus {
         DischargeStimulus {
             word_line_voltage: Volts(v_wl),
@@ -280,24 +301,23 @@ impl Calibrator {
     ) -> Result<DischargeModel, ModelError> {
         let vth = self.technology.nmos_vth.0;
         let times = self.time_grid();
+        let sample_times = self.time_grid_seconds();
 
-        // One transient simulation per word-line voltage, swept in parallel;
-        // rows are reassembled in grid order so the fit input (and thus the
+        // One transient simulation per word-line voltage (one waveform query
+        // through the discharge-backend interface), swept in parallel; rows
+        // are reassembled in grid order so the fit input (and thus the
         // fitted model) is bit-identical at any thread count.
         let rows = par_map_sweep(
             &self.config.wordline_voltages,
             self.config.threads,
             |_, &v_wl| {
-                let waveform = simulator.discharge_waveform(
-                    &self.stimulus(v_wl),
-                    nominal,
-                    &MismatchSample::none(),
-                )?;
-                let mut row = Vec::with_capacity(times.len());
-                for &t in &times {
-                    let v = waveform.sample_at(Seconds(t))?.0;
-                    row.push((v_wl - vth, t * 1e9, v - nominal.vdd.0));
-                }
+                let voltages =
+                    simulator.bitline_voltages(&self.stimulus(v_wl), nominal, &sample_times)?;
+                let row: Vec<_> = times
+                    .iter()
+                    .zip(&voltages)
+                    .map(|(&t, &v)| (v_wl - vth, t * 1e9, v - nominal.vdd.0))
+                    .collect();
                 Ok::<_, ModelError>(row)
             },
         )
@@ -377,16 +397,12 @@ impl Calibrator {
             })
             .collect();
 
+        let sample_times = self.time_grid_seconds();
         let rows = par_map_sweep(&grid, self.config.threads, |_, &(vdd, v_wl)| {
             let pvt = nominal.with_vdd(Volts(vdd));
-            let waveform = simulator.discharge_waveform(
-                &self.stimulus(v_wl),
-                &pvt,
-                &MismatchSample::none(),
-            )?;
+            let voltages = simulator.bitline_voltages(&self.stimulus(v_wl), &pvt, &sample_times)?;
             let mut row = Vec::with_capacity(times.len());
-            for &t in &times {
-                let v_circuit = waveform.sample_at(Seconds(t))?.0;
+            for (&t, &v_circuit) in times.iter().zip(&voltages) {
                 let v_base = discharge.bitline_voltage_unchecked(Seconds(t), Volts(v_wl));
                 if v_base > 0.05 {
                     row.push((vdd - nominal.vdd.0, v_circuit / v_base, v_circuit, v_base));
@@ -468,17 +484,13 @@ impl Calibrator {
             .collect();
 
         // Per sample: (v_circuit, v_model, t_ns, ΔT, v_wl).
+        let sample_times = self.time_grid_seconds();
         let rows = par_map_sweep(&grid, self.config.threads, |_, &(temp, v_wl)| {
             let delta_t = temp - t_nominal;
             let pvt = nominal.with_temperature(Celsius(temp));
-            let waveform = simulator.discharge_waveform(
-                &self.stimulus(v_wl),
-                &pvt,
-                &MismatchSample::none(),
-            )?;
+            let voltages = simulator.bitline_voltages(&self.stimulus(v_wl), &pvt, &sample_times)?;
             let mut row = Vec::with_capacity(times.len());
-            for &t in &times {
-                let v_circuit = waveform.sample_at(Seconds(t))?.0;
+            for (&t, &v_circuit) in times.iter().zip(&voltages) {
                 let base = discharge.bitline_voltage_unchecked(Seconds(t), Volts(v_wl));
                 let v_model = supply.apply(base, nominal.vdd);
                 row.push((v_circuit, v_model, t * 1e9, delta_t, v_wl));
@@ -628,9 +640,10 @@ impl Calibrator {
     /// Eq. 7: separable fit of the write energy over `(V_DD, T)`.
     fn fit_write_energy(
         &self,
+        simulator: &TransientSimulator,
+        nominal: &PvtConditions,
         report: &mut CalibrationReport,
     ) -> Result<WriteEnergyModel, ModelError> {
-        let nominal = PvtConditions::nominal(&self.technology);
         let grid: Vec<(f64, f64)> = self
             .config
             .supply_voltages
@@ -644,8 +657,8 @@ impl Calibrator {
             .collect();
         let energies = par_map_sweep(&grid, self.config.threads, |_, &(vdd, temp)| {
             let pvt = nominal.with_vdd(Volts(vdd)).with_temperature(Celsius(temp));
-            let e = circuit_energy::write_energy(&self.technology, &pvt);
-            Ok::<_, ModelError>(e.to_femtojoules().0)
+            let e = DischargeBackend::write_energy(simulator, &pvt)?;
+            Ok::<_, ModelError>(e.0)
         })
         .map_err(|err| {
             let (vdd, temp) = grid[err.index];
@@ -700,15 +713,10 @@ impl Calibrator {
             .collect();
         let stage1_rows = par_map_sweep(&stage1_grid, self.config.threads, |_, &(vdd, v_wl)| {
             let pvt = nominal.with_vdd(Volts(vdd));
-            let delta =
-                simulator.discharge_delta(&self.stimulus(v_wl), &pvt, &MismatchSample::none())?;
-            let e = circuit_energy::discharge_energy(
-                &self.technology,
-                &pvt,
-                self.config.cells_on_bitline,
-                delta,
-            );
-            Ok::<_, ModelError>((delta.0, vdd, e.to_femtojoules().0))
+            let stimulus = self.stimulus(v_wl);
+            let delta = DischargeBackend::discharge_delta(simulator, &stimulus, &pvt)?;
+            let e = DischargeBackend::discharge_energy(simulator, &stimulus, &pvt, delta)?;
+            Ok::<_, ModelError>((delta.0, vdd, e.0))
         })
         .map_err(|err| {
             let (vdd, v_wl) = stage1_grid[err.index];
@@ -754,16 +762,9 @@ impl Calibrator {
             .collect();
         let stage2_rows = par_map_sweep(&stage2_grid, self.config.threads, |_, &(temp, v_wl)| {
             let pvt = nominal.with_temperature(Celsius(temp));
-            let delta =
-                simulator.discharge_delta(&self.stimulus(v_wl), &pvt, &MismatchSample::none())?;
-            let e = circuit_energy::discharge_energy(
-                &self.technology,
-                &pvt,
-                self.config.cells_on_bitline,
-                delta,
-            )
-            .to_femtojoules()
-            .0;
+            let stimulus = self.stimulus(v_wl);
+            let delta = DischargeBackend::discharge_delta(simulator, &stimulus, &pvt)?;
+            let e = DischargeBackend::discharge_energy(simulator, &stimulus, &pvt, delta)?.0;
             Ok::<_, ModelError>((temp, delta.0, e))
         })
         .map_err(|err| {
@@ -819,6 +820,7 @@ impl Calibrator {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use optima_circuit::montecarlo::MismatchSample;
 
     fn calibrated() -> CalibrationOutcome {
         let tech = Technology::tsmc65_like();

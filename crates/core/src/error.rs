@@ -47,6 +47,45 @@ pub enum ModelError {
         /// The underlying error.
         source: Box<ModelError>,
     },
+    /// A calibration snapshot file could not be read or written.
+    SnapshotIo {
+        /// Path of the snapshot file.
+        path: String,
+        /// Operating-system error description.
+        reason: String,
+    },
+    /// A calibration snapshot file is syntactically invalid (truncated,
+    /// corrupted, or not a snapshot at all).
+    SnapshotCorrupt {
+        /// Path of the snapshot file.
+        path: String,
+        /// One-based line number of the first offending line (0 when the
+        /// file ended prematurely).
+        line: usize,
+        /// Human-readable description of the corruption.
+        reason: String,
+    },
+    /// A calibration snapshot was written by an incompatible schema version.
+    SnapshotSchemaMismatch {
+        /// Path of the snapshot file.
+        path: String,
+        /// Schema tag found in the file.
+        found: String,
+        /// Schema tag this build understands.
+        expected: String,
+    },
+    /// A calibration snapshot was fitted for a different technology or
+    /// calibration configuration than the one requested.
+    SnapshotFingerprintMismatch {
+        /// Path of the snapshot file.
+        path: String,
+        /// Which fingerprint mismatched (`"technology"` or `"calibration config"`).
+        what: &'static str,
+        /// Fingerprint recorded in the file.
+        found: String,
+        /// Fingerprint of the requested technology/configuration.
+        expected: String,
+    },
     /// Error bubbled up from the golden-reference circuit simulator.
     Circuit(CircuitError),
     /// Error bubbled up from the numeric routines.
@@ -81,6 +120,33 @@ impl fmt::Display for ModelError {
             } => {
                 write!(f, "sweep item {index} ({item}) failed: {source}")
             }
+            ModelError::SnapshotIo { path, reason } => {
+                write!(f, "calibration snapshot {path}: {reason}")
+            }
+            ModelError::SnapshotCorrupt { path, line, reason } => {
+                write!(
+                    f,
+                    "calibration snapshot {path} is corrupt (line {line}): {reason}"
+                )
+            }
+            ModelError::SnapshotSchemaMismatch {
+                path,
+                found,
+                expected,
+            } => write!(
+                f,
+                "calibration snapshot {path} has schema '{found}', this build expects '{expected}'"
+            ),
+            ModelError::SnapshotFingerprintMismatch {
+                path,
+                what,
+                found,
+                expected,
+            } => write!(
+                f,
+                "calibration snapshot {path} was fitted for a different {what} \
+                 (fingerprint {found}, requested {expected})"
+            ),
             ModelError::Circuit(err) => write!(f, "circuit simulation error: {err}"),
             ModelError::Numeric(err) => write!(f, "numeric error: {err}"),
         }

@@ -8,12 +8,20 @@
 //! * **Speed** — wall-clock speed-up of evaluating the fitted models instead
 //!   of running the circuit simulator (Section V reports ~101× for iterating
 //!   over the input space and 28.1× for mismatch Monte Carlo).
+//!
+//! Both measurements run through the [`DischargeBackend`] interface: the
+//! golden [`TransientSimulator`] and the fitted [`ModelSuite`] answer the
+//! identical waveform/energy queries, so "accuracy" is always the residual
+//! between two backends and "speed-up" the runtime ratio between them.  The
+//! only exceptions are the Eq. 6 σ-model checks (mismatch sampling has no
+//! common shape across the backends) and the Eq. 3 basic-model residual,
+//! which deliberately measures the *uncorrected* sub-model.
 
+use crate::backend::DischargeBackend;
 use crate::error::ModelError;
 use crate::model::suite::ModelSuite;
 use crate::sweep::{par_map_sweep, stream_seed};
-use optima_circuit::energy as circuit_energy;
-use optima_circuit::montecarlo::{MismatchModel, MismatchSample};
+use optima_circuit::montecarlo::MismatchModel;
 use optima_circuit::pvt::{linspace, PvtConditions};
 use optima_circuit::technology::Technology;
 use optima_circuit::transient::{DischargeStimulus, TransientSimulator};
@@ -71,10 +79,12 @@ impl SpeedupReport {
     }
 }
 
-/// Evaluates a fitted [`ModelSuite`] against the golden-reference simulator.
+/// Evaluates a fitted [`ModelSuite`] against the golden-reference simulator,
+/// with both sides queried through the [`DischargeBackend`] interface.
 #[derive(Debug, Clone)]
 pub struct ModelEvaluator {
     technology: Technology,
+    golden: TransientSimulator,
     models: ModelSuite,
     cells_on_bitline: usize,
     reference_time_steps: usize,
@@ -85,6 +95,7 @@ impl ModelEvaluator {
     /// Creates an evaluator for the given technology and fitted models.
     pub fn new(technology: Technology, models: ModelSuite) -> Self {
         ModelEvaluator {
+            golden: TransientSimulator::new(technology.clone()),
             technology,
             models,
             cells_on_bitline: 16,
@@ -95,6 +106,16 @@ impl ModelEvaluator {
 
     /// The fitted models being evaluated.
     pub fn models(&self) -> &ModelSuite {
+        &self.models
+    }
+
+    /// The golden-reference backend the models are evaluated against.
+    pub fn reference_backend(&self) -> &dyn DischargeBackend {
+        &self.golden
+    }
+
+    /// The fitted backend under evaluation.
+    pub fn fitted_backend(&self) -> &dyn DischargeBackend {
         &self.models
     }
 
@@ -138,32 +159,37 @@ impl ModelEvaluator {
         mc_samples: usize,
     ) -> Result<RmsErrorReport, ModelError> {
         let grid_points = grid_points.max(3);
-        let simulator = TransientSimulator::new(self.technology.clone());
+        let simulator = &self.golden;
+        let fitted = &self.models;
         let nominal = PvtConditions::nominal(&self.technology);
         let duration = Seconds(2e-9);
         // Held-out grid: offset from the default calibration grid.
         let wordlines = linspace(0.47 + 0.013, 0.97, grid_points);
         let times: Vec<f64> = linspace(0.25e-9, 1.95e-9, grid_points);
+        let sample_times: Vec<Seconds> = times.iter().map(|&t| Seconds(t)).collect();
 
         // Eq. 3 (nominal conditions).  Each held-out grid is evaluated with
         // the error-strict parallel sweep engine: one item per reference
         // transient, residual rows reassembled in grid order so the reported
-        // RMS numbers are bit-identical at any thread count.
+        // RMS numbers are bit-identical at any thread count.  The reference
+        // comes through the backend interface; the prediction deliberately
+        // queries the *uncorrected* Eq. 3 sub-model below it.
         let residuals_basic: Vec<f64> = par_map_sweep(&wordlines, self.threads, |_, &v_wl| {
-            let waveform = simulator.discharge_waveform(
+            let reference = simulator.bitline_voltages(
                 &self.stimulus(v_wl, duration),
                 &nominal,
-                &MismatchSample::none(),
+                &sample_times,
             )?;
-            let mut row = Vec::with_capacity(times.len());
-            for &t in &times {
-                let reference = waveform.sample_at(Seconds(t))?.0;
-                let predicted = self
-                    .models
-                    .discharge_model()
-                    .bitline_voltage_unchecked(Seconds(t), Volts(v_wl));
-                row.push(reference - predicted);
-            }
+            let row: Vec<f64> = sample_times
+                .iter()
+                .zip(&reference)
+                .map(|(&t, &r)| {
+                    r - self
+                        .models
+                        .discharge_model()
+                        .bitline_voltage_unchecked(t, Volts(v_wl))
+                })
+                .collect();
             Ok::<_, ModelError>(row)
         })
         .map_err(|err| {
@@ -174,7 +200,7 @@ impl ModelEvaluator {
         .flatten()
         .collect();
 
-        // Eq. 4 (supply sweep).
+        // Eq. 4 (supply sweep): both sides answer the same backend query.
         let supply_grid: Vec<(f64, f64)> = linspace(0.92, 1.08, 3)
             .iter()
             .flat_map(|&vdd| wordlines.iter().map(move |&v_wl| (vdd, v_wl)))
@@ -182,22 +208,14 @@ impl ModelEvaluator {
         let residuals_supply: Vec<f64> =
             par_map_sweep(&supply_grid, self.threads, |_, &(vdd, v_wl)| {
                 let pvt = nominal.with_vdd(Volts(vdd));
-                let waveform = simulator.discharge_waveform(
-                    &self.stimulus(v_wl, duration),
-                    &pvt,
-                    &MismatchSample::none(),
-                )?;
-                let mut row = Vec::with_capacity(times.len());
-                for &t in &times {
-                    let reference = waveform.sample_at(Seconds(t))?.0;
-                    let predicted = self.models.bitline_voltage_unchecked(
-                        Seconds(t),
-                        Volts(v_wl),
-                        Volts(vdd),
-                        Celsius(self.technology.temperature_nominal.0),
-                    );
-                    row.push(reference - predicted);
-                }
+                let stimulus = self.stimulus(v_wl, duration);
+                let reference = simulator.bitline_voltages(&stimulus, &pvt, &sample_times)?;
+                let predicted = fitted.bitline_voltages(&stimulus, &pvt, &sample_times)?;
+                let row: Vec<f64> = reference
+                    .iter()
+                    .zip(&predicted)
+                    .map(|(r, p)| r - p)
+                    .collect();
                 Ok::<_, ModelError>(row)
             })
             .map_err(|err| {
@@ -219,22 +237,14 @@ impl ModelEvaluator {
         let residuals_temperature: Vec<f64> =
             par_map_sweep(&temperature_grid, self.threads, |_, &(temp, v_wl)| {
                 let pvt = nominal.with_temperature(Celsius(temp));
-                let waveform = simulator.discharge_waveform(
-                    &self.stimulus(v_wl, duration),
-                    &pvt,
-                    &MismatchSample::none(),
-                )?;
-                let mut row = Vec::with_capacity(times.len());
-                for &t in &times {
-                    let reference = waveform.sample_at(Seconds(t))?.0;
-                    let predicted = self.models.bitline_voltage_unchecked(
-                        Seconds(t),
-                        Volts(v_wl),
-                        nominal.vdd,
-                        Celsius(temp),
-                    );
-                    row.push(reference - predicted);
-                }
+                let stimulus = self.stimulus(v_wl, duration);
+                let reference = simulator.bitline_voltages(&stimulus, &pvt, &sample_times)?;
+                let predicted = fitted.bitline_voltages(&stimulus, &pvt, &sample_times)?;
+                let row: Vec<f64> = reference
+                    .iter()
+                    .zip(&predicted)
+                    .map(|(r, p)| r - p)
+                    .collect();
                 Ok::<_, ModelError>(row)
             })
             .map_err(|err| {
@@ -286,7 +296,7 @@ impl ModelEvaluator {
         .flatten()
         .collect();
 
-        // Eq. 7 (write energy).
+        // Eq. 7 (write energy): both backends answer the same energy query.
         let write_grid: Vec<(f64, f64)> = linspace(0.92, 1.08, 4)
             .iter()
             .flat_map(|&vdd| {
@@ -298,10 +308,8 @@ impl ModelEvaluator {
         let residuals_write: Vec<f64> =
             par_map_sweep(&write_grid, self.threads, |_, &(vdd, temp)| {
                 let pvt = nominal.with_vdd(Volts(vdd)).with_temperature(Celsius(temp));
-                let reference = circuit_energy::write_energy(&self.technology, &pvt)
-                    .to_femtojoules()
-                    .0;
-                let predicted = self.models.write_energy(Volts(vdd), Celsius(temp)).0;
+                let reference = DischargeBackend::write_energy(simulator, &pvt)?.0;
+                let predicted = DischargeBackend::write_energy(fitted, &pvt)?.0;
                 Ok::<_, ModelError>(reference - predicted)
             })
             .map_err(|err| {
@@ -312,7 +320,8 @@ impl ModelEvaluator {
                 )
             })?;
 
-        // Eq. 8 (discharge energy).
+        // Eq. 8 (discharge energy): the golden backend supplies the achieved
+        // delta, then both backends price the same discharge.
         let discharge_grid: Vec<(f64, f64)> = linspace(0.92, 1.08, 3)
             .iter()
             .flat_map(|&vdd| wordlines.iter().map(move |&v_wl| (vdd, v_wl)))
@@ -320,27 +329,12 @@ impl ModelEvaluator {
         let residuals_discharge_energy: Vec<f64> =
             par_map_sweep(&discharge_grid, self.threads, |_, &(vdd, v_wl)| {
                 let pvt = nominal.with_vdd(Volts(vdd));
-                let delta = simulator.discharge_delta(
-                    &self.stimulus(v_wl, duration),
-                    &pvt,
-                    &MismatchSample::none(),
-                )?;
-                let reference = circuit_energy::discharge_energy(
-                    &self.technology,
-                    &pvt,
-                    self.cells_on_bitline,
-                    delta,
-                )
-                .to_femtojoules()
-                .0;
-                let predicted = self
-                    .models
-                    .discharge_energy(
-                        delta,
-                        Volts(vdd),
-                        Celsius(self.technology.temperature_nominal.0),
-                    )
-                    .0;
+                let stimulus = self.stimulus(v_wl, duration);
+                let delta = DischargeBackend::discharge_delta(simulator, &stimulus, &pvt)?;
+                let reference =
+                    DischargeBackend::discharge_energy(simulator, &stimulus, &pvt, delta)?.0;
+                let predicted =
+                    DischargeBackend::discharge_energy(fitted, &stimulus, &pvt, delta)?.0;
                 Ok::<_, ModelError>(reference - predicted)
             })
             .map_err(|err| {
@@ -365,6 +359,9 @@ impl ModelEvaluator {
     /// simulation when iterating over an input space of `wordline_points`
     /// word-line voltages × `time_points` sampling instants.
     ///
+    /// Both sides answer the identical [`DischargeBackend`] waveform query,
+    /// so the reported factor is a like-for-like interface comparison.
+    ///
     /// # Errors
     ///
     /// Propagates circuit-simulation errors.
@@ -373,27 +370,19 @@ impl ModelEvaluator {
         wordline_points: usize,
         time_points: usize,
     ) -> Result<SpeedupReport, ModelError> {
-        let simulator = TransientSimulator::new(self.technology.clone());
+        let simulator = &self.golden;
         let nominal = PvtConditions::nominal(&self.technology);
         let duration = Seconds(2e-9);
         let wordlines = linspace(0.5, 1.0, wordline_points.max(2));
         let times = linspace(0.2e-9, 1.9e-9, time_points.max(2));
+        let sample_times: Vec<Seconds> = times.iter().map(|&t| Seconds(t)).collect();
 
         // Circuit path: one transient per word-line voltage, sampled at each
         // time, fanned out over the sweep engine (the realistic wall-clock
         // cost of the golden reference on this machine).
         let circuit_start = Instant::now();
         let circuit_rows = par_map_sweep(&wordlines, self.threads, |_, &v_wl| {
-            let waveform = simulator.discharge_waveform(
-                &self.stimulus(v_wl, duration),
-                &nominal,
-                &MismatchSample::none(),
-            )?;
-            let mut row = Vec::with_capacity(times.len());
-            for &t in &times {
-                row.push(waveform.sample_at(Seconds(t))?.0);
-            }
-            Ok::<_, ModelError>(row)
+            simulator.bitline_voltages(&self.stimulus(v_wl, duration), &nominal, &sample_times)
         })
         .map_err(|err| {
             let item = format!("speed-up circuit sweep V_WL = {} V", wordlines[err.index]);
@@ -402,21 +391,21 @@ impl ModelEvaluator {
         let circuit_seconds = circuit_start.elapsed().as_secs_f64();
         let circuit_checksum: f64 = circuit_rows.into_iter().flatten().sum();
 
-        // Model path: direct polynomial evaluation.  Deliberately serial — a
-        // single evaluation costs nanoseconds, so worker-thread spawn
-        // overhead would dominate and the measurement would reflect the
-        // harness instead of the model.
+        // Model path: batched polynomial evaluation through the same backend
+        // query.  Deliberately serial — one whole-grid fill costs
+        // microseconds, so worker-thread spawn overhead would dominate and
+        // the measurement would reflect the harness instead of the model.
+        let mut row = vec![0.0; sample_times.len()];
         let model_start = Instant::now();
         let mut model_checksum = 0.0;
         for &v_wl in &wordlines {
-            for &t in &times {
-                model_checksum += self.models.bitline_voltage_unchecked(
-                    Seconds(t),
-                    Volts(v_wl),
-                    nominal.vdd,
-                    Celsius(self.technology.temperature_nominal.0),
-                );
-            }
+            self.models.fill_bitline_voltages(
+                &self.stimulus(v_wl, duration),
+                &nominal,
+                &sample_times,
+                &mut row,
+            )?;
+            model_checksum += row.iter().sum::<f64>();
         }
         let model_seconds = model_start.elapsed().as_secs_f64();
 
@@ -443,7 +432,7 @@ impl ModelEvaluator {
         mc_samples: usize,
     ) -> Result<SpeedupReport, ModelError> {
         use rand::SeedableRng;
-        let simulator = TransientSimulator::new(self.technology.clone());
+        let simulator = &self.golden;
         let nominal = PvtConditions::nominal(&self.technology);
         let duration = Seconds(2e-9);
         let v_wl = 0.8;

@@ -40,19 +40,25 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod backend;
 pub mod calibration;
 pub mod error;
 pub mod evaluation;
 pub mod model;
 pub mod simulator;
+pub mod snapshot;
 pub mod sweep;
 
+pub use backend::DischargeBackend;
 pub use error::ModelError;
 pub use model::suite::ModelSuite;
 
 /// Convenient re-exports of the types most users need.
 pub mod prelude {
-    pub use crate::calibration::{CalibrationConfig, CalibrationReport, Calibrator};
+    pub use crate::backend::DischargeBackend;
+    pub use crate::calibration::{
+        CalibrationConfig, CalibrationOutcome, CalibrationReport, Calibrator,
+    };
     pub use crate::error::ModelError;
     pub use crate::evaluation::{ModelEvaluator, RmsErrorReport, SpeedupReport};
     pub use crate::model::discharge::DischargeModel;

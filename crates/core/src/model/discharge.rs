@@ -150,6 +150,40 @@ impl DischargeModel {
         (self.vdd_nominal.0 + drop).clamp(0.0, self.vdd_nominal.0)
     }
 
+    /// Fills `out[i]` with the bit-line voltage at `times[i]`, batched and
+    /// without domain validation.
+    ///
+    /// The overdrive factor `p4(V_od)` is evaluated once and the time factor
+    /// `p2(t)` runs through the blocked Horner kernel
+    /// ([`Polynomial::eval_many_in_place`]); every point performs the same
+    /// floating-point operations in the same order as
+    /// [`DischargeModel::bitline_voltage_unchecked`], so the fill is
+    /// bit-identical to the scalar path.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `times` and `out` have different lengths.
+    pub fn fill_bitline_voltages_unchecked(
+        &self,
+        times: &[Seconds],
+        word_line: Volts,
+        out: &mut [f64],
+    ) {
+        assert_eq!(
+            times.len(),
+            out.len(),
+            "fill_bitline_voltages_unchecked needs one output slot per time"
+        );
+        let overdrive_factor = self.factor_overdrive.eval(word_line.0 - self.threshold.0);
+        for (o, t) in out.iter_mut().zip(times) {
+            *o = to_nanoseconds(t.0);
+        }
+        self.factor_time.eval_many_in_place(out);
+        for o in out.iter_mut() {
+            *o = (self.vdd_nominal.0 + overdrive_factor * *o).clamp(0.0, self.vdd_nominal.0);
+        }
+    }
+
     /// Discharge `ΔV_BL = V_DD,nom − V_BL` (always non-negative).
     ///
     /// # Errors
@@ -223,6 +257,20 @@ mod tests {
         assert!(model.bitline_voltage(Seconds(1e-9), Volts(0.1)).is_err());
         // Slightly outside (within the 10 % margin) is accepted.
         assert!(model.bitline_voltage(Seconds(2.1e-9), Volts(0.8)).is_ok());
+    }
+
+    #[test]
+    fn batched_fill_is_bit_identical_to_scalar_path() {
+        let model = toy_model();
+        let times: Vec<Seconds> = (0..13)
+            .map(|i| Seconds(0.1e-9 + 0.14e-9 * i as f64))
+            .collect();
+        let mut batched = vec![0.0; times.len()];
+        model.fill_bitline_voltages_unchecked(&times, Volts(0.85), &mut batched);
+        for (t, v) in times.iter().zip(&batched) {
+            let scalar = model.bitline_voltage_unchecked(*t, Volts(0.85));
+            assert_eq!(scalar.to_bits(), v.to_bits(), "t = {} s", t.0);
+        }
     }
 
     #[test]

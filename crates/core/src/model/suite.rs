@@ -128,6 +128,113 @@ impl ModelSuite {
             .apply(with_supply, time, word_line, temperature)
     }
 
+    /// Fills `out[i]` with the bit-line voltage at `times[i]` (batched
+    /// Eqs. 3–5, no domain validation).
+    ///
+    /// The per-condition scalars — overdrive factor, supply correction and
+    /// temperature sensitivity — are evaluated once, and the time polynomial
+    /// runs through the blocked Horner kernel; every point performs the same
+    /// floating-point operations in the same order as
+    /// [`ModelSuite::bitline_voltage_unchecked`], so the fill is
+    /// bit-identical to the scalar path.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `times` and `out` have different lengths.
+    pub fn fill_bitline_voltages_unchecked(
+        &self,
+        times: &[Seconds],
+        word_line: Volts,
+        vdd: Volts,
+        temperature: Celsius,
+        out: &mut [f64],
+    ) {
+        self.discharge
+            .fill_bitline_voltages_unchecked(times, word_line, out);
+        let supply_factor = self.supply.factor(vdd);
+        let delta_t = temperature.0 - self.temperature.temperature_nominal().0;
+        let sensitivity = self.temperature.sensitivity().eval(word_line.0);
+        for (o, t) in out.iter_mut().zip(times) {
+            let with_supply = (*o * supply_factor).max(0.0);
+            let t_ns = crate::model::to_nanoseconds(t.0);
+            *o = (with_supply + t_ns * delta_t * sensitivity).max(0.0);
+        }
+    }
+
+    /// Fills `out[i]` with the discharge `ΔV_BL` at `times[i]` for a cell
+    /// storing `stored_bit` (the batched equivalent of
+    /// [`ModelSuite::discharge`], bit-identical to calling it per point).
+    ///
+    /// This is the kernel behind the batched multiplier-table construction
+    /// and the PVT corner sweeps: one call evaluates a whole time grid at a
+    /// fixed word-line voltage, with each `(time, word_line)` point still
+    /// validated against the calibrated domain.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::OutOfCalibrationRange`] for the first (lowest
+    /// index) point outside the calibrated domain; `out` is unspecified in
+    /// that case.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `times` and `out` have different lengths.
+    pub fn fill_discharges(
+        &self,
+        times: &[Seconds],
+        word_line: Volts,
+        stored_bit: bool,
+        vdd: Volts,
+        temperature: Celsius,
+        out: &mut [f64],
+    ) -> Result<(), ModelError> {
+        assert_eq!(
+            times.len(),
+            out.len(),
+            "fill_discharges needs one output slot per time"
+        );
+        if !stored_bit {
+            out.fill(0.0);
+            return Ok(());
+        }
+        for &t in times {
+            self.discharge.check_domain(t, word_line)?;
+        }
+        self.fill_bitline_voltages_unchecked(times, word_line, vdd, temperature, out);
+        let precharge = self.precharge_level(vdd);
+        for o in out.iter_mut() {
+            *o = (precharge.0 - *o).max(0.0);
+        }
+        Ok(())
+    }
+
+    /// Fills `out` with the bit-line voltage over a whole
+    /// `word_lines × times` operand grid (row-major: one row of
+    /// `times.len()` values per word line), without domain validation.
+    /// Bit-identical to the scalar path like
+    /// [`ModelSuite::fill_bitline_voltages_unchecked`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when `out` is not exactly `word_lines.len() * times.len()` long.
+    pub fn fill_bitline_voltage_grid_unchecked(
+        &self,
+        times: &[Seconds],
+        word_lines: &[Volts],
+        vdd: Volts,
+        temperature: Celsius,
+        out: &mut [f64],
+    ) {
+        assert_eq!(
+            out.len(),
+            word_lines.len() * times.len(),
+            "fill_bitline_voltage_grid_unchecked needs one slot per grid point"
+        );
+        for (row, &word_line) in out.chunks_exact_mut(times.len()).zip(word_lines) {
+            self.fill_bitline_voltages_unchecked(times, word_line, vdd, temperature, row);
+        }
+    }
+
     /// Bit-line discharge `ΔV_BL` (relative to the supply-scaled pre-charge
     /// level) for a cell storing `stored_bit`.
     ///
@@ -345,6 +452,59 @@ mod tests {
             )
             .unwrap();
         assert_eq!(zero.0, 0.0);
+    }
+
+    #[test]
+    fn batched_fills_are_bit_identical_to_scalar_paths() {
+        let suite = toy_suite();
+        let times: Vec<Seconds> = (0..11)
+            .map(|i| Seconds(0.1e-9 + 0.17e-9 * i as f64))
+            .collect();
+        let word_lines = [Volts(0.6), Volts(0.85), Volts(1.0)];
+        let vdd = Volts(1.05);
+        let temp = Celsius(75.0);
+
+        let mut voltages = vec![0.0; times.len()];
+        let mut discharges = vec![0.0; times.len()];
+        let mut grid = vec![0.0; times.len() * word_lines.len()];
+        suite.fill_bitline_voltage_grid_unchecked(&times, &word_lines, vdd, temp, &mut grid);
+        for (w, &word_line) in word_lines.iter().enumerate() {
+            suite.fill_bitline_voltages_unchecked(&times, word_line, vdd, temp, &mut voltages);
+            suite
+                .fill_discharges(&times, word_line, true, vdd, temp, &mut discharges)
+                .unwrap();
+            for (i, &t) in times.iter().enumerate() {
+                let scalar_v = suite.bitline_voltage_unchecked(t, word_line, vdd, temp);
+                let scalar_d = suite.discharge(t, word_line, true, vdd, temp).unwrap().0;
+                assert_eq!(scalar_v.to_bits(), voltages[i].to_bits());
+                assert_eq!(scalar_v.to_bits(), grid[w * times.len() + i].to_bits());
+                assert_eq!(scalar_d.to_bits(), discharges[i].to_bits());
+            }
+        }
+
+        // A stored '0' never discharges, batched or scalar.
+        suite
+            .fill_discharges(&times, Volts(0.9), false, vdd, temp, &mut discharges)
+            .unwrap();
+        assert!(discharges.iter().all(|&d| d == 0.0));
+    }
+
+    #[test]
+    fn batched_discharge_fill_validates_every_grid_point() {
+        let suite = toy_suite();
+        let mut out = [0.0; 2];
+        // 10 ns is far outside the 3 ns calibrated window of the toy suite.
+        let err = suite
+            .fill_discharges(
+                &[Seconds(1e-9), Seconds(10e-9)],
+                Volts(0.9),
+                true,
+                Volts(1.0),
+                Celsius(25.0),
+                &mut out,
+            )
+            .unwrap_err();
+        assert!(matches!(err, ModelError::OutOfCalibrationRange { .. }));
     }
 
     #[test]

@@ -94,8 +94,11 @@ impl SimulationTrace {
     }
 
     /// The samples of one column, in time order.
-    pub fn samples_for_column(&self, column: usize) -> Vec<&BitlineSample> {
-        self.samples.iter().filter(|s| s.column == column).collect()
+    ///
+    /// Returns a lazy iterator — this is called inside sweep loops, and the
+    /// previous `Vec<&BitlineSample>` return type allocated on every call.
+    pub fn samples_for_column(&self, column: usize) -> impl Iterator<Item = &BitlineSample> + '_ {
+        self.samples.iter().filter(move |s| s.column == column)
     }
 }
 
@@ -474,8 +477,8 @@ mod tests {
             Event::new(Seconds(1.2e-9), EventKind::ReleaseWordLine),
         ];
         let trace = sim.run(&events).unwrap();
-        let col0 = trace.samples_for_column(0);
-        let col1 = trace.samples_for_column(1);
+        let col0: Vec<_> = trace.samples_for_column(0).collect();
+        let col1: Vec<_> = trace.samples_for_column(1).collect();
         assert_eq!(col0.len(), 1);
         assert_eq!(col1.len(), 1);
         // Column 1 was sampled twice as late ⇒ about twice the discharge.

@@ -25,6 +25,15 @@ pub enum DnnError {
         /// Number of classes.
         classes: usize,
     },
+    /// One image of a batched dataset evaluation failed.  The sweep is
+    /// error-strict: no partial report is returned and the lowest failing
+    /// image index is named.
+    EvaluationFailed {
+        /// Zero-based index of the failing image in the evaluated split.
+        image_index: usize,
+        /// The underlying error.
+        source: Box<DnnError>,
+    },
 }
 
 impl fmt::Display for DnnError {
@@ -39,11 +48,24 @@ impl fmt::Display for DnnError {
             DnnError::InvalidLabel { label, classes } => {
                 write!(f, "label {label} out of range for {classes} classes")
             }
+            DnnError::EvaluationFailed {
+                image_index,
+                source,
+            } => {
+                write!(f, "evaluation of image {image_index} failed: {source}")
+            }
         }
     }
 }
 
-impl std::error::Error for DnnError {}
+impl std::error::Error for DnnError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DnnError::EvaluationFailed { source, .. } => Some(source.as_ref()),
+            _ => None,
+        }
+    }
+}
 
 #[cfg(test)]
 mod tests {

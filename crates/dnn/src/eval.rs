@@ -140,7 +140,8 @@ pub fn evaluate(
 ///
 /// # Errors
 ///
-/// Propagates the first (lowest-index) inference error.
+/// Returns [`DnnError::EvaluationFailed`] naming the first (lowest) failing
+/// image index, wrapping the underlying inference error.
 pub fn evaluate_batched(
     model: &(impl BatchInferenceModel + ?Sized),
     dataset: &Dataset,
@@ -153,7 +154,10 @@ pub fn evaluate_batched(
     let hits = par_map_sweep(&samples, threads, |_, &(image, label)| {
         Ok::<_, DnnError>(score(&model.predict(image)?, label))
     })
-    .map_err(|failure| failure.source)?;
+    .map_err(|failure| DnnError::EvaluationFailed {
+        image_index: failure.index,
+        source: Box::new(failure.source),
+    })?;
     Ok(reduce(hits))
 }
 

@@ -71,9 +71,12 @@ impl Layer for MaxPool2d {
     }
 
     fn forward(&mut self, input: &Tensor) -> Result<Tensor, DnnError> {
-        self.argmax.clear();
-        let argmax = &mut self.argmax;
+        // Commit the cached state only after a successful scan: a failed
+        // forward must not leave a stale input_shape paired with a cleared
+        // argmax, which would make a later backward silently return zeros.
+        let mut argmax = Vec::new();
         let output = max_pool_scan(input, |index, _| argmax.push(index))?;
+        self.argmax = argmax;
         self.input_shape = input.shape().to_vec();
         Ok(output)
     }

@@ -40,7 +40,13 @@ impl MultiplierMetrics {
     }
 }
 
-/// Evaluates a multiplier over the full input space at the given operating point.
+/// Evaluates a multiplier over the full input space at the given operating
+/// point, through the batched analog grid
+/// ([`InSramMultiplier::outcome_grid`]): the fitted polynomials are
+/// evaluated once per (operand, column) instead of once per operand pair.
+///
+/// Bit-identical to [`evaluate_multiplier_at_scalar`] (enforced by property
+/// tests).
 ///
 /// # Errors
 ///
@@ -49,21 +55,49 @@ pub fn evaluate_multiplier_at(
     multiplier: &InSramMultiplier,
     at: OperatingPoint,
 ) -> Result<MultiplierMetrics, ImcError> {
-    let mut abs_errors = Vec::with_capacity(256);
-    let mut signed_errors = Vec::with_capacity(256);
-    let mut multiply_energies = Vec::with_capacity(256);
-    let mut total_energies = Vec::with_capacity(256);
-    let mut worst_sigma: f64 = 0.0;
+    let outcomes = multiplier.outcome_grid(at)?;
+    let sigmas = multiplier.analog_sigma_grid()?;
+    metrics_from(&outcomes, &sigmas)
+}
 
+/// The scalar per-pair reference implementation of
+/// [`evaluate_multiplier_at`], kept for bit-identity verification in tests
+/// and the `analog_mac` benches.
+///
+/// # Errors
+///
+/// Propagates multiplier evaluation errors.
+pub fn evaluate_multiplier_at_scalar(
+    multiplier: &InSramMultiplier,
+    at: OperatingPoint,
+) -> Result<MultiplierMetrics, ImcError> {
+    let mut outcomes = Vec::with_capacity(256);
+    let mut sigmas = Vec::with_capacity(256);
     for a in 0..=OPERAND_MAX {
         for d in 0..=OPERAND_MAX {
-            let outcome = multiplier.multiply_at(a, d, at)?;
-            signed_errors.push(outcome.error_lsb());
-            abs_errors.push(outcome.error_lsb().abs());
-            multiply_energies.push(outcome.multiply_energy.0);
-            total_energies.push(outcome.total_energy().0);
-            worst_sigma = worst_sigma.max(multiplier.analog_sigma(a, d)?.0);
+            outcomes.push(multiplier.multiply_at(a, d, at)?);
+            sigmas.push(multiplier.analog_sigma(a, d)?);
         }
+    }
+    metrics_from(&outcomes, &sigmas)
+}
+
+fn metrics_from(
+    outcomes: &[crate::multiplier::MultiplyOutcome],
+    sigmas: &[Volts],
+) -> Result<MultiplierMetrics, ImcError> {
+    let mut abs_errors = Vec::with_capacity(outcomes.len());
+    let mut signed_errors = Vec::with_capacity(outcomes.len());
+    let mut multiply_energies = Vec::with_capacity(outcomes.len());
+    let mut total_energies = Vec::with_capacity(outcomes.len());
+    let mut worst_sigma: f64 = 0.0;
+
+    for (outcome, sigma) in outcomes.iter().zip(sigmas) {
+        signed_errors.push(outcome.error_lsb());
+        abs_errors.push(outcome.error_lsb().abs());
+        multiply_energies.push(outcome.multiply_energy.0);
+        total_energies.push(outcome.total_energy().0);
+        worst_sigma = worst_sigma.max(sigma.0);
     }
 
     Ok(MultiplierMetrics {
@@ -72,7 +106,8 @@ pub fn evaluate_multiplier_at(
         max_error_lsb: abs_errors.iter().cloned().fold(0.0, f64::max),
         energy_per_multiply: FemtoJoules(stats::mean(&multiply_energies)),
         energy_per_operation: FemtoJoules(stats::mean(&total_energies)),
-        sigma_at_max_discharge: multiplier.analog_sigma(OPERAND_MAX, OPERAND_MAX)?,
+        // The last grid entry is (a, d) = (15, 15): the maximum discharge.
+        sigma_at_max_discharge: *sigmas.last().expect("input space is never empty"),
         worst_case_sigma: Volts(worst_sigma),
     })
 }
@@ -149,6 +184,16 @@ mod tests {
         let good = evaluate_multiplier(&near_ideal()).unwrap();
         let bad = evaluate_multiplier(&nonlinear()).unwrap();
         assert!(good.figure_of_merit() > bad.figure_of_merit());
+    }
+
+    #[test]
+    fn batched_metrics_are_bit_identical_to_the_scalar_reference() {
+        for multiplier in [near_ideal(), nonlinear()] {
+            let at = multiplier.nominal_operating_point();
+            let batched = evaluate_multiplier_at(&multiplier, at).unwrap();
+            let scalar = evaluate_multiplier_at_scalar(&multiplier, at).unwrap();
+            assert_eq!(batched, scalar);
+        }
     }
 
     #[test]

@@ -204,14 +204,15 @@ impl InSramMultiplier {
     }
 
     /// Least-squares calibration of the discharge-to-LSB transfer factor over
-    /// the full 16×16 input space at nominal conditions.
+    /// the full 16×16 input space at nominal conditions (batched: the analog
+    /// grid is evaluated once, then combined per operand pair).
     fn calibrate_transfer(&mut self) -> Result<(), ImcError> {
+        let grid = self.analog_grid(self.nominal)?;
         let mut numerator = 0.0;
         let mut denominator = 0.0;
         for a in 0..=OPERAND_MAX {
             for d in 0..=OPERAND_MAX {
-                let discharge =
-                    self.combined_discharge::<rand_chacha::ChaCha8Rng>(a, d, self.nominal, None)?;
+                let discharge = grid.combined_discharge(a, d);
                 let expected = (a * d) as f64;
                 numerator += discharge * expected;
                 denominator += expected * expected;
@@ -224,6 +225,129 @@ impl InSramMultiplier {
         }
         self.volts_per_lsb = numerator / denominator;
         Ok(())
+    }
+
+    /// Discharge duration of column `bit` (`2^bit · τ0`).
+    fn column_duration(&self, bit: u8) -> Seconds {
+        Seconds(self.config.tau0.0 * (1u32 << bit) as f64)
+    }
+
+    /// Precomputes every per-(DAC operand, column) analog quantity at `at`
+    /// through the batched model fills.
+    ///
+    /// This is the batched analog hot path: 16 word-line voltages and
+    /// 16 × [`OPERAND_BITS`] discharges/energies are evaluated once, and the
+    /// 256 operand pairs of the input space are then combined from them —
+    /// bit-identical to evaluating each pair through the scalar
+    /// [`InSramMultiplier::multiply_at`] path, because a pair's discharge is
+    /// the same sum of the same per-column values in the same (bit-ascending)
+    /// order.
+    ///
+    /// # Errors
+    ///
+    /// Propagates converter and model-evaluation errors, in the same
+    /// operand-major order as the scalar input-space loop.
+    pub fn analog_grid(&self, at: OperatingPoint) -> Result<AnalogOperandGrid, ImcError> {
+        let operands = OPERAND_MAX as usize + 1;
+        let bits = OPERAND_BITS as usize;
+        let durations: Vec<Seconds> = (0..OPERAND_BITS).map(|b| self.column_duration(b)).collect();
+        let mut word_lines = Vec::with_capacity(operands);
+        let mut deltas = vec![0.0; operands * bits];
+        let mut energies = vec![0.0; operands * bits];
+        for a in 0..operands {
+            let word_line =
+                self.dac
+                    .output_with_supply(a as u16, at.vdd, self.models.vdd_nominal())?;
+            word_lines.push(word_line);
+            let delta_row = &mut deltas[a * bits..(a + 1) * bits];
+            self.models.fill_discharges(
+                &durations,
+                word_line,
+                true,
+                at.vdd,
+                at.temperature,
+                delta_row,
+            )?;
+            for (energy, &delta) in energies[a * bits..(a + 1) * bits]
+                .iter_mut()
+                .zip(&*delta_row)
+            {
+                *energy = self
+                    .models
+                    .discharge_energy(Volts(delta), at.vdd, at.temperature)
+                    .0;
+            }
+        }
+        Ok(AnalogOperandGrid {
+            word_lines,
+            deltas,
+            energies,
+            write_energy: FemtoJoules(
+                self.models.write_energy(at.vdd, at.temperature).0 * OPERAND_BITS as f64,
+            ),
+        })
+    }
+
+    /// Evaluates the full 16×16 input space at `at` through the batched
+    /// analog grid, returning the outcomes in operand-major order
+    /// (`a` outer, `d` inner) — bit-identical to calling
+    /// [`InSramMultiplier::multiply_at`] for every pair.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`InSramMultiplier::analog_grid`].
+    pub fn outcome_grid(&self, at: OperatingPoint) -> Result<Vec<MultiplyOutcome>, ImcError> {
+        let grid = self.analog_grid(at)?;
+        let mut outcomes = Vec::with_capacity(grid.word_lines.len() * grid.word_lines.len());
+        for a in 0..=OPERAND_MAX {
+            for d in 0..=OPERAND_MAX {
+                outcomes.push(self.finish_outcome(
+                    a,
+                    d,
+                    grid.combined_discharge(a, d),
+                    |bit| grid.energy(a, bit),
+                    grid.write_energy,
+                ));
+            }
+        }
+        Ok(outcomes)
+    }
+
+    /// Analog mismatch σ of every operand pair, in operand-major order —
+    /// bit-identical to calling [`InSramMultiplier::analog_sigma`] for every
+    /// pair, from [`OPERAND_BITS`] × 16 σ-model evaluations instead of one
+    /// per set bit of every pair.
+    ///
+    /// # Errors
+    ///
+    /// Propagates converter errors.
+    pub fn analog_sigma_grid(&self) -> Result<Vec<Volts>, ImcError> {
+        let operands = OPERAND_MAX as usize + 1;
+        let bits = OPERAND_BITS as usize;
+        let mut sigmas = vec![0.0; operands * bits];
+        for a in 0..operands {
+            let word_line = self.dac.output(a as u16)?;
+            for bit in 0..OPERAND_BITS {
+                sigmas[a * bits + bit as usize] = self
+                    .models
+                    .mismatch_sigma(self.column_duration(bit), word_line)
+                    .0;
+            }
+        }
+        let mut grid = Vec::with_capacity(operands * operands);
+        for a in 0..operands {
+            for d in 0..=OPERAND_MAX {
+                let mut variance = 0.0;
+                for bit in 0..bits {
+                    if (d >> bit) & 1 == 1 {
+                        let sigma = sigmas[a * bits + bit];
+                        variance += sigma * sigma;
+                    }
+                }
+                grid.push(Volts(variance.sqrt() / OPERAND_BITS as f64));
+            }
+        }
+        Ok(grid)
     }
 
     /// Combined (charge-shared) discharge for operands `a` (DAC input) and
@@ -347,35 +471,55 @@ impl InSramMultiplier {
     }
 
     fn digitise(&self, a: u16, d: u16, discharge: f64, at: OperatingPoint) -> MultiplyOutcome {
-        // Round-to-nearest quantisation in product-LSB units, clamped to the
-        // ADC code range (8 bits, enough for the 0..=225 product range).
-        let raw = (discharge / self.volts_per_lsb).round();
-        let result = raw.clamp(0.0, self.adc.max_code() as f64) as u16;
-
         // Energy: per-column discharge energies + converter overhead.
         let word_line = self
             .dac
             .output_with_supply(a, at.vdd, self.models.vdd_nominal())
             .unwrap_or(Volts(self.config.vdac_zero.0));
-        let mut multiply_energy = self.converter_overhead.0;
-        for bit in 0..OPERAND_BITS {
-            if (d >> bit) & 1 == 0 {
-                continue;
-            }
-            let duration = Seconds(self.config.tau0.0 * (1u32 << bit) as f64);
+        let column_energy = |bit: u8| {
             let delta = self
                 .models
-                .discharge(duration, word_line, true, at.vdd, at.temperature)
+                .discharge(
+                    self.column_duration(bit),
+                    word_line,
+                    true,
+                    at.vdd,
+                    at.temperature,
+                )
                 .map(|v| v.0)
                 .unwrap_or(0.0);
-            multiply_energy += self
-                .models
+            self.models
                 .discharge_energy(Volts(delta), at.vdd, at.temperature)
-                .0;
-        }
+                .0
+        };
         let write_energy =
             FemtoJoules(self.models.write_energy(at.vdd, at.temperature).0 * OPERAND_BITS as f64);
+        self.finish_outcome(a, d, discharge, column_energy, write_energy)
+    }
 
+    /// Shared readout back half of the scalar and batched multiply paths:
+    /// ADC quantisation of the combined discharge plus the per-set-bit
+    /// energy combination.  Only how the per-column energy is obtained
+    /// differs between the callers (live model evaluation vs. precomputed
+    /// grid), so any change to the readout model lands in both paths.
+    fn finish_outcome(
+        &self,
+        a: u16,
+        d: u16,
+        discharge: f64,
+        column_energy: impl Fn(u8) -> f64,
+        write_energy: FemtoJoules,
+    ) -> MultiplyOutcome {
+        // Round-to-nearest quantisation in product-LSB units, clamped to the
+        // ADC code range (8 bits, enough for the 0..=225 product range).
+        let raw = (discharge / self.volts_per_lsb).round();
+        let result = raw.clamp(0.0, self.adc.max_code() as f64) as u16;
+        let mut multiply_energy = self.converter_overhead.0;
+        for bit in 0..OPERAND_BITS {
+            if (d >> bit) & 1 == 1 {
+                multiply_energy += column_energy(bit);
+            }
+        }
         MultiplyOutcome {
             result,
             expected: a * d,
@@ -383,6 +527,54 @@ impl InSramMultiplier {
             multiply_energy: FemtoJoules(multiply_energy),
             write_energy,
         }
+    }
+}
+
+/// Per-(DAC operand, column) analog quantities of one multiplier at one
+/// operating point, precomputed through the batched model fills.
+///
+/// Built by [`InSramMultiplier::analog_grid`]; the 256 operand pairs of the
+/// input space combine these 16 × [`OPERAND_BITS`] values instead of
+/// re-evaluating the fitted polynomials per pair.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnalogOperandGrid {
+    /// Word-line voltage per DAC operand `a`.
+    word_lines: Vec<Volts>,
+    /// Discharge `ΔV` per `(a, bit)`, row-major with [`OPERAND_BITS`] per row.
+    deltas: Vec<f64>,
+    /// Discharge energy per `(a, bit)` (femtojoules).
+    energies: Vec<f64>,
+    /// Energy of writing one [`OPERAND_BITS`]-bit operand.
+    write_energy: FemtoJoules,
+}
+
+impl AnalogOperandGrid {
+    /// Discharge `ΔV` of column `bit` for DAC operand `a`.
+    fn delta(&self, a: u16, bit: u8) -> f64 {
+        self.deltas[a as usize * OPERAND_BITS as usize + bit as usize]
+    }
+
+    /// Discharge energy of column `bit` for DAC operand `a` (femtojoules).
+    fn energy(&self, a: u16, bit: u8) -> f64 {
+        self.energies[a as usize * OPERAND_BITS as usize + bit as usize]
+    }
+
+    /// Charge-shared combined discharge for the operand pair `(a, d)`:
+    /// the same per-column values summed in the same bit-ascending order as
+    /// the scalar multiply path, so the result is bit-identical to it.
+    pub fn combined_discharge(&self, a: u16, d: u16) -> f64 {
+        let mut total = 0.0;
+        for bit in 0..OPERAND_BITS {
+            if (d >> bit) & 1 == 1 {
+                total += self.delta(a, bit);
+            }
+        }
+        total / OPERAND_BITS as f64
+    }
+
+    /// Word-line voltage the DAC produced for operand `a`.
+    pub fn word_line(&self, a: u16) -> Volts {
+        self.word_lines[a as usize]
     }
 }
 
@@ -401,7 +593,12 @@ pub struct MultiplierTable {
 
 impl MultiplierTable {
     /// Builds the table by evaluating every operand pair at the given
-    /// operating point.
+    /// operating point through the batched analog grid
+    /// ([`InSramMultiplier::outcome_grid`]).
+    ///
+    /// Bit-identical to [`MultiplierTable::from_multiplier_scalar`] — the
+    /// equivalence is enforced by property tests and re-checked by the
+    /// `analog_mac` bench report.
     ///
     /// # Errors
     ///
@@ -410,16 +607,37 @@ impl MultiplierTable {
         multiplier: &InSramMultiplier,
         at: OperatingPoint,
     ) -> Result<Self, ImcError> {
+        Self::from_outcomes(multiplier.outcome_grid(at)?)
+    }
+
+    /// Builds the table through the scalar per-pair multiply path — the
+    /// reference implementation the batched
+    /// [`MultiplierTable::from_multiplier`] is verified against.
+    ///
+    /// # Errors
+    ///
+    /// Propagates multiplier errors.
+    pub fn from_multiplier_scalar(
+        multiplier: &InSramMultiplier,
+        at: OperatingPoint,
+    ) -> Result<Self, ImcError> {
+        let mut outcomes = Vec::with_capacity(256);
+        for a in 0..=OPERAND_MAX {
+            for d in 0..=OPERAND_MAX {
+                outcomes.push(multiplier.multiply_at(a, d, at)?);
+            }
+        }
+        Self::from_outcomes(outcomes)
+    }
+
+    fn from_outcomes(outcomes: Vec<MultiplyOutcome>) -> Result<Self, ImcError> {
         let mut results = Vec::with_capacity(256);
         let mut energy_sum = 0.0;
         let mut total_sum = 0.0;
-        for a in 0..=OPERAND_MAX {
-            for d in 0..=OPERAND_MAX {
-                let outcome = multiplier.multiply_at(a, d, at)?;
-                results.push(outcome.result);
-                energy_sum += outcome.multiply_energy.0;
-                total_sum += outcome.total_energy().0;
-            }
+        for outcome in &outcomes {
+            results.push(outcome.result);
+            energy_sum += outcome.multiply_energy.0;
+            total_sum += outcome.total_energy().0;
         }
         Ok(MultiplierTable {
             results,
@@ -616,6 +834,63 @@ mod tests {
         assert!(table.average_multiply_energy().0 > 0.0);
         assert!(table.average_total_energy().0 > table.average_multiply_energy().0);
         assert!(table.mean_absolute_error() < 1.0);
+    }
+
+    #[test]
+    fn batched_outcome_grid_is_bit_identical_to_scalar_multiplication() {
+        for suite in [
+            crate::testsupport::linear_suite(),
+            crate::testsupport::pvt_sensitive_suite(),
+        ] {
+            let multiplier = InSramMultiplier::new(suite, ideal_config()).unwrap();
+            for at in [
+                multiplier.nominal_operating_point(),
+                OperatingPoint {
+                    vdd: Volts(0.95),
+                    temperature: Celsius(60.0),
+                },
+            ] {
+                let outcomes = multiplier.outcome_grid(at).unwrap();
+                let sigmas = multiplier.analog_sigma_grid().unwrap();
+                assert_eq!(outcomes.len(), 256);
+                for a in 0..=OPERAND_MAX {
+                    for d in 0..=OPERAND_MAX {
+                        let index = (a * (OPERAND_MAX + 1) + d) as usize;
+                        let scalar = multiplier.multiply_at(a, d, at).unwrap();
+                        assert_eq!(outcomes[index], scalar, "a = {a}, d = {d}");
+                        let scalar_sigma = multiplier.analog_sigma(a, d).unwrap();
+                        assert_eq!(
+                            sigmas[index].0.to_bits(),
+                            scalar_sigma.0.to_bits(),
+                            "sigma at a = {a}, d = {d}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batched_table_is_bit_identical_to_scalar_table() {
+        let multiplier = InSramMultiplier::new(linear_suite(), ideal_config()).unwrap();
+        let at = multiplier.nominal_operating_point();
+        let batched = MultiplierTable::from_multiplier(&multiplier, at).unwrap();
+        let scalar = MultiplierTable::from_multiplier_scalar(&multiplier, at).unwrap();
+        assert_eq!(batched, scalar);
+    }
+
+    #[test]
+    fn analog_grid_exposes_per_column_quantities() {
+        let multiplier = InSramMultiplier::new(linear_suite(), ideal_config()).unwrap();
+        let grid = multiplier
+            .analog_grid(multiplier.nominal_operating_point())
+            .unwrap();
+        // d = 1 uses only column 0, so the combined discharge is delta/4.
+        let single = grid.combined_discharge(9, 1);
+        assert!(single > 0.0);
+        assert_eq!(grid.combined_discharge(9, 0), 0.0);
+        // Word lines grow with the DAC code for a linear transfer.
+        assert!(grid.word_line(15).0 > grid.word_line(0).0);
     }
 
     #[test]

@@ -13,7 +13,10 @@
 //! [`optima_core::sweep`]: a failing condition aborts the analysis with
 //! [`ImcError::CornerFailed`] naming it, and every reported number —
 //! including the Monte-Carlo statistics, which draw one split-seed RNG
-//! stream per sample — is bit-identical for any thread count.
+//! stream per sample — is bit-identical for any thread count.  Inside each
+//! swept condition the full 16×16 operand grid is evaluated through the
+//! batched analog path ([`InSramMultiplier::outcome_grid`]), which is
+//! bit-identical to the scalar per-pair loop it replaced.
 
 use crate::error::ImcError;
 use crate::multiplier::{InSramMultiplier, OperatingPoint, OPERAND_MAX, PRODUCT_MAX};
@@ -133,33 +136,37 @@ impl PvtAnalysis {
         let nominal = multiplier.nominal_operating_point();
 
         // ---- Fig. 8 left: error and sigma binned by expected result ----
-        // One sweep item per DAC operand row; rows reassemble in operand
-        // order, so binning sees samples in the same (a, d) order as a
-        // serial double loop.
-        let a_values: Vec<u16> = (0..=OPERAND_MAX).collect();
-        let rows = par_map_sweep(&a_values, config.threads, |_, &a| {
-            let mut row = Vec::with_capacity(OPERAND_MAX as usize + 1);
-            for d in 0..=OPERAND_MAX {
-                let outcome = multiplier.multiply_at(a, d, nominal)?;
-                let sigma = multiplier.analog_sigma(a, d)?.0;
-                row.push((outcome.expected, outcome.error_lsb(), sigma));
-            }
-            Ok::<_, ImcError>(row)
-        })
-        .map_err(|err| {
-            let a = a_values[err.index];
-            ImcError::from_sweep(err, format!("input-space row a = {a}"))
-        })?;
+        // The whole 16×16 input space is evaluated in one batched analog-grid
+        // pass ([`InSramMultiplier::outcome_grid`]); outcomes come back in
+        // operand-major order, so binning sees samples in the same (a, d)
+        // order as the historical serial double loop — and the grid itself is
+        // bit-identical to that loop.
+        let outcomes =
+            multiplier
+                .outcome_grid(nominal)
+                .map_err(|source| ImcError::CornerFailed {
+                    index: 0,
+                    corner: "nominal input-space grid".to_string(),
+                    source: Box::new(source),
+                })?;
+        let sigmas = multiplier
+            .analog_sigma_grid()
+            .map_err(|source| ImcError::CornerFailed {
+                index: 0,
+                corner: "nominal input-space sigma grid".to_string(),
+                source: Box::new(source),
+            })?;
 
         let mut per_expected_error: Vec<Vec<f64>> = vec![Vec::new(); PRODUCT_MAX as usize + 1];
         let mut per_expected_sigma: Vec<Vec<f64>> = vec![Vec::new(); PRODUCT_MAX as usize + 1];
         let mut abs_errors = Vec::with_capacity(256);
         let mut worst_sigma: f64 = 0.0;
-        for (expected, error_lsb, sigma) in rows.into_iter().flatten() {
-            per_expected_error[expected as usize].push(error_lsb);
-            per_expected_sigma[expected as usize].push(sigma);
+        for (outcome, sigma) in outcomes.iter().zip(&sigmas) {
+            let error_lsb = outcome.error_lsb();
+            per_expected_error[outcome.expected as usize].push(error_lsb);
+            per_expected_sigma[outcome.expected as usize].push(sigma.0);
             abs_errors.push(error_lsb.abs());
-            worst_sigma = worst_sigma.max(sigma);
+            worst_sigma = worst_sigma.max(sigma.0);
         }
 
         let mut result_profile = ResultProfile::default();
@@ -248,14 +255,15 @@ impl PvtAnalysis {
     }
 }
 
-/// Average absolute error over the full input space at one operating point.
+/// Average absolute error over the full input space at one operating point,
+/// evaluated through the batched analog grid (bit-identical to the scalar
+/// per-pair loop it replaced).
 fn average_error_at(multiplier: &InSramMultiplier, at: OperatingPoint) -> Result<f64, ImcError> {
-    let mut errors = Vec::with_capacity(256);
-    for a in 0..=OPERAND_MAX {
-        for d in 0..=OPERAND_MAX {
-            errors.push(multiplier.multiply_at(a, d, at)?.error_lsb().abs());
-        }
-    }
+    let errors: Vec<f64> = multiplier
+        .outcome_grid(at)?
+        .iter()
+        .map(|outcome| outcome.error_lsb().abs())
+        .collect();
     Ok(stats::mean(&errors))
 }
 

@@ -87,9 +87,76 @@ impl Polynomial {
     }
 
     /// Evaluates the polynomial at every point of `xs`.
+    ///
+    /// Bit-identical to calling [`Polynomial::eval`] per point (see
+    /// [`Polynomial::eval_many_into`]).
     pub fn eval_many(&self, xs: &[f64]) -> Vec<f64> {
-        xs.iter().map(|&x| self.eval(x)).collect()
+        let mut out = vec![0.0; xs.len()];
+        self.eval_many_into(xs, &mut out);
+        out
     }
+
+    /// Evaluates the polynomial at every point of `xs` into `out`.
+    ///
+    /// This is the batched Horner kernel of the analog hot path: points are
+    /// processed in blocks of [`Polynomial::EVAL_LANES`] with the coefficient
+    /// loop outermost, so the per-point accumulator updates vectorise across
+    /// the block.  Every point still performs exactly the same `mul_add`
+    /// sequence as [`Polynomial::eval`] (same order, same seed value), so the
+    /// results are bit-identical to the scalar path for all inputs,
+    /// including NaN and infinities.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `xs` and `out` have different lengths.
+    pub fn eval_many_into(&self, xs: &[f64], out: &mut [f64]) {
+        assert_eq!(
+            xs.len(),
+            out.len(),
+            "eval_many_into needs one output slot per point"
+        );
+        let mut chunks = xs.chunks_exact(Self::EVAL_LANES);
+        let mut out_chunks = out.chunks_exact_mut(Self::EVAL_LANES);
+        for (chunk, out_chunk) in (&mut chunks).zip(&mut out_chunks) {
+            let mut acc = [0.0_f64; Self::EVAL_LANES];
+            for &c in self.coeffs.iter().rev() {
+                for (a, &x) in acc.iter_mut().zip(chunk) {
+                    *a = a.mul_add(x, c);
+                }
+            }
+            out_chunk.copy_from_slice(&acc);
+        }
+        for (o, &x) in out_chunks
+            .into_remainder()
+            .iter_mut()
+            .zip(chunks.remainder())
+        {
+            *o = self.eval(x);
+        }
+    }
+
+    /// Evaluates the polynomial at every point of `xs`, overwriting each
+    /// point with its value (the allocation-free variant used by the batched
+    /// model fills).  Bit-identical to the scalar path, like
+    /// [`Polynomial::eval_many_into`].
+    pub fn eval_many_in_place(&self, xs: &mut [f64]) {
+        let mut chunks = xs.chunks_exact_mut(Self::EVAL_LANES);
+        for chunk in &mut chunks {
+            let mut acc = [0.0_f64; Self::EVAL_LANES];
+            for &c in self.coeffs.iter().rev() {
+                for (a, &x) in acc.iter_mut().zip(chunk.iter()) {
+                    *a = a.mul_add(x, c);
+                }
+            }
+            chunk.copy_from_slice(&acc);
+        }
+        for x in chunks.into_remainder() {
+            *x = self.eval(*x);
+        }
+    }
+
+    /// Block width of the batched Horner evaluation.
+    pub const EVAL_LANES: usize = 8;
 
     /// Returns the first derivative as a new polynomial.
     pub fn derivative(&self) -> Polynomial {
@@ -360,5 +427,44 @@ mod tests {
         let p = Polynomial::new(vec![0.5, 1.5]);
         let xs = [0.0, 1.0, 2.0];
         assert_eq!(p.eval_many(&xs), vec![0.5, 2.0, 3.5]);
+    }
+
+    #[test]
+    fn batched_eval_is_bit_identical_to_scalar_eval() {
+        // Lengths around the block width exercise both the blocked kernel
+        // and the remainder loop.
+        let p = Polynomial::new(vec![0.17, -2.3, 0.031, 1.9, -0.44]);
+        for len in [0, 1, 7, 8, 9, 16, 33] {
+            let xs: Vec<f64> = (0..len).map(|i| -1.3 + 0.37 * i as f64).collect();
+            let expected: Vec<f64> = xs.iter().map(|&x| p.eval(x)).collect();
+            let batched = p.eval_many(&xs);
+            assert_eq!(
+                expected.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                batched.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "len = {len}"
+            );
+            let mut in_place = xs.clone();
+            p.eval_many_in_place(&mut in_place);
+            assert_eq!(batched, in_place, "len = {len}");
+        }
+    }
+
+    #[test]
+    fn batched_eval_propagates_non_finite_inputs_like_scalar_eval() {
+        let constant = Polynomial::constant(2.5);
+        let xs = [f64::NAN, f64::INFINITY, f64::NEG_INFINITY, 1.0];
+        let batched = constant.eval_many(&xs);
+        for (&x, &v) in xs.iter().zip(&batched) {
+            let scalar = constant.eval(x);
+            assert_eq!(scalar.to_bits(), v.to_bits(), "x = {x}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "one output slot per point")]
+    fn eval_many_into_rejects_mismatched_lengths() {
+        let p = Polynomial::identity();
+        let mut out = [0.0; 2];
+        p.eval_many_into(&[1.0, 2.0, 3.0], &mut out);
     }
 }

@@ -8,11 +8,45 @@ use optima_suite::optima_core::model::mismatch::MismatchSigmaModel;
 use optima_suite::optima_core::model::suite::ModelSuite;
 use optima_suite::optima_core::model::supply::SupplyModel;
 use optima_suite::optima_core::model::temperature::TemperatureModel;
-use optima_suite::optima_imc::multiplier::{InSramMultiplier, MultiplierConfig};
+use optima_suite::optima_imc::dse::{DesignSpace, DesignSpaceExplorer};
+use optima_suite::optima_imc::metrics::evaluate_multiplier_at_scalar;
+use optima_suite::optima_imc::multiplier::{
+    InSramMultiplier, MultiplierConfig, MultiplierTable, OperatingPoint,
+};
 use optima_suite::optima_math::lsq::polynomial_fit;
 use optima_suite::optima_math::units::{Celsius, Seconds, Volts};
 use optima_suite::optima_math::Polynomial;
 use proptest::prelude::*;
+
+/// A PVT-sensitive analytic suite: supply and temperature corrections are
+/// non-trivial, so the batched fills exercise every Eq. 3–5 stage.
+fn pvt_sensitive_suite() -> ModelSuite {
+    ModelSuite::new(
+        DischargeModel::new(
+            Volts(1.0),
+            Volts(0.45),
+            Polynomial::new(vec![0.0, -0.25, 0.02, -0.003]),
+            Polynomial::new(vec![0.0, 1.0, -0.05]),
+            (0.0, 3.0),
+            (0.0, 1.1),
+        ),
+        SupplyModel::new(Volts(1.0), Polynomial::new(vec![1.0, 0.6]), (0.9, 1.1)),
+        TemperatureModel::new(Celsius(25.0), Polynomial::new(vec![1e-4]), (-40.0, 125.0)),
+        MismatchSigmaModel::new(
+            Polynomial::new(vec![0.0, 1.5e-3]),
+            Polynomial::new(vec![0.0, 1.0]),
+        ),
+        WriteEnergyModel::new(
+            Polynomial::new(vec![0.0, 0.0, 11.0]),
+            Polynomial::new(vec![1.0, 4e-4]),
+        ),
+        DischargeEnergyModel::new(
+            Polynomial::new(vec![0.0, 1.0]),
+            Polynomial::new(vec![0.0, 45.0]),
+            Polynomial::new(vec![1.0, 3e-4]),
+        ),
+    )
+}
 
 /// A simple linear model suite used by the multiplier properties.
 fn linear_suite() -> ModelSuite {
@@ -119,5 +153,118 @@ proptest! {
         let heavy = multiplier.multiply(a, 0b1111).unwrap().multiply_energy.0;
         prop_assert!(light > 0.0);
         prop_assert!(heavy >= light);
+    }
+
+    /// The blocked batched Horner kernel is bit-identical to per-point
+    /// scalar evaluation for arbitrary coefficients, grids and lengths
+    /// (including lengths that exercise the remainder loop).
+    #[test]
+    fn batched_polynomial_eval_is_bit_identical(
+        c0 in -3.0f64..3.0,
+        c1 in -3.0f64..3.0,
+        c2 in -3.0f64..3.0,
+        c3 in -3.0f64..3.0,
+        x0 in -5.0f64..5.0,
+        dx in 0.01f64..0.7,
+        len in 0usize..40,
+    ) {
+        let poly = Polynomial::new(vec![c0, c1, c2, c3]);
+        let xs: Vec<f64> = (0..len).map(|i| x0 + dx * i as f64).collect();
+        let batched = poly.eval_many(&xs);
+        let mut in_place = xs.clone();
+        poly.eval_many_in_place(&mut in_place);
+        for (i, &x) in xs.iter().enumerate() {
+            let scalar = poly.eval(x);
+            prop_assert_eq!(scalar.to_bits(), batched[i].to_bits());
+            prop_assert_eq!(scalar.to_bits(), in_place[i].to_bits());
+        }
+    }
+
+    /// The batched `ModelSuite` time-grid and operand-grid fills are
+    /// bit-identical to the scalar per-point Eqs. 3–5 path at arbitrary
+    /// operating points.
+    #[test]
+    fn batched_model_suite_fills_are_bit_identical(
+        v_wl in 0.05f64..1.05,
+        vdd in 0.9f64..1.1,
+        temp in -30.0f64..110.0,
+        points in 1usize..24,
+    ) {
+        let suite = pvt_sensitive_suite();
+        let times: Vec<Seconds> = (1..=points)
+            .map(|i| Seconds(2.6e-9 * i as f64 / points as f64))
+            .collect();
+        let mut voltages = vec![0.0; times.len()];
+        suite.fill_bitline_voltages_unchecked(
+            &times, Volts(v_wl), Volts(vdd), Celsius(temp), &mut voltages,
+        );
+        let mut discharges = vec![0.0; times.len()];
+        suite
+            .fill_discharges(&times, Volts(v_wl), true, Volts(vdd), Celsius(temp), &mut discharges)
+            .unwrap();
+        for (i, &t) in times.iter().enumerate() {
+            let scalar_v = suite.bitline_voltage_unchecked(t, Volts(v_wl), Volts(vdd), Celsius(temp));
+            let scalar_d = suite
+                .discharge(t, Volts(v_wl), true, Volts(vdd), Celsius(temp))
+                .unwrap()
+                .0;
+            prop_assert_eq!(scalar_v.to_bits(), voltages[i].to_bits());
+            prop_assert_eq!(scalar_d.to_bits(), discharges[i].to_bits());
+        }
+    }
+
+    /// Batched multiplier-table construction and the batched input-space
+    /// outcomes are bit-identical to the scalar per-pair path for arbitrary
+    /// design points and operating points.
+    #[test]
+    fn batched_multiplier_table_is_bit_identical_to_scalar(
+        tau0_ps in 100.0f64..300.0,
+        vdac_zero in 0.3f64..0.6,
+        vdd in 0.95f64..1.05,
+        temp in 0.0f64..60.0,
+    ) {
+        let multiplier = InSramMultiplier::new(
+            pvt_sensitive_suite(),
+            MultiplierConfig::new(Seconds(tau0_ps * 1e-12), Volts(vdac_zero), Volts(1.0)),
+        )
+        .unwrap();
+        let at = OperatingPoint {
+            vdd: Volts(vdd),
+            temperature: Celsius(temp),
+        };
+        let batched = MultiplierTable::from_multiplier(&multiplier, at).unwrap();
+        let scalar = MultiplierTable::from_multiplier_scalar(&multiplier, at).unwrap();
+        prop_assert_eq!(batched, scalar);
+        let outcomes = multiplier.outcome_grid(at).unwrap();
+        for a in 0..=15u16 {
+            for d in 0..=15u16 {
+                let scalar_outcome = multiplier.multiply_at(a, d, at).unwrap();
+                prop_assert_eq!(outcomes[(a * 16 + d) as usize], scalar_outcome);
+            }
+        }
+    }
+
+    /// The batched operand grids stay bit-identical to the scalar reference
+    /// when fanned over the parallel sweep engine, for any worker-thread
+    /// count (the explicit-knob equivalent of `OPTIMA_SWEEP_THREADS`).
+    #[test]
+    fn batched_corner_sweeps_are_thread_invariant(threads in 1usize..=8) {
+        let space = DesignSpace::small();
+        let explorer = DesignSpaceExplorer::new(pvt_sensitive_suite()).with_threads(threads);
+        let results = explorer.explore(&space).unwrap();
+        prop_assert_eq!(results.len(), space.len());
+        for result in &results {
+            let multiplier = InSramMultiplier::new(
+                pvt_sensitive_suite(),
+                result.point.to_config(),
+            )
+            .unwrap();
+            let reference = evaluate_multiplier_at_scalar(
+                &multiplier,
+                multiplier.nominal_operating_point(),
+            )
+            .unwrap();
+            prop_assert_eq!(result.metrics, reference);
+        }
     }
 }
