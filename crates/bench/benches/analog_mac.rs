@@ -4,7 +4,7 @@
 //! the property tests in `tests/properties.rs`).
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use optima_bench::quick_mode;
+use optima_bench::experiments::Profile;
 use optima_core::model::discharge::DischargeModel;
 use optima_core::model::energy::{DischargeEnergyModel, WriteEnergyModel};
 use optima_core::model::mismatch::MismatchSigmaModel;
@@ -17,9 +17,9 @@ use optima_math::units::{Celsius, Seconds, Volts};
 use optima_math::Polynomial;
 use std::hint::black_box;
 
-/// Timed iterations per benchmark; `OPTIMA_QUICK=1` (CI) uses fewer.
+/// Timed iterations per benchmark; `OPTIMA_PROFILE=fast` (CI) uses fewer.
 fn samples() -> usize {
-    if quick_mode() {
+    if Profile::from_env().is_fast() {
         5
     } else {
         20

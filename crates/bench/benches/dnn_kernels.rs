@@ -3,7 +3,8 @@
 //! flattened 256-entry product LUT.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use optima_bench::{quick_mode, DynDispatchProducts};
+use optima_bench::experiments::Profile;
+use optima_bench::DynDispatchProducts;
 use optima_dnn::layers::{Conv2d, Dense, Flatten, Layer, MaxPool2d, Relu};
 use optima_dnn::multiplier::ExactInt4Products;
 use optima_dnn::network::Network;
@@ -15,9 +16,9 @@ use rand_chacha::ChaCha8Rng;
 use std::hint::black_box;
 use std::sync::Arc;
 
-/// Timed iterations per benchmark; `OPTIMA_QUICK=1` (CI) uses fewer.
+/// Timed iterations per benchmark; `OPTIMA_PROFILE=fast` (CI) uses fewer.
 fn samples() -> usize {
-    if quick_mode() {
+    if Profile::from_env().is_fast() {
         5
     } else {
         20

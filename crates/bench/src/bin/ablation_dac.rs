@@ -1,45 +1,8 @@
-//! Ablation — linear vs. square-root pre-distorted word-line DAC.
-//!
-//! Section III-1 of the paper notes that the quadratic device current makes a
-//! conventional (linear) DAC produce nonlinear multiplication results and
-//! mentions the nonlinear DAC of ref. [15] as a potential fix.  This ablation
-//! quantifies that effect with the OPTIMA models.
-
-use optima_bench::{calibrated_models, paper_corners, print_header, print_row, quick_mode};
-use optima_circuit::dac::DacTransfer;
-use optima_imc::metrics::evaluate_multiplier;
-use optima_imc::multiplier::InSramMultiplier;
+//! Legacy shim: runs the registered `ablation_dac` experiment and prints its text
+//! report (byte-identical to the pre-refactor harness).  Profile comes from
+//! `OPTIMA_PROFILE` (or the deprecated `OPTIMA_QUICK=1`); prefer
+//! `optima run ablation_dac` for the full CLI.
 
 fn main() {
-    let (_technology, models) = calibrated_models(quick_mode());
-
-    println!("# Ablation — DAC transfer curve vs. multiplier accuracy\n");
-    print_header(&[
-        "Corner",
-        "DAC transfer",
-        "eps_mul [LSB]",
-        "max error [LSB]",
-        "E_mul [fJ]",
-    ]);
-    for (name, config) in paper_corners() {
-        for (label, transfer) in [
-            ("linear", DacTransfer::Linear),
-            ("sqrt pre-distortion", DacTransfer::SquareRootPredistortion),
-        ] {
-            let multiplier =
-                InSramMultiplier::new(models.clone(), config.with_dac_transfer(transfer))
-                    .expect("configuration is valid");
-            let metrics = evaluate_multiplier(&multiplier).expect("evaluation succeeds");
-            print_row(&[
-                name.to_string(),
-                label.to_string(),
-                format!("{:.2}", metrics.epsilon_mul),
-                format!("{:.1}", metrics.max_error_lsb),
-                format!("{:.1}", metrics.energy_per_multiply.0),
-            ]);
-        }
-    }
-    println!("\nThe square-root pre-distortion linearises the quadratic device current and");
-    println!("reduces the multiplication error, at the cost of a harder DAC implementation");
-    println!("(which is why the paper's main flow keeps the linear DAC).");
+    optima_bench::experiments::run_shim("ablation_dac");
 }

@@ -1,49 +1,8 @@
-//! Ablation — polynomial degrees of the Eq. 3 discharge model.
-//!
-//! The paper fixes `p4(V_od) · p2(t)`.  This ablation sweeps both degrees and
-//! reports the training residual, showing why degree (4, 2) is a good
-//! accuracy/complexity trade-off.
-
-use optima_bench::{print_header, print_row, quick_mode};
-use optima_circuit::technology::Technology;
-use optima_core::calibration::{CalibrationConfig, Calibrator, ModelDegrees};
+//! Legacy shim: runs the registered `ablation_poly_degree` experiment and prints its text
+//! report (byte-identical to the pre-refactor harness).  Profile comes from
+//! `OPTIMA_PROFILE` (or the deprecated `OPTIMA_QUICK=1`); prefer
+//! `optima run ablation_poly_degree` for the full CLI.
 
 fn main() {
-    let technology = Technology::tsmc65_like();
-    let base = if quick_mode() {
-        CalibrationConfig::fast()
-    } else {
-        CalibrationConfig::default()
-    };
-
-    println!("# Ablation — Eq. 3 polynomial degrees vs. training RMS error\n");
-    print_header(&[
-        "deg(V_od)",
-        "deg(t)",
-        "basic discharge RMS [mV]",
-        "coefficients",
-    ]);
-    for overdrive_degree in 1..=5 {
-        for time_degree in 1..=3 {
-            let config = CalibrationConfig {
-                degrees: ModelDegrees {
-                    overdrive: overdrive_degree,
-                    time: time_degree,
-                    ..ModelDegrees::default()
-                },
-                ..base.clone()
-            };
-            let outcome = Calibrator::new(technology.clone(), config)
-                .run()
-                .expect("calibration succeeds");
-            print_row(&[
-                overdrive_degree.to_string(),
-                time_degree.to_string(),
-                format!("{:.3}", outcome.report().basic_discharge_rms_mv),
-                format!("{}", (overdrive_degree + 1) * (time_degree + 1)),
-            ]);
-        }
-    }
-    println!("\nThe error drops steeply up to degree (4, 2) — the paper's choice — and");
-    println!("flattens beyond it, while the coefficient count keeps growing.");
+    optima_bench::experiments::run_shim("ablation_poly_degree");
 }

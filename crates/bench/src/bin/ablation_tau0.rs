@@ -1,40 +1,8 @@
-//! Ablation — ADC sampling time τ0 vs. accuracy and energy.
-//!
-//! Section III-1: small τ0 keeps the pass transistors in saturation but
-//! shrinks the voltage swing (worse SNR); large τ0 increases swing and energy
-//! and eventually pushes the discharge into the linear region.  This ablation
-//! sweeps τ0 beyond the paper's three values.
-
-use optima_bench::{calibrated_models, print_header, print_row, quick_mode};
-use optima_imc::metrics::evaluate_multiplier;
-use optima_imc::multiplier::{InSramMultiplier, MultiplierConfig};
-use optima_math::units::{Seconds, Volts};
+//! Legacy shim: runs the registered `ablation_tau0` experiment and prints its text
+//! report (byte-identical to the pre-refactor harness).  Profile comes from
+//! `OPTIMA_PROFILE` (or the deprecated `OPTIMA_QUICK=1`); prefer
+//! `optima run ablation_tau0` for the full CLI.
 
 fn main() {
-    let (_technology, models) = calibrated_models(quick_mode());
-
-    println!("# Ablation — tau0 sweep at V_DAC,0 = 0.3 V, V_DAC,FS = 1.0 V\n");
-    print_header(&[
-        "tau0 [ns]",
-        "eps_mul [LSB]",
-        "E_mul [fJ]",
-        "sigma@max [mV]",
-        "FOM",
-    ]);
-    for tau0_ps in [80, 120, 160, 200, 240] {
-        let tau0 = Seconds(tau0_ps as f64 * 1e-12);
-        let config = MultiplierConfig::new(tau0, Volts(0.3), Volts(1.0));
-        let multiplier =
-            InSramMultiplier::new(models.clone(), config).expect("configuration is valid");
-        let metrics = evaluate_multiplier(&multiplier).expect("evaluation succeeds");
-        print_row(&[
-            format!("{:.2}", tau0.0 * 1e9),
-            format!("{:.2}", metrics.epsilon_mul),
-            format!("{:.1}", metrics.energy_per_multiply.0),
-            format!("{:.2}", metrics.sigma_at_max_discharge.0 * 1e3),
-            format!("{:.4}", metrics.figure_of_merit()),
-        ]);
-    }
-    println!("\nEnergy grows monotonically with tau0 while the accuracy changes little —");
-    println!("the paper's observation that tau0 'has minimal influence on accuracy'.");
+    optima_bench::experiments::run_shim("ablation_tau0");
 }

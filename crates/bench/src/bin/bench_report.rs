@@ -15,11 +15,13 @@
 //! never silently trade correctness for speed.
 //!
 //! ```bash
-//! OPTIMA_QUICK=1 cargo run --release --bin bench_report   # CI quick mode
-//! cargo run --release --bin bench_report                  # full workload
+//! OPTIMA_PROFILE=fast cargo run --release --bin bench_report   # CI quick mode
+//! cargo run --release --bin bench_report                       # full workload
 //! ```
 
-use optima_bench::{calibrated_models, naive_network_forward, quick_mode, DynDispatchProducts};
+use optima_bench::experiments::Profile;
+use optima_bench::json::Json;
+use optima_bench::{calibrated_models, naive_network_forward, DynDispatchProducts};
 use optima_circuit::technology::Technology;
 use optima_core::calibration::{CalibrationConfig, Calibrator};
 use optima_core::snapshot;
@@ -55,31 +57,27 @@ impl Workload {
         self.baseline_seconds / self.optimized_seconds.max(1e-12)
     }
 
-    fn to_json(&self) -> String {
-        format!(
-            concat!(
-                "    {{\n",
-                "      \"name\": \"{}\",\n",
-                "      \"baseline\": \"{}\",\n",
-                "      \"optimized\": \"{}\",\n",
-                "      \"iterations\": {},\n",
-                "      \"baseline_seconds\": {:.6},\n",
-                "      \"optimized_seconds\": {:.6},\n",
-                "      \"baseline_throughput_per_second\": {:.2},\n",
-                "      \"optimized_throughput_per_second\": {:.2},\n",
-                "      \"speedup\": {:.2}\n",
-                "    }}"
+    fn to_json(&self) -> Json {
+        Json::object(vec![
+            ("name", Json::str(self.name)),
+            ("baseline", Json::str(self.baseline)),
+            ("optimized", Json::str(self.optimized)),
+            ("iterations", Json::Int(self.iterations as i64)),
+            ("baseline_seconds", Json::Fixed(self.baseline_seconds, 6)),
+            ("optimized_seconds", Json::Fixed(self.optimized_seconds, 6)),
+            (
+                "baseline_throughput_per_second",
+                Json::Fixed(self.iterations as f64 / self.baseline_seconds.max(1e-12), 2),
             ),
-            self.name,
-            self.baseline,
-            self.optimized,
-            self.iterations,
-            self.baseline_seconds,
-            self.optimized_seconds,
-            self.iterations as f64 / self.baseline_seconds.max(1e-12),
-            self.iterations as f64 / self.optimized_seconds.max(1e-12),
-            self.speedup(),
-        )
+            (
+                "optimized_throughput_per_second",
+                Json::Fixed(
+                    self.iterations as f64 / self.optimized_seconds.max(1e-12),
+                    2,
+                ),
+            ),
+            ("speedup", Json::Fixed(self.speedup(), 2)),
+        ])
     }
 }
 
@@ -119,7 +117,7 @@ fn eval_network(channels: usize, size: usize, classes: usize) -> Network {
 }
 
 fn main() {
-    let quick = quick_mode();
+    let quick = Profile::from_env().is_fast();
     let iterations = if quick { 30 } else { 200 };
     let mut workloads = Vec::new();
 
@@ -429,24 +427,20 @@ fn write_report(
     quick: bool,
     workloads: &[Workload],
 ) {
-    let body = workloads
-        .iter()
-        .map(Workload::to_json)
-        .collect::<Vec<_>>()
-        .join(",\n");
-    let json = format!(
-        concat!(
-            "{{\n",
-            "  \"report\": \"{}\",\n",
-            "  \"generated_by\": \"bench_report\",\n",
-            "  \"quick_mode\": {},\n",
-            "  \"{}\": \"bit-identical\",\n",
-            "  \"workloads\": [\n{}\n  ]\n",
-            "}}\n"
+    // Emitted through the shared serializer of `optima_bench::json` — the
+    // same writer behind the structured experiment reports.
+    let document = Json::object(vec![
+        ("report", Json::str(report_name)),
+        ("generated_by", Json::str("bench_report")),
+        ("quick_mode", Json::Bool(quick)),
+        (equivalence_key, Json::str("bit-identical")),
+        (
+            "workloads",
+            Json::Array(workloads.iter().map(Workload::to_json).collect()),
         ),
-        report_name, quick, equivalence_key, body
-    );
-    std::fs::write(path, &json).unwrap_or_else(|err| panic!("{path} is writable: {err}"));
+    ]);
+    std::fs::write(path, document.render())
+        .unwrap_or_else(|err| panic!("{path} is writable: {err}"));
 }
 
 fn print_report(title: &str, workloads: &[Workload]) {

@@ -1,33 +1,8 @@
-//! Fig. 1 — state-of-the-art in-SRAM multiplication design space.
-//!
-//! Prints the published design points ([8], [14], [15], [16]) that the paper
-//! compares by energy per MAC, bit width and clock frequency.
-
-use optima_bench::{print_header, print_row};
-use optima_imc::sota::published_design_points;
+//! Legacy shim: runs the registered `fig1_sota` experiment and prints its text
+//! report (byte-identical to the pre-refactor harness).  Profile comes from
+//! `OPTIMA_PROFILE` (or the deprecated `OPTIMA_QUICK=1`); prefer
+//! `optima run fig1_sota` for the full CLI.
 
 fn main() {
-    println!("# Fig. 1 — state-of-the-art in-SRAM multiplication design space\n");
-    print_header(&[
-        "Reference",
-        "Energy [pJ]",
-        "Bit width",
-        "Clock [MHz]",
-        "Description",
-    ]);
-    for point in published_design_points() {
-        print_row(&[
-            point.reference.to_string(),
-            format!("{:.3}", point.energy_pj),
-            point.bit_width.to_string(),
-            format!("{:.0}", point.clock_mhz),
-            point.description.to_string(),
-        ]);
-    }
-    println!("\nMAC energy reduction potential: lowest published energy is");
-    let min_energy = published_design_points()
-        .iter()
-        .map(|p| p.energy_pj)
-        .fold(f64::INFINITY, f64::min);
-    println!("{min_energy:.3} pJ; bit widths remain limited to 4-8 bits.");
+    optima_bench::experiments::run_shim("fig1_sota");
 }

@@ -1,73 +1,8 @@
-//! Fig. 4 — BLB discharge non-idealities.
-//!
-//! (a) BLB voltage over time for several word-line voltages (including a
-//!     sub-threshold one, showing the residual discharge), and
-//! (b) the nonlinear word-line-voltage dependency sampled at t = τ0.
-
-use optima_bench::{print_header, print_row, quick_mode};
-use optima_circuit::prelude::*;
-use optima_circuit::pvt::linspace;
-use optima_core::sweep::par_map_sweep;
+//! Legacy shim: runs the registered `fig4_nonideality` experiment and prints its text
+//! report (byte-identical to the pre-refactor harness).  Profile comes from
+//! `OPTIMA_PROFILE` (or the deprecated `OPTIMA_QUICK=1`); prefer
+//! `optima run fig4_nonideality` for the full CLI.
 
 fn main() {
-    let tech = Technology::tsmc65_like();
-    let sim = TransientSimulator::new(tech.clone());
-    let pvt = PvtConditions::nominal(&tech);
-    let steps = if quick_mode() { 100 } else { 400 };
-
-    println!("# Fig. 4a — BLB voltage over time (V_BL [V])\n");
-    let wordlines = [0.3, 0.5, 0.7, 0.85, 1.0];
-    let times = linspace(0.0, 2.0e-9, 11);
-    let mut header = vec!["t [ns]".to_string()];
-    header.extend(wordlines.iter().map(|v| format!("V_WL={v:.2} V")));
-    print_header(&header.iter().map(|s| s.as_str()).collect::<Vec<_>>());
-    // One transient simulation per word-line voltage, fanned out over the
-    // error-strict sweep engine (0 = auto threads, deterministic order).
-    let waveforms: Vec<Waveform> = par_map_sweep(&wordlines, 0, |_, &v_wl| {
-        sim.discharge_waveform(
-            &DischargeStimulus {
-                word_line_voltage: Volts(v_wl),
-                duration: Seconds(2e-9),
-                time_steps: steps,
-                ..DischargeStimulus::default()
-            },
-            &pvt,
-            &MismatchSample::none(),
-        )
-    })
-    .expect("transient simulations succeed");
-    for &t in &times {
-        let mut row = vec![format!("{:.2}", t * 1e9)];
-        for waveform in &waveforms {
-            row.push(format!("{:.4}", waveform.sample_at(Seconds(t)).unwrap().0));
-        }
-        print_row(&row);
-    }
-
-    println!("\n# Fig. 4b — word-line voltage dependency at t = τ0 = 0.5 ns\n");
-    print_header(&["V_WL [V]", "V_BL(τ0) [V]", "ΔV_BL [mV]"]);
-    let grid = linspace(0.4, 1.0, 13);
-    let sampled: Vec<f64> = par_map_sweep(&grid, 0, |_, &v_wl| {
-        sim.discharge_waveform(
-            &DischargeStimulus {
-                word_line_voltage: Volts(v_wl),
-                duration: Seconds(0.6e-9),
-                time_steps: steps,
-                ..DischargeStimulus::default()
-            },
-            &pvt,
-            &MismatchSample::none(),
-        )
-        .map(|waveform| waveform.sample_at(Seconds(0.5e-9)).unwrap().0)
-    })
-    .expect("transient simulations succeed");
-    for (&v_wl, &v) in grid.iter().zip(sampled.iter()) {
-        print_row(&[
-            format!("{v_wl:.2}"),
-            format!("{v:.4}"),
-            format!("{:.1}", (pvt.vdd.0 - v) * 1e3),
-        ]);
-    }
-    println!("\nThe discharge is visibly nonlinear in V_WL (quadratic device current)");
-    println!("and a small residual discharge remains below the threshold voltage.");
+    optima_bench::experiments::run_shim("fig4_nonideality");
 }

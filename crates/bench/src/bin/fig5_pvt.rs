@@ -1,132 +1,8 @@
-//! Fig. 5 — influence of PVT variations on the BLB discharge.
-//!
-//! (a) supply voltage, (b) temperature, (c) process corners,
-//! (d) transistor mismatch (Monte Carlo).
-//!
-//! All four sweeps run on the error-strict parallel engine of
-//! [`optima_core::sweep`]; a failing condition aborts the run naming the
-//! condition instead of silently thinning the tables.  The deterministic
-//! waveform tables (a–c) query the golden simulator through the unified
-//! [`DischargeBackend`] interface — the same interface the fitted models
-//! implement — while the mismatch panel (d) uses the simulator's
-//! Monte-Carlo entry point, which deliberately sits below the interface.
-
-use optima_bench::{print_header, print_row, quick_mode};
-use optima_circuit::montecarlo::MismatchModel;
-use optima_circuit::prelude::*;
-use optima_core::backend::DischargeBackend;
-use optima_core::sweep::{default_threads, par_map_sweep};
-use optima_core::ModelError;
-use optima_math::stats;
-
-fn stimulus(v_wl: f64, steps: usize) -> DischargeStimulus {
-    DischargeStimulus {
-        word_line_voltage: Volts(v_wl),
-        duration: Seconds(2e-9),
-        time_steps: steps,
-        ..DischargeStimulus::default()
-    }
-}
+//! Legacy shim: runs the registered `fig5_pvt` experiment and prints its text
+//! report (byte-identical to the pre-refactor harness).  Profile comes from
+//! `OPTIMA_PROFILE` (or the deprecated `OPTIMA_QUICK=1`); prefer
+//! `optima run fig5_pvt` for the full CLI.
 
 fn main() {
-    let tech = Technology::tsmc65_like();
-    let sim = TransientSimulator::new(tech.clone());
-    let nominal = PvtConditions::nominal(&tech);
-    let steps = if quick_mode() { 100 } else { 400 };
-    let mc_samples = if quick_mode() { 100 } else { 1000 };
-    let v_wl = 0.85;
-    let sample_times = [
-        Seconds(0.5e-9),
-        Seconds(1.0e-9),
-        Seconds(1.5e-9),
-        Seconds(2.0e-9),
-    ];
-    println!(
-        "(sweep engine: {} worker threads, results deterministic at any count; \
-         waveforms via the '{}' discharge backend)\n",
-        default_threads(),
-        sim.backend_name()
-    );
-
-    let print_table = |rows: &[Vec<f64>]| {
-        for (i, &t) in sample_times.iter().enumerate() {
-            let mut row = vec![format!("{:.1}", t.0 * 1e9)];
-            for column in rows {
-                row.push(format!("{:.4}", column[i]));
-            }
-            print_row(&row);
-        }
-    };
-
-    println!("# Fig. 5a — supply voltage (V_BL [V] at V_WL = {v_wl} V)\n");
-    print_header(&["t [ns]", "VDD=0.9 V", "VDD=1.0 V", "VDD=1.1 V"]);
-    let supply_points = [0.9, 1.0, 1.1];
-    let supply_rows = par_map_sweep(&supply_points, 0, |_, &vdd| {
-        sim.bitline_voltages(
-            &stimulus(v_wl, steps),
-            &nominal.with_vdd(Volts(vdd)),
-            &sample_times,
-        )
-    })
-    .expect("supply sweep succeeds");
-    print_table(&supply_rows);
-
-    println!("\n# Fig. 5b — temperature\n");
-    print_header(&["t [ns]", "-40 degC", "25 degC", "125 degC"]);
-    let temp_points = [-40.0, 25.0, 125.0];
-    let temp_rows = par_map_sweep(&temp_points, 0, |_, &temp| {
-        sim.bitline_voltages(
-            &stimulus(v_wl, steps),
-            &nominal.with_temperature(Celsius(temp)),
-            &sample_times,
-        )
-    })
-    .expect("temperature sweep succeeds");
-    print_table(&temp_rows);
-
-    println!("\n# Fig. 5c — process corners\n");
-    print_header(&["t [ns]", "fast (FF)", "nominal (TT)", "slow (SS)"]);
-    let corner_points = [
-        ProcessCorner::FastFast,
-        ProcessCorner::TypicalTypical,
-        ProcessCorner::SlowSlow,
-    ];
-    let corner_rows = par_map_sweep(&corner_points, 0, |_, &corner| {
-        sim.bitline_voltages(
-            &stimulus(v_wl, steps),
-            &nominal.with_corner(corner),
-            &sample_times,
-        )
-    })
-    .expect("process-corner sweep succeeds");
-    print_table(&corner_rows);
-
-    println!("\n# Fig. 5d — transistor mismatch ({mc_samples} samples)\n");
-    print_header(&[
-        "V_WL [V]",
-        "mean V_BL(2 ns) [V]",
-        "sigma [mV]",
-        "min [V]",
-        "max [V]",
-    ]);
-    let mismatch_model = MismatchModel::from_technology(&tech);
-    for &v_wl in &[0.6, 0.8, 1.0] {
-        let samples = mismatch_model.sample_n(mc_samples, 51);
-        // One transient per mismatch instance, reassembled in sample order,
-        // so the statistics are bit-identical at any thread count.
-        let voltages: Vec<f64> = par_map_sweep(&samples, 0, |_, sample| {
-            let waveform = sim.discharge_waveform(&stimulus(v_wl, steps), &nominal, sample)?;
-            Ok::<_, ModelError>(waveform.final_value())
-        })
-        .expect("mismatch Monte-Carlo sweep succeeds");
-        print_row(&[
-            format!("{v_wl:.1}"),
-            format!("{:.4}", stats::mean(&voltages)),
-            format!("{:.2}", stats::std_dev(&voltages) * 1e3),
-            format!("{:.4}", stats::min(&voltages)),
-            format!("{:.4}", stats::max(&voltages)),
-        ]);
-    }
-    println!("\nAs in the paper: supply voltage and process corners move the curves strongly,");
-    println!("temperature only slightly, and the mismatch-induced spread grows with V_WL.");
+    optima_bench::experiments::run_shim("fig5_pvt");
 }

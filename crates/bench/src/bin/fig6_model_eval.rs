@@ -1,99 +1,8 @@
-//! Fig. 6 — OPTIMA discharge/energy model evaluation.
-//!
-//! Calibrates the models against the golden-reference circuit simulator and
-//! reports the held-out RMS modeling errors of all six models (the paper
-//! reports 0.76 mV, 0.88 mV, 0.76 mV, 0.59 mV, 0.15 fJ and 0.74 fJ for its
-//! TSMC 65 nm reference; ours differ in absolute value because the golden
-//! reference is a different simulator, but they must stay well below an ADC
-//! LSB).
-
-use optima_bench::{calibrate, print_header, print_row, quick_mode};
-use optima_core::evaluation::ModelEvaluator;
+//! Legacy shim: runs the registered `fig6_model_eval` experiment and prints its text
+//! report (byte-identical to the pre-refactor harness).  Profile comes from
+//! `OPTIMA_PROFILE` (or the deprecated `OPTIMA_QUICK=1`); prefer
+//! `optima run fig6_model_eval` for the full CLI.
 
 fn main() {
-    let fast = quick_mode();
-    let (technology, outcome) = calibrate(fast);
-    let report = outcome.report();
-
-    println!("# Fig. 6 — OPTIMA model calibration and evaluation\n");
-    println!(
-        "Calibration used {} transient circuit simulations and {} training samples.\n",
-        report.circuit_simulations, report.training_samples
-    );
-
-    println!("## Training residuals\n");
-    print_header(&["Model", "Training RMS"]);
-    print_row(&[
-        "basic discharge (Eq. 3)".into(),
-        format!("{:.3} mV", report.basic_discharge_rms_mv),
-    ]);
-    print_row(&[
-        "supply (Eq. 4)".into(),
-        format!("{:.3} mV", report.supply_rms_mv),
-    ]);
-    print_row(&[
-        "temperature (Eq. 5)".into(),
-        format!("{:.3} mV", report.temperature_rms_mv),
-    ]);
-    print_row(&[
-        "mismatch sigma (Eq. 6)".into(),
-        format!("{:.3} mV", report.mismatch_sigma_rms_mv),
-    ]);
-    print_row(&[
-        "write energy (Eq. 7)".into(),
-        format!("{:.3} fJ", report.write_energy_rms_fj),
-    ]);
-    print_row(&[
-        "discharge energy (Eq. 8)".into(),
-        format!("{:.3} fJ", report.discharge_energy_rms_fj),
-    ]);
-
-    let evaluator = ModelEvaluator::new(technology, outcome.into_models())
-        .with_reference_time_steps(if fast { 150 } else { 400 });
-    let grid = if fast { 4 } else { 8 };
-    let mc = if fast { 20 } else { 100 };
-    let held_out = evaluator
-        .rms_errors(grid, mc)
-        .expect("held-out evaluation succeeds");
-
-    println!(
-        "\n## Held-out RMS errors (Fig. 6 equivalent; '{}' vs '{}' through one DischargeBackend interface)\n",
-        evaluator.reference_backend().backend_name(),
-        evaluator.fitted_backend().backend_name()
-    );
-    print_header(&["Model", "Held-out RMS", "Paper (TSMC 65 nm)"]);
-    print_row(&[
-        "basic discharge (Eq. 3)".into(),
-        format!("{:.3} mV", held_out.basic_discharge_mv),
-        "0.76 mV".into(),
-    ]);
-    print_row(&[
-        "supply (Eq. 4)".into(),
-        format!("{:.3} mV", held_out.supply_mv),
-        "0.88 mV".into(),
-    ]);
-    print_row(&[
-        "temperature (Eq. 5)".into(),
-        format!("{:.3} mV", held_out.temperature_mv),
-        "0.76 mV".into(),
-    ]);
-    print_row(&[
-        "mismatch sigma (Eq. 6)".into(),
-        format!("{:.3} mV", held_out.mismatch_sigma_mv),
-        "0.59 mV".into(),
-    ]);
-    print_row(&[
-        "write energy (Eq. 7)".into(),
-        format!("{:.3} fJ", held_out.write_energy_fj),
-        "0.15 fJ".into(),
-    ]);
-    print_row(&[
-        "discharge energy (Eq. 8)".into(),
-        format!("{:.3} fJ", held_out.discharge_energy_fj),
-        "0.74 fJ".into(),
-    ]);
-    println!(
-        "\nWorst voltage-model RMS error: {:.3} mV (paper headline: 0.88 mV).",
-        held_out.worst_voltage_error_mv()
-    );
+    optima_bench::experiments::run_shim("fig6_model_eval");
 }

@@ -1,70 +1,8 @@
-//! Fig. 7 — design-space exploration of the 4-bit in-SRAM multiplier.
-//!
-//! Sweeps the paper's 48 design corners (τ0 × V_DAC,0 × V_DAC,FS) with the
-//! OPTIMA models and prints the two panels of Fig. 7: error and energy as a
-//! function of V_DAC,FS for several V_DAC,0 values (left, τ0 = 0.16 ns) and
-//! as a function of τ0 for several V_DAC,FS values (right, V_DAC,0 = 0.4 V).
-
-use optima_bench::{calibrated_models, print_header, print_row, quick_mode};
-use optima_core::sweep::default_threads;
-use optima_imc::dse::{DesignSpace, DesignSpaceExplorer};
+//! Legacy shim: runs the registered `fig7_dse` experiment and prints its text
+//! report (byte-identical to the pre-refactor harness).  Profile comes from
+//! `OPTIMA_PROFILE` (or the deprecated `OPTIMA_QUICK=1`); prefer
+//! `optima run fig7_dse` for the full CLI.
 
 fn main() {
-    let (_technology, models) = calibrated_models(quick_mode());
-    // Thread count 0 = automatic; the sweep is error-strict (a failing
-    // corner aborts the run naming the corner — corners are never silently
-    // dropped) and bit-identical at any thread count.
-    let explorer = DesignSpaceExplorer::new(models).with_threads(0);
-    let space = DesignSpace::paper_sweep();
-    println!(
-        "# Fig. 7 — design-space exploration ({} corners, {} worker threads)\n",
-        space.len(),
-        default_threads()
-    );
-    let results = explorer.explore(&space).expect("exploration succeeds");
-    assert_eq!(
-        results.len(),
-        space.len(),
-        "error-strict sweep must cover every corner"
-    );
-
-    println!("## Left panel: sweep of V_DAC,FS for each V_DAC,0 (tau0 = 0.16 ns)\n");
-    print_header(&[
-        "V_DAC,0 [V]",
-        "V_DAC,FS [V]",
-        "avg error [LSB]",
-        "avg energy/op [fJ]",
-    ]);
-    for result in &results {
-        if (result.point.tau0.0 - 0.16e-9).abs() < 1e-15 {
-            print_row(&[
-                format!("{:.1}", result.point.vdac_zero.0),
-                format!("{:.1}", result.point.vdac_full_scale.0),
-                format!("{:.2}", result.metrics.epsilon_mul),
-                format!("{:.2}", result.metrics.energy_per_multiply.0),
-            ]);
-        }
-    }
-
-    println!("\n## Right panel: sweep of tau0 for each V_DAC,FS (V_DAC,0 = 0.4 V)\n");
-    print_header(&[
-        "tau0 [ns]",
-        "V_DAC,FS [V]",
-        "avg error [LSB]",
-        "avg energy/op [fJ]",
-    ]);
-    for result in &results {
-        if (result.point.vdac_zero.0 - 0.4).abs() < 1e-12 {
-            print_row(&[
-                format!("{:.2}", result.point.tau0.0 * 1e9),
-                format!("{:.1}", result.point.vdac_full_scale.0),
-                format!("{:.2}", result.metrics.epsilon_mul),
-                format!("{:.2}", result.metrics.energy_per_multiply.0),
-            ]);
-        }
-    }
-
-    println!("\nExpected shape (paper): higher V_DAC,FS costs linearly more energy but improves");
-    println!("accuracy in most cases; raising V_DAC,0 or tau0 also costs energy, where V_DAC,0");
-    println!("helps the error and tau0 has little accuracy influence.");
+    optima_bench::experiments::run_shim("fig7_dse");
 }

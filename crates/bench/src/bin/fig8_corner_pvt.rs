@@ -1,104 +1,8 @@
-//! Fig. 8 — PVT and mismatch analysis of the selected corners.
-//!
-//! For the *fom*, *power* and *variation* corners of Table I: average
-//! multiplication error and analog standard deviation as a function of the
-//! expected result (left panels) and the influence of supply-voltage and
-//! temperature variations on the error (right panels).
-
-use optima_bench::{calibrated_models, paper_corners, print_header, print_row, quick_mode};
-use optima_imc::multiplier::InSramMultiplier;
-use optima_imc::pvt_analysis::{PvtAnalysis, PvtAnalysisConfig};
+//! Legacy shim: runs the registered `fig8_corner_pvt` experiment and prints its text
+//! report (byte-identical to the pre-refactor harness).  Profile comes from
+//! `OPTIMA_PROFILE` (or the deprecated `OPTIMA_QUICK=1`); prefer
+//! `optima run fig8_corner_pvt` for the full CLI.
 
 fn main() {
-    let (_technology, models) = calibrated_models(quick_mode());
-    let config = if quick_mode() {
-        PvtAnalysisConfig::fast()
-    } else {
-        PvtAnalysisConfig::default()
-    };
-
-    println!("# Fig. 8 — corner PVT and mismatch analysis\n");
-    for (name, corner_config) in paper_corners() {
-        let multiplier = InSramMultiplier::new(models.clone(), corner_config)
-            .expect("corner configuration is valid");
-        let analysis = PvtAnalysis::run(&multiplier, &config).expect("analysis succeeds");
-
-        println!("## Corner `{name}`\n");
-        println!(
-            "Average error: {:.2} LSB, worst-case analog sigma: {:.2} mV\n",
-            analysis.nominal_epsilon_mul,
-            analysis.worst_case_sigma * 1e3
-        );
-
-        println!("### Error / sigma vs. expected result (left panel, binned)\n");
-        print_header(&["expected result", "avg error [LSB]", "analog sigma [mV]"]);
-        // Bin the 116 distinct expected results into coarse ranges for readability.
-        let profile = &analysis.result_profile;
-        for range_start in (0..=200).step_by(50) {
-            let range_end = range_start + 50;
-            let indices: Vec<usize> = profile
-                .expected_results
-                .iter()
-                .enumerate()
-                .filter(|(_, &r)| (range_start..range_end).contains(&(r as usize)))
-                .map(|(i, _)| i)
-                .collect();
-            if indices.is_empty() {
-                continue;
-            }
-            let avg_error = indices
-                .iter()
-                .map(|&i| profile.average_error_lsb[i])
-                .sum::<f64>()
-                / indices.len() as f64;
-            let avg_sigma = indices
-                .iter()
-                .map(|&i| profile.analog_sigma[i])
-                .sum::<f64>()
-                / indices.len() as f64;
-            print_row(&[
-                format!("{range_start}..{range_end}"),
-                format!("{avg_error:.2}"),
-                format!("{:.2}", avg_sigma * 1e3),
-            ]);
-        }
-
-        println!("\n### Error vs. supply voltage (right panel)\n");
-        print_header(&["VDD [V]", "avg error [LSB]"]);
-        for (vdd, error) in analysis
-            .supply_sweep
-            .condition_values
-            .iter()
-            .zip(analysis.supply_sweep.average_error_lsb.iter())
-        {
-            print_row(&[format!("{vdd:.2}"), format!("{error:.2}")]);
-        }
-
-        println!("\n### Error vs. temperature (right panel)\n");
-        print_header(&["T [degC]", "avg error [LSB]"]);
-        for (temp, error) in analysis
-            .temperature_sweep
-            .condition_values
-            .iter()
-            .zip(analysis.temperature_sweep.average_error_lsb.iter())
-        {
-            print_row(&[format!("{temp:.0}"), format!("{error:.2}")]);
-        }
-
-        let mc = &analysis.mismatch_monte_carlo;
-        println!(
-            "\n### Mismatch Monte Carlo ({} instances)\n",
-            mc.per_sample_error_lsb.len()
-        );
-        print_header(&["mean error [LSB]", "sigma [LSB]", "worst [LSB]"]);
-        print_row(&[
-            format!("{:.3}", mc.mean_error_lsb),
-            format!("{:.3}", mc.std_error_lsb),
-            format!("{:.3}", mc.worst_error_lsb),
-        ]);
-        println!();
-    }
-    println!("Expected shape (paper): the power corner struggles everywhere, the variation");
-    println!("corner is poor for small expected results but robust for large ones, and the");
-    println!("fom corner is the least susceptible to voltage and temperature variations.");
+    optima_bench::experiments::run_shim("fig8_corner_pvt");
 }

@@ -1,67 +1,8 @@
-//! Calibration-snapshot smoke check: save → load must round-trip
-//! bit-exactly, and the integrity gates (schema version, technology
-//! fingerprint) must reject tampered files.
-//!
-//! Run by CI after the test suite; exits nonzero (via panic) on any
-//! violation, so a broken snapshot format can never silently ship.
-//!
-//! ```bash
-//! cargo run --release --bin snapshot_roundtrip
-//! ```
-
-use optima_circuit::technology::Technology;
-use optima_core::calibration::{CalibrationConfig, Calibrator};
-use optima_core::snapshot;
-use optima_core::ModelError;
-use optima_math::units::Volts;
-use std::time::Instant;
+//! Legacy shim: runs the registered `snapshot_roundtrip` experiment and prints its text
+//! report (byte-identical to the pre-refactor harness).  Profile comes from
+//! `OPTIMA_PROFILE` (or the deprecated `OPTIMA_QUICK=1`); prefer
+//! `optima run snapshot_roundtrip` for the full CLI.
 
 fn main() {
-    let technology = Technology::tsmc65_like();
-    let config = CalibrationConfig::fast();
-
-    let calibrate_start = Instant::now();
-    let outcome = Calibrator::new(technology.clone(), config.clone())
-        .run()
-        .expect("calibration succeeds");
-    let calibrate_seconds = calibrate_start.elapsed().as_secs_f64();
-
-    let dir = std::env::temp_dir().join(format!("optima-snapshot-smoke-{}", std::process::id()));
-    let path = dir.join("calibration-fast.v1.snap");
-
-    snapshot::save(&path, &outcome, &technology, &config).expect("snapshot save succeeds");
-    let load_start = Instant::now();
-    let loaded = snapshot::load(&path, &technology, &config).expect("snapshot load succeeds");
-    let load_seconds = load_start.elapsed().as_secs_f64();
-    assert_eq!(outcome, loaded, "snapshot round trip must be bit-exact");
-
-    // Integrity gates: a different technology must be rejected...
-    let mut other_tech = technology.clone();
-    other_tech.nmos_vth = Volts(other_tech.nmos_vth.0 + 0.01);
-    match snapshot::load(&path, &other_tech, &config) {
-        Err(ModelError::SnapshotFingerprintMismatch { .. }) => {}
-        other => panic!("expected a technology-fingerprint rejection, got {other:?}"),
-    }
-    // ...and so must a different calibration grid.
-    match snapshot::load(&path, &technology, &CalibrationConfig::default()) {
-        Err(ModelError::SnapshotFingerprintMismatch { .. }) => {}
-        other => panic!("expected a config-fingerprint rejection, got {other:?}"),
-    }
-    // A truncated file is corruption, not a mis-parse.
-    let body = std::fs::read_to_string(&path).expect("snapshot is readable");
-    let truncated = dir.join("truncated.snap");
-    std::fs::write(&truncated, &body[..body.len() / 2]).expect("temp dir is writable");
-    match snapshot::load(&truncated, &technology, &config) {
-        Err(ModelError::SnapshotCorrupt { .. }) => {}
-        other => panic!("expected a corruption rejection, got {other:?}"),
-    }
-    std::fs::remove_dir_all(&dir).ok();
-
-    println!("calibration snapshot round trip OK (bit-exact)");
-    println!("  calibrate: {calibrate_seconds:.3} s");
-    println!(
-        "  load:      {load_seconds:.6} s  ({:.0}x faster)",
-        calibrate_seconds / load_seconds.max(1e-9)
-    );
-    println!("  rejected: wrong technology, wrong config grid, truncated file");
+    optima_bench::experiments::run_shim("snapshot_roundtrip");
 }

@@ -1,63 +1,8 @@
-//! Section V speed-up claim — OPTIMA models vs. circuit simulation.
-//!
-//! The paper reports a ~101× speed-up for iterating over the input space and
-//! design corners and 28.1× for mismatch Monte Carlo sampling compared to
-//! Cadence Virtuoso.  Here the comparison is against our own ODE-based golden
-//! reference, so the absolute factor differs, but the same mechanism (cheap
-//! polynomial evaluation replacing transient integration) is measured.
-
-use optima_bench::{calibrated_models, print_header, print_row, quick_mode};
-use optima_core::evaluation::ModelEvaluator;
-use optima_core::sweep::default_threads;
+//! Legacy shim: runs the registered `speedup` experiment and prints its text
+//! report (byte-identical to the pre-refactor harness).  Profile comes from
+//! `OPTIMA_PROFILE` (or the deprecated `OPTIMA_QUICK=1`); prefer
+//! `optima run speedup` for the full CLI.
 
 fn main() {
-    let fast = quick_mode();
-    // Starts from the persistent calibration snapshot when one exists — the
-    // expensive circuit sweeps only run on a cold cache.
-    let (technology, models) = calibrated_models(fast);
-    // The circuit-reference side of both measurements fans out over the
-    // sweep engine (thread count 0 = automatic), so the reported factor is
-    // the wall-clock advantage over the *parallel* golden reference.  Both
-    // sides answer the identical DischargeBackend waveform queries.
-    let evaluator = ModelEvaluator::new(technology, models)
-        .with_threads(0)
-        .with_reference_time_steps(if fast { 150 } else { 400 });
-
-    let (wordlines, times, mc) = if fast { (8, 8, 50) } else { (16, 16, 300) };
-    let sweep = evaluator
-        .measure_speedup(wordlines, times)
-        .expect("speed-up measurement succeeds");
-    let monte_carlo = evaluator
-        .measure_monte_carlo_speedup(mc)
-        .expect("monte carlo speed-up measurement succeeds");
-
-    println!("# Section V — simulation speed-up of OPTIMA vs. circuit simulation");
-    println!(
-        "(backends '{}' vs '{}', one DischargeBackend interface; \
-         circuit reference parallelised over {} sweep-engine threads)\n",
-        evaluator.reference_backend().backend_name(),
-        evaluator.fitted_backend().backend_name(),
-        default_threads()
-    );
-    print_header(&[
-        "Workload",
-        "Circuit sim [s]",
-        "OPTIMA [s]",
-        "Speed-up",
-        "Paper",
-    ]);
-    print_row(&[
-        format!("input-space sweep ({} points)", sweep.evaluations),
-        format!("{:.4}", sweep.circuit_seconds),
-        format!("{:.6}", sweep.model_seconds),
-        format!("{:.0}x", sweep.speedup()),
-        "~101x".into(),
-    ]);
-    print_row(&[
-        format!("mismatch Monte Carlo ({} samples)", monte_carlo.evaluations),
-        format!("{:.4}", monte_carlo.circuit_seconds),
-        format!("{:.6}", monte_carlo.model_seconds),
-        format!("{:.0}x", monte_carlo.speedup()),
-        "28.1x".into(),
-    ]);
+    optima_bench::experiments::run_shim("speedup");
 }

@@ -1,104 +1,8 @@
-//! Table I — selected design corners.
-//!
-//! Explores the 48-corner design space, computes the figure of merit
-//! (Eq. 9) and selects the *fom*, *power* and *variation* corners, printing
-//! their parameters, ϵ_mul and E_mul next to the paper's values.
-
-use optima_bench::{calibrated_models, print_header, print_row, quick_mode};
-use optima_imc::dse::{DesignSpace, DesignSpaceExplorer};
-use optima_imc::fom::select_corners;
-use optima_imc::pareto::pareto_front;
+//! Legacy shim: runs the registered `table1_corners` experiment and prints its text
+//! report (byte-identical to the pre-refactor harness).  Profile comes from
+//! `OPTIMA_PROFILE` (or the deprecated `OPTIMA_QUICK=1`); prefer
+//! `optima run table1_corners` for the full CLI.
 
 fn main() {
-    let (_technology, models) = calibrated_models(quick_mode());
-    let explorer = DesignSpaceExplorer::new(models).with_threads(4);
-    let results = explorer
-        .explore(&DesignSpace::paper_sweep())
-        .expect("exploration succeeds");
-    let selected = select_corners(&results).expect("corner selection succeeds");
-
-    println!("# Table I — selected design corners\n");
-    print_header(&[
-        "Corner",
-        "tau0 [ns]",
-        "V_DAC,0 [V]",
-        "V_DAC,FS [V]",
-        "eps_mul [LSB]",
-        "E_mul [fJ]",
-        "sigma@max [mV]",
-        "FOM",
-    ]);
-    for (name, corner) in [
-        ("fom", &selected.fom),
-        ("power", &selected.power),
-        ("variation", &selected.variation),
-    ] {
-        print_row(&[
-            name.to_string(),
-            format!("{:.2}", corner.point.tau0.0 * 1e9),
-            format!("{:.1}", corner.point.vdac_zero.0),
-            format!("{:.1}", corner.point.vdac_full_scale.0),
-            format!("{:.2}", corner.metrics.epsilon_mul),
-            format!("{:.1}", corner.metrics.energy_per_multiply.0),
-            format!("{:.2}", corner.metrics.sigma_at_max_discharge.0 * 1e3),
-            format!("{:.4}", corner.metrics.figure_of_merit()),
-        ]);
-    }
-
-    println!("\nPaper values for reference:");
-    print_header(&[
-        "Corner",
-        "tau0 [ns]",
-        "V_DAC,0 [V]",
-        "V_DAC,FS [V]",
-        "eps_mul",
-        "E_mul",
-    ]);
-    print_row(&[
-        "fom".into(),
-        "0.16".into(),
-        "0.3".into(),
-        "1.0".into(),
-        "4.78".into(),
-        "44 fJ".into(),
-    ]);
-    print_row(&[
-        "power".into(),
-        "0.16".into(),
-        "0.3".into(),
-        "0.7".into(),
-        "15".into(),
-        "37 fJ".into(),
-    ]);
-    print_row(&[
-        "variation".into(),
-        "0.24".into(),
-        "0.4".into(),
-        "1.0".into(),
-        "9.6".into(),
-        "69.8 fJ".into(),
-    ]);
-
-    let front = pareto_front(&results);
-    println!(
-        "\nPareto-optimal corners over (energy, error): {} of {}",
-        front.len(),
-        results.len()
-    );
-    print_header(&[
-        "tau0 [ns]",
-        "V_DAC,0 [V]",
-        "V_DAC,FS [V]",
-        "eps_mul [LSB]",
-        "E_mul [fJ]",
-    ]);
-    for corner in &front {
-        print_row(&[
-            format!("{:.2}", corner.point.tau0.0 * 1e9),
-            format!("{:.1}", corner.point.vdac_zero.0),
-            format!("{:.1}", corner.point.vdac_full_scale.0),
-            format!("{:.2}", corner.metrics.epsilon_mul),
-            format!("{:.1}", corner.metrics.energy_per_multiply.0),
-        ]);
-    }
+    optima_bench::experiments::run_shim("table1_corners");
 }

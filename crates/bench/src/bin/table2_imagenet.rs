@@ -1,116 +1,8 @@
-//! Table II — DNN classification accuracies (ImageNet experiment, scaled).
-//!
-//! The paper evaluates INT4-quantized VGG16/19 and ResNet50/101 on ImageNet
-//! with the three in-SRAM multiplier corners.  Pre-trained Keras models and
-//! ImageNet itself are not reproducible here, so scaled-down style-faithful
-//! analogues are trained on a synthetic many-class dataset and then evaluated
-//! with exactly the same multiplier-substitution pipeline (see DESIGN.md).
-//! The quantity to compare against the paper is the *ordering and relative
-//! degradation*: FLOAT32 ≈ INT4 ≈ fom > power ≫ variation.
-
-use optima_bench::{calibrated_models, paper_corners, print_header, print_row, quick_mode};
-use optima_dnn::data::{Dataset, SyntheticImageConfig};
-use optima_dnn::eval::evaluate_batched;
-use optima_dnn::models::{build_model, ModelKind};
-use optima_dnn::multiplier::{ExactInt4Products, InMemoryProducts, ProductTable};
-use optima_dnn::quantized::QuantizedNetwork;
-use optima_dnn::training::{Trainer, TrainingConfig};
-use optima_imc::multiplier::{InSramMultiplier, MultiplierTable};
-use std::sync::Arc;
+//! Legacy shim: runs the registered `table2_imagenet` experiment and prints its text
+//! report (byte-identical to the pre-refactor harness).  Profile comes from
+//! `OPTIMA_PROFILE` (or the deprecated `OPTIMA_QUICK=1`); prefer
+//! `optima run table2_imagenet` for the full CLI.
 
 fn main() {
-    let quick = quick_mode();
-    let (_technology, models) = calibrated_models(quick);
-
-    // Build the three in-memory product tables from the Table I corners.
-    let mut product_tables: Vec<(String, Arc<dyn ProductTable>)> =
-        vec![("INT4".to_string(), Arc::new(ExactInt4Products))];
-    for (name, config) in paper_corners() {
-        let multiplier =
-            InSramMultiplier::new(models.clone(), config).expect("corner configuration is valid");
-        let table =
-            MultiplierTable::from_multiplier(&multiplier, multiplier.nominal_operating_point())
-                .expect("table construction succeeds");
-        product_tables.push((
-            name.to_string(),
-            Arc::new(InMemoryProducts::new(table, name)),
-        ));
-    }
-
-    // Synthetic stand-in for ImageNet.
-    let dataset_config = if quick {
-        SyntheticImageConfig {
-            classes: 8,
-            train_per_class: 12,
-            test_per_class: 5,
-            ..SyntheticImageConfig::imagenet_like()
-        }
-    } else {
-        SyntheticImageConfig::imagenet_like()
-    };
-    let dataset = Dataset::synthetic(dataset_config);
-    let trainer = Trainer::new(TrainingConfig {
-        epochs: if quick { 3 } else { 8 },
-        learning_rate: 0.02,
-        learning_rate_decay: 0.9,
-    });
-
-    println!("# Table II — classification accuracies (synthetic ImageNet stand-in)\n");
-    println!(
-        "{} classes, {} training / {} test samples, {}x{} RGB-like images\n",
-        dataset.classes(),
-        dataset.train_len(),
-        dataset.test_len(),
-        dataset.image_shape()[1],
-        dataset.image_shape()[2]
-    );
-    print_header(&[
-        "Model",
-        "Multiplications [x10^6]",
-        "FLOAT32 top-1 / top-5 [%]",
-        "INT4 top-1 / top-5 [%]",
-        "fom top-1 / top-5 [%]",
-        "power top-1 / top-5 [%]",
-        "variation top-1 / top-5 [%]",
-    ]);
-
-    for kind in ModelKind::ALL {
-        let shape = dataset.image_shape().to_vec();
-        let mut network = build_model(kind, shape[0], shape[1], dataset.classes(), 42);
-        trainer
-            .train(&mut network, &dataset)
-            .expect("training succeeds");
-
-        let multiplications = network.multiplications(&shape).expect("shape propagates") as f64
-            * dataset.test_len() as f64
-            / 1.0e6;
-
-        // Per-image parallel fan-out over the sweep engine (0 = auto threads).
-        let float_report = evaluate_batched(&network, &dataset, 0).expect("evaluation succeeds");
-        let mut cells = vec![
-            kind.to_string(),
-            format!("{multiplications:.2}"),
-            format!(
-                "{:.1} / {:.1}",
-                float_report.top1_percent(),
-                float_report.top5_percent()
-            ),
-        ];
-        for (_, products) in &product_tables {
-            let quantized = QuantizedNetwork::from_network(&network, products.clone())
-                .expect("quantization succeeds");
-            let report = evaluate_batched(&quantized, &dataset, 0).expect("evaluation succeeds");
-            cells.push(format!(
-                "{:.1} / {:.1}",
-                report.top1_percent(),
-                report.top5_percent()
-            ));
-        }
-        print_row(&cells);
-    }
-
-    println!("\nPaper (full-scale ImageNet) for comparison: FLOAT32 top-1 70.3-76.4 %,");
-    println!(
-        "INT4 69.3-75.1 %, fom within 0.2 % of INT4, power 59.8-64.5 %, variation 36.7-48.5 %."
-    );
+    optima_bench::experiments::run_shim("table2_imagenet");
 }

@@ -1,114 +1,8 @@
-//! Table III — DNN classification accuracies (CIFAR-10 experiment, scaled).
-//!
-//! Reuses the backbones trained for the Table II experiment, replaces the
-//! classifier head with a 10-neuron dense layer, retrains the head with
-//! transfer learning on a 10-class synthetic dataset and evaluates the same
-//! FLOAT32 / INT4 / fom / power / variation matrix (top-1 only, as in the
-//! paper).
-
-use optima_bench::{calibrated_models, paper_corners, print_header, print_row, quick_mode};
-use optima_dnn::data::{Dataset, SyntheticImageConfig};
-use optima_dnn::eval::evaluate_batched;
-use optima_dnn::models::{build_model, ModelKind};
-use optima_dnn::multiplier::{ExactInt4Products, InMemoryProducts, ProductTable};
-use optima_dnn::quantized::QuantizedNetwork;
-use optima_dnn::training::{Trainer, TrainingConfig};
-use optima_dnn::transfer::transfer_to_new_head;
-use optima_imc::multiplier::{InSramMultiplier, MultiplierTable};
-use std::sync::Arc;
+//! Legacy shim: runs the registered `table3_cifar` experiment and prints its text
+//! report (byte-identical to the pre-refactor harness).  Profile comes from
+//! `OPTIMA_PROFILE` (or the deprecated `OPTIMA_QUICK=1`); prefer
+//! `optima run table3_cifar` for the full CLI.
 
 fn main() {
-    let quick = quick_mode();
-    let (_technology, models) = calibrated_models(quick);
-
-    let mut product_tables: Vec<(String, Arc<dyn ProductTable>)> =
-        vec![("INT4".to_string(), Arc::new(ExactInt4Products))];
-    for (name, config) in paper_corners() {
-        let multiplier =
-            InSramMultiplier::new(models.clone(), config).expect("corner configuration is valid");
-        let table =
-            MultiplierTable::from_multiplier(&multiplier, multiplier.nominal_operating_point())
-                .expect("table construction succeeds");
-        product_tables.push((
-            name.to_string(),
-            Arc::new(InMemoryProducts::new(table, name)),
-        ));
-    }
-
-    // Pre-training dataset (ImageNet stand-in) and transfer target (CIFAR stand-in).
-    let pretrain_config = if quick {
-        SyntheticImageConfig {
-            classes: 8,
-            train_per_class: 10,
-            test_per_class: 4,
-            ..SyntheticImageConfig::imagenet_like()
-        }
-    } else {
-        SyntheticImageConfig::imagenet_like()
-    };
-    let target_config = if quick {
-        SyntheticImageConfig {
-            train_per_class: 12,
-            test_per_class: 5,
-            ..SyntheticImageConfig::cifar_like()
-        }
-    } else {
-        SyntheticImageConfig::cifar_like()
-    };
-    let pretrain = Dataset::synthetic(pretrain_config);
-    let target = Dataset::synthetic(target_config);
-
-    let trainer = Trainer::new(TrainingConfig {
-        epochs: if quick { 3 } else { 8 },
-        learning_rate: 0.02,
-        learning_rate_decay: 0.9,
-    });
-
-    println!("# Table III — classification accuracies (synthetic CIFAR-10 stand-in)\n");
-    println!(
-        "transfer target: {} classes, {} training / {} test samples\n",
-        target.classes(),
-        target.train_len(),
-        target.test_len()
-    );
-    print_header(&[
-        "Model",
-        "FLOAT32 top-1 [%]",
-        "INT4 top-1 [%]",
-        "fom top-1 [%]",
-        "power top-1 [%]",
-        "variation top-1 [%]",
-    ]);
-
-    for kind in ModelKind::ALL {
-        let shape = pretrain.image_shape().to_vec();
-        let mut network = build_model(kind, shape[0], shape[1], pretrain.classes(), 42);
-        trainer
-            .train(&mut network, &pretrain)
-            .expect("pre-training succeeds");
-        // Transfer learning: new 10-class head, retrain only the head.
-        transfer_to_new_head(&mut network, target.classes(), 7).expect("head swap succeeds");
-        trainer
-            .train_head_only(&mut network, &target)
-            .expect("head retraining succeeds");
-
-        // Per-image parallel fan-out over the sweep engine (0 = auto threads).
-        let float_report = evaluate_batched(&network, &target, 0).expect("evaluation succeeds");
-        let mut cells = vec![
-            kind.to_string(),
-            format!("{:.1}", float_report.top1_percent()),
-        ];
-        for (_, products) in &product_tables {
-            let quantized = QuantizedNetwork::from_network(&network, products.clone())
-                .expect("quantization succeeds");
-            let report = evaluate_batched(&quantized, &target, 0).expect("evaluation succeeds");
-            cells.push(format!("{:.1}", report.top1_percent()));
-        }
-        print_row(&cells);
-    }
-
-    println!(
-        "\nPaper (full-scale CIFAR-10) for comparison: FLOAT32 92.2-93.4 %, INT4 92.0-93.1 %,"
-    );
-    println!("fom within 0.1 % of INT4, power 87.4-90.8 %, variation 66.9-73.8 %.");
+    optima_bench::experiments::run_shim("table3_cifar");
 }

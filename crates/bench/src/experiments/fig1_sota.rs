@@ -1,0 +1,65 @@
+//! Fig. 1 — state-of-the-art in-SRAM multiplication design space.
+//!
+//! Prints the published design points ([8], [14], [15], [16]) that the paper
+//! compares by energy per MAC, bit width and clock frequency.
+
+use super::{BenchError, Experiment, ExperimentContext};
+use crate::report::{Column, Report, Scalar, Table};
+use optima_imc::sota::published_design_points;
+
+pub struct Fig1Sota;
+
+impl Experiment for Fig1Sota {
+    fn name(&self) -> &'static str {
+        "fig1_sota"
+    }
+
+    fn description(&self) -> &'static str {
+        "Published in-SRAM multiplication design points (energy, bit width, clock)"
+    }
+
+    fn paper_ref(&self) -> &'static str {
+        "Fig. 1"
+    }
+
+    fn run(&self, _ctx: &mut ExperimentContext) -> Result<Report, BenchError> {
+        let mut report = Report::new();
+        report
+            .heading(
+                1,
+                "Fig. 1 — state-of-the-art in-SRAM multiplication design space",
+            )
+            .blank();
+        let mut table = Table::new(vec![
+            Column::plain("Reference"),
+            Column::unit("Energy", "pJ"),
+            Column::plain("Bit width"),
+            Column::unit("Clock", "MHz"),
+            Column::plain("Description"),
+        ]);
+        for point in published_design_points() {
+            table.push_row(vec![
+                Scalar::text(point.reference.to_string()),
+                Scalar::Float(point.energy_pj, 3),
+                Scalar::Int(point.bit_width as i64),
+                Scalar::Float(point.clock_mhz, 0),
+                Scalar::text(point.description.to_string()),
+            ]);
+        }
+        report.table(table);
+        let min_energy = published_design_points()
+            .iter()
+            .map(|p| p.energy_pj)
+            .fold(f64::INFINITY, f64::min);
+        report
+            .blank()
+            .note("MAC energy reduction potential: lowest published energy is")
+            .metric_line(
+                "min_published_energy_pj",
+                Scalar::Float(min_energy, 3),
+                Some("pJ"),
+                format!("{min_energy:.3} pJ; bit widths remain limited to 4-8 bits."),
+            );
+        Ok(report)
+    }
+}

@@ -1,0 +1,438 @@
+//! The unified experiment API.
+//!
+//! Every paper figure, table and ablation is an [`Experiment`]: a named,
+//! self-describing unit implementing
+//! `run(&mut ExperimentContext) -> Result<Report, BenchError>`.  The static
+//! [`registry`] enumerates all of them; the `optima` CLI binary lists and
+//! runs them (text and/or JSON output), and the legacy per-figure binaries
+//! are five-line shims over [`run_shim`] whose text output is byte-identical
+//! to the pre-refactor harnesses (golden-tested).
+//!
+//! [`ExperimentContext`] carries the resolved execution [`Profile`]
+//! (fast/full), the base RNG seed, the sweep-engine thread knob, and a
+//! lazily-calibrated `(Technology, CalibrationOutcome)` handle backed by the
+//! persistent snapshot cache of [`crate::calibrate`] — calibration runs at
+//! most once per process even when every experiment executes.
+
+use crate::report::Report;
+use optima_circuit::error::CircuitError;
+use optima_circuit::technology::Technology;
+use optima_core::calibration::CalibrationOutcome;
+use optima_core::model::suite::ModelSuite;
+use optima_core::sweep::default_threads;
+use optima_core::ModelError;
+use optima_dnn::DnnError;
+use optima_imc::ImcError;
+
+mod ablation_dac;
+mod ablation_poly_degree;
+mod ablation_tau0;
+mod fig1_sota;
+mod fig4_nonideality;
+mod fig5_pvt;
+mod fig6_model_eval;
+mod fig7_dse;
+mod fig8_corner_pvt;
+mod snapshot_roundtrip;
+mod speedup;
+mod table1_corners;
+mod table2_imagenet;
+mod table3_cifar;
+
+/// Environment variable selecting the execution profile: `fast` or `full`.
+pub const PROFILE_ENV_VAR: &str = "OPTIMA_PROFILE";
+
+/// Deprecated alias for `OPTIMA_PROFILE=fast` (`OPTIMA_QUICK=1`), honoured
+/// with a warning so existing scripts keep working.
+pub const QUICK_ENV_VAR: &str = "OPTIMA_QUICK";
+
+/// Execution profile of an experiment run.
+///
+/// `Fast` selects coarse sweep grids, fewer Monte-Carlo samples and fewer
+/// training epochs (CI smoke runs); `Full` is the paper-fidelity
+/// configuration and the default.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Profile {
+    Fast,
+    Full,
+}
+
+impl Profile {
+    pub fn is_fast(self) -> bool {
+        self == Profile::Fast
+    }
+
+    /// The lowercase name used by the CLI, the environment knob and the
+    /// JSON reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Profile::Fast => "fast",
+            Profile::Full => "full",
+        }
+    }
+
+    /// Parses a profile name (case-insensitive `fast`/`full`).
+    pub fn parse(value: &str) -> Option<Profile> {
+        match value.to_ascii_lowercase().as_str() {
+            "fast" => Some(Profile::Fast),
+            "full" => Some(Profile::Full),
+            _ => None,
+        }
+    }
+
+    /// Resolves the profile from the environment: `OPTIMA_PROFILE=fast|full`
+    /// wins; the deprecated `OPTIMA_QUICK=1` alias is honoured with a
+    /// warning; the default is `Full`.  An unrecognised `OPTIMA_PROFILE`
+    /// value warns and falls back to the default rather than erroring, so a
+    /// typo in CI degrades to the safe (full-fidelity) behaviour.
+    pub fn from_env() -> Profile {
+        if let Ok(value) = std::env::var(PROFILE_ENV_VAR) {
+            let trimmed = value.trim();
+            if !trimmed.is_empty() {
+                match Profile::parse(trimmed) {
+                    Some(profile) => return profile,
+                    None => {
+                        eprintln!(
+                            "warning: unrecognised {PROFILE_ENV_VAR}={value:?} \
+                             (expected 'fast' or 'full'); using the full profile"
+                        );
+                        return Profile::Full;
+                    }
+                }
+            }
+        }
+        if std::env::var(QUICK_ENV_VAR)
+            .map(|v| v == "1")
+            .unwrap_or(false)
+        {
+            eprintln!(
+                "warning: {QUICK_ENV_VAR}=1 is deprecated; use {PROFILE_ENV_VAR}=fast instead"
+            );
+            return Profile::Fast;
+        }
+        Profile::Full
+    }
+
+    /// Resolves the effective profile: an explicit CLI choice takes
+    /// precedence over the environment.
+    pub fn resolve(cli: Option<Profile>) -> Profile {
+        cli.unwrap_or_else(Profile::from_env)
+    }
+}
+
+/// Error of a failed experiment run.
+#[derive(Debug)]
+pub enum BenchError {
+    Model(ModelError),
+    Imc(ImcError),
+    Dnn(DnnError),
+    Circuit(CircuitError),
+    Io {
+        path: String,
+        source: std::io::Error,
+    },
+    /// A violated experiment invariant (the experiment ran but its result
+    /// fails a self-check, e.g. a snapshot round trip that is not
+    /// bit-exact).
+    Failed(String),
+}
+
+impl std::fmt::Display for BenchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BenchError::Model(e) => write!(f, "model error: {e}"),
+            BenchError::Imc(e) => write!(f, "in-memory-computing error: {e}"),
+            BenchError::Dnn(e) => write!(f, "DNN error: {e}"),
+            BenchError::Circuit(e) => write!(f, "circuit error: {e}"),
+            BenchError::Io { path, source } => write!(f, "I/O error on {path}: {source}"),
+            BenchError::Failed(message) => write!(f, "experiment failed: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for BenchError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            BenchError::Model(e) => Some(e),
+            BenchError::Imc(e) => Some(e),
+            BenchError::Dnn(e) => Some(e),
+            BenchError::Circuit(e) => Some(e),
+            BenchError::Io { source, .. } => Some(source),
+            BenchError::Failed(_) => None,
+        }
+    }
+}
+
+impl From<ModelError> for BenchError {
+    fn from(e: ModelError) -> Self {
+        BenchError::Model(e)
+    }
+}
+
+impl From<ImcError> for BenchError {
+    fn from(e: ImcError) -> Self {
+        BenchError::Imc(e)
+    }
+}
+
+impl From<DnnError> for BenchError {
+    fn from(e: DnnError) -> Self {
+        BenchError::Dnn(e)
+    }
+}
+
+impl From<CircuitError> for BenchError {
+    fn from(e: CircuitError) -> Self {
+        BenchError::Circuit(e)
+    }
+}
+
+/// Execution context handed to every experiment.
+pub struct ExperimentContext {
+    profile: Profile,
+    seed: u64,
+    threads: usize,
+    calibration: Option<(Technology, CalibrationOutcome)>,
+}
+
+impl ExperimentContext {
+    /// A context with the given profile, the default seed (42) and the
+    /// automatic thread count.
+    pub fn new(profile: Profile) -> Self {
+        ExperimentContext {
+            profile,
+            seed: 42,
+            threads: 0,
+            calibration: None,
+        }
+    }
+
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sweep-engine worker threads; `0` (the default) selects the machine's
+    /// available parallelism.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    pub fn profile(&self) -> Profile {
+        self.profile
+    }
+
+    pub fn is_fast(&self) -> bool {
+        self.profile.is_fast()
+    }
+
+    /// Base RNG seed; experiments derive their internal streams from it.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The raw thread knob (`0` = automatic).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// The thread count actually used by the sweep engine.
+    pub fn effective_threads(&self) -> usize {
+        if self.threads == 0 {
+            default_threads()
+        } else {
+            self.threads
+        }
+    }
+
+    /// The calibrated technology and outcome for this profile, computed on
+    /// first use (backed by the persistent snapshot cache, so it costs
+    /// milliseconds on a warm cache) and shared by every subsequent caller
+    /// in the process.
+    pub fn calibration(&mut self) -> &(Technology, CalibrationOutcome) {
+        if self.calibration.is_none() {
+            self.calibration = Some(crate::calibrate(self.is_fast()));
+        }
+        self.calibration
+            .as_ref()
+            .expect("calibration was just populated")
+    }
+
+    /// A clone of the calibrated technology.
+    pub fn technology(&mut self) -> Technology {
+        self.calibration().0.clone()
+    }
+
+    /// A clone of the fitted model suite.
+    pub fn models(&mut self) -> ModelSuite {
+        self.calibration().1.models().clone()
+    }
+}
+
+/// One paper figure/table/ablation reproduction.
+///
+/// Implementations are stateless unit structs registered in [`registry`];
+/// all run-time configuration comes through the [`ExperimentContext`].
+pub trait Experiment: Sync {
+    /// Registry name — equal to the legacy binary name (e.g. `fig5_pvt`).
+    fn name(&self) -> &'static str;
+
+    /// One-line description for `optima list` and DESIGN.md.
+    fn description(&self) -> &'static str;
+
+    /// The paper artifact this reproduces (e.g. `Fig. 5`, `Table I`,
+    /// `ablation`).
+    fn paper_ref(&self) -> &'static str;
+
+    /// Runs the experiment and returns its structured report.
+    fn run(&self, ctx: &mut ExperimentContext) -> Result<Report, BenchError>;
+}
+
+/// The static registry of every experiment, in presentation order
+/// (figures, tables, section V, infrastructure smoke, then ablations).
+pub fn registry() -> &'static [&'static dyn Experiment] {
+    static REGISTRY: [&dyn Experiment; 14] = [
+        &fig1_sota::Fig1Sota,
+        &fig4_nonideality::Fig4Nonideality,
+        &fig5_pvt::Fig5Pvt,
+        &fig6_model_eval::Fig6ModelEval,
+        &fig7_dse::Fig7Dse,
+        &fig8_corner_pvt::Fig8CornerPvt,
+        &table1_corners::Table1Corners,
+        &table2_imagenet::Table2Imagenet,
+        &table3_cifar::Table3Cifar,
+        &speedup::Speedup,
+        &snapshot_roundtrip::SnapshotRoundtrip,
+        &ablation_dac::AblationDac,
+        &ablation_poly_degree::AblationPolyDegree,
+        &ablation_tau0::AblationTau0,
+    ];
+    &REGISTRY
+}
+
+/// Looks an experiment up by its registry name.
+pub fn find(name: &str) -> Option<&'static dyn Experiment> {
+    registry().iter().copied().find(|e| e.name() == name)
+}
+
+/// The generated per-experiment index (the body of `DESIGN.md`), derived
+/// from the registry so it cannot drift from the code.
+pub fn design_md() -> String {
+    let mut out = String::from(
+        "# DESIGN — experiment index\n\
+         \n\
+         <!-- GENERATED from the experiment registry: run -->\n\
+         <!--   cargo run -q -p optima_bench --bin optima -- design-md > DESIGN.md -->\n\
+         <!-- A test (crates/bench/tests/experiment_api.rs) fails when this file drifts. -->\n\
+         \n\
+         Every figure, table and ablation of the paper is one implementation of\n\
+         `optima_bench::experiments::Experiment`, registered in the static\n\
+         registry and driven by the `optima` CLI (`optima list`, `optima run`).\n\
+         The legacy per-experiment binaries in `crates/bench/src/bin/` are\n\
+         shims over the same registry and print byte-identical text output.\n\
+         \n\
+         | experiment | paper artifact | shim binary | description |\n\
+         |---|---|---|---|\n",
+    );
+    for experiment in registry() {
+        out.push_str(&format!(
+            "| `{name}` | {paper} | `cargo run -p optima_bench --bin {name}` | {desc} |\n",
+            name = experiment.name(),
+            paper = experiment.paper_ref(),
+            desc = experiment.description(),
+        ));
+    }
+    out.push_str(
+        "\nRun everything: `cargo run -p optima_bench --bin optima -- run --all \
+         --profile fast --json reports/`.\n\
+         Profiles: `fast` (CI smoke grids) and `full` (paper fidelity); see\n\
+         the \"Experiment runner\" section of README.md.\n",
+    );
+    out
+}
+
+/// Entry point of the legacy per-experiment shim binaries: resolves the
+/// profile from the environment, runs the named experiment and prints its
+/// text report (byte-identical to the pre-refactor binaries), exiting
+/// non-zero on failure.
+pub fn run_shim(name: &str) -> ! {
+    let experiment = find(name).unwrap_or_else(|| {
+        eprintln!("error: experiment {name:?} is not registered");
+        std::process::exit(2);
+    });
+    let mut ctx = ExperimentContext::new(Profile::from_env());
+    // The report is printed when the run completes; a stderr liveness line
+    // (stdout stays byte-identical to the legacy binaries) tells a log
+    // watcher that a long full-profile run is working, not hung.
+    eprintln!(
+        "running {} ({}, profile {}); report follows on completion",
+        experiment.name(),
+        experiment.paper_ref(),
+        ctx.profile().name()
+    );
+    match experiment.run(&mut ctx) {
+        Ok(report) => {
+            print!("{}", report.render_text());
+            std::process::exit(0);
+        }
+        Err(err) => {
+            eprintln!("error: experiment {name} failed: {err}");
+            std::process::exit(1);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_names_are_unique_and_nonempty() {
+        let mut names: Vec<&str> = registry().iter().map(|e| e.name()).collect();
+        assert!(!names.is_empty());
+        names.sort_unstable();
+        let len = names.len();
+        names.dedup();
+        assert_eq!(len, names.len(), "registry names must be unique");
+    }
+
+    #[test]
+    fn find_resolves_registered_names_only() {
+        assert!(find("fig5_pvt").is_some());
+        assert!(find("no_such_experiment").is_none());
+    }
+
+    #[test]
+    fn profile_parsing_is_case_insensitive_and_strict() {
+        assert_eq!(Profile::parse("fast"), Some(Profile::Fast));
+        assert_eq!(Profile::parse("FULL"), Some(Profile::Full));
+        assert_eq!(Profile::parse("quick"), None);
+        assert_eq!(Profile::resolve(Some(Profile::Fast)), Profile::Fast);
+    }
+
+    #[test]
+    fn design_md_lists_every_registered_experiment() {
+        let index = design_md();
+        for experiment in registry() {
+            assert!(
+                index.contains(&format!("`{}`", experiment.name())),
+                "DESIGN.md index is missing {}",
+                experiment.name()
+            );
+        }
+    }
+
+    #[test]
+    fn context_defaults_and_knobs() {
+        let ctx = ExperimentContext::new(Profile::Fast)
+            .with_seed(7)
+            .with_threads(3);
+        assert!(ctx.is_fast());
+        assert_eq!(ctx.seed(), 7);
+        assert_eq!(ctx.threads(), 3);
+        assert_eq!(ctx.effective_threads(), 3);
+        let auto = ExperimentContext::new(Profile::Full);
+        assert_eq!(auto.effective_threads(), default_threads());
+    }
+}

@@ -1,0 +1,132 @@
+//! Calibration-snapshot smoke check: save → load must round-trip
+//! bit-exactly, and the integrity gates (schema version, technology
+//! fingerprint) must reject tampered files.
+//!
+//! Run by CI after the test suite; any violation is a [`BenchError`], so a
+//! broken snapshot format can never silently ship.  Always uses the fast
+//! calibration grid — the check exercises the snapshot format, not the
+//! model fidelity.
+
+use super::{BenchError, Experiment, ExperimentContext};
+use crate::report::{Report, Scalar};
+use optima_circuit::technology::Technology;
+use optima_core::calibration::{CalibrationConfig, Calibrator};
+use optima_core::snapshot;
+use optima_core::ModelError;
+use optima_math::units::Volts;
+use std::time::Instant;
+
+pub struct SnapshotRoundtrip;
+
+impl Experiment for SnapshotRoundtrip {
+    fn name(&self) -> &'static str {
+        "snapshot_roundtrip"
+    }
+
+    fn description(&self) -> &'static str {
+        "Calibration-snapshot round-trip and integrity-gate smoke check"
+    }
+
+    fn paper_ref(&self) -> &'static str {
+        "infrastructure"
+    }
+
+    fn run(&self, _ctx: &mut ExperimentContext) -> Result<Report, BenchError> {
+        let technology = Technology::tsmc65_like();
+        let config = CalibrationConfig::fast();
+
+        let calibrate_start = Instant::now();
+        let outcome = Calibrator::new(technology.clone(), config.clone()).run()?;
+        let calibrate_seconds = calibrate_start.elapsed().as_secs_f64();
+
+        let dir =
+            std::env::temp_dir().join(format!("optima-snapshot-smoke-{}", std::process::id()));
+        // The gates below return early on violation; clean the scratch
+        // directory up on every exit path, not just success.
+        let result = Self::check_gates(&dir, &outcome, &technology, &config, calibrate_seconds);
+        std::fs::remove_dir_all(&dir).ok();
+        result
+    }
+}
+
+impl SnapshotRoundtrip {
+    fn check_gates(
+        dir: &std::path::Path,
+        outcome: &optima_core::calibration::CalibrationOutcome,
+        technology: &Technology,
+        config: &CalibrationConfig,
+        calibrate_seconds: f64,
+    ) -> Result<Report, BenchError> {
+        let path = dir.join("calibration-fast.v1.snap");
+
+        snapshot::save(&path, outcome, technology, config)?;
+        let load_start = Instant::now();
+        let loaded = snapshot::load(&path, technology, config)?;
+        let load_seconds = load_start.elapsed().as_secs_f64();
+        if *outcome != loaded {
+            return Err(BenchError::Failed(
+                "snapshot round trip must be bit-exact".to_string(),
+            ));
+        }
+
+        // Integrity gates: a different technology must be rejected...
+        let mut other_tech = technology.clone();
+        other_tech.nmos_vth = Volts(other_tech.nmos_vth.0 + 0.01);
+        match snapshot::load(&path, &other_tech, config) {
+            Err(ModelError::SnapshotFingerprintMismatch { .. }) => {}
+            other => {
+                return Err(BenchError::Failed(format!(
+                    "expected a technology-fingerprint rejection, got {other:?}"
+                )))
+            }
+        }
+        // ...and so must a different calibration grid.
+        match snapshot::load(&path, technology, &CalibrationConfig::default()) {
+            Err(ModelError::SnapshotFingerprintMismatch { .. }) => {}
+            other => {
+                return Err(BenchError::Failed(format!(
+                    "expected a config-fingerprint rejection, got {other:?}"
+                )))
+            }
+        }
+        // A truncated file is corruption, not a mis-parse.
+        let body = std::fs::read_to_string(&path).map_err(|source| BenchError::Io {
+            path: path.display().to_string(),
+            source,
+        })?;
+        let truncated = dir.join("truncated.snap");
+        std::fs::write(&truncated, &body[..body.len() / 2]).map_err(|source| BenchError::Io {
+            path: truncated.display().to_string(),
+            source,
+        })?;
+        match snapshot::load(&truncated, technology, config) {
+            Err(ModelError::SnapshotCorrupt { .. }) => {}
+            other => {
+                return Err(BenchError::Failed(format!(
+                    "expected a corruption rejection, got {other:?}"
+                )))
+            }
+        }
+
+        let mut report = Report::new();
+        report
+            .note("calibration snapshot round trip OK (bit-exact)")
+            .metric_line(
+                "calibrate_seconds",
+                Scalar::Float(calibrate_seconds, 3),
+                Some("s"),
+                format!("  calibrate: {calibrate_seconds:.3} s"),
+            )
+            .metric_line(
+                "load_seconds",
+                Scalar::Float(load_seconds, 6),
+                Some("s"),
+                format!(
+                    "  load:      {load_seconds:.6} s  ({:.0}x faster)",
+                    calibrate_seconds / load_seconds.max(1e-9)
+                ),
+            )
+            .note("  rejected: wrong technology, wrong config grid, truncated file");
+        Ok(report)
+    }
+}

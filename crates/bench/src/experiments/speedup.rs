@@ -1,0 +1,86 @@
+//! Section V speed-up claim — OPTIMA models vs. circuit simulation.
+//!
+//! The paper reports a ~101× speed-up for iterating over the input space and
+//! design corners and 28.1× for mismatch Monte Carlo sampling compared to
+//! Cadence Virtuoso.  Here the comparison is against our own ODE-based golden
+//! reference, so the absolute factor differs, but the same mechanism (cheap
+//! polynomial evaluation replacing transient integration) is measured.
+
+use super::{BenchError, Experiment, ExperimentContext};
+use crate::report::{Column, Report, Scalar, Table};
+use optima_core::evaluation::ModelEvaluator;
+
+pub struct Speedup;
+
+impl Experiment for Speedup {
+    fn name(&self) -> &'static str {
+        "speedup"
+    }
+
+    fn description(&self) -> &'static str {
+        "Wall-clock speed-up of the fitted models over the golden circuit reference"
+    }
+
+    fn paper_ref(&self) -> &'static str {
+        "Section V"
+    }
+
+    fn run(&self, ctx: &mut ExperimentContext) -> Result<Report, BenchError> {
+        let fast = ctx.is_fast();
+        // Starts from the persistent calibration snapshot when one exists —
+        // the expensive circuit sweeps only run on a cold cache.
+        let (technology, outcome) = ctx.calibration().clone();
+        // The circuit-reference side of both measurements fans out over the
+        // sweep engine, so the reported factor is the wall-clock advantage
+        // over the *parallel* golden reference.  Both sides answer the
+        // identical DischargeBackend waveform queries.
+        let evaluator = ModelEvaluator::new(technology, outcome.into_models())
+            .with_threads(ctx.threads())
+            .with_reference_time_steps(if fast { 150 } else { 400 });
+
+        let (wordlines, times, mc) = if fast { (8, 8, 50) } else { (16, 16, 300) };
+        let sweep = evaluator.measure_speedup(wordlines, times)?;
+        let monte_carlo = evaluator.measure_monte_carlo_speedup(mc)?;
+
+        let mut report = Report::new();
+        report
+            .heading(
+                1,
+                "Section V — simulation speed-up of OPTIMA vs. circuit simulation",
+            )
+            .note(format!(
+                "(backends '{}' vs '{}', one DischargeBackend interface; \
+                 circuit reference parallelised over {} sweep-engine threads)",
+                evaluator.reference_backend().backend_name(),
+                evaluator.fitted_backend().backend_name(),
+                ctx.effective_threads()
+            ))
+            .blank();
+        let mut table = Table::new(vec![
+            Column::plain("Workload"),
+            Column::unit("Circuit sim", "s"),
+            Column::unit("OPTIMA", "s"),
+            Column::plain("Speed-up"),
+            Column::plain("Paper"),
+        ]);
+        table.push_row(vec![
+            Scalar::text(format!("input-space sweep ({} points)", sweep.evaluations)),
+            Scalar::Float(sweep.circuit_seconds, 4),
+            Scalar::Float(sweep.model_seconds, 6),
+            Scalar::Suffixed(sweep.speedup(), 0, "x"),
+            Scalar::text("~101x"),
+        ]);
+        table.push_row(vec![
+            Scalar::text(format!(
+                "mismatch Monte Carlo ({} samples)",
+                monte_carlo.evaluations
+            )),
+            Scalar::Float(monte_carlo.circuit_seconds, 4),
+            Scalar::Float(monte_carlo.model_seconds, 6),
+            Scalar::Suffixed(monte_carlo.speedup(), 0, "x"),
+            Scalar::text("28.1x"),
+        ]);
+        report.table(table);
+        Ok(report)
+    }
+}

@@ -1,9 +1,13 @@
 //! Shared plumbing for the experiment harnesses and Criterion benches.
 //!
-//! Every figure and table of the paper has a dedicated binary in `src/bin/`
-//! (see DESIGN.md for the per-experiment index); this library provides the
-//! pieces they share: model calibration, the three Table I corner
-//! configurations, and small table-printing helpers.
+//! Every figure, table and ablation of the paper is an
+//! [`experiments::Experiment`] registered in [`experiments::registry`] (see
+//! DESIGN.md for the per-experiment index) and driven by the `optima` CLI
+//! binary; the legacy per-experiment binaries in `src/bin/` are thin shims
+//! over the same registry.  This library additionally provides the pieces
+//! they share: model calibration (snapshot-cached), the three Table I corner
+//! configurations, structured [`report::Report`]s with text/JSON renderers,
+//! and the naive reference forward pass used by the perf benches.
 
 use optima_circuit::technology::Technology;
 use optima_core::calibration::{CalibrationConfig, CalibrationOutcome, Calibrator};
@@ -16,6 +20,10 @@ use optima_dnn::{reference, Tensor};
 use optima_imc::multiplier::MultiplierConfig;
 use std::path::PathBuf;
 use std::sync::Arc;
+
+pub mod experiments;
+pub mod json;
+pub mod report;
 
 /// Environment variable controlling the calibration-snapshot cache:
 /// unset → cache under `target/optima/`, `0`/`off` → disabled,
@@ -100,14 +108,6 @@ pub fn calibrate(fast: bool) -> (Technology, CalibrationOutcome) {
 pub fn calibrated_models(fast: bool) -> (Technology, ModelSuite) {
     let (technology, outcome) = calibrate(fast);
     (technology, outcome.into_models())
-}
-
-/// Returns `true` when the harness was asked for a quick run
-/// (environment variable `OPTIMA_QUICK=1`), used to keep CI times short.
-pub fn quick_mode() -> bool {
-    std::env::var("OPTIMA_QUICK")
-        .map(|v| v == "1")
-        .unwrap_or(false)
 }
 
 /// The three named corners of Table I with their paper configurations.
@@ -207,20 +207,6 @@ pub fn naive_network_forward(network: &Network, input: &Tensor) -> Tensor {
     current
 }
 
-/// Prints a Markdown-style table row.
-pub fn print_row(cells: &[String]) {
-    println!("| {} |", cells.join(" | "));
-}
-
-/// Prints a Markdown-style table header with a separator line.
-pub fn print_header(cells: &[&str]) {
-    print_row(&cells.iter().map(|c| c.to_string()).collect::<Vec<_>>());
-    println!(
-        "|{}|",
-        cells.iter().map(|_| "---").collect::<Vec<_>>().join("|")
-    );
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -265,11 +251,5 @@ mod tests {
         assert_eq!(corners[0].0, "fom");
         assert_eq!(corners[1].0, "power");
         assert_eq!(corners[2].0, "variation");
-    }
-
-    #[test]
-    fn quick_mode_reads_the_environment() {
-        // Not set in the test environment unless exported by the caller.
-        let _ = quick_mode();
     }
 }

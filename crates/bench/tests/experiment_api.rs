@@ -1,0 +1,109 @@
+//! Structural invariants of the unified experiment API: the registry, the
+//! shim binaries and the generated DESIGN.md index must stay in lock-step.
+
+use optima_bench::experiments::{design_md, find, registry};
+use std::collections::BTreeSet;
+use std::path::PathBuf;
+
+/// The `src/bin` entries that are not experiment shims: the multiplexed
+/// runner itself and the perf-trajectory reporter.
+const NON_SHIM_BINARIES: &[&str] = &["optima", "bench_report"];
+
+fn shim_binary_names() -> BTreeSet<String> {
+    let bin_dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("src/bin");
+    std::fs::read_dir(&bin_dir)
+        .expect("src/bin is readable")
+        .map(|entry| entry.expect("directory entry is readable").path())
+        .filter(|path| path.extension().is_some_and(|ext| ext == "rs"))
+        .map(|path| {
+            path.file_stem()
+                .expect("binary file has a stem")
+                .to_string_lossy()
+                .into_owned()
+        })
+        .filter(|name| !NON_SHIM_BINARIES.contains(&name.as_str()))
+        .collect()
+}
+
+#[test]
+fn every_shim_binary_has_a_registered_experiment_and_vice_versa() {
+    let shims = shim_binary_names();
+    let registered: BTreeSet<String> = registry().iter().map(|e| e.name().to_string()).collect();
+    assert_eq!(
+        shims, registered,
+        "src/bin shims and the experiment registry must be a bijection \
+         (left: shims, right: registry)"
+    );
+}
+
+#[test]
+fn registry_names_are_unique() {
+    let names: Vec<&str> = registry().iter().map(|e| e.name()).collect();
+    let unique: BTreeSet<&str> = names.iter().copied().collect();
+    assert_eq!(names.len(), unique.len(), "duplicate experiment names");
+}
+
+#[test]
+fn registry_covers_all_paper_experiments_and_ablations() {
+    let registered: BTreeSet<&str> = registry().iter().map(|e| e.name()).collect();
+    for name in [
+        "fig1_sota",
+        "fig4_nonideality",
+        "fig5_pvt",
+        "fig6_model_eval",
+        "fig7_dse",
+        "fig8_corner_pvt",
+        "table1_corners",
+        "table2_imagenet",
+        "table3_cifar",
+        "speedup",
+        "snapshot_roundtrip",
+    ] {
+        assert!(registered.contains(name), "missing paper experiment {name}");
+    }
+    let ablations = registered
+        .iter()
+        .filter(|name| name.starts_with("ablation_"))
+        .count();
+    assert_eq!(ablations, 3, "expected exactly three ablations");
+}
+
+#[test]
+fn every_experiment_is_self_describing() {
+    for experiment in registry() {
+        assert!(!experiment.name().is_empty());
+        assert!(
+            !experiment.description().is_empty(),
+            "{} has no description",
+            experiment.name()
+        );
+        assert!(
+            !experiment.paper_ref().is_empty(),
+            "{} has no paper reference",
+            experiment.name()
+        );
+        assert!(
+            find(experiment.name()).is_some_and(|found| std::ptr::eq(found, *experiment)),
+            "find() must resolve {} to its registry entry",
+            experiment.name()
+        );
+    }
+}
+
+#[test]
+fn design_md_on_disk_matches_the_registry() {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../DESIGN.md");
+    let on_disk = std::fs::read_to_string(&path).unwrap_or_else(|err| {
+        panic!(
+            "DESIGN.md is missing at {} ({err}); regenerate it with \
+             `cargo run -q -p optima_bench --bin optima -- design-md > DESIGN.md`",
+            path.display()
+        )
+    });
+    assert_eq!(
+        on_disk,
+        design_md(),
+        "DESIGN.md has drifted from the experiment registry; regenerate it with \
+         `cargo run -q -p optima_bench --bin optima -- design-md > DESIGN.md`"
+    );
+}
