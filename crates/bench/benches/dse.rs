@@ -3,6 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use optima_bench::calibrated_models;
+use optima_circuit::array::ArrayConfig;
 use optima_imc::dse::{DesignPoint, DesignSpace, DesignSpaceExplorer};
 use optima_imc::metrics::evaluate_multiplier;
 use optima_imc::multiplier::{InSramMultiplier, MultiplierConfig};
@@ -30,6 +31,7 @@ fn bench_dse(c: &mut Criterion) {
                     tau0: Seconds(0.16e-9),
                     vdac_zero: Volts(0.3),
                     vdac_full_scale: Volts(1.0),
+                    array: ArrayConfig::default(),
                 }))
                 .unwrap()
         })

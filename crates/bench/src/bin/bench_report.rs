@@ -401,9 +401,12 @@ fn analog_workloads(quick: bool) -> Vec<Workload> {
             .run()
             .expect("calibration succeeds");
         let baseline_seconds = calibrate_start.elapsed().as_secs_f64();
-        snapshot::save(&path, &outcome, &technology, &config).expect("snapshot save succeeds");
+        let array = optima_circuit::array::ArrayConfig::default();
+        snapshot::save(&path, &outcome, &technology, &config, &array)
+            .expect("snapshot save succeeds");
         let load_start = Instant::now();
-        let loaded = snapshot::load(&path, &technology, &config).expect("snapshot load succeeds");
+        let loaded =
+            snapshot::load(&path, &technology, &config, &array).expect("snapshot load succeeds");
         let optimized_seconds = load_start.elapsed().as_secs_f64();
         assert_eq!(outcome, loaded, "snapshot load must be bit-exact");
         std::fs::remove_dir_all(&dir).ok();

@@ -1,0 +1,9 @@
+//! Legacy shim: runs the registered `geometry_sweep` experiment at the
+//! default (paper 16×4 INT4, plus INT8 composition) geometries and prints its
+//! text report.  Profile comes from `OPTIMA_PROFILE` (or the deprecated
+//! `OPTIMA_QUICK=1`); prefer `optima run geometry_sweep --operand-bits 8 ...`
+//! for the full geometry-selecting CLI.
+
+fn main() {
+    optima_bench::experiments::run_shim("geometry_sweep");
+}

@@ -17,6 +17,7 @@
 
 use optima_bench::experiments::{self, BenchError, Experiment, ExperimentContext, Profile};
 use optima_bench::json::Json;
+use optima_circuit::array::ArrayConfig;
 use std::path::{Path, PathBuf};
 use std::time::Instant;
 
@@ -36,6 +37,16 @@ OPTIONS (run):
     --threads N           sweep-engine worker threads (default 0 = auto)
     --json DIR            additionally write DIR/<name>.json per experiment
 
+ARRAY GEOMETRY (run; default: the paper's 16x4 INT4 macro):
+    --operand-bits N      logical operand width, 1..=8 (widths beyond the
+                          4-bit analog slice are composed from multiple
+                          passes; unless --columns is given, columns grow to
+                          hold the whole stored word)
+    --slice-bits N        analog slice width per pass (default 4)
+    --rows N              cells per bit-line (default 16)
+    --columns N           bit-line columns per row (default 4)
+    --mux N               columns sharing one converter pair (default 1)
+
 EXIT STATUS:
     0 when every requested experiment succeeds with a non-empty report;
     1 when any experiment fails (all requested experiments still run);
@@ -54,6 +65,7 @@ struct RunOptions {
     seed: u64,
     threads: usize,
     json_dir: Option<PathBuf>,
+    array: ArrayConfig,
 }
 
 fn parse_run_options(args: &[String]) -> RunOptions {
@@ -64,7 +76,9 @@ fn parse_run_options(args: &[String]) -> RunOptions {
         seed: 42,
         threads: 0,
         json_dir: None,
+        array: ArrayConfig::default(),
     };
+    let mut columns_given = false;
     let mut i = 0;
     while i < args.len() {
         let arg = &args[i];
@@ -100,9 +114,49 @@ fn parse_run_options(args: &[String]) -> RunOptions {
                     .unwrap_or_else(|_| usage_error(&format!("invalid --threads {value:?}")));
             }
             "--json" => options.json_dir = Some(PathBuf::from(value_for("--json"))),
+            "--operand-bits" => {
+                let value = value_for("--operand-bits");
+                options.array.operand_bits = value
+                    .parse()
+                    .unwrap_or_else(|_| usage_error(&format!("invalid --operand-bits {value:?}")));
+            }
+            "--slice-bits" => {
+                let value = value_for("--slice-bits");
+                options.array.slice_bits = value
+                    .parse()
+                    .unwrap_or_else(|_| usage_error(&format!("invalid --slice-bits {value:?}")));
+            }
+            "--rows" => {
+                let value = value_for("--rows");
+                options.array.rows = value
+                    .parse()
+                    .unwrap_or_else(|_| usage_error(&format!("invalid --rows {value:?}")));
+            }
+            "--columns" => {
+                let value = value_for("--columns");
+                options.array.columns = value
+                    .parse()
+                    .unwrap_or_else(|_| usage_error(&format!("invalid --columns {value:?}")));
+                columns_given = true;
+            }
+            "--mux" => {
+                let value = value_for("--mux");
+                options.array.column_mux = value
+                    .parse()
+                    .unwrap_or_else(|_| usage_error(&format!("invalid --mux {value:?}")));
+            }
             flag if flag.starts_with('-') => usage_error(&format!("unknown option {flag}")),
             name => options.names.push(name.to_string()),
         }
+    }
+    // A wide operand needs a row wide enough to store it; grow the default
+    // column count unless the user pinned it explicitly
+    // (`--operand-bits 8` alone selects the 16×8 INT8 preset).
+    if !columns_given {
+        options.array.columns = options.array.columns.max(options.array.operand_bits as u16);
+    }
+    if let Err(err) = options.array.validate() {
+        usage_error(&format!("invalid array geometry: {err}"));
     }
     options
 }
@@ -131,6 +185,7 @@ fn report_envelope(
     experiment: &dyn Experiment,
     profile: Profile,
     seed: u64,
+    array: &ArrayConfig,
     report: &optima_bench::report::Report,
     elapsed_seconds: f64,
 ) -> Json {
@@ -140,6 +195,7 @@ fn report_envelope(
         ("paper_ref", Json::str(experiment.paper_ref())),
         ("description", Json::str(experiment.description())),
         ("profile", Json::str(profile.name())),
+        ("geometry", Json::str(array.describe())),
         // Seeds are u64; values beyond i64::MAX have no JSON integer
         // representation here, so they fall back to a decimal string rather
         // than being recorded as a wrong (negative) number.
@@ -190,7 +246,8 @@ fn cmd_run(args: &[String]) -> i32 {
     // even when the disk snapshot cache is disabled.
     let mut ctx = ExperimentContext::new(profile)
         .with_seed(options.seed)
-        .with_threads(options.threads);
+        .with_threads(options.threads)
+        .with_array(options.array);
     let mut failures: Vec<(String, String)> = Vec::new();
     for (i, experiment) in selected.iter().enumerate() {
         if i > 0 {
@@ -218,8 +275,14 @@ fn cmd_run(args: &[String]) -> i32 {
             Ok(report) => {
                 print!("{}", report.render_text());
                 if let Some(dir) = &options.json_dir {
-                    let envelope =
-                        report_envelope(*experiment, profile, options.seed, &report, elapsed);
+                    let envelope = report_envelope(
+                        *experiment,
+                        profile,
+                        options.seed,
+                        &options.array,
+                        &report,
+                        elapsed,
+                    );
                     let path = dir.join(format!("{}.json", experiment.name()));
                     if let Err(err) = write_json(&path, &envelope) {
                         failures.push((experiment.name().to_string(), err.to_string()));

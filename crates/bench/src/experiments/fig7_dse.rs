@@ -4,9 +4,16 @@
 //! OPTIMA models and prints the two panels of Fig. 7: error and energy as a
 //! function of V_DAC,FS for several V_DAC,0 values (left, τ0 = 0.16 ns) and
 //! as a function of τ0 for several V_DAC,FS values (right, V_DAC,0 = 0.4 V).
+//!
+//! When the context selects a non-default [`ArrayConfig`], the array geometry
+//! becomes a fourth sweep axis co-explored with the electrical parameters
+//! (the paper macro plus the selected geometry), and a third panel compares
+//! the best corners per geometry.  At the default geometry the output is the
+//! paper figure, unchanged.
 
 use super::{BenchError, Experiment, ExperimentContext};
 use crate::report::{Column, Report, Scalar, Table};
+use optima_circuit::array::ArrayConfig;
 use optima_imc::dse::{DesignSpace, DesignSpaceExplorer};
 
 pub struct Fig7Dse;
@@ -30,7 +37,14 @@ impl Experiment for Fig7Dse {
         // the corner — corners are never silently dropped) and bit-identical
         // at any thread count.
         let explorer = DesignSpaceExplorer::new(models).with_threads(ctx.threads());
-        let space = DesignSpace::paper_sweep();
+        let selected = ctx.array();
+        let space = if selected.is_paper() {
+            DesignSpace::paper_sweep()
+        } else {
+            // Geometry joins the electrical axes: every (tau0, DAC) corner is
+            // evaluated on both the paper macro and the selected array.
+            DesignSpace::paper_sweep().with_arrays(vec![ArrayConfig::default(), selected])
+        };
         let mut report = Report::new();
         report
             .heading(
@@ -64,7 +78,7 @@ impl Experiment for Fig7Dse {
             Column::unit("avg energy/op", "fJ"),
         ]);
         for result in &results {
-            if (result.point.tau0.0 - 0.16e-9).abs() < 1e-15 {
+            if result.point.array.is_paper() && (result.point.tau0.0 - 0.16e-9).abs() < 1e-15 {
                 left.push_row(vec![
                     Scalar::Float(result.point.vdac_zero.0, 1),
                     Scalar::Float(result.point.vdac_full_scale.0, 1),
@@ -89,7 +103,7 @@ impl Experiment for Fig7Dse {
             Column::unit("avg energy/op", "fJ"),
         ]);
         for result in &results {
-            if (result.point.vdac_zero.0 - 0.4).abs() < 1e-12 {
+            if result.point.array.is_paper() && (result.point.vdac_zero.0 - 0.4).abs() < 1e-12 {
                 right.push_row(vec![
                     Scalar::Float(result.point.tau0.0 * 1e9, 2),
                     Scalar::Float(result.point.vdac_full_scale.0, 1),
@@ -99,6 +113,42 @@ impl Experiment for Fig7Dse {
             }
         }
         report.table(right);
+
+        if !selected.is_paper() {
+            report
+                .blank()
+                .heading(2, "Geometry co-exploration: best corner per array")
+                .blank();
+            let mut best = Table::new(vec![
+                Column::plain("Geometry"),
+                Column::unit("tau0", "ns"),
+                Column::unit("V_DAC,0", "V"),
+                Column::unit("V_DAC,FS", "V"),
+                Column::unit("min avg error", "LSB"),
+                Column::unit("energy/op", "fJ"),
+            ]);
+            for array in [ArrayConfig::default(), selected] {
+                let winner = results
+                    .iter()
+                    .filter(|r| r.point.array == array)
+                    .min_by(|a, b| a.metrics.epsilon_mul.total_cmp(&b.metrics.epsilon_mul))
+                    .ok_or_else(|| {
+                        BenchError::Failed(format!(
+                            "co-explored sweep has no corners for geometry {}",
+                            array.describe()
+                        ))
+                    })?;
+                best.push_row(vec![
+                    Scalar::text(array.describe()),
+                    Scalar::Float(winner.point.tau0.0 * 1e9, 2),
+                    Scalar::Float(winner.point.vdac_zero.0, 1),
+                    Scalar::Float(winner.point.vdac_full_scale.0, 1),
+                    Scalar::Float(winner.metrics.epsilon_mul, 2),
+                    Scalar::Float(winner.metrics.energy_per_multiply.0, 2),
+                ]);
+            }
+            report.table(best);
+        }
 
         report
             .blank()

@@ -15,6 +15,7 @@
 //! most once per process even when every experiment executes.
 
 use crate::report::Report;
+use optima_circuit::array::ArrayConfig;
 use optima_circuit::error::CircuitError;
 use optima_circuit::technology::Technology;
 use optima_core::calibration::CalibrationOutcome;
@@ -33,6 +34,7 @@ mod fig5_pvt;
 mod fig6_model_eval;
 mod fig7_dse;
 mod fig8_corner_pvt;
+mod geometry_sweep;
 mod snapshot_roundtrip;
 mod speedup;
 mod table1_corners;
@@ -192,17 +194,19 @@ pub struct ExperimentContext {
     profile: Profile,
     seed: u64,
     threads: usize,
+    array: ArrayConfig,
     calibration: Option<(Technology, CalibrationOutcome)>,
 }
 
 impl ExperimentContext {
-    /// A context with the given profile, the default seed (42) and the
-    /// automatic thread count.
+    /// A context with the given profile, the default seed (42), the
+    /// automatic thread count and the paper's default array geometry.
     pub fn new(profile: Profile) -> Self {
         ExperimentContext {
             profile,
             seed: 42,
             threads: 0,
+            array: ArrayConfig::default(),
             calibration: None,
         }
     }
@@ -217,6 +221,23 @@ impl ExperimentContext {
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads;
         self
+    }
+
+    /// Array geometry the experiments run at; calibration is re-keyed
+    /// automatically ([`crate::calibrate_for`]).  Resets any calibration
+    /// already computed for a previous geometry.
+    pub fn with_array(mut self, array: ArrayConfig) -> Self {
+        self.set_array(array);
+        self
+    }
+
+    /// In-place variant of [`Self::with_array`] for experiments that
+    /// evaluate several geometries within one run.
+    pub fn set_array(&mut self, array: ArrayConfig) {
+        if self.array != array {
+            self.calibration = None;
+        }
+        self.array = array;
     }
 
     pub fn profile(&self) -> Profile {
@@ -237,6 +258,11 @@ impl ExperimentContext {
         self.threads
     }
 
+    /// The array geometry of this run (the paper's 16×4 INT4 by default).
+    pub fn array(&self) -> ArrayConfig {
+        self.array
+    }
+
     /// The thread count actually used by the sweep engine.
     pub fn effective_threads(&self) -> usize {
         if self.threads == 0 {
@@ -246,13 +272,13 @@ impl ExperimentContext {
         }
     }
 
-    /// The calibrated technology and outcome for this profile, computed on
-    /// first use (backed by the persistent snapshot cache, so it costs
-    /// milliseconds on a warm cache) and shared by every subsequent caller
-    /// in the process.
+    /// The calibrated technology and outcome for this profile and array
+    /// geometry, computed on first use (backed by the persistent snapshot
+    /// cache, so it costs milliseconds on a warm cache) and shared by every
+    /// subsequent caller in the process.
     pub fn calibration(&mut self) -> &(Technology, CalibrationOutcome) {
         if self.calibration.is_none() {
-            self.calibration = Some(crate::calibrate(self.is_fast()));
+            self.calibration = Some(crate::calibrate_for(self.is_fast(), &self.array));
         }
         self.calibration
             .as_ref()
@@ -292,7 +318,7 @@ pub trait Experiment: Sync {
 /// The static registry of every experiment, in presentation order
 /// (figures, tables, section V, infrastructure smoke, then ablations).
 pub fn registry() -> &'static [&'static dyn Experiment] {
-    static REGISTRY: [&dyn Experiment; 14] = [
+    static REGISTRY: [&dyn Experiment; 15] = [
         &fig1_sota::Fig1Sota,
         &fig4_nonideality::Fig4Nonideality,
         &fig5_pvt::Fig5Pvt,
@@ -302,6 +328,7 @@ pub fn registry() -> &'static [&'static dyn Experiment] {
         &table1_corners::Table1Corners,
         &table2_imagenet::Table2Imagenet,
         &table3_cifar::Table3Cifar,
+        &geometry_sweep::GeometrySweep,
         &speedup::Speedup,
         &snapshot_roundtrip::SnapshotRoundtrip,
         &ablation_dac::AblationDac,
@@ -432,7 +459,23 @@ mod tests {
         assert_eq!(ctx.seed(), 7);
         assert_eq!(ctx.threads(), 3);
         assert_eq!(ctx.effective_threads(), 3);
+        assert!(ctx.array().is_paper());
         let auto = ExperimentContext::new(Profile::Full);
         assert_eq!(auto.effective_threads(), default_threads());
+    }
+
+    #[test]
+    fn context_geometry_rekeys_the_calibration() {
+        let mut ctx = ExperimentContext::new(Profile::Fast).with_array(ArrayConfig::int8());
+        assert_eq!(ctx.array(), ArrayConfig::int8());
+        // Populate, then switch geometry: the cached calibration must drop.
+        let _ = ctx.calibration();
+        assert!(ctx.calibration.is_some());
+        ctx.set_array(ArrayConfig::default());
+        assert!(ctx.calibration.is_none());
+        // Same geometry again: the cache survives.
+        let _ = ctx.calibration();
+        ctx.set_array(ArrayConfig::default());
+        assert!(ctx.calibration.is_some());
     }
 }

@@ -9,6 +9,7 @@
 
 use super::{BenchError, Experiment, ExperimentContext};
 use crate::report::{Report, Scalar};
+use optima_circuit::array::ArrayConfig;
 use optima_circuit::technology::Technology;
 use optima_core::calibration::{CalibrationConfig, Calibrator};
 use optima_core::snapshot;
@@ -58,10 +59,11 @@ impl SnapshotRoundtrip {
         calibrate_seconds: f64,
     ) -> Result<Report, BenchError> {
         let path = dir.join("calibration-fast.v1.snap");
+        let array = ArrayConfig::default();
 
-        snapshot::save(&path, outcome, technology, config)?;
+        snapshot::save(&path, outcome, technology, config, &array)?;
         let load_start = Instant::now();
-        let loaded = snapshot::load(&path, technology, config)?;
+        let loaded = snapshot::load(&path, technology, config, &array)?;
         let load_seconds = load_start.elapsed().as_secs_f64();
         if *outcome != loaded {
             return Err(BenchError::Failed(
@@ -72,7 +74,7 @@ impl SnapshotRoundtrip {
         // Integrity gates: a different technology must be rejected...
         let mut other_tech = technology.clone();
         other_tech.nmos_vth = Volts(other_tech.nmos_vth.0 + 0.01);
-        match snapshot::load(&path, &other_tech, config) {
+        match snapshot::load(&path, &other_tech, config, &array) {
             Err(ModelError::SnapshotFingerprintMismatch { .. }) => {}
             other => {
                 return Err(BenchError::Failed(format!(
@@ -80,12 +82,22 @@ impl SnapshotRoundtrip {
                 )))
             }
         }
-        // ...and so must a different calibration grid.
-        match snapshot::load(&path, technology, &CalibrationConfig::default()) {
+        // ...and so must a different calibration grid...
+        match snapshot::load(&path, technology, &CalibrationConfig::default(), &array) {
             Err(ModelError::SnapshotFingerprintMismatch { .. }) => {}
             other => {
                 return Err(BenchError::Failed(format!(
                     "expected a config-fingerprint rejection, got {other:?}"
+                )))
+            }
+        }
+        // ...and so must a different array geometry: a stale 16×4 snapshot
+        // must never silently serve an INT8 run.
+        match snapshot::load(&path, technology, config, &ArrayConfig::int8()) {
+            Err(ModelError::SnapshotFingerprintMismatch { .. }) => {}
+            other => {
+                return Err(BenchError::Failed(format!(
+                    "expected a geometry-fingerprint rejection, got {other:?}"
                 )))
             }
         }
@@ -99,7 +111,7 @@ impl SnapshotRoundtrip {
             path: truncated.display().to_string(),
             source,
         })?;
-        match snapshot::load(&truncated, technology, config) {
+        match snapshot::load(&truncated, technology, config, &array) {
             Err(ModelError::SnapshotCorrupt { .. }) => {}
             other => {
                 return Err(BenchError::Failed(format!(
@@ -126,7 +138,9 @@ impl SnapshotRoundtrip {
                     calibrate_seconds / load_seconds.max(1e-9)
                 ),
             )
-            .note("  rejected: wrong technology, wrong config grid, truncated file");
+            .note(
+                "  rejected: wrong technology, wrong config grid, wrong geometry, truncated file",
+            );
         Ok(report)
     }
 }

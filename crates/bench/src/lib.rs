@@ -9,6 +9,7 @@
 //! configurations, structured [`report::Report`]s with text/JSON renderers,
 //! and the naive reference forward pass used by the perf benches.
 
+use optima_circuit::array::ArrayConfig;
 use optima_circuit::technology::Technology;
 use optima_core::calibration::{CalibrationConfig, CalibrationOutcome, Calibrator};
 use optima_core::model::suite::ModelSuite;
@@ -51,13 +52,28 @@ pub fn calibration_cache_dir() -> Option<PathBuf> {
     }
 }
 
-/// Path of the calibration snapshot for the fast or full grid, when caching
-/// is enabled.
+/// Path of the calibration snapshot for the fast or full grid at the paper's
+/// default array geometry, when caching is enabled.
 pub fn calibration_snapshot_path(fast: bool) -> Option<PathBuf> {
-    let name = if fast {
-        "calibration-fast.v1.snap"
+    calibration_snapshot_path_for(fast, &ArrayConfig::default())
+}
+
+/// Path of the calibration snapshot for the fast or full grid at an
+/// arbitrary array geometry, when caching is enabled.
+///
+/// The default geometry keeps the historical file names
+/// (`calibration-{fast,full}.v1.snap`); other geometries get a
+/// geometry-tagged name so differently-shaped snapshots coexist in the same
+/// cache directory.
+pub fn calibration_snapshot_path_for(fast: bool, array: &ArrayConfig) -> Option<PathBuf> {
+    let grid = if fast { "fast" } else { "full" };
+    let name = if array.is_paper() {
+        format!("calibration-{grid}.v1.snap")
     } else {
-        "calibration-full.v1.snap"
+        format!(
+            "calibration-{grid}.{}x{}-int{}-s{}-m{}.v1.snap",
+            array.rows, array.columns, array.operand_bits, array.slice_bits, array.column_mux
+        )
     };
     calibration_cache_dir().map(|dir| dir.join(name))
 }
@@ -81,15 +97,37 @@ pub fn calibration_snapshot_path(fast: bool) -> Option<PathBuf> {
 /// Panics if calibration fails, which would indicate a bug in the fitting
 /// pipeline rather than a recoverable user error.
 pub fn calibrate(fast: bool) -> (Technology, CalibrationOutcome) {
+    calibrate_for(fast, &ArrayConfig::default())
+}
+
+/// Geometry-aware variant of [`calibrate`]: the array's row count sets the
+/// simulated bit-line load (`cells_on_bitline`), and the snapshot is keyed
+/// by the full geometry through both its file name
+/// ([`calibration_snapshot_path_for`]) and the config fingerprint inside it
+/// — a stale 16×4 snapshot can never silently serve an INT8 run.
+///
+/// At the default geometry this is exactly [`calibrate`]: the paper's 16
+/// rows equal the calibration default, so the models (and all downstream
+/// outputs) are byte-identical.
+///
+/// # Panics
+///
+/// Panics if calibration fails, which would indicate a bug in the fitting
+/// pipeline rather than a recoverable user error.
+pub fn calibrate_for(fast: bool, array: &ArrayConfig) -> (Technology, CalibrationOutcome) {
     let technology = Technology::tsmc65_like();
-    let config = if fast {
+    let mut config = if fast {
         CalibrationConfig::fast()
     } else {
         CalibrationConfig::default()
     };
-    let path = calibration_snapshot_path(fast);
+    // The rows are the cells loading every bit-line discharge the golden
+    // reference simulates; re-fitting against the actual load is what makes
+    // a tall array's calibration differ from the paper's 16-row macro.
+    config.cells_on_bitline = array.rows as usize;
+    let path = calibration_snapshot_path_for(fast, array);
     if let Some(path) = &path {
-        if let Ok(outcome) = snapshot::load(path, &technology, &config) {
+        if let Ok(outcome) = snapshot::load(path, &technology, &config, array) {
             return (technology, outcome);
         }
     }
@@ -97,7 +135,7 @@ pub fn calibrate(fast: bool) -> (Technology, CalibrationOutcome) {
         .run()
         .expect("model calibration must succeed");
     if let Some(path) = &path {
-        if let Err(err) = snapshot::save(path, &outcome, &technology, &config) {
+        if let Err(err) = snapshot::save(path, &outcome, &technology, &config, array) {
             eprintln!("warning: could not save calibration snapshot: {err}");
         }
     }
@@ -242,6 +280,15 @@ mod tests {
             .unwrap()
             .to_string_lossy()
             .contains("calibration-full"));
+    }
+
+    #[test]
+    fn snapshot_paths_are_keyed_by_geometry() {
+        let default_path = calibration_snapshot_path_for(true, &ArrayConfig::default()).unwrap();
+        assert_eq!(default_path, calibration_snapshot_path(true).unwrap());
+        let int8_path = calibration_snapshot_path_for(true, &ArrayConfig::int8()).unwrap();
+        assert_ne!(default_path, int8_path);
+        assert!(int8_path.to_string_lossy().contains("16x8-int8"));
     }
 
     #[test]

@@ -53,6 +53,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod adc;
+pub mod array;
 pub mod bitline;
 pub mod dac;
 pub mod energy;
@@ -71,6 +72,7 @@ pub use error::CircuitError;
 /// Convenient re-exports of the types most users need.
 pub mod prelude {
     pub use crate::adc::Adc;
+    pub use crate::array::ArrayConfig;
     pub use crate::bitline::BitLine;
     pub use crate::dac::Dac;
     pub use crate::energy::EnergyReport;

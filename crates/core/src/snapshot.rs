@@ -15,9 +15,10 @@
 //!    layouts are rejected instead of mis-parsed,
 //! 2. a **technology fingerprint** — a hash over every parameter of the
 //!    [`Technology`] the models were fitted against, and
-//! 3. a **calibration-config fingerprint** — a hash over the sweep grids and
-//!    polynomial degrees, so a fast-grid snapshot never satisfies a
-//!    full-grid request.
+//! 3. a **calibration-config fingerprint** — a hash over the sweep grids,
+//!    polynomial degrees and the array geometry the models serve, so a
+//!    fast-grid snapshot never satisfies a full-grid request and a stale
+//!    16×4 snapshot never silently serves an INT8 run.
 //!
 //! Every `f64` is stored as its IEEE-754 bit pattern in hex (with the
 //! decimal value alongside as a comment), so a save → load round trip is
@@ -32,6 +33,7 @@ use crate::model::mismatch::MismatchSigmaModel;
 use crate::model::suite::ModelSuite;
 use crate::model::supply::SupplyModel;
 use crate::model::temperature::TemperatureModel;
+use optima_circuit::array::ArrayConfig;
 use optima_circuit::technology::Technology;
 use optima_math::units::{Celsius, Volts};
 use optima_math::Polynomial;
@@ -102,13 +104,20 @@ pub fn technology_fingerprint(tech: &Technology) -> u64 {
 }
 
 /// Stable fingerprint over the sweep grids and model degrees of a
-/// [`CalibrationConfig`].
+/// [`CalibrationConfig`], plus the [`ArrayConfig`] geometry the models are
+/// meant to serve.
 ///
-/// The worker-thread knob is deliberately excluded: calibration is
+/// The geometry is folded in because it feeds the calibration indirectly
+/// (rows set the bit-line load, the slice width sets the DAC span the sweeps
+/// must cover): a stale 16×4 snapshot must never silently satisfy an INT8
+/// run.  The worker-thread knob is deliberately excluded: calibration is
 /// bit-identical at any thread count, so the same snapshot serves all of
 /// them.
-pub fn config_fingerprint(config: &CalibrationConfig) -> u64 {
+pub fn config_fingerprint(config: &CalibrationConfig, array: &ArrayConfig) -> u64 {
     let mut fp = Fingerprint::new();
+    fp.bytes(&[array.operand_bits, array.slice_bits, array.column_mux])
+        .bytes(&array.rows.to_le_bytes())
+        .bytes(&array.columns.to_le_bytes());
     fp.f64s(&config.wordline_voltages)
         .usize(config.time_samples)
         .f64(config.max_time.0)
@@ -166,6 +175,7 @@ fn render(
     outcome: &CalibrationOutcome,
     technology: &Technology,
     config: &CalibrationConfig,
+    array: &ArrayConfig,
 ) -> String {
     let models = outcome.models();
     let report = outcome.report();
@@ -177,7 +187,12 @@ fn render(
         technology_fingerprint(technology),
         technology.name
     );
-    let _ = writeln!(out, "config {:016x}", config_fingerprint(config));
+    let _ = writeln!(
+        out,
+        "config {:016x} # {}",
+        config_fingerprint(config, array),
+        array.describe()
+    );
 
     let discharge = models.discharge_model();
     push_f64(&mut out, "discharge.vdd_nominal", discharge.vdd_nominal().0);
@@ -311,13 +326,14 @@ pub fn save(
     outcome: &CalibrationOutcome,
     technology: &Technology,
     config: &CalibrationConfig,
+    array: &ArrayConfig,
 ) -> Result<(), ModelError> {
     if let Some(parent) = path.parent() {
         if !parent.as_os_str().is_empty() {
             std::fs::create_dir_all(parent).map_err(|e| io_error(path, e))?;
         }
     }
-    let body = render(outcome, technology, config);
+    let body = render(outcome, technology, config, array);
     // Unique per process *and* per writer: concurrent saves of the same path
     // (e.g. parallel tests cold-missing a shared cache) must never rename
     // each other's half-written temp files into place.
@@ -452,13 +468,15 @@ impl<'a> Parser<'a> {
 /// * [`ModelError::SnapshotIo`] when the file cannot be read,
 /// * [`ModelError::SnapshotSchemaMismatch`] for a foreign or future schema,
 /// * [`ModelError::SnapshotFingerprintMismatch`] when the snapshot was
-///   fitted for a different technology or calibration configuration,
+///   fitted for a different technology, calibration configuration or array
+///   geometry,
 /// * [`ModelError::SnapshotCorrupt`] for anything malformed — all naming
 ///   `path`.
 pub fn load(
     path: &Path,
     technology: &Technology,
     config: &CalibrationConfig,
+    array: &ArrayConfig,
 ) -> Result<CalibrationOutcome, ModelError> {
     let body = std::fs::read_to_string(path).map_err(|e| io_error(path, e))?;
     let mut parser = Parser {
@@ -480,7 +498,11 @@ pub fn load(
         technology_fingerprint(technology),
         "technology",
     )?;
-    parser.fingerprint("config", config_fingerprint(config), "calibration config")?;
+    parser.fingerprint(
+        "config",
+        config_fingerprint(config, array),
+        "calibration config",
+    )?;
 
     let discharge = DischargeModel::new(
         Volts(parser.f64("discharge.vdd_nominal")?),
@@ -576,9 +598,10 @@ mod tests {
     #[test]
     fn save_load_round_trip_is_bit_exact() {
         let (tech, config, outcome) = fixture();
+        let array = ArrayConfig::default();
         let path = temp_path("roundtrip.snap");
-        save(&path, &outcome, &tech, &config).unwrap();
-        let loaded = load(&path, &tech, &config).unwrap();
+        save(&path, &outcome, &tech, &config, &array).unwrap();
+        let loaded = load(&path, &tech, &config, &array).unwrap();
         assert_eq!(&outcome, &loaded);
         std::fs::remove_file(&path).ok();
     }
@@ -587,7 +610,7 @@ mod tests {
     fn missing_file_is_a_typed_io_error_naming_the_path() {
         let (tech, config, _) = fixture();
         let path = temp_path("does-not-exist.snap");
-        match load(&path, &tech, &config) {
+        match load(&path, &tech, &config, &ArrayConfig::default()) {
             Err(ModelError::SnapshotIo { path: p, .. }) => {
                 assert!(p.contains("does-not-exist.snap"));
             }
@@ -598,25 +621,26 @@ mod tests {
     #[test]
     fn corrupt_file_is_rejected_naming_the_path_and_line() {
         let (tech, config, outcome) = fixture();
+        let array = ArrayConfig::default();
         let path = temp_path("corrupt.snap");
-        let mut body = render(&outcome, &tech, &config);
+        let mut body = render(&outcome, &tech, &config, &array);
         // Truncate mid-model: the parser must fail, not mis-parse.
         body.truncate(body.len() / 2);
         std::fs::write(&path, &body).unwrap();
-        match load(&path, &tech, &config) {
+        match load(&path, &tech, &config, &array) {
             Err(ModelError::SnapshotCorrupt { path: p, .. }) => {
                 assert!(p.contains("corrupt.snap"));
             }
             other => panic!("expected SnapshotCorrupt, got {other:?}"),
         }
         // Garbage in a value position is also corruption, with a line number.
-        let garbled = render(&outcome, &tech, &config).replacen(
+        let garbled = render(&outcome, &tech, &config, &array).replacen(
             "discharge.threshold ",
             "discharge.threshold zzzz ",
             1,
         );
         std::fs::write(&path, garbled).unwrap();
-        match load(&path, &tech, &config) {
+        match load(&path, &tech, &config, &array) {
             Err(ModelError::SnapshotCorrupt { line, .. }) => assert!(line > 0),
             other => panic!("expected SnapshotCorrupt, got {other:?}"),
         }
@@ -626,11 +650,15 @@ mod tests {
     #[test]
     fn wrong_schema_version_is_rejected() {
         let (tech, config, outcome) = fixture();
+        let array = ArrayConfig::default();
         let path = temp_path("schema.snap");
-        let body =
-            render(&outcome, &tech, &config).replacen(SCHEMA, "optima-calibration-snapshot v0", 1);
+        let body = render(&outcome, &tech, &config, &array).replacen(
+            SCHEMA,
+            "optima-calibration-snapshot v0",
+            1,
+        );
         std::fs::write(&path, body).unwrap();
-        match load(&path, &tech, &config) {
+        match load(&path, &tech, &config, &array) {
             Err(ModelError::SnapshotSchemaMismatch {
                 path: p,
                 found,
@@ -648,11 +676,12 @@ mod tests {
     #[test]
     fn wrong_technology_fingerprint_is_rejected() {
         let (tech, config, outcome) = fixture();
+        let array = ArrayConfig::default();
         let path = temp_path("tech-fp.snap");
-        save(&path, &outcome, &tech, &config).unwrap();
+        save(&path, &outcome, &tech, &config, &array).unwrap();
         let mut other_tech = tech.clone();
         other_tech.nmos_vth = Volts(0.5);
-        match load(&path, &other_tech, &config) {
+        match load(&path, &other_tech, &config, &array) {
             Err(ModelError::SnapshotFingerprintMismatch { path: p, what, .. }) => {
                 assert!(p.contains("tech-fp.snap"));
                 assert_eq!(what, "technology");
@@ -665,10 +694,11 @@ mod tests {
     #[test]
     fn wrong_config_fingerprint_is_rejected() {
         let (tech, config, outcome) = fixture();
+        let array = ArrayConfig::default();
         let path = temp_path("config-fp.snap");
-        save(&path, &outcome, &tech, &config).unwrap();
+        save(&path, &outcome, &tech, &config, &array).unwrap();
         // A fast-grid snapshot must not satisfy a full-grid request.
-        match load(&path, &tech, &CalibrationConfig::default()) {
+        match load(&path, &tech, &CalibrationConfig::default(), &array) {
             Err(ModelError::SnapshotFingerprintMismatch { what, .. }) => {
                 assert_eq!(what, "calibration config");
             }
@@ -678,17 +708,69 @@ mod tests {
     }
 
     #[test]
+    fn stale_default_geometry_snapshot_cannot_serve_an_int8_run() {
+        let (tech, config, outcome) = fixture();
+        let path = temp_path("geometry-fp.snap");
+        save(&path, &outcome, &tech, &config, &ArrayConfig::default()).unwrap();
+        // Same technology, same calibration grids — only the geometry moved.
+        match load(&path, &tech, &config, &ArrayConfig::int8()) {
+            Err(ModelError::SnapshotFingerprintMismatch {
+                path: p,
+                what,
+                found,
+                expected,
+            }) => {
+                assert!(p.contains("geometry-fp.snap"));
+                assert_eq!(what, "calibration config");
+                assert_ne!(found, expected);
+            }
+            other => panic!("expected SnapshotFingerprintMismatch, got {other:?}"),
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
     fn fingerprints_ignore_the_thread_knob() {
+        let array = ArrayConfig::default();
         let config = CalibrationConfig::fast();
         let threaded = CalibrationConfig {
             threads: 7,
             ..config.clone()
         };
-        assert_eq!(config_fingerprint(&config), config_fingerprint(&threaded));
-        assert_ne!(
-            config_fingerprint(&config),
-            config_fingerprint(&CalibrationConfig::default())
+        assert_eq!(
+            config_fingerprint(&config, &array),
+            config_fingerprint(&threaded, &array)
         );
+        assert_ne!(
+            config_fingerprint(&config, &array),
+            config_fingerprint(&CalibrationConfig::default(), &array)
+        );
+    }
+
+    #[test]
+    fn fingerprint_tracks_every_geometry_parameter() {
+        let config = CalibrationConfig::fast();
+        let base = ArrayConfig::default();
+        let fp = |array: &ArrayConfig| config_fingerprint(&config, array);
+        let variants = [
+            ArrayConfig::int8(),
+            ArrayConfig { rows: 32, ..base },
+            ArrayConfig { columns: 8, ..base },
+            ArrayConfig {
+                columns: 8,
+                column_mux: 2,
+                ..base
+            },
+        ];
+        for variant in variants {
+            assert_ne!(
+                fp(&base),
+                fp(&variant),
+                "{} vs {}",
+                base.describe(),
+                variant.describe()
+            );
+        }
     }
 
     #[test]

@@ -18,9 +18,11 @@
 //! * [`data`] — procedurally generated image-classification datasets
 //!   (a many-class "synthetic ImageNet" and a 10-class "synthetic CIFAR"),
 //! * [`models`] — scaled-down VGG-style and ResNet-style architectures,
-//! * [`quantization`] — INT4 post-training quantization,
-//! * [`multiplier`] — pluggable 4-bit product providers: exact INT4 or the
-//!   in-SRAM multiplier tables produced by `optima-imc`,
+//! * [`quantization`] — post-training quantization at any operand width
+//!   (INT4 by default),
+//! * [`multiplier`] — pluggable product providers: exact baselines, the
+//!   in-SRAM multiplier tables produced by `optima-imc`, and digital
+//!   shift-add composition of wide products from narrow tables,
 //! * [`quantized`] — the quantized inference engine that consumes them,
 //! * [`eval`] — top-1/top-5 accuracy, serial and parallel (per-image
 //!   fan-out over `optima_core::sweep`) dataset evaluation,
@@ -62,7 +64,8 @@ pub mod prelude {
     pub use crate::layers::Layer;
     pub use crate::models::{resnet_style, vgg_style, ModelKind};
     pub use crate::multiplier::{
-        CountingProducts, ExactInt4Products, InMemoryProducts, ProductTable,
+        ComposedProducts, CountingProducts, ExactInt4Products, ExactProducts, InMemoryProducts,
+        ProductTable,
     };
     pub use crate::network::Network;
     pub use crate::quantization::QuantizationParams;

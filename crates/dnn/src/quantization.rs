@@ -1,12 +1,21 @@
-//! INT4 post-training quantization.
+//! Post-training quantization to narrow integer widths.
 //!
 //! The paper quantizes pre-trained FLOAT32 networks to an INT4 representation
 //! following the TensorFlow-Lite scheme with INT8 replaced by INT4.  This
 //! module implements the corresponding per-tensor affine quantizers:
-//! symmetric signed quantization for weights (range −7…7) and unsigned
-//! quantization for (non-negative, post-ReLU) activations (range 0…15).
+//! symmetric signed quantization for weights (range −7…7 at 4 bits) and
+//! unsigned quantization for (non-negative, post-ReLU) activations (range
+//! 0…15 at 4 bits).
+//!
+//! The operand width is a parameter (1..=8 bits) so the same quantizers serve
+//! any [`optima_circuit::array::ArrayConfig`] geometry — the INT4 entry
+//! points below delegate to the width-parameterized ones with `bits = 4` and
+//! stay bit-identical to the original hard-wired implementation.
 
 use serde::{Deserialize, Serialize};
+
+/// Operand width of the paper's default INT4 pipeline.
+pub const INT4_BITS: u8 = 4;
 
 /// Largest magnitude of a symmetric signed 4-bit value.
 pub const INT4_SIGNED_MAX: i8 = 7;
@@ -14,50 +23,76 @@ pub const INT4_SIGNED_MAX: i8 = 7;
 /// Largest unsigned 4-bit value.
 pub const INT4_UNSIGNED_MAX: u8 = 15;
 
+/// Largest magnitude of a symmetric signed `bits`-wide value,
+/// `2^(bits−1) − 1` (e.g. 7 at 4 bits, 127 at 8 bits).
+pub fn signed_max(bits: u8) -> i8 {
+    debug_assert!((1..=8).contains(&bits));
+    ((1u16 << (bits - 1)) - 1) as i8
+}
+
+/// Largest unsigned `bits`-wide value, `2^bits − 1` (e.g. 15 at 4 bits).
+pub fn unsigned_max(bits: u8) -> u8 {
+    debug_assert!((1..=8).contains(&bits));
+    ((1u16 << bits) - 1) as u8
+}
+
 /// Per-tensor quantization parameters (scale only; zero point is always 0).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct QuantizationParams {
     /// Real value represented by one integer step.
     pub scale: f32,
+    /// Operand width in bits; sets the clamping range of the quantizers.
+    pub bits: u8,
 }
 
 impl QuantizationParams {
     /// Parameters for symmetric signed quantization of `data` to 4 bits.
     pub fn symmetric_for(data: &[f32]) -> Self {
-        let max_abs = data.iter().fold(0.0f32, |acc, v| acc.max(v.abs()));
-        QuantizationParams {
-            scale: if max_abs > 0.0 {
-                max_abs / INT4_SIGNED_MAX as f32
-            } else {
-                1.0
-            },
-        }
+        Self::symmetric_for_bits(data, INT4_BITS)
     }
 
     /// Parameters for unsigned quantization of non-negative `data` to 4 bits.
     pub fn unsigned_for(data: &[f32]) -> Self {
-        let max = data.iter().fold(0.0f32, |acc, v| acc.max(*v));
+        Self::unsigned_for_bits(data, INT4_BITS)
+    }
+
+    /// Parameters for symmetric signed quantization of `data` to `bits` bits.
+    pub fn symmetric_for_bits(data: &[f32], bits: u8) -> Self {
+        let max_abs = data.iter().fold(0.0f32, |acc, v| acc.max(v.abs()));
         QuantizationParams {
-            scale: if max > 0.0 {
-                max / INT4_UNSIGNED_MAX as f32
+            scale: if max_abs > 0.0 {
+                max_abs / signed_max(bits) as f32
             } else {
                 1.0
             },
+            bits,
         }
     }
 
-    /// Quantizes one value to a signed 4-bit integer.
-    pub fn quantize_signed(&self, value: f32) -> i8 {
-        (value / self.scale)
-            .round()
-            .clamp(-(INT4_SIGNED_MAX as f32), INT4_SIGNED_MAX as f32) as i8
+    /// Parameters for unsigned quantization of non-negative `data` to `bits`
+    /// bits.
+    pub fn unsigned_for_bits(data: &[f32], bits: u8) -> Self {
+        let max = data.iter().fold(0.0f32, |acc, v| acc.max(*v));
+        QuantizationParams {
+            scale: if max > 0.0 {
+                max / unsigned_max(bits) as f32
+            } else {
+                1.0
+            },
+            bits,
+        }
     }
 
-    /// Quantizes one (non-negative) value to an unsigned 4-bit integer.
+    /// Quantizes one value to a signed `bits`-wide integer.
+    pub fn quantize_signed(&self, value: f32) -> i8 {
+        let max = signed_max(self.bits) as f32;
+        (value / self.scale).round().clamp(-max, max) as i8
+    }
+
+    /// Quantizes one (non-negative) value to an unsigned `bits`-wide integer.
     pub fn quantize_unsigned(&self, value: f32) -> u8 {
-        (value.max(0.0) / self.scale)
-            .round()
-            .clamp(0.0, INT4_UNSIGNED_MAX as f32) as u8
+        let max = unsigned_max(self.bits) as f32;
+        (value.max(0.0) / self.scale).round().clamp(0.0, max) as u8
     }
 
     /// Reconstructs the real value of a signed quantized integer.
@@ -69,14 +104,24 @@ impl QuantizationParams {
 /// Quantizes a weight slice symmetrically to INT4, returning the integers and
 /// the shared parameters.
 pub fn quantize_weights(weights: &[f32]) -> (Vec<i8>, QuantizationParams) {
-    let params = QuantizationParams::symmetric_for(weights);
-    let quantized = weights.iter().map(|&w| params.quantize_signed(w)).collect();
-    (quantized, params)
+    quantize_weights_bits(weights, INT4_BITS)
 }
 
 /// Quantizes an activation slice (clamped at zero) to unsigned INT4.
 pub fn quantize_activations(activations: &[f32]) -> (Vec<u8>, QuantizationParams) {
-    let params = QuantizationParams::unsigned_for(activations);
+    quantize_activations_bits(activations, INT4_BITS)
+}
+
+/// Quantizes a weight slice symmetrically to `bits` bits.
+pub fn quantize_weights_bits(weights: &[f32], bits: u8) -> (Vec<i8>, QuantizationParams) {
+    let params = QuantizationParams::symmetric_for_bits(weights, bits);
+    let quantized = weights.iter().map(|&w| params.quantize_signed(w)).collect();
+    (quantized, params)
+}
+
+/// Quantizes an activation slice (clamped at zero) to unsigned `bits` bits.
+pub fn quantize_activations_bits(activations: &[f32], bits: u8) -> (Vec<u8>, QuantizationParams) {
+    let params = QuantizationParams::unsigned_for_bits(activations, bits);
     let quantized = activations
         .iter()
         .map(|&a| params.quantize_unsigned(a))
@@ -127,5 +172,40 @@ mod tests {
         let wide = QuantizationParams::symmetric_for(&[-2.0, 2.0]);
         let narrow = QuantizationParams::symmetric_for(&[-0.1, 0.1]);
         assert!(narrow.scale < wide.scale);
+    }
+
+    #[test]
+    fn width_limits_follow_the_bit_count() {
+        assert_eq!(signed_max(4), INT4_SIGNED_MAX);
+        assert_eq!(unsigned_max(4), INT4_UNSIGNED_MAX);
+        assert_eq!(signed_max(8), 127);
+        assert_eq!(unsigned_max(8), 255);
+        assert_eq!(signed_max(1), 0);
+        assert_eq!(unsigned_max(1), 1);
+    }
+
+    #[test]
+    fn four_bit_entry_points_are_bit_identical_to_the_explicit_width() {
+        let data = [-0.9, -0.3, 0.0, 0.45, 0.9, 1.7];
+        let (q4, p4) = quantize_weights(&data);
+        let (qb, pb) = quantize_weights_bits(&data, 4);
+        assert_eq!(q4, qb);
+        assert_eq!(p4.scale.to_bits(), pb.scale.to_bits());
+        let (a4, ap4) = quantize_activations(&data);
+        let (ab, apb) = quantize_activations_bits(&data, 4);
+        assert_eq!(a4, ab);
+        assert_eq!(ap4.scale.to_bits(), apb.scale.to_bits());
+    }
+
+    #[test]
+    fn eight_bit_quantization_uses_the_wider_range() {
+        let weights = [-1.0, 1.0, 0.5];
+        let (quantized, params) = quantize_weights_bits(&weights, 8);
+        assert_eq!(quantized[0], -127);
+        assert_eq!(quantized[1], 127);
+        assert!(params.scale < QuantizationParams::symmetric_for(&weights).scale);
+        let activations = [0.0, 1.0, 0.25];
+        let (quantized, _) = quantize_activations_bits(&activations, 8);
+        assert_eq!(quantized[1], 255);
     }
 }

@@ -1,20 +1,22 @@
-//! INT4-quantized inference with pluggable product tables.
+//! Narrow-integer quantized inference with pluggable product tables.
 //!
 //! [`QuantizedNetwork::from_network`] converts a trained FLOAT32 [`Network`]
-//! into an INT4 network (post-training quantization of all convolution and
-//! dense weights) whose every 4-bit magnitude product is routed through a
-//! [`ProductTable`] — either the exact INT4 baseline or one of the in-SRAM
-//! multiplier corners.  This is the inference path used for the paper's
-//! Tables II and III.
+//! into a quantized network (post-training quantization of all convolution
+//! and dense weights) whose every magnitude product is routed through a
+//! [`ProductTable`] — either an exact baseline or one of the in-SRAM
+//! multiplier corners.  The operand width follows
+//! [`ProductTable::operand_bits`]: 4 bits reproduces the paper's Tables II
+//! and III pipeline, while wider tables (e.g. a composed INT8 geometry) run
+//! the same engine with proportionally wider codes.
 //!
 //! # Execution strategy
 //!
 //! When the product table is pure ([`ProductTable::supports_snapshot`]),
-//! construction snapshots all 256 signed products into a flat lookup table
-//! once, and inference accumulates integer products over contiguous im2col
-//! patches — one array index per product instead of one virtual call, with
-//! convolutions lowered through the same [`crate::im2col`] unrolling as the
-//! FLOAT32 path.  Stateful tables (e.g.
+//! construction snapshots all `1 << 2·operand_bits` signed products into a
+//! flat lookup table once, and inference accumulates integer products over
+//! contiguous im2col patches — one array index per product instead of one
+//! virtual call, with convolutions lowered through the same [`crate::im2col`]
+//! unrolling as the FLOAT32 path.  Stateful tables (e.g.
 //! [`crate::multiplier::CountingProducts`]) opt out of the snapshot and run
 //! the original per-product dynamic-dispatch loop instead.  Both paths
 //! accumulate in the integer domain, so their outputs are **bit-identical**
@@ -25,32 +27,33 @@ use crate::im2col::im2col;
 use crate::layers::{Conv2d, Dense, Flatten, GlobalAvgPool, Layer, MaxPool2d, Relu, ResidualBlock};
 use crate::multiplier::ProductTable;
 use crate::network::Network;
-use crate::quantization::{quantize_activations, quantize_weights, QuantizationParams};
+use crate::quantization::{quantize_activations_bits, quantize_weights_bits, QuantizationParams};
 use crate::tensor::Tensor;
 use std::sync::Arc;
 
-/// Entries of the flattened signed-product table: 16 weight codes × 16
-/// activation codes.
-const LUT_SIZE: usize = 256;
-
-/// Signed products of one weight code against all 16 activation magnitudes,
+/// Signed products of one weight code against all activation magnitudes,
 /// flattened per weight so the inner inference loop reads a contiguous
-/// 16-entry sub-table.
+/// `2^bits`-entry sub-table.
 ///
-/// Index layout: `lut[code * 16 + activation]` with `code = weight + 8`
-/// (weights span −7…7).  Entries where either operand is zero are zero,
+/// Index layout: `lut[code * 2^bits + activation]` with
+/// `code = weight + 2^(bits−1)` (weights span `−(2^(bits−1)−1)…2^(bits−1)−1`);
+/// `2^bits` entries per code, `1 << 2·bits` entries total (256 for the
+/// paper's INT4 default).  Entries where either operand is zero are zero,
 /// matching the reference path's skip-zero semantics even for non-ideal
 /// tables whose hardware would produce a nonzero "product" with zero.
-fn snapshot_products(products: &dyn ProductTable) -> Box<[i32; LUT_SIZE]> {
-    let mut lut = Box::new([0i32; LUT_SIZE]);
-    for weight in -7i8..=7 {
-        let code = (weight + 8) as usize;
+fn snapshot_products(products: &dyn ProductTable) -> Box<[i32]> {
+    let bits = products.operand_bits();
+    let stride = 1usize << bits;
+    let half = (stride / 2) as i32;
+    let mut lut = vec![0i32; stride * stride].into_boxed_slice();
+    for weight in (1 - half)..half {
+        let code = (weight + half) as usize;
         if weight == 0 {
             continue;
         }
-        for activation in 1u8..=15 {
-            let magnitude = products.product(activation, weight.unsigned_abs());
-            lut[code * 16 + activation as usize] = weight.signum() as i32 * magnitude as i32;
+        for activation in 1..stride {
+            let magnitude = products.product(activation as u8, weight.unsigned_abs() as u8);
+            lut[code * stride + activation] = weight.signum() * magnitude as i32;
         }
     }
     lut
@@ -62,9 +65,9 @@ struct QConv {
     in_channels: usize,
     out_channels: usize,
     kernel: usize,
-    /// Signed INT4 weights in `[out_c, in_c, k, k]` order.
+    /// Signed quantized weights in `[out_c, in_c, k, k]` order.
     weights: Vec<i8>,
-    /// The same weights as LUT codes (`weight + 8`), precomputed once.
+    /// The same weights as LUT codes (`weight + 2^(bits−1)`), precomputed once.
     codes: Vec<u8>,
     weight_params: QuantizationParams,
     bias: Vec<f32>,
@@ -76,14 +79,15 @@ struct QDense {
     inputs: usize,
     outputs: usize,
     weights: Vec<i8>,
-    /// The same weights as LUT codes (`weight + 8`), precomputed once.
+    /// The same weights as LUT codes (`weight + 2^(bits−1)`), precomputed once.
     codes: Vec<u8>,
     weight_params: QuantizationParams,
     bias: Vec<f32>,
 }
 
-fn weight_codes(weights: &[i8]) -> Vec<u8> {
-    weights.iter().map(|&w| (w + 8) as u8).collect()
+fn weight_codes(weights: &[i8], bits: u8) -> Vec<u8> {
+    let half = 1i16 << (bits - 1);
+    weights.iter().map(|&w| (w as i16 + half) as u8).collect()
 }
 
 /// One layer of the quantized network.
@@ -98,30 +102,48 @@ enum QLayer {
     Flatten,
 }
 
-/// An INT4-quantized network executing all products through a [`ProductTable`].
+/// A quantized network executing all products through a [`ProductTable`].
+///
+/// The operand width (and with it the LUT geometry and quantization ranges)
+/// follows [`ProductTable::operand_bits`]; 4 bits is the paper's INT4
+/// pipeline.
 #[derive(Debug)]
 pub struct QuantizedNetwork {
     layers: Vec<QLayer>,
     products: Arc<dyn ProductTable>,
-    /// Flat signed-product table; `None` when the product table is stateful
-    /// and must be consulted per product (see [`ProductTable::supports_snapshot`]).
-    lut: Option<Box<[i32; LUT_SIZE]>>,
+    /// Operand width in bits, cached from the product table.
+    bits: u8,
+    /// Flat signed-product table (`1 << 2·bits` entries); `None` when the
+    /// product table is stateful and must be consulted per product (see
+    /// [`ProductTable::supports_snapshot`]).
+    lut: Option<Box<[i32]>>,
 }
 
 impl QuantizedNetwork {
-    /// Quantizes a trained FLOAT32 network.
+    /// Quantizes a trained FLOAT32 network at the product table's operand
+    /// width.
     ///
     /// # Errors
     ///
     /// Returns [`DnnError::InvalidConfiguration`] when the network contains a
-    /// layer type the quantizer does not support.
+    /// layer type the quantizer does not support, or the product table
+    /// reports an operand width outside 1..=8 bits.
     pub fn from_network(
         network: &Network,
         products: Arc<dyn ProductTable>,
     ) -> Result<Self, DnnError> {
+        let bits = products.operand_bits();
+        if !(1..=8).contains(&bits) {
+            return Err(DnnError::InvalidConfiguration {
+                context: format!(
+                    "product table '{}' reports an operand width of {bits} bits (need 1..=8)",
+                    products.name()
+                ),
+            });
+        }
         let mut layers = Vec::with_capacity(network.len());
         for layer in network.layers() {
-            layers.push(Self::convert_layer(layer.as_ref())?);
+            layers.push(Self::convert_layer(layer.as_ref(), bits)?);
         }
         let lut = products
             .supports_snapshot()
@@ -129,18 +151,19 @@ impl QuantizedNetwork {
         Ok(QuantizedNetwork {
             layers,
             products,
+            bits,
             lut,
         })
     }
 
-    fn convert_layer(layer: &dyn Layer) -> Result<QLayer, DnnError> {
+    fn convert_layer(layer: &dyn Layer, bits: u8) -> Result<QLayer, DnnError> {
         let any = layer.as_any();
         if let Some(conv) = any.downcast_ref::<Conv2d>() {
-            return Ok(QLayer::Conv(Self::convert_conv(conv)));
+            return Ok(QLayer::Conv(Self::convert_conv(conv, bits)));
         }
         if let Some(dense) = any.downcast_ref::<Dense>() {
-            let (weights, weight_params) = quantize_weights(dense.weights());
-            let codes = weight_codes(&weights);
+            let (weights, weight_params) = quantize_weights_bits(dense.weights(), bits);
+            let codes = weight_codes(&weights, bits);
             return Ok(QLayer::Dense(QDense {
                 inputs: dense.inputs(),
                 outputs: dense.outputs(),
@@ -153,8 +176,8 @@ impl QuantizedNetwork {
         if let Some(block) = any.downcast_ref::<ResidualBlock>() {
             let (conv1, conv2) = block.convolutions();
             return Ok(QLayer::Residual {
-                conv1: Self::convert_conv(conv1),
-                conv2: Self::convert_conv(conv2),
+                conv1: Self::convert_conv(conv1, bits),
+                conv2: Self::convert_conv(conv2, bits),
             });
         }
         if any.downcast_ref::<Relu>().is_some() {
@@ -174,9 +197,9 @@ impl QuantizedNetwork {
         })
     }
 
-    fn convert_conv(conv: &Conv2d) -> QConv {
-        let (weights, weight_params) = quantize_weights(conv.weights());
-        let codes = weight_codes(&weights);
+    fn convert_conv(conv: &Conv2d, bits: u8) -> QConv {
+        let (weights, weight_params) = quantize_weights_bits(conv.weights(), bits);
+        let codes = weight_codes(&weights, bits);
         QConv {
             in_channels: conv.in_channels(),
             out_channels: conv.out_channels(),
@@ -193,8 +216,14 @@ impl QuantizedNetwork {
         &self.products
     }
 
-    /// Whether inference runs on the flattened 256-entry product LUT
-    /// (`true`) or on the per-product dynamic-dispatch reference path.
+    /// Operand width in bits (4 for the paper's INT4 pipeline).
+    pub fn operand_bits(&self) -> u8 {
+        self.bits
+    }
+
+    /// Whether inference runs on the flattened `1 << 2·operand_bits`-entry
+    /// product LUT (`true`) or on the per-product dynamic-dispatch reference
+    /// path.
     pub fn uses_snapshot(&self) -> bool {
         self.lut.is_some()
     }
@@ -258,14 +287,14 @@ impl QuantizedNetwork {
 
     fn forward_conv(&self, conv: &QConv, input: &Tensor) -> Result<Tensor, DnnError> {
         match &self.lut {
-            Some(lut) => Self::forward_conv_lut(conv, input, lut),
+            Some(lut) => Self::forward_conv_lut(conv, input, lut, self.bits),
             None => self.forward_conv_reference(conv, input),
         }
     }
 
     fn forward_dense(&self, dense: &QDense, input: &Tensor) -> Result<Tensor, DnnError> {
         match &self.lut {
-            Some(lut) => Self::forward_dense_lut(dense, input, lut),
+            Some(lut) => Self::forward_dense_lut(dense, input, lut, self.bits),
             None => self.forward_dense_reference(dense, input),
         }
     }
@@ -274,17 +303,21 @@ impl QuantizedNetwork {
     ///
     /// The quantized activations are unrolled into a `[in_c·k², h·w]` patch
     /// matrix; for every output channel the inner loop streams one patch row
-    /// and one output row while indexing the weight's contiguous 16-entry
-    /// LUT sub-table — no branches, no virtual calls.  Integer addition is
-    /// associative, so the result is bit-identical to the reference path.
+    /// and one output row while indexing the weight's contiguous
+    /// `2^bits`-entry LUT sub-table — no branches, no virtual calls.  Integer
+    /// addition is associative, so the result is bit-identical to the
+    /// reference path.
     fn forward_conv_lut(
         conv: &QConv,
         input: &Tensor,
-        lut: &[i32; LUT_SIZE],
+        lut: &[i32],
+        bits: u8,
     ) -> Result<Tensor, DnnError> {
         let (height, width) = Self::check_conv_input(conv, input)?;
-        let (activations, activation_params) = quantize_activations(input.data());
+        let (activations, activation_params) = quantize_activations_bits(input.data(), bits);
         let scale = conv.weight_params.scale * activation_params.scale;
+        let stride = 1usize << bits;
+        let zero_code = (stride / 2) as u8;
         let hw = height * width;
         let patch = conv.in_channels * conv.kernel * conv.kernel;
 
@@ -305,10 +338,10 @@ impl QuantizedNetwork {
             accumulator.iter_mut().for_each(|acc| *acc = 0);
             let codes = &conv.codes[oc * patch..(oc + 1) * patch];
             for (row, &code) in codes.iter().enumerate() {
-                if code == 8 {
+                if code == zero_code {
                     continue; // zero weight: contributes nothing
                 }
-                let sub = &lut[code as usize * 16..code as usize * 16 + 16];
+                let sub = &lut[code as usize * stride..(code as usize + 1) * stride];
                 let col_row = &cols[row * hw..(row + 1) * hw];
                 for (acc, &activation) in accumulator.iter_mut().zip(col_row.iter()) {
                     *acc += sub[activation as usize] as i64;
@@ -330,7 +363,8 @@ impl QuantizedNetwork {
     fn forward_dense_lut(
         dense: &QDense,
         input: &Tensor,
-        lut: &[i32; LUT_SIZE],
+        lut: &[i32],
+        bits: u8,
     ) -> Result<Tensor, DnnError> {
         if input.len() != dense.inputs {
             return Err(DnnError::ShapeMismatch {
@@ -338,14 +372,15 @@ impl QuantizedNetwork {
                 found: input.shape().to_vec(),
             });
         }
-        let (activations, activation_params) = quantize_activations(input.data());
+        let (activations, activation_params) = quantize_activations_bits(input.data(), bits);
         let scale = dense.weight_params.scale * activation_params.scale;
+        let stride = 1usize << bits;
         let mut output = vec![0.0f32; dense.outputs];
         for (o, out_value) in output.iter_mut().enumerate() {
             let codes = &dense.codes[o * dense.inputs..(o + 1) * dense.inputs];
             let mut accumulator: i64 = 0;
             for (&code, &activation) in codes.iter().zip(activations.iter()) {
-                accumulator += lut[code as usize * 16 + activation as usize] as i64;
+                accumulator += lut[code as usize * stride + activation as usize] as i64;
             }
             *out_value = accumulator as f32 * scale + dense.bias[o];
         }
@@ -357,7 +392,7 @@ impl QuantizedNetwork {
     /// multiplications) and by the equivalence tests as ground truth.
     fn forward_conv_reference(&self, conv: &QConv, input: &Tensor) -> Result<Tensor, DnnError> {
         let (height, width) = Self::check_conv_input(conv, input)?;
-        let (activations, activation_params) = quantize_activations(input.data());
+        let (activations, activation_params) = quantize_activations_bits(input.data(), self.bits);
         let pad = conv.kernel / 2;
         let k = conv.kernel;
         let scale = conv.weight_params.scale * activation_params.scale;
@@ -408,7 +443,7 @@ impl QuantizedNetwork {
                 found: input.shape().to_vec(),
             });
         }
-        let (activations, activation_params) = quantize_activations(input.data());
+        let (activations, activation_params) = quantize_activations_bits(input.data(), self.bits);
         let scale = dense.weight_params.scale * activation_params.scale;
         let mut output = vec![0.0f32; dense.outputs];
         for (o, out_value) in output.iter_mut().enumerate() {
@@ -432,7 +467,9 @@ mod tests {
     use super::*;
     use crate::data::{Dataset, SyntheticImageConfig};
     use crate::layers::{Conv2d, Dense, Flatten, MaxPool2d, Relu};
-    use crate::multiplier::{CountingProducts, ExactInt4Products, InMemoryProducts};
+    use crate::multiplier::{
+        ComposedProducts, CountingProducts, ExactInt4Products, ExactProducts, InMemoryProducts,
+    };
     use crate::training::{Trainer, TrainingConfig};
     use optima_imc::multiplier::MultiplierTable;
     use rand::{Rng, SeedableRng};
@@ -559,5 +596,74 @@ mod tests {
         let quantized =
             QuantizedNetwork::from_network(&network, Arc::new(ExactInt4Products)).unwrap();
         assert!(quantized.forward(&Tensor::zeros(&[2, 8, 8])).is_err());
+    }
+
+    #[test]
+    fn operand_width_follows_the_product_table() {
+        let network = small_cnn(3);
+        let int4 = QuantizedNetwork::from_network(&network, Arc::new(ExactInt4Products)).unwrap();
+        assert_eq!(int4.operand_bits(), 4);
+        let int8 =
+            QuantizedNetwork::from_network(&network, Arc::new(ExactProducts::new(8))).unwrap();
+        assert_eq!(int8.operand_bits(), 8);
+        assert!(int8.uses_snapshot());
+    }
+
+    #[test]
+    fn int8_lut_path_is_bit_identical_to_the_dyn_dispatch_reference() {
+        // Same equivalence pin as the INT4 test, at the composed INT8 width:
+        // the 65536-entry LUT must reproduce the per-product virtual-call
+        // loop exactly.
+        let network = small_cnn(3);
+        let composed = || ComposedProducts::new(Arc::new(ExactInt4Products), 2);
+        let fast = QuantizedNetwork::from_network(&network, Arc::new(composed())).unwrap();
+        let reference = QuantizedNetwork::from_network(
+            &network,
+            Arc::new(CountingProducts::new(Arc::new(composed()))),
+        )
+        .unwrap();
+        assert!(fast.uses_snapshot());
+        assert!(!reference.uses_snapshot());
+        assert_eq!(fast.operand_bits(), 8);
+        assert_eq!(reference.operand_bits(), 8);
+        for seed in 0..3u64 {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            let image =
+                Tensor::from_vec(&[1, 8, 8], (0..64).map(|_| rng.gen::<f32>()).collect()).unwrap();
+            let fast_out = fast.forward(&image).unwrap();
+            let reference_out = reference.forward(&image).unwrap();
+            assert_eq!(fast_out, reference_out, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn int8_inference_tracks_the_float_network_more_closely_than_int4() {
+        // Wider codes mean finer quantization: the exact INT8 network's
+        // output must sit at least as close to the FLOAT32 output as the
+        // exact INT4 network's on average.
+        let dataset = Dataset::synthetic(SyntheticImageConfig::tiny());
+        let mut network = small_cnn(3);
+        Trainer::new(TrainingConfig {
+            epochs: 4,
+            learning_rate: 0.05,
+            learning_rate_decay: 0.95,
+        })
+        .train(&mut network, &dataset)
+        .unwrap();
+        let int4 = QuantizedNetwork::from_network(&network, Arc::new(ExactInt4Products)).unwrap();
+        let int8 =
+            QuantizedNetwork::from_network(&network, Arc::new(ExactProducts::new(8))).unwrap();
+        let mut err4 = 0.0f64;
+        let mut err8 = 0.0f64;
+        for (image, _) in dataset.test_iter().take(8) {
+            let float_out = network.forward(image).unwrap();
+            let out4 = int4.forward(image).unwrap();
+            let out8 = int8.forward(image).unwrap();
+            for ((f, q4), q8) in float_out.data().iter().zip(out4.data()).zip(out8.data()) {
+                err4 += (f - q4).abs() as f64;
+                err8 += (f - q8).abs() as f64;
+            }
+        }
+        assert!(err8 <= err4, "INT8 drift {err8} exceeds INT4 drift {err4}");
     }
 }

@@ -17,6 +17,7 @@
 use crate::error::ImcError;
 use crate::metrics::{evaluate_multiplier, MultiplierMetrics};
 use crate::multiplier::{InSramMultiplier, MultiplierConfig};
+use optima_circuit::array::ArrayConfig;
 use optima_core::model::suite::ModelSuite;
 use optima_core::sweep::par_map_sweep;
 use optima_math::units::{Seconds, Volts};
@@ -31,12 +32,15 @@ pub struct DesignPoint {
     pub vdac_zero: Volts,
     /// DAC full-scale output voltage.
     pub vdac_full_scale: Volts,
+    /// Array geometry of the corner.
+    pub array: ArrayConfig,
 }
 
 impl DesignPoint {
     /// Converts the point into a multiplier configuration (linear DAC).
     pub fn to_config(self) -> MultiplierConfig {
         MultiplierConfig::new(self.tau0, self.vdac_zero, self.vdac_full_scale)
+            .with_array(self.array)
     }
 }
 
@@ -58,6 +62,8 @@ pub struct DesignSpace {
     pub vdac_zero_values: Vec<f64>,
     /// V_DAC,FS grid values (volts).
     pub vdac_full_scale_values: Vec<f64>,
+    /// Array geometries to co-explore (outermost grid axis).
+    pub array_configs: Vec<ArrayConfig>,
 }
 
 impl DesignSpace {
@@ -70,6 +76,7 @@ impl DesignSpace {
             tau0_values: vec![0.16e-9, 0.20e-9, 0.24e-9],
             vdac_zero_values: vec![0.3, 0.4, 0.5, 0.6],
             vdac_full_scale_values: vec![0.7, 0.8, 0.9, 1.0],
+            array_configs: vec![ArrayConfig::default()],
         }
     }
 
@@ -79,23 +86,35 @@ impl DesignSpace {
             tau0_values: vec![0.16e-9, 0.24e-9],
             vdac_zero_values: vec![0.3, 0.45],
             vdac_full_scale_values: vec![0.8, 1.0],
+            array_configs: vec![ArrayConfig::default()],
         }
     }
 
+    /// Replaces the geometry axis (builder style), so a sweep can co-explore
+    /// array geometries with the electrical parameters.
+    pub fn with_arrays(mut self, arrays: Vec<ArrayConfig>) -> Self {
+        self.array_configs = arrays;
+        self
+    }
+
     /// All corners with `V_DAC,0 < V_DAC,FS` (invalid combinations are
-    /// skipped), iterated in grid order: `τ0` outermost, then `V_DAC,0`,
-    /// then `V_DAC,FS`.
+    /// skipped), iterated in grid order: geometry outermost, then `τ0`, then
+    /// `V_DAC,0`, then `V_DAC,FS` — with the default single-geometry axis
+    /// this is exactly the paper's corner order.
     pub fn corners(&self) -> impl Iterator<Item = DesignPoint> + '_ {
-        self.tau0_values.iter().flat_map(move |&tau0| {
-            self.vdac_zero_values.iter().flat_map(move |&zero| {
-                self.vdac_full_scale_values
-                    .iter()
-                    .filter(move |&&full_scale| zero < full_scale)
-                    .map(move |&full_scale| DesignPoint {
-                        tau0: Seconds(tau0),
-                        vdac_zero: Volts(zero),
-                        vdac_full_scale: Volts(full_scale),
-                    })
+        self.array_configs.iter().flat_map(move |&array| {
+            self.tau0_values.iter().flat_map(move |&tau0| {
+                self.vdac_zero_values.iter().flat_map(move |&zero| {
+                    self.vdac_full_scale_values
+                        .iter()
+                        .filter(move |&&full_scale| zero < full_scale)
+                        .map(move |&full_scale| DesignPoint {
+                            tau0: Seconds(tau0),
+                            vdac_zero: Volts(zero),
+                            vdac_full_scale: Volts(full_scale),
+                            array,
+                        })
+                })
             })
         })
     }
@@ -112,7 +131,7 @@ impl DesignSpace {
                     .count()
             })
             .sum();
-        self.tau0_values.len() * valid_dac_pairs
+        self.array_configs.len() * self.tau0_values.len() * valid_dac_pairs
     }
 
     /// Returns `true` when the grid produces no valid corners.
@@ -180,10 +199,11 @@ impl DesignSpaceExplorer {
             ImcError::from_sweep(
                 err,
                 format!(
-                    "tau0 = {} ns, V_DAC,0 = {} V, V_DAC,FS = {} V",
+                    "tau0 = {} ns, V_DAC,0 = {} V, V_DAC,FS = {} V, array {}",
                     point.tau0.0 * 1e9,
                     point.vdac_zero.0,
-                    point.vdac_full_scale.0
+                    point.vdac_full_scale.0,
+                    point.array.describe()
                 ),
             )
         })
@@ -208,6 +228,7 @@ mod tests {
             tau0_values: vec![0.2e-9],
             vdac_zero_values: vec![0.5, 0.9],
             vdac_full_scale_values: vec![0.7, 1.0],
+            array_configs: vec![ArrayConfig::default()],
         };
         // (0.5, 0.7), (0.5, 1.0), (0.9, 1.0) are valid; (0.9, 0.7) is not.
         assert_eq!(space.len(), 3);
@@ -254,6 +275,7 @@ mod tests {
                 tau0_values: vec![0.2e-9],
                 vdac_zero_values: vec![0.5, 0.9],
                 vdac_full_scale_values: vec![0.7, 1.0],
+                array_configs: vec![ArrayConfig::default()],
             },
         ] {
             assert_eq!(space.corners().count(), space.len());
@@ -270,6 +292,7 @@ mod tests {
             tau0_values: vec![0.16e-9, 0.5e-9],
             vdac_zero_values: vec![0.45],
             vdac_full_scale_values: vec![1.0],
+            array_configs: vec![ArrayConfig::default()],
         };
         let first_bad_index = 1; // corners are ordered by tau0, then DAC values
         for threads in [1, 8] {
@@ -298,6 +321,7 @@ mod tests {
                 tau0: Seconds(0.16e-9),
                 vdac_zero: Volts(0.45),
                 vdac_full_scale: Volts(0.7),
+                array: ArrayConfig::default(),
             })
             .unwrap();
         let high = explorer
@@ -305,6 +329,7 @@ mod tests {
                 tau0: Seconds(0.16e-9),
                 vdac_zero: Volts(0.45),
                 vdac_full_scale: Volts(1.0),
+                array: ArrayConfig::default(),
             })
             .unwrap();
         assert!(high.metrics.energy_per_multiply.0 > low.metrics.energy_per_multiply.0);
@@ -319,6 +344,7 @@ mod tests {
                 tau0: Seconds(0.16e-9),
                 vdac_zero: Volts(0.45),
                 vdac_full_scale: Volts(1.0),
+                array: ArrayConfig::default(),
             })
             .unwrap();
         let long = explorer
@@ -326,9 +352,45 @@ mod tests {
                 tau0: Seconds(0.24e-9),
                 vdac_zero: Volts(0.45),
                 vdac_full_scale: Volts(1.0),
+                array: ArrayConfig::default(),
             })
             .unwrap();
         assert!(long.metrics.energy_per_multiply.0 > short.metrics.energy_per_multiply.0);
+    }
+
+    #[test]
+    fn geometry_axis_multiplies_the_corner_count() {
+        let space =
+            DesignSpace::small().with_arrays(vec![ArrayConfig::default(), ArrayConfig::int8()]);
+        assert_eq!(space.len(), 2 * DesignSpace::small().len());
+        assert_eq!(space.corners().count(), space.len());
+        // First half explores the paper geometry, second half INT8.
+        let corners: Vec<DesignPoint> = space.corners().collect();
+        assert!(corners[..corners.len() / 2]
+            .iter()
+            .all(|c| c.array.is_paper()));
+        assert!(corners[corners.len() / 2..]
+            .iter()
+            .all(|c| c.array == ArrayConfig::int8()));
+    }
+
+    #[test]
+    fn co_explored_geometries_produce_distinct_metrics() {
+        let explorer = DesignSpaceExplorer::new(linear_suite()).with_threads(2);
+        let space = DesignSpace {
+            tau0_values: vec![0.16e-9],
+            vdac_zero_values: vec![0.45],
+            vdac_full_scale_values: vec![1.0],
+            array_configs: vec![ArrayConfig::default(), ArrayConfig::int8()],
+        };
+        let results = explorer.explore(&space).unwrap();
+        assert_eq!(results.len(), 2);
+        // The INT8 corner runs four analog passes per product, so it costs
+        // more energy per multiplication than the single-pass INT4 corner.
+        assert!(
+            results[1].metrics.energy_per_multiply.0 > results[0].metrics.energy_per_multiply.0
+        );
+        assert!(results[1].metrics.epsilon_mul.is_finite());
     }
 
     #[test]
@@ -338,6 +400,7 @@ mod tests {
             tau0_values: vec![0.2e-9],
             vdac_zero_values: vec![0.9],
             vdac_full_scale_values: vec![0.7],
+            array_configs: vec![ArrayConfig::default()],
         };
         assert!(matches!(
             explorer.explore(&space),

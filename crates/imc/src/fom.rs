@@ -121,6 +121,7 @@ mod tests {
                 tau0: Seconds(tau0),
                 vdac_zero: Volts(0.3),
                 vdac_full_scale: Volts(1.0),
+                array: optima_circuit::array::ArrayConfig::default(),
             },
             metrics: MultiplierMetrics {
                 epsilon_mul: epsilon,

@@ -7,13 +7,13 @@
 //! discharge.
 
 use crate::error::ImcError;
-use crate::multiplier::{InSramMultiplier, OperatingPoint, OPERAND_MAX};
+use crate::multiplier::{InSramMultiplier, OperatingPoint};
 use optima_math::stats;
 use optima_math::units::{FemtoJoules, Volts};
 use serde::{Deserialize, Serialize};
 
-/// Aggregate metrics of one multiplier design point over the full 16×16
-/// input space.
+/// Aggregate metrics of one multiplier design point over its full input
+/// space (16×16 for the paper's default geometry).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct MultiplierMetrics {
     /// Average absolute error after quantisation, in product LSBs (`ϵ_mul`).
@@ -71,10 +71,11 @@ pub fn evaluate_multiplier_at_scalar(
     multiplier: &InSramMultiplier,
     at: OperatingPoint,
 ) -> Result<MultiplierMetrics, ImcError> {
-    let mut outcomes = Vec::with_capacity(256);
-    let mut sigmas = Vec::with_capacity(256);
-    for a in 0..=OPERAND_MAX {
-        for d in 0..=OPERAND_MAX {
+    let max = multiplier.array().operand_max();
+    let mut outcomes = Vec::with_capacity(multiplier.array().input_space());
+    let mut sigmas = Vec::with_capacity(multiplier.array().input_space());
+    for a in 0..=max {
+        for d in 0..=max {
             outcomes.push(multiplier.multiply_at(a, d, at)?);
             sigmas.push(multiplier.analog_sigma(a, d)?);
         }
@@ -106,7 +107,7 @@ fn metrics_from(
         max_error_lsb: abs_errors.iter().cloned().fold(0.0, f64::max),
         energy_per_multiply: FemtoJoules(stats::mean(&multiply_energies)),
         energy_per_operation: FemtoJoules(stats::mean(&total_energies)),
-        // The last grid entry is (a, d) = (15, 15): the maximum discharge.
+        // The last grid entry is (a, d) = (max, max): the maximum discharge.
         sigma_at_max_discharge: *sigmas.last().expect("input space is never empty"),
         worst_case_sigma: Volts(worst_sigma),
     })
@@ -124,7 +125,8 @@ pub fn evaluate_multiplier(multiplier: &InSramMultiplier) -> Result<MultiplierMe
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::multiplier::{MultiplierConfig, OPERAND_BITS};
+    use crate::multiplier::{MultiplierConfig, OPERAND_BITS, OPERAND_MAX};
+    use optima_circuit::array::ArrayConfig;
     use optima_math::units::{Seconds, Volts};
 
     fn near_ideal() -> InSramMultiplier {
@@ -200,5 +202,21 @@ mod tests {
     fn operand_bits_constant_is_four() {
         assert_eq!(OPERAND_BITS, 4);
         assert_eq!(OPERAND_MAX, 15);
+    }
+
+    #[test]
+    fn int8_metrics_are_bit_identical_between_batched_and_scalar() {
+        let multiplier = InSramMultiplier::new(
+            crate::testsupport::linear_suite(),
+            MultiplierConfig::new(Seconds(0.16e-9), Volts(0.45), Volts(1.0))
+                .with_array(ArrayConfig::int8()),
+        )
+        .unwrap();
+        let at = multiplier.nominal_operating_point();
+        let batched = evaluate_multiplier_at(&multiplier, at).unwrap();
+        let scalar = evaluate_multiplier_at_scalar(&multiplier, at).unwrap();
+        assert_eq!(batched, scalar);
+        assert!(batched.epsilon_mul.is_finite());
+        assert!(batched.energy_per_multiply.0 > 0.0);
     }
 }

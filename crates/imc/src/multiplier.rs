@@ -1,33 +1,44 @@
-//! The behavioural 4-bit discharge-based in-SRAM multiplier.
+//! The behavioural discharge-based in-SRAM multiplier.
 //!
-//! The circuit (paper Section V, based on ref. [8]) multiplies a 4-bit
-//! operand `a` applied through a word-line DAC with a 4-bit operand `d`
-//! stored in an SRAM row.  Each stored bit `d_i` gates the discharge of its
-//! own bit-line-bar; bit weighting is achieved by letting column `i`
-//! discharge for `2^i · τ0`.  The discharges are then combined by charge
-//! sharing and digitised by an ADC.
+//! The circuit (paper Section V, based on ref. [8]) multiplies an operand
+//! `a` applied through a word-line DAC with an operand `d` stored in an SRAM
+//! row.  Each stored bit `d_i` gates the discharge of its own bit-line-bar;
+//! bit weighting is achieved by letting column `i` discharge for `2^i · τ0`.
+//! The discharges are then combined by charge sharing and digitised by an
+//! ADC.
+//!
+//! The paper's macro is the fixed 16×4 INT4 array; here the geometry is data
+//! ([`ArrayConfig`]): one analog pass handles a `slice_bits`-wide slice of
+//! each operand, and wider operands (e.g. INT8 on a 4-bit array) are composed
+//! from `slices² ` passes with digital shift-add accumulation.  The default
+//! geometry reproduces the paper's array bit-for-bit.
 
 use crate::error::ImcError;
 use optima_circuit::adc::Adc;
+use optima_circuit::array::ArrayConfig;
 use optima_circuit::dac::{Dac, DacTransfer};
 use optima_core::model::suite::ModelSuite;
 use optima_math::units::{Celsius, FemtoJoules, Seconds, Volts};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
-/// Number of operand bits of the multiplier (fixed to 4 as in the paper).
+/// Operand bits of the paper's default array geometry.
+///
+/// Kept for the fixed-width call sites of the paper experiments; geometry-
+/// aware code should use [`ArrayConfig::operand_bits`] instead.
 pub const OPERAND_BITS: u8 = 4;
 
-/// Largest operand value (`2^4 − 1`).
+/// Largest operand value of the paper's default geometry (`2^4 − 1`).
 pub const OPERAND_MAX: u16 = (1 << OPERAND_BITS) - 1;
 
-/// Largest exact product (`15 × 15`).
+/// Largest exact product of the paper's default geometry (`15 × 15`).
 pub const PRODUCT_MAX: u16 = OPERAND_MAX * OPERAND_MAX;
 
 /// Static configuration of one multiplier design point.
 ///
-/// The three fields are exactly the design-space parameters explored in the
-/// paper's Fig. 7 / Table I.
+/// The first three fields are exactly the design-space parameters explored in
+/// the paper's Fig. 7 / Table I; the array geometry generalises the paper's
+/// fixed 16×4 INT4 macro.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct MultiplierConfig {
     /// Discharge time of the least-significant bit-line (`τ0`).
@@ -39,17 +50,20 @@ pub struct MultiplierConfig {
     /// DAC transfer curve (linear in the paper; square-root pre-distortion
     /// available for the ablation study).
     pub dac_transfer: DacTransfer,
+    /// Array geometry (defaults to the paper's 16×4 INT4 macro).
+    pub array: ArrayConfig,
 }
 
 impl MultiplierConfig {
     /// Creates a configuration from the three design-space parameters with a
-    /// linear DAC.
+    /// linear DAC and the paper's default array geometry.
     pub fn new(tau0: Seconds, vdac_zero: Volts, vdac_full_scale: Volts) -> Self {
         MultiplierConfig {
             tau0,
             vdac_zero,
             vdac_full_scale,
             dac_transfer: DacTransfer::Linear,
+            array: ArrayConfig::default(),
         }
     }
 
@@ -77,9 +91,16 @@ impl MultiplierConfig {
         self
     }
 
-    /// Longest single-column discharge time (`8 · τ0`, the MSB column).
+    /// Switches the array geometry (builder style).
+    pub fn with_array(mut self, array: ArrayConfig) -> Self {
+        self.array = array;
+        self
+    }
+
+    /// Longest single-column discharge time of one analog pass
+    /// (`2^(slice_bits − 1) · τ0`, the MSB column).
     pub fn longest_discharge(&self) -> Seconds {
-        Seconds(self.tau0.0 * (1 << (OPERAND_BITS - 1)) as f64)
+        Seconds(self.tau0.0 * (1u32 << (self.array.slice_bits - 1)) as f64)
     }
 }
 
@@ -90,12 +111,13 @@ pub struct MultiplyOutcome {
     pub result: u16,
     /// Exact product `a · d`.
     pub expected: u16,
-    /// Combined analog discharge presented to the ADC.
+    /// Combined analog discharge presented to the ADC (for composed
+    /// geometries: the mean over the analog passes).
     pub combined_discharge: Volts,
-    /// Energy of the multiplication (discharges + converter overhead),
-    /// excluding the operand write.
+    /// Energy of the multiplication (discharges + converter overhead over
+    /// every analog pass), excluding the operand write.
     pub multiply_energy: FemtoJoules,
-    /// Energy of writing the stored operand (four cell writes).
+    /// Energy of writing the stored operand (one cell write per operand bit).
     pub write_energy: FemtoJoules,
 }
 
@@ -127,10 +149,11 @@ pub struct InSramMultiplier {
     config: MultiplierConfig,
     dac: Dac,
     adc: Adc,
-    /// Volts of combined discharge per product LSB, determined by a one-time
-    /// least-squares calibration over the full input space.
+    /// Volts of combined discharge per slice-product LSB, determined by a
+    /// one-time least-squares calibration over the slice input space.
     volts_per_lsb: f64,
-    /// Fixed converter overhead charged per multiplication.
+    /// Fixed converter overhead charged per analog pass, amortised over the
+    /// column-mux group.
     converter_overhead: FemtoJoules,
     nominal: OperatingPoint,
 }
@@ -146,7 +169,7 @@ impl InSramMultiplier {
     /// # Errors
     ///
     /// * [`ImcError::InvalidConfiguration`] if the DAC voltages are
-    ///   inconsistent or `τ0` is non-positive.
+    ///   inconsistent, `τ0` is non-positive or the array geometry is invalid.
     /// * Propagates model-evaluation errors if the configuration drives the
     ///   models outside their calibrated domain.
     pub fn new(models: ModelSuite, config: MultiplierConfig) -> Result<Self, ImcError> {
@@ -155,15 +178,28 @@ impl InSramMultiplier {
                 context: format!("tau0 must be positive, got {}", config.tau0.0),
             });
         }
-        let dac = Dac::new(OPERAND_BITS, config.vdac_zero, config.vdac_full_scale)
+        config
+            .array
+            .validate()
             .map_err(|err| ImcError::InvalidConfiguration {
                 context: err.to_string(),
-            })?
-            .with_transfer(config.dac_transfer);
-        // The ADC digitises the combined discharge; its range is set after the
-        // transfer calibration so that one code equals one product LSB.
-        let adc = Adc::new(8, Volts(1.0)).map_err(|err| ImcError::InvalidConfiguration {
+            })?;
+        let dac = Dac::new(
+            config.array.dac_bits(),
+            config.vdac_zero,
+            config.vdac_full_scale,
+        )
+        .map_err(|err| ImcError::InvalidConfiguration {
             context: err.to_string(),
+        })?
+        .with_transfer(config.dac_transfer);
+        // The ADC digitises the combined discharge of one pass; its range is
+        // set after the transfer calibration so that one code equals one
+        // slice-product LSB.
+        let adc = Adc::new(config.array.adc_bits(), Volts(1.0)).map_err(|err| {
+            ImcError::InvalidConfiguration {
+                context: err.to_string(),
+            }
         })?;
         let nominal = OperatingPoint {
             vdd: models.vdd_nominal(),
@@ -176,7 +212,7 @@ impl InSramMultiplier {
             dac,
             adc,
             volts_per_lsb: 1.0,
-            converter_overhead: FemtoJoules(2.0),
+            converter_overhead: FemtoJoules(2.0 / config.array.column_mux as f64),
             nominal,
         };
         multiplier.calibrate_transfer()?;
@@ -186,6 +222,11 @@ impl InSramMultiplier {
     /// The design-point configuration.
     pub fn config(&self) -> &MultiplierConfig {
         &self.config
+    }
+
+    /// The array geometry the multiplier was generated for.
+    pub fn array(&self) -> &ArrayConfig {
+        &self.config.array
     }
 
     /// The fitted models driving the multiplier.
@@ -204,14 +245,18 @@ impl InSramMultiplier {
     }
 
     /// Least-squares calibration of the discharge-to-LSB transfer factor over
-    /// the full 16×16 input space at nominal conditions (batched: the analog
+    /// the full slice input space at nominal conditions (batched: the analog
     /// grid is evaluated once, then combined per operand pair).
+    ///
+    /// Composed geometries calibrate the single analog pass; the digital
+    /// shift-add composition is exact and needs no trimming of its own.
     fn calibrate_transfer(&mut self) -> Result<(), ImcError> {
         let grid = self.analog_grid(self.nominal)?;
+        let slice_max = self.config.array.slice_max();
         let mut numerator = 0.0;
         let mut denominator = 0.0;
-        for a in 0..=OPERAND_MAX {
-            for d in 0..=OPERAND_MAX {
+        for a in 0..=slice_max {
+            for d in 0..=slice_max {
                 let discharge = grid.combined_discharge(a, d);
                 let expected = (a * d) as f64;
                 numerator += discharge * expected;
@@ -232,25 +277,28 @@ impl InSramMultiplier {
         Seconds(self.config.tau0.0 * (1u32 << bit) as f64)
     }
 
-    /// Precomputes every per-(DAC operand, column) analog quantity at `at`
+    /// Precomputes every per-(slice operand, column) analog quantity at `at`
     /// through the batched model fills.
     ///
-    /// This is the batched analog hot path: 16 word-line voltages and
-    /// 16 × [`OPERAND_BITS`] discharges/energies are evaluated once, and the
-    /// 256 operand pairs of the input space are then combined from them —
-    /// bit-identical to evaluating each pair through the scalar
+    /// This is the batched analog hot path: one word-line voltage per slice
+    /// operand and `slice_bits` discharges/energies each are evaluated once,
+    /// and the operand pairs of the full input space are then combined from
+    /// them — bit-identical to evaluating each pair through the scalar
     /// [`InSramMultiplier::multiply_at`] path, because a pair's discharge is
     /// the same sum of the same per-column values in the same (bit-ascending)
-    /// order.
+    /// order, pass by pass.
     ///
     /// # Errors
     ///
     /// Propagates converter and model-evaluation errors, in the same
     /// operand-major order as the scalar input-space loop.
     pub fn analog_grid(&self, at: OperatingPoint) -> Result<AnalogOperandGrid, ImcError> {
-        let operands = OPERAND_MAX as usize + 1;
-        let bits = OPERAND_BITS as usize;
-        let durations: Vec<Seconds> = (0..OPERAND_BITS).map(|b| self.column_duration(b)).collect();
+        let array = &self.config.array;
+        let operands = array.slice_max() as usize + 1;
+        let bits = array.slice_bits as usize;
+        let durations: Vec<Seconds> = (0..array.slice_bits)
+            .map(|b| self.column_duration(b))
+            .collect();
         let mut word_lines = Vec::with_capacity(operands);
         let mut deltas = vec![0.0; operands * bits];
         let mut energies = vec![0.0; operands * bits];
@@ -279,33 +327,35 @@ impl InSramMultiplier {
             }
         }
         Ok(AnalogOperandGrid {
+            slice_bits: array.slice_bits,
             word_lines,
             deltas,
             energies,
             write_energy: FemtoJoules(
-                self.models.write_energy(at.vdd, at.temperature).0 * OPERAND_BITS as f64,
+                self.models.write_energy(at.vdd, at.temperature).0 * array.operand_bits as f64,
             ),
         })
     }
 
-    /// Evaluates the full 16×16 input space at `at` through the batched
-    /// analog grid, returning the outcomes in operand-major order
-    /// (`a` outer, `d` inner) — bit-identical to calling
-    /// [`InSramMultiplier::multiply_at`] for every pair.
+    /// Evaluates the full input space at `at` through the batched analog
+    /// grid, returning the outcomes in operand-major order (`a` outer, `d`
+    /// inner) — bit-identical to calling [`InSramMultiplier::multiply_at`]
+    /// for every pair.
     ///
     /// # Errors
     ///
     /// Same as [`InSramMultiplier::analog_grid`].
     pub fn outcome_grid(&self, at: OperatingPoint) -> Result<Vec<MultiplyOutcome>, ImcError> {
         let grid = self.analog_grid(at)?;
-        let mut outcomes = Vec::with_capacity(grid.word_lines.len() * grid.word_lines.len());
-        for a in 0..=OPERAND_MAX {
-            for d in 0..=OPERAND_MAX {
-                outcomes.push(self.finish_outcome(
+        let max = self.config.array.operand_max();
+        let mut outcomes = Vec::with_capacity(self.config.array.input_space());
+        for a in 0..=max {
+            for d in 0..=max {
+                outcomes.push(self.compose_outcome(
                     a,
                     d,
-                    grid.combined_discharge(a, d),
-                    |bit| grid.energy(a, bit),
+                    |_, a_slice, d_slice| grid.combined_discharge(a_slice, d_slice),
+                    |a_slice, bit| grid.energy(a_slice, bit),
                     grid.write_energy,
                 ));
             }
@@ -315,60 +365,66 @@ impl InSramMultiplier {
 
     /// Analog mismatch σ of every operand pair, in operand-major order —
     /// bit-identical to calling [`InSramMultiplier::analog_sigma`] for every
-    /// pair, from [`OPERAND_BITS`] × 16 σ-model evaluations instead of one
-    /// per set bit of every pair.
+    /// pair, from `slice_bits` σ-model evaluations per slice operand instead
+    /// of one per set bit of every pair.
     ///
     /// # Errors
     ///
     /// Propagates converter errors.
     pub fn analog_sigma_grid(&self) -> Result<Vec<Volts>, ImcError> {
-        let operands = OPERAND_MAX as usize + 1;
-        let bits = OPERAND_BITS as usize;
-        let mut sigmas = vec![0.0; operands * bits];
-        for a in 0..operands {
+        let array = &self.config.array;
+        let slice_operands = array.slice_max() as usize + 1;
+        let bits = array.slice_bits as usize;
+        let mut sigmas = vec![0.0; slice_operands * bits];
+        for a in 0..slice_operands {
             let word_line = self.dac.output(a as u16)?;
-            for bit in 0..OPERAND_BITS {
+            for bit in 0..array.slice_bits {
                 sigmas[a * bits + bit as usize] = self
                     .models
                     .mismatch_sigma(self.column_duration(bit), word_line)
                     .0;
             }
         }
-        let mut grid = Vec::with_capacity(operands * operands);
-        for a in 0..operands {
-            for d in 0..=OPERAND_MAX {
-                let mut variance = 0.0;
-                for bit in 0..bits {
-                    if (d >> bit) & 1 == 1 {
-                        let sigma = sigmas[a * bits + bit];
-                        variance += sigma * sigma;
+        let max = array.operand_max();
+        let mut grid = Vec::with_capacity(array.input_space());
+        for a in 0..=max {
+            for d in 0..=max {
+                let sigma = self.fold_passes(a, d, 0.0f64, |worst, _, a_slice, d_slice| {
+                    let mut variance = 0.0;
+                    for bit in 0..bits {
+                        if (d_slice >> bit) & 1 == 1 {
+                            let sigma = sigmas[a_slice as usize * bits + bit];
+                            variance += sigma * sigma;
+                        }
                     }
-                }
-                grid.push(Volts(variance.sqrt() / OPERAND_BITS as f64));
+                    worst.max(variance.sqrt() / bits as f64)
+                });
+                grid.push(Volts(sigma));
             }
         }
         Ok(grid)
     }
 
-    /// Combined (charge-shared) discharge for operands `a` (DAC input) and
-    /// `d` (stored word), optionally with mismatch sampling.
-    fn combined_discharge<R: Rng + ?Sized>(
+    /// Charge-shared combined discharge of one analog pass for the slice
+    /// operands `a_slice` (DAC input) and `d_slice` (stored slice),
+    /// optionally with mismatch sampling.
+    fn slice_discharge<R: Rng + ?Sized>(
         &self,
-        a: u16,
-        d: u16,
+        a_slice: u16,
+        d_slice: u16,
         at: OperatingPoint,
         mut rng: Option<&mut R>,
     ) -> Result<f64, ImcError> {
         let word_line = self
             .dac
-            .output_with_supply(a, at.vdd, self.models.vdd_nominal())?;
+            .output_with_supply(a_slice, at.vdd, self.models.vdd_nominal())?;
         let mut total = 0.0;
-        for bit in 0..OPERAND_BITS {
-            let stored = (d >> bit) & 1 == 1;
+        for bit in 0..self.config.array.slice_bits {
+            let stored = (d_slice >> bit) & 1 == 1;
             if !stored {
                 continue;
             }
-            let duration = Seconds(self.config.tau0.0 * (1u32 << bit) as f64);
+            let duration = self.column_duration(bit);
             let delta = match rng.as_mut() {
                 Some(rng) => self.models.discharge_with_mismatch(
                     &mut **rng,
@@ -384,44 +440,55 @@ impl InSramMultiplier {
             };
             total += delta.0;
         }
-        // Charge sharing across the four sampling capacitors averages the
+        // Charge sharing across the slice's sampling capacitors averages the
         // individual discharges.
-        Ok(total / OPERAND_BITS as f64)
+        Ok(total / self.config.array.slice_bits as f64)
     }
 
     /// Analog standard deviation of the combined discharge for `(a, d)` due
-    /// to transistor mismatch (root-sum-square of the per-column σ).
+    /// to transistor mismatch (root-sum-square of the per-column σ within one
+    /// pass; for composed geometries the worst pass, since every pass is
+    /// digitised on its own).
     ///
     /// # Errors
     ///
     /// Propagates converter errors for out-of-range operands.
     pub fn analog_sigma(&self, a: u16, d: u16) -> Result<Volts, ImcError> {
         self.check_operands(a, d)?;
-        let word_line = self.dac.output(a)?;
-        let mut variance = 0.0;
-        for bit in 0..OPERAND_BITS {
-            if (d >> bit) & 1 == 0 {
-                continue;
+        let array = &self.config.array;
+        let slices = array.slices() as u16;
+        let shift = array.slice_bits as u16;
+        let mask = array.slice_max();
+        let mut worst = 0.0f64;
+        for i in 0..slices {
+            let a_slice = (a >> (i * shift)) & mask;
+            let word_line = self.dac.output(a_slice)?;
+            for j in 0..slices {
+                let d_slice = (d >> (j * shift)) & mask;
+                let mut variance = 0.0;
+                for bit in 0..array.slice_bits {
+                    if (d_slice >> bit) & 1 == 0 {
+                        continue;
+                    }
+                    let sigma = self
+                        .models
+                        .mismatch_sigma(self.column_duration(bit), word_line)
+                        .0;
+                    variance += sigma * sigma;
+                }
+                worst = worst.max(variance.sqrt() / array.slice_bits as f64);
             }
-            let duration = Seconds(self.config.tau0.0 * (1u32 << bit) as f64);
-            let sigma = self.models.mismatch_sigma(duration, word_line).0;
-            variance += sigma * sigma;
         }
-        Ok(Volts(variance.sqrt() / OPERAND_BITS as f64))
+        Ok(Volts(worst))
     }
 
     fn check_operands(&self, a: u16, d: u16) -> Result<(), ImcError> {
-        if a > OPERAND_MAX {
-            return Err(ImcError::OperandOutOfRange {
-                value: a,
-                max: OPERAND_MAX,
-            });
+        let max = self.config.array.operand_max();
+        if a > max {
+            return Err(ImcError::OperandOutOfRange { value: a, max });
         }
-        if d > OPERAND_MAX {
-            return Err(ImcError::OperandOutOfRange {
-                value: d,
-                max: OPERAND_MAX,
-            });
+        if d > max {
+            return Err(ImcError::OperandOutOfRange { value: d, max });
         }
         Ok(())
     }
@@ -430,8 +497,8 @@ impl InSramMultiplier {
     ///
     /// # Errors
     ///
-    /// Returns [`ImcError::OperandOutOfRange`] for operands above 15 and
-    /// propagates model errors.
+    /// Returns [`ImcError::OperandOutOfRange`] for operands above
+    /// [`ArrayConfig::operand_max`] and propagates model errors.
     pub fn multiply(&self, a: u16, d: u16) -> Result<MultiplyOutcome, ImcError> {
         self.multiply_at(a, d, self.nominal)
     }
@@ -448,12 +515,12 @@ impl InSramMultiplier {
         at: OperatingPoint,
     ) -> Result<MultiplyOutcome, ImcError> {
         self.check_operands(a, d)?;
-        let discharge = self.combined_discharge::<rand_chacha::ChaCha8Rng>(a, d, at, None)?;
-        Ok(self.digitise(a, d, discharge, at))
+        self.multiply_inner::<rand_chacha::ChaCha8Rng>(a, d, at, None)
     }
 
     /// Performs one multiplication with per-column mismatch sampling (one
-    /// Monte Carlo instance).
+    /// Monte Carlo instance; composed geometries sample every pass
+    /// independently, in pass order).
     ///
     /// # Errors
     ///
@@ -466,17 +533,42 @@ impl InSramMultiplier {
         at: OperatingPoint,
     ) -> Result<MultiplyOutcome, ImcError> {
         self.check_operands(a, d)?;
-        let discharge = self.combined_discharge(a, d, at, Some(rng))?;
-        Ok(self.digitise(a, d, discharge, at))
+        self.multiply_inner(a, d, at, Some(rng))
     }
 
-    fn digitise(&self, a: u16, d: u16, discharge: f64, at: OperatingPoint) -> MultiplyOutcome {
-        // Energy: per-column discharge energies + converter overhead.
-        let word_line = self
-            .dac
-            .output_with_supply(a, at.vdd, self.models.vdd_nominal())
-            .unwrap_or(Volts(self.config.vdac_zero.0));
-        let column_energy = |bit: u8| {
+    /// Shared scalar multiply path: evaluates every analog pass through the
+    /// live models (optionally with mismatch sampling, consuming the RNG in
+    /// pass order), then composes the digital result.
+    fn multiply_inner<R: Rng + ?Sized>(
+        &self,
+        a: u16,
+        d: u16,
+        at: OperatingPoint,
+        mut rng: Option<&mut R>,
+    ) -> Result<MultiplyOutcome, ImcError> {
+        let array = &self.config.array;
+        let slices = array.slices() as u16;
+        let shift = array.slice_bits as u16;
+        let mask = array.slice_max();
+        let mut discharges = Vec::with_capacity(array.passes() as usize);
+        for i in 0..slices {
+            let a_slice = (a >> (i * shift)) & mask;
+            for j in 0..slices {
+                let d_slice = (d >> (j * shift)) & mask;
+                discharges.push(self.slice_discharge(a_slice, d_slice, at, rng.as_deref_mut())?);
+            }
+        }
+        let write_energy = FemtoJoules(
+            self.models.write_energy(at.vdd, at.temperature).0 * array.operand_bits as f64,
+        );
+        // Energy readout mirrors the real circuit: it cannot fail once the
+        // pass discharges above succeeded, so fall back to zero-energy terms
+        // instead of propagating.
+        let column_energy = |a_slice: u16, bit: u8| {
+            let word_line = self
+                .dac
+                .output_with_supply(a_slice, at.vdd, self.models.vdd_nominal())
+                .unwrap_or(Volts(self.config.vdac_zero.0));
             let delta = self
                 .models
                 .discharge(
@@ -492,93 +584,161 @@ impl InSramMultiplier {
                 .discharge_energy(Volts(delta), at.vdd, at.temperature)
                 .0
         };
-        let write_energy =
-            FemtoJoules(self.models.write_energy(at.vdd, at.temperature).0 * OPERAND_BITS as f64);
-        self.finish_outcome(a, d, discharge, column_energy, write_energy)
+        Ok(self.compose_outcome(
+            a,
+            d,
+            |pass, _, _| discharges[pass],
+            column_energy,
+            write_energy,
+        ))
     }
 
-    /// Shared readout back half of the scalar and batched multiply paths:
-    /// ADC quantisation of the combined discharge plus the per-set-bit
-    /// energy combination.  Only how the per-column energy is obtained
-    /// differs between the callers (live model evaluation vs. precomputed
-    /// grid), so any change to the readout model lands in both paths.
-    fn finish_outcome(
+    /// Folds `combine` over the analog passes of the pair `(a, d)` in pass
+    /// order (`a`-slice outer, `d`-slice inner, both low-to-high), passing
+    /// `(accumulator, pass_index, a_slice, d_slice)`.
+    fn fold_passes<T>(
         &self,
         a: u16,
         d: u16,
-        discharge: f64,
-        column_energy: impl Fn(u8) -> f64,
-        write_energy: FemtoJoules,
-    ) -> MultiplyOutcome {
-        // Round-to-nearest quantisation in product-LSB units, clamped to the
-        // ADC code range (8 bits, enough for the 0..=225 product range).
-        let raw = (discharge / self.volts_per_lsb).round();
-        let result = raw.clamp(0.0, self.adc.max_code() as f64) as u16;
-        let mut multiply_energy = self.converter_overhead.0;
-        for bit in 0..OPERAND_BITS {
-            if (d >> bit) & 1 == 1 {
-                multiply_energy += column_energy(bit);
+        init: T,
+        mut combine: impl FnMut(T, usize, u16, u16) -> T,
+    ) -> T {
+        let array = &self.config.array;
+        let slices = array.slices() as u16;
+        let shift = array.slice_bits as u16;
+        let mask = array.slice_max();
+        let mut acc = init;
+        let mut pass = 0usize;
+        for i in 0..slices {
+            let a_slice = (a >> (i * shift)) & mask;
+            for j in 0..slices {
+                let d_slice = (d >> (j * shift)) & mask;
+                acc = combine(acc, pass, a_slice, d_slice);
+                pass += 1;
             }
         }
+        acc
+    }
+
+    /// Shared readout back half of the scalar and batched multiply paths:
+    /// per-pass ADC quantisation of the combined discharge, digital
+    /// shift-add composition across the passes, and the per-set-bit energy
+    /// combination.  Only how the per-pass discharge and per-column energy
+    /// are obtained differs between the callers (live model evaluation vs.
+    /// precomputed grid), so any change to the readout model lands in both
+    /// paths.
+    fn compose_outcome(
+        &self,
+        a: u16,
+        d: u16,
+        mut slice_discharge: impl FnMut(usize, u16, u16) -> f64,
+        column_energy: impl Fn(u16, u8) -> f64,
+        write_energy: FemtoJoules,
+    ) -> MultiplyOutcome {
+        let array = &self.config.array;
+        let slice_bits = array.slice_bits;
+        let passes = array.passes() as f64;
+        let max_code = self.adc.max_code() as f64;
+        struct Acc {
+            result: u32,
+            discharge_sum: f64,
+            multiply_energy: f64,
+        }
+        let acc = self.fold_passes(
+            a,
+            d,
+            Acc {
+                result: 0,
+                discharge_sum: 0.0,
+                multiply_energy: 0.0,
+            },
+            |mut acc, pass, a_slice, d_slice| {
+                let discharge = slice_discharge(pass, a_slice, d_slice);
+                acc.discharge_sum += discharge;
+                // Round-to-nearest quantisation in slice-product LSB units,
+                // clamped to the ADC code range of one pass.
+                let raw = (discharge / self.volts_per_lsb).round();
+                let code = raw.clamp(0.0, max_code) as u32;
+                // Which pass this slice pair is determines its digital weight.
+                let weight = {
+                    let slices = array.slices() as usize;
+                    ((pass / slices + pass % slices) * slice_bits as usize) as u32
+                };
+                acc.result += code << weight;
+                acc.multiply_energy += self.converter_overhead.0;
+                for bit in 0..slice_bits {
+                    if (d_slice >> bit) & 1 == 1 {
+                        acc.multiply_energy += column_energy(a_slice, bit);
+                    }
+                }
+                acc
+            },
+        );
         MultiplyOutcome {
-            result,
+            // Non-ideal slice results can overshoot the exact product range;
+            // the digital accumulator saturates at the u16 result width.
+            result: acc.result.min(u16::MAX as u32) as u16,
             expected: a * d,
-            combined_discharge: Volts(discharge),
-            multiply_energy: FemtoJoules(multiply_energy),
+            combined_discharge: Volts(acc.discharge_sum / passes),
+            multiply_energy: FemtoJoules(acc.multiply_energy),
             write_energy,
         }
     }
 }
 
-/// Per-(DAC operand, column) analog quantities of one multiplier at one
+/// Per-(slice operand, column) analog quantities of one multiplier at one
 /// operating point, precomputed through the batched model fills.
 ///
-/// Built by [`InSramMultiplier::analog_grid`]; the 256 operand pairs of the
-/// input space combine these 16 × [`OPERAND_BITS`] values instead of
+/// Built by [`InSramMultiplier::analog_grid`]; the operand pairs of the full
+/// input space combine these `(slice_max + 1) × slice_bits` values instead of
 /// re-evaluating the fitted polynomials per pair.
 #[derive(Debug, Clone, PartialEq)]
 pub struct AnalogOperandGrid {
-    /// Word-line voltage per DAC operand `a`.
+    /// Slice width the grid was generated for (row stride of the flats).
+    slice_bits: u8,
+    /// Word-line voltage per slice operand `a`.
     word_lines: Vec<Volts>,
-    /// Discharge `ΔV` per `(a, bit)`, row-major with [`OPERAND_BITS`] per row.
+    /// Discharge `ΔV` per `(a, bit)`, row-major with `slice_bits` per row.
     deltas: Vec<f64>,
     /// Discharge energy per `(a, bit)` (femtojoules).
     energies: Vec<f64>,
-    /// Energy of writing one [`OPERAND_BITS`]-bit operand.
+    /// Energy of writing one full-width stored operand.
     write_energy: FemtoJoules,
 }
 
 impl AnalogOperandGrid {
-    /// Discharge `ΔV` of column `bit` for DAC operand `a`.
+    /// Discharge `ΔV` of column `bit` for slice operand `a`.
     fn delta(&self, a: u16, bit: u8) -> f64 {
-        self.deltas[a as usize * OPERAND_BITS as usize + bit as usize]
+        self.deltas[a as usize * self.slice_bits as usize + bit as usize]
     }
 
-    /// Discharge energy of column `bit` for DAC operand `a` (femtojoules).
+    /// Discharge energy of column `bit` for slice operand `a` (femtojoules).
     fn energy(&self, a: u16, bit: u8) -> f64 {
-        self.energies[a as usize * OPERAND_BITS as usize + bit as usize]
+        self.energies[a as usize * self.slice_bits as usize + bit as usize]
     }
 
-    /// Charge-shared combined discharge for the operand pair `(a, d)`:
-    /// the same per-column values summed in the same bit-ascending order as
-    /// the scalar multiply path, so the result is bit-identical to it.
+    /// Charge-shared combined discharge of one pass for the slice pair
+    /// `(a, d)`: the same per-column values summed in the same bit-ascending
+    /// order as the scalar multiply path, so the result is bit-identical to
+    /// it.
     pub fn combined_discharge(&self, a: u16, d: u16) -> f64 {
         let mut total = 0.0;
-        for bit in 0..OPERAND_BITS {
+        for bit in 0..self.slice_bits {
             if (d >> bit) & 1 == 1 {
                 total += self.delta(a, bit);
             }
         }
-        total / OPERAND_BITS as f64
+        total / self.slice_bits as f64
     }
 
-    /// Word-line voltage the DAC produced for operand `a`.
+    /// Word-line voltage the DAC produced for slice operand `a`.
     pub fn word_line(&self, a: u16) -> Volts {
         self.word_lines[a as usize]
     }
 }
 
-/// A pre-computed 16×16 result table of a multiplier configuration.
+/// A pre-computed result table of a multiplier configuration over its full
+/// input space.
 ///
 /// The DNN experiments perform millions of multiplications; looking the
 /// results up in a table is the standard way to make that tractable and is
@@ -586,6 +746,7 @@ impl AnalogOperandGrid {
 /// operating point.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct MultiplierTable {
+    operand_bits: u8,
     results: Vec<u16>,
     average_multiply_energy: FemtoJoules,
     average_total_energy: FemtoJoules,
@@ -607,7 +768,10 @@ impl MultiplierTable {
         multiplier: &InSramMultiplier,
         at: OperatingPoint,
     ) -> Result<Self, ImcError> {
-        Self::from_outcomes(multiplier.outcome_grid(at)?)
+        Self::from_outcomes(
+            multiplier.outcome_grid(at)?,
+            multiplier.array().operand_bits,
+        )
     }
 
     /// Builds the table through the scalar per-pair multiply path — the
@@ -621,17 +785,18 @@ impl MultiplierTable {
         multiplier: &InSramMultiplier,
         at: OperatingPoint,
     ) -> Result<Self, ImcError> {
-        let mut outcomes = Vec::with_capacity(256);
-        for a in 0..=OPERAND_MAX {
-            for d in 0..=OPERAND_MAX {
+        let max = multiplier.array().operand_max();
+        let mut outcomes = Vec::with_capacity(multiplier.array().input_space());
+        for a in 0..=max {
+            for d in 0..=max {
                 outcomes.push(multiplier.multiply_at(a, d, at)?);
             }
         }
-        Self::from_outcomes(outcomes)
+        Self::from_outcomes(outcomes, multiplier.array().operand_bits)
     }
 
-    fn from_outcomes(outcomes: Vec<MultiplyOutcome>) -> Result<Self, ImcError> {
-        let mut results = Vec::with_capacity(256);
+    fn from_outcomes(outcomes: Vec<MultiplyOutcome>, operand_bits: u8) -> Result<Self, ImcError> {
+        let mut results = Vec::with_capacity(outcomes.len());
         let mut energy_sum = 0.0;
         let mut total_sum = 0.0;
         for outcome in &outcomes {
@@ -639,39 +804,68 @@ impl MultiplierTable {
             energy_sum += outcome.multiply_energy.0;
             total_sum += outcome.total_energy().0;
         }
+        let count = outcomes.len() as f64;
         Ok(MultiplierTable {
+            operand_bits,
             results,
-            average_multiply_energy: FemtoJoules(energy_sum / 256.0),
-            average_total_energy: FemtoJoules(total_sum / 256.0),
+            average_multiply_energy: FemtoJoules(energy_sum / count),
+            average_total_energy: FemtoJoules(total_sum / count),
         })
     }
 
-    /// An ideal (error-free) table, used as the exact-INT4 baseline.
+    /// An ideal (error-free) 4-bit table, used as the exact-INT4 baseline.
     pub fn exact() -> Self {
-        let mut results = Vec::with_capacity(256);
-        for a in 0..=OPERAND_MAX {
-            for d in 0..=OPERAND_MAX {
+        Self::exact_for_bits(OPERAND_BITS)
+    }
+
+    /// An ideal (error-free) table over `operand_bits`-wide operands (1..=8).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `operand_bits` is outside 1..=8 (products must fit `u16`).
+    pub fn exact_for_bits(operand_bits: u8) -> Self {
+        assert!(
+            (1..=8).contains(&operand_bits),
+            "exact table supports 1..=8 operand bits"
+        );
+        let max = (1u32 << operand_bits) as u16 - 1;
+        let mut results = Vec::with_capacity((max as usize + 1) * (max as usize + 1));
+        for a in 0..=max {
+            for d in 0..=max {
                 results.push(a * d);
             }
         }
         MultiplierTable {
+            operand_bits,
             results,
             average_multiply_energy: FemtoJoules(0.0),
             average_total_energy: FemtoJoules(0.0),
         }
     }
 
+    /// Operand width of the table's input space.
+    pub fn operand_bits(&self) -> u8 {
+        self.operand_bits
+    }
+
+    /// Largest operand the table covers.
+    pub fn operand_max(&self) -> u16 {
+        (1u32 << self.operand_bits) as u16 - 1
+    }
+
     /// Looks up the multiplier output for `(a, d)`.
     ///
     /// # Panics
     ///
-    /// Panics if either operand exceeds 15.
+    /// Panics if either operand exceeds [`MultiplierTable::operand_max`].
     pub fn lookup(&self, a: u16, d: u16) -> u16 {
+        let max = self.operand_max();
         assert!(
-            a <= OPERAND_MAX && d <= OPERAND_MAX,
-            "operands must be 4-bit"
+            a <= max && d <= max,
+            "operands must be {}-bit",
+            self.operand_bits
         );
-        self.results[(a * (OPERAND_MAX + 1) + d) as usize]
+        self.results[a as usize * (max as usize + 1) + d as usize]
     }
 
     /// Average multiplication energy over the input space.
@@ -686,13 +880,14 @@ impl MultiplierTable {
 
     /// Mean absolute error of the table against exact multiplication (LSBs).
     pub fn mean_absolute_error(&self) -> f64 {
+        let max = self.operand_max();
         let mut total = 0.0;
-        for a in 0..=OPERAND_MAX {
-            for d in 0..=OPERAND_MAX {
+        for a in 0..=max {
+            for d in 0..=max {
                 total += (self.lookup(a, d) as f64 - (a * d) as f64).abs();
             }
         }
-        total / 256.0
+        total / self.results.len() as f64
     }
 }
 
@@ -707,6 +902,10 @@ mod tests {
         // Zero code at the threshold voltage makes the overdrive proportional
         // to the DAC code, so products are exact up to quantisation.
         MultiplierConfig::new(Seconds(0.16e-9), Volts(0.45), Volts(1.0))
+    }
+
+    fn int8_config() -> MultiplierConfig {
+        ideal_config().with_array(ArrayConfig::int8())
     }
 
     #[test]
@@ -745,6 +944,16 @@ mod tests {
     }
 
     #[test]
+    fn operand_range_follows_the_geometry() {
+        let multiplier = InSramMultiplier::new(linear_suite(), int8_config()).unwrap();
+        assert!(multiplier.multiply(255, 255).is_ok());
+        assert!(matches!(
+            multiplier.multiply(256, 1),
+            Err(ImcError::OperandOutOfRange { max: 255, .. })
+        ));
+    }
+
+    #[test]
     fn invalid_configurations_are_rejected() {
         assert!(InSramMultiplier::new(
             linear_suite(),
@@ -756,6 +965,15 @@ mod tests {
             MultiplierConfig::new(Seconds(0.16e-9), Volts(1.0), Volts(0.7))
         )
         .is_err());
+        // Geometry validation is part of construction.
+        let broken = ideal_config().with_array(ArrayConfig {
+            operand_bits: 6,
+            ..ArrayConfig::default()
+        });
+        assert!(matches!(
+            InSramMultiplier::new(linear_suite(), broken),
+            Err(ImcError::InvalidConfiguration { .. })
+        ));
     }
 
     #[test]
@@ -775,6 +993,7 @@ mod tests {
         assert!((fom.tau0.0 - 0.16e-9).abs() < 1e-15);
         assert_eq!(fom.vdac_zero, Volts(0.3));
         assert_eq!(fom.vdac_full_scale, Volts(1.0));
+        assert!(fom.array.is_paper());
         let power = MultiplierConfig::paper_power_corner();
         assert_eq!(power.vdac_full_scale, Volts(0.7));
         let variation = MultiplierConfig::paper_variation_corner();
@@ -871,6 +1090,74 @@ mod tests {
     }
 
     #[test]
+    fn int8_outcome_grid_is_bit_identical_to_scalar_composition() {
+        let multiplier = InSramMultiplier::new(linear_suite(), int8_config()).unwrap();
+        let at = multiplier.nominal_operating_point();
+        let outcomes = multiplier.outcome_grid(at).unwrap();
+        let sigmas = multiplier.analog_sigma_grid().unwrap();
+        assert_eq!(outcomes.len(), 65536);
+        // The full 256×256 space is slow through the live scalar path; a
+        // stratified sample (all slice-boundary patterns plus a diagonal)
+        // covers every composition case.
+        let probes: Vec<u16> = (0..=255u16)
+            .filter(|&v| v % 17 == 0 || !(18..=238).contains(&v) || v % 16 == 0)
+            .collect();
+        for &a in &probes {
+            for &d in &probes {
+                let index = a as usize * 256 + d as usize;
+                let scalar = multiplier.multiply_at(a, d, at).unwrap();
+                assert_eq!(outcomes[index], scalar, "a = {a}, d = {d}");
+                let scalar_sigma = multiplier.analog_sigma(a, d).unwrap();
+                assert_eq!(
+                    sigmas[index].0.to_bits(),
+                    scalar_sigma.0.to_bits(),
+                    "sigma at a = {a}, d = {d}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn int8_composition_matches_the_widened_slice_reference() {
+        // The composed result must equal the digital shift-add of the four
+        // 4-bit slice multiplications performed by the equivalent paper-
+        // geometry multiplier: composition adds no analog behaviour of its
+        // own.
+        let wide = InSramMultiplier::new(linear_suite(), int8_config()).unwrap();
+        let narrow = InSramMultiplier::new(linear_suite(), ideal_config()).unwrap();
+        assert_eq!(
+            wide.volts_per_lsb().0.to_bits(),
+            narrow.volts_per_lsb().0.to_bits()
+        );
+        let at = wide.nominal_operating_point();
+        for (a, d) in [
+            (0u16, 0u16),
+            (1, 255),
+            (255, 255),
+            (170, 85),
+            (37, 201),
+            (16, 16),
+        ] {
+            let composed = wide.multiply_at(a, d, at).unwrap();
+            let mut reference: u32 = 0;
+            for i in 0..2u16 {
+                for j in 0..2u16 {
+                    let a_slice = (a >> (4 * i)) & 0xF;
+                    let d_slice = (d >> (4 * j)) & 0xF;
+                    let code = narrow.multiply_at(a_slice, d_slice, at).unwrap().result;
+                    reference += (code as u32) << (4 * (i + j));
+                }
+            }
+            assert_eq!(
+                composed.result as u32,
+                reference.min(u16::MAX as u32),
+                "a = {a}, d = {d}"
+            );
+            assert_eq!(composed.expected, a * d);
+        }
+    }
+
+    #[test]
     fn batched_table_is_bit_identical_to_scalar_table() {
         let multiplier = InSramMultiplier::new(linear_suite(), ideal_config()).unwrap();
         let at = multiplier.nominal_operating_point();
@@ -896,9 +1183,13 @@ mod tests {
     #[test]
     fn exact_table_has_zero_error() {
         let table = MultiplierTable::exact();
+        assert_eq!(table.operand_bits(), 4);
         assert_eq!(table.lookup(7, 8), 56);
         assert_eq!(table.mean_absolute_error(), 0.0);
         assert_eq!(table.average_multiply_energy().0, 0.0);
+        let wide = MultiplierTable::exact_for_bits(8);
+        assert_eq!(wide.lookup(255, 255), 65025);
+        assert_eq!(wide.mean_absolute_error(), 0.0);
     }
 
     #[test]
@@ -925,5 +1216,24 @@ mod tests {
         // With the identity supply model the only effect is the DAC reference,
         // which lowers the word-line voltage and therefore the result.
         assert!(low_supply.result <= nominal.result);
+    }
+
+    #[test]
+    fn column_mux_amortises_the_converter_overhead() {
+        let base = InSramMultiplier::new(linear_suite(), ideal_config()).unwrap();
+        let muxed_config = ideal_config().with_array(ArrayConfig {
+            columns: 8,
+            column_mux: 2,
+            ..ArrayConfig::default()
+        });
+        let muxed = InSramMultiplier::new(linear_suite(), muxed_config).unwrap();
+        let e_base = base.multiply(9, 9).unwrap().multiply_energy.0;
+        let e_muxed = muxed.multiply(9, 9).unwrap().multiply_energy.0;
+        // Same discharges, half the fixed converter overhead.
+        assert!((e_base - e_muxed - 1.0).abs() < 1e-12);
+        assert_eq!(
+            base.multiply(9, 9).unwrap().result,
+            muxed.multiply(9, 9).unwrap().result
+        );
     }
 }

@@ -19,7 +19,7 @@
 //! bit-identical to the scalar per-pair loop it replaced.
 
 use crate::error::ImcError;
-use crate::multiplier::{InSramMultiplier, OperatingPoint, OPERAND_MAX, PRODUCT_MAX};
+use crate::multiplier::{InSramMultiplier, OperatingPoint};
 use optima_circuit::pvt::linspace;
 use optima_core::sweep::{par_map_sweep, stream_seed};
 use optima_math::stats;
@@ -35,8 +35,8 @@ pub struct PvtAnalysisConfig {
     pub supply_voltages: Vec<f64>,
     /// Temperatures of the temperature sweep (°C).
     pub temperatures: Vec<f64>,
-    /// Number of mismatch Monte Carlo instances (each covers the full 16×16
-    /// input space).
+    /// Number of mismatch Monte Carlo instances (each covers the full
+    /// input space of the analysed geometry).
     pub mismatch_samples: usize,
     /// Base RNG seed of the Monte Carlo sampling; every sample derives its
     /// own independent stream from it (see
@@ -74,7 +74,7 @@ impl PvtAnalysisConfig {
 /// Error statistics binned by the expected multiplication result (Fig. 8 left).
 #[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
 pub struct ResultProfile {
-    /// Expected results (0..=225) that occur in the 16×16 input space, ascending.
+    /// Expected results (0..=product_max) that occur in the input space, ascending.
     pub expected_results: Vec<u16>,
     /// Average signed error (result − expected) per expected result, in LSBs.
     pub average_error_lsb: Vec<f64>,
@@ -134,9 +134,12 @@ impl PvtAnalysis {
         config: &PvtAnalysisConfig,
     ) -> Result<Self, ImcError> {
         let nominal = multiplier.nominal_operating_point();
+        let operand_max = multiplier.array().operand_max();
+        let product_max = multiplier.array().product_max();
+        let input_space = multiplier.array().input_space();
 
         // ---- Fig. 8 left: error and sigma binned by expected result ----
-        // The whole 16×16 input space is evaluated in one batched analog-grid
+        // The whole input space is evaluated in one batched analog-grid
         // pass ([`InSramMultiplier::outcome_grid`]); outcomes come back in
         // operand-major order, so binning sees samples in the same (a, d)
         // order as the historical serial double loop — and the grid itself is
@@ -157,9 +160,9 @@ impl PvtAnalysis {
                 source: Box::new(source),
             })?;
 
-        let mut per_expected_error: Vec<Vec<f64>> = vec![Vec::new(); PRODUCT_MAX as usize + 1];
-        let mut per_expected_sigma: Vec<Vec<f64>> = vec![Vec::new(); PRODUCT_MAX as usize + 1];
-        let mut abs_errors = Vec::with_capacity(256);
+        let mut per_expected_error: Vec<Vec<f64>> = vec![Vec::new(); product_max as usize + 1];
+        let mut per_expected_sigma: Vec<Vec<f64>> = vec![Vec::new(); product_max as usize + 1];
+        let mut abs_errors = Vec::with_capacity(input_space);
         let mut worst_sigma: f64 = 0.0;
         for (outcome, sigma) in outcomes.iter().zip(&sigmas) {
             let error_lsb = outcome.error_lsb();
@@ -170,7 +173,7 @@ impl PvtAnalysis {
         }
 
         let mut result_profile = ResultProfile::default();
-        for expected in 0..=PRODUCT_MAX as usize {
+        for expected in 0..=product_max as usize {
             if per_expected_error[expected].is_empty() {
                 continue;
             }
@@ -224,9 +227,9 @@ impl PvtAnalysis {
         let sample_indices: Vec<u64> = (0..config.mismatch_samples as u64).collect();
         let per_sample_error_lsb = par_map_sweep(&sample_indices, config.threads, |_, &sample| {
             let mut rng = ChaCha8Rng::seed_from_u64(stream_seed(config.seed, sample));
-            let mut errors = Vec::with_capacity(256);
-            for a in 0..=OPERAND_MAX {
-                for d in 0..=OPERAND_MAX {
+            let mut errors = Vec::with_capacity(input_space);
+            for a in 0..=operand_max {
+                for d in 0..=operand_max {
                     let outcome = multiplier.multiply_with_mismatch(&mut rng, a, d, nominal)?;
                     errors.push(outcome.error_lsb().abs());
                 }
@@ -270,8 +273,9 @@ fn average_error_at(multiplier: &InSramMultiplier, at: OperatingPoint) -> Result
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::multiplier::MultiplierConfig;
+    use crate::multiplier::{MultiplierConfig, PRODUCT_MAX};
     use crate::testsupport::{linear_suite, pvt_sensitive_suite};
+    use optima_circuit::array::ArrayConfig;
     use optima_math::units::Seconds;
 
     fn multiplier(suite_sensitive: bool) -> InSramMultiplier {
@@ -390,6 +394,30 @@ mod tests {
         assert!(mc.mean_error_lsb.is_finite());
         assert!(mc.worst_error_lsb >= mc.mean_error_lsb);
         assert!(mc.std_error_lsb >= 0.0);
+    }
+
+    #[test]
+    fn analysis_follows_the_array_geometry() {
+        // A composed INT8 corner runs the same analysis end-to-end: bins
+        // cover the widened product range and the Monte Carlo still resolves.
+        let multiplier = InSramMultiplier::new(
+            linear_suite(),
+            MultiplierConfig::new(Seconds(0.16e-9), Volts(0.45), Volts(1.0))
+                .with_array(ArrayConfig::int8()),
+        )
+        .unwrap();
+        let config = PvtAnalysisConfig {
+            mismatch_samples: 2,
+            supply_voltages: vec![1.0],
+            temperatures: vec![25.0],
+            ..PvtAnalysisConfig::fast()
+        };
+        let analysis = PvtAnalysis::run(&multiplier, &config).unwrap();
+        let profile = &analysis.result_profile;
+        assert_eq!(profile.expected_results[0], 0);
+        assert_eq!(*profile.expected_results.last().unwrap(), 65025);
+        assert!(analysis.nominal_epsilon_mul.is_finite());
+        assert_eq!(analysis.mismatch_monte_carlo.per_sample_error_lsb.len(), 2);
     }
 
     #[test]

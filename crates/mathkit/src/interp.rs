@@ -16,8 +16,9 @@ use crate::error::MathError;
 /// # Errors
 ///
 /// * [`MathError::DimensionMismatch`] if `xs.len() != ys.len()`.
-/// * [`MathError::InvalidArgument`] if fewer than two samples are given or
-///   `xs` is not strictly ascending.
+/// * [`MathError::InvalidArgument`] if fewer than two samples are given,
+///   `xs` is not strictly ascending (which also rejects NaN abscissae), or
+///   `x` is NaN.
 pub fn linear(xs: &[f64], ys: &[f64], x: f64) -> Result<f64, MathError> {
     if xs.len() != ys.len() {
         return Err(MathError::DimensionMismatch {
@@ -30,9 +31,19 @@ pub fn linear(xs: &[f64], ys: &[f64], x: f64) -> Result<f64, MathError> {
             context: "linear interpolation needs at least two samples".to_string(),
         });
     }
-    if xs.windows(2).any(|w| w[0] >= w[1]) {
+    // Anything but `Some(Less)` — including the NaN case `None` — fails, so
+    // an axis containing NaN is rejected here rather than slipping past.
+    if xs
+        .windows(2)
+        .any(|w| w[0].partial_cmp(&w[1]) != Some(std::cmp::Ordering::Less))
+    {
         return Err(MathError::InvalidArgument {
             context: "abscissae must be strictly ascending".to_string(),
+        });
+    }
+    if x.is_nan() {
+        return Err(MathError::InvalidArgument {
+            context: "interpolation query position is NaN".to_string(),
         });
     }
     if x <= xs[0] {
@@ -41,8 +52,8 @@ pub fn linear(xs: &[f64], ys: &[f64], x: f64) -> Result<f64, MathError> {
     if x >= xs[xs.len() - 1] {
         return Ok(ys[ys.len() - 1]);
     }
-    // Binary search for the bracketing interval.
-    let idx = match xs.binary_search_by(|probe| probe.partial_cmp(&x).unwrap()) {
+    // Binary search for the bracketing interval (total order: never panics).
+    let idx = match xs.binary_search_by(|probe| probe.total_cmp(&x)) {
         Ok(i) => return Ok(ys[i]),
         Err(i) => i,
     };
@@ -61,7 +72,8 @@ pub fn linear(xs: &[f64], ys: &[f64], x: f64) -> Result<f64, MathError> {
 ///
 /// * [`MathError::ShapeMismatch`] if `values` is not `xs.len() × ys.len()`.
 /// * [`MathError::InvalidArgument`] if either axis has fewer than two samples
-///   or is not strictly ascending.
+///   or is not strictly ascending (which also rejects NaN abscissae), or the
+///   query position is NaN.
 pub fn bilinear(
     xs: &[f64],
     ys: &[f64],
@@ -83,9 +95,17 @@ pub fn bilinear(
             ),
         });
     }
-    if xs.windows(2).any(|w| w[0] >= w[1]) || ys.windows(2).any(|w| w[0] >= w[1]) {
+    // As in `linear`: anything but `Some(Less)` — including NaN's `None` —
+    // rejects the axis.
+    let not_ascending = |w: &[f64]| w[0].partial_cmp(&w[1]) != Some(std::cmp::Ordering::Less);
+    if xs.windows(2).any(not_ascending) || ys.windows(2).any(not_ascending) {
         return Err(MathError::InvalidArgument {
             context: "grid axes must be strictly ascending".to_string(),
+        });
+    }
+    if x.is_nan() || y.is_nan() {
+        return Err(MathError::InvalidArgument {
+            context: "interpolation query position is NaN".to_string(),
         });
     }
 
@@ -115,7 +135,7 @@ pub fn bilinear(
 
 /// Index `i` such that `xs[i] <= x <= xs[i+1]`, clamped to valid intervals.
 fn bracket(xs: &[f64], x: f64) -> usize {
-    match xs.binary_search_by(|probe| probe.partial_cmp(&x).unwrap()) {
+    match xs.binary_search_by(|probe| probe.total_cmp(&x)) {
         Ok(i) => i.min(xs.len() - 2),
         Err(i) => i.saturating_sub(1).min(xs.len() - 2),
     }
@@ -147,6 +167,25 @@ mod tests {
         assert!(linear(&[0.0], &[1.0], 0.0).is_err());
         assert!(linear(&[0.0, 1.0], &[1.0], 0.5).is_err());
         assert!(linear(&[1.0, 0.0], &[1.0, 2.0], 0.5).is_err());
+    }
+
+    #[test]
+    fn linear_interpolation_rejects_nan_instead_of_panicking() {
+        let xs = [0.0, 1.0, 2.0];
+        let ys = [0.0, 10.0, 40.0];
+        // NaN query: typed error, no panic from the interval search.
+        assert!(matches!(
+            linear(&xs, &ys, f64::NAN),
+            Err(MathError::InvalidArgument { .. })
+        ));
+        // NaN abscissa: rejected by the ascending check.
+        assert!(matches!(
+            linear(&[0.0, f64::NAN, 2.0], &ys, 0.5),
+            Err(MathError::InvalidArgument { .. })
+        ));
+        // Infinite queries still clamp like any other out-of-range position.
+        assert_eq!(linear(&xs, &ys, f64::INFINITY).unwrap(), 40.0);
+        assert_eq!(linear(&xs, &ys, f64::NEG_INFINITY).unwrap(), 0.0);
     }
 
     #[test]
@@ -185,5 +224,24 @@ mod tests {
             0.5
         )
         .is_err());
+    }
+
+    #[test]
+    fn bilinear_rejects_nan_instead_of_panicking() {
+        let xs = [0.0, 1.0];
+        let ys = [0.0, 1.0];
+        let values = vec![vec![0.0, 1.0], vec![2.0, 3.0]];
+        assert!(matches!(
+            bilinear(&xs, &ys, &values, f64::NAN, 0.5),
+            Err(MathError::InvalidArgument { .. })
+        ));
+        assert!(matches!(
+            bilinear(&xs, &ys, &values, 0.5, f64::NAN),
+            Err(MathError::InvalidArgument { .. })
+        ));
+        assert!(matches!(
+            bilinear(&[0.0, f64::NAN], &ys, &values, 0.5, 0.5),
+            Err(MathError::InvalidArgument { .. })
+        ));
     }
 }

@@ -106,7 +106,9 @@ pub fn percentile(data: &[f64], q: f64) -> f64 {
         return 0.0;
     }
     let mut sorted = data.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    // Total order so that NaN samples land in a deterministic position
+    // (after +inf) instead of making the result depend on the input order.
+    sorted.sort_by(|a, b| a.total_cmp(b));
     let q = q.clamp(0.0, 1.0);
     let pos = q * (sorted.len() - 1) as f64;
     let lo = pos.floor() as usize;
@@ -368,6 +370,24 @@ mod tests {
         assert!((percentile(&data, 0.0) - 1.0).abs() < 1e-12);
         assert!((percentile(&data, 1.0) - 5.0).abs() < 1e-12);
         assert!((percentile(&data, 0.25) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentile_with_nan_is_input_order_invariant() {
+        // NaN sorts after +inf under the total order, so finite percentiles
+        // are identical no matter where the NaN sat in the input.
+        let a = [f64::NAN, 5.0, 1.0, 3.0, 2.0, 4.0];
+        let b = [5.0, 1.0, 3.0, f64::NAN, 2.0, 4.0];
+        let c = [4.0, 2.0, 3.0, 1.0, 5.0, f64::NAN];
+        for q in [0.0, 0.1, 0.25, 0.5, 0.75] {
+            let pa = percentile(&a, q);
+            assert_eq!(pa.to_bits(), percentile(&b, q).to_bits(), "q = {q}");
+            assert_eq!(pa.to_bits(), percentile(&c, q).to_bits(), "q = {q}");
+            assert!(pa.is_finite(), "q = {q} leaked NaN into the finite range");
+        }
+        // The top of the distribution is the NaN itself — still deterministic.
+        assert!(percentile(&a, 1.0).is_nan());
+        assert!(percentile(&b, 1.0).is_nan());
     }
 
     #[test]

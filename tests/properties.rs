@@ -8,6 +8,10 @@ use optima_suite::optima_core::model::mismatch::MismatchSigmaModel;
 use optima_suite::optima_core::model::suite::ModelSuite;
 use optima_suite::optima_core::model::supply::SupplyModel;
 use optima_suite::optima_core::model::temperature::TemperatureModel;
+use optima_suite::optima_core::sweep::par_map;
+use optima_suite::optima_dnn::multiplier::{
+    ComposedProducts, ExactInt4Products, ExactProducts, ProductTable,
+};
 use optima_suite::optima_imc::dse::{DesignSpace, DesignSpaceExplorer};
 use optima_suite::optima_imc::metrics::evaluate_multiplier_at_scalar;
 use optima_suite::optima_imc::multiplier::{
@@ -241,6 +245,26 @@ proptest! {
                 let scalar_outcome = multiplier.multiply_at(a, d, at).unwrap();
                 prop_assert_eq!(outcomes[(a * 16 + d) as usize], scalar_outcome);
             }
+        }
+    }
+
+    /// Composed INT8 multiplication — four 4-bit analog passes with digital
+    /// shift-add accumulation — equals the widened scalar reference over the
+    /// full 256×256 input space under ideal (exact-table) conditions, no
+    /// matter how many worker threads fan the input space out.
+    #[test]
+    fn composed_int8_matches_the_widened_reference_at_any_thread_count(
+        threads in 1usize..=8,
+    ) {
+        let composed = ComposedProducts::new(std::sync::Arc::new(ExactInt4Products), 2);
+        let reference = ExactProducts::new(8);
+        let pairs: Vec<(u8, u8)> = (0..=255u8)
+            .flat_map(|a| (0..=255u8).map(move |b| (a, b)))
+            .collect();
+        let products = par_map(&pairs, threads, |_, &(a, b)| composed.product(a, b));
+        for (&(a, b), &product) in pairs.iter().zip(&products) {
+            prop_assert_eq!(product, reference.product(a, b), "{} x {}", a, b);
+            prop_assert_eq!(product, a as u16 * b as u16, "{} x {}", a, b);
         }
     }
 
