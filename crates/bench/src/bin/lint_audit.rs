@@ -1,0 +1,3 @@
+fn main() {
+    optima_bench::experiments::run_shim("lint_audit");
+}

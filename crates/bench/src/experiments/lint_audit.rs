@@ -1,0 +1,65 @@
+//! Workspace static-analysis audit: runs the `optima-lint` pass (R1
+//! float-ordering, R2 nondeterminism, R3 panic-hygiene, R4 hot-path
+//! allocation — see `lint.toml` and the README "Static analysis" section)
+//! over the whole tree and fails on any finding.
+//!
+//! Registry-visible so `optima run --all` exercises the same invariants CI
+//! enforces; the report records the scan size and the live suppression
+//! count, which makes suppression creep visible in the JSON artifacts.
+
+use super::{BenchError, Experiment, ExperimentContext};
+use crate::report::{Report, Scalar};
+use optima_lint::{report as lint_report, Config};
+use std::path::PathBuf;
+
+pub struct LintAudit;
+
+impl Experiment for LintAudit {
+    fn name(&self) -> &'static str {
+        "lint_audit"
+    }
+
+    fn description(&self) -> &'static str {
+        "Workspace optima-lint audit (determinism, NaN-ordering, hot-path rules)"
+    }
+
+    fn paper_ref(&self) -> &'static str {
+        "infrastructure"
+    }
+
+    fn run(&self, _ctx: &mut ExperimentContext) -> Result<Report, BenchError> {
+        // The audit is source-level: anchor on the crate's manifest dir so it
+        // works from any process working directory.
+        let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
+        let config_path = root.join("lint.toml");
+        let config = Config::load(&config_path)
+            .map_err(|e| BenchError::Failed(format!("lint config: {e}")))?;
+        let outcome = optima_lint::run_workspace(&root, &config)
+            .map_err(|e| BenchError::Failed(format!("lint scan: {e}")))?;
+
+        if !outcome.findings.is_empty() {
+            return Err(BenchError::Failed(format!(
+                "workspace lint findings:\n{}",
+                lint_report::render_human(&outcome)
+            )));
+        }
+
+        let mut report = Report::new();
+        report
+            .note("workspace optima-lint audit OK (0 findings)")
+            .metric_line(
+                "files_scanned",
+                Scalar::Int(outcome.files_scanned as i64),
+                None,
+                format!("  files scanned:  {}", outcome.files_scanned),
+            )
+            .metric_line(
+                "suppressed",
+                Scalar::Int(outcome.suppressed as i64),
+                None,
+                format!("  live allows:    {}", outcome.suppressed),
+            )
+            .note("  rules: R1 float-ordering, R2 nondeterminism, R3 panic-hygiene, R4 hot-path");
+        Ok(report)
+    }
+}

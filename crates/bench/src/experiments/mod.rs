@@ -35,6 +35,7 @@ mod fig6_model_eval;
 mod fig7_dse;
 mod fig8_corner_pvt;
 mod geometry_sweep;
+mod lint_audit;
 mod snapshot_roundtrip;
 mod speedup;
 mod table1_corners;
@@ -318,7 +319,7 @@ pub trait Experiment: Sync {
 /// The static registry of every experiment, in presentation order
 /// (figures, tables, section V, infrastructure smoke, then ablations).
 pub fn registry() -> &'static [&'static dyn Experiment] {
-    static REGISTRY: [&dyn Experiment; 15] = [
+    static REGISTRY: [&dyn Experiment; 16] = [
         &fig1_sota::Fig1Sota,
         &fig4_nonideality::Fig4Nonideality,
         &fig5_pvt::Fig5Pvt,
@@ -331,6 +332,7 @@ pub fn registry() -> &'static [&'static dyn Experiment] {
         &geometry_sweep::GeometrySweep,
         &speedup::Speedup,
         &snapshot_roundtrip::SnapshotRoundtrip,
+        &lint_audit::LintAudit,
         &ablation_dac::AblationDac,
         &ablation_poly_degree::AblationPolyDegree,
         &ablation_tau0::AblationTau0,

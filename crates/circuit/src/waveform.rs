@@ -96,6 +96,7 @@ impl Waveform {
     ///
     /// Panics on an empty (default-constructed) waveform.
     pub fn final_value(&self) -> f64 {
+        // optima-lint: allow(R3) -- the panic is part of the documented contract above
         *self.values.last().expect("waveform has samples")
     }
 

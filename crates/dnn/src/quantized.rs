@@ -334,6 +334,8 @@ impl QuantizedNetwork {
 
         let mut output = vec![0.0f32; conv.out_channels * hw];
         let mut accumulator = vec![0i64; hw];
+        // The flat-LUT accumulation sweep: one add per nonzero MAC.
+        // optima-lint: hot
         for oc in 0..conv.out_channels {
             accumulator.iter_mut().for_each(|acc| *acc = 0);
             let codes = &conv.codes[oc * patch..(oc + 1) * patch];
@@ -355,6 +357,7 @@ impl QuantizedNetwork {
                 *out = acc as f32 * scale + bias;
             }
         }
+        // optima-lint: end-hot
         Tensor::from_vec(&[conv.out_channels, height, width], output)
     }
 
@@ -376,6 +379,8 @@ impl QuantizedNetwork {
         let scale = dense.weight_params.scale * activation_params.scale;
         let stride = 1usize << bits;
         let mut output = vec![0.0f32; dense.outputs];
+        // One LUT lookup per (weight code, activation) pair.
+        // optima-lint: hot
         for (o, out_value) in output.iter_mut().enumerate() {
             let codes = &dense.codes[o * dense.inputs..(o + 1) * dense.inputs];
             let mut accumulator: i64 = 0;
@@ -384,6 +389,7 @@ impl QuantizedNetwork {
             }
             *out_value = accumulator as f32 * scale + dense.bias[o];
         }
+        // optima-lint: end-hot
         Tensor::from_vec(&[dense.outputs], output)
     }
 

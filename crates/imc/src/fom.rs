@@ -76,6 +76,7 @@ pub fn select_corners(results: &[DesignPointResult]) -> Result<SelectedCorners, 
                 .total_cmp(&b.metrics.figure_of_merit())
         })
         .copied()
+        // optima-lint: allow(R3) -- max_by on a slice guarded non-empty above
         .expect("non-empty results");
 
     let power = results
@@ -87,6 +88,7 @@ pub fn select_corners(results: &[DesignPointResult]) -> Result<SelectedCorners, 
                 .total_cmp(&b.metrics.energy_per_multiply.0)
         })
         .copied()
+        // optima-lint: allow(R3) -- min_by on a slice guarded non-empty above
         .expect("non-empty results");
 
     let variation = results
@@ -98,6 +100,7 @@ pub fn select_corners(results: &[DesignPointResult]) -> Result<SelectedCorners, 
                 .total_cmp(&b.metrics.sigma_at_max_discharge.0)
         })
         .copied()
+        // optima-lint: allow(R3) -- min_by on a slice guarded non-empty above
         .expect("non-empty results");
 
     Ok(SelectedCorners {

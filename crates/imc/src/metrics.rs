@@ -108,6 +108,7 @@ fn metrics_from(
         energy_per_multiply: FemtoJoules(stats::mean(&multiply_energies)),
         energy_per_operation: FemtoJoules(stats::mean(&total_energies)),
         // The last grid entry is (a, d) = (max, max): the maximum discharge.
+        // optima-lint: allow(R3) -- the operand grid always has at least (0, 0)
         sigma_at_max_discharge: *sigmas.last().expect("input space is never empty"),
         worst_case_sigma: Volts(worst_sigma),
     })

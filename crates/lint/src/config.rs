@@ -1,0 +1,328 @@
+//! `lint.toml` — rule severities, module allowlists and the scan set.
+//!
+//! The workspace has no TOML dependency (and vendoring one for a linter
+//! would be absurd), so this module hand-rolls a parser for the small TOML
+//! subset the config actually uses: `[section]` / `[section.sub]` headers,
+//! string values, booleans, and single-line string arrays.  Unknown
+//! sections, unknown keys and malformed values are hard errors — a typo in
+//! the config must never silently disable a rule.
+
+use crate::error::LintError;
+use crate::rules;
+use std::collections::BTreeMap;
+use std::path::Path;
+
+/// Severity of a rule's findings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Severity {
+    /// Findings fail the run unconditionally.
+    Deny,
+    /// Findings are reported but only fail the run under `--deny`.
+    Warn,
+    /// The rule is skipped entirely.
+    Off,
+}
+
+impl Severity {
+    pub fn name(self) -> &'static str {
+        match self {
+            Severity::Deny => "deny",
+            Severity::Warn => "warn",
+            Severity::Off => "off",
+        }
+    }
+
+    fn parse(value: &str) -> Option<Severity> {
+        match value {
+            "deny" => Some(Severity::Deny),
+            "warn" => Some(Severity::Warn),
+            "off" => Some(Severity::Off),
+            _ => None,
+        }
+    }
+}
+
+/// Per-rule configuration.
+#[derive(Debug, Clone)]
+pub struct RuleConfig {
+    pub severity: Severity,
+    /// Whether the rule also applies inside `#[cfg(test)]` / `mod tests`
+    /// regions (determinism rules do; panic-hygiene and hot-path rules
+    /// don't — tests unwrap and allocate freely).
+    pub include_tests: bool,
+    /// When non-empty, the rule only applies to files whose
+    /// workspace-relative path starts with one of these prefixes.
+    pub paths: Vec<String>,
+    /// Files whose path starts with one of these prefixes are exempt
+    /// (e.g. timing/bench modules for the nondeterminism rule).
+    pub allow_paths: Vec<String>,
+}
+
+/// The resolved configuration: scan set plus one [`RuleConfig`] per rule.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Directories (workspace-relative) whose `.rs` files are scanned.
+    pub include: Vec<String>,
+    /// Path prefixes excluded from the scan (vendored stubs, build
+    /// artifacts, lint fixtures).
+    pub exclude: Vec<String>,
+    pub rules: BTreeMap<String, RuleConfig>,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        let mut rule_table = BTreeMap::new();
+        for rule in rules::all() {
+            rule_table.insert(
+                rule.id.to_string(),
+                RuleConfig {
+                    severity: Severity::Deny,
+                    include_tests: rule.default_include_tests,
+                    paths: Vec::new(),
+                    allow_paths: Vec::new(),
+                },
+            );
+        }
+        Config {
+            include: vec![".".to_string()],
+            exclude: vec!["target".to_string(), "vendor".to_string()],
+            rules: rule_table,
+        }
+    }
+}
+
+impl Config {
+    /// Loads and parses a `lint.toml`.
+    ///
+    /// # Errors
+    ///
+    /// [`LintError::Io`] when the file cannot be read,
+    /// [`LintError::Config`] on any parse or validation failure.
+    pub fn load(path: &Path) -> Result<Config, LintError> {
+        let text = std::fs::read_to_string(path).map_err(|source| LintError::Io {
+            path: path.display().to_string(),
+            source,
+        })?;
+        Config::parse(&text).map_err(|(line, message)| LintError::Config {
+            path: path.display().to_string(),
+            line,
+            message,
+        })
+    }
+
+    /// Parses config text; errors carry the 1-based line number.
+    pub fn parse(text: &str) -> Result<Config, (u32, String)> {
+        let mut config = Config::default();
+        let mut section = String::new();
+        for (index, raw) in text.lines().enumerate() {
+            let lineno = index as u32 + 1;
+            let line = strip_comment(raw).trim().to_string();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(header) = line.strip_prefix('[') {
+                let header = header
+                    .strip_suffix(']')
+                    .ok_or_else(|| (lineno, format!("unterminated section header {line:?}")))?;
+                section = header.trim().to_string();
+                match section.as_str() {
+                    "scan" => {}
+                    _ => {
+                        let rule = section
+                            .strip_prefix("rules.")
+                            .ok_or_else(|| (lineno, format!("unknown section [{section}]")))?;
+                        if !config.rules.contains_key(rule) {
+                            return Err((
+                                lineno,
+                                format!(
+                                    "unknown rule [{section}]; known rules: {}",
+                                    rules::id_list()
+                                ),
+                            ));
+                        }
+                    }
+                }
+                continue;
+            }
+            let (key, value) = line
+                .split_once('=')
+                .ok_or_else(|| (lineno, format!("expected `key = value`, got {line:?}")))?;
+            let key = key.trim();
+            let value = value.trim();
+            match section.as_str() {
+                "scan" => match key {
+                    "include" => config.include = parse_string_array(value, lineno)?,
+                    "exclude" => config.exclude = parse_string_array(value, lineno)?,
+                    _ => return Err((lineno, format!("unknown [scan] key {key:?}"))),
+                },
+                _ => {
+                    let rule_id = section
+                        .strip_prefix("rules.")
+                        .ok_or_else(|| (lineno, format!("key {key:?} outside any section")))?;
+                    let rule = config
+                        .rules
+                        .get_mut(rule_id)
+                        .expect("rule existence checked at the section header");
+                    match key {
+                        "severity" => {
+                            let text = parse_string(value, lineno)?;
+                            rule.severity = Severity::parse(&text).ok_or_else(|| {
+                                (
+                                    lineno,
+                                    format!("severity must be deny/warn/off, got {text:?}"),
+                                )
+                            })?;
+                        }
+                        "include_tests" => {
+                            rule.include_tests = parse_bool(value, lineno)?;
+                        }
+                        "paths" => rule.paths = parse_string_array(value, lineno)?,
+                        "allow_paths" => rule.allow_paths = parse_string_array(value, lineno)?,
+                        _ => {
+                            return Err((lineno, format!("unknown [rules.{rule_id}] key {key:?}")))
+                        }
+                    }
+                }
+            }
+        }
+        Ok(config)
+    }
+
+    /// The rule config for `id`; rule ids come from [`rules::all`], so a
+    /// missing entry is a programming error, not a user error.
+    pub fn rule(&self, id: &str) -> &RuleConfig {
+        self.rules
+            .get(id)
+            .unwrap_or_else(|| panic!("rule {id} missing from config table"))
+    }
+}
+
+/// Strips a `#` comment, respecting `"…"` strings.
+fn strip_comment(line: &str) -> &str {
+    let mut in_string = false;
+    let mut escaped = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '\\' if in_string && !escaped => {
+                escaped = true;
+                continue;
+            }
+            '"' if !escaped => in_string = !in_string,
+            '#' if !in_string => return &line[..i],
+            _ => {}
+        }
+        escaped = false;
+    }
+    line
+}
+
+fn parse_string(value: &str, lineno: u32) -> Result<String, (u32, String)> {
+    let inner = value
+        .strip_prefix('"')
+        .and_then(|v| v.strip_suffix('"'))
+        .ok_or_else(|| (lineno, format!("expected a quoted string, got {value:?}")))?;
+    Ok(inner.to_string())
+}
+
+fn parse_bool(value: &str, lineno: u32) -> Result<bool, (u32, String)> {
+    match value {
+        "true" => Ok(true),
+        "false" => Ok(false),
+        _ => Err((lineno, format!("expected true/false, got {value:?}"))),
+    }
+}
+
+fn parse_string_array(value: &str, lineno: u32) -> Result<Vec<String>, (u32, String)> {
+    let inner = value
+        .strip_prefix('[')
+        .and_then(|v| v.strip_suffix(']'))
+        .ok_or_else(|| {
+            (
+                lineno,
+                format!("expected a [\"…\", …] array, got {value:?}"),
+            )
+        })?;
+    let mut items = Vec::new();
+    let trimmed = inner.trim();
+    if trimmed.is_empty() {
+        return Ok(items);
+    }
+    for item in trimmed.split(',') {
+        let item = item.trim();
+        if item.is_empty() {
+            continue; // tolerate a trailing comma
+        }
+        items.push(parse_string(item, lineno)?);
+    }
+    Ok(items)
+}
+
+/// `true` when `rel_path` starts with any of `prefixes` (forward-slash
+/// workspace-relative paths; a prefix matches whole path components or a
+/// plain string prefix ending in `/`).
+pub fn path_matches(rel_path: &str, prefixes: &[String]) -> bool {
+    prefixes.iter().any(|prefix| {
+        let prefix = prefix.trim_end_matches('/');
+        rel_path == prefix
+            || rel_path
+                .strip_prefix(prefix)
+                .is_some_and(|rest| rest.starts_with('/'))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_knows_every_rule() {
+        let config = Config::default();
+        for rule in rules::all() {
+            assert!(config.rules.contains_key(rule.id), "missing {}", rule.id);
+        }
+    }
+
+    #[test]
+    fn parses_sections_keys_and_arrays() {
+        let text = r#"
+# comment
+[scan]
+include = ["src", "crates"]  # trailing comment
+exclude = ["vendor"]
+
+[rules.R2]
+severity = "warn"
+allow_paths = ["crates/bench/"]
+
+[rules.R3]
+include_tests = false
+paths = ["crates/imc/src"]
+"#;
+        let config = Config::parse(text).expect("valid config");
+        assert_eq!(config.include, vec!["src", "crates"]);
+        assert_eq!(config.exclude, vec!["vendor"]);
+        assert_eq!(config.rule("R2").severity, Severity::Warn);
+        assert_eq!(config.rule("R2").allow_paths, vec!["crates/bench/"]);
+        assert_eq!(config.rule("R3").paths, vec!["crates/imc/src"]);
+        assert_eq!(config.rule("R1").severity, Severity::Deny);
+    }
+
+    #[test]
+    fn unknown_rules_keys_and_severities_are_errors() {
+        assert!(Config::parse("[rules.R9]\n").is_err());
+        assert!(Config::parse("[rules.R1]\ncolour = \"red\"\n").is_err());
+        assert!(Config::parse("[rules.R1]\nseverity = \"loud\"\n").is_err());
+        assert!(Config::parse("[scan]\nrandom = true\n").is_err());
+        assert!(Config::parse("[typo\n").is_err());
+        assert!(Config::parse("orphan = 1\n").is_err());
+    }
+
+    #[test]
+    fn path_matching_is_component_wise() {
+        let prefixes = vec!["crates/imc/src".to_string(), "crates/bench/".to_string()];
+        assert!(path_matches("crates/imc/src/fom.rs", &prefixes));
+        assert!(path_matches("crates/bench/src/lib.rs", &prefixes));
+        assert!(!path_matches("crates/imc/srcx/fom.rs", &prefixes));
+        assert!(!path_matches("crates/dnn/src/eval.rs", &prefixes));
+    }
+}

@@ -1,0 +1,223 @@
+//! `optima-lint:` comment directives.
+//!
+//! Three forms are recognised, in plain (non-doc) comments only:
+//!
+//! * `optima-lint: allow(R1, R3) -- justification` — suppresses findings of
+//!   the listed rules on the comment's own line (trailing comment) or the
+//!   next code line (standalone comment).  The `--` justification is
+//!   mandatory, and a suppression that matches no finding is itself a
+//!   finding (stale suppressions rot).
+//! * `optima-lint: hot` / `optima-lint: end-hot` — bracket a hot region for
+//!   the R4 allocation rule.
+//!
+//! Anything else starting with `optima-lint:` is a malformed directive and
+//! reported under the `directive` meta-rule, which is not suppressible.
+
+use crate::lexer::{Comment, CommentKind, LexedFile};
+use crate::rules;
+
+/// A parsed `allow` directive.
+#[derive(Debug, Clone)]
+pub struct Allow {
+    /// Rule ids listed inside `allow(…)`; validated against [`rules::is_known`].
+    pub rules: Vec<String>,
+    /// The code line the suppression applies to.
+    pub target_line: u32,
+    /// Span of the directive comment (for stale/malformed reporting).
+    pub line: u32,
+    pub col: u32,
+}
+
+/// The directive layer of one file.
+#[derive(Debug, Default)]
+pub struct Directives {
+    pub allows: Vec<Allow>,
+    /// Inclusive comment-line pairs bracketing hot regions (code strictly
+    /// between the two lines is hot).
+    pub hot_ranges: Vec<(u32, u32)>,
+    /// Malformed-directive findings: `(line, col, message)`.
+    pub malformed: Vec<(u32, u32, String)>,
+}
+
+/// Parses all directives of a lexed file.
+pub fn parse(file: &LexedFile) -> Directives {
+    let mut out = Directives::default();
+    let mut open_hot: Option<(u32, u32)> = None;
+    for comment in &file.comments {
+        if !matches!(comment.kind, CommentKind::Line | CommentKind::Block) {
+            continue; // doc comments never carry directives
+        }
+        let Some(rest) = comment.text.trim().strip_prefix("optima-lint:") else {
+            continue;
+        };
+        match rest.trim() {
+            "hot" => {
+                if open_hot.is_some() {
+                    out.malformed.push((
+                        comment.line,
+                        comment.col,
+                        "nested `optima-lint: hot` region (close the previous one with \
+                         `optima-lint: end-hot` first)"
+                            .to_string(),
+                    ));
+                } else {
+                    open_hot = Some((comment.line, comment.col));
+                }
+            }
+            "end-hot" => match open_hot.take() {
+                Some((start, _)) => out.hot_ranges.push((start, comment.line)),
+                None => out.malformed.push((
+                    comment.line,
+                    comment.col,
+                    "`optima-lint: end-hot` without a matching `optima-lint: hot`".to_string(),
+                )),
+            },
+            other => match parse_allow(other) {
+                Ok(rule_ids) => {
+                    let mut valid = Vec::new();
+                    for id in rule_ids {
+                        if rules::is_known(&id) {
+                            valid.push(id);
+                        } else {
+                            out.malformed.push((
+                                comment.line,
+                                comment.col,
+                                format!(
+                                    "`allow({id})` names an unknown rule; known rules: {}",
+                                    rules::id_list()
+                                ),
+                            ));
+                        }
+                    }
+                    if !valid.is_empty() {
+                        out.allows.push(Allow {
+                            rules: valid,
+                            target_line: target_line(file, comment),
+                            line: comment.line,
+                            col: comment.col,
+                        });
+                    }
+                }
+                Err(message) => out.malformed.push((comment.line, comment.col, message)),
+            },
+        }
+    }
+    if let Some((line, col)) = open_hot {
+        out.malformed.push((
+            line,
+            col,
+            "`optima-lint: hot` region is never closed (`optima-lint: end-hot` missing)"
+                .to_string(),
+        ));
+    }
+    out
+}
+
+/// Parses `allow(R1, R2) -- justification`, returning the rule ids.
+fn parse_allow(text: &str) -> Result<Vec<String>, String> {
+    const SYNTAX: &str = "directive syntax: `optima-lint: allow(<rule>[, <rule>…]) -- \
+                          <justification>`, `optima-lint: hot`, or `optima-lint: end-hot`";
+    let rest = text
+        .strip_prefix("allow")
+        .ok_or_else(|| format!("unrecognised directive {text:?}; {SYNTAX}"))?
+        .trim_start();
+    let rest = rest
+        .strip_prefix('(')
+        .ok_or_else(|| format!("`allow` needs a parenthesised rule list; {SYNTAX}"))?;
+    let (rule_list, tail) = rest
+        .split_once(')')
+        .ok_or_else(|| format!("unterminated `allow(` rule list; {SYNTAX}"))?;
+    let rule_ids: Vec<String> = rule_list
+        .split(',')
+        .map(|id| id.trim().to_string())
+        .filter(|id| !id.is_empty())
+        .collect();
+    if rule_ids.is_empty() {
+        return Err(format!("`allow()` lists no rules; {SYNTAX}"));
+    }
+    let tail = tail.trim_start();
+    let justification = tail.strip_prefix("--").map(str::trim).unwrap_or_default();
+    if justification.is_empty() {
+        return Err(
+            "suppressions require a justification: `optima-lint: allow(<rule>) -- <why>`"
+                .to_string(),
+        );
+    }
+    Ok(rule_ids)
+}
+
+/// The code line an allow applies to: the comment's own line when code
+/// precedes it (trailing comment), otherwise the next line carrying any
+/// code token.
+fn target_line(file: &LexedFile, comment: &Comment) -> u32 {
+    if !comment.own_line {
+        return comment.line;
+    }
+    file.tokens
+        .iter()
+        .map(|t| t.line)
+        .filter(|&line| line > comment.line)
+        .min()
+        .unwrap_or(comment.line)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    #[test]
+    fn standalone_allow_targets_the_next_code_line() {
+        let src = "// optima-lint: allow(R3) -- invariant checked above\nlet v = x.unwrap();\n";
+        let directives = parse(&lex(src));
+        assert_eq!(directives.allows.len(), 1);
+        assert_eq!(directives.allows[0].target_line, 2);
+        assert_eq!(directives.allows[0].rules, vec!["R3"]);
+    }
+
+    #[test]
+    fn trailing_allow_targets_its_own_line() {
+        let src = "let v = x.unwrap(); // optima-lint: allow(R3) -- checked\n";
+        let directives = parse(&lex(src));
+        assert_eq!(directives.allows[0].target_line, 1);
+    }
+
+    #[test]
+    fn multi_rule_allow_lists_every_rule() {
+        let src = "// optima-lint: allow(R1, R3) -- both deliberate\nx();\n";
+        let directives = parse(&lex(src));
+        assert_eq!(directives.allows[0].rules, vec!["R1", "R3"]);
+    }
+
+    #[test]
+    fn missing_justification_and_unknown_rules_are_malformed() {
+        let src = "// optima-lint: allow(R1)\n// optima-lint: allow(R9) -- nope\n\
+                   // optima-lint: frobnicate\n";
+        let directives = parse(&lex(src));
+        assert_eq!(directives.allows.len(), 0);
+        assert_eq!(directives.malformed.len(), 3);
+        assert!(directives.malformed[0].2.contains("justification"));
+        assert!(directives.malformed[1].2.contains("unknown rule"));
+        assert!(directives.malformed[2].2.contains("unrecognised directive"));
+    }
+
+    #[test]
+    fn hot_regions_pair_up_and_report_imbalance() {
+        let src = "// optima-lint: hot\nwork();\n// optima-lint: end-hot\n\
+                   // optima-lint: end-hot\n// optima-lint: hot\n";
+        let directives = parse(&lex(src));
+        assert_eq!(directives.hot_ranges, vec![(1, 3)]);
+        assert_eq!(directives.malformed.len(), 2);
+        assert!(directives.malformed[0].2.contains("without a matching"));
+        assert!(directives.malformed[1].2.contains("never closed"));
+    }
+
+    #[test]
+    fn doc_comments_never_carry_directives() {
+        let src = "/// optima-lint: hot\n//! optima-lint: allow(R1)\nfn f() {}\n";
+        let directives = parse(&lex(src));
+        assert!(directives.allows.is_empty());
+        assert!(directives.hot_ranges.is_empty());
+        assert!(directives.malformed.is_empty());
+    }
+}

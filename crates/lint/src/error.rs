@@ -1,0 +1,42 @@
+//! Typed errors of the lint pass (the linter practises the panic hygiene
+//! it preaches).
+
+use std::fmt;
+
+/// A failure of the lint run itself — findings are *results*, not errors.
+#[derive(Debug)]
+pub enum LintError {
+    /// Reading a source file or the config failed.
+    Io {
+        path: String,
+        source: std::io::Error,
+    },
+    /// `lint.toml` is malformed.
+    Config {
+        path: String,
+        line: u32,
+        message: String,
+    },
+}
+
+impl fmt::Display for LintError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LintError::Io { path, source } => write!(f, "I/O error on {path}: {source}"),
+            LintError::Config {
+                path,
+                line,
+                message,
+            } => write!(f, "{path}:{line}: config error: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for LintError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            LintError::Io { source, .. } => Some(source),
+            LintError::Config { .. } => None,
+        }
+    }
+}

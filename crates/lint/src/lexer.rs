@@ -1,0 +1,485 @@
+//! A hand-rolled token-level Rust lexer.
+//!
+//! The rules in [`crate::rules`] only need to see *code* tokens — an
+//! occurrence of `partial_cmp` inside a string literal, a nested block
+//! comment or a raw string must never produce a finding.  This lexer
+//! therefore handles the full Rust literal surface (regular/raw/byte
+//! strings, char literals vs. lifetimes, nested block comments, doc
+//! comments) but deliberately stops short of parsing: its output is a flat
+//! token stream with `line:col` spans plus the comment list the directive
+//! layer (`optima-lint:` comments) is built on.
+
+/// A non-comment token.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    pub kind: TokenKind,
+    /// 1-based source line.
+    pub line: u32,
+    /// 1-based column (in characters).
+    pub col: u32,
+}
+
+/// Token classification; rules only ever inspect identifiers and
+/// punctuation, but literal kinds are kept so mislexing shows up in tests.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    Ident(String),
+    Punct(char),
+    /// `"…"` or `b"…"`.
+    Str,
+    /// `r"…"`, `r#"…"#`, `br#"…"#` with any number of `#`s.
+    RawStr,
+    /// `'x'`, `'\n'`, `b'x'`.
+    Char,
+    /// A lifetime such as `'a` (kept distinct from char literals).
+    Lifetime,
+    Number,
+}
+
+impl Token {
+    /// The identifier text, if this token is an identifier.
+    pub fn ident(&self) -> Option<&str> {
+        match &self.kind {
+            TokenKind::Ident(name) => Some(name),
+            _ => None,
+        }
+    }
+
+    /// `true` when the token is the given punctuation character.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokenKind::Punct(c)
+    }
+}
+
+/// Comment flavour; only plain (non-doc) comments may carry
+/// `optima-lint:` directives, so doc text *describing* the directive syntax
+/// can never accidentally open a hot region or suppress a finding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CommentKind {
+    Line,
+    Block,
+    DocLine,
+    DocBlock,
+}
+
+/// A comment with its body text (delimiters stripped) and span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Comment {
+    pub kind: CommentKind,
+    pub text: String,
+    pub line: u32,
+    pub col: u32,
+    /// `true` when no code token precedes the comment on its own line
+    /// (a standalone comment applies directives to the *next* code line;
+    /// a trailing comment applies them to its own line).
+    pub own_line: bool,
+}
+
+/// The lexed form of one source file.
+#[derive(Debug, Default)]
+pub struct LexedFile {
+    pub tokens: Vec<Token>,
+    pub comments: Vec<Comment>,
+}
+
+/// Lexes `source` into tokens and comments.  The lexer is total: malformed
+/// input (e.g. an unterminated string) consumes to end of file rather than
+/// failing, which is the right behaviour for a linter that must keep
+/// scanning the rest of the workspace.
+pub fn lex(source: &str) -> LexedFile {
+    Lexer::new(source).run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    col: u32,
+    out: LexedFile,
+}
+
+impl Lexer {
+    fn new(source: &str) -> Self {
+        Lexer {
+            chars: source.chars().collect(),
+            pos: 0,
+            line: 1,
+            col: 1,
+            out: LexedFile::default(),
+        }
+    }
+
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.pos).copied()?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn push_token(&mut self, kind: TokenKind, line: u32, col: u32) {
+        self.out.tokens.push(Token { kind, line, col });
+    }
+
+    fn run(mut self) -> LexedFile {
+        while let Some(c) = self.peek(0) {
+            let (line, col) = (self.line, self.col);
+            match c {
+                c if c.is_whitespace() => {
+                    self.bump();
+                }
+                '/' if self.peek(1) == Some('/') => self.line_comment(line, col),
+                '/' if self.peek(1) == Some('*') => self.block_comment(line, col),
+                '"' => {
+                    self.string_literal();
+                    self.push_token(TokenKind::Str, line, col);
+                }
+                'r' if matches!(self.peek(1), Some('"') | Some('#')) => {
+                    self.raw_or_ident(line, col, 1);
+                }
+                'b' if self.peek(1) == Some('"') => {
+                    self.bump();
+                    self.string_literal();
+                    self.push_token(TokenKind::Str, line, col);
+                }
+                'b' if self.peek(1) == Some('\'') => {
+                    self.bump();
+                    self.char_literal();
+                    self.push_token(TokenKind::Char, line, col);
+                }
+                'b' if self.peek(1) == Some('r')
+                    && matches!(self.peek(2), Some('"') | Some('#')) =>
+                {
+                    self.bump();
+                    self.raw_or_ident(line, col, 1);
+                }
+                '\'' => self.lifetime_or_char(line, col),
+                c if c.is_ascii_digit() => {
+                    self.number();
+                    self.push_token(TokenKind::Number, line, col);
+                }
+                c if c.is_alphabetic() || c == '_' => {
+                    let name = self.ident();
+                    self.push_token(TokenKind::Ident(name), line, col);
+                }
+                c => {
+                    self.bump();
+                    self.push_token(TokenKind::Punct(c), line, col);
+                }
+            }
+        }
+        self.mark_own_line_comments();
+        self.out
+    }
+
+    /// After lexing, decide for each comment whether a code token precedes
+    /// it on the same line (directive targeting depends on this).
+    fn mark_own_line_comments(&mut self) {
+        for comment in &mut self.out.comments {
+            comment.own_line = !self
+                .out
+                .tokens
+                .iter()
+                .any(|t| t.line == comment.line && t.col < comment.col);
+        }
+    }
+
+    fn line_comment(&mut self, line: u32, col: u32) {
+        self.bump();
+        self.bump();
+        // `///` (but not the `////…` ruler idiom) and `//!` are doc comments.
+        let kind = match (self.peek(0), self.peek(1)) {
+            (Some('/'), Some('/')) => CommentKind::Line,
+            (Some('/'), _) | (Some('!'), _) => CommentKind::DocLine,
+            _ => CommentKind::Line,
+        };
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        self.out.comments.push(Comment {
+            kind,
+            text: text.trim_matches(['/', '!']).trim().to_string(),
+            line,
+            col,
+            own_line: false,
+        });
+    }
+
+    fn block_comment(&mut self, line: u32, col: u32) {
+        self.bump();
+        self.bump();
+        // `/**` (but not `/**/`) and `/*!` open doc comments.
+        let kind = match (self.peek(0), self.peek(1)) {
+            (Some('*'), Some('/')) => CommentKind::Block,
+            (Some('*'), _) | (Some('!'), _) => CommentKind::DocBlock,
+            _ => CommentKind::Block,
+        };
+        let mut depth = 1usize;
+        let mut text = String::new();
+        while depth > 0 {
+            match (self.peek(0), self.peek(1)) {
+                (Some('/'), Some('*')) => {
+                    depth += 1;
+                    self.bump();
+                    self.bump();
+                    text.push_str("/*");
+                }
+                (Some('*'), Some('/')) => {
+                    depth -= 1;
+                    self.bump();
+                    self.bump();
+                    if depth > 0 {
+                        text.push_str("*/");
+                    }
+                }
+                (Some(c), _) => {
+                    text.push(c);
+                    self.bump();
+                }
+                (None, _) => break, // unterminated: consume to EOF
+            }
+        }
+        self.out.comments.push(Comment {
+            kind,
+            text: text.trim_matches(['*', '!']).trim().to_string(),
+            line,
+            col,
+            own_line: false,
+        });
+    }
+
+    /// Consumes a `"…"` body (opening quote at the cursor), honouring
+    /// backslash escapes.
+    fn string_literal(&mut self) {
+        self.bump();
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    self.bump();
+                }
+                '"' => break,
+                _ => {}
+            }
+        }
+    }
+
+    /// At an `r` that may open a raw string (`r"…"`, `r#"…"#`, any number of
+    /// `#`s) or be a raw identifier (`r#foo`) or a plain identifier.
+    fn raw_or_ident(&mut self, line: u32, col: u32, hashes_start: usize) {
+        let mut hashes = 0usize;
+        while self.peek(hashes_start + hashes) == Some('#') {
+            hashes += 1;
+        }
+        match self.peek(hashes_start + hashes) {
+            Some('"') => {
+                for _ in 0..hashes_start + hashes + 1 {
+                    self.bump();
+                }
+                self.raw_string_body(hashes);
+                self.push_token(TokenKind::RawStr, line, col);
+            }
+            Some(c) if hashes == 1 && (c.is_alphabetic() || c == '_') => {
+                // Raw identifier `r#foo`: skip `r#`, lex the identifier.
+                self.bump();
+                self.bump();
+                let name = self.ident();
+                self.push_token(TokenKind::Ident(name), line, col);
+            }
+            _ => {
+                let name = self.ident();
+                self.push_token(TokenKind::Ident(name), line, col);
+            }
+        }
+    }
+
+    /// Consumes a raw-string body up to `"` followed by `hashes` `#`s.
+    fn raw_string_body(&mut self, hashes: usize) {
+        while let Some(c) = self.bump() {
+            if c == '"' {
+                let mut matched = 0usize;
+                while matched < hashes && self.peek(0) == Some('#') {
+                    self.bump();
+                    matched += 1;
+                }
+                if matched == hashes {
+                    break;
+                }
+            }
+        }
+    }
+
+    /// At a `'`: either a lifetime (`'a`, `'static`) or a char literal
+    /// (`'x'`, `'\''`, `'\u{1F600}'`).
+    fn lifetime_or_char(&mut self, line: u32, col: u32) {
+        let next = self.peek(1);
+        let after = self.peek(2);
+        let is_lifetime =
+            matches!(next, Some(c) if c.is_alphabetic() || c == '_') && after != Some('\'');
+        if is_lifetime {
+            self.bump();
+            while matches!(self.peek(0), Some(c) if c.is_alphanumeric() || c == '_') {
+                self.bump();
+            }
+            self.push_token(TokenKind::Lifetime, line, col);
+        } else {
+            self.char_literal();
+            self.push_token(TokenKind::Char, line, col);
+        }
+    }
+
+    /// Consumes a char literal starting at the opening `'`.
+    fn char_literal(&mut self) {
+        self.bump();
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    self.bump();
+                }
+                '\'' => break,
+                _ => {}
+            }
+        }
+    }
+
+    fn number(&mut self) {
+        while matches!(self.peek(0), Some(c) if c.is_alphanumeric() || c == '_') {
+            self.bump();
+        }
+        // A fractional part — but not the `..` of a range expression.
+        if self.peek(0) == Some('.') && matches!(self.peek(1), Some(c) if c.is_ascii_digit()) {
+            self.bump();
+            while matches!(self.peek(0), Some(c) if c.is_alphanumeric() || c == '_') {
+                self.bump();
+            }
+        }
+    }
+
+    fn ident(&mut self) -> String {
+        let mut name = String::new();
+        while let Some(c) = self.peek(0) {
+            if c.is_alphanumeric() || c == '_' {
+                name.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(source: &str) -> Vec<String> {
+        lex(source)
+            .tokens
+            .iter()
+            .filter_map(|t| t.ident().map(str::to_string))
+            .collect()
+    }
+
+    #[test]
+    fn identifiers_in_strings_are_not_tokens() {
+        let src = r##"let s = "a.partial_cmp(b)"; let r = r#"thread_rng()"#;"##;
+        let names = idents(src);
+        assert!(!names.contains(&"partial_cmp".to_string()));
+        assert!(!names.contains(&"thread_rng".to_string()));
+        assert_eq!(names, vec!["let", "s", "let", "r"]);
+    }
+
+    #[test]
+    fn nested_block_comments_are_one_comment() {
+        let src = "/* outer /* inner unwrap() */ still comment */ fn f() {}";
+        let lexed = lex(src);
+        assert_eq!(lexed.comments.len(), 1);
+        assert!(lexed.comments[0].text.contains("inner unwrap()"));
+        assert_eq!(lexed.tokens[1].ident(), Some("f"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let src = "fn f<'a>(x: &'a str) -> char { 'x' }";
+        let lexed = lex(src);
+        let lifetimes = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Lifetime)
+            .count();
+        let chars = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Char)
+            .count();
+        assert_eq!(lifetimes, 2);
+        assert_eq!(chars, 1);
+    }
+
+    #[test]
+    fn escaped_quote_char_literal_does_not_derail() {
+        let src = "let q = '\\''; let n = '\\n'; call()";
+        assert!(idents(src).contains(&"call".to_string()));
+    }
+
+    #[test]
+    fn doc_comments_are_distinguished_from_plain_comments() {
+        let src = "/// doc line\n//! inner doc\n// plain\n/** doc block */\n/* block */\n";
+        let kinds: Vec<CommentKind> = lex(src).comments.iter().map(|c| c.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                CommentKind::DocLine,
+                CommentKind::DocLine,
+                CommentKind::Line,
+                CommentKind::DocBlock,
+                CommentKind::Block,
+            ]
+        );
+    }
+
+    #[test]
+    fn own_line_detection_distinguishes_trailing_comments() {
+        let src = "// standalone\nlet x = 1; // trailing\n";
+        let lexed = lex(src);
+        assert!(lexed.comments[0].own_line);
+        assert!(!lexed.comments[1].own_line);
+    }
+
+    #[test]
+    fn spans_are_one_based_lines_and_columns() {
+        let lexed = lex("fn main() {\n    foo();\n}\n");
+        let foo = lexed
+            .tokens
+            .iter()
+            .find(|t| t.ident() == Some("foo"))
+            .expect("foo token");
+        assert_eq!((foo.line, foo.col), (2, 5));
+    }
+
+    #[test]
+    fn raw_strings_with_hashes_terminate_correctly() {
+        let src = r####"let a = r##"contains "# inside"##; after()"####;
+        assert!(idents(src).contains(&"after".to_string()));
+    }
+
+    #[test]
+    fn number_lexing_keeps_range_dots() {
+        let lexed = lex("for i in 0..10 { }");
+        let dots = lexed.tokens.iter().filter(|t| t.is_punct('.')).count();
+        assert_eq!(dots, 2);
+    }
+}

@@ -1,0 +1,108 @@
+//! The `optima-lint` binary.
+//!
+//! ```text
+//! optima-lint [--root DIR] [--config FILE] [--json] [--deny] [--check-config]
+//! ```
+//!
+//! Exit codes: `0` clean, `1` findings (per severity policy), `2` usage,
+//! config or I/O error.  `--deny` promotes `warn` findings to failures (CI
+//! mode); `--check-config` verifies that `lint.toml` parses and that every
+//! `allow` directive is well-formed, justified, and names an existing,
+//! non-stale rule — reporting only directive-hygiene findings.
+
+use optima_lint::{report, rules, Config, LintError, Outcome};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    root: PathBuf,
+    config: Option<PathBuf>,
+    json: bool,
+    deny: bool,
+    check_config: bool,
+}
+
+const USAGE: &str = "usage: optima-lint [--root DIR] [--config FILE] [--json] [--deny] \
+                     [--check-config]\n\
+                     \n\
+                     Scans every workspace .rs file against the project rules:\n\
+                     R1 float-ordering, R2 nondeterminism, R3 panic-hygiene, R4 hot-path\n\
+                     allocation (see lint.toml and the README \"Static analysis\" section).";
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        root: PathBuf::from("."),
+        config: None,
+        json: false,
+        deny: false,
+        check_config: false,
+    };
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--root" => {
+                args.root = PathBuf::from(
+                    argv.next()
+                        .ok_or_else(|| "--root needs a value".to_string())?,
+                );
+            }
+            "--config" => {
+                args.config = Some(PathBuf::from(
+                    argv.next()
+                        .ok_or_else(|| "--config needs a value".to_string())?,
+                ));
+            }
+            "--json" => args.json = true,
+            "--deny" => args.deny = true,
+            "--check-config" => args.check_config = true,
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unrecognised argument {other:?}\n{USAGE}")),
+        }
+    }
+    Ok(args)
+}
+
+fn run(args: &Args) -> Result<Outcome, LintError> {
+    let config_path = args
+        .config
+        .clone()
+        .unwrap_or_else(|| args.root.join("lint.toml"));
+    let config = Config::load(&config_path)?;
+    let mut outcome = optima_lint::run_workspace(&args.root, &config)?;
+    if args.check_config {
+        // Directive hygiene only: lint.toml parsed above; keep just the
+        // malformed/unknown/stale-suppression findings.
+        outcome.findings.retain(|f| f.rule == rules::DIRECTIVE_RULE);
+    }
+    Ok(outcome)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(message) => {
+            eprintln!("error: {message}");
+            return ExitCode::from(2);
+        }
+    };
+    let outcome = match run(&args) {
+        Ok(outcome) => outcome,
+        Err(err) => {
+            eprintln!("error: {err}");
+            return ExitCode::from(2);
+        }
+    };
+    if args.json {
+        print!("{}", report::render_json(&outcome));
+    } else {
+        print!("{}", report::render_human(&outcome));
+    }
+    if outcome.fails(args.deny) {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}

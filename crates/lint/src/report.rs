@@ -1,0 +1,155 @@
+//! Human and JSON rendering of a lint [`Outcome`].
+//!
+//! The JSON form is hand-rolled (the workspace vendors no serde_json) and
+//! intentionally flat: a schema tag, the finding list, and per-rule counts,
+//! so CI scripts can assert on it with `grep`/`jq` alike.
+
+use crate::{Finding, Outcome};
+use std::collections::BTreeMap;
+
+/// Renders findings as `file:line:col: RULE [severity]: message` lines plus
+/// a one-line summary.
+pub fn render_human(outcome: &Outcome) -> String {
+    let mut out = String::new();
+    for finding in &outcome.findings {
+        out.push_str(&format!(
+            "{}:{}:{}: {} [{}]: {}\n",
+            finding.file,
+            finding.line,
+            finding.col,
+            finding.rule,
+            finding.severity.name(),
+            finding.message
+        ));
+    }
+    out.push_str(&summary_line(outcome));
+    out.push('\n');
+    out
+}
+
+/// The trailing summary line of the human report.
+pub fn summary_line(outcome: &Outcome) -> String {
+    if outcome.findings.is_empty() {
+        format!(
+            "optima-lint: clean — {} files scanned, 0 findings ({} suppressed by allow)",
+            outcome.files_scanned, outcome.suppressed
+        )
+    } else {
+        format!(
+            "optima-lint: {} finding(s) in {} files scanned ({} suppressed by allow)",
+            outcome.findings.len(),
+            outcome.files_scanned,
+            outcome.suppressed
+        )
+    }
+}
+
+/// Renders the outcome as a JSON document (`optima-lint.v1` schema).
+pub fn render_json(outcome: &Outcome) -> String {
+    let mut counts: BTreeMap<&str, usize> = BTreeMap::new();
+    for finding in &outcome.findings {
+        *counts.entry(finding.rule.as_str()).or_default() += 1;
+    }
+    let mut out = String::from("{\n  \"schema\": \"optima-lint.v1\",\n");
+    out.push_str(&format!(
+        "  \"files_scanned\": {},\n  \"suppressed\": {},\n",
+        outcome.files_scanned, outcome.suppressed
+    ));
+    out.push_str("  \"counts\": {");
+    let count_items: Vec<String> = counts
+        .iter()
+        .map(|(rule, n)| format!("\"{rule}\": {n}"))
+        .collect();
+    out.push_str(&count_items.join(", "));
+    out.push_str("},\n  \"findings\": [");
+    for (i, finding) in outcome.findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n    ");
+        out.push_str(&finding_json(finding));
+    }
+    if !outcome.findings.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("]\n}\n");
+    out
+}
+
+fn finding_json(finding: &Finding) -> String {
+    format!(
+        "{{\"file\": {}, \"line\": {}, \"col\": {}, \"rule\": {}, \"severity\": {}, \
+         \"message\": {}}}",
+        escape(&finding.file),
+        finding.line,
+        finding.col,
+        escape(&finding.rule),
+        escape(finding.severity.name()),
+        escape(&finding.message)
+    )
+}
+
+fn escape(text: &str) -> String {
+    let mut out = String::with_capacity(text.len() + 2);
+    out.push('"');
+    for c in text.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Severity;
+
+    fn sample() -> Outcome {
+        Outcome {
+            findings: vec![Finding {
+                file: "crates/x/src/lib.rs".into(),
+                line: 3,
+                col: 7,
+                rule: "R1".into(),
+                severity: Severity::Deny,
+                message: "say \"no\" to partial_cmp".into(),
+            }],
+            files_scanned: 2,
+            suppressed: 1,
+        }
+    }
+
+    #[test]
+    fn human_report_has_span_rule_and_summary() {
+        let text = render_human(&sample());
+        assert!(text.contains("crates/x/src/lib.rs:3:7: R1 [deny]:"));
+        assert!(text.contains("1 finding(s) in 2 files scanned (1 suppressed by allow)"));
+    }
+
+    #[test]
+    fn clean_summary_says_clean() {
+        let outcome = Outcome {
+            findings: Vec::new(),
+            files_scanned: 5,
+            suppressed: 2,
+        };
+        assert!(summary_line(&outcome).contains("clean"));
+    }
+
+    #[test]
+    fn json_report_escapes_and_counts() {
+        let json = render_json(&sample());
+        assert!(json.contains("\"schema\": \"optima-lint.v1\""));
+        assert!(json.contains("\"counts\": {\"R1\": 1}"));
+        assert!(json.contains("say \\\"no\\\" to partial_cmp"));
+        assert!(json.contains("\"files_scanned\": 2"));
+    }
+}

@@ -1,0 +1,363 @@
+//! The project rules, matched over the token stream of [`crate::lexer`].
+//!
+//! * **R1 float-ordering** — `partial_cmp` anywhere in code.  Floats are
+//!   not totally ordered; a `partial_cmp`-based comparator panics or goes
+//!   order-dependent on NaN, which has already broken deterministic sweeps
+//!   twice in this repo.  Use `total_cmp`, or annotate deliberate
+//!   NaN-*rejection* checks with an `allow(R1)` justification.
+//! * **R2 nondeterminism** — ambient entropy (`thread_rng`,
+//!   `from_entropy`, `rand::random`), wall clocks (`Instant::now`,
+//!   `SystemTime::now`) and unordered collections (`HashMap`/`HashSet`)
+//!   outside the configured timing/bench allowlist.  The sweep discipline
+//!   requires seeded streams and ordered collections so results are
+//!   bit-identical at any thread count.
+//! * **R3 panic-hygiene** — `unwrap()`, `expect()`, `panic!`, `todo!`,
+//!   `unimplemented!` in non-test library code of the configured crates;
+//!   library paths must return the typed crate errors instead.
+//! * **R4 hot-path allocation** — `Vec::new`, `vec![]`, `to_vec`,
+//!   `collect`, `clone`, `String` construction and friends inside regions
+//!   bracketed by `optima-lint: hot` / `end-hot` comments (the GEMM inner
+//!   kernels, the flat-LUT quantized path, the batched Horner evaluator).
+
+use crate::lexer::{LexedFile, Token};
+
+/// Static description of one rule.
+pub struct RuleInfo {
+    pub id: &'static str,
+    pub summary: &'static str,
+    /// Whether the rule applies inside test regions unless the config says
+    /// otherwise.
+    pub default_include_tests: bool,
+}
+
+/// Rule id of directive-hygiene findings (malformed `optima-lint:`
+/// comments, missing justifications, unknown rule ids, stale
+/// suppressions).  Not configurable and not suppressible.
+pub const DIRECTIVE_RULE: &str = "directive";
+
+const RULES: [RuleInfo; 4] = [
+    RuleInfo {
+        id: "R1",
+        summary: "float ordering must use total_cmp (partial_cmp is not a total order)",
+        default_include_tests: true,
+    },
+    RuleInfo {
+        id: "R2",
+        summary: "no ambient entropy, wall clocks or unordered collections (seeded streams only)",
+        default_include_tests: true,
+    },
+    RuleInfo {
+        id: "R3",
+        summary: "library code returns typed errors; no unwrap/expect/panic outside tests",
+        default_include_tests: false,
+    },
+    RuleInfo {
+        id: "R4",
+        summary: "no allocation inside `optima-lint: hot` regions",
+        default_include_tests: false,
+    },
+];
+
+/// All lintable rules (the directive meta-rule is separate).
+pub fn all() -> &'static [RuleInfo] {
+    &RULES
+}
+
+/// `true` when `id` names a lintable rule (valid inside `allow(…)`).
+pub fn is_known(id: &str) -> bool {
+    RULES.iter().any(|rule| rule.id == id)
+}
+
+/// Comma-separated rule ids, for error messages.
+pub fn id_list() -> String {
+    RULES
+        .iter()
+        .map(|rule| rule.id)
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+/// A raw rule match, before suppression and severity resolution.
+#[derive(Debug, Clone)]
+pub struct RawFinding {
+    pub rule: &'static str,
+    pub line: u32,
+    pub col: u32,
+    pub message: String,
+}
+
+/// Context handed to the matcher: which token indices are test code and
+/// which lines lie inside a hot region.
+pub struct ScanContext<'a> {
+    /// Per-token: inside a `#[cfg(test)]` / `mod tests` region.
+    pub in_test: &'a [bool],
+    /// Inclusive line ranges bracketed by hot directives.
+    pub hot_ranges: &'a [(u32, u32)],
+}
+
+impl ScanContext<'_> {
+    fn is_hot_line(&self, line: u32) -> bool {
+        self.hot_ranges
+            .iter()
+            .any(|&(start, end)| line > start && line < end)
+    }
+}
+
+/// Runs all four rules over a lexed file.  Enablement, path allowlists and
+/// test-region inclusion are decided by the caller per rule id via
+/// `enabled`; this keeps the matcher independent of the config.
+pub fn scan(
+    file: &LexedFile,
+    ctx: &ScanContext<'_>,
+    enabled: impl Fn(&str, bool) -> bool,
+) -> Vec<RawFinding> {
+    let tokens = &file.tokens;
+    let mut findings = Vec::new();
+    for (i, token) in tokens.iter().enumerate() {
+        let Some(name) = token.ident() else { continue };
+        let in_test = ctx.in_test[i];
+        if enabled("R1", in_test) {
+            if let Some(message) = match_r1(name, tokens, i) {
+                findings.push(raw("R1", token, message));
+            }
+        }
+        if enabled("R2", in_test) {
+            if let Some(message) = match_r2(name, tokens, i) {
+                findings.push(raw("R2", token, message));
+            }
+        }
+        if enabled("R3", in_test) {
+            if let Some(message) = match_r3(name, tokens, i) {
+                findings.push(raw("R3", token, message));
+            }
+        }
+        if enabled("R4", in_test) && ctx.is_hot_line(token.line) {
+            if let Some(message) = match_r4(name, tokens, i) {
+                findings.push(raw("R4", token, message));
+            }
+        }
+    }
+    findings
+}
+
+fn raw(rule: &'static str, token: &Token, message: String) -> RawFinding {
+    RawFinding {
+        rule,
+        line: token.line,
+        col: token.col,
+        message,
+    }
+}
+
+/// `tokens[i-2..i]` is `::` and `tokens[i-3]` is the identifier `head`.
+fn path_prefix_is(tokens: &[Token], i: usize, head: &str) -> bool {
+    i >= 3
+        && tokens[i - 1].is_punct(':')
+        && tokens[i - 2].is_punct(':')
+        && tokens[i - 3].ident() == Some(head)
+}
+
+fn preceded_by_dot(tokens: &[Token], i: usize) -> bool {
+    i >= 1 && tokens[i - 1].is_punct('.')
+}
+
+fn followed_by(tokens: &[Token], i: usize, c: char) -> bool {
+    tokens.get(i + 1).is_some_and(|t| t.is_punct(c))
+}
+
+fn match_r1(name: &str, tokens: &[Token], i: usize) -> Option<String> {
+    if name != "partial_cmp" {
+        return None;
+    }
+    let detail = if r1_unwrapped_after_args(tokens, i) {
+        "`partial_cmp(..).unwrap()` panics on NaN"
+    } else {
+        "`partial_cmp` is not a total order (NaN compares as None)"
+    };
+    Some(format!(
+        "{detail}; sorts, extrema and comparators must use `total_cmp` so NaN inputs stay \
+         deterministic — or justify a deliberate NaN-rejecting comparison with \
+         `// optima-lint: allow(R1) -- <why>`"
+    ))
+}
+
+/// Detects `partial_cmp( … ).unwrap()` / `.expect(` after the balanced
+/// argument list.
+fn r1_unwrapped_after_args(tokens: &[Token], i: usize) -> bool {
+    let mut j = i + 1;
+    if !tokens.get(j).is_some_and(|t| t.is_punct('(')) {
+        return false;
+    }
+    let mut depth = 0usize;
+    while let Some(token) = tokens.get(j) {
+        if token.is_punct('(') {
+            depth += 1;
+        } else if token.is_punct(')') {
+            depth -= 1;
+            if depth == 0 {
+                break;
+            }
+        }
+        j += 1;
+    }
+    tokens.get(j + 1).is_some_and(|t| t.is_punct('.'))
+        && matches!(
+            tokens.get(j + 2).and_then(Token::ident),
+            Some("unwrap") | Some("expect")
+        )
+}
+
+fn match_r2(name: &str, tokens: &[Token], i: usize) -> Option<String> {
+    match name {
+        "thread_rng" => Some(
+            "`thread_rng` draws ambient OS entropy; derive a per-item stream from the base seed \
+             (`SplitMix64` via `stream_seed`, or a seeded `ChaCha8Rng`) so sweeps replay \
+             bit-identically"
+                .to_string(),
+        ),
+        "from_entropy" => Some(
+            "`from_entropy` seeds from the OS; use `seed_from_u64` with a seed derived from the \
+             experiment's base seed"
+                .to_string(),
+        ),
+        "random" if path_prefix_is(tokens, i, "rand") => Some(
+            "`rand::random` uses the ambient thread RNG; use an explicitly seeded generator"
+                .to_string(),
+        ),
+        "now"
+            if path_prefix_is(tokens, i, "Instant") || path_prefix_is(tokens, i, "SystemTime") =>
+        {
+            Some(
+                "wall-clock reads make output run-dependent; keep timing in the allowlisted \
+                 timing/bench modules (lint.toml `[rules.R2] allow_paths`) and out of model code"
+                    .to_string(),
+            )
+        }
+        "HashMap" | "HashSet" => Some(format!(
+            "`{name}` iteration order is nondeterministic across processes; use \
+             `BTreeMap`/`BTreeSet`/`Vec`, or justify a non-iterated use with \
+             `// optima-lint: allow(R2) -- <why>`"
+        )),
+        _ => None,
+    }
+}
+
+fn match_r3(name: &str, tokens: &[Token], i: usize) -> Option<String> {
+    match name {
+        "unwrap" | "expect" if preceded_by_dot(tokens, i) && followed_by(tokens, i, '(') => {
+            Some(format!(
+                "`.{name}()` panics in library code; return the crate's typed error \
+                 (`MathError`/`CircuitError`/`ModelError`/`ImcError`/`DnnError`) instead, or \
+                 justify a checked invariant with `// optima-lint: allow(R3) -- <why>`"
+            ))
+        }
+        "panic" | "todo" | "unimplemented" if followed_by(tokens, i, '!') => Some(format!(
+            "`{name}!` aborts the sweep worker; library code must surface failures through the \
+             typed error enums"
+        )),
+        _ => None,
+    }
+}
+
+fn match_r4(name: &str, tokens: &[Token], i: usize) -> Option<String> {
+    let what = match name {
+        "vec" if followed_by(tokens, i, '!') => "`vec![…]` allocates",
+        "format" if followed_by(tokens, i, '!') => "`format!` allocates a String",
+        "new" | "with_capacity"
+            if path_prefix_is(tokens, i, "Vec")
+                || path_prefix_is(tokens, i, "String")
+                || path_prefix_is(tokens, i, "Box") =>
+        {
+            "heap construction allocates"
+        }
+        "from" if path_prefix_is(tokens, i, "String") => "`String::from` allocates",
+        "to_vec" | "to_owned" | "to_string" | "collect" | "clone" if preceded_by_dot(tokens, i) => {
+            "this call allocates (or deep-copies) per iteration"
+        }
+        _ => return None,
+    };
+    Some(format!(
+        "{what} inside a `optima-lint: hot` region; hoist the buffer out of the kernel and reuse \
+         it (see the scratch-slice pattern in `mathkit::gemm`)"
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn scan_all(source: &str, hot: &[(u32, u32)]) -> Vec<RawFinding> {
+        let file = lex(source);
+        let in_test = vec![false; file.tokens.len()];
+        let ctx = ScanContext {
+            in_test: &in_test,
+            hot_ranges: hot,
+        };
+        scan(&file, &ctx, |_, _| true)
+    }
+
+    fn rule_ids(findings: &[RawFinding]) -> Vec<&'static str> {
+        findings.iter().map(|f| f.rule).collect()
+    }
+
+    #[test]
+    fn r1_matches_partial_cmp_and_flags_unwrap_flavour() {
+        let findings = scan_all("xs.sort_by(|a, b| a.partial_cmp(b).unwrap());", &[]);
+        assert_eq!(rule_ids(&findings), vec!["R1", "R3"]);
+        assert!(findings[0].message.contains("panics on NaN"));
+        let findings = scan_all("if a.partial_cmp(&b) != Some(Less) {}", &[]);
+        assert_eq!(rule_ids(&findings), vec!["R1"]);
+        assert!(findings[0].message.contains("not a total order"));
+    }
+
+    #[test]
+    fn r1_ignores_total_cmp_and_strings() {
+        assert!(scan_all("xs.sort_by(|a, b| a.total_cmp(b));", &[]).is_empty());
+        assert!(scan_all("let s = \"partial_cmp\";", &[]).is_empty());
+    }
+
+    #[test]
+    fn r2_matches_entropy_clocks_and_unordered_collections() {
+        let src = "let r = thread_rng(); let t = Instant::now(); let m: HashMap<u8, u8>;";
+        assert_eq!(rule_ids(&scan_all(src, &[])), vec!["R2", "R2", "R2"]);
+        let src = "let x: u8 = rand::random(); let rng = ChaCha8Rng::from_entropy();";
+        assert_eq!(rule_ids(&scan_all(src, &[])), vec!["R2", "R2"]);
+    }
+
+    #[test]
+    fn r2_does_not_match_seeded_streams_or_other_now() {
+        assert!(scan_all("let rng = ChaCha8Rng::seed_from_u64(7);", &[]).is_empty());
+        // A method *called* now on some other type is not a wall clock.
+        assert!(scan_all("let t = clock.now();", &[]).is_empty());
+    }
+
+    #[test]
+    fn r3_matches_panicky_calls_and_macros() {
+        let src = "let v = maybe.unwrap(); other.expect(\"msg\"); panic!(\"boom\"); todo!()";
+        assert_eq!(rule_ids(&scan_all(src, &[])), vec!["R3", "R3", "R3", "R3"]);
+    }
+
+    #[test]
+    fn r3_ignores_related_but_safe_names() {
+        let src = "let v = maybe.unwrap_or(0); let w = maybe.unwrap_or_else(f); expect(1);";
+        assert!(scan_all(src, &[]).is_empty());
+    }
+
+    #[test]
+    fn r4_only_fires_inside_hot_ranges() {
+        let src = "fn f() {\nlet v = vec![0; 8];\nlet w = xs.to_vec();\n}\n";
+        assert!(scan_all(src, &[]).is_empty());
+        let findings = scan_all(src, &[(1, 4)]);
+        assert_eq!(rule_ids(&findings), vec!["R4", "R4"]);
+    }
+
+    #[test]
+    fn r4_matches_the_full_allocation_surface() {
+        let src = "\nlet a = Vec::new(); let b = String::from(\"x\"); let c = d.clone();\n\
+                   let e = it.collect(); let f = format!(\"{a}\"); let g = Box::new(1);\n";
+        let findings = scan_all(src, &[(1, 9)]);
+        assert_eq!(findings.len(), 6);
+        assert!(findings.iter().all(|f| f.rule == "R4"));
+    }
+}

@@ -1,0 +1,10 @@
+//! Directive-hygiene positives: a stale suppression and one with no
+//! justification.
+
+// optima-lint: allow(R1) -- nothing on the next line uses partial_cmp
+pub fn identity(x: f64) -> f64 {
+    x
+}
+
+// optima-lint: allow(R3)
+pub fn shrug() {}

@@ -1,0 +1,13 @@
+//! Directive-hygiene negative: a justified suppression that matches a real
+//! finding on its target line.
+
+pub fn running_max(values: &[f64]) -> f64 {
+    let mut max = f64::NEG_INFINITY;
+    for &v in values {
+        // optima-lint: allow(R1) -- NaN rejection: None keeps the current max
+        if v.partial_cmp(&max) == Some(std::cmp::Ordering::Greater) {
+            max = v;
+        }
+    }
+    max
+}

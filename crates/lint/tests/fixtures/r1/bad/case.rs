@@ -1,0 +1,5 @@
+//! R1 positive: a float comparator built on `partial_cmp`.
+
+pub fn sort_scores(scores: &mut [f64]) {
+    scores.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+}

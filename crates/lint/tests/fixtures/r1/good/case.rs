@@ -1,0 +1,15 @@
+//! R1 negative: `partial_cmp` appears only where the lexer must ignore it —
+//! doc comments, plain strings, and raw strings.
+
+/// Sorts with `total_cmp`; never reach for `partial_cmp` in a comparator.
+pub fn sort_scores(scores: &mut [f64]) {
+    scores.sort_by(|a, b| a.total_cmp(b));
+}
+
+pub fn advice() -> &'static str {
+    "a.partial_cmp(b).unwrap() panics on NaN"
+}
+
+pub fn pattern() -> &'static str {
+    r#"sort_by(|a, b| a.partial_cmp(b).unwrap())"#
+}

@@ -1,0 +1,18 @@
+//! R2 positive: ambient wall-clock time and an unordered map.
+
+use std::collections::HashMap;
+
+pub fn stamp() -> u128 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_nanos())
+        .unwrap_or(0)
+}
+
+pub fn histogram(values: &[u32]) -> HashMap<u32, usize> {
+    let mut counts = HashMap::new();
+    for &v in values {
+        *counts.entry(v).or_insert(0) += 1;
+    }
+    counts
+}

@@ -1,0 +1,14 @@
+//! R2 negative: ordered containers only; entropy sources appear only in
+//! comments the lexer must skip.
+
+/* A reviewer once wrote /* rand::thread_rng() here */ inside a nested
+   block comment — still not code. */
+use std::collections::BTreeMap;
+
+pub fn histogram(values: &[u32]) -> BTreeMap<u32, usize> {
+    let mut counts = BTreeMap::new();
+    for &v in values {
+        *counts.entry(v).or_insert(0) += 1;
+    }
+    counts
+}

@@ -1,0 +1,5 @@
+//! R3 positive: a panic in non-test library code.
+
+pub fn first(values: &[u32]) -> u32 {
+    *values.first().unwrap()
+}

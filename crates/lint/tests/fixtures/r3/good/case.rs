@@ -1,0 +1,16 @@
+//! R3 negative: panics are confined to the `#[cfg(test)]` module, which
+//! the rule excludes (`include_tests = false`).
+
+pub fn first(values: &[u32]) -> Option<u32> {
+    values.first().copied()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_of_some() {
+        assert_eq!(first(&[7]).unwrap(), 7);
+    }
+}

@@ -1,0 +1,8 @@
+//! R4 positive: allocation inside a hot region.
+
+// optima-lint: hot
+pub fn accumulate(values: &[f64]) -> f64 {
+    let scratch: Vec<f64> = values.to_vec();
+    scratch.iter().sum()
+}
+// optima-lint: end-hot

@@ -1,0 +1,14 @@
+//! R4 negative: the allocation happens outside the hot region; the hot
+//! loop only reuses caller buffers.
+
+pub fn scratch(len: usize) -> Vec<f64> {
+    vec![0.0; len]
+}
+
+// optima-lint: hot
+pub fn accumulate_into(values: &[f64], out: &mut f64) {
+    for v in values {
+        *out += v;
+    }
+}
+// optima-lint: end-hot

@@ -1,0 +1,110 @@
+//! End-to-end fixture tests: run the `optima-lint` binary against each
+//! fixture root under `tests/fixtures/` and assert the exit code in both
+//! directions — non-zero on every `<rule>/bad` tree, zero on `<rule>/good`.
+//!
+//! The good fixtures double as lexer stress tests: they hide rule trigger
+//! tokens inside string literals, raw strings, doc comments and nested
+//! block comments, which a naive substring scanner would flag.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn fixtures() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
+}
+
+/// Runs the binary with `--root fixtures/<case> --deny`; returns
+/// `(success, stdout)`.
+fn run(case: &str, extra: &[&str]) -> (bool, String) {
+    let output = Command::new(env!("CARGO_BIN_EXE_optima-lint"))
+        .arg("--root")
+        .arg(fixtures().join(case))
+        .arg("--config")
+        .arg(fixtures().join("lint.toml"))
+        .arg("--deny")
+        .args(extra)
+        .output()
+        .expect("optima-lint binary runs");
+    assert!(
+        output.status.code() != Some(2),
+        "usage/config error: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    (
+        output.status.success(),
+        String::from_utf8_lossy(&output.stdout).into_owned(),
+    )
+}
+
+/// Asserts both directions for one rule: `bad` fails mentioning `rule_id`,
+/// `good` passes clean.
+fn assert_rule(dir: &str, rule_id: &str) {
+    let (bad_ok, bad_out) = run(&format!("{dir}/bad"), &[]);
+    assert!(!bad_ok, "{dir}/bad must fail, got:\n{bad_out}");
+    assert!(
+        bad_out.contains(rule_id),
+        "{dir}/bad output must name {rule_id}:\n{bad_out}"
+    );
+    let (good_ok, good_out) = run(&format!("{dir}/good"), &[]);
+    assert!(good_ok, "{dir}/good must pass, got:\n{good_out}");
+    assert!(good_out.contains("clean"), "{good_out}");
+}
+
+#[test]
+fn r1_float_ordering_both_directions() {
+    assert_rule("r1", "R1");
+}
+
+#[test]
+fn r2_nondeterminism_both_directions() {
+    assert_rule("r2", "R2");
+}
+
+#[test]
+fn r3_panic_hygiene_both_directions() {
+    assert_rule("r3", "R3");
+}
+
+#[test]
+fn r4_hot_path_allocation_both_directions() {
+    assert_rule("r4", "R4");
+}
+
+#[test]
+fn directive_hygiene_both_directions() {
+    assert_rule("directive", "directive");
+}
+
+#[test]
+fn stale_and_unjustified_suppressions_are_reported_distinctly() {
+    let (_, out) = run("directive/bad", &[]);
+    assert!(out.contains("stale suppression"), "{out}");
+    assert!(out.contains("justification"), "{out}");
+}
+
+#[test]
+fn justified_suppression_is_counted() {
+    let (_, out) = run("directive/good", &[]);
+    assert!(out.contains("1 suppressed by allow"), "{out}");
+}
+
+#[test]
+fn json_output_carries_schema_and_counts() {
+    let (ok, out) = run("r1/bad", &["--json"]);
+    assert!(!ok);
+    assert!(out.contains("\"schema\": \"optima-lint.v1\""), "{out}");
+    assert!(out.contains("\"R1\": 1"), "{out}");
+    assert!(out.contains("\"file\": \"case.rs\""), "{out}");
+}
+
+#[test]
+fn check_config_mode_reports_only_directive_findings() {
+    // r3/bad has a real R3 finding but no directive problems: --check-config
+    // must pass it.
+    let (ok, out) = run("r3/bad", &["--check-config"]);
+    assert!(ok, "{out}");
+    // directive/bad must still fail in --check-config mode.
+    let (ok, out) = run("directive/bad", &["--check-config"]);
+    assert!(!ok, "{out}");
+    assert!(out.contains("directive"), "{out}");
+}

@@ -1,0 +1,46 @@
+//! Self-application: the checked-in workspace must be finding-free under
+//! `optima-lint --deny`, and its directive layer must pass `--check-config`.
+//! These tests are what keeps the "sweep the workspace" guarantee honest —
+//! any new violation (or stale suppression) anywhere in the tree fails the
+//! lint crate's own test run.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn workspace_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root resolves")
+}
+
+fn run(extra: &[&str]) -> (bool, String) {
+    let output = Command::new(env!("CARGO_BIN_EXE_optima-lint"))
+        .arg("--root")
+        .arg(workspace_root())
+        .args(extra)
+        .output()
+        .expect("optima-lint binary runs");
+    assert!(
+        output.status.code() != Some(2),
+        "usage/config error: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    (
+        output.status.success(),
+        String::from_utf8_lossy(&output.stdout).into_owned(),
+    )
+}
+
+#[test]
+fn workspace_is_finding_free_under_deny() {
+    let (ok, out) = run(&["--deny"]);
+    assert!(ok, "workspace has lint findings:\n{out}");
+    assert!(out.contains("clean"), "{out}");
+}
+
+#[test]
+fn workspace_suppressions_are_all_live_and_justified() {
+    let (ok, out) = run(&["--check-config", "--deny"]);
+    assert!(ok, "directive hygiene failed:\n{out}");
+}

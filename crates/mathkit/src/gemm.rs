@@ -50,6 +50,10 @@ fn check_dims(what: &str, rows: usize, cols: usize, len: usize) {
     );
 }
 
+// Everything from here to `end-hot` runs per-element inside DNN inference;
+// R4 forbids allocation in this region.
+// optima-lint: hot
+
 /// `y += alpha * x` over equal-length slices (the vectorized inner loop of
 /// the `NN`/`TN` kernels).
 #[inline]
@@ -208,6 +212,8 @@ pub fn ger(m: usize, n: usize, x: &[f32], y: &[f32], a: &mut [f32]) {
         axpy(x_i, y, &mut a[i * n..(i + 1) * n]);
     }
 }
+
+// optima-lint: end-hot
 
 #[cfg(test)]
 mod tests {

@@ -35,6 +35,7 @@ pub fn linear(xs: &[f64], ys: &[f64], x: f64) -> Result<f64, MathError> {
     // an axis containing NaN is rejected here rather than slipping past.
     if xs
         .windows(2)
+        // optima-lint: allow(R1) -- NaN rejection is the point: None != Some(Less) fails the axis
         .any(|w| w[0].partial_cmp(&w[1]) != Some(std::cmp::Ordering::Less))
     {
         return Err(MathError::InvalidArgument {
@@ -97,6 +98,7 @@ pub fn bilinear(
     }
     // As in `linear`: anything but `Some(Less)` — including NaN's `None` —
     // rejects the axis.
+    // optima-lint: allow(R1) -- NaN rejection is the point: None != Some(Less) fails the axis
     let not_ascending = |w: &[f64]| w[0].partial_cmp(&w[1]) != Some(std::cmp::Ordering::Less);
     if xs.windows(2).any(not_ascending) || ys.windows(2).any(not_ascending) {
         return Err(MathError::InvalidArgument {

@@ -109,6 +109,9 @@ impl Polynomial {
     /// # Panics
     ///
     /// Panics when `xs` and `out` have different lengths.
+    // The batched Horner kernels evaluate millions of points per DSE sweep;
+    // R4 forbids allocation in this region.
+    // optima-lint: hot
     pub fn eval_many_into(&self, xs: &[f64], out: &mut [f64]) {
         assert_eq!(
             xs.len(),
@@ -154,6 +157,7 @@ impl Polynomial {
             *x = self.eval(*x);
         }
     }
+    // optima-lint: end-hot
 
     /// Block width of the batched Horner evaluation.
     pub const EVAL_LANES: usize = 8;
@@ -216,6 +220,7 @@ impl Polynomial {
     /// polynomial has the same sign at both interval ends.
     pub fn find_root(&self, lo: f64, hi: f64, tolerance: f64) -> Result<f64, MathError> {
         // `partial_cmp` keeps the NaN-rejecting behaviour of `!(lo < hi)`.
+        // optima-lint: allow(R1) -- a NaN bracket must fail, so None counts as invalid here
         if lo.partial_cmp(&hi) != Some(std::cmp::Ordering::Less) {
             return Err(MathError::InvalidArgument {
                 context: format!("invalid bracket [{lo}, {hi}]"),

@@ -67,8 +67,7 @@ fn exploration_and_corner_selection_follow_the_paper_trends() {
         a.point
             .vdac_full_scale
             .0
-            .partial_cmp(&b.point.vdac_full_scale.0)
-            .unwrap()
+            .total_cmp(&b.point.vdac_full_scale.0)
     });
     for pair in by_fs.windows(2) {
         assert!(
