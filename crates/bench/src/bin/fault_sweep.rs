@@ -1,0 +1,5 @@
+//! Standalone shim for the fault-sweep reliability experiment.
+
+fn main() {
+    optima_bench::experiments::run_shim("fault_sweep");
+}

@@ -46,6 +46,13 @@ ARRAY GEOMETRY (run; default: the paper's 16x4 INT4 macro):
     --rows N              cells per bit-line (default 16)
     --columns N           bit-line columns per row (default 4)
     --mux N               columns sharing one converter pair (default 1)
+    --spares N            replica spare columns for defect repair (default 0;
+                          fault_sweep adds its own spares when left at 0)
+
+RELIABILITY (run; consumed by the fault_sweep experiment):
+    --defect-rate R       pin the defect-rate grid to [0, R] instead of the
+                          profile's built-in rate ladder
+    --lifetime-steps N    pin the lifetime grid to [0, N] aging steps
 
 EXIT STATUS:
     0 when every requested experiment succeeds with a non-empty report;
@@ -66,6 +73,8 @@ struct RunOptions {
     threads: usize,
     json_dir: Option<PathBuf>,
     array: ArrayConfig,
+    defect_rate: Option<f64>,
+    lifetime_steps: Option<usize>,
 }
 
 fn parse_run_options(args: &[String]) -> RunOptions {
@@ -77,6 +86,8 @@ fn parse_run_options(args: &[String]) -> RunOptions {
         threads: 0,
         json_dir: None,
         array: ArrayConfig::default(),
+        defect_rate: None,
+        lifetime_steps: None,
     };
     let mut columns_given = false;
     let mut i = 0;
@@ -144,6 +155,28 @@ fn parse_run_options(args: &[String]) -> RunOptions {
                 options.array.column_mux = value
                     .parse()
                     .unwrap_or_else(|_| usage_error(&format!("invalid --mux {value:?}")));
+            }
+            "--spares" => {
+                let value = value_for("--spares");
+                options.array.spare_columns = value
+                    .parse()
+                    .unwrap_or_else(|_| usage_error(&format!("invalid --spares {value:?}")));
+            }
+            "--defect-rate" => {
+                let value = value_for("--defect-rate");
+                let rate: f64 = value
+                    .parse()
+                    .unwrap_or_else(|_| usage_error(&format!("invalid --defect-rate {value:?}")));
+                if !(0.0..=1.0).contains(&rate) {
+                    usage_error(&format!("--defect-rate must be within 0..=1, got {value}"));
+                }
+                options.defect_rate = Some(rate);
+            }
+            "--lifetime-steps" => {
+                let value = value_for("--lifetime-steps");
+                options.lifetime_steps = Some(value.parse().unwrap_or_else(|_| {
+                    usage_error(&format!("invalid --lifetime-steps {value:?}"))
+                }));
             }
             flag if flag.starts_with('-') => usage_error(&format!("unknown option {flag}")),
             name => options.names.push(name.to_string()),
@@ -248,6 +281,12 @@ fn cmd_run(args: &[String]) -> i32 {
         .with_seed(options.seed)
         .with_threads(options.threads)
         .with_array(options.array);
+    if let Some(rate) = options.defect_rate {
+        ctx = ctx.with_defect_rate(rate);
+    }
+    if let Some(steps) = options.lifetime_steps {
+        ctx = ctx.with_lifetime_steps(steps);
+    }
     let mut failures: Vec<(String, String)> = Vec::new();
     for (i, experiment) in selected.iter().enumerate() {
         if i > 0 {

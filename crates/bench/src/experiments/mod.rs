@@ -28,6 +28,7 @@ use optima_imc::ImcError;
 mod ablation_dac;
 mod ablation_poly_degree;
 mod ablation_tau0;
+mod fault_sweep;
 mod fig1_sota;
 mod fig4_nonideality;
 mod fig5_pvt;
@@ -196,6 +197,8 @@ pub struct ExperimentContext {
     seed: u64,
     threads: usize,
     array: ArrayConfig,
+    defect_rate: Option<f64>,
+    lifetime_steps: Option<usize>,
     calibration: Option<(Technology, CalibrationOutcome)>,
 }
 
@@ -208,6 +211,8 @@ impl ExperimentContext {
             seed: 42,
             threads: 0,
             array: ArrayConfig::default(),
+            defect_rate: None,
+            lifetime_steps: None,
             calibration: None,
         }
     }
@@ -239,6 +244,32 @@ impl ExperimentContext {
             self.calibration = None;
         }
         self.array = array;
+    }
+
+    /// Pins the reliability experiments' peak defect rate (`--defect-rate`);
+    /// without it the `fault_sweep` experiment uses its profile-default
+    /// rate grid.
+    pub fn with_defect_rate(mut self, rate: f64) -> Self {
+        self.defect_rate = Some(rate);
+        self
+    }
+
+    /// Pins the reliability experiments' deployed-lifetime horizon
+    /// (`--lifetime-steps`); without it the `fault_sweep` experiment uses
+    /// its profile-default step grid.
+    pub fn with_lifetime_steps(mut self, steps: usize) -> Self {
+        self.lifetime_steps = Some(steps);
+        self
+    }
+
+    /// CLI-pinned peak defect rate, if any.
+    pub fn defect_rate(&self) -> Option<f64> {
+        self.defect_rate
+    }
+
+    /// CLI-pinned lifetime horizon in deployment steps, if any.
+    pub fn lifetime_steps(&self) -> Option<usize> {
+        self.lifetime_steps
     }
 
     pub fn profile(&self) -> Profile {
@@ -319,7 +350,7 @@ pub trait Experiment: Sync {
 /// The static registry of every experiment, in presentation order
 /// (figures, tables, section V, infrastructure smoke, then ablations).
 pub fn registry() -> &'static [&'static dyn Experiment] {
-    static REGISTRY: [&dyn Experiment; 16] = [
+    static REGISTRY: [&dyn Experiment; 17] = [
         &fig1_sota::Fig1Sota,
         &fig4_nonideality::Fig4Nonideality,
         &fig5_pvt::Fig5Pvt,
@@ -330,6 +361,7 @@ pub fn registry() -> &'static [&'static dyn Experiment] {
         &table2_imagenet::Table2Imagenet,
         &table3_cifar::Table3Cifar,
         &geometry_sweep::GeometrySweep,
+        &fault_sweep::FaultSweep,
         &speedup::Speedup,
         &snapshot_roundtrip::SnapshotRoundtrip,
         &lint_audit::LintAudit,

@@ -57,6 +57,14 @@ pub struct ArrayConfig {
     /// The fixed converter overhead per multiply is amortised over the mux
     /// group.
     pub column_mux: u8,
+    /// Replica (spare) bit-line columns available for redundancy remapping
+    /// (0 = no redundancy, the paper's macro).
+    ///
+    /// Spares sit physically after the data columns; a defective data column
+    /// can be swapped for a clean spare by the reliability layer
+    /// (`optima_imc::reliability`).  With column muxing, spares must come in
+    /// whole mux groups so a swapped-in spare still has a converter share.
+    pub spare_columns: u16,
 }
 
 impl Default for ArrayConfig {
@@ -75,6 +83,7 @@ impl ArrayConfig {
             rows: 16,
             columns: 4,
             column_mux: 1,
+            spare_columns: 0,
         }
     }
 
@@ -87,7 +96,14 @@ impl ArrayConfig {
             rows: 16,
             columns: 8,
             column_mux: 1,
+            spare_columns: 0,
         }
+    }
+
+    /// Returns a copy with `spare_columns` replica columns (builder style).
+    pub fn with_spares(mut self, spare_columns: u16) -> Self {
+        self.spare_columns = spare_columns;
+        self
     }
 
     /// Checks the geometry for internal consistency.
@@ -97,8 +113,9 @@ impl ArrayConfig {
     /// [`CircuitError::InvalidConverterConfig`] describing the first violated
     /// constraint: operand/slice widths out of the 1..=8 range, a slice width
     /// that does not divide the operand width, an empty array, columns that
-    /// cannot hold whole slice words, or a mux ratio that does not divide the
-    /// slice-word count evenly.
+    /// cannot hold whole slice words (or the whole stored word), a mux ratio
+    /// that does not divide the slice-word count evenly, more spares than
+    /// data columns, or a spare count that does not fill whole mux groups.
     pub fn validate(&self) -> Result<(), CircuitError> {
         let fail = |context: String| Err(CircuitError::InvalidConverterConfig { context });
         if self.operand_bits == 0 || self.operand_bits > 8 {
@@ -138,7 +155,31 @@ impl ArrayConfig {
                 self.column_mux, slice_words
             ));
         }
+        if self.columns < self.operand_bits as u16 {
+            return fail(format!(
+                "a row must hold the whole stored word: {} columns cannot store {} operand bits",
+                self.columns, self.operand_bits
+            ));
+        }
+        if self.spare_columns > self.columns {
+            return fail(format!(
+                "spare columns ({}) cannot outnumber the {} data columns",
+                self.spare_columns, self.columns
+            ));
+        }
+        if self.column_mux > 1 && !self.spare_columns.is_multiple_of(self.column_mux as u16) {
+            return fail(format!(
+                "spare columns ({}) must come in whole mux groups of {}",
+                self.spare_columns, self.column_mux
+            ));
+        }
         Ok(())
+    }
+
+    /// Physical bit-line columns per row including the spares,
+    /// `columns + spare_columns`.
+    pub fn physical_columns(&self) -> u16 {
+        self.columns + self.spare_columns
     }
 
     /// Largest representable operand, `2^operand_bits − 1`.
@@ -195,8 +236,12 @@ impl ArrayConfig {
         *self == ArrayConfig::paper()
     }
 
-    /// Short human-readable description, e.g. `16x4 int4` or
-    /// `16x8 int8 (4b slices, mux 2)`.
+    /// Short human-readable description, e.g. `16x4 int4`,
+    /// `16x8 int8 (4b slices, mux 2)` or `16x4 int4 +2sp`.
+    ///
+    /// Geometries without spares render exactly as before spares existed, so
+    /// historical report output (and the CI greps pinned to it) is
+    /// unaffected.
     pub fn describe(&self) -> String {
         let mut out = format!("{}x{} int{}", self.rows, self.columns, self.operand_bits);
         if self.slices() > 1 {
@@ -207,6 +252,9 @@ impl ArrayConfig {
             out.push(')');
         } else if self.column_mux > 1 {
             out.push_str(&format!(" (mux {})", self.column_mux));
+        }
+        if self.spare_columns > 0 {
+            out.push_str(&format!(" +{}sp", self.spare_columns));
         }
         out
     }
@@ -312,6 +360,53 @@ mod tests {
                 "{config:?}: {err} does not mention {needle:?}"
             );
         }
+    }
+
+    #[test]
+    fn spare_columns_validate_against_mux_and_width() {
+        // Plain spares on the paper macro are fine and show up in the
+        // description (the spare-free description is unchanged).
+        let spared = ArrayConfig::paper().with_spares(2);
+        spared.validate().unwrap();
+        assert_eq!(spared.physical_columns(), 6);
+        assert_eq!(spared.describe(), "16x4 int4 +2sp");
+        assert_eq!(ArrayConfig::paper().describe(), "16x4 int4");
+        assert!(!spared.is_paper());
+
+        // More spares than data columns is rejected with context.
+        let err = ArrayConfig::paper().with_spares(5).validate().unwrap_err();
+        assert!(err.to_string().contains("spare columns (5)"), "{err}");
+
+        // With column muxing, spares must fill whole mux groups: a lone
+        // spare has no converter share of its own.
+        let muxed = ArrayConfig {
+            columns: 8,
+            column_mux: 2,
+            ..ArrayConfig::paper()
+        };
+        assert!(muxed.with_spares(1).validate().is_err());
+        let err = muxed.with_spares(3).validate().unwrap_err();
+        assert!(err.to_string().contains("whole mux groups of 2"), "{err}");
+        muxed.with_spares(2).validate().unwrap();
+        muxed.with_spares(4).validate().unwrap();
+
+        // Spares do not relax the data-column constraints: the data columns
+        // alone must still hold the stored word (mirrors the CLI's
+        // columns-auto-grow rule, which sizes `columns` to `operand_bits`
+        // before spares are added on top).
+        let narrow = ArrayConfig {
+            operand_bits: 8,
+            columns: 4,
+            ..ArrayConfig::paper()
+        };
+        let err = narrow.validate().unwrap_err();
+        assert!(err.to_string().contains("whole stored word"), "{err}");
+        assert!(narrow.with_spares(4).validate().is_err());
+        let grown = ArrayConfig {
+            columns: 8,
+            ..narrow
+        };
+        grown.with_spares(4).validate().unwrap();
     }
 
     #[test]

@@ -19,6 +19,19 @@ pub enum CircuitError {
         /// The number of valid entries.
         size: usize,
     },
+    /// A two-dimensional array access (e.g. into a defect map) was outside
+    /// the array geometry.  Carries the full coordinate so a failure deep in
+    /// a sweep names the exact cell instead of a flat index.
+    CellOutOfRange {
+        /// Requested row.
+        row: u16,
+        /// Requested (physical) column.
+        column: u16,
+        /// Number of valid rows.
+        rows: u16,
+        /// Number of valid (physical) columns.
+        columns: u16,
+    },
     /// The underlying numeric routine failed.
     Numeric(MathError),
     /// A converter (DAC/ADC) was configured inconsistently.
@@ -36,6 +49,18 @@ impl fmt::Display for CircuitError {
             }
             CircuitError::AddressOutOfRange { index, size } => {
                 write!(f, "address {index} out of range for size {size}")
+            }
+            CircuitError::CellOutOfRange {
+                row,
+                column,
+                rows,
+                columns,
+            } => {
+                write!(
+                    f,
+                    "array cell (row {row}, column {column}) out of range for a \
+                     {rows}x{columns} array"
+                )
             }
             CircuitError::Numeric(err) => write!(f, "numeric error: {err}"),
             CircuitError::InvalidConverterConfig { context } => {
@@ -68,6 +93,16 @@ mod tests {
     fn display_messages() {
         let err = CircuitError::AddressOutOfRange { index: 7, size: 4 };
         assert_eq!(err.to_string(), "address 7 out of range for size 4");
+        let err = CircuitError::CellOutOfRange {
+            row: 16,
+            column: 5,
+            rows: 16,
+            columns: 6,
+        };
+        assert_eq!(
+            err.to_string(),
+            "array cell (row 16, column 5) out of range for a 16x6 array"
+        );
         let err = CircuitError::from(MathError::SingularMatrix);
         assert!(err.to_string().contains("singular"));
     }

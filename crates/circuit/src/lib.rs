@@ -14,6 +14,8 @@
 //!   (the *slow but accurate* reference OPTIMA is benchmarked against),
 //! * [`pvt`] — process/voltage/temperature operating points and sweeps
 //!   (Fig. 5),
+//! * [`defects`] — per-cell defect maps (stuck-at cells, open/shorted
+//!   bit-lines, retention drift) and lifetime aging trajectories,
 //! * [`montecarlo`] — transistor mismatch sampling (Fig. 5d),
 //! * [`energy`] — write/pre-charge/discharge energy accounting (Eqs. 7–8
 //!   reference data),
@@ -56,6 +58,7 @@ pub mod adc;
 pub mod array;
 pub mod bitline;
 pub mod dac;
+pub mod defects;
 pub mod energy;
 pub mod error;
 pub mod montecarlo;
@@ -75,6 +78,10 @@ pub mod prelude {
     pub use crate::array::ArrayConfig;
     pub use crate::bitline::BitLine;
     pub use crate::dac::Dac;
+    pub use crate::defects::{
+        BitLineFault, CellDefect, DefectCounts, DefectMap, DefectModel, LifetimePoint,
+        LifetimeTrajectory,
+    };
     pub use crate::energy::EnergyReport;
     pub use crate::error::CircuitError;
     pub use crate::montecarlo::{MismatchModel, MismatchSample};

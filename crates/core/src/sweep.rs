@@ -85,11 +85,12 @@ pub fn resolve_threads(requested: usize) -> usize {
 /// streams.  Seeding one RNG per item (instead of threading a single RNG
 /// through the sweep) is what makes Monte-Carlo sweeps bit-identical at any
 /// thread count.
+///
+/// Delegates to [`optima_math::seed::stream_seed`] (bit-identical to the
+/// historic local implementation), so the sweep engine and the circuit-level
+/// defect sampler derive their streams from the same permutation.
 pub fn stream_seed(base_seed: u64, index: u64) -> u64 {
-    let mut z = base_seed.wrapping_add(index.wrapping_add(1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
+    optima_math::seed::stream_seed(base_seed, index)
 }
 
 /// Maps `f` over `items` in parallel, failing on the first (lowest-index)

@@ -2,11 +2,14 @@
 
 use crate::data::Dataset;
 use crate::error::DnnError;
+use crate::multiplier::ProductTable;
 use crate::network::Network;
+use crate::quantized::QuantizedNetwork;
 use crate::tensor::Tensor;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// Deterministic per-epoch visit order of the training split.
 ///
@@ -151,6 +154,67 @@ impl Trainer {
         })
     }
 
+    /// Noise-aware fine-tuning against a (possibly faulted) product table:
+    /// each epoch re-quantises the float network through `products`, computes
+    /// the loss from the *quantised* logits (so the head sees exactly the
+    /// errors the deployed faulted multiplier makes) and back-propagates it
+    /// through the float network with a straight-through estimator, updating
+    /// only the head.  This is the standard recovery step for in-memory
+    /// compute accelerators whose arrays degrade in the field: the backbone
+    /// keeps its pre-trained features, the head learns around the fault
+    /// pattern.
+    ///
+    /// # Errors
+    ///
+    /// Propagates quantisation, forward/backward shape and label errors.
+    pub fn fine_tune_quantized(
+        &self,
+        network: &mut Network,
+        dataset: &Dataset,
+        products: &Arc<dyn ProductTable>,
+    ) -> Result<TrainingHistory, DnnError> {
+        let mut history = TrainingHistory::default();
+        let mut learning_rate = self.config.learning_rate;
+        let samples: Vec<(&Tensor, &usize)> = dataset.train_iter().collect();
+        for epoch in 0..self.config.epochs {
+            // Re-quantise once per epoch so the quantised view tracks the
+            // head updates of the previous epoch.
+            let quantized = QuantizedNetwork::from_network(network, Arc::clone(products))?;
+            let mut losses = Vec::with_capacity(dataset.train_len());
+            let mut correct = 0usize;
+            for &index in &epoch_order(samples.len(), epoch) {
+                let (image, label) = samples[index];
+                let noisy_logits = quantized.forward(image)?;
+                if noisy_logits.argmax() == Some(*label) {
+                    correct += 1;
+                }
+                let (loss, grad) = cross_entropy_with_gradient(&noisy_logits, *label)?;
+                losses.push(loss);
+                // Straight-through estimator: the float forward populates the
+                // layer caches, the gradient of the noisy loss flows back
+                // through them, and only the head applies it.
+                let _ = network.forward(image)?;
+                network.backward(&grad)?;
+                let last = network.len() - 1;
+                for (layer_index, layer) in network.layers_mut().iter_mut().enumerate() {
+                    if layer_index == last {
+                        layer.apply_gradients(learning_rate);
+                    } else {
+                        layer.zero_gradients();
+                    }
+                }
+            }
+            history
+                .epoch_losses
+                .push(losses.iter().sum::<f32>() / losses.len().max(1) as f32);
+            history
+                .epoch_accuracies
+                .push(correct as f64 / dataset.train_len().max(1) as f64);
+            learning_rate *= self.config.learning_rate_decay;
+        }
+        Ok(history)
+    }
+
     /// The shared SGD epoch loop; `apply` consumes the accumulated gradients
     /// after each sample's backward pass.
     fn run_epochs(
@@ -252,6 +316,83 @@ mod tests {
             *history.epoch_accuracies.last().unwrap() > 0.8,
             "training accuracy too low: {:?}",
             history.epoch_accuracies.last()
+        );
+    }
+
+    #[test]
+    fn noise_aware_fine_tuning_recovers_accuracy() {
+        use crate::multiplier::ProductTable;
+        use crate::quantized::QuantizedNetwork;
+        use std::sync::Arc;
+
+        /// A product table whose MSB weight column is stuck at zero — the
+        /// kind of systematic error a defective array column produces.
+        struct StuckMsbProducts;
+        impl ProductTable for StuckMsbProducts {
+            fn product(&self, a: u8, b: u8) -> u16 {
+                (a & 0x7) as u16 * b as u16
+            }
+            fn name(&self) -> String {
+                "stuck-msb".to_string()
+            }
+        }
+
+        fn quantized_test_accuracy(network: &Network, products: &Arc<dyn ProductTable>) -> f64 {
+            let quantized = QuantizedNetwork::from_network(network, Arc::clone(products)).unwrap();
+            let dataset = tiny_dataset();
+            let mut correct = 0usize;
+            let mut total = 0usize;
+            for (image, label) in dataset.test_iter() {
+                if quantized.forward(image).unwrap().argmax() == Some(*label) {
+                    correct += 1;
+                }
+                total += 1;
+            }
+            correct as f64 / total as f64
+        }
+
+        let dataset = tiny_dataset();
+        let mut network = mlp(3);
+        let trainer = Trainer::new(TrainingConfig {
+            epochs: 12,
+            learning_rate: 0.05,
+            learning_rate_decay: 0.95,
+        });
+        trainer.train(&mut network, &dataset).unwrap();
+        let faulted: Arc<dyn ProductTable> = Arc::new(StuckMsbProducts);
+        let before = quantized_test_accuracy(&network, &faulted);
+
+        // Capture backbone weights, fine-tune the head against the faulted
+        // products, then measure again with the same faulted table.
+        let backbone_before: Vec<f32> = network.layers()[1]
+            .as_any()
+            .downcast_ref::<Dense>()
+            .unwrap()
+            .weights()
+            .to_vec();
+        let tuner = Trainer::new(TrainingConfig {
+            epochs: 6,
+            learning_rate: 0.05,
+            learning_rate_decay: 0.95,
+        });
+        let history = tuner
+            .fine_tune_quantized(&mut network, &dataset, &faulted)
+            .unwrap();
+        assert_eq!(history.epoch_losses.len(), 6);
+        let backbone_after: Vec<f32> = network.layers()[1]
+            .as_any()
+            .downcast_ref::<Dense>()
+            .unwrap()
+            .weights()
+            .to_vec();
+        assert_eq!(
+            backbone_before, backbone_after,
+            "fine-tuning must leave the backbone frozen"
+        );
+        let after = quantized_test_accuracy(&network, &faulted);
+        assert!(
+            after >= before,
+            "fine-tuning must not hurt faulted accuracy: {before} -> {after}"
         );
     }
 

@@ -33,6 +33,21 @@ pub enum ImcError {
         /// The underlying error.
         source: Box<ImcError>,
     },
+    /// A defective array column could not be remapped because every spare
+    /// column is already used or itself defective.  Names the exact failing
+    /// coordinate — row, logical column and the analog slice pass that
+    /// consumes it — so a defect-triggered [`ImcError::CornerFailed`] deep
+    /// in a sweep is actionable.
+    UnrepairableDefect {
+        /// Array row of the stored operand.
+        row: u16,
+        /// Logical (data) column that is defective.
+        column: u16,
+        /// Analog slice pass (d-slice index) that reads the column.
+        slice_pass: u16,
+        /// Number of spare columns the geometry provides.
+        spares: u16,
+    },
     /// Error bubbled up from the OPTIMA models.
     Model(ModelError),
     /// Error bubbled up from the circuit-level converters.
@@ -55,6 +70,18 @@ impl fmt::Display for ImcError {
                 source,
             } => {
                 write!(f, "sweep corner {index} ({corner}) failed: {source}")
+            }
+            ImcError::UnrepairableDefect {
+                row,
+                column,
+                slice_pass,
+                spares,
+            } => {
+                write!(
+                    f,
+                    "unrepairable defect at array cell (row {row}, column {column}, slice pass \
+                     {slice_pass}): all {spares} spare columns are exhausted or defective"
+                )
             }
             ImcError::Model(err) => write!(f, "model error: {err}"),
             ImcError::Circuit(err) => write!(f, "circuit error: {err}"),
@@ -111,6 +138,45 @@ mod tests {
         assert!(ImcError::EmptyDesignSpace
             .to_string()
             .contains("no corners"));
+    }
+
+    #[test]
+    fn unrepairable_defect_names_the_full_coordinate() {
+        let err = ImcError::UnrepairableDefect {
+            row: 3,
+            column: 6,
+            slice_pass: 1,
+            spares: 2,
+        };
+        let message = err.to_string();
+        assert!(message.contains("row 3"), "{message}");
+        assert!(message.contains("column 6"), "{message}");
+        assert!(message.contains("slice pass 1"), "{message}");
+        assert!(message.contains("2 spare"), "{message}");
+    }
+
+    #[test]
+    fn corner_failed_chain_surfaces_the_defect_coordinate() {
+        // The display chain a sweep user actually sees: the corner wrapper
+        // must carry the nested coordinate through, not swallow it.
+        let err = ImcError::CornerFailed {
+            index: 7,
+            corner: "rate 0.2, lifetime step 3".to_string(),
+            source: Box::new(ImcError::UnrepairableDefect {
+                row: 0,
+                column: 2,
+                slice_pass: 0,
+                spares: 0,
+            }),
+        };
+        let message = err.to_string();
+        assert!(message.contains("corner 7"), "{message}");
+        assert!(
+            message.contains("(row 0, column 2, slice pass 0)"),
+            "{message}"
+        );
+        use std::error::Error;
+        assert!(err.source().is_some());
     }
 
     #[test]

@@ -14,6 +14,7 @@
 //! geometry reproduces the paper's array bit-for-bit.
 
 use crate::error::ImcError;
+use crate::reliability::FaultState;
 use optima_circuit::adc::Adc;
 use optima_circuit::array::ArrayConfig;
 use optima_circuit::dac::{Dac, DacTransfer};
@@ -156,6 +157,11 @@ pub struct InSramMultiplier {
     /// column-mux group.
     converter_overhead: FemtoJoules,
     nominal: OperatingPoint,
+    /// Optional reliability fault state (defects, redundancy remap, aging).
+    /// `None` is the pristine fast path and executes exactly the historic
+    /// float operations; a pristine `Some` state is bit-identical to it
+    /// (property-tested).
+    faults: Option<FaultState>,
 }
 
 impl InSramMultiplier {
@@ -214,6 +220,7 @@ impl InSramMultiplier {
             volts_per_lsb: 1.0,
             converter_overhead: FemtoJoules(2.0 / config.array.column_mux as f64),
             nominal,
+            faults: None,
         };
         multiplier.calibrate_transfer()?;
         Ok(multiplier)
@@ -242,6 +249,51 @@ impl InSramMultiplier {
     /// Nominal operating point used for calibration.
     pub fn nominal_operating_point(&self) -> OperatingPoint {
         self.nominal
+    }
+
+    /// Attaches a reliability fault state (builder style): every subsequent
+    /// multiplication sees the faulted cell behaviour — stuck cells gate the
+    /// discharge, open bit-lines contribute nothing, shorted bit-lines
+    /// discharge the full rail, retention drift scales each column's ΔV and
+    /// the accumulated V_th aging shaves the word-line overdrive.
+    ///
+    /// The transfer trim ([`InSramMultiplier::volts_per_lsb`]) is *not*
+    /// re-calibrated: the readout reference of the real circuit is trimmed
+    /// once at test time on (presumed-good) reference columns, so deployed
+    /// defects and aging show up as output error, exactly as in the field.
+    ///
+    /// # Errors
+    ///
+    /// [`ImcError::InvalidConfiguration`] when the fault state was built for
+    /// a different array geometry.
+    pub fn with_faults(mut self, faults: FaultState) -> Result<Self, ImcError> {
+        if faults.array() != &self.config.array {
+            return Err(ImcError::InvalidConfiguration {
+                context: format!(
+                    "fault state keyed to {} cannot attach to a {} multiplier",
+                    faults.array().describe(),
+                    self.config.array.describe()
+                ),
+            });
+        }
+        self.faults = Some(faults);
+        Ok(self)
+    }
+
+    /// The attached reliability fault state, if any.
+    pub fn faults(&self) -> Option<&FaultState> {
+        self.faults.as_ref()
+    }
+
+    /// Applies the accumulated V_th aging to a word-line voltage.  Without a
+    /// fault state this is the identity (no float operations at all), so the
+    /// pristine path stays bit-identical.
+    #[inline]
+    fn aged_word_line(&self, word_line: Volts) -> Volts {
+        match &self.faults {
+            None => word_line,
+            Some(faults) => Volts((word_line.0 - faults.vth_shift()).max(0.0)),
+        }
     }
 
     /// Least-squares calibration of the discharge-to-LSB transfer factor over
@@ -303,9 +355,11 @@ impl InSramMultiplier {
         let mut deltas = vec![0.0; operands * bits];
         let mut energies = vec![0.0; operands * bits];
         for a in 0..operands {
-            let word_line =
-                self.dac
-                    .output_with_supply(a as u16, at.vdd, self.models.vdd_nominal())?;
+            let word_line = self.aged_word_line(self.dac.output_with_supply(
+                a as u16,
+                at.vdd,
+                self.models.vdd_nominal(),
+            )?);
             word_lines.push(word_line);
             let delta_row = &mut deltas[a * bits..(a + 1) * bits];
             self.models.fill_discharges(
@@ -354,13 +408,73 @@ impl InSramMultiplier {
                 outcomes.push(self.compose_outcome(
                     a,
                     d,
-                    |_, a_slice, d_slice| grid.combined_discharge(a_slice, d_slice),
-                    |a_slice, bit| grid.energy(a_slice, bit),
+                    |pass, a_slice, d_slice| self.grid_discharge(&grid, pass, a_slice, d_slice, at),
+                    |pass, a_slice, bit| self.grid_energy(&grid, pass, a_slice, bit, at),
                     grid.write_energy,
                 ));
             }
         }
         Ok(outcomes)
+    }
+
+    /// Combined discharge of one pass from the precomputed grid, applying
+    /// the fault state when one is attached.  The `None` arm is the historic
+    /// pristine path; the faulted arm mirrors the scalar
+    /// [`InSramMultiplier::slice_discharge`] transform per `(pass, bit)`, so
+    /// the batched and scalar faulted paths stay bit-identical.
+    fn grid_discharge(
+        &self,
+        grid: &AnalogOperandGrid,
+        pass: usize,
+        a_slice: u16,
+        d_slice: u16,
+        at: OperatingPoint,
+    ) -> f64 {
+        match &self.faults {
+            None => grid.combined_discharge(a_slice, d_slice),
+            Some(faults) => {
+                let mut total = 0.0;
+                for bit in 0..grid.slice_bits {
+                    let stored = (d_slice >> bit) & 1 == 1;
+                    if !faults.column_discharges(pass, bit, stored) {
+                        continue;
+                    }
+                    if faults.is_shorted(pass, bit) {
+                        total += at.vdd.0;
+                        continue;
+                    }
+                    total += faults.scaled_delta(pass, bit, grid.delta(a_slice, bit));
+                }
+                total / grid.slice_bits as f64
+            }
+        }
+    }
+
+    /// Per-column discharge energy from the precomputed grid, applying the
+    /// fault state when one is attached (shorted bit-lines burn the energy
+    /// of a full-rail discharge; drifted cells the energy of their scaled
+    /// ΔV).
+    fn grid_energy(
+        &self,
+        grid: &AnalogOperandGrid,
+        pass: usize,
+        a_slice: u16,
+        bit: u8,
+        at: OperatingPoint,
+    ) -> f64 {
+        match &self.faults {
+            None => grid.energy(a_slice, bit),
+            Some(faults) => {
+                let delta = if faults.is_shorted(pass, bit) {
+                    at.vdd.0
+                } else {
+                    faults.scaled_delta(pass, bit, grid.delta(a_slice, bit))
+                };
+                self.models
+                    .discharge_energy(Volts(delta), at.vdd, at.temperature)
+                    .0
+            }
+        }
     }
 
     /// Analog mismatch σ of every operand pair, in operand-major order —
@@ -405,24 +519,43 @@ impl InSramMultiplier {
         Ok(grid)
     }
 
-    /// Charge-shared combined discharge of one analog pass for the slice
-    /// operands `a_slice` (DAC input) and `d_slice` (stored slice),
-    /// optionally with mismatch sampling.
+    /// Charge-shared combined discharge of one analog pass (`pass` in the
+    /// composed pass order) for the slice operands `a_slice` (DAC input) and
+    /// `d_slice` (stored slice), optionally with mismatch sampling.
+    ///
+    /// An attached fault state changes which columns discharge (stuck cells,
+    /// open/shorted bit-lines via the redundancy remap of `pass`) and scales
+    /// each surviving column's ΔV by its retention drift; shorted bit-lines
+    /// contribute the full rail without a model evaluation (and consume no
+    /// mismatch sample — a shorted column has no transistor to mismatch).
     fn slice_discharge<R: Rng + ?Sized>(
         &self,
+        pass: usize,
         a_slice: u16,
         d_slice: u16,
         at: OperatingPoint,
         mut rng: Option<&mut R>,
     ) -> Result<f64, ImcError> {
-        let word_line = self
-            .dac
-            .output_with_supply(a_slice, at.vdd, self.models.vdd_nominal())?;
+        let word_line = self.aged_word_line(self.dac.output_with_supply(
+            a_slice,
+            at.vdd,
+            self.models.vdd_nominal(),
+        )?);
         let mut total = 0.0;
         for bit in 0..self.config.array.slice_bits {
             let stored = (d_slice >> bit) & 1 == 1;
-            if !stored {
+            let discharges = match &self.faults {
+                None => stored,
+                Some(faults) => faults.column_discharges(pass, bit, stored),
+            };
+            if !discharges {
                 continue;
+            }
+            if let Some(faults) = &self.faults {
+                if faults.is_shorted(pass, bit) {
+                    total += at.vdd.0;
+                    continue;
+                }
             }
             let duration = self.column_duration(bit);
             let delta = match rng.as_mut() {
@@ -438,7 +571,10 @@ impl InSramMultiplier {
                     .models
                     .discharge(duration, word_line, true, at.vdd, at.temperature)?,
             };
-            total += delta.0;
+            total += match &self.faults {
+                None => delta.0,
+                Some(faults) => faults.scaled_delta(pass, bit, delta.0),
+            };
         }
         // Charge sharing across the slice's sampling capacitors averages the
         // individual discharges.
@@ -555,7 +691,14 @@ impl InSramMultiplier {
             let a_slice = (a >> (i * shift)) & mask;
             for j in 0..slices {
                 let d_slice = (d >> (j * shift)) & mask;
-                discharges.push(self.slice_discharge(a_slice, d_slice, at, rng.as_deref_mut())?);
+                let pass = discharges.len();
+                discharges.push(self.slice_discharge(
+                    pass,
+                    a_slice,
+                    d_slice,
+                    at,
+                    rng.as_deref_mut(),
+                )?);
             }
         }
         let write_energy = FemtoJoules(
@@ -564,11 +707,20 @@ impl InSramMultiplier {
         // Energy readout mirrors the real circuit: it cannot fail once the
         // pass discharges above succeeded, so fall back to zero-energy terms
         // instead of propagating.
-        let column_energy = |a_slice: u16, bit: u8| {
-            let word_line = self
-                .dac
-                .output_with_supply(a_slice, at.vdd, self.models.vdd_nominal())
-                .unwrap_or(Volts(self.config.vdac_zero.0));
+        let column_energy = |pass: usize, a_slice: u16, bit: u8| {
+            if let Some(faults) = &self.faults {
+                if faults.is_shorted(pass, bit) {
+                    return self
+                        .models
+                        .discharge_energy(Volts(at.vdd.0), at.vdd, at.temperature)
+                        .0;
+                }
+            }
+            let word_line = self.aged_word_line(
+                self.dac
+                    .output_with_supply(a_slice, at.vdd, self.models.vdd_nominal())
+                    .unwrap_or(Volts(self.config.vdac_zero.0)),
+            );
             let delta = self
                 .models
                 .discharge(
@@ -580,6 +732,10 @@ impl InSramMultiplier {
                 )
                 .map(|v| v.0)
                 .unwrap_or(0.0);
+            let delta = match &self.faults {
+                None => delta,
+                Some(faults) => faults.scaled_delta(pass, bit, delta),
+            };
             self.models
                 .discharge_energy(Volts(delta), at.vdd, at.temperature)
                 .0
@@ -632,7 +788,7 @@ impl InSramMultiplier {
         a: u16,
         d: u16,
         mut slice_discharge: impl FnMut(usize, u16, u16) -> f64,
-        column_energy: impl Fn(u16, u8) -> f64,
+        column_energy: impl Fn(usize, u16, u8) -> f64,
         write_energy: FemtoJoules,
     ) -> MultiplyOutcome {
         let array = &self.config.array;
@@ -666,9 +822,16 @@ impl InSramMultiplier {
                 };
                 acc.result += code << weight;
                 acc.multiply_energy += self.converter_overhead.0;
+                // Energy follows the columns that actually discharge: a
+                // fault state can gate a stored 1 off (stuck-at-0, open
+                // bit-line) or a stored 0 on (stuck-at-1, short).
+                let gates = match &self.faults {
+                    None => d_slice,
+                    Some(faults) => faults.gate_bits(pass, d_slice),
+                };
                 for bit in 0..slice_bits {
-                    if (d_slice >> bit) & 1 == 1 {
-                        acc.multiply_energy += column_energy(a_slice, bit);
+                    if (gates >> bit) & 1 == 1 {
+                        acc.multiply_energy += column_energy(pass, a_slice, bit);
                     }
                 }
                 acc
@@ -1216,6 +1379,204 @@ mod tests {
         // With the identity supply model the only effect is the DAC reference,
         // which lowers the word-line voltage and therefore the result.
         assert!(low_supply.result <= nominal.result);
+    }
+
+    #[test]
+    fn pristine_fault_state_is_bit_identical_to_no_fault_state() {
+        use crate::reliability::FaultState;
+        use optima_circuit::defects::DefectMap;
+        let multiplier = InSramMultiplier::new(linear_suite(), ideal_config()).unwrap();
+        let at = multiplier.nominal_operating_point();
+        let baseline = MultiplierTable::from_multiplier(&multiplier, at).unwrap();
+        let array = *multiplier.array();
+        let state = FaultState::unmitigated(&array, DefectMap::none(&array), 0).unwrap();
+        let faulted = multiplier.with_faults(state).unwrap();
+        assert!(faulted.faults().unwrap().is_pristine());
+        let table = MultiplierTable::from_multiplier(&faulted, at).unwrap();
+        assert_eq!(table, baseline);
+        let scalar = MultiplierTable::from_multiplier_scalar(&faulted, at).unwrap();
+        assert_eq!(scalar, baseline);
+    }
+
+    #[test]
+    fn faulted_grid_is_bit_identical_to_faulted_scalar() {
+        use crate::reliability::FaultState;
+        use optima_circuit::defects::{DefectMap, DefectModel, LifetimeTrajectory};
+        let array = ArrayConfig::paper().with_spares(2);
+        let config = ideal_config().with_array(array);
+        let map = DefectMap::sample(&array, &DefectModel::uniform(0.25, 17)).unwrap();
+        let state = FaultState::unmitigated(&array, map, 0)
+            .unwrap()
+            .with_lifetime(&LifetimeTrajectory::nbti_like().at(3));
+        let multiplier = InSramMultiplier::new(linear_suite(), config)
+            .unwrap()
+            .with_faults(state)
+            .unwrap();
+        let at = multiplier.nominal_operating_point();
+        let batched = MultiplierTable::from_multiplier(&multiplier, at).unwrap();
+        let scalar = MultiplierTable::from_multiplier_scalar(&multiplier, at).unwrap();
+        assert_eq!(batched, scalar);
+    }
+
+    #[test]
+    fn stuck_at_zero_column_zeroes_its_bit_weight() {
+        use crate::reliability::FaultState;
+        use optima_circuit::defects::{CellDefect, DefectMap, DefectModel};
+        let array = ArrayConfig::paper();
+        // Find a map whose row 0 has a stuck-at-0 cell on a healthy bit-line
+        // and nothing else wrong in the word.
+        let (map, column) = (0..10_000u64)
+            .find_map(|seed| {
+                let map = DefectMap::sample(
+                    &array,
+                    &DefectModel {
+                        stuck_at_zero_rate: 0.15,
+                        ..DefectModel::pristine(seed)
+                    },
+                )
+                .unwrap();
+                let stuck: Vec<u16> = (0..4)
+                    .filter(|&c| map.cell_unchecked(0, c) == CellDefect::StuckAtZero)
+                    .collect();
+                (stuck.len() == 1).then(|| (map.clone(), stuck[0]))
+            })
+            .expect("no single stuck-at-0 map found");
+        let state = FaultState::unmitigated(&array, map, 0).unwrap();
+        let multiplier = InSramMultiplier::new(linear_suite(), ideal_config())
+            .unwrap()
+            .with_faults(state)
+            .unwrap();
+        // Storing exactly the stuck bit yields zero; the other bits survive.
+        let d = 1u16 << column;
+        assert_eq!(multiplier.multiply(15, d).unwrap().result, 0);
+        let healthy_bit = (0..4).find(|&b| b != column).unwrap();
+        assert!(multiplier.multiply(15, 1 << healthy_bit).unwrap().result > 0);
+    }
+
+    #[test]
+    fn shorted_bitline_inflates_results_and_energy() {
+        use crate::reliability::FaultState;
+        use optima_circuit::defects::{BitLineFault, DefectMap, DefectModel};
+        let array = ArrayConfig::paper();
+        let map = (0..10_000u64)
+            .find_map(|seed| {
+                let map = DefectMap::sample(
+                    &array,
+                    &DefectModel {
+                        short_bitline_rate: 0.12,
+                        ..DefectModel::pristine(seed)
+                    },
+                )
+                .unwrap();
+                (0..4)
+                    .any(|c| map.bitline_unchecked(c) == BitLineFault::Shorted)
+                    .then_some(map)
+            })
+            .expect("no shorted-bit-line map found");
+        let column = (0..4)
+            .find(|&c| map.bitline_unchecked(c) == BitLineFault::Shorted)
+            .unwrap();
+        let state = FaultState::unmitigated(&array, map, 0).unwrap();
+        let pristine = InSramMultiplier::new(linear_suite(), ideal_config()).unwrap();
+        let faulted = pristine.clone().with_faults(state).unwrap();
+        // A stored 0 on the shorted column still discharges the full rail:
+        // the result and the energy both exceed the pristine multiplier's.
+        let d_without = 0u16; // nothing stored at all
+        let good = pristine.multiply(15, d_without).unwrap();
+        let bad = faulted.multiply(15, d_without).unwrap();
+        assert!(bad.result > good.result, "short must inflate the product");
+        assert!(bad.multiply_energy.0 > good.multiply_energy.0);
+        let _ = column;
+    }
+
+    #[test]
+    fn vth_aging_weakens_the_discharge() {
+        use crate::reliability::FaultState;
+        use optima_circuit::defects::{DefectMap, LifetimeTrajectory};
+        let array = ArrayConfig::paper();
+        let pristine = InSramMultiplier::new(linear_suite(), ideal_config()).unwrap();
+        let aged_state = FaultState::unmitigated(&array, DefectMap::none(&array), 0)
+            .unwrap()
+            .with_lifetime(&LifetimeTrajectory::nbti_like().at(10));
+        let aged = pristine.clone().with_faults(aged_state).unwrap();
+        let fresh = pristine.multiply(15, 15).unwrap();
+        let old = aged.multiply(15, 15).unwrap();
+        assert!(
+            old.combined_discharge.0 < fresh.combined_discharge.0,
+            "V_th aging must weaken the discharge: {} vs {}",
+            old.combined_discharge.0,
+            fresh.combined_discharge.0
+        );
+        assert!(old.result <= fresh.result);
+    }
+
+    #[test]
+    fn redundancy_remap_repairs_a_defective_column() {
+        use crate::reliability::FaultState;
+        use optima_circuit::defects::{DefectMap, DefectModel};
+        let array = ArrayConfig::paper().with_spares(2);
+        let config = ideal_config().with_array(array);
+        // A map with at least one hard fault in row 0's word but clean spares.
+        let map = (0..10_000u64)
+            .find_map(|seed| {
+                let map = DefectMap::sample(
+                    &array,
+                    &DefectModel {
+                        stuck_at_zero_rate: 0.2,
+                        ..DefectModel::pristine(seed)
+                    },
+                )
+                .unwrap();
+                let word_faults = (0..4).filter(|&c| map.is_hard_faulted(0, c)).count();
+                let spare_faults = (4..6).filter(|&c| map.is_hard_faulted(0, c)).count();
+                ((1..=2).contains(&word_faults) && spare_faults == 0).then_some(map)
+            })
+            .expect("no repairable map found");
+        let at;
+        let unmitigated = {
+            let state = FaultState::unmitigated(&array, map.clone(), 0).unwrap();
+            let m = InSramMultiplier::new(linear_suite(), config)
+                .unwrap()
+                .with_faults(state)
+                .unwrap();
+            at = m.nominal_operating_point();
+            MultiplierTable::from_multiplier(&m, at).unwrap()
+        };
+        let repaired = {
+            let state = FaultState::with_redundancy(&array, map, 0).unwrap();
+            assert!(state.remap().remapped() >= 1);
+            let m = InSramMultiplier::new(linear_suite(), config)
+                .unwrap()
+                .with_faults(state)
+                .unwrap();
+            MultiplierTable::from_multiplier(&m, at).unwrap()
+        };
+        assert!(
+            repaired.mean_absolute_error() < unmitigated.mean_absolute_error(),
+            "redundancy must reduce the table error: {} vs {}",
+            repaired.mean_absolute_error(),
+            unmitigated.mean_absolute_error()
+        );
+        // Clean spares restore the pristine table exactly.
+        let pristine = InSramMultiplier::new(linear_suite(), config).unwrap();
+        let baseline = MultiplierTable::from_multiplier(&pristine, at).unwrap();
+        assert_eq!(
+            repaired.mean_absolute_error(),
+            baseline.mean_absolute_error()
+        );
+    }
+
+    #[test]
+    fn fault_state_geometry_must_match_the_multiplier() {
+        use crate::reliability::FaultState;
+        use optima_circuit::defects::DefectMap;
+        let spare_array = ArrayConfig::paper().with_spares(2);
+        let state =
+            FaultState::unmitigated(&spare_array, DefectMap::none(&spare_array), 0).unwrap();
+        let multiplier = InSramMultiplier::new(linear_suite(), ideal_config()).unwrap();
+        let err = multiplier.with_faults(state).unwrap_err();
+        assert!(matches!(err, ImcError::InvalidConfiguration { .. }));
+        assert!(err.to_string().contains("+2sp"), "{err}");
     }
 
     #[test]

@@ -18,6 +18,8 @@
 //! * [`stats`] — descriptive statistics, RMS/RMSE, histograms, correlation.
 //! * [`distributions`] — Gaussian sampling helpers used for transistor
 //!   mismatch Monte Carlo.
+//! * [`seed`] — SplitMix64 seed-stream derivation shared by the sweep
+//!   engine, Monte-Carlo sampling and the defect-map sampler.
 //! * [`interp`] — linear and bilinear interpolation over waveforms/grids.
 //! * [`ode`] — fixed-step RK4 and adaptive RK45 integrators used by the
 //!   golden-reference circuit simulator.
@@ -51,6 +53,7 @@ pub mod linalg;
 pub mod lsq;
 pub mod ode;
 pub mod polynomial;
+pub mod seed;
 pub mod stats;
 pub mod units;
 

@@ -1,5 +1,6 @@
 //! Property-based tests on cross-crate invariants (proptest).
 
+use optima_suite::optima_circuit::defects::DefectMap;
 use optima_suite::optima_circuit::montecarlo::MismatchSample;
 use optima_suite::optima_circuit::prelude::*;
 use optima_suite::optima_core::model::discharge::DischargeModel;
@@ -17,6 +18,7 @@ use optima_suite::optima_imc::metrics::evaluate_multiplier_at_scalar;
 use optima_suite::optima_imc::multiplier::{
     InSramMultiplier, MultiplierConfig, MultiplierTable, OperatingPoint,
 };
+use optima_suite::optima_imc::reliability::FaultState;
 use optima_suite::optima_math::lsq::polynomial_fit;
 use optima_suite::optima_math::units::{Celsius, Seconds, Volts};
 use optima_suite::optima_math::Polynomial;
@@ -266,6 +268,71 @@ proptest! {
             prop_assert_eq!(product, reference.product(a, b), "{} x {}", a, b);
             prop_assert_eq!(product, a as u16 * b as u16, "{} x {}", a, b);
         }
+    }
+
+    /// A `DefectMap::none()` fault state — even routed through the
+    /// redundancy planner over an array with spare columns — leaves the
+    /// multiplier table and the quantized-DNN evaluation bit-identical to
+    /// the fault-free path, at any worker-thread count.  This pins the
+    /// tentpole invariant that fault injection costs nothing when nothing
+    /// is broken.
+    #[test]
+    fn pristine_defect_map_is_bit_identical_at_any_thread_count(threads in 1usize..=8) {
+        use optima_suite::optima_dnn::data::{Dataset, SyntheticImageConfig};
+        use optima_suite::optima_dnn::eval::evaluate_batched;
+        use optima_suite::optima_dnn::layers::{Conv2d, Dense, Flatten, MaxPool2d, Relu};
+        use optima_suite::optima_dnn::multiplier::InMemoryProducts;
+        use optima_suite::optima_dnn::network::Network;
+        use optima_suite::optima_dnn::quantized::QuantizedNetwork;
+        use rand::SeedableRng;
+        use std::sync::Arc;
+
+        let array = optima_suite::optima_circuit::array::ArrayConfig::default().with_spares(2);
+        let config = MultiplierConfig::new(Seconds(0.16e-9), Volts(0.45), Volts(1.0))
+            .with_array(array);
+        let baseline = InSramMultiplier::new(pvt_sensitive_suite(), config).unwrap();
+        let at = baseline.nominal_operating_point();
+        let faults = FaultState::with_redundancy(&array, DefectMap::none(&array), 0).unwrap();
+        prop_assert!(faults.is_pristine());
+        let faulted = baseline.clone().with_faults(faults).unwrap();
+
+        let base_table = MultiplierTable::from_multiplier(&baseline, at).unwrap();
+        let fault_table = MultiplierTable::from_multiplier(&faulted, at).unwrap();
+        prop_assert_eq!(&base_table, &fault_table);
+
+        let dataset = Dataset::synthetic(SyntheticImageConfig {
+            classes: 4,
+            image_size: 8,
+            channels: 1,
+            train_per_class: 2,
+            test_per_class: 3,
+            noise_level: 0.1,
+            seed: 0x5eed_caf3,
+        });
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(0x0abc_1234);
+        let network = Network::new(vec![
+            Box::new(Conv2d::new(1, 4, 3, &mut rng)),
+            Box::new(Relu::new()),
+            Box::new(MaxPool2d::new()),
+            Box::new(Flatten::new()),
+            Box::new(Dense::new(4 * 4 * 4, 4, &mut rng)),
+        ]);
+        let base_products: Arc<dyn ProductTable> =
+            Arc::new(InMemoryProducts::new(base_table, "pristine"));
+        let fault_products: Arc<dyn ProductTable> =
+            Arc::new(InMemoryProducts::new(fault_table, "none-map"));
+        let base_net = QuantizedNetwork::from_network(&network, base_products).unwrap();
+        let fault_net = QuantizedNetwork::from_network(&network, fault_products).unwrap();
+        for (image, _) in dataset.test_iter() {
+            let base_logits = base_net.forward(image).unwrap();
+            let fault_logits = fault_net.forward(image).unwrap();
+            for (a, b) in base_logits.data().iter().zip(fault_logits.data()) {
+                prop_assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+        let base_report = evaluate_batched(&base_net, &dataset, threads).unwrap();
+        let fault_report = evaluate_batched(&fault_net, &dataset, 1).unwrap();
+        prop_assert_eq!(base_report, fault_report);
     }
 
     /// The batched operand grids stay bit-identical to the scalar reference
