@@ -14,6 +14,10 @@
 //! and corner metrics vs. the scalar loops), so a perf regression hunt can
 //! never silently trade correctness for speed.
 //!
+//! The DNN report additionally enforces [`SPEEDUP_FLOORS`]: each committed
+//! workload must hold roughly 80 % of the speedup recorded in the checked-in
+//! `BENCH_dnn.json`, and the process exits nonzero when one regresses.
+//!
 //! ```bash
 //! OPTIMA_PROFILE=fast cargo run --release --bin bench_report   # CI quick mode
 //! cargo run --release --bin bench_report                       # full workload
@@ -32,6 +36,7 @@ use optima_dnn::multiplier::ExactInt4Products;
 use optima_dnn::network::Network;
 use optima_dnn::quantized::QuantizedNetwork;
 use optima_dnn::reference;
+use optima_dnn::scratch::KernelScratch;
 use optima_dnn::Tensor;
 use optima_imc::metrics::{evaluate_multiplier_at, evaluate_multiplier_at_scalar};
 use optima_imc::multiplier::{InSramMultiplier, MultiplierConfig, MultiplierTable};
@@ -42,6 +47,20 @@ use std::hint::black_box;
 use std::sync::Arc;
 use std::time::Instant;
 
+/// Committed speedup floors for the DNN workloads: roughly 80 % of the
+/// speedups recorded in the checked-in `BENCH_dnn.json`.  `bench_report`
+/// exits nonzero when a measured speedup falls below its floor, so a hot-path
+/// regression fails CI instead of silently rewriting the perf trajectory.
+/// Quick mode halves the floors — 30-iteration runs on shared runners are
+/// noisy — while still catching order-of-magnitude regressions.
+const SPEEDUP_FLOORS: &[(&str, f64)] = &[
+    ("conv2d_forward_8to16_16x16_k3", 18.0),
+    ("dense_forward_1024to256", 5.0),
+    ("quantized_forward_3ch_16x16_int4", 18.0),
+    ("float_dataset_eval_16x16", 9.0),
+    ("quantized_dataset_eval_16x16_int4", 14.0),
+];
+
 /// One before/after workload measurement.
 struct Workload {
     name: &'static str,
@@ -50,6 +69,11 @@ struct Workload {
     baseline_seconds: f64,
     optimized_seconds: f64,
     iterations: usize,
+    /// Multiply-accumulate FLOPs one iteration performs (0 when the workload
+    /// has no meaningful FLOP count, e.g. wall-clock-only measurements).
+    flops_per_iteration: f64,
+    /// Product-LUT gathers one iteration performs (0 for float workloads).
+    lut_lookups_per_iteration: f64,
 }
 
 impl Workload {
@@ -58,7 +82,7 @@ impl Workload {
     }
 
     fn to_json(&self) -> Json {
-        Json::object(vec![
+        let mut fields = vec![
             ("name", Json::str(self.name)),
             ("baseline", Json::str(self.baseline)),
             ("optimized", Json::str(self.optimized)),
@@ -77,7 +101,58 @@ impl Workload {
                 ),
             ),
             ("speedup", Json::Fixed(self.speedup(), 2)),
-        ])
+        ];
+        if self.flops_per_iteration > 0.0 {
+            let total = self.flops_per_iteration * self.iterations as f64;
+            fields.push((
+                "baseline_gflops",
+                Json::Fixed(total / self.baseline_seconds.max(1e-12) / 1e9, 3),
+            ));
+            fields.push((
+                "optimized_gflops",
+                Json::Fixed(total / self.optimized_seconds.max(1e-12) / 1e9, 3),
+            ));
+        }
+        if self.lut_lookups_per_iteration > 0.0 {
+            let total = self.lut_lookups_per_iteration * self.iterations as f64;
+            fields.push((
+                "optimized_lut_lookups_per_second",
+                Json::Fixed(total / self.optimized_seconds.max(1e-12), 0),
+            ));
+        }
+        fields.push((
+            "speedup_floor",
+            match SPEEDUP_FLOORS.iter().find(|(name, _)| *name == self.name) {
+                Some(&(_, floor)) => Json::Fixed(floor, 2),
+                None => Json::Null,
+            },
+        ));
+        Json::object(fields)
+    }
+}
+
+/// Fails the process when a DNN workload's measured speedup regresses below
+/// its committed floor (halved in quick mode to absorb runner noise).
+fn enforce_speedup_floors(workloads: &[Workload], quick: bool) {
+    let relax = if quick { 0.5 } else { 1.0 };
+    let mut failed = false;
+    for &(name, floor) in SPEEDUP_FLOORS {
+        let Some(workload) = workloads.iter().find(|w| w.name == name) else {
+            eprintln!("speedup floor names an unknown workload: {name}");
+            failed = true;
+            continue;
+        };
+        let floor = floor * relax;
+        if workload.speedup() < floor {
+            eprintln!(
+                "{name}: measured speedup {:.2}x is below the committed floor {floor:.2}x",
+                workload.speedup()
+            );
+            failed = true;
+        }
+    }
+    if failed {
+        std::process::exit(1);
     }
 }
 
@@ -116,16 +191,37 @@ fn eval_network(channels: usize, size: usize, classes: usize) -> Network {
     ])
 }
 
+/// Product-LUT gathers in one forward pass of [`eval_network`]: one lookup
+/// per (weight-code, activation) MAC in the two conv layers and the dense
+/// head.
+fn eval_network_lut_lookups(channels: usize, size: usize, classes: usize) -> f64 {
+    let conv1 = 8 * (channels * 3 * 3) * (size * size);
+    let pooled = size / 2;
+    let conv2 = 16 * (8 * 3 * 3) * (pooled * pooled);
+    let dense = 16 * (size / 4) * (size / 4) * classes;
+    (conv1 + conv2 + dense) as f64
+}
+
 fn main() {
     let quick = Profile::from_env().is_fast();
     let iterations = if quick { 30 } else { 200 };
     let mut workloads = Vec::new();
 
-    // 1. Convolution forward: naive six-deep loop vs. im2col + GEMM.
+    // 1. Convolution forward: naive six-deep loop vs. packed-panel GEMM
+    //    through the zero-allocation scratch arena (the steady-state path).
     {
         let mut rng = ChaCha8Rng::seed_from_u64(7);
         let conv = Conv2d::new(8, 16, 3, &mut rng);
         let image = random_image(8, 16, 1);
+        let mut scratch = KernelScratch::new();
+        let mut output = Tensor::default();
+        conv.infer_into(&image, &mut output, &mut scratch)
+            .expect("conv shapes fit");
+        assert_eq!(
+            output,
+            conv.infer(&image).expect("conv shapes fit"),
+            "scratch conv path must be bit-identical to the allocating path"
+        );
         let baseline_seconds = time_iterations(iterations, || {
             black_box(reference::conv2d_forward(
                 image.data(),
@@ -139,15 +235,20 @@ fn main() {
             ));
         });
         let optimized_seconds = time_iterations(iterations, || {
-            black_box(conv.infer(&image).expect("conv shapes fit"));
+            conv.infer_into(&image, &mut output, &mut scratch)
+                .expect("conv shapes fit");
+            black_box(output.data());
         });
         workloads.push(Workload {
             name: "conv2d_forward_8to16_16x16_k3",
             baseline: "naive-scalar",
-            optimized: "im2col-gemm",
+            optimized: "packed-gemm-scratch",
             baseline_seconds,
             optimized_seconds,
             iterations,
+            // 2 FLOPs per MAC over out_channels × patch × output pixels.
+            flops_per_iteration: (2 * 16 * (8 * 3 * 3) * (16 * 16)) as f64,
+            lut_lookups_per_iteration: 0.0,
         });
     }
 
@@ -167,16 +268,31 @@ fn main() {
                 256,
             ));
         });
+        let mut scratch = KernelScratch::new();
+        let mut output = Tensor::default();
+        dense
+            .infer_into(&input, &mut output, &mut scratch)
+            .expect("dense shapes fit");
+        assert_eq!(
+            output,
+            dense.infer(&input).expect("dense shapes fit"),
+            "scratch dense path must be bit-identical to the allocating path"
+        );
         let optimized_seconds = time_iterations(iterations, || {
-            black_box(dense.infer(&input).expect("dense shapes fit"));
+            dense
+                .infer_into(&input, &mut output, &mut scratch)
+                .expect("dense shapes fit");
+            black_box(output.data());
         });
         workloads.push(Workload {
             name: "dense_forward_1024to256",
             baseline: "naive-scalar",
-            optimized: "gemv",
+            optimized: "packed-gemv-scratch",
             baseline_seconds,
             optimized_seconds,
             iterations,
+            flops_per_iteration: (2 * 1024 * 256) as f64,
+            lut_lookups_per_iteration: 0.0,
         });
     }
 
@@ -193,25 +309,31 @@ fn main() {
         .expect("quantization succeeds");
         assert!(lut.uses_snapshot() && !dyn_dispatch.uses_snapshot());
         let image = random_image(3, 16, 3);
+        let mut scratch = KernelScratch::new();
         let reference_logits = dyn_dispatch.forward(&image).expect("shapes fit");
-        let lut_logits = lut.forward(&image).expect("shapes fit");
+        let lut_logits = lut
+            .forward_with(&image, &mut scratch)
+            .expect("shapes fit")
+            .clone();
         assert_eq!(
             reference_logits, lut_logits,
-            "quantized LUT output must be bit-identical to the reference"
+            "quantized gather output must be bit-identical to the reference"
         );
         let baseline_seconds = time_iterations(iterations, || {
             black_box(dyn_dispatch.forward(&image).expect("shapes fit"));
         });
         let optimized_seconds = time_iterations(iterations, || {
-            black_box(lut.forward(&image).expect("shapes fit"));
+            black_box(lut.forward_with(&image, &mut scratch).expect("shapes fit"));
         });
         workloads.push(Workload {
             name: "quantized_forward_3ch_16x16_int4",
             baseline: "dyn-dispatch",
-            optimized: "flat-lut",
+            optimized: "lut-gather-scratch",
             baseline_seconds,
             optimized_seconds,
             iterations,
+            flops_per_iteration: 0.0,
+            lut_lookups_per_iteration: eval_network_lut_lookups(3, 16, 10),
         });
     }
 
@@ -241,10 +363,14 @@ fn main() {
         workloads.push(Workload {
             name: "float_dataset_eval_16x16",
             baseline: "naive-serial",
-            optimized: "im2col-gemm-parallel",
+            optimized: "packed-gemm-parallel-scratch",
             baseline_seconds,
             optimized_seconds,
             iterations: passes * dataset.test_len(),
+            // 2 FLOPs per MAC, one network forward per iteration (image).
+            flops_per_iteration: 2.0
+                * eval_network_lut_lookups(shape[0], shape[1], dataset.classes()),
+            lut_lookups_per_iteration: 0.0,
         });
 
         // The same dataset through the quantized engine, checking that the
@@ -275,10 +401,16 @@ fn main() {
         workloads.push(Workload {
             name: "quantized_dataset_eval_16x16_int4",
             baseline: "dyn-dispatch-serial",
-            optimized: "flat-lut-parallel",
+            optimized: "lut-gather-parallel-scratch",
             baseline_seconds,
             optimized_seconds,
             iterations: passes * dataset.test_len(),
+            flops_per_iteration: 0.0,
+            lut_lookups_per_iteration: eval_network_lut_lookups(
+                shape[0],
+                shape[1],
+                dataset.classes(),
+            ),
         });
     }
 
@@ -293,6 +425,7 @@ fn main() {
         "DNN kernel perf report (written to BENCH_dnn.json)",
         &workloads,
     );
+    enforce_speedup_floors(&workloads, quick);
 
     let analog = analog_workloads(quick);
     write_report(
@@ -344,6 +477,8 @@ fn analog_workloads(quick: bool) -> Vec<Workload> {
             baseline_seconds,
             optimized_seconds,
             iterations,
+            flops_per_iteration: 0.0,
+            lut_lookups_per_iteration: 0.0,
         });
     }
 
@@ -386,6 +521,8 @@ fn analog_workloads(quick: bool) -> Vec<Workload> {
             baseline_seconds,
             optimized_seconds,
             iterations: passes * corners.len(),
+            flops_per_iteration: 0.0,
+            lut_lookups_per_iteration: 0.0,
         });
     }
 
@@ -417,6 +554,8 @@ fn analog_workloads(quick: bool) -> Vec<Workload> {
             baseline_seconds,
             optimized_seconds,
             iterations: 1,
+            flops_per_iteration: 0.0,
+            lut_lookups_per_iteration: 0.0,
         });
     }
 

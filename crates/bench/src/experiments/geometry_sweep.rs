@@ -16,6 +16,7 @@ use optima_circuit::array::ArrayConfig;
 use optima_dnn::multiplier::InMemoryProducts;
 use optima_dnn::network::Network;
 use optima_dnn::quantized::QuantizedNetwork;
+use optima_dnn::scratch::KernelScratch;
 use optima_dnn::Tensor;
 use optima_imc::metrics::evaluate_multiplier;
 use optima_imc::multiplier::{InSramMultiplier, MultiplierConfig, MultiplierTable};
@@ -109,6 +110,17 @@ impl GeometrySweep {
         }
         let probe = Self::probe_image(ctx.seed());
         let logits = quantized.forward(&probe)?;
+        // The zero-allocation gather path must agree bit-for-bit with the
+        // flat-LUT path at this geometry — including multi-pass composed
+        // widths, where the slice-composed wide products feed the 8-pixel
+        // gather kernels.
+        let mut scratch = KernelScratch::new();
+        if quantized.forward_with(&probe, &mut scratch)? != &logits {
+            return Err(BenchError::Failed(format!(
+                "scratch gather path diverges from the flat-LUT path at geometry {}",
+                array.describe()
+            )));
+        }
         if logits.data().iter().any(|v| !v.is_finite()) {
             return Err(BenchError::Failed(format!(
                 "non-finite logits at geometry {}",

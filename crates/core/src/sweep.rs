@@ -117,14 +117,53 @@ where
     E: Send,
     F: Fn(usize, &I) -> Result<O, E> + Sync,
 {
+    par_map_sweep_with(items, threads, || (), |_, index, item| f(index, item))
+}
+
+/// [`par_map_sweep`] with per-worker mutable state.
+///
+/// `init` runs **once on each worker thread** (and once on the calling
+/// thread for a serial sweep); the state it builds is handed `&mut` to
+/// every invocation of `f` on that worker.  This is how per-thread scratch
+/// arenas (e.g. the DNN evaluator's `KernelScratch`) are threaded through a
+/// sweep without locking: each worker reuses one arena across its whole
+/// contiguous chunk, so the steady state allocates nothing per item.
+///
+/// Chunking, ordering, error selection and panic behaviour are identical to
+/// [`par_map_sweep`] — the state cannot influence which items a worker
+/// sees, so determinism is preserved whenever `f`'s *result* is independent
+/// of the state's history (true for pure scratch buffers).
+///
+/// # Errors
+///
+/// Returns [`SweepError`] wrapping the first failing item's error.
+///
+/// # Panics
+///
+/// Re-raises panics from worker threads on the calling thread.
+pub fn par_map_sweep_with<I, O, E, S, N, F>(
+    items: &[I],
+    threads: usize,
+    init: N,
+    f: F,
+) -> Result<Vec<O>, SweepError<E>>
+where
+    I: Sync,
+    O: Send,
+    E: Send,
+    N: Fn() -> S + Sync,
+    F: Fn(&mut S, usize, &I) -> Result<O, E> + Sync,
+{
     if items.is_empty() {
         return Ok(Vec::new());
     }
     let threads = resolve_threads(threads).min(items.len());
     if threads == 1 {
+        let mut state = init();
         let mut results = Vec::with_capacity(items.len());
         for (index, item) in items.iter().enumerate() {
-            results.push(f(index, item).map_err(|source| SweepError { index, source })?);
+            results
+                .push(f(&mut state, index, item).map_err(|source| SweepError { index, source })?);
         }
         return Ok(results);
     }
@@ -132,16 +171,18 @@ where
     let chunk_size = items.len().div_ceil(threads);
     let chunk_results: Vec<Result<Vec<O>, SweepError<E>>> = std::thread::scope(|scope| {
         let f = &f;
+        let init = &init;
         let handles: Vec<_> = items
             .chunks(chunk_size)
             .enumerate()
             .map(|(chunk_index, chunk)| {
                 scope.spawn(move || {
                     let base = chunk_index * chunk_size;
+                    let mut state = init();
                     let mut chunk_out = Vec::with_capacity(chunk.len());
                     for (offset, item) in chunk.iter().enumerate() {
                         let index = base + offset;
-                        match f(index, item) {
+                        match f(&mut state, index, item) {
                             Ok(value) => chunk_out.push(value),
                             Err(source) => return Err(SweepError { index, source }),
                         }
@@ -230,6 +271,51 @@ mod tests {
         let items = vec!["a", "b", "c", "d", "e"];
         let out = par_map(&items, 2, |index, &item| format!("{index}:{item}"));
         assert_eq!(out, vec!["0:a", "1:b", "2:c", "3:d", "4:e"]);
+    }
+
+    #[test]
+    fn per_worker_state_is_initialised_once_per_worker_and_reused() {
+        let items: Vec<u64> = (0..40).collect();
+        let expected: Vec<u64> = items.iter().map(|x| x + 1).collect();
+        for threads in [1, 3, 8] {
+            // Each worker's state counts how many items it processed; the
+            // counts must sum to the item count (every item touched exactly
+            // one worker's state) and the results stay in order.
+            let touched = std::sync::atomic::AtomicUsize::new(0);
+            let out = par_map_sweep_with(
+                &items,
+                threads,
+                || 0usize,
+                |state, _, &x| {
+                    *state += 1;
+                    touched.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    Ok::<_, String>(x + 1)
+                },
+            )
+            .unwrap();
+            assert_eq!(out, expected, "threads = {threads}");
+            assert_eq!(
+                touched.load(std::sync::atomic::Ordering::Relaxed),
+                items.len()
+            );
+        }
+    }
+
+    #[test]
+    fn stateful_sweep_reports_the_lowest_failing_index() {
+        let items: Vec<usize> = (0..32).collect();
+        for threads in [1, 4, 11] {
+            let err = par_map_sweep_with(&items, threads, Vec::<usize>::new, |seen, _, &x| {
+                seen.push(x);
+                if x % 13 == 12 {
+                    Err(format!("item {x} broke"))
+                } else {
+                    Ok(x)
+                }
+            })
+            .unwrap_err();
+            assert_eq!(err.index, 12, "threads = {threads}");
+        }
     }
 
     #[test]

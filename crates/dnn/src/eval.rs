@@ -6,18 +6,23 @@
 //!
 //! Dataset evaluation is embarrassingly parallel over images, so
 //! [`evaluate_batched`] fans the test split out over
-//! [`optima_core::sweep::par_map_sweep`] — the workspace's error-strict,
-//! deterministic parallel sweep engine — with one prediction per sweep item.
+//! [`optima_core::sweep::par_map_sweep_with`] — the workspace's
+//! error-strict, deterministic parallel sweep engine — with one prediction
+//! per sweep item and one [`KernelScratch`] arena per worker thread.
 //! Models implement the shared-reference [`BatchInferenceModel`] trait
 //! (immutable `predict`, `Sync`), which is what lets every worker thread
-//! read the same network without cloning it.
+//! read the same network without cloning it; predictions run through
+//! [`BatchInferenceModel::predict_with`], so once each worker's arena has
+//! warmed up, the steady state performs zero heap allocations per image
+//! (pinned by the workspace's counting-allocator test).
 
 use crate::data::Dataset;
 use crate::error::DnnError;
 use crate::network::Network;
 use crate::quantized::QuantizedNetwork;
+use crate::scratch::KernelScratch;
 use crate::tensor::Tensor;
-use optima_core::sweep::par_map_sweep;
+use optima_core::sweep::par_map_sweep_with;
 use serde::{Deserialize, Serialize};
 
 /// Anything that can classify one image.
@@ -51,17 +56,52 @@ pub trait BatchInferenceModel: Sync {
     ///
     /// Propagates shape errors.
     fn predict(&self, image: &Tensor) -> Result<Tensor, DnnError>;
+
+    /// Like [`BatchInferenceModel::predict`], but draws every intermediate
+    /// buffer from the caller's scratch arena and returns the logits by
+    /// reference into it (valid until the next call that borrows the same
+    /// scratch).  Numerically identical to `predict`.  The default
+    /// delegates to `predict` (allocating); the workspace networks
+    /// override it with their zero-allocation steady-state paths.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape errors.
+    fn predict_with<'s>(
+        &self,
+        image: &Tensor,
+        scratch: &'s mut KernelScratch,
+    ) -> Result<&'s Tensor, DnnError> {
+        let logits = self.predict(image)?;
+        Ok(scratch.store_result(logits))
+    }
 }
 
 impl BatchInferenceModel for Network {
     fn predict(&self, image: &Tensor) -> Result<Tensor, DnnError> {
         self.infer(image)
     }
+
+    fn predict_with<'s>(
+        &self,
+        image: &Tensor,
+        scratch: &'s mut KernelScratch,
+    ) -> Result<&'s Tensor, DnnError> {
+        self.infer_with(image, scratch)
+    }
 }
 
 impl BatchInferenceModel for QuantizedNetwork {
     fn predict(&self, image: &Tensor) -> Result<Tensor, DnnError> {
         self.forward(image)
+    }
+
+    fn predict_with<'s>(
+        &self,
+        image: &Tensor,
+        scratch: &'s mut KernelScratch,
+    ) -> Result<&'s Tensor, DnnError> {
+        self.forward_with(image, scratch)
     }
 }
 
@@ -89,11 +129,32 @@ impl EvaluationReport {
 }
 
 /// Per-sample hit flags, reduced into an [`EvaluationReport`].
+///
+/// The top-5 check counts the elements ranking ahead of the label under
+/// [`Tensor::top_k`]'s total order (descending [`f32::total_cmp`], ties
+/// broken by ascending index) instead of materialising the top-5 index
+/// vector — semantically identical (pinned by a test) but allocation-free,
+/// which keeps the batched evaluator's steady state at zero allocations
+/// per image.
 fn score(logits: &Tensor, label: usize) -> (bool, bool) {
-    (
-        logits.argmax() == Some(label),
-        logits.top_k(5).contains(&label),
-    )
+    let top1 = logits.argmax() == Some(label);
+    let top5 = match logits.data().get(label) {
+        None => false,
+        Some(target) => {
+            let ahead = logits
+                .data()
+                .iter()
+                .enumerate()
+                .filter(|&(i, v)| match v.total_cmp(target) {
+                    std::cmp::Ordering::Greater => true,
+                    std::cmp::Ordering::Equal => i < label,
+                    std::cmp::Ordering::Less => false,
+                })
+                .count();
+            ahead < 5
+        }
+    };
+    (top1, top5)
 }
 
 fn reduce(hits: impl IntoIterator<Item = (bool, bool)>) -> EvaluationReport {
@@ -130,13 +191,15 @@ pub fn evaluate(
 }
 
 /// Evaluates a model on the test split of `dataset` with a per-image
-/// parallel fan-out over [`optima_core::sweep::par_map_sweep`].
+/// parallel fan-out over [`optima_core::sweep::par_map_sweep_with`].
 ///
 /// `threads = 0` selects the automatic thread count (the
 /// `OPTIMA_SWEEP_THREADS` environment variable, then the machine's
 /// available parallelism).  The sweep engine reassembles per-image results
 /// in dataset order and fails on the lowest failing image index, so the
-/// report is identical to [`evaluate`]'s at any thread count.
+/// report is identical to [`evaluate`]'s at any thread count.  Each worker
+/// thread owns one [`KernelScratch`] arena reused across its whole chunk of
+/// images, so the steady state allocates nothing per image.
 ///
 /// # Errors
 ///
@@ -151,9 +214,14 @@ pub fn evaluate_batched(
         .test_iter()
         .map(|(image, &label)| (image, label))
         .collect();
-    let hits = par_map_sweep(&samples, threads, |_, &(image, label)| {
-        Ok::<_, DnnError>(score(&model.predict(image)?, label))
-    })
+    let hits = par_map_sweep_with(
+        &samples,
+        threads,
+        KernelScratch::new,
+        |scratch, _, &(image, label)| {
+            Ok::<_, DnnError>(score(model.predict_with(image, scratch)?, label))
+        },
+    )
     .map_err(|failure| DnnError::EvaluationFailed {
         image_index: failure.index,
         source: Box::new(failure.source),
@@ -239,6 +307,36 @@ mod tests {
             QuantizedNetwork::from_network(&network, Arc::new(ExactInt4Products)).unwrap();
         let report = evaluate(&mut quantized, &dataset).unwrap();
         assert!(report.top1 > 0.4, "quantized top-1 {} too low", report.top1);
+    }
+
+    #[test]
+    fn score_rank_count_matches_the_top_k_semantics() {
+        use rand::Rng;
+        let mut rng = ChaCha8Rng::seed_from_u64(77);
+        for case in 0..200 {
+            let len = rng.gen_range(1..12usize);
+            let mut data: Vec<f32> = (0..len)
+                .map(|_| {
+                    // Coarse values force frequent exact ties.
+                    (rng.gen_range(-3i32..4) as f32) * 0.5
+                })
+                .collect();
+            if case % 7 == 0 {
+                let nan_at = rng.gen_range(0..len);
+                data[nan_at] = f32::NAN;
+            }
+            let logits = Tensor::from_slice(&data);
+            for label in 0..len {
+                let (_, top5) = score(&logits, label);
+                assert_eq!(
+                    top5,
+                    logits.top_k(5).contains(&label),
+                    "case {case}, label {label}, data {data:?}"
+                );
+            }
+            // An out-of-range label is never a hit.
+            assert_eq!(score(&logits, len), (false, false));
+        }
     }
 
     #[test]

@@ -1,22 +1,28 @@
 //! 2-D convolution layer (same padding, stride 1).
 //!
-//! The forward and backward passes are lowered onto im2col + blocked GEMM
-//! (see [`crate::im2col`] and [`optima_math::gemm`]): the input is unrolled
-//! into a `[in_c·k², h·w]` patch matrix once, after which the convolution is
-//! a single dense matrix product over contiguous memory.  The patch matrix
-//! is cached between forward and backward — the backward pass needs exactly
-//! the same patches for the weight gradient — so the layer never clones its
-//! input tensor.  The original six-deep scalar loop survives as
+//! The forward and backward passes are lowered onto im2col + GEMM (see
+//! [`crate::im2col`] and [`optima_math::gemm`]): the input is unrolled into
+//! a `[in_c·k², h·w]` patch matrix once, after which the convolution is a
+//! single dense matrix product over contiguous memory.  The forward product
+//! runs on the packed-panel 8-wide micro-kernel: the weight matrix is
+//! packed **once** into a [`PackedGemm`] plan that is cached on the layer
+//! and invalidated whenever the weights change, so a whole batch of images
+//! reuses one packing.  The patch matrix is cached between forward and
+//! backward — the backward pass needs exactly the same patches for the
+//! weight gradient — so the layer never clones its input tensor.  The
+//! original six-deep scalar loop survives as
 //! [`crate::reference::conv2d_forward`] for the equivalence tests and
 //! benches.
 
 use crate::error::DnnError;
 use crate::im2col::{col2im_add, im2col};
 use crate::layers::Layer;
+use crate::scratch::KernelScratch;
 use crate::tensor::Tensor;
-use optima_math::gemm::{gemm, gemm_nt, gemm_tn};
+use optima_math::gemm::{gemm_nt, gemm_tn, GemmScratch, PackedGemm};
 use rand::Rng;
 use std::any::Any;
+use std::sync::OnceLock;
 
 /// A 2-D convolution over `[C, H, W]` tensors with "same" padding and stride 1.
 #[derive(Debug, Clone)]
@@ -35,6 +41,12 @@ pub struct Conv2d {
     grad_cols: Vec<f32>,
     /// Spatial size of the last forward input; `None` before any forward.
     cached_spatial: Option<(usize, usize)>,
+    /// Packed-panel GEMM plan over the current weights, built lazily on the
+    /// first forward and reset by any weight mutation.
+    plan: OnceLock<PackedGemm>,
+    /// Packed-`B` arena for the `&mut self` training path (the immutable
+    /// inference paths draw theirs from the caller's [`KernelScratch`]).
+    gemm_scratch: GemmScratch,
 }
 
 impl Conv2d {
@@ -67,6 +79,8 @@ impl Conv2d {
             cols: Vec::new(),
             grad_cols: Vec::new(),
             cached_spatial: None,
+            plan: OnceLock::new(),
+            gemm_scratch: GemmScratch::new(),
         }
     }
 
@@ -109,6 +123,7 @@ impl Conv2d {
             });
         }
         self.weights.copy_from_slice(weights);
+        self.invalidate_plan();
         Ok(())
     }
 
@@ -129,6 +144,23 @@ impl Conv2d {
         Ok(())
     }
 
+    /// Drops the cached packed-weight plan; the next forward repacks.
+    fn invalidate_plan(&mut self) {
+        self.plan = OnceLock::new();
+    }
+
+    /// Packed-panel plan over the current weights, built on first use.
+    ///
+    /// Packing happens at most once per weight version: `forward`, `infer`
+    /// and `infer_into` all share this plan, so a whole evaluation batch
+    /// pays the packing cost a single time.
+    fn plan(&self) -> &PackedGemm {
+        self.plan.get_or_init(|| {
+            let patch = self.in_channels * self.kernel * self.kernel;
+            PackedGemm::pack(self.out_channels, patch, &self.weights)
+        })
+    }
+
     fn check_input(&self, input: &Tensor) -> Result<(usize, usize), DnnError> {
         let shape = input.shape();
         if shape.len() != 3 || shape[0] != self.in_channels {
@@ -140,11 +172,15 @@ impl Conv2d {
         Ok((shape[1], shape[2]))
     }
 
-    /// im2col + GEMM forward; `cols` receives the patch matrix.
-    fn run_forward(&self, input: &Tensor, cols: &mut Vec<f32>) -> Result<Tensor, DnnError> {
+    /// im2col + packed GEMM forward; `cols` receives the patch matrix.
+    fn run_forward(
+        &self,
+        input: &Tensor,
+        cols: &mut Vec<f32>,
+        gemm_scratch: &mut GemmScratch,
+    ) -> Result<Tensor, DnnError> {
         let (height, width) = self.check_input(input)?;
         let hw = height * width;
-        let patch = self.in_channels * self.kernel * self.kernel;
         im2col(
             input.data(),
             0.0,
@@ -158,14 +194,7 @@ impl Conv2d {
         for &b in &self.bias {
             output.extend(std::iter::repeat_n(b, hw));
         }
-        gemm(
-            self.out_channels,
-            patch,
-            hw,
-            &self.weights,
-            cols,
-            &mut output,
-        );
+        self.plan().gemm_into(hw, cols, &mut output, gemm_scratch);
         Tensor::from_vec(&[self.out_channels, height, width], output)
     }
 }
@@ -177,8 +206,10 @@ impl Layer for Conv2d {
 
     fn forward(&mut self, input: &Tensor) -> Result<Tensor, DnnError> {
         let mut cols = std::mem::take(&mut self.cols);
-        let result = self.run_forward(input, &mut cols);
+        let mut gemm_scratch = std::mem::take(&mut self.gemm_scratch);
+        let result = self.run_forward(input, &mut cols, &mut gemm_scratch);
         self.cols = cols;
+        self.gemm_scratch = gemm_scratch;
         let output = result?;
         self.cached_spatial = Some((output.shape()[1], output.shape()[2]));
         Ok(output)
@@ -186,7 +217,35 @@ impl Layer for Conv2d {
 
     fn infer(&self, input: &Tensor) -> Result<Tensor, DnnError> {
         let mut cols = Vec::new();
-        self.run_forward(input, &mut cols)
+        let mut gemm_scratch = GemmScratch::new();
+        self.run_forward(input, &mut cols, &mut gemm_scratch)
+    }
+
+    fn infer_into(
+        &self,
+        input: &Tensor,
+        output: &mut Tensor,
+        scratch: &mut KernelScratch,
+    ) -> Result<(), DnnError> {
+        let (height, width) = self.check_input(input)?;
+        let hw = height * width;
+        im2col(
+            input.data(),
+            0.0,
+            self.in_channels,
+            height,
+            width,
+            self.kernel,
+            &mut scratch.cols,
+        );
+        output.resize_to(&[self.out_channels, height, width]);
+        let out = output.data_mut();
+        for (row, &b) in out.chunks_exact_mut(hw).zip(self.bias.iter()) {
+            row.fill(b);
+        }
+        self.plan()
+            .gemm_into(hw, &scratch.cols, out, &mut scratch.gemm);
+        Ok(())
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor, DnnError> {
@@ -248,6 +307,7 @@ impl Layer for Conv2d {
         for (b, g) in self.bias.iter_mut().zip(self.grad_bias.iter()) {
             *b -= learning_rate * g;
         }
+        self.invalidate_plan();
         self.zero_gradients();
     }
 

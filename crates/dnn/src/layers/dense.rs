@@ -1,17 +1,21 @@
 //! Fully connected (dense) layer.
 //!
 //! Forward and backward run on the [`optima_math::gemm`] kernels: the
-//! forward pass is one [`gemv`], the weight gradient one rank-1 [`ger`]
-//! update and the input gradient one [`gemv_t`] — all over contiguous
-//! slices with no per-element bounds checks.  The layer copies the forward
-//! input into a reusable flat buffer instead of cloning the tensor.
+//! forward pass is one packed-panel [`PackedGemm::gemv_into`] over a weight
+//! plan that is packed once and cached until the weights change, the weight
+//! gradient one rank-1 [`ger`] update and the input gradient one [`gemv_t`]
+//! — all over contiguous slices with no per-element bounds checks.  The
+//! layer copies the forward input into a reusable flat buffer instead of
+//! cloning the tensor.
 
 use crate::error::DnnError;
 use crate::layers::Layer;
+use crate::scratch::KernelScratch;
 use crate::tensor::Tensor;
-use optima_math::gemm::{gemv, gemv_t, ger};
+use optima_math::gemm::{gemv_t, ger, PackedGemm};
 use rand::Rng;
 use std::any::Any;
+use std::sync::OnceLock;
 
 /// A fully connected layer `y = W·x + b`.
 #[derive(Debug, Clone)]
@@ -26,6 +30,9 @@ pub struct Dense {
     /// Flat copy of the last forward input (allocation reused across calls).
     cached_input: Vec<f32>,
     forward_ran: bool,
+    /// Packed-panel GEMM plan over the current weights, built lazily on the
+    /// first forward and reset by any weight mutation.
+    plan: OnceLock<PackedGemm>,
 }
 
 impl Dense {
@@ -44,7 +51,20 @@ impl Dense {
             grad_bias: vec![0.0; outputs],
             cached_input: Vec::new(),
             forward_ran: false,
+            plan: OnceLock::new(),
         }
+    }
+
+    /// Drops the cached packed-weight plan; the next forward repacks.
+    fn invalidate_plan(&mut self) {
+        self.plan = OnceLock::new();
+    }
+
+    /// Packed-panel plan over the current weights, built on first use and
+    /// shared by `forward`, `infer` and `infer_into`.
+    fn plan(&self) -> &PackedGemm {
+        self.plan
+            .get_or_init(|| PackedGemm::pack(self.outputs, self.inputs, &self.weights))
     }
 
     /// Number of input features.
@@ -81,6 +101,7 @@ impl Dense {
             });
         }
         self.weights.copy_from_slice(weights);
+        self.invalidate_plan();
         Ok(())
     }
 
@@ -123,14 +144,27 @@ impl Layer for Dense {
             });
         }
         let mut out = self.bias.clone();
-        gemv(
-            self.outputs,
-            self.inputs,
-            &self.weights,
-            input.data(),
-            &mut out,
-        );
+        self.plan().gemv_into(input.data(), &mut out);
         Tensor::from_vec(&[self.outputs], out)
+    }
+
+    fn infer_into(
+        &self,
+        input: &Tensor,
+        output: &mut Tensor,
+        _scratch: &mut KernelScratch,
+    ) -> Result<(), DnnError> {
+        if input.len() != self.inputs {
+            return Err(DnnError::ShapeMismatch {
+                expected: vec![self.inputs],
+                found: input.shape().to_vec(),
+            });
+        }
+        output.resize_to(&[self.outputs]);
+        let out = output.data_mut();
+        out.copy_from_slice(&self.bias);
+        self.plan().gemv_into(input.data(), out);
+        Ok(())
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor, DnnError> {
@@ -169,6 +203,7 @@ impl Layer for Dense {
         for (b, g) in self.bias.iter_mut().zip(self.grad_bias.iter()) {
             *b -= learning_rate * g;
         }
+        self.invalidate_plan();
         self.zero_gradients();
     }
 

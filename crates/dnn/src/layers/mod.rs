@@ -16,6 +16,7 @@ pub use pool::{GlobalAvgPool, MaxPool2d};
 pub use residual::ResidualBlock;
 
 use crate::error::DnnError;
+use crate::scratch::KernelScratch;
 use crate::tensor::Tensor;
 use std::any::Any;
 
@@ -60,6 +61,29 @@ pub trait Layer: std::fmt::Debug + Send + Sync {
     ///
     /// Returns [`DnnError::ShapeMismatch`] for inputs of the wrong shape.
     fn infer(&self, input: &Tensor) -> Result<Tensor, DnnError>;
+
+    /// Like [`Layer::infer`], but writes the output into a caller-owned
+    /// tensor and draws all intermediate buffers from the scratch arena, so
+    /// the steady state allocates nothing.  `output` is resized in place;
+    /// its previous contents are irrelevant.  Numerically identical to
+    /// `infer` — the scratch only changes where buffers live.
+    ///
+    /// The default delegates to `infer` (allocating); the hot layers
+    /// override it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DnnError::ShapeMismatch`] for inputs of the wrong shape.
+    fn infer_into(
+        &self,
+        input: &Tensor,
+        output: &mut Tensor,
+        _scratch: &mut KernelScratch,
+    ) -> Result<(), DnnError> {
+        let result = self.infer(input)?;
+        output.copy_from(&result);
+        Ok(())
+    }
 
     /// Propagates the output gradient back to the input, accumulating
     /// parameter gradients.
@@ -143,6 +167,17 @@ impl Layer for Relu {
         Ok(input.map(|v| v.max(0.0)))
     }
 
+    fn infer_into(
+        &self,
+        input: &Tensor,
+        output: &mut Tensor,
+        _scratch: &mut KernelScratch,
+    ) -> Result<(), DnnError> {
+        output.copy_from(input);
+        output.map_inplace(|v| v.max(0.0));
+        Ok(())
+    }
+
     fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor, DnnError> {
         if self.mask.len() != grad_output.len() {
             return Err(DnnError::InvalidConfiguration {
@@ -213,6 +248,16 @@ impl Layer for Flatten {
 
     fn infer(&self, input: &Tensor) -> Result<Tensor, DnnError> {
         input.reshaped(&[input.len()])
+    }
+
+    fn infer_into(
+        &self,
+        input: &Tensor,
+        output: &mut Tensor,
+        _scratch: &mut KernelScratch,
+    ) -> Result<(), DnnError> {
+        output.copy_from(input);
+        output.reshape_in_place(&[input.len()])
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor, DnnError> {

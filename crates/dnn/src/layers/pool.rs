@@ -2,6 +2,7 @@
 
 use crate::error::DnnError;
 use crate::layers::Layer;
+use crate::scratch::KernelScratch;
 use crate::tensor::Tensor;
 use std::any::Any;
 
@@ -27,7 +28,11 @@ impl MaxPool2d {
 /// asserts), reporting each window's maximum and its flat input index to
 /// `record` so `forward` and `infer` cannot drift apart — not even in their
 /// NaN tie-breaking.
-fn max_pool_scan(input: &Tensor, mut record: impl FnMut(usize, f32)) -> Result<Tensor, DnnError> {
+fn max_pool_scan_into(
+    input: &Tensor,
+    output: &mut Tensor,
+    mut record: impl FnMut(usize, f32),
+) -> Result<(), DnnError> {
     let shape = input.shape();
     if shape.len() != 3 || shape[1] < 2 || shape[2] < 2 {
         return Err(DnnError::ShapeMismatch {
@@ -38,7 +43,8 @@ fn max_pool_scan(input: &Tensor, mut record: impl FnMut(usize, f32)) -> Result<T
     let (channels, height, width) = (shape[0], shape[1], shape[2]);
     let (out_h, out_w) = (height / 2, width / 2);
     let data = input.data();
-    let mut output = vec![0.0f32; channels * out_h * out_w];
+    output.resize_to(&[channels, out_h, out_w]);
+    let out = output.data_mut();
     for c in 0..channels {
         for y in 0..out_h {
             let top = (c * height + 2 * y) * width;
@@ -57,12 +63,19 @@ fn max_pool_scan(input: &Tensor, mut record: impl FnMut(usize, f32)) -> Result<T
                         best = (index, value);
                     }
                 }
-                output[out_row + x] = best.1;
+                out[out_row + x] = best.1;
                 record(best.0, best.1);
             }
         }
     }
-    Tensor::from_vec(&[channels, out_h, out_w], output)
+    Ok(())
+}
+
+/// Allocating wrapper over [`max_pool_scan_into`].
+fn max_pool_scan(input: &Tensor, record: impl FnMut(usize, f32)) -> Result<Tensor, DnnError> {
+    let mut output = Tensor::default();
+    max_pool_scan_into(input, &mut output, record)?;
+    Ok(output)
 }
 
 impl Layer for MaxPool2d {
@@ -83,6 +96,15 @@ impl Layer for MaxPool2d {
 
     fn infer(&self, input: &Tensor) -> Result<Tensor, DnnError> {
         max_pool_scan(input, |_, _| {})
+    }
+
+    fn infer_into(
+        &self,
+        input: &Tensor,
+        output: &mut Tensor,
+        _scratch: &mut KernelScratch,
+    ) -> Result<(), DnnError> {
+        max_pool_scan_into(input, output, |_, _| {})
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor, DnnError> {
@@ -154,6 +176,39 @@ impl Layer for GlobalAvgPool {
             .map(|channel| channel.iter().sum::<f32>() / spatial as f32)
             .collect::<Vec<f32>>();
         Tensor::from_vec(&[channels], out)
+    }
+
+    fn infer_into(
+        &self,
+        input: &Tensor,
+        output: &mut Tensor,
+        _scratch: &mut KernelScratch,
+    ) -> Result<(), DnnError> {
+        let shape = input.shape();
+        if shape.len() != 3 {
+            return Err(DnnError::ShapeMismatch {
+                expected: vec![0, 0, 0],
+                found: shape.to_vec(),
+            });
+        }
+        let (channels, height, width) = (shape[0], shape[1], shape[2]);
+        let spatial = height * width;
+        // Degenerate zero-spatial tensors take the allocating path so both
+        // paths report the identical shape error.
+        if channels != 0 && spatial == 0 {
+            let result = self.infer(input)?;
+            output.copy_from(&result);
+            return Ok(());
+        }
+        output.resize_to(&[channels]);
+        for (slot, channel) in output
+            .data_mut()
+            .iter_mut()
+            .zip(input.data().chunks_exact(spatial.max(1)))
+        {
+            *slot = channel.iter().sum::<f32>() / spatial as f32;
+        }
+        Ok(())
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor, DnnError> {

@@ -7,6 +7,7 @@
 use crate::error::DnnError;
 use crate::layers::conv::Conv2d;
 use crate::layers::{Layer, Relu};
+use crate::scratch::KernelScratch;
 use crate::tensor::Tensor;
 use rand::Rng;
 use std::any::Any;
@@ -62,6 +63,27 @@ impl Layer for ResidualBlock {
         branch.add_assign(input)?;
         branch.map_inplace(|v| v.max(0.0));
         Ok(branch)
+    }
+
+    fn infer_into(
+        &self,
+        input: &Tensor,
+        output: &mut Tensor,
+        scratch: &mut KernelScratch,
+    ) -> Result<(), DnnError> {
+        // The branch activation lives in a leased pool tensor so the block
+        // allocates nothing once the pool has warmed up.
+        let mut branch = scratch.lease();
+        let result = (|| {
+            self.conv1.infer_into(input, &mut branch, scratch)?;
+            branch.map_inplace(|v| v.max(0.0));
+            self.conv2.infer_into(&branch, output, scratch)?;
+            output.add_assign(input)?;
+            output.map_inplace(|v| v.max(0.0));
+            Ok(())
+        })();
+        scratch.release(branch);
+        result
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor, DnnError> {

@@ -47,6 +47,7 @@ pub mod network;
 pub mod quantization;
 pub mod quantized;
 pub mod reference;
+pub mod scratch;
 pub mod tensor;
 pub mod training;
 pub mod transfer;
@@ -70,6 +71,7 @@ pub mod prelude {
     pub use crate::network::Network;
     pub use crate::quantization::QuantizationParams;
     pub use crate::quantized::QuantizedNetwork;
+    pub use crate::scratch::KernelScratch;
     pub use crate::tensor::Tensor;
     pub use crate::training::{Trainer, TrainingConfig};
     pub use crate::transfer::transfer_to_new_head;

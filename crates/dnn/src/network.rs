@@ -2,6 +2,7 @@
 
 use crate::error::DnnError;
 use crate::layers::Layer;
+use crate::scratch::KernelScratch;
 use crate::tensor::Tensor;
 
 /// A sequential feed-forward network.
@@ -99,6 +100,60 @@ impl Network {
         Ok(current)
     }
 
+    /// Runs an inference pass with every buffer drawn from `scratch`.
+    ///
+    /// Numerically identical to [`Network::infer`] — the activations
+    /// ping-pong between two pool tensors instead of being freshly
+    /// allocated per layer, and the result is parked in the arena and
+    /// returned by reference (valid until the next call that borrows the
+    /// same scratch).  After the first few calls have grown the buffers to
+    /// the network's high-water mark, the steady state performs **zero**
+    /// heap allocations per image; the workspace's counting-allocator test
+    /// pins that property.
+    ///
+    /// # Errors
+    ///
+    /// Propagates layer shape errors (leased buffers are returned to the
+    /// pool on the error path, so a failed call leaks nothing).
+    pub fn infer_with<'s>(
+        &self,
+        input: &Tensor,
+        scratch: &'s mut KernelScratch,
+    ) -> Result<&'s Tensor, DnnError> {
+        let mut current = scratch.lease();
+        let mut next = scratch.lease();
+        let result = self.infer_ping_pong(input, &mut current, &mut next, scratch);
+        scratch.release(next);
+        match result {
+            Ok(()) => Ok(scratch.store_result(current)),
+            Err(error) => {
+                scratch.release(current);
+                Err(error)
+            }
+        }
+    }
+
+    /// The layer loop of [`Network::infer_with`]: `current` holds the layer
+    /// input, `next` receives the output, and the two swap roles each step.
+    fn infer_ping_pong(
+        &self,
+        input: &Tensor,
+        current: &mut Tensor,
+        next: &mut Tensor,
+        scratch: &mut KernelScratch,
+    ) -> Result<(), DnnError> {
+        let mut layers = self.layers.iter();
+        match layers.next() {
+            Some(first) => first.infer_into(input, current, scratch)?,
+            None => current.copy_from(input),
+        }
+        for layer in layers {
+            layer.infer_into(current, next, scratch)?;
+            std::mem::swap(current, next);
+        }
+        Ok(())
+    }
+
     /// Runs a backward pass (after a forward pass) and accumulates gradients.
     ///
     /// Like [`Network::forward`], the gradient tensor is threaded through by
@@ -172,7 +227,7 @@ impl Network {
 mod tests {
     use super::*;
     use crate::layers::{Conv2d, Dense, Flatten, MaxPool2d, Relu};
-    use rand::SeedableRng;
+    use rand::{Rng, SeedableRng};
     use rand_chacha::ChaCha8Rng;
 
     fn tiny_cnn() -> Network {
@@ -236,6 +291,55 @@ mod tests {
         let mut fresh = tiny_cnn();
         let _ = fresh.infer(&input).unwrap();
         assert!(fresh.backward(&Tensor::zeros(&[3])).is_err());
+    }
+
+    #[test]
+    fn infer_with_matches_infer_bit_for_bit() {
+        use crate::layers::{GlobalAvgPool, ResidualBlock};
+        let mut rng = ChaCha8Rng::seed_from_u64(21);
+        // One of every layer kind, so the scratch path covers the whole zoo.
+        let net = Network::new(vec![
+            Box::new(Conv2d::new(1, 4, 3, &mut rng)),
+            Box::new(Relu::new()),
+            Box::new(MaxPool2d::new()),
+            Box::new(ResidualBlock::new(4, 3, &mut rng)),
+            Box::new(GlobalAvgPool::new()),
+            Box::new(Flatten::new()),
+            Box::new(Dense::new(4, 3, &mut rng)),
+        ]);
+        let mut scratch = crate::scratch::KernelScratch::new();
+        for seed in 0..4u64 {
+            let mut data_rng = ChaCha8Rng::seed_from_u64(seed);
+            let input = Tensor::from_vec(
+                &[1, 8, 8],
+                (0..64).map(|_| data_rng.gen::<f32>() * 2.0 - 1.0).collect(),
+            )
+            .unwrap();
+            let plain = net.infer(&input).unwrap();
+            let pooled = net.infer_with(&input, &mut scratch).unwrap();
+            assert_eq!(&plain, pooled, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn infer_with_recovers_after_a_shape_error() {
+        let net = tiny_cnn();
+        let mut scratch = crate::scratch::KernelScratch::new();
+        assert!(net
+            .infer_with(&Tensor::zeros(&[2, 4, 4]), &mut scratch)
+            .is_err());
+        let input =
+            Tensor::from_vec(&[1, 4, 4], (0..16).map(|i| i as f32 * 0.07).collect()).unwrap();
+        let expected = net.infer(&input).unwrap();
+        assert_eq!(&expected, net.infer_with(&input, &mut scratch).unwrap());
+    }
+
+    #[test]
+    fn infer_with_on_an_empty_network_copies_the_input() {
+        let net = Network::new(Vec::new());
+        let mut scratch = crate::scratch::KernelScratch::new();
+        let input = Tensor::from_slice(&[1.0, -2.0, 3.0]);
+        assert_eq!(&input, net.infer_with(&input, &mut scratch).unwrap());
     }
 
     #[test]

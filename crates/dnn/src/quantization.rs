@@ -121,12 +121,23 @@ pub fn quantize_weights_bits(weights: &[f32], bits: u8) -> (Vec<i8>, Quantizatio
 
 /// Quantizes an activation slice (clamped at zero) to unsigned `bits` bits.
 pub fn quantize_activations_bits(activations: &[f32], bits: u8) -> (Vec<u8>, QuantizationParams) {
-    let params = QuantizationParams::unsigned_for_bits(activations, bits);
-    let quantized = activations
-        .iter()
-        .map(|&a| params.quantize_unsigned(a))
-        .collect();
+    let mut quantized = Vec::with_capacity(activations.len());
+    let params = quantize_activations_bits_into(activations, bits, &mut quantized);
     (quantized, params)
+}
+
+/// Quantizes an activation slice into a caller-provided buffer, reusing its
+/// capacity — the allocation-free twin of [`quantize_activations_bits`]
+/// used by the scratch-arena inference path.
+pub fn quantize_activations_bits_into(
+    activations: &[f32],
+    bits: u8,
+    out: &mut Vec<u8>,
+) -> QuantizationParams {
+    let params = QuantizationParams::unsigned_for_bits(activations, bits);
+    out.clear();
+    out.extend(activations.iter().map(|&a| params.quantize_unsigned(a)));
+    params
 }
 
 #[cfg(test)]

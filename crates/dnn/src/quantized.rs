@@ -27,9 +27,17 @@ use crate::im2col::im2col;
 use crate::layers::{Conv2d, Dense, Flatten, GlobalAvgPool, Layer, MaxPool2d, Relu, ResidualBlock};
 use crate::multiplier::ProductTable;
 use crate::network::Network;
-use crate::quantization::{quantize_activations_bits, quantize_weights_bits, QuantizationParams};
+use crate::quantization::{
+    quantize_activations_bits, quantize_activations_bits_into, quantize_weights_bits,
+    QuantizationParams,
+};
+use crate::scratch::KernelScratch;
 use crate::tensor::Tensor;
 use std::sync::Arc;
+
+/// Pixels gathered per LUT sweep step; matches the f32 micro-kernel's
+/// [`optima_math::gemm::LANES`] so both hot paths vectorize the same way.
+pub const GATHER_LANES: usize = 8;
 
 /// Signed products of one weight code against all activation magnitudes,
 /// flattened per weight so the inner inference loop reads a contiguous
@@ -57,6 +65,401 @@ fn snapshot_products(products: &dyn ProductTable) -> Box<[i32]> {
         }
     }
     lut
+}
+
+/// Whether per-lane accumulators summing up to `depth` LUT entries of
+/// magnitude at most `lut_max_abs` fit in an `i32`.  Integer addition is
+/// associative, so the `i32` and `i64` lane paths produce bit-identical
+/// sums whenever this holds; the `i64` fallback only exists for degenerate
+/// tables whose entries could overflow 32 bits mid-sum.
+fn lut_fits_i32(depth: usize, lut_max_abs: i64) -> bool {
+    depth as i64 <= i32::MAX as i64 / lut_max_abs.max(1)
+}
+
+/// Accumulates `BLOCKS` consecutive `GATHER_LANES`-pixel blocks of the
+/// im2col patch matrix: for every weight code, gathers the code's contiguous
+/// `stride`-entry LUT sub-table at the blocks' activation codes and adds
+/// into `BLOCKS × 8` integer lanes held in registers.
+///
+/// Two deliberate choices keep the inner loop branch- and bounds-check-free:
+///
+/// * zero-weight codes index an all-zero LUT sub-table, so the rows are
+///   accumulated unconditionally instead of branching on the (data-dependent,
+///   poorly predicted) zero test — the integer sums are unchanged;
+/// * activation codes are masked with `stride - 1` (`stride` is a power of
+///   two and the quantizer emits codes `< stride`, so the mask never alters
+///   an index) — the compiler can then prove every gather stays inside the
+///   `stride`-long sub-table and drops the per-element bounds check.
+///
+/// Each pixel's accumulator sums its rows in ascending order regardless of
+/// `BLOCKS`, so every block width produces bit-identical results.
+#[inline(always)]
+fn gather_lanes<T, const BLOCKS: usize>(
+    codes: &[u8],
+    cols: &[u8],
+    hw: usize,
+    x0: usize,
+    lut: &[i32],
+    stride: usize,
+) -> [[T; GATHER_LANES]; BLOCKS]
+where
+    T: Copy + Default + std::ops::AddAssign + From<i32>,
+{
+    // optima-lint: hot
+    let mask = stride - 1;
+    let mut acc = [[T::default(); GATHER_LANES]; BLOCKS];
+    for (&code, row) in codes.iter().zip(cols.chunks_exact(hw)) {
+        let sub = &lut[code as usize * stride..code as usize * stride + stride];
+        let pixels = &row[x0..x0 + BLOCKS * GATHER_LANES];
+        for (acc_lanes, block) in acc.iter_mut().zip(pixels.chunks_exact(GATHER_LANES)) {
+            for (lane, &activation) in acc_lanes.iter_mut().zip(block.iter()) {
+                *lane += T::from(sub[activation as usize & mask]);
+            }
+        }
+    }
+    // optima-lint: end-hot
+    acc
+}
+
+/// Scales one gather's accumulator blocks into the output row.  `i32` and
+/// `i64` accumulators widen through `i64` on the way to `f32`; both casts of
+/// the same integer value round to the same `f32`, so the two dispatch arms
+/// stay bit-identical.
+#[inline(always)]
+fn store_blocks<T, const BLOCKS: usize>(
+    acc: &[[T; GATHER_LANES]; BLOCKS],
+    out: &mut [f32],
+    scale: f32,
+    bias: f32,
+) where
+    T: Copy + Into<i64>,
+{
+    for (lanes, out_block) in acc.iter().zip(out.chunks_exact_mut(GATHER_LANES)) {
+        for (out, &lane) in out_block.iter_mut().zip(lanes.iter()) {
+            *out = lane.into() as f32 * scale + bias;
+        }
+    }
+}
+
+/// The convolution LUT sweep shared by the allocating and scratch-arena
+/// paths: walks the `[patch, hw]` im2col matrix 32 pixels at a time (four
+/// 8-lane blocks per row sweep, amortising the per-row sub-table setup of
+/// [`gather_lanes`]), then 8 at a time, then finishes the `hw % 8` tail with
+/// a scalar loop.  Bit-identical to a row-outer scalar sweep because integer
+/// addition is associative and each pixel's rows accumulate in ascending
+/// order at every block width.
+#[allow(clippy::too_many_arguments)]
+#[inline(always)]
+fn conv_lut_core_body(
+    conv: &QConv,
+    cols: &[u8],
+    hw: usize,
+    lut: &[i32],
+    lut_max_abs: i64,
+    bits: u8,
+    scale: f32,
+    out: &mut [f32],
+) {
+    const SWEEP: usize = 4; // blocks per wide row sweep: 32 pixels
+    let stride = 1usize << bits;
+    let zero_code = (stride / 2) as u8;
+    let patch = conv.in_channels * conv.kernel * conv.kernel;
+    let narrow = lut_fits_i32(patch, lut_max_abs);
+    // optima-lint: hot
+    for (oc, out_row) in out.chunks_exact_mut(hw).enumerate() {
+        let codes = &conv.codes[oc * patch..(oc + 1) * patch];
+        let bias = conv.bias[oc];
+        let mut x0 = 0usize;
+        if narrow {
+            while x0 + SWEEP * GATHER_LANES <= hw {
+                let acc: [[i32; GATHER_LANES]; SWEEP] =
+                    gather_lanes(codes, cols, hw, x0, lut, stride);
+                store_blocks(&acc, &mut out_row[x0..], scale, bias);
+                x0 += SWEEP * GATHER_LANES;
+            }
+            while x0 + GATHER_LANES <= hw {
+                let acc: [[i32; GATHER_LANES]; 1] = gather_lanes(codes, cols, hw, x0, lut, stride);
+                store_blocks(&acc, &mut out_row[x0..], scale, bias);
+                x0 += GATHER_LANES;
+            }
+        } else {
+            while x0 + SWEEP * GATHER_LANES <= hw {
+                let acc: [[i64; GATHER_LANES]; SWEEP] =
+                    gather_lanes(codes, cols, hw, x0, lut, stride);
+                store_blocks(&acc, &mut out_row[x0..], scale, bias);
+                x0 += SWEEP * GATHER_LANES;
+            }
+            while x0 + GATHER_LANES <= hw {
+                let acc: [[i64; GATHER_LANES]; 1] = gather_lanes(codes, cols, hw, x0, lut, stride);
+                store_blocks(&acc, &mut out_row[x0..], scale, bias);
+                x0 += GATHER_LANES;
+            }
+        }
+        for (x, out) in out_row.iter_mut().enumerate().skip(x0) {
+            let mut acc: i64 = 0;
+            for (row, &code) in codes.iter().enumerate() {
+                if code == zero_code {
+                    continue;
+                }
+                acc += lut[code as usize * stride + cols[row * hw + x] as usize] as i64;
+            }
+            *out = acc as f32 * scale + bias;
+        }
+    }
+    // optima-lint: end-hot
+}
+
+/// One 16-pixel row sweep through the patch matrix with `vpgatherdd`: each
+/// 8-pixel block's LUT lookups run as one hardware gather, with two
+/// independent accumulators to hide gather latency.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+#[inline]
+unsafe fn sweep2_gather(
+    codes: &[u8],
+    cols: &[u8],
+    hw: usize,
+    x0: usize,
+    lut: &[i32],
+    stride: usize,
+    lane_mask: std::arch::x86_64::__m256i,
+) -> (std::arch::x86_64::__m256i, std::arch::x86_64::__m256i) {
+    use std::arch::x86_64::*;
+    let mut acc0 = _mm256_setzero_si256();
+    let mut acc1 = _mm256_setzero_si256();
+    for (&code, row) in codes.iter().zip(cols.chunks_exact(hw)) {
+        // SAFETY: the masked sub-table index stays below `stride` and the
+        // masked code keeps `code * stride + stride - 1` below
+        // `lut.len() == stride * stride`, so every gather reads inside
+        // `lut`; the two 8-byte activation loads sit inside `row` because
+        // the caller guarantees `x0 + 16 <= hw == row.len()`.
+        let sub = lut.as_ptr().add((code as usize & (stride - 1)) * stride);
+        let bytes0 = _mm_loadl_epi64(row.as_ptr().add(x0) as *const __m128i);
+        let bytes1 = _mm_loadl_epi64(row.as_ptr().add(x0 + GATHER_LANES) as *const __m128i);
+        let idx0 = _mm256_and_si256(_mm256_cvtepu8_epi32(bytes0), lane_mask);
+        let idx1 = _mm256_and_si256(_mm256_cvtepu8_epi32(bytes1), lane_mask);
+        acc0 = _mm256_add_epi32(acc0, _mm256_i32gather_epi32::<4>(sub, idx0));
+        acc1 = _mm256_add_epi32(acc1, _mm256_i32gather_epi32::<4>(sub, idx1));
+    }
+    (acc0, acc1)
+}
+
+/// One 16-pixel row sweep specialised to INT4 (`stride == 16`): the whole
+/// 16-entry LUT sub-table of a weight code fits in two YMM registers, so
+/// each lookup is a register permute (`vpermd` selects on the index's low
+/// three bits, a compare-and-blend on bit 3 picks the upper half) instead
+/// of a memory gather.  Lookups beyond index 15 reduce to `index & 15`,
+/// matching the masked gather path.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+#[inline]
+unsafe fn sweep2_permute16(
+    codes: &[u8],
+    cols: &[u8],
+    hw: usize,
+    x0: usize,
+    lut: &[i32],
+) -> (std::arch::x86_64::__m256i, std::arch::x86_64::__m256i) {
+    use std::arch::x86_64::*;
+    const STRIDE: usize = 16;
+    let seven = _mm256_set1_epi32(7);
+    let mut acc0 = _mm256_setzero_si256();
+    let mut acc1 = _mm256_setzero_si256();
+    for (&code, row) in codes.iter().zip(cols.chunks_exact(hw)) {
+        // SAFETY: the masked code keeps the 16-entry sub-table inside
+        // `lut.len() == 256`, and the caller guarantees
+        // `x0 + 16 <= hw == row.len()` for the two activation loads.
+        let sub = lut.as_ptr().add((code as usize & (STRIDE - 1)) * STRIDE);
+        let lo = _mm256_loadu_si256(sub as *const __m256i);
+        let hi = _mm256_loadu_si256(sub.add(8) as *const __m256i);
+        let idx0 = _mm256_cvtepu8_epi32(_mm_loadl_epi64(row.as_ptr().add(x0) as *const __m128i));
+        let idx1 = _mm256_cvtepu8_epi32(_mm_loadl_epi64(
+            row.as_ptr().add(x0 + GATHER_LANES) as *const __m128i
+        ));
+        let pick_hi0 = _mm256_cmpgt_epi32(idx0, seven);
+        let pick_hi1 = _mm256_cmpgt_epi32(idx1, seven);
+        let gathered0 = _mm256_blendv_epi8(
+            _mm256_permutevar8x32_epi32(lo, idx0),
+            _mm256_permutevar8x32_epi32(hi, idx0),
+            pick_hi0,
+        );
+        let gathered1 = _mm256_blendv_epi8(
+            _mm256_permutevar8x32_epi32(lo, idx1),
+            _mm256_permutevar8x32_epi32(hi, idx1),
+            pick_hi1,
+        );
+        acc0 = _mm256_add_epi32(acc0, gathered0);
+        acc1 = _mm256_add_epi32(acc1, gathered1);
+    }
+    (acc0, acc1)
+}
+
+/// AVX2 clone of the convolution LUT sweep: each 8-pixel block's LUT
+/// lookups run as one `vpgatherdd` instead of eight scalar loads, with two
+/// independent 8-lane accumulators per row sweep to hide gather latency.
+/// The gathered values and the per-pixel accumulation order (ascending
+/// rows, wrapping `i32` adds) are unchanged, so the clone is bit-identical
+/// to the portable body.  The `i64` wide-accumulator case has no packed
+/// gather; it falls through to the portable body.
+#[cfg(target_arch = "x86_64")]
+#[allow(clippy::too_many_arguments)]
+#[target_feature(enable = "avx2")]
+unsafe fn conv_lut_core_avx2(
+    conv: &QConv,
+    cols: &[u8],
+    hw: usize,
+    lut: &[i32],
+    lut_max_abs: i64,
+    bits: u8,
+    scale: f32,
+    out: &mut [f32],
+) {
+    use std::arch::x86_64::*;
+
+    let stride = 1usize << bits;
+    let patch = conv.in_channels * conv.kernel * conv.kernel;
+    if !lut_fits_i32(patch, lut_max_abs) {
+        return conv_lut_core_body(conv, cols, hw, lut, lut_max_abs, bits, scale, out);
+    }
+    let zero_code = (stride / 2) as u8;
+    let int4 = stride == 16;
+    // The mask is a no-op on well-formed inputs (the quantizer emits codes
+    // `< stride` on both operands); it bounds every gather inside `lut`
+    // regardless, which is what makes the raw-pointer gathers sound.
+    let lane_mask = _mm256_set1_epi32((stride - 1) as i32);
+    // optima-lint: hot
+    for (oc, out_row) in out.chunks_exact_mut(hw).enumerate() {
+        let codes = &conv.codes[oc * patch..(oc + 1) * patch];
+        let bias = conv.bias[oc];
+        let mut x0 = 0usize;
+        while x0 + 2 * GATHER_LANES <= hw {
+            // SAFETY for both arms: `x0 + 16 <= hw == row.len()` bounds the
+            // activation loads, and masked codes/indices bound every LUT
+            // read (see the helpers' safety comments).
+            let (acc0, acc1) = if int4 {
+                sweep2_permute16(codes, cols, hw, x0, lut)
+            } else {
+                sweep2_gather(codes, cols, hw, x0, lut, stride, lane_mask)
+            };
+            let mut lanes = [0i32; 2 * GATHER_LANES];
+            _mm256_storeu_si256(lanes.as_mut_ptr() as *mut __m256i, acc0);
+            _mm256_storeu_si256(lanes.as_mut_ptr().add(GATHER_LANES) as *mut __m256i, acc1);
+            for (out, &lane) in out_row[x0..x0 + 2 * GATHER_LANES]
+                .iter_mut()
+                .zip(lanes.iter())
+            {
+                *out = lane as f32 * scale + bias;
+            }
+            x0 += 2 * GATHER_LANES;
+        }
+        while x0 + GATHER_LANES <= hw {
+            let mut acc = _mm256_setzero_si256();
+            for (&code, row) in codes.iter().zip(cols.chunks_exact(hw)) {
+                // SAFETY: same bounds argument as the two-block helpers,
+                // with a single 8-byte load at `x0 + 8 <= hw`.
+                let sub = lut.as_ptr().add((code as usize & (stride - 1)) * stride);
+                let bytes = _mm_loadl_epi64(row.as_ptr().add(x0) as *const __m128i);
+                let idx = _mm256_and_si256(_mm256_cvtepu8_epi32(bytes), lane_mask);
+                acc = _mm256_add_epi32(acc, _mm256_i32gather_epi32::<4>(sub, idx));
+            }
+            let mut lanes = [0i32; GATHER_LANES];
+            _mm256_storeu_si256(lanes.as_mut_ptr() as *mut __m256i, acc);
+            for (out, &lane) in out_row[x0..x0 + GATHER_LANES].iter_mut().zip(lanes.iter()) {
+                *out = lane as f32 * scale + bias;
+            }
+            x0 += GATHER_LANES;
+        }
+        for (x, out) in out_row.iter_mut().enumerate().skip(x0) {
+            let mut acc: i64 = 0;
+            for (row, &code) in codes.iter().enumerate() {
+                if code == zero_code {
+                    continue;
+                }
+                acc += lut[code as usize * stride + cols[row * hw + x] as usize] as i64;
+            }
+            *out = acc as f32 * scale + bias;
+        }
+    }
+    // optima-lint: end-hot
+}
+
+/// Dispatches the convolution LUT sweep to the AVX2 clone when the CPU
+/// supports it, falling back to the portable body otherwise.
+#[allow(clippy::too_many_arguments)]
+fn conv_lut_core(
+    conv: &QConv,
+    cols: &[u8],
+    hw: usize,
+    lut: &[i32],
+    lut_max_abs: i64,
+    bits: u8,
+    scale: f32,
+    out: &mut [f32],
+) {
+    #[cfg(target_arch = "x86_64")]
+    if std::arch::is_x86_feature_detected!("avx2") {
+        // SAFETY: the AVX2 clone only runs after the (cached) runtime
+        // feature check above confirmed the CPU supports it.
+        return unsafe { conv_lut_core_avx2(conv, cols, hw, lut, lut_max_abs, bits, scale, out) };
+    }
+    conv_lut_core_body(conv, cols, hw, lut, lut_max_abs, bits, scale, out);
+}
+
+/// The dense LUT sweep shared by the allocating and scratch-arena paths:
+/// eight integer lanes stream the (code, activation) pairs of one output
+/// row, the lanes fold into an `i64`, and a scalar loop takes the
+/// `inputs % 8` tail.  Zero codes index all-zero LUT sub-tables, so no
+/// skip test is needed.
+fn dense_lut_core(
+    dense: &QDense,
+    activations: &[u8],
+    lut: &[i32],
+    lut_max_abs: i64,
+    bits: u8,
+    scale: f32,
+    out: &mut [f32],
+) {
+    let stride = 1usize << bits;
+    let narrow = lut_fits_i32(dense.inputs, lut_max_abs);
+    // optima-lint: hot
+    for (o, out_value) in out.iter_mut().enumerate() {
+        let codes = &dense.codes[o * dense.inputs..(o + 1) * dense.inputs];
+        let mut total: i64 = 0;
+        let code_chunks = codes.chunks_exact(GATHER_LANES);
+        let act_chunks = activations.chunks_exact(GATHER_LANES);
+        let code_tail = code_chunks.remainder();
+        let act_tail = act_chunks.remainder();
+        if narrow {
+            let mut acc = [0i32; GATHER_LANES];
+            for (code_block, act_block) in code_chunks.zip(act_chunks) {
+                for ((lane, &code), &activation) in
+                    acc.iter_mut().zip(code_block.iter()).zip(act_block.iter())
+                {
+                    *lane += lut[code as usize * stride + activation as usize];
+                }
+            }
+            for &lane in &acc {
+                total += lane as i64;
+            }
+        } else {
+            let mut acc = [0i64; GATHER_LANES];
+            for (code_block, act_block) in code_chunks.zip(act_chunks) {
+                for ((lane, &code), &activation) in
+                    acc.iter_mut().zip(code_block.iter()).zip(act_block.iter())
+                {
+                    *lane += lut[code as usize * stride + activation as usize] as i64;
+                }
+            }
+            for &lane in &acc {
+                total += lane;
+            }
+        }
+        for (&code, &activation) in code_tail.iter().zip(act_tail.iter()) {
+            total += lut[code as usize * stride + activation as usize] as i64;
+        }
+        *out_value = total as f32 * scale + dense.bias[o];
+    }
+    // optima-lint: end-hot
 }
 
 /// Quantized convolution parameters.
@@ -117,6 +520,10 @@ pub struct QuantizedNetwork {
     /// product table is stateful and must be consulted per product (see
     /// [`ProductTable::supports_snapshot`]).
     lut: Option<Box<[i32]>>,
+    /// Largest LUT entry magnitude, measured at snapshot time; decides
+    /// whether the gather kernels may accumulate in `i32` lanes (see
+    /// [`lut_fits_i32`]).  Zero when no snapshot exists.
+    lut_max_abs: i64,
 }
 
 impl QuantizedNetwork {
@@ -148,11 +555,15 @@ impl QuantizedNetwork {
         let lut = products
             .supports_snapshot()
             .then(|| snapshot_products(products.as_ref()));
+        let lut_max_abs = lut.as_ref().map_or(0i64, |lut| {
+            lut.iter().fold(0i64, |max, &v| max.max((v as i64).abs()))
+        });
         Ok(QuantizedNetwork {
             layers,
             products,
             bits,
             lut,
+            lut_max_abs,
         })
     }
 
@@ -255,6 +666,187 @@ impl QuantizedNetwork {
         Ok(current)
     }
 
+    /// Runs quantized inference with every buffer drawn from `scratch`.
+    ///
+    /// Numerically identical to [`QuantizedNetwork::forward`] — quantized
+    /// activation codes, u8 im2col patches and the ping-pong activation
+    /// tensors all live in the arena, and the result is returned by
+    /// reference (valid until the next call that borrows the same scratch).
+    /// On the snapshot LUT path the steady state performs **zero** heap
+    /// allocations per image; stateful product tables fall back to the
+    /// allocating reference kernels (they are measurement instruments, not
+    /// hot paths).
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape errors; leased buffers are returned to the pool on
+    /// the error path.
+    pub fn forward_with<'s>(
+        &self,
+        input: &Tensor,
+        scratch: &'s mut KernelScratch,
+    ) -> Result<&'s Tensor, DnnError> {
+        let mut current = scratch.lease();
+        let mut next = scratch.lease();
+        let result = self.forward_ping_pong(input, &mut current, &mut next, scratch);
+        scratch.release(next);
+        match result {
+            Ok(()) => Ok(scratch.store_result(current)),
+            Err(error) => {
+                scratch.release(current);
+                Err(error)
+            }
+        }
+    }
+
+    /// The layer loop of [`QuantizedNetwork::forward_with`].
+    fn forward_ping_pong(
+        &self,
+        input: &Tensor,
+        current: &mut Tensor,
+        next: &mut Tensor,
+        scratch: &mut KernelScratch,
+    ) -> Result<(), DnnError> {
+        let mut layers = self.layers.iter();
+        match layers.next() {
+            Some(first) => self.forward_layer_into(first, input, current, scratch)?,
+            None => current.copy_from(input),
+        }
+        for layer in layers {
+            self.forward_layer_into(layer, current, next, scratch)?;
+            std::mem::swap(current, next);
+        }
+        Ok(())
+    }
+
+    fn forward_layer_into(
+        &self,
+        layer: &QLayer,
+        input: &Tensor,
+        output: &mut Tensor,
+        scratch: &mut KernelScratch,
+    ) -> Result<(), DnnError> {
+        match layer {
+            QLayer::Conv(conv) => self.forward_conv_into(conv, input, output, scratch),
+            QLayer::Dense(dense) => self.forward_dense_into(dense, input, output, scratch),
+            QLayer::Residual { conv1, conv2 } => {
+                let mut branch = scratch.lease();
+                let result = (|| {
+                    self.forward_conv_into(conv1, input, &mut branch, scratch)?;
+                    branch.map_inplace(|v| v.max(0.0));
+                    self.forward_conv_into(conv2, &branch, output, scratch)?;
+                    output.add_assign(input)?;
+                    output.map_inplace(|v| v.max(0.0));
+                    Ok(())
+                })();
+                scratch.release(branch);
+                result
+            }
+            QLayer::Relu => {
+                output.copy_from(input);
+                output.map_inplace(|v| v.max(0.0));
+                Ok(())
+            }
+            QLayer::MaxPool => MaxPool2d::new().infer_into(input, output, scratch),
+            QLayer::GlobalAvgPool => GlobalAvgPool::new().infer_into(input, output, scratch),
+            QLayer::Flatten => {
+                output.copy_from(input);
+                output.reshape_in_place(&[input.len()])
+            }
+        }
+    }
+
+    /// Scratch-arena convolution: [`conv_lut_core`] over arena-held
+    /// activation codes and patches.  Stateful tables take the allocating
+    /// reference path and copy into `output`.
+    fn forward_conv_into(
+        &self,
+        conv: &QConv,
+        input: &Tensor,
+        output: &mut Tensor,
+        scratch: &mut KernelScratch,
+    ) -> Result<(), DnnError> {
+        match &self.lut {
+            Some(lut) => {
+                let (height, width) = Self::check_conv_input(conv, input)?;
+                let activation_params = quantize_activations_bits_into(
+                    input.data(),
+                    self.bits,
+                    &mut scratch.qactivations,
+                );
+                let scale = conv.weight_params.scale * activation_params.scale;
+                im2col(
+                    &scratch.qactivations,
+                    0u8,
+                    conv.in_channels,
+                    height,
+                    width,
+                    conv.kernel,
+                    &mut scratch.qcols,
+                );
+                output.resize_to(&[conv.out_channels, height, width]);
+                conv_lut_core(
+                    conv,
+                    &scratch.qcols,
+                    height * width,
+                    lut,
+                    self.lut_max_abs,
+                    self.bits,
+                    scale,
+                    output.data_mut(),
+                );
+                Ok(())
+            }
+            None => {
+                let result = self.forward_conv_reference(conv, input)?;
+                output.copy_from(&result);
+                Ok(())
+            }
+        }
+    }
+
+    /// Scratch-arena dense layer (see [`Self::forward_conv_into`]).
+    fn forward_dense_into(
+        &self,
+        dense: &QDense,
+        input: &Tensor,
+        output: &mut Tensor,
+        scratch: &mut KernelScratch,
+    ) -> Result<(), DnnError> {
+        match &self.lut {
+            Some(lut) => {
+                if input.len() != dense.inputs {
+                    return Err(DnnError::ShapeMismatch {
+                        expected: vec![dense.inputs],
+                        found: input.shape().to_vec(),
+                    });
+                }
+                let activation_params = quantize_activations_bits_into(
+                    input.data(),
+                    self.bits,
+                    &mut scratch.qactivations,
+                );
+                let scale = dense.weight_params.scale * activation_params.scale;
+                output.resize_to(&[dense.outputs]);
+                dense_lut_core(
+                    dense,
+                    &scratch.qactivations,
+                    lut,
+                    self.lut_max_abs,
+                    self.bits,
+                    scale,
+                    output.data_mut(),
+                );
+                Ok(())
+            }
+            None => {
+                let result = self.forward_dense_reference(dense, input)?;
+                output.copy_from(&result);
+                Ok(())
+            }
+        }
+    }
+
     fn forward_layer(&self, layer: &QLayer, input: &Tensor) -> Result<Tensor, DnnError> {
         match layer {
             QLayer::Conv(conv) => self.forward_conv(conv, input),
@@ -287,14 +879,14 @@ impl QuantizedNetwork {
 
     fn forward_conv(&self, conv: &QConv, input: &Tensor) -> Result<Tensor, DnnError> {
         match &self.lut {
-            Some(lut) => Self::forward_conv_lut(conv, input, lut, self.bits),
+            Some(lut) => self.forward_conv_lut(conv, input, lut),
             None => self.forward_conv_reference(conv, input),
         }
     }
 
     fn forward_dense(&self, dense: &QDense, input: &Tensor) -> Result<Tensor, DnnError> {
         match &self.lut {
-            Some(lut) => Self::forward_dense_lut(dense, input, lut, self.bits),
+            Some(lut) => self.forward_dense_lut(dense, input, lut),
             None => self.forward_dense_reference(dense, input),
         }
     }
@@ -302,25 +894,19 @@ impl QuantizedNetwork {
     /// LUT fast path: integer accumulation over contiguous im2col patches.
     ///
     /// The quantized activations are unrolled into a `[in_c·k², h·w]` patch
-    /// matrix; for every output channel the inner loop streams one patch row
-    /// and one output row while indexing the weight's contiguous
-    /// `2^bits`-entry LUT sub-table — no branches, no virtual calls.  Integer
-    /// addition is associative, so the result is bit-identical to the
-    /// reference path.
+    /// matrix and swept by the eight-pixel gather kernel of
+    /// [`conv_lut_core`] — no branches on the activation side, no virtual
+    /// calls.  Integer addition is associative, so the result is
+    /// bit-identical to the reference path.
     fn forward_conv_lut(
+        &self,
         conv: &QConv,
         input: &Tensor,
         lut: &[i32],
-        bits: u8,
     ) -> Result<Tensor, DnnError> {
         let (height, width) = Self::check_conv_input(conv, input)?;
-        let (activations, activation_params) = quantize_activations_bits(input.data(), bits);
+        let (activations, activation_params) = quantize_activations_bits(input.data(), self.bits);
         let scale = conv.weight_params.scale * activation_params.scale;
-        let stride = 1usize << bits;
-        let zero_code = (stride / 2) as u8;
-        let hw = height * width;
-        let patch = conv.in_channels * conv.kernel * conv.kernel;
-
         let mut cols: Vec<u8> = Vec::new();
         im2col(
             &activations,
@@ -331,43 +917,28 @@ impl QuantizedNetwork {
             conv.kernel,
             &mut cols,
         );
-
-        let mut output = vec![0.0f32; conv.out_channels * hw];
-        let mut accumulator = vec![0i64; hw];
-        // The flat-LUT accumulation sweep: one add per nonzero MAC.
-        // optima-lint: hot
-        for oc in 0..conv.out_channels {
-            accumulator.iter_mut().for_each(|acc| *acc = 0);
-            let codes = &conv.codes[oc * patch..(oc + 1) * patch];
-            for (row, &code) in codes.iter().enumerate() {
-                if code == zero_code {
-                    continue; // zero weight: contributes nothing
-                }
-                let sub = &lut[code as usize * stride..(code as usize + 1) * stride];
-                let col_row = &cols[row * hw..(row + 1) * hw];
-                for (acc, &activation) in accumulator.iter_mut().zip(col_row.iter()) {
-                    *acc += sub[activation as usize] as i64;
-                }
-            }
-            let bias = conv.bias[oc];
-            for (out, &acc) in output[oc * hw..(oc + 1) * hw]
-                .iter_mut()
-                .zip(accumulator.iter())
-            {
-                *out = acc as f32 * scale + bias;
-            }
-        }
-        // optima-lint: end-hot
-        Tensor::from_vec(&[conv.out_channels, height, width], output)
+        let mut output = Tensor::zeros(&[conv.out_channels, height, width]);
+        conv_lut_core(
+            conv,
+            &cols,
+            height * width,
+            lut,
+            self.lut_max_abs,
+            self.bits,
+            scale,
+            output.data_mut(),
+        );
+        Ok(output)
     }
 
     /// LUT fast path for dense layers: one contiguous weight-code row per
-    /// output against the quantized input vector.
+    /// output against the quantized input vector, swept by the eight-lane
+    /// kernel of [`dense_lut_core`].
     fn forward_dense_lut(
+        &self,
         dense: &QDense,
         input: &Tensor,
         lut: &[i32],
-        bits: u8,
     ) -> Result<Tensor, DnnError> {
         if input.len() != dense.inputs {
             return Err(DnnError::ShapeMismatch {
@@ -375,22 +946,19 @@ impl QuantizedNetwork {
                 found: input.shape().to_vec(),
             });
         }
-        let (activations, activation_params) = quantize_activations_bits(input.data(), bits);
+        let (activations, activation_params) = quantize_activations_bits(input.data(), self.bits);
         let scale = dense.weight_params.scale * activation_params.scale;
-        let stride = 1usize << bits;
-        let mut output = vec![0.0f32; dense.outputs];
-        // One LUT lookup per (weight code, activation) pair.
-        // optima-lint: hot
-        for (o, out_value) in output.iter_mut().enumerate() {
-            let codes = &dense.codes[o * dense.inputs..(o + 1) * dense.inputs];
-            let mut accumulator: i64 = 0;
-            for (&code, &activation) in codes.iter().zip(activations.iter()) {
-                accumulator += lut[code as usize * stride + activation as usize] as i64;
-            }
-            *out_value = accumulator as f32 * scale + dense.bias[o];
-        }
-        // optima-lint: end-hot
-        Tensor::from_vec(&[dense.outputs], output)
+        let mut output = Tensor::zeros(&[dense.outputs]);
+        dense_lut_core(
+            dense,
+            &activations,
+            lut,
+            self.lut_max_abs,
+            self.bits,
+            scale,
+            output.data_mut(),
+        );
+        Ok(output)
     }
 
     /// Reference path: one [`ProductTable::product`] virtual call per
@@ -640,6 +1208,60 @@ mod tests {
             let reference_out = reference.forward(&image).unwrap();
             assert_eq!(fast_out, reference_out, "seed {seed}");
         }
+    }
+
+    #[test]
+    fn forward_with_matches_forward_bit_for_bit() {
+        // The scratch-arena path must reproduce the allocating path exactly
+        // at both the INT4 and composed INT8 widths, with one scratch reused
+        // across all images (and across the two widths).
+        let network = small_cnn(3);
+        let int4 = QuantizedNetwork::from_network(&network, Arc::new(ExactInt4Products)).unwrap();
+        let int8 = QuantizedNetwork::from_network(
+            &network,
+            Arc::new(ComposedProducts::new(Arc::new(ExactInt4Products), 2)),
+        )
+        .unwrap();
+        let mut scratch = KernelScratch::new();
+        for seed in 0..5u64 {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            let image =
+                Tensor::from_vec(&[1, 8, 8], (0..64).map(|_| rng.gen::<f32>()).collect()).unwrap();
+            for quantized in [&int4, &int8] {
+                let allocating = quantized.forward(&image).unwrap();
+                let pooled = quantized.forward_with(&image, &mut scratch).unwrap();
+                assert_eq!(&allocating, pooled, "seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn forward_with_matches_forward_on_the_reference_path() {
+        // Stateful tables disable the snapshot; forward_with must still
+        // agree (it falls back to the reference kernels internally).
+        let network = small_cnn(3);
+        let quantized = QuantizedNetwork::from_network(
+            &network,
+            Arc::new(CountingProducts::new(Arc::new(ExactInt4Products))),
+        )
+        .unwrap();
+        assert!(!quantized.uses_snapshot());
+        let mut scratch = KernelScratch::new();
+        let image =
+            Tensor::from_vec(&[1, 8, 8], (0..64).map(|i| (i % 9) as f32 / 9.0).collect()).unwrap();
+        let allocating = quantized.forward(&image).unwrap();
+        assert_eq!(
+            &allocating,
+            quantized.forward_with(&image, &mut scratch).unwrap()
+        );
+        // A shape error releases the leased buffers and leaves the scratch usable.
+        assert!(quantized
+            .forward_with(&Tensor::zeros(&[2, 8, 8]), &mut scratch)
+            .is_err());
+        assert_eq!(
+            &allocating,
+            quantized.forward_with(&image, &mut scratch).unwrap()
+        );
     }
 
     #[test]

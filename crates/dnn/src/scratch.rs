@@ -1,0 +1,98 @@
+//! Per-worker scratch arenas for allocation-free steady-state inference.
+//!
+//! Every buffer the inference hot path needs between layers — im2col patch
+//! matrices (f32 and u8), the packed-`B` panels of the
+//! [`optima_math::gemm::PackedGemm`] micro-kernel, quantized activation
+//! codes and the ping-pong activation tensors themselves — lives in one
+//! [`KernelScratch`] owned by the caller (one per evaluation worker).  The
+//! first few images grow the buffers to the network's high-water mark;
+//! after that, [`crate::network::Network::infer_with`] and
+//! [`crate::quantized::QuantizedNetwork::forward_with`] perform **zero**
+//! heap allocations per image, a property pinned by the workspace's
+//! counting-allocator regression test.
+//!
+//! # Lifecycle
+//!
+//! * Construct once per worker ([`KernelScratch::new`] allocates nothing).
+//! * Pass `&mut` to every scratch-aware inference call; the result tensor
+//!   is returned *by reference into the arena* and stays valid until the
+//!   next call that takes the same scratch.
+//! * Buffers only ever grow (`clear` + `resize` retain capacity), so a
+//!   scratch can serve differently-shaped networks back to back at the cost
+//!   of holding the largest footprint seen.
+
+use crate::tensor::Tensor;
+use optima_math::gemm::GemmScratch;
+
+/// The scratch arena threaded through the scratch-aware inference paths.
+#[derive(Debug, Default)]
+pub struct KernelScratch {
+    /// f32 im2col patch matrix (FLOAT32 convolution path).
+    pub(crate) cols: Vec<f32>,
+    /// Packed-`B` panel arena for the packed GEMM micro-kernel.
+    pub(crate) gemm: GemmScratch,
+    /// u8 im2col patch matrix (quantized convolution path).
+    pub(crate) qcols: Vec<u8>,
+    /// Quantized activation codes of the current layer input.
+    pub(crate) qactivations: Vec<u8>,
+    /// Recycled activation tensors, leased by the network drivers for the
+    /// ping-pong buffers and residual branches.
+    pool: Vec<Tensor>,
+    /// Slot holding the most recent inference result (returned by
+    /// reference; its predecessor is recycled into the pool).
+    result: Tensor,
+}
+
+impl KernelScratch {
+    /// Creates an empty arena; nothing is allocated until first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Takes a tensor out of the recycle pool (or an empty one the first
+    /// few times, before the pool has warmed up).
+    pub(crate) fn lease(&mut self) -> Tensor {
+        self.pool.pop().unwrap_or_default()
+    }
+
+    /// Returns a leased tensor to the recycle pool.
+    pub(crate) fn release(&mut self, tensor: Tensor) {
+        self.pool.push(tensor);
+    }
+
+    /// Parks `tensor` in the result slot and hands out a reference;
+    /// the previous result is recycled into the pool.
+    pub(crate) fn store_result(&mut self, tensor: Tensor) -> &Tensor {
+        let previous = std::mem::replace(&mut self.result, tensor);
+        self.release(previous);
+        &self.result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lease_release_recycles_buffers() {
+        let mut scratch = KernelScratch::new();
+        let mut t = scratch.lease();
+        t.resize_to(&[16]);
+        let capacity_probe = t.data().as_ptr();
+        scratch.release(t);
+        let again = scratch.lease();
+        assert_eq!(again.data().as_ptr(), capacity_probe);
+        assert_eq!(again.len(), 16);
+    }
+
+    #[test]
+    fn store_result_recycles_the_previous_result() {
+        let mut scratch = KernelScratch::new();
+        let first = Tensor::from_slice(&[1.0, 2.0]);
+        assert_eq!(scratch.store_result(first).data(), &[1.0, 2.0]);
+        let second = Tensor::from_slice(&[3.0]);
+        assert_eq!(scratch.store_result(second).data(), &[3.0]);
+        // The first result's buffer is back in the pool.
+        assert_eq!(scratch.pool.len(), 2);
+    }
+}

@@ -43,6 +43,18 @@ pub struct Tensor {
     data: Vec<f32>,
 }
 
+impl Default for Tensor {
+    /// An empty placeholder tensor (no shape, no elements, no allocation),
+    /// meant as a seed for in-place [`Tensor::resize_to`] /
+    /// [`Tensor::copy_from`] — the scratch-arena pools start from this.
+    fn default() -> Self {
+        Tensor {
+            shape: Vec::new(),
+            data: Vec::new(),
+        }
+    }
+}
+
 impl Clone for Tensor {
     fn clone(&self) -> Self {
         CLONE_COUNT.with(|count| count.set(count.get() + 1));
@@ -151,6 +163,28 @@ impl Tensor {
         self.shape.clear();
         self.shape.extend_from_slice(shape);
         Ok(())
+    }
+
+    /// Reshapes the tensor in place to `shape`, zero-filling the data.
+    ///
+    /// Shape and data capacities are retained, so repeated calls allocate
+    /// only while the element count is still growing towards its steady
+    /// state — the property the scratch-arena inference path relies on.
+    pub fn resize_to(&mut self, shape: &[usize]) {
+        self.shape.clear();
+        self.shape.extend_from_slice(shape);
+        let len = shape.iter().product();
+        self.data.clear();
+        self.data.resize(len, 0.0);
+    }
+
+    /// Copies another tensor's shape and data into this one, reusing the
+    /// existing capacity (no allocation once large enough).
+    pub fn copy_from(&mut self, other: &Tensor) {
+        self.shape.clear();
+        self.shape.extend_from_slice(&other.shape);
+        self.data.clear();
+        self.data.extend_from_slice(&other.data);
     }
 
     /// Value at `[c, y, x]` of a 3-D tensor.
@@ -353,6 +387,21 @@ mod tests {
         let t = Tensor::from_slice(&[0.2, f32::NAN, 0.8, 0.5]);
         assert_eq!(t.top_k(2), vec![1, 2]);
         assert_eq!(t.top_k(2), t.top_k(2));
+    }
+
+    #[test]
+    fn resize_to_and_copy_from_reuse_capacity() {
+        let mut t = Tensor::zeros(&[2, 3]);
+        t.resize_to(&[4]);
+        assert_eq!(t.shape(), &[4]);
+        assert_eq!(t.data(), &[0.0; 4]);
+        let source = Tensor::from_vec(&[1, 2], vec![5.0, 6.0]).unwrap();
+        t.copy_from(&source);
+        assert_eq!(t.shape(), &[1, 2]);
+        assert_eq!(t.data(), &[5.0, 6.0]);
+        // Shrinking keeps the larger capacity around for reuse.
+        t.resize_to(&[6]);
+        assert_eq!(t.data(), &[0.0; 6]);
     }
 
     #[test]

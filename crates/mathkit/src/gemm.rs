@@ -18,6 +18,27 @@
 //! computes dot products of contiguous rows with a four-way unrolled
 //! accumulator.
 //!
+//! # Packed-panel GEMM
+//!
+//! On top of the streaming kernels, [`PackedGemm`] provides the
+//! pack-once/run-many plan used by the inference hot path: the weight matrix
+//! `A` is repacked **once per layer** into 8-row panels (`[kk][r]` order, so
+//! the micro-kernel reads 8 weights per cycle from one contiguous word), and
+//! each call packs `B` into 8-column panels inside a caller-owned
+//! [`GemmScratch`] arena that is reused across the whole batch.  The
+//! micro-kernel is an 8×8 register tile in the same portable lane-array
+//! style as `Polynomial::eval_many_into`: `[[f32; 8]; 8]` accumulators that
+//! the compiler keeps in vector registers.
+//!
+//! Because the register tile accumulates each output element privately
+//! (initialised to zero, `k` traversed in ascending order, added to `C` once
+//! at writeback), the result is **exactly** — bit for bit — the
+//! "lane-ordered scalar model" implemented by [`packed_gemm_model`]; the
+//! property tests pin that equivalence over shapes that are not multiples of
+//! the lane width.  Tails in `m`/`n` are handled by zero-padding the packed
+//! panels (every micro-tile is full) and masking the writeback, so the tail
+//! elements go through the same instruction sequence as the bulk.
+//!
 //! The kernels accumulate into `C`/`y` (callers zero- or bias-initialise the
 //! output first), which is exactly the shape the layer code needs and avoids
 //! a separate clearing pass.
@@ -40,6 +61,12 @@
 const BLOCK_M: usize = 64;
 /// Reduction-depth slice per block; keeps the active `B` panel in L1/L2.
 const BLOCK_K: usize = 256;
+/// Lane width of the packed micro-kernel: 8 `f32` lanes fill one AVX2
+/// register, and narrower targets split the lane array without changing the
+/// arithmetic order.
+pub const LANES: usize = 8;
+/// Rows per packed-`A` panel (the register-tile height).
+const MR: usize = 8;
 
 #[inline]
 fn check_dims(what: &str, rows: usize, cols: usize, len: usize) {
@@ -215,6 +242,318 @@ pub fn ger(m: usize, n: usize, x: &[f32], y: &[f32], a: &mut [f32]) {
 
 // optima-lint: end-hot
 
+/// Reusable packing arena for [`PackedGemm`]: holds the packed `B` panels
+/// between calls so the steady state performs no heap allocation.
+///
+/// One scratch per worker; it grows to the largest `k × n` seen and then
+/// stays at that capacity.
+#[derive(Debug, Clone, Default)]
+pub struct GemmScratch {
+    /// `B` packed into [`LANES`]-column panels, `[panel][kk][lane]` order.
+    packed_b: Vec<f32>,
+}
+
+impl GemmScratch {
+    /// Creates an empty scratch arena (no allocation until first use).
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// A pack-once matrix-product plan: `A` repacked into [`MR`]-row panels for
+/// the 8-wide register-tile micro-kernel.
+///
+/// Build one per weight matrix with [`PackedGemm::pack`], then run
+/// [`PackedGemm::gemm_into`] / [`PackedGemm::gemv_into`] for every image in
+/// the batch.  The packed layout stores, panel by panel, the `MR` row values
+/// for each reduction index `kk` contiguously (`[panel][kk][r]`), with tail
+/// rows zero-padded so the micro-kernel never branches on the row count.
+///
+/// Both kernels accumulate into the output and are bit-identical to the
+/// lane-ordered scalar models [`packed_gemm_model`] / [`packed_gemv_model`].
+#[derive(Debug, Clone)]
+pub struct PackedGemm {
+    m: usize,
+    k: usize,
+    /// `ceil(m / MR)` panels of `k × MR` floats, `[panel][kk][r]` order.
+    panels: Vec<f32>,
+}
+
+impl PackedGemm {
+    /// Packs row-major `A [m×k]` into the panel layout.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `a.len() != m * k`.
+    pub fn pack(m: usize, k: usize, a: &[f32]) -> Self {
+        check_dims("A", m, k, a.len());
+        if m == 0 || k == 0 {
+            return PackedGemm {
+                m,
+                k,
+                panels: Vec::new(),
+            };
+        }
+        let panel_count = m.div_ceil(MR);
+        let mut panels = vec![0.0f32; panel_count * k * MR];
+        for (p, panel) in panels.chunks_exact_mut(k * MR).enumerate() {
+            let row0 = p * MR;
+            let rows = MR.min(m - row0);
+            for r in 0..rows {
+                let a_row = &a[(row0 + r) * k..(row0 + r) * k + k];
+                for (kk, &value) in a_row.iter().enumerate() {
+                    panel[kk * MR + r] = value;
+                }
+            }
+        }
+        PackedGemm { m, k, panels }
+    }
+
+    /// Number of rows in the packed matrix.
+    pub fn rows(&self) -> usize {
+        self.m
+    }
+
+    /// Reduction depth (columns of the packed matrix).
+    pub fn depth(&self) -> usize {
+        self.k
+    }
+
+    // The packing loop and the two micro-kernels below run per image inside
+    // DNN inference; R4 forbids allocation in this region (the scratch arena
+    // may `resize`, which reuses its capacity in the steady state).
+    // optima-lint: hot
+
+    /// `C += A·B` for the packed `A [m×k]`, row-major `B [k×n]`, `C [m×n]`.
+    ///
+    /// Packs `B` into `scratch` (reusing its capacity), then runs the 8×8
+    /// register-tile micro-kernel over full panels; partial edge tiles are
+    /// computed on zero padding and masked at writeback.  Exactly equivalent
+    /// to [`packed_gemm_model`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when a slice length does not match its dimensions.
+    pub fn gemm_into(&self, n: usize, b: &[f32], c: &mut [f32], scratch: &mut GemmScratch) {
+        let (m, k) = (self.m, self.k);
+        check_dims("B", k, n, b.len());
+        check_dims("C", m, n, c.len());
+        if m == 0 || k == 0 || n == 0 {
+            return;
+        }
+
+        // Pack B into LANES-column panels (inside the dispatched kernel so
+        // the copies vectorize with the same feature set), zero-padding the
+        // column tail.
+        let col_panels = n.div_ceil(LANES);
+        let packed_b = &mut scratch.packed_b;
+        packed_b.clear();
+        packed_b.resize(col_panels * k * LANES, 0.0);
+        gemm_panels(m, k, n, &self.panels, b, packed_b, c);
+    }
+
+    /// `y += A·x` for the packed `A [m×k]`, `x [k]`, `y [m]`.
+    ///
+    /// The lane array runs *across the 8 panel rows* (the packed layout makes
+    /// them contiguous per `kk`), so the kernel is the `n = 1` column of
+    /// [`PackedGemm::gemm_into`] — and bit-identical to
+    /// [`packed_gemv_model`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when a slice length does not match its dimensions.
+    pub fn gemv_into(&self, x: &[f32], y: &mut [f32]) {
+        let (m, k) = (self.m, self.k);
+        assert_eq!(x.len(), k, "x length {} != {k}", x.len());
+        assert_eq!(y.len(), m, "y length {} != {m}", y.len());
+        if m == 0 || k == 0 {
+            return;
+        }
+        gemv_panels(m, k, &self.panels, x, y);
+    }
+
+    // optima-lint: end-hot
+}
+
+// The two panel kernels below exist in two compilations: the portable body
+// and an AVX2 clone selected by a cached runtime feature check.  With AVX
+// every `[f32; 8]` lane row is a single ymm register (the 8×8 tile is eight
+// accumulator registers); the baseline build splits each row across two SSE
+// registers and spills.  Both clones run the identical instruction *order*
+// — plain multiply and add, no FMA contraction — so their results are
+// bit-identical to each other and to the lane-ordered scalar models.
+// optima-lint: hot
+
+/// The 8×8 register-tile micro-kernel over full packed panels, with masked
+/// writeback for the `m`/`n` tails.  Packs `B` into `packed_b` first (the
+/// buffer arrives zeroed and sized by the caller); full-width panels take a
+/// constant-length copy so the pack loop vectorizes.
+#[inline(always)]
+fn gemm_panels_body(
+    m: usize,
+    k: usize,
+    n: usize,
+    a_panels: &[f32],
+    b: &[f32],
+    packed_b: &mut [f32],
+    c: &mut [f32],
+) {
+    for (jp, panel) in packed_b.chunks_exact_mut(k * LANES).enumerate() {
+        let col0 = jp * LANES;
+        if col0 + LANES <= n {
+            for (kk, dst) in panel.chunks_exact_mut(LANES).enumerate() {
+                dst.copy_from_slice(&b[kk * n + col0..kk * n + col0 + LANES]);
+            }
+        } else {
+            let lanes = n - col0;
+            for (kk, dst) in panel.chunks_exact_mut(LANES).enumerate() {
+                dst[..lanes].copy_from_slice(&b[kk * n + col0..kk * n + col0 + lanes]);
+            }
+        }
+    }
+    for (jp, b_panel) in packed_b.chunks_exact(k * LANES).enumerate() {
+        for (ip, a_panel) in a_panels.chunks_exact(k * MR).enumerate() {
+            let mut acc = [[0.0f32; LANES]; MR];
+            let a_steps = a_panel.chunks_exact(MR);
+            let b_steps = b_panel.chunks_exact(LANES);
+            for (a_step, b_step) in a_steps.zip(b_steps) {
+                for (acc_row, &a_val) in acc.iter_mut().zip(a_step.iter()) {
+                    for (lane, &b_val) in acc_row.iter_mut().zip(b_step.iter()) {
+                        *lane += a_val * b_val;
+                    }
+                }
+            }
+            // Masked writeback: only rows < m and columns < n land in C.
+            let row0 = ip * MR;
+            let rows = MR.min(m - row0);
+            let col0 = jp * LANES;
+            let lanes = LANES.min(n - col0);
+            for (r, acc_row) in acc.iter().enumerate().take(rows) {
+                let c_row = &mut c[(row0 + r) * n + col0..(row0 + r) * n + col0 + lanes];
+                for (c_val, &a_val) in c_row.iter_mut().zip(acc_row.iter()) {
+                    *c_val += a_val;
+                }
+            }
+        }
+    }
+}
+
+/// The packed GEMV micro-kernel: one 8-lane accumulator per `A` panel.
+#[inline(always)]
+fn gemv_panels_body(m: usize, k: usize, a_panels: &[f32], x: &[f32], y: &mut [f32]) {
+    for (ip, panel) in a_panels.chunks_exact(k * MR).enumerate() {
+        let mut acc = [0.0f32; MR];
+        for (step, &x_val) in panel.chunks_exact(MR).zip(x.iter()) {
+            for (lane, &a_val) in acc.iter_mut().zip(step.iter()) {
+                *lane += a_val * x_val;
+            }
+        }
+        let row0 = ip * MR;
+        let rows = MR.min(m - row0);
+        for (y_val, &a_val) in y[row0..row0 + rows].iter_mut().zip(acc.iter()) {
+            *y_val += a_val;
+        }
+    }
+}
+
+#[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
+#[target_feature(enable = "avx2")]
+unsafe fn gemm_panels_avx2(
+    m: usize,
+    k: usize,
+    n: usize,
+    a_panels: &[f32],
+    b: &[f32],
+    packed_b: &mut [f32],
+    c: &mut [f32],
+) {
+    gemm_panels_body(m, k, n, a_panels, b, packed_b, c);
+}
+
+#[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
+#[target_feature(enable = "avx2")]
+unsafe fn gemv_panels_avx2(m: usize, k: usize, a_panels: &[f32], x: &[f32], y: &mut [f32]) {
+    gemv_panels_body(m, k, a_panels, x, y);
+}
+
+fn gemm_panels(
+    m: usize,
+    k: usize,
+    n: usize,
+    a_panels: &[f32],
+    b: &[f32],
+    packed_b: &mut [f32],
+    c: &mut [f32],
+) {
+    #[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
+    if std::arch::is_x86_feature_detected!("avx2") {
+        // SAFETY: the AVX2 clone only runs after the (cached) runtime
+        // feature check above confirmed the CPU supports it.
+        return unsafe { gemm_panels_avx2(m, k, n, a_panels, b, packed_b, c) };
+    }
+    gemm_panels_body(m, k, n, a_panels, b, packed_b, c);
+}
+
+fn gemv_panels(m: usize, k: usize, a_panels: &[f32], x: &[f32], y: &mut [f32]) {
+    #[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
+    if std::arch::is_x86_feature_detected!("avx2") {
+        // SAFETY: the AVX2 clone only runs after the (cached) runtime
+        // feature check above confirmed the CPU supports it.
+        return unsafe { gemv_panels_avx2(m, k, a_panels, x, y) };
+    }
+    gemv_panels_body(m, k, a_panels, x, y);
+}
+
+// optima-lint: end-hot
+
+/// The lane-ordered scalar model that [`PackedGemm::gemm_into`] reproduces
+/// **bit for bit**: each output element accumulates its own `f32` sum over
+/// ascending `kk` (plain multiply-add, no fused contraction, no blocking)
+/// and is added to `C` once.
+///
+/// This is the equivalence oracle for the packed kernel — deliberately the
+/// simplest possible implementation, kept far from the hot path.
+///
+/// # Panics
+///
+/// Panics when a slice length does not match its dimensions.
+pub fn packed_gemm_model(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    check_dims("A", m, k, a.len());
+    check_dims("B", k, n, b.len());
+    check_dims("C", m, n, c.len());
+    if m == 0 || k == 0 || n == 0 {
+        return;
+    }
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = 0.0f32;
+            for kk in 0..k {
+                acc += a[i * k + kk] * b[kk * n + j];
+            }
+            c[i * n + j] += acc;
+        }
+    }
+}
+
+/// The `n = 1` column of [`packed_gemm_model`]: the equivalence oracle for
+/// [`PackedGemm::gemv_into`].
+///
+/// # Panics
+///
+/// Panics when a slice length does not match its dimensions.
+pub fn packed_gemv_model(m: usize, k: usize, a: &[f32], x: &[f32], y: &mut [f32]) {
+    check_dims("A", m, k, a.len());
+    assert_eq!(x.len(), k, "x length {} != {k}", x.len());
+    assert_eq!(y.len(), m, "y length {} != {m}", y.len());
+    for i in 0..m {
+        let mut acc = 0.0f32;
+        for kk in 0..k {
+            acc += a[i * k + kk] * x[kk];
+        }
+        y[i] += acc;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -364,5 +703,102 @@ mod tests {
     fn dimension_mismatch_panics() {
         let mut c = vec![0.0f32; 4];
         gemm(2, 2, 2, &[1.0, 2.0, 3.0], &[0.0; 4], &mut c);
+    }
+
+    #[test]
+    fn packed_gemm_is_bit_identical_to_the_lane_ordered_model() {
+        // Shapes straddling the 8-lane boundaries: exact multiples, one off
+        // either side, degenerate single rows/columns and a large panel mix.
+        for (case, &(m, k, n)) in [
+            (1, 1, 1),
+            (8, 8, 8),
+            (7, 9, 8),
+            (9, 8, 7),
+            (16, 24, 32),
+            (17, 33, 9),
+            (3, 300, 31),
+            (70, 13, 66),
+        ]
+        .iter()
+        .enumerate()
+        {
+            let a = fill(case as u64 + 1, m * k);
+            let b = fill(case as u64 + 100, k * n);
+            let seed_c = fill(case as u64 + 200, m * n);
+
+            let plan = PackedGemm::pack(m, k, &a);
+            assert_eq!(plan.rows(), m);
+            assert_eq!(plan.depth(), k);
+            let mut scratch = GemmScratch::new();
+            let mut c = seed_c.clone();
+            plan.gemm_into(n, &b, &mut c, &mut scratch);
+
+            let mut expected = seed_c.clone();
+            packed_gemm_model(m, k, n, &a, &b, &mut expected);
+            assert_eq!(c, expected, "case {case}: {m}x{k}x{n}");
+
+            // Re-running through the same scratch must not change results.
+            let mut c2 = seed_c;
+            plan.gemm_into(n, &b, &mut c2, &mut scratch);
+            assert_eq!(c2, expected, "case {case} (scratch reuse)");
+        }
+    }
+
+    #[test]
+    fn packed_gemv_is_bit_identical_to_the_lane_ordered_model() {
+        for (case, &(m, k)) in [(1, 1), (8, 8), (7, 9), (23, 57), (64, 65)]
+            .iter()
+            .enumerate()
+        {
+            let a = fill(case as u64 + 10, m * k);
+            let x = fill(case as u64 + 110, k);
+            let seed_y = fill(case as u64 + 210, m);
+
+            let plan = PackedGemm::pack(m, k, &a);
+            let mut y = seed_y.clone();
+            plan.gemv_into(&x, &mut y);
+
+            let mut expected = seed_y.clone();
+            packed_gemv_model(m, k, &a, &x, &mut expected);
+            assert_eq!(y, expected, "case {case}: {m}x{k}");
+
+            // gemv must be the n = 1 column of gemm on the same plan.
+            let mut scratch = GemmScratch::new();
+            let mut y_gemm = seed_y;
+            plan.gemm_into(1, &x, &mut y_gemm, &mut scratch);
+            assert_eq!(y_gemm, expected, "case {case} (gemm n=1)");
+        }
+    }
+
+    #[test]
+    fn packed_gemm_matches_naive_within_tolerance() {
+        let (m, k, n) = (17, 33, 9);
+        let a = fill(42, m * k);
+        let b = fill(43, k * n);
+        let plan = PackedGemm::pack(m, k, &a);
+        let mut scratch = GemmScratch::new();
+        let mut c = vec![0.0f32; m * n];
+        plan.gemm_into(n, &b, &mut c, &mut scratch);
+        assert_close(&c, &naive_gemm(m, k, n, &a, &b), 1e-4);
+    }
+
+    #[test]
+    fn packed_empty_dimensions_are_no_ops() {
+        let plan = PackedGemm::pack(0, 5, &[]);
+        let mut c: Vec<f32> = Vec::new();
+        plan.gemm_into(0, &[], &mut c, &mut GemmScratch::new());
+
+        let plan = PackedGemm::pack(2, 0, &[]);
+        let mut c = vec![3.0f32; 4];
+        plan.gemm_into(2, &[], &mut c, &mut GemmScratch::new());
+        assert_eq!(c, vec![3.0; 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "expected")]
+    fn packed_dimension_mismatch_panics() {
+        let plan = PackedGemm::pack(2, 2, &[1.0, 2.0, 3.0, 4.0]);
+        let mut c = vec![0.0f32; 4];
+        plan.gemm_into(2, &[0.0; 3], &mut c, &mut GemmScratch::new());
     }
 }

@@ -5,13 +5,18 @@
 
 use optima_suite::optima_dnn::eval::{evaluate, evaluate_batched};
 use optima_suite::optima_dnn::layers::{Conv2d, Dense, Flatten, Layer, MaxPool2d, Relu};
-use optima_suite::optima_dnn::multiplier::{CountingProducts, ExactInt4Products, ProductTable};
+use optima_suite::optima_dnn::multiplier::{
+    ComposedProducts, CountingProducts, ExactInt4Products, ProductTable,
+};
 use optima_suite::optima_dnn::network::Network;
 use optima_suite::optima_dnn::prelude::{Dataset, SyntheticImageConfig};
 use optima_suite::optima_dnn::quantized::QuantizedNetwork;
 use optima_suite::optima_dnn::reference;
+use optima_suite::optima_dnn::scratch::KernelScratch;
 use optima_suite::optima_dnn::Tensor;
-use optima_suite::optima_math::gemm::gemm;
+use optima_suite::optima_math::gemm::{
+    gemm, packed_gemm_model, packed_gemv_model, GemmScratch, PackedGemm,
+};
 use proptest::prelude::*;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
@@ -146,6 +151,115 @@ proptest! {
         .unwrap();
         prop_assert_eq!(lut.forward(&image).unwrap(), reference.forward(&image).unwrap());
     }
+
+    /// The packed-panel GEMM is **exactly** (bit-for-bit) the lane-ordered
+    /// scalar model over random shapes, including M/K/N not divisible by the
+    /// 8-wide panel height, with the packed-B scratch reused across calls.
+    #[test]
+    fn packed_gemm_is_exactly_the_lane_ordered_model(
+        m in 1usize..40,
+        k in 1usize..60,
+        n in 1usize..40,
+        seed in 0u64..1_000,
+    ) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let a: Vec<f32> = (0..m * k).map(|_| rng.gen::<f32>() - 0.5).collect();
+        let b: Vec<f32> = (0..k * n).map(|_| rng.gen::<f32>() - 0.5).collect();
+        // Accumulate into a nonzero C so `+=` semantics are covered too.
+        let seeded: Vec<f32> = (0..m * n).map(|_| rng.gen::<f32>() - 0.5).collect();
+
+        let plan = PackedGemm::pack(m, k, &a);
+        let mut scratch = GemmScratch::new();
+        let mut packed = seeded.clone();
+        // Two passes with the same scratch: reuse must not change results.
+        plan.gemm_into(n, &b, &mut packed, &mut scratch);
+        plan.gemm_into(n, &b, &mut packed, &mut scratch);
+
+        let mut expected = seeded;
+        packed_gemm_model(m, k, n, &a, &b, &mut expected);
+        packed_gemm_model(m, k, n, &a, &b, &mut expected);
+
+        for (index, (got, want)) in packed.iter().zip(expected.iter()).enumerate() {
+            prop_assert_eq!(
+                got.to_bits(),
+                want.to_bits(),
+                "element {}: packed {} vs model {}",
+                index,
+                got,
+                want
+            );
+        }
+    }
+
+    /// The packed GEMV (n = 1 fast path) is exactly the lane-ordered model.
+    #[test]
+    fn packed_gemv_is_exactly_the_lane_ordered_model(
+        m in 1usize..48,
+        k in 1usize..60,
+        seed in 0u64..1_000,
+    ) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let a: Vec<f32> = (0..m * k).map(|_| rng.gen::<f32>() - 0.5).collect();
+        let x: Vec<f32> = (0..k).map(|_| rng.gen::<f32>() - 0.5).collect();
+        let seeded: Vec<f32> = (0..m).map(|_| rng.gen::<f32>() - 0.5).collect();
+
+        let plan = PackedGemm::pack(m, k, &a);
+        let mut packed = seeded.clone();
+        plan.gemv_into(&x, &mut packed);
+
+        let mut expected = seeded;
+        packed_gemv_model(m, k, &a, &x, &mut expected);
+
+        for (index, (got, want)) in packed.iter().zip(expected.iter()).enumerate() {
+            prop_assert_eq!(
+                got.to_bits(),
+                want.to_bits(),
+                "row {}: packed {} vs model {}",
+                index,
+                got,
+                want
+            );
+        }
+    }
+
+    /// The 8-pixel LUT-gather scratch path (`forward_with`) is bit-for-bit
+    /// identical to the allocating flat-LUT path at INT4 and at INT8
+    /// composed from 2 × INT4 slices, with one arena shared across both
+    /// networks and image widths that exercise the hw % 8 scalar tail.
+    #[test]
+    fn eight_pixel_gather_matches_the_flat_lut_path(
+        width in 5usize..12,
+        image_seed in 0u64..1_000,
+    ) {
+        let mut rng = ChaCha8Rng::seed_from_u64(33);
+        let network = Network::new(vec![
+            Box::new(Conv2d::new(1, 4, 3, &mut rng)),
+            Box::new(Relu::new()),
+            Box::new(Flatten::new()),
+            Box::new(Dense::new(4 * 8 * width, 3, &mut rng)),
+        ]);
+        let int4 = QuantizedNetwork::from_network(&network, Arc::new(ExactInt4Products)).unwrap();
+        let int8 = QuantizedNetwork::from_network(
+            &network,
+            Arc::new(ComposedProducts::new(Arc::new(ExactInt4Products), 2)),
+        )
+        .unwrap();
+        prop_assert!(int4.uses_snapshot());
+        prop_assert!(int8.uses_snapshot());
+
+        let mut rng = ChaCha8Rng::seed_from_u64(image_seed);
+        let image = Tensor::from_vec(
+            &[1, 8, width],
+            (0..8 * width).map(|_| rng.gen::<f32>()).collect(),
+        )
+        .unwrap();
+        let mut scratch = KernelScratch::new();
+        for quantized in [&int4, &int8] {
+            let flat = quantized.forward(&image).unwrap();
+            let gathered = quantized.forward_with(&image, &mut scratch).unwrap();
+            prop_assert_eq!(gathered, &flat);
+        }
+    }
 }
 
 #[test]
@@ -190,5 +304,35 @@ fn batched_evaluation_is_deterministic_across_thread_counts() {
             serial,
             "threads = {threads}"
         );
+    }
+}
+
+#[test]
+fn quantized_batched_evaluation_is_identical_at_one_through_eight_threads() {
+    // The per-worker KernelScratch arenas route every image through the
+    // 8-pixel gather kernels; the result must not depend on how the sweep
+    // is partitioned.
+    let dataset = Dataset::synthetic(SyntheticImageConfig::tiny());
+    let mut rng = ChaCha8Rng::seed_from_u64(11);
+    let network = Network::new(vec![
+        Box::new(Conv2d::new(1, 2, 3, &mut rng)) as Box<dyn Layer>,
+        Box::new(Relu::new()),
+        Box::new(Flatten::new()),
+        Box::new(Dense::new(2 * 8 * 8, 3, &mut rng)),
+    ]);
+    for table in [
+        Arc::new(ExactInt4Products) as Arc<dyn ProductTable>,
+        Arc::new(ComposedProducts::new(Arc::new(ExactInt4Products), 2)),
+    ] {
+        let mut quantized = QuantizedNetwork::from_network(&network, table).unwrap();
+        assert!(quantized.uses_snapshot());
+        let serial = evaluate(&mut quantized, &dataset).unwrap();
+        for threads in 1..=8 {
+            assert_eq!(
+                evaluate_batched(&quantized, &dataset, threads).unwrap(),
+                serial,
+                "threads = {threads}"
+            );
+        }
     }
 }
