@@ -1,5 +1,5 @@
-//! Machine-readable perf reports: writes `BENCH_dnn.json` and
-//! `BENCH_analog.json`.
+//! Machine-readable perf reports: writes `BENCH_dnn.json`,
+//! `BENCH_analog.json` and `BENCH_serving.json`.
 //!
 //! Measures the "before" (naive scalar kernels, per-product dynamic
 //! dispatch, serial evaluation, per-pair analog evaluation) and "after"
@@ -439,6 +439,56 @@ fn main() {
         "Analog MAC perf report (written to BENCH_analog.json)",
         &analog,
     );
+
+    serving_section(quick);
+}
+
+/// The serving section: the same sweep, gate set and `BENCH_serving.json`
+/// schema as the `serving_load` experiment (`optima_bench::serving` is the
+/// shared core).  Bit identity against the single-request path is checked
+/// at every grid point, and a violated sustained-throughput floor or
+/// p50/p99 latency ceiling (floor halved / ceilings doubled in quick mode)
+/// exits nonzero like the speedup floors above.
+fn serving_section(quick: bool) {
+    use optima_bench::serving;
+    let spec = serving::SweepSpec::for_profile(quick);
+    match serving::run_and_write(&spec, 42, quick, "bench_report") {
+        Ok(report) => {
+            let gates = serving::gate_outcome(&report);
+            println!(
+                "# Serving perf report (written to {})\n",
+                serving::REPORT_PATH
+            );
+            for point in &report.points {
+                println!(
+                    "rate {:>6.0} req/s  batch<={:<2} delay<={:<5} us  {} shard(s)   \
+                     p50 {:>6} us  p99 {:>6} us  {:>8.0} req/s",
+                    point.rate_per_sec,
+                    point.max_batch,
+                    point.max_delay_us,
+                    point.shards,
+                    point.wall_p50_us,
+                    point.wall_p99_us,
+                    point.wall_throughput_per_sec,
+                );
+            }
+            println!(
+                "\nsustained {:.0} req/s (floor {:.0}); worst p50 {} us / p99 {} us \
+                 (ceilings {} / {} us); {} bit-identity checks passed\n",
+                gates.sustained_throughput_per_sec,
+                gates.throughput_floor_per_sec,
+                gates.worst_p50_us,
+                gates.worst_p99_us,
+                gates.p50_ceiling_us,
+                gates.p99_ceiling_us,
+                report.bit_identity_checks,
+            );
+        }
+        Err(err) => {
+            eprintln!("serving gate failed: {err}");
+            std::process::exit(1);
+        }
+    }
 }
 
 /// The analog hot-path workloads: multiplier-table construction and a PVT

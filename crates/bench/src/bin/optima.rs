@@ -54,6 +54,12 @@ RELIABILITY (run; consumed by the fault_sweep experiment):
                           profile's built-in rate ladder
     --lifetime-steps N    pin the lifetime grid to [0, N] aging steps
 
+SERVING (run; consumed by the serving_load experiment):
+    --max-batch N         pin the coalescer's batch-size cap instead of the
+                          profile's built-in policy grid
+    --max-delay-us N      pin the coalescer's close deadline in microseconds
+    --shards N            pin the worker-shard count
+
 EXIT STATUS:
     0 when every requested experiment succeeds with a non-empty report;
     1 when any experiment fails (all requested experiments still run);
@@ -75,6 +81,9 @@ struct RunOptions {
     array: ArrayConfig,
     defect_rate: Option<f64>,
     lifetime_steps: Option<usize>,
+    max_batch: Option<usize>,
+    max_delay_us: Option<u64>,
+    serve_shards: Option<usize>,
 }
 
 fn parse_run_options(args: &[String]) -> RunOptions {
@@ -88,6 +97,9 @@ fn parse_run_options(args: &[String]) -> RunOptions {
         array: ArrayConfig::default(),
         defect_rate: None,
         lifetime_steps: None,
+        max_batch: None,
+        max_delay_us: None,
+        serve_shards: None,
     };
     let mut columns_given = false;
     let mut i = 0;
@@ -177,6 +189,33 @@ fn parse_run_options(args: &[String]) -> RunOptions {
                 options.lifetime_steps = Some(value.parse().unwrap_or_else(|_| {
                     usage_error(&format!("invalid --lifetime-steps {value:?}"))
                 }));
+            }
+            "--max-batch" => {
+                let value = value_for("--max-batch");
+                let max_batch: usize = value
+                    .parse()
+                    .unwrap_or_else(|_| usage_error(&format!("invalid --max-batch {value:?}")));
+                if max_batch == 0 {
+                    usage_error("--max-batch must be at least 1");
+                }
+                options.max_batch = Some(max_batch);
+            }
+            "--max-delay-us" => {
+                let value = value_for("--max-delay-us");
+                options.max_delay_us =
+                    Some(value.parse().unwrap_or_else(|_| {
+                        usage_error(&format!("invalid --max-delay-us {value:?}"))
+                    }));
+            }
+            "--shards" => {
+                let value = value_for("--shards");
+                let shards: usize = value
+                    .parse()
+                    .unwrap_or_else(|_| usage_error(&format!("invalid --shards {value:?}")));
+                if shards == 0 {
+                    usage_error("--shards must be at least 1");
+                }
+                options.serve_shards = Some(shards);
             }
             flag if flag.starts_with('-') => usage_error(&format!("unknown option {flag}")),
             name => options.names.push(name.to_string()),
@@ -286,6 +325,15 @@ fn cmd_run(args: &[String]) -> i32 {
     }
     if let Some(steps) = options.lifetime_steps {
         ctx = ctx.with_lifetime_steps(steps);
+    }
+    if let Some(max_batch) = options.max_batch {
+        ctx = ctx.with_max_batch(max_batch);
+    }
+    if let Some(max_delay_us) = options.max_delay_us {
+        ctx = ctx.with_max_delay_us(max_delay_us);
+    }
+    if let Some(shards) = options.serve_shards {
+        ctx = ctx.with_serve_shards(shards);
     }
     let mut failures: Vec<(String, String)> = Vec::new();
     for (i, experiment) in selected.iter().enumerate() {

@@ -1,0 +1,5 @@
+//! Standalone shim for the serving-engine load-sweep experiment.
+
+fn main() {
+    optima_bench::experiments::run_shim("serving_load");
+}

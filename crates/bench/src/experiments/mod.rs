@@ -24,6 +24,7 @@ use optima_core::sweep::default_threads;
 use optima_core::ModelError;
 use optima_dnn::DnnError;
 use optima_imc::ImcError;
+use optima_serve::ServeError;
 
 mod ablation_dac;
 mod ablation_poly_degree;
@@ -37,6 +38,7 @@ mod fig7_dse;
 mod fig8_corner_pvt;
 mod geometry_sweep;
 mod lint_audit;
+mod serving_load;
 mod snapshot_roundtrip;
 mod speedup;
 mod table1_corners;
@@ -131,6 +133,7 @@ pub enum BenchError {
     Imc(ImcError),
     Dnn(DnnError),
     Circuit(CircuitError),
+    Serve(ServeError),
     Io {
         path: String,
         source: std::io::Error,
@@ -148,6 +151,7 @@ impl std::fmt::Display for BenchError {
             BenchError::Imc(e) => write!(f, "in-memory-computing error: {e}"),
             BenchError::Dnn(e) => write!(f, "DNN error: {e}"),
             BenchError::Circuit(e) => write!(f, "circuit error: {e}"),
+            BenchError::Serve(e) => write!(f, "serving error: {e}"),
             BenchError::Io { path, source } => write!(f, "I/O error on {path}: {source}"),
             BenchError::Failed(message) => write!(f, "experiment failed: {message}"),
         }
@@ -161,6 +165,7 @@ impl std::error::Error for BenchError {
             BenchError::Imc(e) => Some(e),
             BenchError::Dnn(e) => Some(e),
             BenchError::Circuit(e) => Some(e),
+            BenchError::Serve(e) => Some(e),
             BenchError::Io { source, .. } => Some(source),
             BenchError::Failed(_) => None,
         }
@@ -191,6 +196,12 @@ impl From<CircuitError> for BenchError {
     }
 }
 
+impl From<ServeError> for BenchError {
+    fn from(e: ServeError) -> Self {
+        BenchError::Serve(e)
+    }
+}
+
 /// Execution context handed to every experiment.
 pub struct ExperimentContext {
     profile: Profile,
@@ -199,6 +210,9 @@ pub struct ExperimentContext {
     array: ArrayConfig,
     defect_rate: Option<f64>,
     lifetime_steps: Option<usize>,
+    max_batch: Option<usize>,
+    max_delay_us: Option<u64>,
+    serve_shards: Option<usize>,
     calibration: Option<(Technology, CalibrationOutcome)>,
 }
 
@@ -213,6 +227,9 @@ impl ExperimentContext {
             array: ArrayConfig::default(),
             defect_rate: None,
             lifetime_steps: None,
+            max_batch: None,
+            max_delay_us: None,
+            serve_shards: None,
             calibration: None,
         }
     }
@@ -262,9 +279,43 @@ impl ExperimentContext {
         self
     }
 
+    /// Pins the serving experiment's coalescing batch size (`--max-batch`);
+    /// without it `serving_load` sweeps its profile-default policy grid.
+    pub fn with_max_batch(mut self, max_batch: usize) -> Self {
+        self.max_batch = Some(max_batch);
+        self
+    }
+
+    /// Pins the serving experiment's coalescing deadline (`--max-delay-us`).
+    pub fn with_max_delay_us(mut self, max_delay_us: u64) -> Self {
+        self.max_delay_us = Some(max_delay_us);
+        self
+    }
+
+    /// Pins the serving experiment's worker-shard count (`--shards`).
+    pub fn with_serve_shards(mut self, shards: usize) -> Self {
+        self.serve_shards = Some(shards);
+        self
+    }
+
     /// CLI-pinned peak defect rate, if any.
     pub fn defect_rate(&self) -> Option<f64> {
         self.defect_rate
+    }
+
+    /// CLI-pinned coalescing batch size, if any.
+    pub fn max_batch(&self) -> Option<usize> {
+        self.max_batch
+    }
+
+    /// CLI-pinned coalescing deadline in microseconds, if any.
+    pub fn max_delay_us(&self) -> Option<u64> {
+        self.max_delay_us
+    }
+
+    /// CLI-pinned serving shard count, if any.
+    pub fn serve_shards(&self) -> Option<usize> {
+        self.serve_shards
     }
 
     /// CLI-pinned lifetime horizon in deployment steps, if any.
@@ -350,7 +401,7 @@ pub trait Experiment: Sync {
 /// The static registry of every experiment, in presentation order
 /// (figures, tables, section V, infrastructure smoke, then ablations).
 pub fn registry() -> &'static [&'static dyn Experiment] {
-    static REGISTRY: [&dyn Experiment; 17] = [
+    static REGISTRY: [&dyn Experiment; 18] = [
         &fig1_sota::Fig1Sota,
         &fig4_nonideality::Fig4Nonideality,
         &fig5_pvt::Fig5Pvt,
@@ -362,6 +413,7 @@ pub fn registry() -> &'static [&'static dyn Experiment] {
         &table3_cifar::Table3Cifar,
         &geometry_sweep::GeometrySweep,
         &fault_sweep::FaultSweep,
+        &serving_load::ServingLoad,
         &speedup::Speedup,
         &snapshot_roundtrip::SnapshotRoundtrip,
         &lint_audit::LintAudit,

@@ -1,0 +1,117 @@
+//! Serving-engine load sweep: sustained throughput, batch-size
+//! distribution and latency percentiles over arrival rate × batch policy.
+//!
+//! The 18th registry entry drives the `optima_serve` pipeline (bounded
+//! queue → batch coalescer → worker-shard pool) with the deterministic
+//! open-loop load generator and an INT4-quantized CNN probe, measuring
+//! each grid point's wall-clock throughput and end-to-end latency
+//! histogram.  The measurement core, the gate set and the
+//! `BENCH_serving.json` schema live in [`crate::serving`], shared with the
+//! `bench_report` serving section, so both harnesses emit the identical
+//! machine-readable trajectory.
+//!
+//! The experiment gates itself on bit identity (every served request's
+//! logits equal a lone `forward_with` call), the coalesce-wait bound, a
+//! sustained-throughput floor and p50/p99 latency ceilings — the wall
+//! thresholds relax in quick mode (floor halved, ceilings doubled), and
+//! any violation returns [`BenchError::Failed`] so the `optima` runner
+//! exits nonzero.  `--max-batch`, `--max-delay-us` and `--shards` pin the
+//! grid to a single policy/shard point instead of the profile defaults.
+
+use super::{BenchError, Experiment, ExperimentContext};
+use crate::report::{Column, Report, Scalar, Table};
+use crate::serving::{self, SweepSpec};
+
+pub struct ServingLoad;
+
+impl Experiment for ServingLoad {
+    fn name(&self) -> &'static str {
+        "serving_load"
+    }
+
+    fn description(&self) -> &'static str {
+        "batched serving engine under open-loop load: arrival rate x batch policy sweep with throughput and p50/p99 latency gates (writes BENCH_serving.json)"
+    }
+
+    fn paper_ref(&self) -> &'static str {
+        "serving ext."
+    }
+
+    fn run(&self, ctx: &mut ExperimentContext) -> Result<Report, BenchError> {
+        let quick = ctx.is_fast();
+        let defaults = SweepSpec::for_profile(quick);
+        // CLI-pinned knobs collapse their grid axis to the pinned value;
+        // a half-pinned policy borrows the other half from the default
+        // balanced point.
+        let policies = match (ctx.max_batch(), ctx.max_delay_us()) {
+            (None, None) => defaults.policies,
+            (max_batch, max_delay_us) => {
+                vec![(max_batch.unwrap_or(8), max_delay_us.unwrap_or(500))]
+            }
+        };
+        let shards = match ctx.serve_shards() {
+            Some(shards) => vec![shards],
+            None => defaults.shards,
+        };
+        let spec = SweepSpec {
+            rates: defaults.rates,
+            policies,
+            shards,
+            requests: defaults.requests,
+        };
+
+        let report = serving::run_and_write(&spec, ctx.seed(), quick, "serving_load")?;
+        let gates = serving::gate_outcome(&report);
+
+        let mut out = Report::new();
+        out.heading(1, "Serving load — throughput and latency under batching")
+            .blank()
+            .note(format!(
+                "INT4 CNN probe; {} bit-identity checks against the single-request \
+                 path passed; sustained throughput {:.0} req/s (floor {:.0}), worst \
+                 p50 {} us / p99 {} us (ceilings {} / {} us)",
+                report.bit_identity_checks,
+                gates.sustained_throughput_per_sec,
+                gates.throughput_floor_per_sec,
+                gates.worst_p50_us,
+                gates.worst_p99_us,
+                gates.p50_ceiling_us,
+                gates.p99_ceiling_us,
+            ))
+            .blank();
+        let mut table = Table::new(vec![
+            Column::unit("Rate", "req/s"),
+            Column::plain("Max batch"),
+            Column::unit("Max delay", "us"),
+            Column::plain("Shards"),
+            Column::plain("Served"),
+            Column::plain("Rejected"),
+            Column::plain("Mean batch"),
+            Column::unit("p50", "us"),
+            Column::unit("p90", "us"),
+            Column::unit("p99", "us"),
+            Column::unit("Throughput", "req/s"),
+        ]);
+        for point in &report.points {
+            table.push_row(vec![
+                Scalar::Float(point.rate_per_sec, 0),
+                Scalar::Int(point.max_batch as i64),
+                Scalar::Int(point.max_delay_us as i64),
+                Scalar::Int(point.shards as i64),
+                Scalar::Int(point.served as i64),
+                Scalar::Int(point.rejected as i64),
+                Scalar::Float(point.mean_batch, 2),
+                Scalar::Int(point.wall_p50_us as i64),
+                Scalar::Int(point.wall_p90_us as i64),
+                Scalar::Int(point.wall_p99_us as i64),
+                Scalar::Float(point.wall_throughput_per_sec, 0),
+            ]);
+        }
+        out.table(table);
+        out.blank().note(format!(
+            "machine-readable sweep written to {}",
+            serving::REPORT_PATH
+        ));
+        Ok(out)
+    }
+}

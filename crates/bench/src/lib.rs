@@ -25,6 +25,7 @@ use std::sync::Arc;
 pub mod experiments;
 pub mod json;
 pub mod report;
+pub mod serving;
 
 /// Environment variable controlling the calibration-snapshot cache:
 /// unset → cache under `target/optima/`, `0`/`off` → disabled,

@@ -699,6 +699,47 @@ impl QuantizedNetwork {
         }
     }
 
+    /// Runs a batch of images through one scratch-arena pass.
+    ///
+    /// The quantized mirror of [`crate::network::Network::infer_batch_with`]:
+    /// every image streams through the same flattened product LUT and the
+    /// same [`KernelScratch`] arena, so an N-image batch warms up once and
+    /// then allocates nothing per image on the snapshot path.  Activation
+    /// quantization stays **per image** (the activation scale is derived
+    /// per tensor), which is exactly why the results are bit-identical to
+    /// N independent [`QuantizedNetwork::forward_with`] calls — pinned by a
+    /// regression test, and the correctness anchor of the `optima_serve`
+    /// batch coalescer.
+    ///
+    /// `outputs` is resized to `inputs.len()` and overwritten in place;
+    /// recycled tensors keep their capacity across bursts.
+    ///
+    /// # Errors
+    ///
+    /// Wraps the first failing image's error as
+    /// [`DnnError::EvaluationFailed`] with its batch index.  Earlier slots
+    /// hold valid logits; later slots are untouched.
+    pub fn forward_batch_with(
+        &self,
+        inputs: &[&Tensor],
+        outputs: &mut Vec<Tensor>,
+        scratch: &mut KernelScratch,
+    ) -> Result<(), DnnError> {
+        outputs.resize_with(inputs.len(), Tensor::default);
+        for (index, (input, output)) in inputs.iter().zip(outputs.iter_mut()).enumerate() {
+            match self.forward_with(input, scratch) {
+                Ok(logits) => output.copy_from(logits),
+                Err(error) => {
+                    return Err(DnnError::EvaluationFailed {
+                        image_index: index,
+                        source: Box::new(error),
+                    })
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// The layer loop of [`QuantizedNetwork::forward_with`].
     fn forward_ping_pong(
         &self,
@@ -1233,6 +1274,59 @@ mod tests {
                 assert_eq!(&allocating, pooled, "seed {seed}");
             }
         }
+    }
+
+    #[test]
+    fn forward_batch_with_is_bit_identical_to_independent_single_image_calls() {
+        // The serving engine's correctness anchor: one batched pass over a
+        // shared scratch must reproduce N single-image calls exactly, at
+        // both the INT4 and composed INT8 widths (per-image activation
+        // scales make this non-trivial).
+        let network = small_cnn(3);
+        let int4 = QuantizedNetwork::from_network(&network, Arc::new(ExactInt4Products)).unwrap();
+        let int8 = QuantizedNetwork::from_network(
+            &network,
+            Arc::new(ComposedProducts::new(Arc::new(ExactInt4Products), 2)),
+        )
+        .unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(31);
+        let images: Vec<Tensor> = (0..6)
+            .map(|_| {
+                Tensor::from_vec(&[1, 8, 8], (0..64).map(|_| rng.gen::<f32>()).collect()).unwrap()
+            })
+            .collect();
+        let refs: Vec<&Tensor> = images.iter().collect();
+        for quantized in [&int4, &int8] {
+            let mut batch_scratch = KernelScratch::new();
+            let mut outputs = Vec::new();
+            quantized
+                .forward_batch_with(&refs, &mut outputs, &mut batch_scratch)
+                .unwrap();
+            assert_eq!(outputs.len(), images.len());
+            for (index, image) in images.iter().enumerate() {
+                let mut single = KernelScratch::new();
+                let expected = quantized.forward_with(image, &mut single).unwrap();
+                assert_eq!(expected, &outputs[index], "image {index}");
+            }
+        }
+    }
+
+    #[test]
+    fn forward_batch_with_names_the_failing_image_index() {
+        let network = small_cnn(3);
+        let quantized =
+            QuantizedNetwork::from_network(&network, Arc::new(ExactInt4Products)).unwrap();
+        let good =
+            Tensor::from_vec(&[1, 8, 8], (0..64).map(|i| i as f32 / 64.0).collect()).unwrap();
+        let bad = Tensor::zeros(&[2, 8, 8]);
+        let inputs = [&good, &bad];
+        let mut outputs = Vec::new();
+        let mut scratch = KernelScratch::new();
+        match quantized.forward_batch_with(&inputs, &mut outputs, &mut scratch) {
+            Err(DnnError::EvaluationFailed { image_index, .. }) => assert_eq!(image_index, 1),
+            other => panic!("expected EvaluationFailed, got {other:?}"),
+        }
+        assert_eq!(outputs[0].len(), 3);
     }
 
     #[test]

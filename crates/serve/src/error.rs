@@ -1,0 +1,122 @@
+//! Error type of the serving engine.
+
+use optima_dnn::error::DnnError;
+use std::fmt;
+
+/// Error returned by queue admission, plan construction and shard execution.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ServeError {
+    /// The engine or one of its components was configured inconsistently.
+    InvalidConfig {
+        /// Human-readable description of the inconsistency.
+        context: String,
+    },
+    /// Admission was refused because the queue's capacity is exhausted.
+    ///
+    /// This is the backpressure signal: the engine never drops a request
+    /// silently — a caller that sees this error knows the system is
+    /// saturated and owns the retry decision.
+    QueueOverflow {
+        /// The configured capacity that was exhausted.
+        capacity: usize,
+    },
+    /// A worker shard panicked while executing its batches.
+    ShardPanicked {
+        /// Zero-based index of the panicking shard.
+        shard: usize,
+    },
+    /// Inference failed for one request.  Execution is error-strict: the
+    /// lowest failing shard's error is returned and no partial statistics
+    /// are reported.
+    RequestFailed {
+        /// The failing request's id.
+        request: u64,
+        /// The underlying inference error.
+        source: DnnError,
+    },
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::InvalidConfig { context } => {
+                write!(f, "invalid serving configuration: {context}")
+            }
+            ServeError::QueueOverflow { capacity } => {
+                write!(
+                    f,
+                    "request queue overflow: all {capacity} slots are occupied"
+                )
+            }
+            ServeError::ShardPanicked { shard } => {
+                write!(f, "worker shard {shard} panicked")
+            }
+            ServeError::RequestFailed { request, source } => {
+                write!(f, "inference for request {request} failed: {source}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::RequestFailed { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::error::Error;
+
+    #[test]
+    fn queue_overflow_names_the_capacity() {
+        let err = ServeError::QueueOverflow { capacity: 64 };
+        let text = err.to_string();
+        assert!(text.contains("64"), "{text}");
+        assert!(text.contains("overflow"), "{text}");
+        assert!(err.source().is_none());
+    }
+
+    #[test]
+    fn shard_panic_names_the_shard() {
+        let err = ServeError::ShardPanicked { shard: 3 };
+        let text = err.to_string();
+        assert!(text.contains("shard 3"), "{text}");
+        assert!(err.source().is_none());
+    }
+
+    #[test]
+    fn request_failure_chains_to_the_dnn_error() {
+        let err = ServeError::RequestFailed {
+            request: 17,
+            source: DnnError::ShapeMismatch {
+                expected: vec![1, 8, 8],
+                found: vec![2, 8, 8],
+            },
+        };
+        let text = err.to_string();
+        assert!(text.contains("request 17"), "{text}");
+        // The chain reaches the underlying DnnError through source().
+        let source = err.source().expect("source");
+        assert!(source.to_string().contains("shape mismatch"));
+    }
+
+    #[test]
+    fn invalid_config_carries_its_context() {
+        let err = ServeError::InvalidConfig {
+            context: "max_batch must be at least 1".to_string(),
+        };
+        assert!(err.to_string().contains("max_batch"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ServeError>();
+    }
+}

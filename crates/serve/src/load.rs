@@ -1,0 +1,168 @@
+//! Deterministic open- and closed-loop load generation.
+//!
+//! Every arrival gap, think time and image pick is derived from the base
+//! seed through [`stream_seed`] — the same per-index stream discipline the
+//! sweep engine uses — so a load pattern replayed with the same seed
+//! produces the identical request trace on any machine, at any shard
+//! count.  No ambient entropy, no wall clock.
+
+use crate::error::ServeError;
+use optima_core::sweep::stream_seed;
+
+/// Stream tag separating image picks from timing jitter draws.
+const IMAGE_STREAM: u64 = 0x494D_4147_4553;
+/// Stream tag for open-loop inter-arrival jitter.
+const ARRIVAL_STREAM: u64 = 0x4152_5249_5645;
+/// Stream tag for closed-loop think-time jitter.
+const THINK_STREAM: u64 = 0x0054_4849_4E4B;
+
+/// How clients submit requests.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LoadPattern {
+    /// Requests arrive at a fixed average rate regardless of completions
+    /// (an external arrival process; models heavy independent traffic).
+    OpenLoop {
+        /// Average arrival rate in requests per second.
+        rate_per_sec: f64,
+        /// Total number of submissions.
+        requests: usize,
+    },
+    /// A fixed population of clients, each submitting, waiting for its
+    /// result, thinking, then submitting again.
+    ClosedLoop {
+        /// Number of concurrent clients.
+        clients: usize,
+        /// Average think time between a completion and the next submission,
+        /// in virtual microseconds.
+        think_us: u64,
+        /// Total number of submissions across all clients.
+        requests: usize,
+    },
+}
+
+impl LoadPattern {
+    /// Total number of submissions the pattern generates.
+    pub fn requests(&self) -> usize {
+        match *self {
+            LoadPattern::OpenLoop { requests, .. } => requests,
+            LoadPattern::ClosedLoop { requests, .. } => requests,
+        }
+    }
+
+    /// Checks the pattern invariants.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::InvalidConfig`] for a non-positive rate, zero
+    /// clients or zero requests.
+    pub fn validate(&self) -> Result<(), ServeError> {
+        let context = match *self {
+            LoadPattern::OpenLoop { rate_per_sec, .. }
+                if rate_per_sec <= 0.0 || rate_per_sec.is_nan() =>
+            {
+                Some("open-loop rate_per_sec must be positive".to_string())
+            }
+            LoadPattern::ClosedLoop { clients: 0, .. } => {
+                Some("closed-loop client count must be at least 1".to_string())
+            }
+            _ if self.requests() == 0 => Some("request count must be at least 1".to_string()),
+            _ => None,
+        };
+        match context {
+            Some(context) => Err(ServeError::InvalidConfig { context }),
+            None => Ok(()),
+        }
+    }
+}
+
+/// A unit-interval draw from the `(tag, index)` stream of `seed`.
+fn unit_draw(seed: u64, tag: u64, index: u64) -> f64 {
+    let word = stream_seed(seed ^ tag, index);
+    (word >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Image-pool index served to request `id`.
+pub fn image_for(seed: u64, id: u64, image_count: usize) -> usize {
+    debug_assert!(image_count > 0);
+    (stream_seed(seed ^ IMAGE_STREAM, id) % image_count as u64) as usize
+}
+
+/// Open-loop gap before arrival `index`, in virtual microseconds: the
+/// nominal period jittered to 75–125 %, never below 1 µs.
+pub fn open_loop_gap_us(seed: u64, index: u64, rate_per_sec: f64) -> u64 {
+    let period_us = 1.0e6 / rate_per_sec;
+    let jittered = period_us * (0.75 + 0.5 * unit_draw(seed, ARRIVAL_STREAM, index));
+    (jittered as u64).max(1)
+}
+
+/// Closed-loop think gap before client `client`'s `attempt`-th submission,
+/// in virtual microseconds: the nominal think time jittered to 50–150 %.
+pub fn think_gap_us(seed: u64, client: usize, attempt: u64, think_us: u64) -> u64 {
+    let tag = THINK_STREAM ^ ((client as u64) << 32);
+    let jittered = think_us as f64 * (0.5 + unit_draw(seed, tag, attempt));
+    (jittered as u64).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn invalid_patterns_are_rejected() {
+        assert!(LoadPattern::OpenLoop {
+            rate_per_sec: 0.0,
+            requests: 10,
+        }
+        .validate()
+        .is_err());
+        assert!(LoadPattern::OpenLoop {
+            rate_per_sec: 100.0,
+            requests: 0,
+        }
+        .validate()
+        .is_err());
+        assert!(LoadPattern::ClosedLoop {
+            clients: 0,
+            think_us: 10,
+            requests: 5,
+        }
+        .validate()
+        .is_err());
+        assert!(LoadPattern::ClosedLoop {
+            clients: 2,
+            think_us: 0,
+            requests: 5,
+        }
+        .validate()
+        .is_ok());
+    }
+
+    #[test]
+    fn draws_are_deterministic_and_seed_sensitive() {
+        assert_eq!(image_for(7, 3, 10), image_for(7, 3, 10));
+        assert_eq!(
+            open_loop_gap_us(7, 3, 1000.0),
+            open_loop_gap_us(7, 3, 1000.0)
+        );
+        let differing = (0..64).filter(|&i| image_for(7, i, 100) != image_for(8, i, 100));
+        assert!(differing.count() > 32);
+    }
+
+    #[test]
+    fn open_loop_gaps_stay_within_the_jitter_band() {
+        for index in 0..500u64 {
+            let gap = open_loop_gap_us(42, index, 1000.0);
+            // Nominal period 1000us, jitter 75-125%.
+            assert!((750..=1250).contains(&gap), "gap {gap}");
+        }
+    }
+
+    #[test]
+    fn think_gaps_stay_within_the_jitter_band_and_never_hit_zero() {
+        for attempt in 0..200u64 {
+            let gap = think_gap_us(42, 3, attempt, 100);
+            assert!((50..=150).contains(&gap), "gap {gap}");
+        }
+        assert!(think_gap_us(42, 0, 0, 0) >= 1);
+    }
+}

@@ -1,0 +1,30 @@
+//! Wall-clock measurement shim.
+//!
+//! The serving engine is deterministic by construction: planning runs on a
+//! virtual clock and nothing else in the crate may read wall time (the
+//! workspace's R2 nondeterminism lint enforces it).  Execution still wants
+//! *measured* batch durations for the throughput/latency reports, so the
+//! single `Instant` touch-point lives here, in the one file the lint
+//! configuration allowlists.  Measured durations feed reporting only —
+//! never a scheduling decision.
+
+use std::time::Instant;
+
+/// Runs `f` and returns its result plus the elapsed wall time in seconds.
+pub fn timed<R>(f: impl FnOnce() -> R) -> (R, f64) {
+    let start = Instant::now();
+    let result = f();
+    (result, start.elapsed().as_secs_f64())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timed_returns_the_closure_result_and_a_nonnegative_duration() {
+        let (value, seconds) = timed(|| 41 + 1);
+        assert_eq!(value, 42);
+        assert!(seconds >= 0.0);
+    }
+}

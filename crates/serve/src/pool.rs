@@ -1,0 +1,251 @@
+//! The worker-shard pool: plan execution over real kernels.
+//!
+//! Each shard owns one [`KernelScratch`] arena and a preallocated output
+//! slab sized to the members the plan routed to it.  Executing a plan
+//! walks every shard's batches in close order, runs each member through
+//! the model's scratch-arena inference path
+//! ([`BatchInferenceModel::predict_with`], i.e. `Network::infer_with` /
+//! `QuantizedNetwork::forward_with`) and copies the logits into the
+//! member's slot — so after the first warm-up burst the steady state
+//! performs **zero** heap allocations per request (pinned by the crate's
+//! counting-allocator test).  With more than one shard the pool spans
+//! scoped threads, one per shard; a single-shard pool runs inline on the
+//! caller's thread.
+//!
+//! Because the plan fixes batch composition and slot assignment up front,
+//! the logits of every request are **bit-identical to a lone
+//! `predict_with` call** — independent of shard count, batch policy and
+//! thread interleaving.  Only the *measured* per-batch wall durations
+//! differ between runs, and those feed reporting exclusively.
+
+use crate::error::ServeError;
+use crate::histogram::LatencyHistogram;
+use crate::measure;
+use crate::plan::Plan;
+use optima_dnn::eval::BatchInferenceModel;
+use optima_dnn::scratch::KernelScratch;
+use optima_dnn::Tensor;
+
+/// One worker shard: a scratch arena plus its output slab.
+#[derive(Debug, Default)]
+struct ShardState {
+    scratch: KernelScratch,
+    /// Logits per member slot, in the shard's batch/coalescing order.
+    outputs: Vec<Tensor>,
+    /// Measured wall seconds per batch, in the shard's batch order.
+    wall_batch_seconds: Vec<f64>,
+}
+
+/// A pool of worker shards executing planned batches.
+#[derive(Debug)]
+pub struct ShardPool {
+    shards: Vec<ShardState>,
+}
+
+/// Wall-clock statistics of the most recent execution: the plan's virtual
+/// arrival/close timeline replayed with the measured batch durations.
+#[derive(Debug, Clone)]
+pub struct WallStats {
+    /// End-to-end latency over all requests (shard histograms merged).
+    pub latency: LatencyHistogram,
+    /// Per-shard latency histograms (merge inputs).
+    pub per_shard: Vec<LatencyHistogram>,
+    /// Sustained throughput in requests per second.
+    pub throughput_per_sec: f64,
+    /// Last projected completion, in microseconds.
+    pub makespan_us: u64,
+    /// Total measured batch service time in seconds (shard busy time).
+    pub busy_seconds: f64,
+}
+
+impl ShardPool {
+    /// A pool of `shards` workers.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::InvalidConfig`] for a zero shard count.
+    pub fn new(shards: usize) -> Result<Self, ServeError> {
+        if shards == 0 {
+            return Err(ServeError::InvalidConfig {
+                context: "shard count must be at least 1".to_string(),
+            });
+        }
+        Ok(ShardPool {
+            shards: (0..shards).map(|_| ShardState::default()).collect(),
+        })
+    }
+
+    /// Number of worker shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Executes every planned batch against `model`, drawing request
+    /// images from `images` (the pool the plan was built for).
+    ///
+    /// # Errors
+    ///
+    /// * [`ServeError::InvalidConfig`] — the plan was built for a
+    ///   different shard count or image-pool size.
+    /// * [`ServeError::RequestFailed`] — inference failed; the lowest
+    ///   failing shard's error is returned.
+    /// * [`ServeError::ShardPanicked`] — a worker thread panicked.
+    pub fn execute<M: BatchInferenceModel>(
+        &mut self,
+        plan: &Plan,
+        images: &[Tensor],
+        model: &M,
+    ) -> Result<(), ServeError> {
+        if plan.config().shards != self.shards.len() {
+            return Err(ServeError::InvalidConfig {
+                context: format!(
+                    "plan was built for {} shards but the pool has {}",
+                    plan.config().shards,
+                    self.shards.len()
+                ),
+            });
+        }
+        if plan.image_count() != images.len() {
+            return Err(ServeError::InvalidConfig {
+                context: format!(
+                    "plan indexes an image pool of {} but {} images were provided",
+                    plan.image_count(),
+                    images.len()
+                ),
+            });
+        }
+        for (shard, state) in self.shards.iter_mut().enumerate() {
+            state
+                .outputs
+                .resize_with(plan.shard_member_count(shard), Tensor::default);
+            let batches = plan.batches().iter().filter(|b| b.shard == shard).count();
+            state.wall_batch_seconds.resize(batches, 0.0);
+        }
+        if self.shards.len() == 1 {
+            return run_shard(0, &mut self.shards[0], plan, images, model);
+        }
+        let results: Vec<Result<(), ServeError>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .shards
+                .iter_mut()
+                .enumerate()
+                .map(|(shard, state)| {
+                    scope.spawn(move || run_shard(shard, state, plan, images, model))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .enumerate()
+                .map(|(shard, handle)| {
+                    handle
+                        .join()
+                        .unwrap_or(Err(ServeError::ShardPanicked { shard }))
+                })
+                .collect()
+        });
+        for result in results {
+            result?;
+        }
+        Ok(())
+    }
+
+    /// The logits the last execution produced for `request`, or `None` for
+    /// a rejected request.
+    pub fn logits(&self, plan: &Plan, request: usize) -> Option<&Tensor> {
+        let batch = plan.requests().get(request)?.batch?;
+        let shard = plan.batches()[batch].shard;
+        self.shards[shard].outputs.get(plan.slot(request))
+    }
+
+    /// Replays the plan's timeline with the measured batch durations.
+    ///
+    /// Arrivals and batch-close instants stay virtual (they are admission
+    /// decisions, already fixed by the plan); service times are the wall
+    /// durations just measured.  The result is the projected end-to-end
+    /// latency distribution and sustained throughput of this machine under
+    /// the planned load.
+    pub fn wall_stats(&self, plan: &Plan) -> WallStats {
+        let shards = self.shards.len();
+        let mut per_shard = vec![LatencyHistogram::new(); shards];
+        let mut shard_free = vec![0u64; shards];
+        let mut cursor = vec![0usize; shards];
+        let mut makespan_us = 0u64;
+        let mut busy_seconds = 0.0f64;
+        for (batch_index, batch) in plan.batches().iter().enumerate() {
+            let seconds = self.shards[batch.shard]
+                .wall_batch_seconds
+                .get(cursor[batch.shard])
+                .copied()
+                .unwrap_or(0.0);
+            cursor[batch.shard] += 1;
+            busy_seconds += seconds;
+            let service_us = ((seconds * 1.0e6) as u64).max(1);
+            let start_us = batch.close_us.max(shard_free[batch.shard]);
+            let completion_us = start_us + service_us;
+            shard_free[batch.shard] = completion_us;
+            makespan_us = makespan_us.max(completion_us);
+            for &request in plan.batch_members(batch_index) {
+                let latency = completion_us - plan.requests()[request].arrival_us;
+                per_shard[batch.shard].record(latency);
+            }
+        }
+        let mut latency = LatencyHistogram::new();
+        for histogram in &per_shard {
+            latency.merge(histogram);
+        }
+        let throughput_per_sec = if makespan_us == 0 {
+            0.0
+        } else {
+            plan.served() as f64 * 1.0e6 / makespan_us as f64
+        };
+        WallStats {
+            latency,
+            per_shard,
+            throughput_per_sec,
+            makespan_us,
+            busy_seconds,
+        }
+    }
+}
+
+/// Runs every batch the plan routed to `shard`, in close order.
+fn run_shard<M: BatchInferenceModel>(
+    shard: usize,
+    state: &mut ShardState,
+    plan: &Plan,
+    images: &[Tensor],
+    model: &M,
+) -> Result<(), ServeError> {
+    let ShardState {
+        scratch,
+        outputs,
+        wall_batch_seconds,
+    } = state;
+    let mut local_batch = 0usize;
+    for (batch_index, batch) in plan.batches().iter().enumerate() {
+        if batch.shard != shard {
+            continue;
+        }
+        let (result, seconds) = measure::timed(|| {
+            // optima-lint: hot
+            for &request in plan.batch_members(batch_index) {
+                let planned = plan.requests()[request];
+                match model.predict_with(&images[planned.image], scratch) {
+                    Ok(logits) => outputs[plan.slot(request)].copy_from(logits),
+                    Err(source) => {
+                        return Err(ServeError::RequestFailed {
+                            request: planned.id,
+                            source,
+                        })
+                    }
+                }
+            }
+            Ok(())
+            // optima-lint: end-hot
+        });
+        wall_batch_seconds[local_batch] = seconds;
+        local_batch += 1;
+        result?;
+    }
+    Ok(())
+}

@@ -1,0 +1,182 @@
+//! The bounded submission queue.
+
+use crate::error::ServeError;
+use std::collections::VecDeque;
+
+/// One single-image inference request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Request {
+    /// Monotonic id assigned at submission.
+    pub id: u64,
+    /// Arrival time in virtual microseconds.
+    pub arrival_us: u64,
+    /// Index of the requested image in the engine's image pool.
+    pub image: usize,
+}
+
+/// A bounded FIFO of admitted-but-incomplete requests.
+///
+/// The capacity bounds the number of requests that have been admitted but
+/// whose batch has **not yet completed** — waiting room *and* in-service
+/// occupancy together.  This is deliberate: coalescing alone keeps the
+/// waiting room below `max_batch`, so a bound on waiting requests only
+/// would never push back.  Bounding the whole pipeline means a saturated
+/// shard pool surfaces as a typed [`ServeError::QueueOverflow`] at
+/// admission time — backpressure, never a silent drop (the same philosophy
+/// as the sweep engine's error-strict fan-out).
+///
+/// Requests leave the FIFO when the coalescer takes them into a batch
+/// ([`RequestQueue::take_batch`]) and release their capacity slot when that
+/// batch completes ([`RequestQueue::complete`]).
+#[derive(Debug)]
+pub struct RequestQueue {
+    capacity: usize,
+    waiting: VecDeque<Request>,
+    outstanding: usize,
+}
+
+impl RequestQueue {
+    /// A queue admitting at most `capacity` incomplete requests.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::InvalidConfig`] for a zero capacity.
+    pub fn new(capacity: usize) -> Result<Self, ServeError> {
+        if capacity == 0 {
+            return Err(ServeError::InvalidConfig {
+                context: "queue capacity must be at least 1".to_string(),
+            });
+        }
+        Ok(RequestQueue {
+            capacity,
+            waiting: VecDeque::new(),
+            outstanding: 0,
+        })
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of requests waiting to be coalesced.
+    pub fn waiting(&self) -> usize {
+        self.waiting.len()
+    }
+
+    /// Number of admitted requests whose batch has not completed yet.
+    pub fn outstanding(&self) -> usize {
+        self.outstanding
+    }
+
+    /// Returns `true` when no request is waiting.
+    pub fn is_empty(&self) -> bool {
+        self.waiting.is_empty()
+    }
+
+    /// Arrival time of the oldest waiting request, if any.
+    pub fn oldest_arrival_us(&self) -> Option<u64> {
+        self.waiting.front().map(|request| request.arrival_us)
+    }
+
+    /// Admits one request.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::QueueOverflow`] naming the capacity when every
+    /// slot is occupied.  The request is not enqueued; the caller owns the
+    /// retry/reject decision.
+    pub fn try_push(&mut self, request: Request) -> Result<(), ServeError> {
+        if self.outstanding == self.capacity {
+            return Err(ServeError::QueueOverflow {
+                capacity: self.capacity,
+            });
+        }
+        self.outstanding += 1;
+        self.waiting.push_back(request);
+        Ok(())
+    }
+
+    /// Moves up to `max_batch` oldest waiting requests into `batch`
+    /// (appended in FIFO order) and returns how many were taken.  The taken
+    /// requests still hold their capacity slots until [`Self::complete`].
+    pub fn take_batch(&mut self, max_batch: usize, batch: &mut Vec<Request>) -> usize {
+        let take = max_batch.min(self.waiting.len());
+        for _ in 0..take {
+            // `take` never exceeds the queue length, so the pop cannot fail.
+            if let Some(request) = self.waiting.pop_front() {
+                batch.push(request);
+            }
+        }
+        take
+    }
+
+    /// Releases the capacity slots of `count` completed requests.
+    pub fn complete(&mut self, count: usize) {
+        debug_assert!(count <= self.outstanding);
+        self.outstanding = self.outstanding.saturating_sub(count);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn request(id: u64, arrival_us: u64) -> Request {
+        Request {
+            id,
+            arrival_us,
+            image: id as usize,
+        }
+    }
+
+    #[test]
+    fn zero_capacity_is_rejected() {
+        assert!(RequestQueue::new(0).is_err());
+    }
+
+    #[test]
+    fn overflow_is_a_typed_error_naming_the_capacity() {
+        let mut queue = RequestQueue::new(2).unwrap();
+        queue.try_push(request(0, 0)).unwrap();
+        queue.try_push(request(1, 5)).unwrap();
+        match queue.try_push(request(2, 9)) {
+            Err(ServeError::QueueOverflow { capacity }) => assert_eq!(capacity, 2),
+            other => panic!("expected QueueOverflow, got {other:?}"),
+        }
+        assert_eq!(queue.waiting(), 2);
+        assert_eq!(queue.outstanding(), 2);
+    }
+
+    #[test]
+    fn capacity_is_released_at_completion_not_at_coalescing() {
+        let mut queue = RequestQueue::new(2).unwrap();
+        queue.try_push(request(0, 0)).unwrap();
+        queue.try_push(request(1, 3)).unwrap();
+        let mut batch = Vec::new();
+        assert_eq!(queue.take_batch(8, &mut batch), 2);
+        assert_eq!(batch.len(), 2);
+        assert!(queue.is_empty());
+        // Still saturated: the batch is in service.
+        assert!(queue.try_push(request(2, 7)).is_err());
+        queue.complete(2);
+        assert_eq!(queue.outstanding(), 0);
+        queue.try_push(request(2, 7)).unwrap();
+        assert_eq!(queue.oldest_arrival_us(), Some(7));
+    }
+
+    #[test]
+    fn take_batch_preserves_fifo_order_and_respects_max_batch() {
+        let mut queue = RequestQueue::new(8).unwrap();
+        for id in 0..5 {
+            queue.try_push(request(id, id * 10)).unwrap();
+        }
+        let mut batch = Vec::new();
+        assert_eq!(queue.take_batch(3, &mut batch), 3);
+        assert_eq!(
+            batch.iter().map(|r| r.id).collect::<Vec<_>>(),
+            vec![0, 1, 2]
+        );
+        assert_eq!(queue.oldest_arrival_us(), Some(30));
+    }
+}

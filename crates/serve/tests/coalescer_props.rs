@@ -1,0 +1,181 @@
+//! Virtual-clock property tests for the batch coalescer (proptest).
+//!
+//! Over randomized policies, rates and loads, every plan must satisfy the
+//! coalescer contract:
+//!
+//! * every admitted request is served exactly once (rejected ones never);
+//! * no batch exceeds `max_batch`;
+//! * no request waits past `max_delay_us` for its batch to close;
+//! * with enough queue capacity, batch composition — and therefore which
+//!   image every request maps to — is invariant to the shard count
+//!   (1..=8).
+
+use optima_serve::load::LoadPattern;
+use optima_serve::plan::{Plan, ServeConfig};
+use optima_serve::policy::{BatchPolicy, ServiceModel};
+use proptest::prelude::*;
+
+fn config(max_batch: usize, max_delay_us: u64, shards: usize, capacity: usize) -> ServeConfig {
+    ServeConfig {
+        policy: BatchPolicy {
+            max_batch,
+            max_delay_us,
+        },
+        shards,
+        queue_capacity: capacity,
+        service: ServiceModel {
+            batch_overhead_us: 25,
+            per_image_us: 35,
+        },
+    }
+}
+
+/// Checks the per-plan invariants and returns the number of served
+/// requests.
+fn check_plan_invariants(plan: &Plan) -> usize {
+    let policy = plan.config().policy;
+    let mut served_times = vec![0usize; plan.requests().len()];
+    for (batch_index, batch) in plan.batches().iter().enumerate() {
+        let members = plan.batch_members(batch_index);
+        assert!(!members.is_empty(), "batch {batch_index} is empty");
+        assert!(
+            members.len() <= policy.max_batch,
+            "batch {batch_index} holds {} members > max_batch {}",
+            members.len(),
+            policy.max_batch
+        );
+        assert_eq!(batch.members, members.len());
+        assert_eq!(
+            batch.first_arrival_us,
+            plan.requests()[members[0]].arrival_us,
+            "first_arrival must be the oldest member's arrival"
+        );
+        assert!(batch.close_us >= batch.first_arrival_us);
+        assert!(batch.start_us >= batch.close_us);
+        assert!(batch.completion_us > batch.start_us);
+        let mut previous_arrival = 0u64;
+        for &request in members {
+            let planned = plan.requests()[request];
+            assert_eq!(planned.batch, Some(batch_index));
+            // FIFO coalescing: members in arrival order.
+            assert!(planned.arrival_us >= previous_arrival);
+            previous_arrival = planned.arrival_us;
+            // The coalescing wait is bounded by the policy.
+            assert!(
+                batch.close_us - planned.arrival_us <= policy.max_delay_us,
+                "request {request} waited {} us > max_delay {}",
+                batch.close_us - planned.arrival_us,
+                policy.max_delay_us
+            );
+            served_times[request] += 1;
+        }
+    }
+    let mut served = 0usize;
+    for (request, &times) in served_times.iter().enumerate() {
+        let planned = plan.requests()[request];
+        if planned.batch.is_some() {
+            assert_eq!(times, 1, "admitted request {request} served {times} times");
+            served += 1;
+        } else {
+            assert_eq!(times, 0, "rejected request {request} must not be served");
+        }
+    }
+    assert_eq!(served, plan.served());
+    assert_eq!(plan.requests().len() - served, plan.rejected());
+    served
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn open_loop_plans_satisfy_the_coalescer_contract(
+        max_batch in 1usize..=8,
+        max_delay_us in 0u64..=500,
+        rate in 200.0f64..5000.0,
+        requests in 1usize..=120,
+        capacity in 1usize..=64,
+        seed in 0u64..=1000,
+    ) {
+        let capacity = capacity.max(max_batch);
+        let pattern = LoadPattern::OpenLoop { rate_per_sec: rate, requests };
+        let plan = Plan::build(&config(max_batch, max_delay_us, 2, capacity), &pattern, seed, 16)
+            .expect("plan");
+        prop_assert_eq!(plan.requests().len(), requests);
+        check_plan_invariants(&plan);
+    }
+
+    #[test]
+    fn closed_loop_plans_satisfy_the_coalescer_contract(
+        max_batch in 1usize..=8,
+        max_delay_us in 0u64..=500,
+        clients in 1usize..=12,
+        think_us in 0u64..=400,
+        requests in 1usize..=120,
+        capacity in 1usize..=12,
+        seed in 0u64..=1000,
+    ) {
+        let pattern = LoadPattern::ClosedLoop { clients, think_us, requests };
+        // Capacity below the client count exercises rejection + retry.
+        let plan = Plan::build(
+            &config(max_batch, max_delay_us, 3, capacity),
+            &pattern,
+            seed,
+            8,
+        )
+        .expect("plan");
+        prop_assert_eq!(plan.requests().len(), requests);
+        let served = check_plan_invariants(&plan);
+        if capacity >= clients {
+            // Closed-loop occupancy never exceeds the client population, so
+            // a queue at least that deep never pushes back.
+            prop_assert_eq!(served, requests);
+        }
+    }
+
+    #[test]
+    fn batch_composition_is_invariant_to_the_shard_count(
+        max_batch in 1usize..=8,
+        max_delay_us in 0u64..=500,
+        rate in 500.0f64..4000.0,
+        requests in 1usize..=80,
+        seed in 0u64..=1000,
+    ) {
+        let pattern = LoadPattern::OpenLoop { rate_per_sec: rate, requests };
+        // Capacity >= requests: admission never pushes back, so the only
+        // shard-dependent feedback path (completion -> occupancy) is inert.
+        let reference = Plan::build(
+            &config(max_batch, max_delay_us, 1, requests),
+            &pattern,
+            seed,
+            16,
+        )
+        .expect("plan");
+        check_plan_invariants(&reference);
+        prop_assert_eq!(reference.rejected(), 0);
+        for shards in 2usize..=8 {
+            let plan = Plan::build(
+                &config(max_batch, max_delay_us, shards, requests),
+                &pattern,
+                seed,
+                16,
+            )
+            .expect("plan");
+            check_plan_invariants(&plan);
+            prop_assert_eq!(plan.rejected(), 0);
+            prop_assert_eq!(plan.batches().len(), reference.batches().len());
+            for batch in 0..plan.batches().len() {
+                prop_assert_eq!(plan.batch_members(batch), reference.batch_members(batch));
+                prop_assert_eq!(
+                    plan.batches()[batch].close_us,
+                    reference.batches()[batch].close_us
+                );
+            }
+            // Same submissions, same images: the served work is identical.
+            for (mine, reference_request) in plan.requests().iter().zip(reference.requests()) {
+                prop_assert_eq!(mine.arrival_us, reference_request.arrival_us);
+                prop_assert_eq!(mine.image, reference_request.image);
+            }
+        }
+    }
+}

@@ -11,10 +11,13 @@
 //! * [`optima_imc`] — the 4-bit in-SRAM multiplier case study and
 //!   design-space exploration,
 //! * [`optima_dnn`] — the quantized DNN substrate used for the application
-//!   analysis.
+//!   analysis,
+//! * [`optima_serve`] — the batched inference serving engine (queue,
+//!   coalescer, shard workers, latency histograms).
 
 pub use optima_circuit;
 pub use optima_core;
 pub use optima_dnn;
 pub use optima_imc;
 pub use optima_math;
+pub use optima_serve;
